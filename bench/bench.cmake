@@ -1,0 +1,24 @@
+# Bench targets are defined from the top-level list file (not via
+# add_subdirectory) so that ${CMAKE_BINARY_DIR}/bench contains ONLY the
+# bench executables — the documented run loop is
+#   for b in build/bench/*; do $b; done
+# One binary per reproduced paper table/figure group; see DESIGN.md.
+
+function(segdiff_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  target_link_libraries(${name} PRIVATE segdiff)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY
+                        ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+segdiff_add_bench(bench_compression)
+segdiff_add_bench(bench_corner_cases)
+segdiff_add_bench(bench_query_eps)
+segdiff_add_bench(bench_window)
+segdiff_add_bench(bench_scalability)
+segdiff_add_bench(bench_query_regions)
+segdiff_add_bench(bench_ablation)
+segdiff_add_bench(bench_figure1)
+
+segdiff_add_bench(bench_micro)
+target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

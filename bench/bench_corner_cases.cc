@@ -1,0 +1,69 @@
+// Reproduces Table 4 (Section 6.1): the percentage of parallelograms
+// needing one, two, or three corner points under different error
+// tolerances, and the resulting "effective corners" average (paper:
+// ~2.13 at eps = 0.2, i.e. the case analysis halves corner storage
+// relative to keeping all four corners).
+
+#include <iostream>
+
+#include "benchutil/report.h"
+#include "benchutil/workload.h"
+#include "common/logging.h"
+#include "feature/extractor.h"
+#include "segment/sliding_window.h"
+
+namespace segdiff {
+namespace {
+
+constexpr double kEpsSweep[] = {0.1, 0.2, 0.4, 0.8, 1.0};
+// Paper Table 4 rows: one/two/three corner percentages per eps.
+constexpr double kPaperOne[] = {17.05, 19.83, 22.67, 25.88, 26.90};
+constexpr double kPaperTwo[] = {46.43, 46.79, 47.09, 47.25, 47.10};
+constexpr double kPaperThree[] = {36.52, 33.37, 30.24, 26.87, 26.00};
+
+int RunBench() {
+  const WorkloadConfig config = WorkloadConfig::FromEnv();
+  auto series_or = MakeSmoothedBenchSeries(config);
+  SEGDIFF_CHECK(series_or.ok()) << series_or.status().ToString();
+  const Series& series = *series_or;
+  std::cout << "workload: " << series.size() << " observations\n";
+
+  PrintBanner(std::cout,
+              "Table 4: percentage of corner cases (drop-search frontier "
+              "size over cross pairs) under different error tolerances");
+  TablePrinter table({"eps", "one corner %", "(paper)", "two corners %",
+                      "(paper)", "three corners %", "(paper)",
+                      "effective corners", "(paper 2.13 @ eps=0.2)"});
+  int idx = 0;
+  for (double eps : kEpsSweep) {
+    auto pla = SegmentSeriesWithTolerance(series, eps);
+    SEGDIFF_CHECK(pla.ok());
+    ExtractorOptions options;
+    options.eps = eps;
+    options.window_s = PaperDefaults::kWindowS;
+    ExtractorStats stats;
+    SEGDIFF_CHECK_OK(ExtractFeatures(
+        *pla, options, [](const PairFeatures&) { return Status::OK(); },
+        &stats));
+    const int kind = static_cast<int>(SearchKind::kDrop);
+    const double total = static_cast<double>(stats.cross_pairs);
+    const double one = 100.0 * stats.frontier_hist[kind][1] / total;
+    const double two = 100.0 * stats.frontier_hist[kind][2] / total;
+    const double three = 100.0 * stats.frontier_hist[kind][3] / total;
+    const double effective = (one + 2 * two + 3 * three) / 100.0;
+    table.AddRow({Fmt(eps, 1), Fmt(one, 2), Fmt(kPaperOne[idx], 2),
+                  Fmt(two, 2), Fmt(kPaperTwo[idx], 2), Fmt(three, 2),
+                  Fmt(kPaperThree[idx], 2), Fmt(effective, 2),
+                  idx == 1 ? "2.13" : "-"});
+    ++idx;
+  }
+  table.Print(std::cout);
+  std::cout << "effective corners ~= 2 means the Table 2 case analysis "
+               "halves parallelogram corner storage vs keeping all 4.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace segdiff
+
+int main() { return segdiff::RunBench(); }

@@ -1,0 +1,146 @@
+// Reproduces the paper's Figure 1: (a) a day of CAD transect data,
+// (b) its piecewise linear approximation, (c) a search result overlaid
+// as four vertical markers (the returned pair's segment-end periods).
+//
+// Prints an ASCII rendition and writes plot-ready CSVs
+// (figure1_data.csv, figure1_segments.csv, figure1_result.csv) to the
+// bench temp directory.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchutil/workload.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "segdiff/segdiff_index.h"
+#include "segment/sliding_window.h"
+#include "ts/io.h"
+
+namespace segdiff {
+namespace {
+
+void AsciiPlot(const Series& data, const PiecewiseLinear& pla,
+               const PairId* result) {
+  constexpr int kWidth = 110;
+  constexpr int kHeight = 18;
+  const double t0 = data.front().t;
+  const double t1 = data.back().t;
+  const SeriesStats stats = data.Stats();
+  const double v0 = stats.min_v - 0.5;
+  const double v1 = stats.max_v + 0.5;
+  std::vector<std::string> canvas(kHeight, std::string(kWidth, ' '));
+  auto put = [&](double t, double v, char c) {
+    int x = static_cast<int>((t - t0) / (t1 - t0) * (kWidth - 1));
+    int y = static_cast<int>((v1 - v) / (v1 - v0) * (kHeight - 1));
+    x = std::clamp(x, 0, kWidth - 1);
+    y = std::clamp(y, 0, kHeight - 1);
+    canvas[static_cast<size_t>(y)][static_cast<size_t>(x)] = c;
+  };
+  for (const Sample& sample : data) {
+    put(sample.t, sample.v, '.');
+  }
+  for (const DataSegment& segment : pla.segments()) {
+    // Draw segment lines coarsely.
+    for (int step = 0; step <= 20; ++step) {
+      const double t =
+          segment.start.t + (segment.end.t - segment.start.t) * step / 20.0;
+      put(t, segment.ValueAt(t), 'o');
+    }
+  }
+  if (result != nullptr) {
+    for (double t : {result->t_d, result->t_c, result->t_b, result->t_a}) {
+      if (t < t0 || t > t1) continue;
+      const int x = std::clamp(
+          static_cast<int>((t - t0) / (t1 - t0) * (kWidth - 1)), 0,
+          kWidth - 1);
+      for (int y = 0; y < kHeight; ++y) {
+        canvas[static_cast<size_t>(y)][static_cast<size_t>(x)] = '|';
+      }
+    }
+  }
+  for (const std::string& line : canvas) {
+    std::cout << line << "\n";
+  }
+  std::cout << "('.' data, 'o' piecewise linear approximation, '|' the "
+               "four time stamps of one returned pair)\n";
+}
+
+int RunBench() {
+  WorkloadConfig config = WorkloadConfig::FromEnv();
+  config.num_days = std::max(2, std::min(config.num_days, 4));
+  auto series_or = MakeSmoothedBenchSeries(config);
+  SEGDIFF_CHECK(series_or.ok()) << series_or.status().ToString();
+
+  // Pick the day with the deepest drop so the figure shows a CAD event.
+  const Series& all = *series_or;
+  double best_day_start = all.front().t;
+  double best_drop = 0.0;
+  for (int day = 0; day < config.num_days; ++day) {
+    Series slice = all.Slice(day * 86400.0, (day + 1) * 86400.0);
+    if (slice.size() < 10) continue;
+    const SeriesStats stats = slice.Stats();
+    if (stats.max_v - stats.min_v > best_drop) {
+      best_drop = stats.max_v - stats.min_v;
+      best_day_start = day * 86400.0;
+    }
+  }
+  const Series day = all.Slice(best_day_start, best_day_start + 86400.0);
+  SEGDIFF_CHECK_GE(day.size(), size_t{10});
+
+  auto pla = SegmentSeriesWithTolerance(day, PaperDefaults::kEps);
+  SEGDIFF_CHECK(pla.ok());
+  std::cout << "Figure 1: " << day.size() << " observations, "
+            << pla->size() << " segments (r="
+            << day.size() / static_cast<double>(pla->size()) << ")\n\n";
+
+  // One returned pair from the default query, for the overlay.
+  const std::string db = BenchDbPath("figure1");
+  SegDiffOptions options;
+  options.eps = PaperDefaults::kEps;
+  options.window_s = PaperDefaults::kWindowS;
+  auto index = SegDiffIndex::Open(db, options);
+  SEGDIFF_CHECK(index.ok());
+  SEGDIFF_CHECK_OK((*index)->IngestSeries(day));
+  auto results = (*index)->SearchDrops(PaperDefaults::kTSeconds,
+                                       PaperDefaults::kVDegrees);
+  SEGDIFF_CHECK(results.ok());
+  const PairId* overlay = results->empty() ? nullptr : &results->front();
+
+  AsciiPlot(day, *pla, overlay);
+
+  // Plot-ready CSVs.
+  const std::string dir = GetEnvString("TMPDIR", "/tmp");
+  SEGDIFF_CHECK_OK(WriteSeriesCsv(day, dir + "/figure1_data.csv"));
+  {
+    FILE* f = std::fopen((dir + "/figure1_segments.csv").c_str(), "w");
+    SEGDIFF_CHECK(f != nullptr);
+    std::fprintf(f, "# t_start,v_start,t_end,v_end\n");
+    for (const DataSegment& segment : pla->segments()) {
+      std::fprintf(f, "%.17g,%.17g,%.17g,%.17g\n", segment.start.t,
+                   segment.start.v, segment.end.t, segment.end.v);
+    }
+    std::fclose(f);
+  }
+  {
+    FILE* f = std::fopen((dir + "/figure1_result.csv").c_str(), "w");
+    SEGDIFF_CHECK(f != nullptr);
+    std::fprintf(f, "# t_d,t_c,t_b,t_a\n");
+    for (const PairId& pair : *results) {
+      std::fprintf(f, "%.17g,%.17g,%.17g,%.17g\n", pair.t_d, pair.t_c,
+                   pair.t_b, pair.t_a);
+    }
+    std::fclose(f);
+  }
+  std::cout << "\nwrote " << dir << "/figure1_{data,segments,result}.csv ("
+            << results->size() << " result pairs)\n";
+  RemoveBenchDb(db);
+  return 0;
+}
+
+}  // namespace
+}  // namespace segdiff
+
+int main() { return segdiff::RunBench(); }

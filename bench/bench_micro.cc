@@ -1,0 +1,173 @@
+// google-benchmark micro-benchmarks for the hot paths: segmentation,
+// feature extraction, B+-tree insert/seek, buffer-pool fetch, Model-G
+// evaluation, and predicate matching.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "benchutil/workload.h"
+#include "common/coding.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "feature/extractor.h"
+#include "index/bplus_tree.h"
+#include "query/predicate.h"
+#include "segment/sliding_window.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "ts/generator.h"
+#include "ts/interpolate.h"
+
+namespace segdiff {
+namespace {
+
+const Series& SharedWalk() {
+  static const Series* series = [] {
+    auto walk = GenerateRandomWalk(1, 100000, 300.0, 0.2);
+    SEGDIFF_CHECK(walk.ok());
+    return new Series(std::move(walk).value());
+  }();
+  return *series;
+}
+
+void BM_SlidingWindowSegmentation(benchmark::State& state) {
+  const Series& series = SharedWalk();
+  const double eps = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto pla = SegmentSeriesWithTolerance(series, eps);
+    SEGDIFF_CHECK(pla.ok());
+    benchmark::DoNotOptimize(pla->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(series.size()));
+}
+BENCHMARK(BM_SlidingWindowSegmentation)->Arg(10)->Arg(20)->Arg(80);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const Series& series = SharedWalk();
+  auto pla = SegmentSeriesWithTolerance(series, 0.2);
+  SEGDIFF_CHECK(pla.ok());
+  ExtractorOptions options;
+  options.eps = 0.2;
+  options.window_s = static_cast<double>(state.range(0)) * 3600.0;
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    rows = 0;
+    Status status = ExtractFeatures(
+        *pla, options,
+        [&rows](const PairFeatures&) {
+          ++rows;
+          return Status::OK();
+        },
+        nullptr);
+    SEGDIFF_CHECK_OK(status);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(1)->Arg(8);
+
+class TreeFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    path_ = std::string("/tmp/segdiff_bench_micro_tree.db");
+    std::remove(path_.c_str());
+    auto pager = Pager::Open(path_, true);
+    SEGDIFF_CHECK(pager.ok());
+    pager_ = std::move(pager).value();
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 8192);
+  }
+  void TearDown(const benchmark::State&) override {
+    pool_.reset();
+    pager_.reset();
+    std::remove(path_.c_str());
+  }
+
+ protected:
+  std::string path_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+};
+
+BENCHMARK_F(TreeFixture, BM_BPlusTreeInsert)(benchmark::State& state) {
+  auto tree = BPlusTree::Create(pool_.get(), 2);
+  SEGDIFF_CHECK(tree.ok());
+  Rng rng(7);
+  uint64_t rid = 0;
+  for (auto _ : state) {
+    IndexKey key;
+    key.vals[0] = rng.Uniform(0, 1e6);
+    key.vals[1] = rng.Uniform(-100, 100);
+    key.rid = rid++;
+    SEGDIFF_CHECK_OK(tree->Insert(key));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK_F(TreeFixture, BM_BPlusTreeSeek)(benchmark::State& state) {
+  auto tree = BPlusTree::Create(pool_.get(), 2);
+  SEGDIFF_CHECK(tree.ok());
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    IndexKey key;
+    key.vals[0] = rng.Uniform(0, 1e6);
+    key.vals[1] = rng.Uniform(-100, 100);
+    key.rid = static_cast<uint64_t>(i);
+    SEGDIFF_CHECK_OK(tree->Insert(key));
+  }
+  for (auto _ : state) {
+    auto it = tree->Seek(IndexKey::LowerBound({rng.Uniform(0, 1e6)}));
+    SEGDIFF_CHECK(it.ok());
+    benchmark::DoNotOptimize(it->Valid());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK_F(TreeFixture, BM_BufferPoolFetchHit)(benchmark::State& state) {
+  auto handle = pool_->AllocatePinned();
+  SEGDIFF_CHECK(handle.ok());
+  const PageId id = handle->page_id();
+  handle->Release();
+  for (auto _ : state) {
+    auto again = pool_->Fetch(id);
+    SEGDIFF_CHECK(again.ok());
+    benchmark::DoNotOptimize(again->data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_ModelGEvaluation(benchmark::State& state) {
+  const Series& series = SharedWalk();
+  ModelGEvaluator eval(series);
+  Rng rng(3);
+  const double lo = series.front().t;
+  const double hi = series.back().t;
+  for (auto _ : state) {
+    auto v = eval.ValueAt(rng.Uniform(lo, hi));
+    SEGDIFF_CHECK(v.ok());
+    benchmark::DoNotOptimize(*v);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ModelGEvaluation);
+
+void BM_PredicateMatch(benchmark::State& state) {
+  Predicate predicate;
+  predicate.And(0, CmpOp::kLe, 3600.0).And(1, CmpOp::kLe, -3.0);
+  char record[40];
+  Rng rng(5);
+  EncodeDouble(record, rng.Uniform(0, 8 * 3600));
+  EncodeDouble(record + 8, rng.Uniform(-10, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predicate.Matches(record));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredicateMatch);
+
+}  // namespace
+}  // namespace segdiff
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Reproduces the window-size experiments (Section 6.2):
+//   Figure 12: feature size with w varied (both approaches, ~linear)
+//   Figure 13: sequential-scan time with w varied
+//   Table 7:  ratio of feature sizes r_f and disk sizes r_d with w varied
+//
+// eps fixed at 0.2; w sweeps {1, 4, 8, 12, 16} hours as in the paper.
+
+#include <functional>
+#include <iostream>
+
+#include "benchutil/report.h"
+#include "benchutil/workload.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "segdiff/exh_index.h"
+#include "segdiff/segdiff_index.h"
+
+namespace segdiff {
+namespace {
+
+constexpr double kWindowHours[] = {1, 4, 8, 12, 16};
+constexpr double kPaperRf[] = {5.89, 9.98, 11.97, 13.14, 13.94};
+constexpr double kPaperRd[] = {4.51, 7.30, 8.66, 9.53, 10.18};
+
+int RunBench() {
+  const WorkloadConfig config = WorkloadConfig::FromEnv();
+  const DiskSim disk = DiskSim::FromEnv();
+  const int reps =
+      static_cast<int>(GetEnvInt64("SEGDIFF_BENCH_QUERY_REPS", 3));
+  auto series_or = MakeSmoothedBenchSeries(config);
+  SEGDIFF_CHECK(series_or.ok()) << series_or.status().ToString();
+  const Series& series = *series_or;
+  const double T = PaperDefaults::kTSeconds;
+  const double V = PaperDefaults::kVDegrees;
+  std::cout << "workload: " << series.size()
+            << " observations; eps = 0.2; default query, cold cache\n";
+
+  PrintBanner(std::cout, "Figures 12-13 + Table 7: window size sweep");
+  TablePrinter table({"w (h)", "SegDiff feat", "Exh feat", "r_f", "(paper)",
+                      "r_d", "(paper)", "SegDiff seq ms", "Exh seq ms"});
+  SearchOptions seq;
+  seq.mode = QueryMode::kSeqScan;
+  int row = 0;
+  for (double hours : kWindowHours) {
+    const double w = hours * kHourSeconds;
+
+    const std::string exh_path = BenchDbPath("window_exh_" + Fmt(hours, 0));
+    ExhOptions exh_options;
+    exh_options.window_s = w;
+    exh_options.sim_seq_read_ns = disk.seq_ns;
+    exh_options.sim_random_read_ns = disk.random_ns;
+    auto exh = ExhIndex::Open(exh_path, exh_options);
+    SEGDIFF_CHECK(exh.ok());
+    SEGDIFF_CHECK_OK((*exh)->IngestSeries(series));
+
+    const std::string seg_path =
+        BenchDbPath("window_segdiff_" + Fmt(hours, 0));
+    SegDiffOptions options;
+    options.eps = PaperDefaults::kEps;
+    options.window_s = w;
+    options.sim_seq_read_ns = disk.seq_ns;
+    options.sim_random_read_ns = disk.random_ns;
+    auto index = SegDiffIndex::Open(seg_path, options);
+    SEGDIFF_CHECK(index.ok());
+    SEGDIFF_CHECK_OK((*index)->IngestSeries(series));
+
+    auto time_cold = [&](const std::function<double()>& run,
+                         const std::function<Status()>& drop) {
+      double total = 0.0;
+      for (int i = 0; i < reps; ++i) {
+        SEGDIFF_CHECK_OK(drop());
+        total += run();
+      }
+      return total / reps;
+    };
+    const double seg_seq = time_cold(
+        [&] {
+          SearchStats stats;
+          SEGDIFF_CHECK((*index)->SearchDrops(T, V, seq, &stats).ok());
+          return stats.seconds;
+        },
+        [&] { return (*index)->DropCaches(); });
+    const double exh_seq = time_cold(
+        [&] {
+          SearchStats stats;
+          SEGDIFF_CHECK((*exh)->SearchDrops(T, V, seq, &stats).ok());
+          return stats.seconds;
+        },
+        [&] { return (*exh)->DropCaches(); });
+
+    const SegDiffSizes seg_sizes = (*index)->GetSizes();
+    const ExhSizes exh_sizes = (*exh)->GetSizes();
+    const double r_f = static_cast<double>(exh_sizes.feature_bytes) /
+                       static_cast<double>(seg_sizes.feature_bytes);
+    const double r_d =
+        static_cast<double>(exh_sizes.feature_bytes + exh_sizes.index_bytes) /
+        static_cast<double>(seg_sizes.feature_bytes + seg_sizes.index_bytes);
+    table.AddRow({Fmt(hours, 0), HumanBytes(seg_sizes.feature_bytes),
+                  HumanBytes(exh_sizes.feature_bytes), Fmt(r_f, 2),
+                  Fmt(kPaperRf[row], 2), Fmt(r_d, 2), Fmt(kPaperRd[row], 2),
+                  Fmt(seg_seq * 1e3, 2), Fmt(exh_seq * 1e3, 2)});
+    RemoveBenchDb(seg_path);
+    RemoveBenchDb(exh_path);
+    ++row;
+  }
+  table.Print(std::cout);
+  std::cout << "expected shape: both feature sizes grow ~linearly with w "
+               "but r_f INCREASES with w (paper Section 6.2).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace segdiff
+
+int main() { return segdiff::RunBench(); }

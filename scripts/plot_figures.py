@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Plot the paper's Figure 1 from the CSVs written by bench_figure1.
+
+Usage:
+    ./build/bench/bench_figure1          # writes /tmp/figure1_*.csv
+    python3 scripts/plot_figures.py [--dir /tmp] [--out figure1.png]
+
+Requires matplotlib (optional dependency; the bench itself renders an
+ASCII version so the reproduction does not depend on Python).
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def read_rows(path):
+    rows = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            rows.append([float(x) for x in line.split(",")])
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--dir", default=os.environ.get("TMPDIR", "/tmp"))
+    parser.add_argument("--out", default="figure1.png")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; the ASCII plot from "
+              "bench_figure1 is the fallback", file=sys.stderr)
+        return 1
+
+    data = read_rows(os.path.join(args.dir, "figure1_data.csv"))
+    segments = read_rows(os.path.join(args.dir, "figure1_segments.csv"))
+    results = read_rows(os.path.join(args.dir, "figure1_result.csv"))
+
+    fig, axes = plt.subplots(3, 1, figsize=(10, 9), sharex=True)
+    ts = [r[0] / 3600.0 for r in data]
+    vs = [r[1] for r in data]
+
+    axes[0].plot(ts, vs, ".", markersize=2, color="#1f77b4")
+    axes[0].set_title("(a) data")
+    axes[0].set_ylabel("temperature (C)")
+
+    axes[1].plot(ts, vs, ".", markersize=1, color="#cccccc")
+    for t0, v0, t1, v1 in segments:
+        axes[1].plot([t0 / 3600.0, t1 / 3600.0], [v0, v1], "-",
+                     color="#d62728", linewidth=1)
+    axes[1].set_title("(b) segments: piecewise linear approximation")
+    axes[1].set_ylabel("temperature (C)")
+
+    axes[2].plot(ts, vs, ".", markersize=2, color="#1f77b4")
+    if results:
+        t_d, t_c, t_b, t_a = results[0]
+        for t in (t_d, t_c, t_b, t_a):
+            axes[2].axvline(t / 3600.0, color="#2ca02c", linewidth=1)
+    axes[2].set_title("(c) a search result overlaid (four time stamps)")
+    axes[2].set_xlabel("hour of day")
+    axes[2].set_ylabel("temperature (C)")
+
+    fig.tight_layout()
+    fig.savefig(args.out, dpi=150)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+// Plain-text table/figure output for the bench harness.
+
+#ifndef SEGDIFF_BENCHUTIL_REPORT_H_
+#define SEGDIFF_BENCHUTIL_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace segdiff {
+
+/// Fixed-width aligned table, printed like the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double ("1.23").
+std::string Fmt(double value, int precision = 2);
+
+/// Human-readable byte count ("12.3 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Section banner ("== Table 3: ... ==").
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_BENCHUTIL_REPORT_H_

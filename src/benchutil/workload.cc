@@ -1,0 +1,72 @@
+#include "benchutil/workload.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/env.h"
+#include "ts/smoothing.h"
+
+namespace segdiff {
+
+WorkloadConfig WorkloadConfig::FromEnv() {
+  WorkloadConfig config;
+  const double scale = GetEnvDouble("SEGDIFF_BENCH_SCALE", 1.0);
+  config.num_days = static_cast<int>(
+      GetEnvInt64("SEGDIFF_BENCH_DAYS", config.num_days));
+  if (scale > 0.0) {
+    config.num_days =
+        std::max(1, static_cast<int>(config.num_days * scale));
+  }
+  config.sensor_count = static_cast<int>(
+      GetEnvInt64("SEGDIFF_BENCH_SENSORS", config.sensor_count));
+  config.seed = static_cast<uint64_t>(
+      GetEnvInt64("SEGDIFF_BENCH_SEED", static_cast<int64_t>(config.seed)));
+  return config;
+}
+
+CadGeneratorOptions MakeGeneratorOptions(const WorkloadConfig& config) {
+  CadGeneratorOptions options;
+  options.seed = config.seed;
+  options.num_days = config.num_days;
+  options.sample_interval_s = config.sample_interval_s;
+  options.ar1_sigma_c = config.ar1_sigma;
+  return options;
+}
+
+Result<CadSeries> MakeBenchSeries(const WorkloadConfig& config) {
+  return GenerateCadSeries(MakeGeneratorOptions(config));
+}
+
+Result<Series> MakeSmoothedBenchSeries(const WorkloadConfig& config) {
+  SEGDIFF_ASSIGN_OR_RETURN(CadSeries raw, MakeBenchSeries(config));
+  SEGDIFF_ASSIGN_OR_RETURN(Series filtered,
+                           HampelFilter(raw.series, HampelOptions{}));
+  LoessOptions loess;
+  loess.bandwidth_s = config.loess_bandwidth_s;
+  loess.robust_iterations = 1;
+  return RobustLoess(filtered, loess);
+}
+
+DiskSim DiskSim::FromEnv() {
+  DiskSim sim;
+  sim.seq_ns = static_cast<uint64_t>(
+      GetEnvInt64("SEGDIFF_SIM_SEQ_US",
+                  static_cast<int64_t>(sim.seq_ns / 1000)) *
+      1000);
+  sim.random_ns = static_cast<uint64_t>(
+      GetEnvInt64("SEGDIFF_SIM_RANDOM_US",
+                  static_cast<int64_t>(sim.random_ns / 1000)) *
+      1000);
+  return sim;
+}
+
+std::string BenchDbPath(const std::string& name) {
+  const std::string dir = GetEnvString("TMPDIR", "/tmp");
+  std::string path = dir + "/segdiff_bench_" + name + ".db";
+  std::remove(path.c_str());
+  return path;
+}
+
+void RemoveBenchDb(const std::string& path) { std::remove(path.c_str()); }
+
+}  // namespace segdiff

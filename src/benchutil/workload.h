@@ -1,0 +1,81 @@
+// Shared bench workload configuration.
+//
+// Every bench binary draws its data from the synthetic CAD transect with
+// the paper's default parameters (eps = 0.2 degC, w = 8 h, T = 1 h,
+// V = -3 degC; Section 6). SEGDIFF_BENCH_SCALE scales the horizon so the
+// same binaries run as quick smoke checks or as full reproductions.
+
+#ifndef SEGDIFF_BENCHUTIL_WORKLOAD_H_
+#define SEGDIFF_BENCHUTIL_WORKLOAD_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ts/generator.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+constexpr double kHourSeconds = 3600.0;
+
+/// Paper default query/build parameters (Section 6).
+struct PaperDefaults {
+  static constexpr double kEps = 0.2;
+  static constexpr double kWindowS = 8.0 * kHourSeconds;
+  static constexpr double kTSeconds = 1.0 * kHourSeconds;
+  static constexpr double kVDegrees = -3.0;
+};
+
+/// Bench data-set configuration, environment-overridable.
+struct WorkloadConfig {
+  uint64_t seed = 20080325;
+  int num_days = 14;       ///< per sensor; scaled by SEGDIFF_BENCH_SCALE
+  int sensor_count = 1;
+  double sample_interval_s = 300.0;
+  /// Raw-noise and smoothing calibration: with ar1_sigma = 0.25 and a
+  /// robust LOESS at 1500 s bandwidth, the smoothed series reproduces
+  /// the paper's Table 3 compression rates (r ~ 4.7..18.6 over
+  /// eps = 0.1..1.0) on the default horizon.
+  double ar1_sigma = 0.25;
+  double loess_bandwidth_s = 1500.0;
+
+  /// Reads SEGDIFF_BENCH_SCALE (float, default 1.0), SEGDIFF_BENCH_DAYS,
+  /// SEGDIFF_BENCH_SENSORS, SEGDIFF_BENCH_SEED.
+  static WorkloadConfig FromEnv();
+};
+
+/// One sensor's series under the config (sensor 0).
+Result<CadSeries> MakeBenchSeries(const WorkloadConfig& config);
+
+/// The series the paper actually indexes: generated, anomaly-filtered
+/// (Hampel), then smoothed "with robust weights" (robust LOESS).
+Result<Series> MakeSmoothedBenchSeries(const WorkloadConfig& config);
+
+/// Generator options matching the config.
+CadGeneratorOptions MakeGeneratorOptions(const WorkloadConfig& config);
+
+/// Simulated disk parameters for the timed (cold-cache) benches. The
+/// paper's testbed read from a 2007 SATA disk with flushed OS caches;
+/// on RAM-backed /tmp both access paths would look free, so the pager
+/// injects a per-page latency: `seq_ns` for sequential page reads
+/// (bandwidth) and `random_ns` for non-sequential ones (seek). Defaults
+/// keep the seek/scan cost ratio of a rotating disk at bench-friendly
+/// absolute values; override with SEGDIFF_SIM_SEQ_US /
+/// SEGDIFF_SIM_RANDOM_US (0 disables).
+struct DiskSim {
+  uint64_t seq_ns = 20000;      ///< 20 us/page ~ 400 MB/s scan
+  uint64_t random_ns = 400000;  ///< 400 us/page: 20x seek penalty
+
+  static DiskSim FromEnv();
+};
+
+/// A fresh temporary file path under TMPDIR for bench databases; the
+/// previous file at that path is removed.
+std::string BenchDbPath(const std::string& name);
+
+/// Removes a bench database file (best effort).
+void RemoveBenchDb(const std::string& path);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_BENCHUTIL_WORKLOAD_H_

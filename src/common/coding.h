@@ -1,0 +1,53 @@
+// Fixed-width little-endian encoding for on-disk records and index keys.
+
+#ifndef SEGDIFF_COMMON_CODING_H_
+#define SEGDIFF_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace segdiff {
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline void EncodeDouble(char* dst, double value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline double DecodeDouble(const char* src) {
+  double value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  std::memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t value;
+  std::memcpy(&value, src, sizeof(value));
+  return value;
+}
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_CODING_H_

@@ -1,0 +1,25 @@
+// Environment-variable configuration helpers.
+
+#ifndef SEGDIFF_COMMON_ENV_H_
+#define SEGDIFF_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace segdiff {
+
+/// Returns the integer value of environment variable `name`, or
+/// `default_value` when unset or unparsable.
+int64_t GetEnvInt64(const char* name, int64_t default_value);
+
+/// Returns the double value of environment variable `name`, or
+/// `default_value` when unset or unparsable.
+double GetEnvDouble(const char* name, double default_value);
+
+/// Returns the string value of environment variable `name`, or
+/// `default_value` when unset.
+std::string GetEnvString(const char* name, const std::string& default_value);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_ENV_H_

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/env.h"
+
+namespace segdiff {
+namespace {
+
+std::atomic<int> g_min_level{-1};  // -1 == uninitialized
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  int level = g_min_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(
+        GetEnvInt64("SEGDIFF_LOG_LEVEL", static_cast<int>(LogLevel::kWarn)));
+    if (level < 0 || level > 3) {
+      level = static_cast<int>(LogLevel::kWarn);
+    }
+    g_min_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(MinLogLevel())) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), file, line,
+               message.c_str());
+}
+
+void FatalMessage(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[FATAL %s:%d] %s\n", file, line, message.c_str());
+  std::abort();
+}
+
+}  // namespace segdiff

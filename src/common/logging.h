@@ -1,0 +1,95 @@
+// Minimal leveled logging and invariant-check macros.
+//
+// SEGDIFF_CHECK* abort on violation in all build types: storage-engine
+// invariants (page bounds, tree ordering) must never be silently ignored.
+
+#ifndef SEGDIFF_COMMON_LOGGING_H_
+#define SEGDIFF_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace segdiff {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimum level that is emitted; configurable via SEGDIFF_LOG_LEVEL
+/// (0=debug .. 3=error). Defaults to kWarn so tests/benches stay quiet.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Writes one formatted line to stderr if `level >= MinLogLevel()`.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+/// Aborts the process after logging `message` with source location.
+[[noreturn]] void FatalMessage(const char* file, int line,
+                               const std::string& message);
+
+namespace internal {
+
+/// Stream collector used by the logging macros.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+class FatalStream {
+ public:
+  FatalStream(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalStream() { FatalMessage(file_, line_, stream_.str()); }
+
+  template <typename T>
+  FatalStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace segdiff
+
+#define SEGDIFF_LOG(level)                                            \
+  ::segdiff::internal::LogStream(::segdiff::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#define SEGDIFF_CHECK(cond)                                   \
+  if (cond) {                                                 \
+  } else /* NOLINT */                                         \
+    ::segdiff::internal::FatalStream(__FILE__, __LINE__)      \
+        << "Check failed: " #cond " "
+
+#define SEGDIFF_CHECK_OK(expr)                                 \
+  do {                                                         \
+    ::segdiff::Status _segdiff_check_status__ = (expr);        \
+    SEGDIFF_CHECK(_segdiff_check_status__.ok())                \
+        << _segdiff_check_status__.ToString();                 \
+  } while (false)
+
+#define SEGDIFF_CHECK_EQ(a, b) SEGDIFF_CHECK((a) == (b)) << (a) << " vs " << (b) << " "
+#define SEGDIFF_CHECK_NE(a, b) SEGDIFF_CHECK((a) != (b))
+#define SEGDIFF_CHECK_LT(a, b) SEGDIFF_CHECK((a) < (b)) << (a) << " vs " << (b) << " "
+#define SEGDIFF_CHECK_LE(a, b) SEGDIFF_CHECK((a) <= (b)) << (a) << " vs " << (b) << " "
+#define SEGDIFF_CHECK_GT(a, b) SEGDIFF_CHECK((a) > (b)) << (a) << " vs " << (b) << " "
+#define SEGDIFF_CHECK_GE(a, b) SEGDIFF_CHECK((a) >= (b)) << (a) << " vs " << (b) << " "
+
+#endif  // SEGDIFF_COMMON_LOGGING_H_

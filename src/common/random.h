@@ -1,0 +1,103 @@
+// Deterministic pseudo-random generation for workloads and tests.
+//
+// xoshiro256** seeded via SplitMix64. All synthetic data in the repo is
+// produced through Rng so experiments are reproducible bit-for-bit given
+// the same seed.
+
+#ifndef SEGDIFF_COMMON_RANDOM_H_
+#define SEGDIFF_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace segdiff {
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the state deterministically from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0xC0FFEE1234ABCDEFull) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(&x);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformU64(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformU64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (one value per call; the pair's second
+  /// value is cached).
+  double Gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = radius * std::sin(angle);
+    has_cached_ = true;
+    return radius * std::cos(angle);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_RANDOM_H_

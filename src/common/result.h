@@ -1,0 +1,73 @@
+// Result<T>: value-or-Status, the StatusOr idiom.
+
+#ifndef SEGDIFF_COMMON_RESULT_H_
+#define SEGDIFF_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace segdiff {
+
+/// Holds either a value of type T or a non-OK Status describing why the
+/// value could not be produced. Accessing value() on an error aborts in
+/// debug builds (undefined in release), so callers must check ok() first
+/// or use SEGDIFF_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must be non-OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace segdiff
+
+/// Evaluates `expr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value into `lhs`.
+#define SEGDIFF_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto SEGDIFF_CONCAT_(_res_, __LINE__) = (expr); \
+  if (!SEGDIFF_CONCAT_(_res_, __LINE__).ok()) {   \
+    return SEGDIFF_CONCAT_(_res_, __LINE__).status(); \
+  }                                               \
+  lhs = std::move(SEGDIFF_CONCAT_(_res_, __LINE__)).value()
+
+#define SEGDIFF_CONCAT_INNER_(a, b) a##b
+#define SEGDIFF_CONCAT_(a, b) SEGDIFF_CONCAT_INNER_(a, b)
+
+#endif  // SEGDIFF_COMMON_RESULT_H_

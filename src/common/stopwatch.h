@@ -1,0 +1,33 @@
+// Wall-clock timing helper for benches.
+
+#ifndef SEGDIFF_COMMON_STOPWATCH_H_
+#define SEGDIFF_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace segdiff {
+
+/// Measures elapsed wall time; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_STOPWATCH_H_

@@ -1,0 +1,77 @@
+#include "feature/cases.h"
+
+namespace segdiff {
+
+std::string_view SearchKindName(SearchKind kind) {
+  return kind == SearchKind::kDrop ? "drop" : "jump";
+}
+
+SlopeCase ClassifySlopeCase(double k_cd, double k_ab) {
+  if (k_cd >= 0.0) {
+    if (k_ab >= k_cd) {
+      return SlopeCase::kCase2;
+    }
+    if (k_ab <= 0.0) {
+      return SlopeCase::kCase1;
+    }
+    return SlopeCase::kCase3;
+  }
+  if (k_ab >= 0.0) {
+    return SlopeCase::kCase4;
+  }
+  if (k_ab <= k_cd) {
+    return SlopeCase::kCase5;
+  }
+  return SlopeCase::kCase6;
+}
+
+int TableTwoCornerCount(SlopeCase slope_case, SearchKind kind) {
+  if (kind == SearchKind::kDrop) {
+    switch (slope_case) {
+      case SlopeCase::kCase1:
+        return 2;  // BC, AC
+      case SlopeCase::kCase2:
+      case SlopeCase::kCase3:
+        return 1;  // BC
+      case SlopeCase::kCase4:
+        return 2;  // BC, BD
+      case SlopeCase::kCase5:
+      case SlopeCase::kCase6:
+        return 3;  // BC, AC/BD, AD
+    }
+  } else {
+    switch (slope_case) {
+      case SlopeCase::kCase1:
+        return 2;  // BC, BD
+      case SlopeCase::kCase2:
+      case SlopeCase::kCase3:
+        return 3;  // BC, AC/BD, AD
+      case SlopeCase::kCase4:
+        return 2;  // BC, AC
+      case SlopeCase::kCase5:
+      case SlopeCase::kCase6:
+        return 1;  // BC
+    }
+  }
+  return 0;
+}
+
+std::string_view SlopeCaseName(SlopeCase slope_case) {
+  switch (slope_case) {
+    case SlopeCase::kCase1:
+      return "case1";
+    case SlopeCase::kCase2:
+      return "case2";
+    case SlopeCase::kCase3:
+      return "case3";
+    case SlopeCase::kCase4:
+      return "case4";
+    case SlopeCase::kCase5:
+      return "case5";
+    case SlopeCase::kCase6:
+      return "case6";
+  }
+  return "unknown";
+}
+
+}  // namespace segdiff

@@ -1,0 +1,49 @@
+// The paper's Table 2: classification of a segment pair by the signs and
+// order of the two slopes, and the corner points each case needs.
+//
+// The classifier is redundant with the frontier computation
+// (feature/frontier.h) by construction; it exists (1) to reproduce the
+// Table 4 corner-distribution experiment in the paper's own vocabulary
+// and (2) as an independent cross-check in tests.
+
+#ifndef SEGDIFF_FEATURE_CASES_H_
+#define SEGDIFF_FEATURE_CASES_H_
+
+#include <string_view>
+
+namespace segdiff {
+
+/// Search direction: drops (dv <= V < 0) or jumps (dv >= V > 0).
+enum class SearchKind : unsigned char { kDrop = 0, kJump = 1 };
+
+std::string_view SearchKindName(SearchKind kind);
+
+/// Paper Table 2 cases. Boundary convention (ties resolved so every slope
+/// pair maps to exactly one case):
+///   k_CD >= 0:  case 2 if k_AB >= k_CD; case 1 if k_AB <= 0;
+///               case 3 otherwise (0 < k_AB < k_CD).
+///   k_CD <  0:  case 4 if k_AB >= 0; case 5 if k_AB <= k_CD;
+///               case 6 otherwise (k_CD < k_AB < 0).
+/// (Table 2 prints case 5 as "k_AB >= k_CD"; the appendix text and the
+/// geometry give k_AB <= k_CD, which we follow.)
+enum class SlopeCase : unsigned char {
+  kCase1 = 1,
+  kCase2 = 2,
+  kCase3 = 3,
+  kCase4 = 4,
+  kCase5 = 5,
+  kCase6 = 6,
+};
+
+/// Classifies the slope pair per Table 2.
+SlopeCase ClassifySlopeCase(double k_cd, double k_ab);
+
+/// Number of boundary corner points Table 2 lists for the case and search
+/// kind (the maximum across the case's sub-cases, e.g. case 5 drop -> 3).
+int TableTwoCornerCount(SlopeCase slope_case, SearchKind kind);
+
+std::string_view SlopeCaseName(SlopeCase slope_case);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_FEATURE_CASES_H_

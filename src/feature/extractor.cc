@@ -1,0 +1,115 @@
+#include "feature/extractor.h"
+
+#include <cmath>
+#include <utility>
+
+#include "feature/frontier.h"
+
+namespace segdiff {
+
+FeatureExtractor::FeatureExtractor(const ExtractorOptions& options, Sink sink)
+    : options_(options), sink_(std::move(sink)) {}
+
+Status FeatureExtractor::EmitPair(const Parallelogram& parallelogram,
+                                  const PairId& id, bool self_pair) {
+  const SlopeCase slope_case =
+      ClassifySlopeCase(parallelogram.k_cd(), parallelogram.k_ab());
+  if (!self_pair) {
+    ++stats_.case_hist[static_cast<int>(slope_case)];
+  }
+  for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
+    if (kind == SearchKind::kDrop && !options_.collect_drops) {
+      continue;
+    }
+    if (kind == SearchKind::kJump && !options_.collect_jumps) {
+      continue;
+    }
+    const Frontier frontier = ComputeFrontier(parallelogram, kind);
+    if (!self_pair && frontier.count >= 1 && frontier.count <= 3) {
+      ++stats_.frontier_hist[static_cast<int>(kind)][frontier.count];
+    }
+    const StoredCorners corners =
+        CollectStoredCorners(frontier, options_.eps, kind);
+    if (corners.count == 0) {
+      continue;
+    }
+    PairFeatures row;
+    row.id = id;
+    row.kind = kind;
+    row.slope_case = slope_case;
+    row.self_pair = self_pair;
+    row.corners = corners;
+    ++stats_.rows_emitted;
+    stats_.corners_emitted += static_cast<uint64_t>(corners.count);
+    SEGDIFF_RETURN_IF_ERROR(sink_(row));
+  }
+  return Status::OK();
+}
+
+Status FeatureExtractor::AddSegment(const DataSegment& segment) {
+  if (options_.eps < 0.0) {
+    return Status::InvalidArgument("eps must be >= 0");
+  }
+  if (options_.window_s <= 0.0) {
+    return Status::InvalidArgument("window_s must be positive");
+  }
+  if (!(segment.start.t < segment.end.t)) {
+    return Status::InvalidArgument("degenerate data segment");
+  }
+  if (has_last_ && segment.start.t < last_end_t_) {
+    return Status::InvalidArgument(
+        "segments must arrive in temporal order without overlap");
+  }
+  ++stats_.segments_in;
+  last_end_t_ = segment.end.t;
+  has_last_ = true;
+
+  const double win_start = segment.start.t - options_.window_s;
+
+  // Evict segments that cannot contribute to this or any later window
+  // (window starts only move right as segments arrive in time order).
+  while (!window_.empty() && window_.front().end.t <= win_start) {
+    window_.pop_front();
+  }
+
+  // Self pair first: events inside the new segment itself.
+  if (options_.include_self_pairs) {
+    ++stats_.self_pairs;
+    const PairId self_id{segment.start.t, segment.end.t, segment.start.t,
+                         segment.end.t};
+    SEGDIFF_RETURN_IF_ERROR(
+        EmitPair(Parallelogram::FromSelf(segment), self_id, true));
+  }
+
+  for (const DataSegment& prev : window_) {
+    DataSegment cd = prev;
+    if (cd.start.t < win_start) {
+      // Algorithm 1 line 4: truncate CD to start at win.start.
+      cd.start = Sample{win_start, prev.ValueAt(win_start)};
+    }
+    ++stats_.cross_pairs;
+    SEGDIFF_ASSIGN_OR_RETURN(Parallelogram parallelogram,
+                             Parallelogram::FromSegments(cd, segment));
+    const PairId id{cd.start.t, cd.end.t, segment.start.t, segment.end.t};
+    SEGDIFF_RETURN_IF_ERROR(EmitPair(parallelogram, id, false));
+  }
+
+  window_.push_back(segment);
+  return Status::OK();
+}
+
+Status ExtractFeatures(const PiecewiseLinear& pla,
+                       const ExtractorOptions& options,
+                       const FeatureExtractor::Sink& sink,
+                       ExtractorStats* stats) {
+  FeatureExtractor extractor(options, sink);
+  for (const DataSegment& segment : pla.segments()) {
+    SEGDIFF_RETURN_IF_ERROR(extractor.AddSegment(segment));
+  }
+  if (stats != nullptr) {
+    *stats = extractor.stats();
+  }
+  return Status::OK();
+}
+
+}  // namespace segdiff

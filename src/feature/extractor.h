@@ -1,0 +1,82 @@
+// Online feature extraction (paper Algorithm 1).
+//
+// For every newly produced data segment AB, the extractor pairs it with
+// every previous segment CD whose end lies inside the time window
+// (t_B - w, t_A], truncating CD at win.start = t_B - w when it starts
+// earlier, plus AB itself (the degenerate self pair that captures events
+// within one segment). Each pair yields up to one drop and one jump
+// feature row via frontier reduction + eps-shift collection.
+
+#ifndef SEGDIFF_FEATURE_EXTRACTOR_H_
+#define SEGDIFF_FEATURE_EXTRACTOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/result.h"
+#include "feature/schema.h"
+#include "segment/pla.h"
+#include "segment/segment.h"
+
+namespace segdiff {
+
+/// Extraction parameters.
+struct ExtractorOptions {
+  double eps = 0.2;          ///< user error tolerance (segmentation ran at eps/2)
+  double window_s = 28800.0; ///< w: longest supported query time span (8 h)
+  bool collect_drops = true;
+  bool collect_jumps = true;
+  bool include_self_pairs = true;
+};
+
+/// Counters for analysis benches (Tables 3-4) and sanity checks.
+struct ExtractorStats {
+  uint64_t segments_in = 0;
+  uint64_t cross_pairs = 0;
+  uint64_t self_pairs = 0;
+  uint64_t rows_emitted = 0;     ///< PairFeatures with >= 1 corner
+  uint64_t corners_emitted = 0;  ///< total stored corner points
+  /// Frontier-size histogram over cross pairs, [kind][corner_count 1..3]
+  /// (index 0 unused). Drop row reproduces the paper's Table 4.
+  uint64_t frontier_hist[2][4] = {{0, 0, 0, 0}, {0, 0, 0, 0}};
+  /// Cross pairs by Table 2 slope case (index 1..6; 0 unused).
+  uint64_t case_hist[7] = {0, 0, 0, 0, 0, 0, 0};
+};
+
+/// Streaming extractor; emits feature rows through the sink in the order
+/// pairs are formed. Segments must arrive in temporal order and must not
+/// overlap (contiguous chains from the segmenter always qualify).
+class FeatureExtractor {
+ public:
+  using Sink = std::function<Status(const PairFeatures&)>;
+
+  /// Fails later (in AddSegment) if options are invalid.
+  FeatureExtractor(const ExtractorOptions& options, Sink sink);
+
+  /// Processes one new data segment.
+  Status AddSegment(const DataSegment& segment);
+
+  const ExtractorStats& stats() const { return stats_; }
+
+ private:
+  Status EmitPair(const Parallelogram& parallelogram, const PairId& id,
+                  bool self_pair);
+
+  ExtractorOptions options_;
+  Sink sink_;
+  std::deque<DataSegment> window_;  ///< previous segments, oldest first
+  double last_end_t_ = 0.0;
+  bool has_last_ = false;
+  ExtractorStats stats_;
+};
+
+/// Convenience: runs the extractor over a whole approximation.
+Status ExtractFeatures(const PiecewiseLinear& pla,
+                       const ExtractorOptions& options,
+                       const FeatureExtractor::Sink& sink,
+                       ExtractorStats* stats = nullptr);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_FEATURE_EXTRACTOR_H_

@@ -1,0 +1,82 @@
+#include "feature/frontier.h"
+
+#include <algorithm>
+
+namespace segdiff {
+namespace {
+
+/// Appends `pt` unless it duplicates the previous corner (degenerate
+/// parallelograms collapse corners).
+void PushUnique(Frontier* frontier, const FeaturePoint& pt) {
+  if (frontier->count > 0 && frontier->pts[frontier->count - 1] == pt) {
+    return;
+  }
+  frontier->pts[frontier->count++] = pt;
+}
+
+}  // namespace
+
+Frontier ComputeFrontier(const Parallelogram& p, SearchKind kind) {
+  Frontier frontier;
+  const double k_min = std::min(p.k_cd(), p.k_ab());
+  const double k_max = std::max(p.k_cd(), p.k_ab());
+  if (kind == SearchKind::kDrop) {
+    // Lower chain: the minimum-slope edge leaves BC; its far corner is AC
+    // when that edge is the AB-slope edge, BD when it is the CD-slope edge.
+    const FeaturePoint& mid = p.k_ab() <= p.k_cd() ? p.ac() : p.bd();
+    PushUnique(&frontier, p.bc());
+    if (k_min < 0.0) {
+      PushUnique(&frontier, mid);
+      if (k_max < 0.0) {
+        PushUnique(&frontier, p.ad());
+      }
+    }
+  } else {
+    // Upper chain: maximum-slope edge first.
+    const FeaturePoint& mid = p.k_ab() >= p.k_cd() ? p.ac() : p.bd();
+    PushUnique(&frontier, p.bc());
+    if (k_max > 0.0) {
+      PushUnique(&frontier, mid);
+      if (k_min > 0.0) {
+        PushUnique(&frontier, p.ad());
+      }
+    }
+  }
+  return frontier;
+}
+
+StoredCorners CollectStoredCorners(const Frontier& frontier, double eps,
+                                   SearchKind kind) {
+  StoredCorners out;
+  if (frontier.count == 0) {
+    return out;
+  }
+  const double shift = kind == SearchKind::kDrop ? -eps : eps;
+  FeaturePoint shifted[3];
+  for (int i = 0; i < frontier.count; ++i) {
+    shifted[i] = {frontier.pts[i].dt, frontier.pts[i].dv + shift};
+  }
+  // A corner "indicates an event" when its shifted dv reaches the event
+  // side of zero: <= 0 for drops, >= 0 for jumps.
+  auto indicates = [kind](const FeaturePoint& pt) {
+    return kind == SearchKind::kDrop ? pt.dv <= 0.0 : pt.dv >= 0.0;
+  };
+  if (!indicates(shifted[frontier.count - 1])) {
+    return out;  // even the extreme corner shows no event: store nothing
+  }
+  // Keep the suffix from the last corner that does NOT indicate an event
+  // (it anchors the crossing edge's line query); keep all if none.
+  int first = 0;
+  for (int i = frontier.count - 1; i >= 0; --i) {
+    if (!indicates(shifted[i])) {
+      first = i;
+      break;
+    }
+  }
+  for (int i = first; i < frontier.count; ++i) {
+    out.pts[out.count++] = shifted[i];
+  }
+  return out;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,51 @@
+// Frontier reduction and eps-shifted feature collection
+// (paper Section 4.3.1 + appendix, unified).
+//
+// A drop query region {0 < dt <= T, dv <= V < 0} is downward-closed, so a
+// parallelogram intersects it iff its *lower-left frontier* — the chain of
+// coordinate-wise-minimal boundary points — does. Walking the lower chain
+// BC -> mid -> AD (minimum-slope edge first, mid = AC if k_AB <= k_CD else
+// BD), the frontier is:
+//   both slopes >= 0        -> {BC}               (Table 2 cases 2, 3)
+//   min < 0 <= max          -> {BC, mid}          (cases 1, 4)
+//   both slopes < 0         -> {BC, mid, AD}      (cases 5, 6)
+// Jump search mirrors this with the upper-left (maximal) frontier.
+//
+// Collection (Lemma 4): frontier corners are shifted by -eps (drop) /
+// +eps (jump); the stored set is the suffix of the frontier starting at
+// the last corner whose shifted dv is still on the wrong side of zero
+// (that corner anchors the line query for the crossing edge). Nothing is
+// stored when even the final corner cannot indicate an event.
+
+#ifndef SEGDIFF_FEATURE_FRONTIER_H_
+#define SEGDIFF_FEATURE_FRONTIER_H_
+
+#include "feature/cases.h"
+#include "feature/parallelogram.h"
+
+namespace segdiff {
+
+/// Up to three feature points in strictly increasing dt order with
+/// strictly monotone dv (decreasing for drop, increasing for jump).
+struct Frontier {
+  int count = 0;
+  FeaturePoint pts[3];
+};
+
+/// Computes the query-relevant frontier of `p` for `kind`. Consecutive
+/// duplicate corners (degenerate parallelograms) are collapsed.
+Frontier ComputeFrontier(const Parallelogram& p, SearchKind kind);
+
+/// eps-shifted corners selected for storage.
+struct StoredCorners {
+  int count = 0;          ///< 0 == nothing to store for this pair/kind
+  FeaturePoint pts[3];    ///< dv already shifted by -eps (drop) / +eps (jump)
+};
+
+/// Applies the shift-and-suffix collection rule. `eps >= 0`.
+StoredCorners CollectStoredCorners(const Frontier& frontier, double eps,
+                                   SearchKind kind);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_FEATURE_FRONTIER_H_

@@ -1,0 +1,83 @@
+#include "feature/parallelogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace segdiff {
+
+Result<Parallelogram> Parallelogram::FromSegments(const DataSegment& cd,
+                                                  const DataSegment& ab) {
+  if (ab.start.t < cd.end.t) {
+    return Status::InvalidArgument(
+        "segments must be non-overlapping with AB after CD");
+  }
+  if (!(cd.start.t < cd.end.t) || !(ab.start.t < ab.end.t)) {
+    return Status::InvalidArgument("degenerate data segment");
+  }
+  Parallelogram p;
+  const Sample& d = cd.start;
+  const Sample& c = cd.end;
+  const Sample& b = ab.start;
+  const Sample& a = ab.end;
+  p.bc_ = {b.t - c.t, b.v - c.v};
+  p.bd_ = {b.t - d.t, b.v - d.v};
+  p.ac_ = {a.t - c.t, a.v - c.v};
+  p.ad_ = {a.t - d.t, a.v - d.v};
+  p.k_cd_ = cd.Slope();
+  p.k_ab_ = ab.Slope();
+  p.self_ = false;
+  return p;
+}
+
+Parallelogram Parallelogram::FromSelf(const DataSegment& segment) {
+  Parallelogram p;
+  const FeaturePoint origin{0.0, 0.0};
+  const FeaturePoint span{segment.Duration(), segment.Rise()};
+  // AB shrunk to a point: BC == AC == (0,0) and BD == AD == span, so the
+  // region collapses to the feature segment (0,0)-(duration, rise).
+  p.bc_ = origin;
+  p.ac_ = origin;
+  p.bd_ = span;
+  p.ad_ = span;
+  p.k_cd_ = segment.Slope();
+  p.k_ab_ = segment.Slope();
+  p.self_ = true;
+  return p;
+}
+
+bool Parallelogram::Contains(const FeaturePoint& p, double tol) const {
+  // Solve p = bc + alpha * (bd - bc) + beta * (ac - bc).
+  const double e1x = bd_.dt - bc_.dt;
+  const double e1y = bd_.dv - bc_.dv;
+  const double e2x = ac_.dt - bc_.dt;
+  const double e2y = ac_.dv - bc_.dv;
+  const double px = p.dt - bc_.dt;
+  const double py = p.dv - bc_.dv;
+  const double det = e1x * e2y - e1y * e2x;
+  const double scale = std::max({std::abs(e1x * e2y), std::abs(e1y * e2x),
+                                 1e-300});
+  if (std::abs(det) < 1e-12 * scale) {
+    // Degenerate (collinear edges, e.g. self pairs or equal slopes):
+    // check p lies on the segment bc-ad within tolerance.
+    const double fx = ad_.dt - bc_.dt;
+    const double fy = ad_.dv - bc_.dv;
+    const double len2 = fx * fx + fy * fy;
+    if (len2 == 0.0) {
+      return std::abs(px) <= tol && std::abs(py) <= tol;
+    }
+    const double s = (px * fx + py * fy) / len2;
+    if (s < -tol || s > 1.0 + tol) {
+      return false;
+    }
+    const double rx = px - s * fx;
+    const double ry = py - s * fy;
+    const double diag = std::sqrt(len2);
+    return std::sqrt(rx * rx + ry * ry) <= tol * std::max(1.0, diag);
+  }
+  const double alpha = (px * e2y - py * e2x) / det;
+  const double beta = (e1x * py - e1y * px) / det;
+  return alpha >= -tol && alpha <= 1.0 + tol && beta >= -tol &&
+         beta <= 1.0 + tol;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,66 @@
+// Feature space and feature parallelograms (paper Sections 3 and 4.2).
+//
+// Feature space has axes (dt, dv). An event between time points t' < t''
+// maps to the feature point (t'' - t', v'' - v'). For two data segments
+// CD (earlier) and AB (later), the parallelogram with corners
+//   BC = (t_B - t_C, v_B - v_C)   BD = (t_B - t_D, v_B - v_D)
+//   AC = (t_A - t_C, v_A - v_C)   AD = (t_A - t_D, v_A - v_D)
+// captures exactly the feature points of all events with one end on CD
+// and the other on AB (Lemma 3). Edges (BC,BD)/(AC,AD) have slope k_CD;
+// edges (BC,AC)/(BD,AD) have slope k_AB.
+
+#ifndef SEGDIFF_FEATURE_PARALLELOGRAM_H_
+#define SEGDIFF_FEATURE_PARALLELOGRAM_H_
+
+#include "common/result.h"
+#include "segment/segment.h"
+
+namespace segdiff {
+
+/// A point (dt, dv) in feature space.
+struct FeaturePoint {
+  double dt = 0.0;
+  double dv = 0.0;
+
+  friend bool operator==(const FeaturePoint& a, const FeaturePoint& b) {
+    return a.dt == b.dt && a.dv == b.dv;
+  }
+};
+
+/// Feature parallelogram of an ordered segment pair, or the degenerate
+/// feature segment of a single data segment paired with itself.
+class Parallelogram {
+ public:
+  /// Builds the parallelogram for earlier segment `cd` and later segment
+  /// `ab`. Requires ab.start.t >= cd.end.t (non-overlapping, AB later);
+  /// fails with InvalidArgument otherwise.
+  static Result<Parallelogram> FromSegments(const DataSegment& cd,
+                                            const DataSegment& ab);
+
+  /// Degenerate form for events within one segment: the feature segment
+  /// from (0, 0) to (duration, rise). Both slopes equal the segment's.
+  static Parallelogram FromSelf(const DataSegment& segment);
+
+  const FeaturePoint& bc() const { return bc_; }
+  const FeaturePoint& bd() const { return bd_; }
+  const FeaturePoint& ac() const { return ac_; }
+  const FeaturePoint& ad() const { return ad_; }
+  double k_cd() const { return k_cd_; }
+  double k_ab() const { return k_ab_; }
+  /// True for the FromSelf degenerate form.
+  bool is_self() const { return self_; }
+
+  /// Whether `p` lies inside or on the parallelogram, with absolute
+  /// slack `tol` in the barycentric coordinates (testing helper).
+  bool Contains(const FeaturePoint& p, double tol = 1e-9) const;
+
+ private:
+  FeaturePoint bc_, bd_, ac_, ad_;
+  double k_cd_ = 0.0;
+  double k_ab_ = 0.0;
+  bool self_ = false;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_FEATURE_PARALLELOGRAM_H_

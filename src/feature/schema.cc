@@ -1,0 +1,4 @@
+#include "feature/schema.h"
+
+// Header is self-contained; this translation unit anchors it in the
+// library and holds nothing else.

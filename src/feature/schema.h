@@ -1,0 +1,60 @@
+// Feature record produced by extraction, and the byte accounting used in
+// the paper's compression analysis (Section 5.2).
+
+#ifndef SEGDIFF_FEATURE_SCHEMA_H_
+#define SEGDIFF_FEATURE_SCHEMA_H_
+
+#include <cstddef>
+
+#include "feature/cases.h"
+#include "feature/frontier.h"
+
+namespace segdiff {
+
+/// Identifies the ordered segment pair ((t_D, t_C), (t_B, t_A)) a feature
+/// row belongs to. t_D may be the window-truncation point rather than a
+/// real segment boundary (Algorithm 1 line 4). For self pairs,
+/// (t_d, t_c) == (t_b, t_a).
+struct PairId {
+  double t_d = 0.0;
+  double t_c = 0.0;
+  double t_b = 0.0;
+  double t_a = 0.0;
+
+  friend bool operator==(const PairId& x, const PairId& y) {
+    return x.t_d == y.t_d && x.t_c == y.t_c && x.t_b == y.t_b &&
+           x.t_a == y.t_a;
+  }
+};
+
+/// One extracted feature row: the eps-shifted frontier corners of one
+/// segment pair for one search kind.
+struct PairFeatures {
+  PairId id;
+  SearchKind kind = SearchKind::kDrop;
+  SlopeCase slope_case = SlopeCase::kCase1;  ///< meaningful for cross pairs
+  bool self_pair = false;
+  StoredCorners corners;  ///< count in [1, 3]; dv values already shifted
+};
+
+/// Columns per stored feature row in OUR layout: both coordinates of each
+/// of the k corners plus the three pair-identifying time stamps
+/// (t_A is recomputed from the segment directory): 2k + 3.
+constexpr size_t FeatureColumns(int corner_count) {
+  return 2 * static_cast<size_t>(corner_count) + 3;
+}
+
+/// Columns per row in the PAPER's accounting (Section 5.2: c2 = 5, 6, 7
+/// for 1, 2, 3 corners, i.e. k + 4). The paper elides the dt coordinates
+/// of trailing corners; its own Section 4.4 indexes need them, so we store
+/// them — see DESIGN.md. Exposed for the storage-accounting ablation.
+constexpr size_t PaperFeatureColumns(int corner_count) {
+  return static_cast<size_t>(corner_count) + 4;
+}
+
+/// Columns per row of the Exh baseline (dt, dv, anchor time stamp).
+constexpr size_t kExhColumns = 3;
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_FEATURE_SCHEMA_H_

@@ -1,0 +1,151 @@
+// B+-tree over composite double keys.
+//
+// Keys are K doubles (K in [1, 4]) plus a packed RecordId tiebreaker, so
+// every stored key is unique and the tree needs no duplicate handling.
+// Leaves form a forward-linked chain for range scans. The workload is
+// append/insert + range scan (the paper's feature tables are never
+// updated or deleted from), so deletion is intentionally unsupported.
+//
+// Node page layout (both kinds):
+//   [0]      u8  is_leaf
+//   [1]      u8  arity
+//   [2..3]   u16 entry count
+//   [4..7]   reserved
+//   [8..15]  u64 leaf: next-leaf page id / internal: leftmost child
+//   [16.. ]  entries
+// Leaf entry:      key (8*K + 8 bytes; the trailing 8 bytes are the rid)
+// Internal entry:  key (8*K + 8) + u64 right-child page id
+//
+// A one-page metadata block (magic, arity, root, counters) anchors the
+// tree; the catalog stores only that page id.
+
+#ifndef SEGDIFF_INDEX_BPLUS_TREE_H_
+#define SEGDIFF_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/extent.h"
+#include "storage/page.h"
+
+namespace segdiff {
+
+/// Maximum number of double components in a key.
+constexpr int kMaxIndexArity = 4;
+
+/// A composite key: `arity` doubles plus the record id tiebreaker.
+struct IndexKey {
+  double vals[kMaxIndexArity] = {0, 0, 0, 0};
+  uint64_t rid = 0;
+
+  /// Lexicographic comparison over the first `arity` doubles, then rid.
+  /// Returns <0, 0, >0.
+  static int Compare(const IndexKey& a, const IndexKey& b, int arity);
+
+  /// Smallest key whose double components equal `vals`: rid = 0.
+  static IndexKey LowerBound(const std::vector<double>& components);
+};
+
+/// Persistent B+-tree; all page access goes through the buffer pool.
+class BPlusTree {
+ public:
+  /// Allocates the metadata page and an empty root leaf.
+  static Result<BPlusTree> Create(BufferPool* pool, int arity);
+
+  /// Attaches to an existing tree via its metadata page.
+  static Result<BPlusTree> Attach(BufferPool* pool, PageId meta_page);
+
+  /// Inserts a key (duplicates in all components including rid are
+  /// rejected with AlreadyExists).
+  Status Insert(const IndexKey& key);
+
+  /// Removes a key; NotFound when absent. Leaves are not rebalanced
+  /// (deletes are rare in the append-mostly feature workload, so
+  /// under-full leaves are tolerated and space is reclaimed on the next
+  /// rebuild); all ordering/scan invariants are preserved.
+  Status Delete(const IndexKey& key);
+
+  /// Forward scanner positioned by Seek*; holds no pinned pages between
+  /// Next() calls, so it never starves the pool.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const IndexKey& key() const { return key_; }
+    /// Advances; Valid() turns false past the last key.
+    Status Next();
+
+   private:
+    friend class BPlusTree;
+    Iterator(const BPlusTree* tree, PageId leaf, uint16_t slot);
+    Status LoadCurrent();
+
+    const BPlusTree* tree_ = nullptr;
+    PageId leaf_ = kInvalidPageId;
+    uint16_t slot_ = 0;
+    bool valid_ = false;
+    IndexKey key_;
+  };
+
+  /// Positions at the first key >= `lower`.
+  Result<Iterator> Seek(const IndexKey& lower) const;
+
+  /// Positions at the smallest key.
+  Result<Iterator> SeekFirst() const;
+
+  uint64_t entry_count() const { return entry_count_; }
+  /// Pages owned by the tree (meta + nodes); SizeBytes() is the paper's
+  /// "index size" contribution.
+  uint64_t page_count() const { return page_count_; }
+  uint64_t SizeBytes() const { return page_count_ * kPageSize; }
+  PageId meta_page() const { return meta_page_; }
+  int arity() const { return arity_; }
+  int height() const { return height_; }
+
+  /// Walks the whole tree validating ordering, fences, and leaf chain;
+  /// used by tests.
+  Status CheckInvariants() const;
+
+ private:
+  BPlusTree(BufferPool* pool, PageId meta_page, int arity, PageId root,
+            uint64_t entry_count, uint64_t page_count, int height);
+
+  size_t KeyBytes() const { return 8 * static_cast<size_t>(arity_) + 8; }
+  size_t LeafEntryBytes() const { return KeyBytes(); }
+  size_t InternalEntryBytes() const { return KeyBytes() + 8; }
+  size_t LeafCapacity() const;
+  size_t InternalCapacity() const;
+
+  void EncodeKey(const IndexKey& key, char* dst) const;
+  IndexKey DecodeKey(const char* src) const;
+
+  /// Result of a child insert that overflowed: a separator to add.
+  struct SplitResult {
+    bool split = false;
+    IndexKey separator;
+    PageId right_page = kInvalidPageId;
+  };
+  Result<SplitResult> InsertInto(PageId node, const IndexKey& key);
+  Status PersistMeta();
+
+  Status CheckNode(PageId node, const IndexKey* lo, const IndexKey* hi,
+                   int depth, int* leaf_depth, uint64_t* entries,
+                   std::vector<PageId>* leaves_in_order) const;
+
+  /// Allocates a node page from this tree's extents.
+  Result<PageHandle> NewNodePage();
+
+  BufferPool* pool_;
+  ExtentAllocator allocator_;
+  PageId meta_page_;
+  int arity_;
+  PageId root_;
+  uint64_t entry_count_;
+  uint64_t page_count_;
+  int height_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_INDEX_BPLUS_TREE_H_

@@ -1,0 +1,59 @@
+#include "query/executor.h"
+
+#include <vector>
+
+namespace segdiff {
+
+Status SeqScan(const Table& table, const Predicate& predicate,
+               const RowCallback& callback, ScanStats* stats) {
+  ScanStats local;
+  Status status = table.Scan(
+      [&](const char* record, RecordId id, bool* keep_going) -> Status {
+        *keep_going = true;
+        ++local.rows_scanned;
+        if (predicate.Matches(record)) {
+          ++local.rows_matched;
+          return callback(record, id);
+        }
+        return Status::OK();
+      });
+  if (stats != nullptr) {
+    stats->Add(local);
+  }
+  return status;
+}
+
+Status IndexScan(const Table& table, const IndexScanSpec& spec,
+                 const Predicate& residual, const RowCallback& callback,
+                 ScanStats* stats) {
+  if (spec.index == nullptr) {
+    return Status::InvalidArgument("index scan without index");
+  }
+  ScanStats local;
+  std::vector<char> record(table.schema().RowBytes());
+  SEGDIFF_ASSIGN_OR_RETURN(BPlusTree::Iterator it, spec.index->Seek(spec.lower));
+  while (it.Valid()) {
+    const IndexKey& key = it.key();
+    ++local.index_entries_scanned;
+    if (spec.key_continue && !spec.key_continue(key)) {
+      break;
+    }
+    if (!spec.key_filter || spec.key_filter(key)) {
+      ++local.heap_fetches;
+      SEGDIFF_RETURN_IF_ERROR(
+          table.ReadRecord(RecordId::Unpack(key.rid), record.data()));
+      if (residual.Matches(record.data())) {
+        ++local.rows_matched;
+        SEGDIFF_RETURN_IF_ERROR(
+            callback(record.data(), RecordId::Unpack(key.rid)));
+      }
+    }
+    SEGDIFF_RETURN_IF_ERROR(it.Next());
+  }
+  if (stats != nullptr) {
+    stats->Add(local);
+  }
+  return Status::OK();
+}
+
+}  // namespace segdiff

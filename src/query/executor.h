@@ -1,0 +1,56 @@
+// Access-path executors: sequential scan and index range scan.
+
+#ifndef SEGDIFF_QUERY_EXECUTOR_H_
+#define SEGDIFF_QUERY_EXECUTOR_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "index/bplus_tree.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace segdiff {
+
+/// Execution counters, reported by both executors.
+struct ScanStats {
+  uint64_t rows_scanned = 0;          ///< heap records examined (seq scan)
+  uint64_t index_entries_scanned = 0; ///< index keys examined (index scan)
+  uint64_t heap_fetches = 0;          ///< random heap reads (index scan)
+  uint64_t rows_matched = 0;
+
+  void Add(const ScanStats& other) {
+    rows_scanned += other.rows_scanned;
+    index_entries_scanned += other.index_entries_scanned;
+    heap_fetches += other.heap_fetches;
+    rows_matched += other.rows_matched;
+  }
+};
+
+/// Receives each matching record.
+using RowCallback = std::function<Status(const char* record, RecordId id)>;
+
+/// Full-table scan applying `predicate` to every record.
+Status SeqScan(const Table& table, const Predicate& predicate,
+               const RowCallback& callback, ScanStats* stats = nullptr);
+
+/// Range scan over a B+-tree index. Starts at the first key >= `lower`,
+/// advances while `key_continue(key)` holds, and for each key passing
+/// `key_filter` fetches the heap record, applies `residual`, and emits.
+/// MySQL-style secondary-index access: every candidate costs one heap
+/// fetch, which is why dense queries favour the sequential scan
+/// (paper Figures 10-11).
+struct IndexScanSpec {
+  const BPlusTree* index = nullptr;
+  IndexKey lower;
+  std::function<bool(const IndexKey&)> key_continue;  ///< stop when false
+  std::function<bool(const IndexKey&)> key_filter;    ///< skip when false
+};
+
+Status IndexScan(const Table& table, const IndexScanSpec& spec,
+                 const Predicate& residual, const RowCallback& callback,
+                 ScanStats* stats = nullptr);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_QUERY_EXECUTOR_H_

@@ -1,0 +1,33 @@
+#include "query/planner.h"
+
+#include <algorithm>
+
+namespace segdiff {
+
+PlanChoice ChooseAccessPath(uint64_t row_count, double leading_lo,
+                            double leading_hi, double query_hi,
+                            bool index_available,
+                            const PlannerOptions& options) {
+  PlanChoice choice;
+  if (!index_available || row_count == 0) {
+    choice.path = AccessPath::kSeqScan;
+    choice.estimated_selectivity = 1.0;
+    return choice;
+  }
+  double selectivity = 1.0;
+  if (leading_hi > leading_lo) {
+    selectivity = (query_hi - leading_lo) / (leading_hi - leading_lo);
+    selectivity = std::clamp(selectivity, 0.0, 1.0);
+  } else {
+    // Degenerate column: a single distinct value; range either covers it
+    // entirely or not at all.
+    selectivity = query_hi >= leading_lo ? 1.0 : 0.0;
+  }
+  choice.estimated_selectivity = selectivity;
+  choice.path = selectivity <= options.index_selectivity_threshold
+                    ? AccessPath::kIndexScan
+                    : AccessPath::kSeqScan;
+  return choice;
+}
+
+}  // namespace segdiff

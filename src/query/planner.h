@@ -1,0 +1,39 @@
+// Minimal access-path planner.
+//
+// The paper evaluates sequential scan and index access separately and
+// observes the crossover: index access loses once a query matches a
+// large fraction of rows (random heap fetches dominate). The planner
+// encodes that rule of thumb: pick the index only when the estimated
+// selectivity of the leading index column range is below a threshold.
+
+#ifndef SEGDIFF_QUERY_PLANNER_H_
+#define SEGDIFF_QUERY_PLANNER_H_
+
+#include <cstdint>
+
+namespace segdiff {
+
+enum class AccessPath : unsigned char { kSeqScan, kIndexScan };
+
+struct PlanChoice {
+  AccessPath path = AccessPath::kSeqScan;
+  double estimated_selectivity = 1.0;
+};
+
+struct PlannerOptions {
+  /// Use the index when the estimated fraction of scanned index entries
+  /// is below this. ~10% mirrors the classical secondary-index rule.
+  double index_selectivity_threshold = 0.10;
+};
+
+/// `leading_lo`/`leading_hi`: observed min/max of the leading index
+/// column; `query_hi`: the query's upper bound on that column (range
+/// [leading_lo, query_hi]). Index must exist for kIndexScan to be chosen.
+PlanChoice ChooseAccessPath(uint64_t row_count, double leading_lo,
+                            double leading_hi, double query_hi,
+                            bool index_available,
+                            const PlannerOptions& options = {});
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_QUERY_PLANNER_H_

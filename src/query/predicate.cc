@@ -1,0 +1,22 @@
+#include "query/predicate.h"
+
+namespace segdiff {
+
+bool EvalCondition(const ColumnCondition& condition, const char* record) {
+  const double v = DecodeDoubleColumn(record, condition.column);
+  switch (condition.op) {
+    case CmpOp::kLt:
+      return v < condition.value;
+    case CmpOp::kLe:
+      return v <= condition.value;
+    case CmpOp::kGt:
+      return v > condition.value;
+    case CmpOp::kGe:
+      return v >= condition.value;
+    case CmpOp::kEq:
+      return v == condition.value;
+  }
+  return false;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,68 @@
+// Conjunctive predicates over encoded records.
+//
+// A Predicate is an AND of column comparisons plus an optional residual
+// row function for conditions that are not simple comparisons (the line
+// query's interpolation test, Section 4.4).
+
+#ifndef SEGDIFF_QUERY_PREDICATE_H_
+#define SEGDIFF_QUERY_PREDICATE_H_
+
+#include <functional>
+#include <vector>
+
+#include "storage/record.h"
+
+namespace segdiff {
+
+enum class CmpOp : unsigned char { kLt, kLe, kGt, kGe, kEq };
+
+/// column <op> constant, where the column must be kDouble.
+struct ColumnCondition {
+  size_t column = 0;
+  CmpOp op = CmpOp::kLe;
+  double value = 0.0;
+};
+
+/// Evaluates one condition against an encoded record.
+bool EvalCondition(const ColumnCondition& condition, const char* record);
+
+/// AND of conditions and an optional residual function.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  /// The always-true predicate.
+  static Predicate True() { return Predicate(); }
+
+  Predicate& And(size_t column, CmpOp op, double value) {
+    conditions_.push_back(ColumnCondition{column, op, value});
+    return *this;
+  }
+
+  /// Adds an arbitrary row test evaluated after the column conditions.
+  Predicate& AndResidual(std::function<bool(const char*)> fn) {
+    residual_ = std::move(fn);
+    return *this;
+  }
+
+  bool Matches(const char* record) const {
+    for (const ColumnCondition& condition : conditions_) {
+      if (!EvalCondition(condition, record)) {
+        return false;
+      }
+    }
+    return !residual_ || residual_(record);
+  }
+
+  const std::vector<ColumnCondition>& conditions() const {
+    return conditions_;
+  }
+
+ private:
+  std::vector<ColumnCondition> conditions_;
+  std::function<bool(const char*)> residual_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_QUERY_PREDICATE_H_

@@ -1,0 +1,34 @@
+#include "segdiff/episodes.h"
+
+#include <algorithm>
+
+namespace segdiff {
+
+std::vector<Episode> CoalesceEpisodes(const std::vector<PairId>& pairs,
+                                      double max_gap_s) {
+  std::vector<Episode> episodes;
+  if (pairs.empty()) {
+    return episodes;
+  }
+  std::vector<PairId> sorted = pairs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PairId& a, const PairId& b) {
+              if (a.t_d != b.t_d) return a.t_d < b.t_d;
+              return a.t_a < b.t_a;
+            });
+  Episode current{sorted[0].t_d, sorted[0].t_a, 1};
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    const PairId& pair = sorted[i];
+    if (pair.t_d <= current.t_end + max_gap_s) {
+      current.t_end = std::max(current.t_end, pair.t_a);
+      ++current.pair_count;
+    } else {
+      episodes.push_back(current);
+      current = Episode{pair.t_d, pair.t_a, 1};
+    }
+  }
+  episodes.push_back(current);
+  return episodes;
+}
+
+}  // namespace segdiff

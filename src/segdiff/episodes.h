@@ -1,0 +1,37 @@
+// Result post-processing for exploration.
+//
+// A single physical event (one cold-air-drainage night, say) is usually
+// returned as many overlapping segment pairs — the paper's Figure 1 (c)
+// shows one such pair. CoalesceEpisodes merges overlapping pairs into
+// maximal episodes so a user sees "8 events", not "571 pairs"; Refine*
+// then recovers the exact extremal event inside a pair (or episode span)
+// from the original series, completing the drill-down loop the paper
+// describes ("biologists can further explore the characteristics of
+// data collected in these periods").
+
+#ifndef SEGDIFF_SEGDIFF_EPISODES_H_
+#define SEGDIFF_SEGDIFF_EPISODES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "feature/schema.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// A maximal run of overlapping result pairs.
+struct Episode {
+  double t_begin = 0.0;  ///< earliest t_d among merged pairs
+  double t_end = 0.0;    ///< latest t_a among merged pairs
+  size_t pair_count = 0;
+};
+
+/// Merges pairs whose [t_d, t_a] spans overlap (or lie within
+/// `max_gap_s` of each other) into episodes, ordered by time.
+std::vector<Episode> CoalesceEpisodes(const std::vector<PairId>& pairs,
+                                      double max_gap_s = 0.0);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGDIFF_EPISODES_H_

@@ -1,0 +1,154 @@
+#include "segdiff/exh_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stopwatch.h"
+#include "query/predicate.h"
+
+namespace segdiff {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ExhIndex::ExhIndex(ExhOptions options) : options_(options) {}
+
+Result<std::unique_ptr<ExhIndex>> ExhIndex::Open(const std::string& path,
+                                                 const ExhOptions& options) {
+  if (options.window_s <= 0.0) {
+    return Status::InvalidArgument("window_s must be positive");
+  }
+  std::unique_ptr<ExhIndex> index(new ExhIndex(options));
+  DatabaseOptions db_options;
+  db_options.buffer_pool_pages = options.buffer_pool_pages;
+  db_options.sim_seq_read_ns = options.sim_seq_read_ns;
+  db_options.sim_random_read_ns = options.sim_random_read_ns;
+  SEGDIFF_ASSIGN_OR_RETURN(index->db_, Database::Open(path, db_options));
+  if (index->db_->tables().empty()) {
+    SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema,
+                             DoubleSchema({"dt", "dv", "t"}));
+    SEGDIFF_ASSIGN_OR_RETURN(index->table_,
+                             index->db_->CreateTable("exh", schema));
+    if (options.build_index) {
+      SEGDIFF_RETURN_IF_ERROR(
+          index->table_->CreateIndex("ptdv", {"dt", "dv"}).status());
+    }
+  } else {
+    SEGDIFF_ASSIGN_OR_RETURN(index->table_, index->db_->GetTable("exh"));
+  }
+  return index;
+}
+
+Status ExhIndex::IngestSeries(const Series& series) {
+  std::deque<Sample> window;
+  for (const Sample& sample : series) {
+    while (!window.empty() &&
+           sample.t - window.front().t > options_.window_s) {
+      window.pop_front();
+    }
+    for (const Sample& earlier : window) {
+      SEGDIFF_RETURN_IF_ERROR(
+          table_
+              ->InsertDoubles(
+                  {sample.t - earlier.t, sample.v - earlier.v, earlier.t})
+              .status());
+    }
+    window.push_back(sample);
+    ++observations_;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ExhEvent>> ExhIndex::SearchDrops(
+    double T, double V, const SearchOptions& options, SearchStats* stats) {
+  if (!(V < 0.0)) {
+    return Status::InvalidArgument("drop search requires V < 0");
+  }
+  return Search(true, T, V, options, stats);
+}
+
+Result<std::vector<ExhEvent>> ExhIndex::SearchJumps(
+    double T, double V, const SearchOptions& options, SearchStats* stats) {
+  if (!(V > 0.0)) {
+    return Status::InvalidArgument("jump search requires V > 0");
+  }
+  return Search(false, T, V, options, stats);
+}
+
+Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
+                                               const SearchOptions& options,
+                                               SearchStats* stats) {
+  if (!(T > 0.0)) {
+    return Status::InvalidArgument("T must be positive");
+  }
+  if (T > options_.window_s) {
+    return Status::InvalidArgument("T exceeds the configured window w");
+  }
+  Stopwatch stopwatch;
+  SearchStats local;
+  std::vector<ExhEvent> events;
+  const RowCallback collect = [&](const char* record, RecordId) -> Status {
+    ExhEvent event;
+    event.dv = DecodeDoubleColumn(record, 1);
+    event.t_start = DecodeDoubleColumn(record, 2);
+    event.t_end = event.t_start + DecodeDoubleColumn(record, 0);
+    events.push_back(event);
+    return Status::OK();
+  };
+
+  QueryMode mode = options.mode;
+  if (mode == QueryMode::kAuto) {
+    mode = options_.build_index ? QueryMode::kIndexScan : QueryMode::kSeqScan;
+  }
+  ++local.queries_issued;
+  if (mode == QueryMode::kSeqScan) {
+    Predicate predicate;
+    predicate.And(0, CmpOp::kLe, T);
+    predicate.And(1, drop ? CmpOp::kLe : CmpOp::kGe, V);
+    SEGDIFF_RETURN_IF_ERROR(SeqScan(*table_, predicate, collect, &local.scan));
+  } else {
+    if (!options_.build_index) {
+      return Status::InvalidArgument(
+          "index scan requested but the index was not built");
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree, table_->GetIndex("ptdv"));
+    IndexScanSpec spec;
+    spec.index = tree;
+    spec.lower = IndexKey::LowerBound({-kInf, -kInf});
+    spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
+    spec.key_filter = [drop, V](const IndexKey& key) {
+      return drop ? key.vals[1] <= V : key.vals[1] >= V;
+    };
+    SEGDIFF_RETURN_IF_ERROR(
+        IndexScan(*table_, spec, Predicate::True(), collect, &local.scan));
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const ExhEvent& a, const ExhEvent& b) {
+              if (a.t_start != b.t_start) return a.t_start < b.t_start;
+              return a.t_end < b.t_end;
+            });
+  local.pairs_returned = events.size();
+  local.seconds = stopwatch.ElapsedSeconds();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return events;
+}
+
+Status ExhIndex::Checkpoint() { return db_->Checkpoint(); }
+
+Status ExhIndex::DropCaches() { return db_->DropCaches(); }
+
+ExhSizes ExhIndex::GetSizes() const {
+  ExhSizes sizes;
+  sizes.feature_bytes = table_->DataSizeBytes();
+  sizes.feature_rows = table_->row_count();
+  sizes.index_bytes = table_->IndexSizeBytes();
+  sizes.file_bytes = db_->SizeStats().file_bytes;
+  return sizes;
+}
+
+}  // namespace segdiff

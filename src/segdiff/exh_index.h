@@ -1,0 +1,84 @@
+// Exh: the paper's exhaustive baseline.
+//
+// Stores one row (dt, dv, t_anchor) for EVERY ordered pair of sampled
+// observations whose gap is within the window w, in one table with an
+// optional (dt, dv) B+-tree. A drop search is the single range query
+// dt <= T AND dv <= V. Space is O(n * n_w) — the cost the paper's
+// SegDiff design eliminates.
+
+#ifndef SEGDIFF_SEGDIFF_EXH_INDEX_H_
+#define SEGDIFF_SEGDIFF_EXH_INDEX_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/executor.h"
+#include "segdiff/segdiff_index.h"
+#include "storage/db.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+struct ExhOptions {
+  double window_s = 28800.0;  ///< w (same default as SegDiff)
+  bool build_index = true;
+  size_t buffer_pool_pages = 4096;
+  /// Simulated storage read latency (cold-cache experiments); 0 = off.
+  uint64_t sim_seq_read_ns = 0;
+  uint64_t sim_random_read_ns = 0;
+};
+
+/// One matching event (pair of sampled observations).
+struct ExhEvent {
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double dv = 0.0;
+};
+
+struct ExhSizes {
+  uint64_t feature_bytes = 0;
+  uint64_t feature_rows = 0;
+  uint64_t index_bytes = 0;
+  uint64_t file_bytes = 0;
+};
+
+class ExhIndex {
+ public:
+  static Result<std::unique_ptr<ExhIndex>> Open(const std::string& path,
+                                                const ExhOptions& options);
+
+  /// Appends all within-window pairs of `series`. May be called with
+  /// successive chunks; the pair window does not span chunks.
+  Status IngestSeries(const Series& series);
+
+  Result<std::vector<ExhEvent>> SearchDrops(double T, double V,
+                                            const SearchOptions& options = {},
+                                            SearchStats* stats = nullptr);
+  Result<std::vector<ExhEvent>> SearchJumps(double T, double V,
+                                            const SearchOptions& options = {},
+                                            SearchStats* stats = nullptr);
+
+  Status Checkpoint();
+  Status DropCaches();
+  ExhSizes GetSizes() const;
+  uint64_t num_observations() const { return observations_; }
+  const ExhOptions& options() const { return options_; }
+
+ private:
+  explicit ExhIndex(ExhOptions options);
+  Result<std::vector<ExhEvent>> Search(bool drop, double T, double V,
+                                       const SearchOptions& options,
+                                       SearchStats* stats);
+
+  ExhOptions options_;
+  std::unique_ptr<Database> db_;
+  Table* table_ = nullptr;
+  uint64_t observations_ = 0;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGDIFF_EXH_INDEX_H_

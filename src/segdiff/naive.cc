@@ -1,0 +1,32 @@
+#include "segdiff/naive.h"
+
+namespace segdiff {
+
+std::vector<NaiveEvent> NaiveSearcher::Search(bool drop, double T,
+                                              double V) const {
+  std::vector<NaiveEvent> events;
+  const size_t n = series_.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double dt = series_[j].t - series_[i].t;
+      if (dt > T) {
+        break;
+      }
+      const double dv = series_[j].v - series_[i].v;
+      if (drop ? dv <= V : dv >= V) {
+        events.push_back(NaiveEvent{series_[i].t, series_[j].t, dv});
+      }
+    }
+  }
+  return events;
+}
+
+std::vector<NaiveEvent> NaiveSearcher::SearchDrops(double T, double V) const {
+  return Search(true, T, V);
+}
+
+std::vector<NaiveEvent> NaiveSearcher::SearchJumps(double T, double V) const {
+  return Search(false, T, V);
+}
+
+}  // namespace segdiff

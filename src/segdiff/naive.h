@@ -1,0 +1,41 @@
+// Naive ground-truth searcher: enumerates true events directly from the
+// series. Quadratic-in-window and index-free; exists as the correctness
+// oracle for tests and verification, and as the cost yardstick the
+// paper's introduction motivates against.
+
+#ifndef SEGDIFF_SEGDIFF_NAIVE_H_
+#define SEGDIFF_SEGDIFF_NAIVE_H_
+
+#include <vector>
+
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// A true event between two sampled observations.
+struct NaiveEvent {
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double dv = 0.0;
+};
+
+/// All sampled-observation pairs with 0 < dt <= T and dv <= V (drops) or
+/// dv >= V (jumps). These are true events under Model G (a subset of all
+/// G events, sufficient as a no-false-negative witness set).
+class NaiveSearcher {
+ public:
+  /// `series` must outlive the searcher.
+  explicit NaiveSearcher(const Series& series) : series_(series) {}
+
+  std::vector<NaiveEvent> SearchDrops(double T, double V) const;
+  std::vector<NaiveEvent> SearchJumps(double T, double V) const;
+
+ private:
+  std::vector<NaiveEvent> Search(bool drop, double T, double V) const;
+
+  const Series& series_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGDIFF_NAIVE_H_

@@ -1,0 +1,473 @@
+#include "segdiff/segdiff_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "query/planner.h"
+#include "query/predicate.h"
+
+namespace segdiff {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::string FeatureTableName(SearchKind kind, int corner_count) {
+  std::string name(SearchKindName(kind));
+  name.push_back(static_cast<char>('0' + corner_count));
+  return name;
+}
+
+/// Column index of corner j's dt (j is 1-based).
+size_t DtCol(int j) { return 2 * static_cast<size_t>(j - 1); }
+/// Column index of corner j's dv.
+size_t DvCol(int j) { return 2 * static_cast<size_t>(j - 1) + 1; }
+
+/// Pair key columns of a k-corner feature table.
+size_t TdCol(int k) { return 2 * static_cast<size_t>(k); }
+size_t TcCol(int k) { return 2 * static_cast<size_t>(k) + 1; }
+size_t TbCol(int k) { return 2 * static_cast<size_t>(k) + 2; }
+
+/// One point or line range query against a feature table (Section 4.4).
+struct RangeQuery {
+  bool is_line = false;
+  int corner = 1;  ///< point: corner j; line: edge (j, j+1)
+};
+
+bool PairIdLess(const PairId& a, const PairId& b) {
+  if (a.t_d != b.t_d) return a.t_d < b.t_d;
+  if (a.t_c != b.t_c) return a.t_c < b.t_c;
+  return a.t_b < b.t_b;
+}
+bool PairIdKeyEq(const PairId& a, const PairId& b) {
+  return a.t_d == b.t_d && a.t_c == b.t_c && a.t_b == b.t_b;
+}
+
+}  // namespace
+
+SegDiffIndex::SegDiffIndex(SegDiffOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<SegDiffIndex>> SegDiffIndex::Open(
+    const std::string& path, const SegDiffOptions& options) {
+  if (options.eps < 0.0) {
+    return Status::InvalidArgument("eps must be >= 0");
+  }
+  if (options.window_s <= 0.0) {
+    return Status::InvalidArgument("window_s must be positive");
+  }
+  std::unique_ptr<SegDiffIndex> index(new SegDiffIndex(options));
+  DatabaseOptions db_options;
+  db_options.buffer_pool_pages = options.buffer_pool_pages;
+  db_options.create_if_missing = options.create_if_missing;
+  db_options.sim_seq_read_ns = options.sim_seq_read_ns;
+  db_options.sim_random_read_ns = options.sim_random_read_ns;
+  SEGDIFF_ASSIGN_OR_RETURN(index->db_, Database::Open(path, db_options));
+  SEGDIFF_RETURN_IF_ERROR(index->InitTables());
+
+  // Streaming pipeline: segmenter -> segment directory + extractor ->
+  // feature tables.
+  ExtractorOptions extractor_options;
+  extractor_options.eps = options.eps;
+  extractor_options.window_s = options.window_s;
+  extractor_options.collect_drops = options.collect_drops;
+  extractor_options.collect_jumps = options.collect_jumps;
+  SegDiffIndex* raw = index.get();
+  index->extractor_ = std::make_unique<FeatureExtractor>(
+      extractor_options,
+      [raw](const PairFeatures& row) { return raw->WriteFeatureRow(row); });
+  return index;
+}
+
+Status SegDiffIndex::InitTables() {
+  const bool fresh = db_->tables().empty();
+  if (fresh) {
+    SEGDIFF_ASSIGN_OR_RETURN(TableSchema seg_schema,
+                             DoubleSchema({"t_s", "v_s", "t_e", "v_e"}));
+    SEGDIFF_ASSIGN_OR_RETURN(segments_table_,
+                             db_->CreateTable("segments", seg_schema));
+    for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
+      for (int k = 1; k <= 3; ++k) {
+        std::vector<std::string> columns;
+        for (int j = 1; j <= k; ++j) {
+          columns.push_back("dt" + std::to_string(j));
+          columns.push_back("dv" + std::to_string(j));
+        }
+        columns.push_back("td");
+        columns.push_back("tc");
+        columns.push_back("tb");
+        SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema, DoubleSchema(columns));
+        SEGDIFF_ASSIGN_OR_RETURN(
+            Table * table,
+            db_->CreateTable(FeatureTableName(kind, k), schema));
+        feature_tables_[static_cast<int>(kind)][k - 1] = table;
+        if (options_.build_indexes) {
+          for (int j = 1; j <= k; ++j) {
+            SEGDIFF_RETURN_IF_ERROR(
+                table
+                    ->CreateIndex("pt" + std::to_string(j),
+                                  {"dt" + std::to_string(j),
+                                   "dv" + std::to_string(j)})
+                    .status());
+          }
+          for (int j = 1; j < k; ++j) {
+            SEGDIFF_RETURN_IF_ERROR(
+                table
+                    ->CreateIndex("ln" + std::to_string(j),
+                                  {"dt" + std::to_string(j),
+                                   "dv" + std::to_string(j),
+                                   "dt" + std::to_string(j + 1),
+                                   "dv" + std::to_string(j + 1)})
+                    .status());
+          }
+        }
+      }
+    }
+    segment_dir_fresh_ = true;
+    column_stats_fresh_ = true;
+  } else {
+    SEGDIFF_ASSIGN_OR_RETURN(segments_table_, db_->GetTable("segments"));
+    for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
+      for (int k = 1; k <= 3; ++k) {
+        SEGDIFF_ASSIGN_OR_RETURN(
+            Table * table, db_->GetTable(FeatureTableName(kind, k)));
+        feature_tables_[static_cast<int>(kind)][k - 1] = table;
+      }
+    }
+    segment_dir_fresh_ = false;
+    column_stats_fresh_ = false;
+  }
+  for (int kind = 0; kind < 2; ++kind) {
+    for (int k = 1; k <= 3; ++k) {
+      column_stats_[kind][k - 1].resize(
+          feature_tables_[kind][k - 1]->schema().num_columns());
+    }
+  }
+  return Status::OK();
+}
+
+Status SegDiffIndex::WriteFeatureRow(const PairFeatures& row) {
+  const int k = row.corners.count;
+  if (k < 1 || k > 3) {
+    return Status::Internal("feature row with bad corner count");
+  }
+  Table* table = feature_tables_[static_cast<int>(row.kind)][k - 1];
+  row_buf_.clear();
+  for (int i = 0; i < k; ++i) {
+    row_buf_.push_back(row.corners.pts[i].dt);
+    row_buf_.push_back(row.corners.pts[i].dv);
+  }
+  row_buf_.push_back(row.id.t_d);
+  row_buf_.push_back(row.id.t_c);
+  row_buf_.push_back(row.id.t_b);
+  SEGDIFF_RETURN_IF_ERROR(table->InsertDoubles(row_buf_).status());
+
+  auto& stats = column_stats_[static_cast<int>(row.kind)][k - 1];
+  for (size_t c = 0; c < row_buf_.size(); ++c) {
+    ColumnRange& range = stats[c];
+    if (!range.seen) {
+      range.lo = range.hi = row_buf_[c];
+      range.seen = true;
+    } else {
+      range.lo = std::min(range.lo, row_buf_[c]);
+      range.hi = std::max(range.hi, row_buf_[c]);
+    }
+  }
+  return Status::OK();
+}
+
+Status SegDiffIndex::IngestSeries(const Series& series) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("series must have at least 2 samples");
+  }
+  SegmentationOptions seg_options;
+  seg_options.max_error = options_.eps / 2.0;
+  SlidingWindowSegmenter segmenter(
+      seg_options, [this](const DataSegment& segment) -> Status {
+        SEGDIFF_RETURN_IF_ERROR(
+            segments_table_
+                ->InsertDoubles({segment.start.t, segment.start.v,
+                                 segment.end.t, segment.end.v})
+                .status());
+        segment_dir_[segment.start.t] = segment.end.t;
+        return extractor_->AddSegment(segment);
+      });
+  for (const Sample& sample : series) {
+    SEGDIFF_RETURN_IF_ERROR(segmenter.Add(sample));
+    ++observations_;
+  }
+  return segmenter.Finish();
+}
+
+Status SegDiffIndex::EnsureSegmentDirectory() {
+  if (segment_dir_fresh_ && !segment_dir_.empty()) {
+    return Status::OK();
+  }
+  if (segment_dir_fresh_ && segments_table_->row_count() == 0) {
+    return Status::OK();
+  }
+  segment_dir_.clear();
+  SEGDIFF_RETURN_IF_ERROR(segments_table_->Scan(
+      [this](const char* record, RecordId, bool* keep_going) -> Status {
+        *keep_going = true;
+        segment_dir_[DecodeDoubleColumn(record, 0)] =
+            DecodeDoubleColumn(record, 2);
+        return Status::OK();
+      }));
+  segment_dir_fresh_ = true;
+  return Status::OK();
+}
+
+Status SegDiffIndex::EnsureColumnStats() {
+  if (column_stats_fresh_) {
+    return Status::OK();
+  }
+  for (int kind = 0; kind < 2; ++kind) {
+    for (int k = 1; k <= 3; ++k) {
+      Table* table = feature_tables_[kind][k - 1];
+      auto& stats = column_stats_[kind][k - 1];
+      for (ColumnRange& range : stats) {
+        range.seen = false;
+      }
+      SEGDIFF_RETURN_IF_ERROR(table->Scan(
+          [&](const char* record, RecordId, bool* keep_going) -> Status {
+            *keep_going = true;
+            for (size_t c = 0; c < stats.size(); ++c) {
+              const double v = DecodeDoubleColumn(record, c);
+              if (!stats[c].seen) {
+                stats[c].lo = stats[c].hi = v;
+                stats[c].seen = true;
+              } else {
+                stats[c].lo = std::min(stats[c].lo, v);
+                stats[c].hi = std::max(stats[c].hi, v);
+              }
+            }
+            return Status::OK();
+          }));
+    }
+  }
+  column_stats_fresh_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<PairId>> SegDiffIndex::SearchDrops(
+    double T, double V, const SearchOptions& options, SearchStats* stats) {
+  if (!(V < 0.0)) {
+    return Status::InvalidArgument("drop search requires V < 0");
+  }
+  return Search(SearchKind::kDrop, T, V, options, stats);
+}
+
+Result<std::vector<PairId>> SegDiffIndex::SearchJumps(
+    double T, double V, const SearchOptions& options, SearchStats* stats) {
+  if (!(V > 0.0)) {
+    return Status::InvalidArgument("jump search requires V > 0");
+  }
+  return Search(SearchKind::kJump, T, V, options, stats);
+}
+
+Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
+                                                 double V,
+                                                 const SearchOptions& options,
+                                                 SearchStats* stats) {
+  if (!(T > 0.0)) {
+    return Status::InvalidArgument("T must be positive");
+  }
+  if (T > options_.window_s) {
+    return Status::InvalidArgument(
+        "T exceeds the configured window w; rebuild with a larger window");
+  }
+  Stopwatch stopwatch;
+  SearchStats local;
+  const bool drop = kind == SearchKind::kDrop;
+
+  std::vector<PairId> results;
+  for (int k = 1; k <= 3; ++k) {
+    Table* table = feature_tables_[static_cast<int>(kind)][k - 1];
+    if (table->row_count() == 0) {
+      continue;
+    }
+    std::vector<RangeQuery> queries;
+    for (int j = 1; j <= k; ++j) {
+      queries.push_back(RangeQuery{false, j});
+    }
+    for (int j = 1; j < k; ++j) {
+      queries.push_back(RangeQuery{true, j});
+    }
+
+    const RowCallback collect = [&](const char* record, RecordId) -> Status {
+      PairId id;
+      id.t_d = DecodeDoubleColumn(record, TdCol(k));
+      id.t_c = DecodeDoubleColumn(record, TcCol(k));
+      id.t_b = DecodeDoubleColumn(record, TbCol(k));
+      id.t_a = 0.0;  // resolved after dedup
+      results.push_back(id);
+      return Status::OK();
+    };
+
+    // Builds the paper's predicate for one query, for sequential scans.
+    auto make_predicate = [&](const RangeQuery& query) {
+      Predicate predicate;
+      if (!query.is_line) {
+        predicate.And(DtCol(query.corner), CmpOp::kLe, T);
+        predicate.And(DvCol(query.corner), drop ? CmpOp::kLe : CmpOp::kGe,
+                      V);
+        return predicate;
+      }
+      const size_t dt1 = DtCol(query.corner);
+      const size_t dv1 = DvCol(query.corner);
+      const size_t dt2 = DtCol(query.corner + 1);
+      const size_t dv2 = DvCol(query.corner + 1);
+      predicate.And(dt1, CmpOp::kLe, T);
+      predicate.And(dv1, drop ? CmpOp::kGt : CmpOp::kLt, V);
+      predicate.And(dt2, CmpOp::kGt, T);
+      predicate.And(dv2, drop ? CmpOp::kLt : CmpOp::kGt, V);
+      predicate.AndResidual([=](const char* record) {
+        const double a_dt = DecodeDoubleColumn(record, dt1);
+        const double a_dv = DecodeDoubleColumn(record, dv1);
+        const double b_dt = DecodeDoubleColumn(record, dt2);
+        const double b_dv = DecodeDoubleColumn(record, dv2);
+        if (b_dt <= a_dt) {
+          return false;
+        }
+        const double at_T = a_dv + (b_dv - a_dv) / (b_dt - a_dt) * (T - a_dt);
+        return drop ? at_T <= V : at_T >= V;
+      });
+      return predicate;
+    };
+
+    if (options.mode == QueryMode::kSeqScan && options.fused_scan) {
+      // One pass evaluating the OR of every query's conditions.
+      std::vector<Predicate> predicates;
+      predicates.reserve(queries.size());
+      for (const RangeQuery& query : queries) {
+        predicates.push_back(make_predicate(query));
+      }
+      Predicate fused;
+      fused.AndResidual([&predicates](const char* record) {
+        for (const Predicate& p : predicates) {
+          if (p.Matches(record)) {
+            return true;
+          }
+        }
+        return false;
+      });
+      ++local.queries_issued;
+      SEGDIFF_RETURN_IF_ERROR(SeqScan(*table, fused, collect, &local.scan));
+      continue;
+    }
+
+    for (const RangeQuery& query : queries) {
+      QueryMode mode = options.mode;
+      if (mode == QueryMode::kIndexScan && !options_.build_indexes) {
+        return Status::InvalidArgument(
+            "index scan requested but indexes were not built");
+      }
+      if (mode == QueryMode::kAuto) {
+        SEGDIFF_RETURN_IF_ERROR(EnsureColumnStats());
+        const auto& range =
+            column_stats_[static_cast<int>(kind)][k - 1][DtCol(query.corner)];
+        const PlanChoice choice = ChooseAccessPath(
+            table->row_count(), range.seen ? range.lo : 0.0,
+            range.seen ? range.hi : 0.0, T, options_.build_indexes);
+        mode = choice.path == AccessPath::kIndexScan ? QueryMode::kIndexScan
+                                                     : QueryMode::kSeqScan;
+      }
+      ++local.queries_issued;
+      if (mode == QueryMode::kSeqScan) {
+        SEGDIFF_RETURN_IF_ERROR(
+            SeqScan(*table, make_predicate(query), collect, &local.scan));
+        continue;
+      }
+      // Index scan: all conditions evaluate on the key; the heap fetch
+      // only materializes the pair id.
+      IndexScanSpec spec;
+      const std::string index_name =
+          (query.is_line ? "ln" : "pt") + std::to_string(query.corner);
+      SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree, table->GetIndex(index_name));
+      spec.index = tree;
+      spec.lower = IndexKey::LowerBound({-kInf, -kInf, -kInf, -kInf});
+      spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
+      if (!query.is_line) {
+        spec.key_filter = [drop, V](const IndexKey& key) {
+          return drop ? key.vals[1] <= V : key.vals[1] >= V;
+        };
+      } else {
+        spec.key_filter = [drop, T, V](const IndexKey& key) {
+          const double a_dt = key.vals[0];
+          const double a_dv = key.vals[1];
+          const double b_dt = key.vals[2];
+          const double b_dv = key.vals[3];
+          const bool ends_outside = drop
+                                        ? (a_dv > V && b_dv < V)
+                                        : (a_dv < V && b_dv > V);
+          if (!ends_outside || !(b_dt > T) || b_dt <= a_dt) {
+            return false;
+          }
+          const double at_T =
+              a_dv + (b_dv - a_dv) / (b_dt - a_dt) * (T - a_dt);
+          return drop ? at_T <= V : at_T >= V;
+        };
+      }
+      SEGDIFF_RETURN_IF_ERROR(IndexScan(*table, spec, Predicate::True(),
+                                        collect, &local.scan));
+    }
+  }
+
+  // Union of all queries: dedupe on (t_d, t_c, t_b).
+  std::sort(results.begin(), results.end(), PairIdLess);
+  results.erase(std::unique(results.begin(), results.end(), PairIdKeyEq),
+                results.end());
+
+  // Materialize t_a from the segment directory.
+  SEGDIFF_RETURN_IF_ERROR(EnsureSegmentDirectory());
+  for (PairId& id : results) {
+    auto it = segment_dir_.find(id.t_b);
+    if (it == segment_dir_.end()) {
+      return Status::Corruption("feature row references unknown segment");
+    }
+    id.t_a = it->second;
+  }
+
+  local.pairs_returned = results.size();
+  local.seconds = stopwatch.ElapsedSeconds();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return results;
+}
+
+Status SegDiffIndex::Checkpoint() { return db_->Checkpoint(); }
+
+Status SegDiffIndex::DropCaches() {
+  segment_dir_.clear();
+  segment_dir_fresh_ = false;  // force re-read through the (cold) pool
+  return db_->DropCaches();
+}
+
+SegDiffSizes SegDiffIndex::GetSizes() const {
+  SegDiffSizes sizes;
+  for (int kind = 0; kind < 2; ++kind) {
+    for (int k = 1; k <= 3; ++k) {
+      const Table* table = feature_tables_[kind][k - 1];
+      sizes.feature_bytes += table->DataSizeBytes();
+      sizes.feature_rows += table->row_count();
+      sizes.index_bytes += table->IndexSizeBytes();
+    }
+  }
+  sizes.segment_dir_bytes = segments_table_->DataSizeBytes();
+  sizes.file_bytes = db_->SizeStats().file_bytes;
+  return sizes;
+}
+
+const ExtractorStats& SegDiffIndex::extractor_stats() const {
+  return extractor_->stats();
+}
+
+uint64_t SegDiffIndex::num_segments() const {
+  return segments_table_->row_count();
+}
+
+}  // namespace segdiff

@@ -1,0 +1,160 @@
+// SegDiffIndex: the paper's framework end to end.
+//
+// Ingest: series -> sliding-window segmentation (max error eps/2)
+//         -> Algorithm 1 feature extraction -> minidb feature tables.
+// Search: drop/jump queries (T, V) -> point + line range queries
+//         (Section 4.4) over the feature tables, by sequential scan or
+//         B+-tree index scan -> deduplicated segment-pair results.
+//
+// Storage layout (one minidb file):
+//   segments                 (t_s, v_s, t_e, v_e)     the segment directory
+//   drop1|drop2|drop3        feature rows with 1/2/3 stored corners
+//   jump1|jump2|jump3        likewise for jump search
+// A k-corner feature row is [dt1, dv1, ..., dtk, dvk, t_d, t_c, t_b]
+// (t_a is re-derived from the segment directory). Indexes per Section
+// 4.4: a (dt_j, dv_j) B+-tree per corner (point queries) and a
+// (dt_j, dv_j, dt_{j+1}, dv_{j+1}) B+-tree per frontier edge (line
+// queries) — 9 indexes per search kind.
+
+#ifndef SEGDIFF_SEGDIFF_SEGDIFF_INDEX_H_
+#define SEGDIFF_SEGDIFF_SEGDIFF_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "feature/extractor.h"
+#include "query/executor.h"
+#include "segment/sliding_window.h"
+#include "storage/db.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// Build-time configuration of a SegDiff store.
+struct SegDiffOptions {
+  double eps = 0.2;            ///< user error tolerance (degrees C in the paper)
+  double window_s = 28800.0;   ///< w: longest supported T (8 h default)
+  bool collect_drops = true;
+  bool collect_jumps = true;
+  bool build_indexes = true;   ///< build the Section 4.4 B+-trees
+  bool create_if_missing = true;  ///< false: only open an existing store
+  size_t buffer_pool_pages = 4096;
+  /// Simulated storage read latency (cold-cache experiments); 0 = off.
+  uint64_t sim_seq_read_ns = 0;
+  uint64_t sim_random_read_ns = 0;
+};
+
+/// How a search executes its range queries.
+enum class QueryMode : unsigned char {
+  kSeqScan = 0,   ///< paper's "sequential scan"
+  kIndexScan = 1, ///< paper's "using indexes"
+  kAuto = 2,      ///< planner picks per point/line query
+};
+
+/// Per-search knobs.
+struct SearchOptions {
+  QueryMode mode = QueryMode::kSeqScan;
+  /// Paper semantics issue one range query per stored corner/edge (each
+  /// its own scan). `fused_scan` instead evaluates all of a table's
+  /// conditions in a single pass — an optimization the ablation bench
+  /// quantifies. Only affects kSeqScan.
+  bool fused_scan = false;
+};
+
+/// Execution report for one search.
+struct SearchStats {
+  ScanStats scan;
+  uint64_t queries_issued = 0;
+  uint64_t pairs_returned = 0;
+  double seconds = 0.0;
+};
+
+/// Space usage (paper Section 6 metrics).
+struct SegDiffSizes {
+  uint64_t feature_bytes = 0;   ///< heap pages of the 6 feature tables
+  uint64_t feature_rows = 0;
+  uint64_t index_bytes = 0;     ///< B+-tree pages over feature tables
+  uint64_t segment_dir_bytes = 0;
+  uint64_t file_bytes = 0;      ///< whole database file
+};
+
+class SegDiffIndex {
+ public:
+  /// Creates (or opens) the store backing file at `path`. Appending via
+  /// IngestSeries is supported within the creating process; reopened
+  /// stores are query-only.
+  static Result<std::unique_ptr<SegDiffIndex>> Open(
+      const std::string& path, const SegDiffOptions& options);
+
+  /// Segments and extracts `series`, appending features. May be called
+  /// repeatedly with later series chunks (time stamps must keep
+  /// increasing); each call finalizes its own trailing segment.
+  Status IngestSeries(const Series& series);
+
+  /// Drop search: all segment pairs whose parallelogram indicates an
+  /// event with 0 < dt <= T and dv <= V (V < 0). Sorted, deduplicated.
+  Result<std::vector<PairId>> SearchDrops(double T, double V,
+                                          const SearchOptions& options = {},
+                                          SearchStats* stats = nullptr);
+
+  /// Jump search (V > 0), symmetric.
+  Result<std::vector<PairId>> SearchJumps(double T, double V,
+                                          const SearchOptions& options = {},
+                                          SearchStats* stats = nullptr);
+
+  /// Persists everything (catalog, pages, header).
+  Status Checkpoint();
+
+  /// Checkpoint then evict the buffer pool: cold-cache experiments.
+  Status DropCaches();
+
+  SegDiffSizes GetSizes() const;
+  const ExtractorStats& extractor_stats() const;
+  uint64_t num_observations() const { return observations_; }
+  uint64_t num_segments() const;
+  const SegDiffOptions& options() const { return options_; }
+  Database* db() { return db_.get(); }
+
+ private:
+  SegDiffIndex(SegDiffOptions options);
+
+  Status InitTables();
+  Status WriteFeatureRow(const PairFeatures& row);
+  Result<std::vector<PairId>> Search(SearchKind kind, double T, double V,
+                                     const SearchOptions& options,
+                                     SearchStats* stats);
+  Status EnsureSegmentDirectory();
+  Status EnsureColumnStats();
+
+  SegDiffOptions options_;
+  std::unique_ptr<Database> db_;
+  Table* segments_table_ = nullptr;
+  Table* feature_tables_[2][3] = {{nullptr, nullptr, nullptr},
+                                  {nullptr, nullptr, nullptr}};
+
+  std::unique_ptr<FeatureExtractor> extractor_;
+  std::unique_ptr<SlidingWindowSegmenter> segmenter_;
+  uint64_t observations_ = 0;
+
+  /// t_start -> t_end of every segment, for materializing t_a.
+  std::unordered_map<double, double> segment_dir_;
+  bool segment_dir_fresh_ = false;
+
+  /// Per (kind, k, column) observed [min, max], for the kAuto planner.
+  struct ColumnRange {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool seen = false;
+  };
+  std::vector<ColumnRange> column_stats_[2][3];
+  bool column_stats_fresh_ = false;
+
+  std::vector<double> row_buf_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGDIFF_SEGDIFF_INDEX_H_

@@ -1,0 +1,114 @@
+#include "segdiff/transect_index.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace segdiff {
+
+Result<std::unique_ptr<TransectIndex>> TransectIndex::Open(
+    const std::string& directory, int sensor_count,
+    const SegDiffOptions& options) {
+  if (sensor_count <= 0) {
+    return Status::InvalidArgument("sensor_count must be positive");
+  }
+  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + directory + ": " +
+                           std::strerror(errno));
+  }
+  std::unique_ptr<TransectIndex> transect(new TransectIndex());
+  transect->sensors_.reserve(static_cast<size_t>(sensor_count));
+  for (int s = 0; s < sensor_count; ++s) {
+    const std::string path =
+        directory + "/sensor" + std::to_string(s) + ".db";
+    SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<SegDiffIndex> store,
+                             SegDiffIndex::Open(path, options));
+    transect->sensors_.push_back(std::move(store));
+  }
+  return transect;
+}
+
+Status TransectIndex::IngestSensorSeries(int sensor, const Series& series) {
+  if (sensor < 0 || sensor >= sensor_count()) {
+    return Status::InvalidArgument("sensor index out of range");
+  }
+  return sensors_[static_cast<size_t>(sensor)]->IngestSeries(series);
+}
+
+template <typename SearchFn>
+Result<std::vector<TransectHit>> TransectIndex::SearchAll(
+    const SearchFn& search, SearchStats* stats) {
+  std::vector<TransectHit> hits;
+  SearchStats total;
+  for (int s = 0; s < sensor_count(); ++s) {
+    SearchStats one;
+    SEGDIFF_ASSIGN_OR_RETURN(
+        std::vector<PairId> pairs,
+        search(sensors_[static_cast<size_t>(s)].get(), &one));
+    for (const PairId& pair : pairs) {
+      hits.push_back(TransectHit{s, pair});
+    }
+    total.scan.Add(one.scan);
+    total.queries_issued += one.queries_issued;
+    total.seconds += one.seconds;
+  }
+  total.pairs_returned = hits.size();
+  if (stats != nullptr) {
+    *stats = total;
+  }
+  return hits;
+}
+
+Result<std::vector<TransectHit>> TransectIndex::SearchDrops(
+    double T, double V, const SearchOptions& options, SearchStats* stats) {
+  return SearchAll(
+      [&](SegDiffIndex* store, SearchStats* one) {
+        return store->SearchDrops(T, V, options, one);
+      },
+      stats);
+}
+
+Result<std::vector<TransectHit>> TransectIndex::SearchJumps(
+    double T, double V, const SearchOptions& options, SearchStats* stats) {
+  return SearchAll(
+      [&](SegDiffIndex* store, SearchStats* one) {
+        return store->SearchJumps(T, V, options, one);
+      },
+      stats);
+}
+
+Result<SegDiffIndex*> TransectIndex::sensor(int index) const {
+  if (index < 0 || index >= sensor_count()) {
+    return Status::InvalidArgument("sensor index out of range");
+  }
+  return sensors_[static_cast<size_t>(index)].get();
+}
+
+Status TransectIndex::Checkpoint() {
+  for (auto& store : sensors_) {
+    SEGDIFF_RETURN_IF_ERROR(store->Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status TransectIndex::DropCaches() {
+  for (auto& store : sensors_) {
+    SEGDIFF_RETURN_IF_ERROR(store->DropCaches());
+  }
+  return Status::OK();
+}
+
+TransectSizes TransectIndex::GetSizes() const {
+  TransectSizes sizes;
+  for (const auto& store : sensors_) {
+    const SegDiffSizes one = store->GetSizes();
+    sizes.feature_bytes += one.feature_bytes;
+    sizes.feature_rows += one.feature_rows;
+    sizes.index_bytes += one.index_bytes;
+    sizes.file_bytes += one.file_bytes;
+  }
+  return sizes;
+}
+
+}  // namespace segdiff

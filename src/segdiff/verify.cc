@@ -1,0 +1,197 @@
+#include "segdiff/verify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ts/interpolate.h"
+
+namespace segdiff {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Candidate time points inside [lo, hi]: the interval ends plus every
+/// sample strictly inside.
+std::vector<double> Candidates(const Series& series, double lo, double hi) {
+  std::vector<double> out;
+  if (lo > hi) {
+    return out;
+  }
+  out.push_back(lo);
+  const auto& samples = series.samples();
+  auto it = std::upper_bound(
+      samples.begin(), samples.end(), lo,
+      [](double t, const Sample& s) { return t < s.t; });
+  for (; it != samples.end() && it->t < hi; ++it) {
+    out.push_back(it->t);
+  }
+  if (hi > lo) {
+    out.push_back(hi);
+  }
+  return out;
+}
+
+/// Computes the extremum of v(t'') - v(t') over the pair's feasible set,
+/// tracking the achieving event. `minimize` selects min (drop) vs max
+/// (jump).
+Result<RefinedEvent> ExtremumDeltaV(const Series& series, const PairId& pair,
+                                    double T, bool minimize) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("series too small");
+  }
+  const double span_lo = series.front().t;
+  const double span_hi = series.back().t;
+  const double a_lo = std::max(pair.t_d, span_lo);
+  const double a_hi = std::min(pair.t_c, span_hi);
+  const double b_lo = std::max(pair.t_b, span_lo);
+  const double b_hi = std::min(pair.t_a, span_hi);
+  RefinedEvent best;
+  best.dv = minimize ? kInf : -kInf;
+  if (a_lo > a_hi || b_lo > b_hi) {
+    return best;
+  }
+
+  ModelGEvaluator eval(series);
+  const std::vector<double> starts = Candidates(series, a_lo, a_hi);
+  const std::vector<double> ends = Candidates(series, b_lo, b_hi);
+
+  auto improve = [&](double dv, double t_start, double t_end) {
+    if (minimize ? dv < best.dv : dv > best.dv) {
+      best.feasible = true;
+      best.dv = dv;
+      best.t_start = t_start;
+      best.t_end = t_end;
+    }
+  };
+  auto consider = [&](double t_start, double t_end) -> Status {
+    const double dt = t_end - t_start;
+    if (dt < 0.0 || dt > T) {
+      return Status::OK();
+    }
+    if (dt == 0.0) {
+      // Events with dt -> 0+ approach dv = 0; treat 0 as attainable in
+      // the limit so boundary cases do not report spurious violations.
+      improve(0.0, t_start, t_end);
+      return Status::OK();
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(double v_start, eval.ValueAt(t_start));
+    SEGDIFF_ASSIGN_OR_RETURN(double v_end, eval.ValueAt(t_end));
+    improve(v_end - v_start, t_start, t_end);
+    return Status::OK();
+  };
+
+  // Vertex pairs (breakpoint, breakpoint): v is piecewise linear, so with
+  // the coupling constraint dt <= T the extremum is at such a vertex or
+  // on the dt == T boundary anchored at a breakpoint (handled below).
+  for (double t_start : starts) {
+    // Only ends in [t_start, t_start + T] are feasible.
+    auto first = std::lower_bound(ends.begin(), ends.end(), t_start);
+    for (auto it = first; it != ends.end() && *it <= t_start + T; ++it) {
+      SEGDIFF_RETURN_IF_ERROR(consider(t_start, *it));
+    }
+    const double capped = t_start + T;
+    if (capped >= b_lo && capped <= b_hi) {
+      SEGDIFF_RETURN_IF_ERROR(consider(t_start, capped));
+    }
+  }
+  for (double t_end : ends) {
+    const double anchored = t_end - T;
+    if (anchored >= a_lo && anchored <= a_hi) {
+      SEGDIFF_RETURN_IF_ERROR(consider(anchored, t_end));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<double> MinDeltaVInPair(const Series& series, const PairId& pair,
+                               double T) {
+  SEGDIFF_ASSIGN_OR_RETURN(RefinedEvent event,
+                           ExtremumDeltaV(series, pair, T, /*minimize=*/true));
+  return event.dv;
+}
+
+Result<double> MaxDeltaVInPair(const Series& series, const PairId& pair,
+                               double T) {
+  SEGDIFF_ASSIGN_OR_RETURN(
+      RefinedEvent event, ExtremumDeltaV(series, pair, T, /*minimize=*/false));
+  return event.dv;
+}
+
+Result<RefinedEvent> RefineDrop(const Series& series, const PairId& pair,
+                                double T) {
+  return ExtremumDeltaV(series, pair, T, /*minimize=*/true);
+}
+
+Result<RefinedEvent> RefineJump(const Series& series, const PairId& pair,
+                                double T) {
+  return ExtremumDeltaV(series, pair, T, /*minimize=*/false);
+}
+
+bool PairCoversEvent(const PairId& pair, const NaiveEvent& event) {
+  return pair.t_d <= event.t_start && event.t_start <= pair.t_c &&
+         pair.t_b <= event.t_end && event.t_end <= pair.t_a;
+}
+
+CoverageReport CheckCoverage(const std::vector<NaiveEvent>& events,
+                             const std::vector<PairId>& pairs) {
+  CoverageReport report;
+  report.events = events.size();
+
+  std::vector<PairId> by_tb = pairs;
+  std::sort(by_tb.begin(), by_tb.end(),
+            [](const PairId& a, const PairId& b) { return a.t_b < b.t_b; });
+  double max_ab_span = 0.0;
+  for (const PairId& pair : by_tb) {
+    max_ab_span = std::max(max_ab_span, pair.t_a - pair.t_b);
+  }
+
+  for (const NaiveEvent& event : events) {
+    // Any covering pair has t_b <= t_end <= t_a <= t_b + max_ab_span.
+    auto hi = std::upper_bound(
+        by_tb.begin(), by_tb.end(), event.t_end,
+        [](double t, const PairId& p) { return t < p.t_b; });
+    bool covered = false;
+    for (auto it = hi; it != by_tb.begin();) {
+      --it;
+      if (it->t_b < event.t_end - max_ab_span) {
+        break;
+      }
+      if (PairCoversEvent(*it, event)) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) {
+      ++report.covered;
+    } else {
+      report.missing.push_back(event);
+    }
+  }
+  return report;
+}
+
+Result<std::vector<PairId>> FindToleranceViolations(
+    const Series& series, const std::vector<PairId>& pairs, double T,
+    double V, double eps, SearchKind kind) {
+  constexpr double kSlack = 1e-9;
+  std::vector<PairId> violations;
+  for (const PairId& pair : pairs) {
+    if (kind == SearchKind::kDrop) {
+      SEGDIFF_ASSIGN_OR_RETURN(double min_dv, MinDeltaVInPair(series, pair, T));
+      if (!(min_dv <= V + 2.0 * eps + kSlack)) {
+        violations.push_back(pair);
+      }
+    } else {
+      SEGDIFF_ASSIGN_OR_RETURN(double max_dv, MaxDeltaVInPair(series, pair, T));
+      if (!(max_dv >= V - 2.0 * eps - kSlack)) {
+        violations.push_back(pair);
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace segdiff

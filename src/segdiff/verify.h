@@ -1,0 +1,70 @@
+// Verification of the paper's quality guarantees (Theorem 1) against a
+// concrete series: coverage of true events (no false negatives) and the
+// 2-eps tolerance of returned pairs (bounded false positives).
+
+#ifndef SEGDIFF_SEGDIFF_VERIFY_H_
+#define SEGDIFF_SEGDIFF_VERIFY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "feature/schema.h"
+#include "segdiff/naive.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// Exact extremum of dv = v(t'') - v(t') over Model G with
+/// t' in [pair.t_d, pair.t_c], t'' in [pair.t_b, pair.t_a], and
+/// 0 < t'' - t' <= T. Returns +inf (MinDeltaV) / -inf (MaxDeltaV) when no
+/// feasible (t', t'') exists. Exact because v is piecewise linear: the
+/// extremum is attained with both ends at sample points, interval
+/// endpoints, or on the dt == T constraint anchored at such a point.
+Result<double> MinDeltaVInPair(const Series& series, const PairId& pair,
+                               double T);
+Result<double> MaxDeltaVInPair(const Series& series, const PairId& pair,
+                               double T);
+
+/// Whether the true event (t_start, t_end) is covered by `pair`:
+/// t_start in [t_d, t_c] and t_end in [t_b, t_a].
+bool PairCoversEvent(const PairId& pair, const NaiveEvent& event);
+
+/// Coverage of a set of true events by a set of returned pairs.
+struct CoverageReport {
+  size_t events = 0;
+  size_t covered = 0;
+  std::vector<NaiveEvent> missing;
+
+  bool AllCovered() const { return covered == events; }
+};
+
+CoverageReport CheckCoverage(const std::vector<NaiveEvent>& events,
+                             const std::vector<PairId>& pairs);
+
+/// Lemma 5 check for drop search: every returned pair contains an event
+/// with dv <= V + 2*eps within (0, T]. Returns the ids of violating
+/// pairs (empty == guarantee holds).
+Result<std::vector<PairId>> FindToleranceViolations(
+    const Series& series, const std::vector<PairId>& pairs, double T,
+    double V, double eps, SearchKind kind);
+
+/// The exact extremal event inside a returned pair, for drill-down
+/// after a search: where precisely the steepest drop (largest jump)
+/// happened and how big it was.
+struct RefinedEvent {
+  bool feasible = false;  ///< false when the pair admits no 0 < dt <= T
+  double t_start = 0.0;
+  double t_end = 0.0;
+  double dv = 0.0;
+};
+
+/// Arg-min of dv over the pair's feasible events (Model G).
+Result<RefinedEvent> RefineDrop(const Series& series, const PairId& pair,
+                                double T);
+/// Arg-max of dv over the pair's feasible events.
+Result<RefinedEvent> RefineJump(const Series& series, const PairId& pair,
+                                double T);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGDIFF_VERIFY_H_

@@ -1,0 +1,117 @@
+#include "segment/bottom_up.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace segdiff {
+namespace {
+
+/// Max |error| of the line through samples [lo] and [hi] over the interior
+/// samples (lo, hi).
+double MergeCost(const Series& series, size_t lo, size_t hi) {
+  const Sample& a = series[lo];
+  const Sample& b = series[hi];
+  const double slope = (b.v - a.v) / (b.t - a.t);
+  double cost = 0.0;
+  for (size_t i = lo + 1; i < hi; ++i) {
+    const double fitted = a.v + slope * (series[i].t - a.t);
+    cost = std::max(cost, std::abs(fitted - series[i].v));
+  }
+  return cost;
+}
+
+struct Candidate {
+  double cost;
+  size_t left;     ///< left node id
+  uint64_t stamp;  ///< lazy-deletion version of the left node
+
+  bool operator>(const Candidate& other) const { return cost > other.cost; }
+};
+
+}  // namespace
+
+Result<PiecewiseLinear> BottomUpSegment(const Series& series,
+                                        const SegmentationOptions& options) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 observations to segment");
+  }
+  if (options.max_error < 0.0) {
+    return Status::InvalidArgument("max_error must be >= 0");
+  }
+  const size_t n = series.size();
+  // Doubly linked list of segment boundaries over sample indices.
+  // Node i represents the segment [start_[i], start_[next_[i]]].
+  std::vector<size_t> start(n - 1);
+  std::vector<size_t> prev(n - 1);
+  std::vector<size_t> next(n - 1);
+  std::vector<uint64_t> stamp(n - 1, 0);
+  std::vector<bool> alive(n - 1, true);
+  constexpr size_t kNone = std::numeric_limits<size_t>::max();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    start[i] = i;
+    prev[i] = i == 0 ? kNone : i - 1;
+    next[i] = i + 2 < n ? i + 1 : kNone;
+  }
+
+  // Segment end index: start of next node, or n-1 for the last node.
+  auto end_index = [&](size_t node) {
+    return next[node] == kNone ? n - 1 : start[next[node]];
+  };
+
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      heap;
+  auto push_candidate = [&](size_t node) {
+    if (node == kNone || next[node] == kNone) {
+      return;
+    }
+    const double cost =
+        MergeCost(series, start[node], end_index(next[node]));
+    heap.push(Candidate{cost, node, stamp[node]});
+  };
+  for (size_t i = 0; i + 1 < n; ++i) {
+    push_candidate(i);
+  }
+
+  while (!heap.empty()) {
+    const Candidate top = heap.top();
+    heap.pop();
+    const size_t node = top.left;
+    if (!alive[node] || stamp[node] != top.stamp || next[node] == kNone) {
+      continue;  // stale entry
+    }
+    if (top.cost > options.max_error) {
+      break;  // cheapest merge already violates the bound
+    }
+    // Merge node with next[node].
+    const size_t right = next[node];
+    alive[right] = false;
+    next[node] = next[right];
+    if (next[right] != kNone) {
+      prev[next[right]] = node;
+    }
+    ++stamp[node];
+    push_candidate(node);
+    if (prev[node] != kNone) {
+      ++stamp[prev[node]];
+      push_candidate(prev[node]);
+    }
+  }
+
+  std::vector<DataSegment> segments;
+  size_t node = 0;
+  while (node != kNone && !alive[node]) {
+    ++node;  // node 0 is always alive, but stay defensive
+  }
+  for (; node != kNone; node = next[node]) {
+    segments.push_back(
+        DataSegment{series[start[node]], series[end_index(node)]});
+  }
+  return PiecewiseLinear::FromSegments(std::move(segments));
+}
+
+}  // namespace segdiff

@@ -1,0 +1,27 @@
+// Offline bottom-up segmentation (Keogh et al. 2001, Section 2.2).
+//
+// Included as an ablation comparator for the paper's choice of the online
+// sliding-window algorithm: bottom-up typically produces fewer segments
+// (higher compression rate r) for the same error bound but is offline.
+// Segments interpolate their end observations, matching the sliding-window
+// output contract, so it can be swapped into the SegDiff pipeline.
+
+#ifndef SEGDIFF_SEGMENT_BOTTOM_UP_H_
+#define SEGDIFF_SEGMENT_BOTTOM_UP_H_
+
+#include "common/result.h"
+#include "segment/pla.h"
+#include "segment/sliding_window.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// Merges adjacent segments greedily (cheapest merge first) while the
+/// merged segment keeps every interior observation within
+/// options.max_error. Same guarantee as SegmentSeries.
+Result<PiecewiseLinear> BottomUpSegment(const Series& series,
+                                        const SegmentationOptions& options);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGMENT_BOTTOM_UP_H_

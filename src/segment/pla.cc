@@ -1,0 +1,65 @@
+#include "segment/pla.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace segdiff {
+
+Result<PiecewiseLinear> PiecewiseLinear::FromSegments(
+    std::vector<DataSegment> segments) {
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (!(segments[i].start.t < segments[i].end.t)) {
+      return Status::InvalidArgument("degenerate segment at index " +
+                                     std::to_string(i));
+    }
+    if (i > 0 && !AreContiguous(segments[i - 1], segments[i])) {
+      return Status::InvalidArgument("segments not contiguous at index " +
+                                     std::to_string(i));
+    }
+  }
+  PiecewiseLinear pla;
+  pla.segments_ = std::move(segments);
+  return pla;
+}
+
+double PiecewiseLinear::t_min() const {
+  return segments_.empty() ? 0.0 : segments_.front().start.t;
+}
+
+double PiecewiseLinear::t_max() const {
+  return segments_.empty() ? 0.0 : segments_.back().end.t;
+}
+
+Result<double> PiecewiseLinear::Evaluate(double t) const {
+  if (segments_.empty() || t < t_min() || t > t_max()) {
+    return Status::OutOfRange("t outside approximation span");
+  }
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double value, const DataSegment& seg) { return value < seg.end.t; });
+  if (it == segments_.end()) {
+    --it;
+  }
+  return it->ValueAt(t);
+}
+
+double PiecewiseLinear::CompressionRate(size_t n_observations) const {
+  if (segments_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(n_observations) /
+         static_cast<double>(segments_.size());
+}
+
+Result<double> PiecewiseLinear::MaxAbsErrorOver(const Series& series) const {
+  double max_error = 0.0;
+  for (const Sample& sample : series) {
+    SEGDIFF_ASSIGN_OR_RETURN(double fitted, Evaluate(sample.t));
+    max_error = std::max(max_error, std::abs(fitted - sample.v));
+  }
+  return max_error;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,9 @@
+#include "segment/segment.h"
+
+namespace segdiff {
+
+bool AreContiguous(const DataSegment& a, const DataSegment& b) {
+  return a.end == b.start;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,45 @@
+// Data segments: the output unit of piecewise linear approximation.
+//
+// Terminology follows the paper (Section 4.2): a *data segment*
+// ((t_s, v_s), (t_e, v_e)) approximates one continuous stretch of the
+// series by the straight line through its two end observations.
+
+#ifndef SEGDIFF_SEGMENT_SEGMENT_H_
+#define SEGDIFF_SEGMENT_SEGMENT_H_
+
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// A straight-line approximation of one part of the data, pinned at two
+/// real observations. Invariant: start.t < end.t (never degenerate).
+struct DataSegment {
+  Sample start;
+  Sample end;
+
+  /// Slope (v_e - v_s) / (t_e - t_s).
+  double Slope() const { return (end.v - start.v) / (end.t - start.t); }
+
+  /// Time covered by the segment.
+  double Duration() const { return end.t - start.t; }
+
+  /// Total change over the segment (end.v - start.v).
+  double Rise() const { return end.v - start.v; }
+
+  /// Value of the segment's line at `t` (no range check; callers clamp).
+  double ValueAt(double t) const {
+    return start.v + Slope() * (t - start.t);
+  }
+
+  friend bool operator==(const DataSegment& a, const DataSegment& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+/// True when `b` begins exactly where `a` ends (shared observation), the
+/// contiguity invariant of segmentation output.
+bool AreContiguous(const DataSegment& a, const DataSegment& b);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGMENT_SEGMENT_H_

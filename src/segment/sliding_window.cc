@@ -1,0 +1,116 @@
+#include "segment/sliding_window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace segdiff {
+
+SlidingWindowSegmenter::SlidingWindowSegmenter(
+    const SegmentationOptions& options, EmitFn emit)
+    : options_(options), emit_(std::move(emit)) {}
+
+Status SlidingWindowSegmenter::Emit(const DataSegment& segment) {
+  ++segments_emitted_;
+  return emit_(segment);
+}
+
+Status SlidingWindowSegmenter::Add(const Sample& sample) {
+  if (finished_) {
+    return Status::InvalidArgument("Add after Finish");
+  }
+  if (options_.max_error < 0.0) {
+    return Status::InvalidArgument("max_error must be >= 0");
+  }
+  if (!std::isfinite(sample.t) || !std::isfinite(sample.v)) {
+    return Status::InvalidArgument("non-finite sample");
+  }
+  ++observations_;
+
+  if (!has_anchor_) {
+    anchor_ = sample;
+    has_anchor_ = true;
+    return Status::OK();
+  }
+  if (sample.t <= (has_endpoint_ ? endpoint_.t : anchor_.t)) {
+    return Status::InvalidArgument("time stamps must be strictly increasing");
+  }
+  if (!has_endpoint_) {
+    endpoint_ = sample;
+    has_endpoint_ = true;
+    slope_lo_ = -std::numeric_limits<double>::infinity();
+    slope_hi_ = std::numeric_limits<double>::infinity();
+    return Status::OK();
+  }
+
+  // Would the line anchor -> sample keep every interior observation
+  // (including the current endpoint) within max_error?
+  const double dt_end = endpoint_.t - anchor_.t;
+  const double candidate_lo = std::max(
+      slope_lo_, (endpoint_.v - anchor_.v - options_.max_error) / dt_end);
+  const double candidate_hi = std::min(
+      slope_hi_, (endpoint_.v - anchor_.v + options_.max_error) / dt_end);
+  const double slope = (sample.v - anchor_.v) / (sample.t - anchor_.t);
+
+  if (slope >= candidate_lo && slope <= candidate_hi) {
+    // Extend the window: the old endpoint becomes an interior point.
+    slope_lo_ = candidate_lo;
+    slope_hi_ = candidate_hi;
+    endpoint_ = sample;
+    return Status::OK();
+  }
+
+  // Emit the segment ending at the current endpoint; restart there.
+  SEGDIFF_RETURN_IF_ERROR(Emit(DataSegment{anchor_, endpoint_}));
+  anchor_ = endpoint_;
+  endpoint_ = sample;
+  slope_lo_ = -std::numeric_limits<double>::infinity();
+  slope_hi_ = std::numeric_limits<double>::infinity();
+  return Status::OK();
+}
+
+Status SlidingWindowSegmenter::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("Finish called twice");
+  }
+  finished_ = true;
+  if (has_anchor_ && has_endpoint_) {
+    SEGDIFF_RETURN_IF_ERROR(Emit(DataSegment{anchor_, endpoint_}));
+  }
+  return Status::OK();
+}
+
+Result<PiecewiseLinear> SegmentSeries(const Series& series,
+                                      const SegmentationOptions& options) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least 2 observations to segment");
+  }
+  if (options.max_error < 0.0) {
+    return Status::InvalidArgument("max_error must be >= 0");
+  }
+  std::vector<DataSegment> segments;
+  SlidingWindowSegmenter segmenter(
+      options, [&segments](const DataSegment& segment) {
+        segments.push_back(segment);
+        return Status::OK();
+      });
+  for (const Sample& sample : series) {
+    SEGDIFF_RETURN_IF_ERROR(segmenter.Add(sample));
+  }
+  SEGDIFF_RETURN_IF_ERROR(segmenter.Finish());
+  return PiecewiseLinear::FromSegments(std::move(segments));
+}
+
+Result<PiecewiseLinear> SegmentSeriesWithTolerance(const Series& series,
+                                                   double eps) {
+  if (eps < 0.0) {
+    return Status::InvalidArgument("eps must be >= 0");
+  }
+  SegmentationOptions options;
+  options.max_error = eps / 2.0;
+  return SegmentSeries(series, options);
+}
+
+}  // namespace segdiff

@@ -1,0 +1,88 @@
+// Online sliding-window segmentation with linear interpolation
+// (Keogh, Chu, Hart, Pazzani, "An online algorithm for segmenting time
+// series", ICDM 2001, Section 2.1 — the variant the paper adopts).
+//
+// The window grows while the line through its two end observations stays
+// within max_error (= eps/2) of every interior observation; when a new
+// point would violate that, the current segment is emitted and a new
+// window starts at its end observation. We implement it in O(n) total by
+// maintaining the feasible slope interval of the anchored line: a point
+// (t_i, v_i) interior to a window anchored at (t0, v0) admits slopes in
+// [(v_i - v0 - d) / (t_i - t0), (v_i - v0 + d) / (t_i - t0)], and the
+// window is valid iff the end-to-end slope lies in the intersection of
+// interior intervals. This is algebraically identical to the textbook
+// recheck-all-interior-points formulation (tests cross-validate).
+
+#ifndef SEGDIFF_SEGMENT_SLIDING_WINDOW_H_
+#define SEGDIFF_SEGMENT_SLIDING_WINDOW_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "segment/pla.h"
+#include "segment/segment.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// Options for sliding-window segmentation.
+struct SegmentationOptions {
+  /// Maximum absolute deviation of the approximation at any observation.
+  /// The paper sets max_error = eps / 2 (Definition 2 / Section 4.1).
+  double max_error = 0.1;
+};
+
+/// Streaming segmenter: feed observations in time order; completed
+/// segments are emitted through the callback as soon as they are final.
+/// Call Finish() to flush the trailing segment.
+class SlidingWindowSegmenter {
+ public:
+  using EmitFn = std::function<Status(const DataSegment&)>;
+
+  /// `emit` is invoked once per completed segment, in temporal order.
+  SlidingWindowSegmenter(const SegmentationOptions& options, EmitFn emit);
+
+  /// Feeds the next observation; time stamps must be strictly increasing.
+  Status Add(const Sample& sample);
+
+  /// Flushes the pending window as a final segment (if it has >= 2
+  /// observations). The segmenter can keep accepting samples afterwards
+  /// only via a new instance.
+  Status Finish();
+
+  /// Number of observations consumed so far.
+  size_t observations() const { return observations_; }
+  /// Number of segments emitted so far.
+  size_t segments_emitted() const { return segments_emitted_; }
+
+ private:
+  Status Emit(const DataSegment& segment);
+
+  SegmentationOptions options_;
+  EmitFn emit_;
+  bool has_anchor_ = false;
+  bool has_endpoint_ = false;
+  Sample anchor_;       ///< first observation of the open window
+  Sample endpoint_;     ///< latest observation of the open window
+  double slope_lo_ = 0.0;  ///< feasible slope interval (interior points)
+  double slope_hi_ = 0.0;
+  bool finished_ = false;
+  size_t observations_ = 0;
+  size_t segments_emitted_ = 0;
+};
+
+/// Convenience: segments a whole series. Fails with InvalidArgument for
+/// series with fewer than 2 samples or non-positive max_error when
+/// options.max_error < 0.
+Result<PiecewiseLinear> SegmentSeries(const Series& series,
+                                      const SegmentationOptions& options);
+
+/// Convenience used throughout: eps is the paper's user tolerance, the
+/// segmenter runs at max_error = eps / 2.
+Result<PiecewiseLinear> SegmentSeriesWithTolerance(const Series& series,
+                                                   double eps);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGMENT_SLIDING_WINDOW_H_

@@ -1,0 +1,120 @@
+// AST for the minidb SQL dialect.
+//
+// Supported statements (enough to drive the paper's workload: schema
+// creation, feature loading, and the Section 4.4 range queries):
+//
+//   CREATE TABLE t (col DOUBLE | BIGINT, ...)
+//   CREATE INDEX idx ON t (col, ...)
+//   INSERT INTO t VALUES (num, ...)
+//   [EXPLAIN] SELECT * | col, ... | COUNT(*) | MIN|MAX|AVG|SUM(col) FROM t
+//       [WHERE col op num [AND ...]]
+//       [ORDER BY col [ASC|DESC]] [LIMIT n]
+//   DELETE FROM t [WHERE col op num [AND ...]]
+//   SHOW TABLES
+//   DESCRIBE t
+
+#ifndef SEGDIFF_SQL_AST_H_
+#define SEGDIFF_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/record.h"
+
+namespace segdiff {
+namespace sql {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<double>> rows;  // VALUES (..), (..), ...
+};
+
+/// One "col op value" conjunct.
+struct WhereClause {
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  double value = 0.0;
+};
+
+struct OrderBy {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Aggregate function in the select list (at most one, no GROUP BY).
+enum class Aggregate : unsigned char {
+  kNone = 0,
+  kCount,  // COUNT(*)
+  kMin,
+  kMax,
+  kAvg,
+  kSum,
+};
+
+struct SelectStmt {
+  std::string table;
+  bool star = false;
+  bool count = false;  // SELECT COUNT(*) (same as aggregate == kCount)
+  Aggregate aggregate = Aggregate::kNone;
+  std::string aggregate_column;  // for kMin/kMax/kAvg/kSum
+  std::vector<std::string> columns;
+  std::vector<WhereClause> where;
+  std::optional<OrderBy> order_by;
+  std::optional<uint64_t> limit;
+};
+
+struct DeleteStmt {
+  std::string table;
+  std::vector<WhereClause> where;
+};
+
+struct ShowTablesStmt {};
+
+struct DescribeStmt {
+  std::string table;
+};
+
+enum class StatementKind : unsigned char {
+  kCreateTable,
+  kCreateIndex,
+  kInsert,
+  kSelect,
+  kDelete,
+  kShowTables,
+  kDescribe,
+};
+
+/// Tagged union of the statement kinds (only the active member is used).
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  bool explain = false;  ///< EXPLAIN prefix: plan only, do not execute
+  CreateTableStmt create_table;
+  CreateIndexStmt create_index;
+  InsertStmt insert;
+  SelectStmt select;
+  DeleteStmt del;
+  DescribeStmt describe;
+};
+
+}  // namespace sql
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SQL_AST_H_

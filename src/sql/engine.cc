@@ -1,0 +1,438 @@
+#include "sql/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "sql/parser.h"
+
+namespace segdiff {
+namespace sql {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bounds collected for one column from the WHERE conjunction.
+struct ColumnBounds {
+  double lower = -kInf;
+  bool lower_inclusive = true;
+  double upper = kInf;
+  bool upper_inclusive = true;
+  bool any = false;
+};
+
+ColumnBounds BoundsFor(const std::vector<WhereClause>& where, size_t column,
+                       const TableSchema& schema) {
+  ColumnBounds bounds;
+  for (const WhereClause& clause : where) {
+    auto idx = schema.ColumnIndex(clause.column);
+    if (!idx.ok() || *idx != column) {
+      continue;
+    }
+    bounds.any = true;
+    // Interval intersection. On a strict tightening the new clause's
+    // inclusivity wins; on a tie the stricter (exclusive) side wins.
+    auto tighten_upper = [&bounds](double value, bool inclusive) {
+      if (value < bounds.upper) {
+        bounds.upper = value;
+        bounds.upper_inclusive = inclusive;
+      } else if (value == bounds.upper && !inclusive) {
+        bounds.upper_inclusive = false;
+      }
+    };
+    auto tighten_lower = [&bounds](double value, bool inclusive) {
+      if (value > bounds.lower) {
+        bounds.lower = value;
+        bounds.lower_inclusive = inclusive;
+      } else if (value == bounds.lower && !inclusive) {
+        bounds.lower_inclusive = false;
+      }
+    };
+    switch (clause.op) {
+      case CmpOp::kEq:
+        tighten_lower(clause.value, true);
+        tighten_upper(clause.value, true);
+        break;
+      case CmpOp::kLt:
+        tighten_upper(clause.value, false);
+        break;
+      case CmpOp::kLe:
+        tighten_upper(clause.value, true);
+        break;
+      case CmpOp::kGt:
+        tighten_lower(clause.value, false);
+        break;
+      case CmpOp::kGe:
+        tighten_lower(clause.value, true);
+        break;
+    }
+  }
+  return bounds;
+}
+
+std::string ValueToString(const Value& value) {
+  if (value.type == ColumnType::kInt64) {
+    return std::to_string(value.i);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value.d);
+  return buf;
+}
+
+}  // namespace
+
+Result<QueryResult> Engine::Execute(const std::string& statement) {
+  SEGDIFF_ASSIGN_OR_RETURN(Statement parsed, Parse(statement));
+  return Execute(parsed);
+}
+
+Result<QueryResult> Engine::Execute(const Statement& statement) {
+  switch (statement.kind) {
+    case StatementKind::kCreateTable:
+      return ExecuteCreateTable(statement.create_table);
+    case StatementKind::kCreateIndex:
+      return ExecuteCreateIndex(statement.create_index);
+    case StatementKind::kInsert:
+      return ExecuteInsert(statement.insert);
+    case StatementKind::kSelect:
+      return ExecuteSelect(statement.select, statement.explain);
+    case StatementKind::kDelete:
+      return ExecuteDelete(statement.del);
+    case StatementKind::kShowTables:
+      return ExecuteShowTables();
+    case StatementKind::kDescribe:
+      return ExecuteDescribe(statement.describe);
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Result<QueryResult> Engine::ExecuteCreateTable(const CreateTableStmt& stmt) {
+  std::vector<Column> columns;
+  for (const ColumnDef& def : stmt.columns) {
+    columns.push_back(Column{def.name, def.type});
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema,
+                           TableSchema::Create(std::move(columns)));
+  SEGDIFF_RETURN_IF_ERROR(
+      db_->CreateTable(stmt.table, std::move(schema)).status());
+  return QueryResult{};
+}
+
+Result<QueryResult> Engine::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
+  SEGDIFF_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  SEGDIFF_RETURN_IF_ERROR(
+      table->CreateIndex(stmt.index, stmt.columns).status());
+  return QueryResult{};
+}
+
+Result<QueryResult> Engine::ExecuteInsert(const InsertStmt& stmt) {
+  SEGDIFF_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  QueryResult result;
+  for (const std::vector<double>& values : stmt.rows) {
+    if (values.size() != table->schema().num_columns()) {
+      return Status::InvalidArgument("INSERT arity mismatch for table " +
+                                     stmt.table);
+    }
+    Row row;
+    row.reserve(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (table->schema().column(i).type == ColumnType::kInt64) {
+        row.push_back(Value::Int64(static_cast<int64_t>(values[i])));
+      } else {
+        row.push_back(Value::Double(values[i]));
+      }
+    }
+    SEGDIFF_RETURN_IF_ERROR(table->Insert(row).status());
+    ++result.rows_affected;
+  }
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
+                                          bool explain_only) {
+  SEGDIFF_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+
+  // Aggregate bookkeeping (COUNT(*) handled via `matched`).
+  const bool value_aggregate = stmt.aggregate != Aggregate::kNone &&
+                               stmt.aggregate != Aggregate::kCount;
+  size_t aggregate_idx = 0;
+  if (value_aggregate) {
+    SEGDIFF_ASSIGN_OR_RETURN(aggregate_idx,
+                             schema.ColumnIndex(stmt.aggregate_column));
+    if (schema.column(aggregate_idx).type != ColumnType::kDouble) {
+      return Status::NotSupported("aggregate on non-DOUBLE column " +
+                                  stmt.aggregate_column);
+    }
+  }
+
+  // Output projection.
+  QueryResult result;
+  std::vector<size_t> projection;
+  if (stmt.count) {
+    result.columns = {"count"};
+  } else if (value_aggregate) {
+    static const char* kNames[] = {"", "count", "min", "max", "avg", "sum"};
+    result.columns = {std::string(
+                          kNames[static_cast<int>(stmt.aggregate)]) +
+                      "(" + stmt.aggregate_column + ")"};
+  } else if (stmt.star) {
+    for (const Column& column : schema.columns()) {
+      result.columns.push_back(column.name);
+      projection.push_back(projection.size());
+    }
+  } else {
+    for (const std::string& name : stmt.columns) {
+      SEGDIFF_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(name));
+      result.columns.push_back(name);
+      projection.push_back(idx);
+    }
+  }
+
+  // Full predicate: every WHERE conjunct (also validates column names
+  // and rejects comparisons on BIGINT columns, which indexes and the
+  // double-typed predicate layer do not support).
+  Predicate predicate;
+  for (const WhereClause& clause : stmt.where) {
+    SEGDIFF_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(clause.column));
+    if (schema.column(idx).type != ColumnType::kDouble) {
+      return Status::NotSupported("WHERE on non-DOUBLE column " +
+                                  clause.column);
+    }
+    predicate.And(idx, clause.op, clause.value);
+  }
+
+  std::optional<size_t> order_column;
+  if (stmt.order_by.has_value()) {
+    SEGDIFF_ASSIGN_OR_RETURN(size_t idx,
+                             schema.ColumnIndex(stmt.order_by->column));
+    order_column = idx;
+  }
+
+  // Rule-based access path: use an index whose leading column has an
+  // upper bound in the WHERE clause (the shape of the paper's range
+  // queries); otherwise scan.
+  const TableIndex* chosen = nullptr;
+  ColumnBounds chosen_bounds;
+  for (const TableIndex& index : table->indexes()) {
+    const ColumnBounds bounds =
+        BoundsFor(stmt.where, index.key_columns[0], schema);
+    if (bounds.any && bounds.upper < kInf) {
+      chosen = &index;
+      chosen_bounds = bounds;
+      break;
+    }
+  }
+
+  if (explain_only) {
+    result.columns = {"plan"};
+    result.rows.assign(3, Row{});
+    result.row_labels = {
+        std::string("table ") + stmt.table + " (" +
+            std::to_string(table->row_count()) + " rows)",
+        chosen != nullptr ? "access: index_scan(" + chosen->name + ")"
+                          : "access: seq_scan",
+        "residual conjuncts: " + std::to_string(stmt.where.size()),
+    };
+    result.access_path = "explain";
+    return result;
+  }
+
+  uint64_t matched = 0;
+  double agg_min = kInf;
+  double agg_max = -kInf;
+  double agg_sum = 0.0;
+  std::vector<Row> rows;
+  const bool need_rows =
+      (!stmt.count && !value_aggregate) || order_column.has_value();
+  auto collect = [&](const char* record, RecordId) -> Status {
+    ++matched;
+    if (value_aggregate) {
+      const double v = DecodeDoubleColumn(record, aggregate_idx);
+      agg_min = std::min(agg_min, v);
+      agg_max = std::max(agg_max, v);
+      agg_sum += v;
+    }
+    if (need_rows) {
+      rows.push_back(DecodeRow(schema, record));
+    }
+    return Status::OK();
+  };
+
+  if (chosen != nullptr) {
+    result.access_path = "index_scan(" + chosen->name + ")";
+    IndexScanSpec spec;
+    spec.index = chosen->tree.get();
+    IndexKey lower;
+    for (int i = 0; i < kMaxIndexArity; ++i) {
+      lower.vals[i] = -kInf;
+    }
+    lower.vals[0] = chosen_bounds.lower;
+    lower.rid = 0;
+    spec.lower = lower;
+    const double upper = chosen_bounds.upper;
+    const bool upper_inclusive = chosen_bounds.upper_inclusive;
+    spec.key_continue = [upper, upper_inclusive](const IndexKey& key) {
+      return upper_inclusive ? key.vals[0] <= upper : key.vals[0] < upper;
+    };
+    SEGDIFF_RETURN_IF_ERROR(IndexScan(*table, spec, predicate, collect,
+                                      &result.scan_stats));
+  } else {
+    result.access_path = "seq_scan";
+    SEGDIFF_RETURN_IF_ERROR(
+        SeqScan(*table, predicate, collect, &result.scan_stats));
+  }
+
+  if (order_column.has_value()) {
+    const size_t column = *order_column;
+    const bool ascending = stmt.order_by->ascending;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [column, ascending](const Row& a, const Row& b) {
+                       const double x = a[column].type == ColumnType::kInt64
+                                            ? static_cast<double>(a[column].i)
+                                            : a[column].d;
+                       const double y = b[column].type == ColumnType::kInt64
+                                            ? static_cast<double>(b[column].i)
+                                            : b[column].d;
+                       return ascending ? x < y : x > y;
+                     });
+  }
+  if (stmt.limit.has_value() && rows.size() > *stmt.limit) {
+    rows.resize(*stmt.limit);
+  }
+
+  if (stmt.count) {
+    // LIMIT applies to result rows; COUNT(*) yields one row regardless.
+    result.rows.push_back({Value::Int64(static_cast<int64_t>(matched))});
+    return result;
+  }
+  if (value_aggregate) {
+    if (matched == 0 && stmt.aggregate != Aggregate::kSum) {
+      return result;  // MIN/MAX/AVG of nothing: empty result set
+    }
+    double out = 0.0;
+    switch (stmt.aggregate) {
+      case Aggregate::kMin:
+        out = agg_min;
+        break;
+      case Aggregate::kMax:
+        out = agg_max;
+        break;
+      case Aggregate::kAvg:
+        out = agg_sum / static_cast<double>(matched);
+        break;
+      case Aggregate::kSum:
+        out = agg_sum;
+        break;
+      case Aggregate::kNone:
+      case Aggregate::kCount:
+        return Status::Internal("unexpected aggregate");
+    }
+    result.rows.push_back({Value::Double(out)});
+    return result;
+  }
+
+  result.rows.reserve(rows.size());
+  for (Row& row : rows) {
+    Row projected;
+    projected.reserve(projection.size());
+    for (size_t idx : projection) {
+      projected.push_back(row[idx]);
+    }
+    result.rows.push_back(std::move(projected));
+  }
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteDelete(const DeleteStmt& stmt) {
+  SEGDIFF_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+  Predicate predicate;
+  for (const WhereClause& clause : stmt.where) {
+    SEGDIFF_ASSIGN_OR_RETURN(size_t idx, schema.ColumnIndex(clause.column));
+    if (schema.column(idx).type != ColumnType::kDouble) {
+      return Status::NotSupported("WHERE on non-DOUBLE column " +
+                                  clause.column);
+    }
+    predicate.And(idx, clause.op, clause.value);
+  }
+  QueryResult result;
+  SEGDIFF_ASSIGN_OR_RETURN(result.rows_affected,
+                           table->DeleteWhere(predicate));
+  result.access_path = "rewrite";
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteShowTables() {
+  QueryResult result;
+  result.columns = {"table", "rows", "indexes"};
+  for (const auto& table : db_->tables()) {
+    result.row_labels.push_back(table->name());
+    result.rows.push_back(
+        {Value::Int64(static_cast<int64_t>(table->row_count())),
+         Value::Int64(static_cast<int64_t>(table->indexes().size()))});
+  }
+  return result;
+}
+
+Result<QueryResult> Engine::ExecuteDescribe(const DescribeStmt& stmt) {
+  SEGDIFF_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
+  QueryResult result;
+  result.columns = {"column", "type"};
+  for (const Column& column : table->schema().columns()) {
+    result.row_labels.push_back(column.name + " " +
+                                (column.type == ColumnType::kDouble
+                                     ? "DOUBLE"
+                                     : "BIGINT"));
+    result.rows.push_back({});
+  }
+  for (const TableIndex& index : table->indexes()) {
+    std::string label = "index " + index.name + " (";
+    for (size_t i = 0; i < index.key_columns.size(); ++i) {
+      if (i > 0) label += ", ";
+      label += table->schema().column(index.key_columns[i]).name;
+    }
+    label += ")";
+    result.row_labels.push_back(std::move(label));
+    result.rows.push_back({});
+  }
+  return result;
+}
+
+std::string FormatResult(const QueryResult& result) {
+  std::string out;
+  if (!result.access_path.empty()) {
+    out += "-- " + result.access_path + "\n";
+  }
+  if (result.columns.empty()) {
+    out += "ok";
+    if (result.rows_affected > 0) {
+      out += " (" + std::to_string(result.rows_affected) + " rows)";
+    }
+    out += "\n";
+    return out;
+  }
+  for (size_t i = 0; i < result.columns.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += result.columns[i];
+  }
+  out += "\n";
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    const Row& row = result.rows[r];
+    if (r < result.row_labels.size()) {
+      out += result.row_labels[r];
+      if (!row.empty()) out += " | ";
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += ValueToString(row[i]);
+    }
+    out += "\n";
+  }
+  out += "(" + std::to_string(result.rows.size()) + " rows)\n";
+  return out;
+}
+
+}  // namespace sql
+}  // namespace segdiff

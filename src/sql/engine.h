@@ -1,0 +1,66 @@
+// SQL execution engine over a minidb Database.
+//
+// This is the layer the paper means by "transforming the search into
+// standard database queries": SegDiff's point and line queries are
+// expressible as the SELECT ... WHERE conjunction dialect this engine
+// runs, with a rule-based choice between sequential scan and B+-tree
+// index scan.
+
+#ifndef SEGDIFF_SQL_ENGINE_H_
+#define SEGDIFF_SQL_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/executor.h"
+#include "sql/ast.h"
+#include "storage/db.h"
+
+namespace segdiff {
+namespace sql {
+
+/// Result of one statement.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  /// When non-empty (SHOW TABLES / DESCRIBE), one label per row printed
+  /// as the leading column.
+  std::vector<std::string> row_labels;
+  uint64_t rows_affected = 0;     ///< INSERT count
+  std::string access_path;        ///< "seq_scan" or "index_scan(<name>)"
+  ScanStats scan_stats;
+};
+
+/// Stateless executor bound to one open database.
+class Engine {
+ public:
+  /// `db` must outlive the engine.
+  explicit Engine(Database* db) : db_(db) {}
+
+  /// Parses and executes one statement.
+  Result<QueryResult> Execute(const std::string& statement);
+
+  /// Executes an already-parsed statement.
+  Result<QueryResult> Execute(const Statement& statement);
+
+ private:
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                    bool explain_only);
+  Result<QueryResult> ExecuteDelete(const DeleteStmt& stmt);
+  Result<QueryResult> ExecuteShowTables();
+  Result<QueryResult> ExecuteDescribe(const DescribeStmt& stmt);
+
+  Database* db_;
+};
+
+/// Renders a result as an aligned text table (for the CLI / examples).
+std::string FormatResult(const QueryResult& result);
+
+}  // namespace sql
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SQL_ENGINE_H_

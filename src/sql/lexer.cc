@@ -1,0 +1,121 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace segdiff {
+namespace sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* keywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE",  "AND",    "INSERT", "INTO",
+      "VALUES", "CREATE", "TABLE", "INDEX",  "ON",     "DOUBLE",
+      "DELETE", "MIN",   "MAX",   "AVG",    "SUM",    "EXPLAIN",
+      "BIGINT", "LIMIT",  "COUNT", "ORDER",  "BY",     "ASC",
+      "DESC",   "SHOW",   "TABLES", "DESCRIBE",
+  };
+  return *keywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (Keywords().count(upper) != 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = std::move(word);
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+               ((c == '-' || c == '+' || c == '.') && i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(input[i + 1])) != 0 ||
+                 (input[i + 1] == '.' && i + 2 < n &&
+                  std::isdigit(static_cast<unsigned char>(input[i + 2])) !=
+                      0)))) {
+      char* end = nullptr;
+      token.type = TokenType::kNumber;
+      token.number = std::strtod(input.c_str() + i, &end);
+      if (end == input.c_str() + i) {
+        return Status::InvalidArgument("bad number at offset " +
+                                       std::to_string(i));
+      }
+      token.text = input.substr(i, static_cast<size_t>(end - input.c_str()) - i);
+      i = static_cast<size_t>(end - input.c_str());
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') {
+        ++j;
+      }
+      if (j >= n) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = input.substr(i + 1, j - i - 1);
+      i = j + 1;
+    } else if (c == '<' || c == '>' || c == '!') {
+      token.type = TokenType::kSymbol;
+      if (i + 1 < n && (input[i + 1] == '=' ||
+                        (c == '<' && input[i + 1] == '>'))) {
+        token.text = input.substr(i, 2);
+        i += 2;
+      } else if (c == '!') {
+        return Status::InvalidArgument("expected != at offset " +
+                                       std::to_string(i));
+      } else {
+        token.text = std::string(1, c);
+        ++i;
+      }
+    } else if (c == '(' || c == ')' || c == ',' || c == '*' || c == ';' ||
+               c == '=') {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.type = TokenType::kEnd;
+  end_token.offset = n;
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace segdiff

@@ -1,0 +1,37 @@
+// SQL lexer for the minidb dialect (see parser.h for the grammar).
+
+#ifndef SEGDIFF_SQL_LEXER_H_
+#define SEGDIFF_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace segdiff {
+namespace sql {
+
+enum class TokenType : unsigned char {
+  kKeyword,     // SELECT, FROM, ... (uppercased)
+  kIdentifier,  // table/column names
+  kNumber,      // double literal
+  kString,      // 'single quoted'
+  kSymbol,      // ( ) , * ; = < > <= >= != <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    // keyword (uppercased), identifier, symbol, string
+  double number = 0.0; // for kNumber
+  size_t offset = 0;   // byte offset in the input, for error messages
+};
+
+/// Splits `input` into tokens. Fails with InvalidArgument on unknown
+/// characters or unterminated strings.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sql
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SQL_LEXER_H_

@@ -1,0 +1,266 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "sql/lexer.h"
+
+namespace segdiff {
+namespace sql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement() {
+    Statement stmt;
+    if (AcceptKeyword("EXPLAIN")) {
+      stmt.explain = true;
+      if (!AcceptKeyword("SELECT")) {
+        return Error("EXPLAIN supports only SELECT");
+      }
+      stmt.kind = StatementKind::kSelect;
+      SEGDIFF_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+      AcceptSymbol(";");
+      if (Current().type != TokenType::kEnd) {
+        return Error("trailing input after statement");
+      }
+      return stmt;
+    }
+    if (AcceptKeyword("CREATE")) {
+      if (AcceptKeyword("TABLE")) {
+        stmt.kind = StatementKind::kCreateTable;
+        SEGDIFF_ASSIGN_OR_RETURN(stmt.create_table, ParseCreateTable());
+      } else if (AcceptKeyword("INDEX")) {
+        stmt.kind = StatementKind::kCreateIndex;
+        SEGDIFF_ASSIGN_OR_RETURN(stmt.create_index, ParseCreateIndex());
+      } else {
+        return Error("expected TABLE or INDEX after CREATE");
+      }
+    } else if (AcceptKeyword("INSERT")) {
+      stmt.kind = StatementKind::kInsert;
+      SEGDIFF_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    } else if (AcceptKeyword("SELECT")) {
+      stmt.kind = StatementKind::kSelect;
+      SEGDIFF_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    } else if (AcceptKeyword("DELETE")) {
+      stmt.kind = StatementKind::kDelete;
+      SEGDIFF_ASSIGN_OR_RETURN(stmt.del, ParseDelete());
+    } else if (AcceptKeyword("SHOW")) {
+      SEGDIFF_RETURN_IF_ERROR(ExpectKeyword("TABLES"));
+      stmt.kind = StatementKind::kShowTables;
+    } else if (AcceptKeyword("DESCRIBE")) {
+      stmt.kind = StatementKind::kDescribe;
+      SEGDIFF_ASSIGN_OR_RETURN(stmt.describe.table, ExpectIdentifier());
+    } else {
+      return Error("expected a statement");
+    }
+    AcceptSymbol(";");
+    if (Current().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Current().offset));
+  }
+
+  bool AcceptKeyword(const std::string& keyword) {
+    if (Current().type == TokenType::kKeyword && Current().text == keyword) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AcceptKeyword(keyword)) {
+      return Error("expected " + keyword);
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const std::string& symbol) {
+    if (Current().type == TokenType::kSymbol && Current().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const std::string& symbol) {
+    if (!AcceptSymbol(symbol)) {
+      return Error("expected '" + symbol + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Current().type != TokenType::kIdentifier) {
+      return Error("expected identifier");
+    }
+    return tokens_[pos_++].text;
+  }
+  Result<double> ExpectNumber() {
+    if (Current().type != TokenType::kNumber) {
+      return Error("expected number");
+    }
+    return tokens_[pos_++].number;
+  }
+
+  Result<CreateTableStmt> ParseCreateTable() {
+    CreateTableStmt stmt;
+    SEGDIFF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    SEGDIFF_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      ColumnDef column;
+      SEGDIFF_ASSIGN_OR_RETURN(column.name, ExpectIdentifier());
+      if (AcceptKeyword("DOUBLE")) {
+        column.type = ColumnType::kDouble;
+      } else if (AcceptKeyword("BIGINT")) {
+        column.type = ColumnType::kInt64;
+      } else {
+        return Error("expected column type DOUBLE or BIGINT");
+      }
+      stmt.columns.push_back(std::move(column));
+    } while (AcceptSymbol(","));
+    SEGDIFF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<CreateIndexStmt> ParseCreateIndex() {
+    CreateIndexStmt stmt;
+    SEGDIFF_ASSIGN_OR_RETURN(stmt.index, ExpectIdentifier());
+    SEGDIFF_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    SEGDIFF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    SEGDIFF_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      SEGDIFF_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      stmt.columns.push_back(std::move(column));
+    } while (AcceptSymbol(","));
+    SEGDIFF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<InsertStmt> ParseInsert() {
+    InsertStmt stmt;
+    SEGDIFF_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    SEGDIFF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    SEGDIFF_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      SEGDIFF_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<double> row;
+      do {
+        SEGDIFF_ASSIGN_OR_RETURN(double value, ExpectNumber());
+        row.push_back(value);
+      } while (AcceptSymbol(","));
+      SEGDIFF_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.rows.push_back(std::move(row));
+    } while (AcceptSymbol(","));
+    return stmt;
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    if (Current().type != TokenType::kSymbol) {
+      return Error("expected comparison operator");
+    }
+    const std::string op = tokens_[pos_++].text;
+    if (op == "=") return CmpOp::kEq;
+    if (op == "<") return CmpOp::kLt;
+    if (op == "<=") return CmpOp::kLe;
+    if (op == ">") return CmpOp::kGt;
+    if (op == ">=") return CmpOp::kGe;
+    --pos_;
+    return Error("unsupported operator '" + op + "'");
+  }
+
+  Result<DeleteStmt> ParseDelete() {
+    DeleteStmt stmt;
+    SEGDIFF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SEGDIFF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (AcceptKeyword("WHERE")) {
+      do {
+        WhereClause clause;
+        SEGDIFF_ASSIGN_OR_RETURN(clause.column, ExpectIdentifier());
+        SEGDIFF_ASSIGN_OR_RETURN(clause.op, ParseCmpOp());
+        SEGDIFF_ASSIGN_OR_RETURN(clause.value, ExpectNumber());
+        stmt.where.push_back(std::move(clause));
+      } while (AcceptKeyword("AND"));
+    }
+    return stmt;
+  }
+
+  Result<SelectStmt> ParseSelect() {
+    SelectStmt stmt;
+    if (AcceptSymbol("*")) {
+      stmt.star = true;
+    } else if (AcceptKeyword("COUNT")) {
+      SEGDIFF_RETURN_IF_ERROR(ExpectSymbol("("));
+      SEGDIFF_RETURN_IF_ERROR(ExpectSymbol("*"));
+      SEGDIFF_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.count = true;
+      stmt.aggregate = Aggregate::kCount;
+    } else if (Current().type == TokenType::kKeyword &&
+               (Current().text == "MIN" || Current().text == "MAX" ||
+                Current().text == "AVG" || Current().text == "SUM")) {
+      const std::string fn = tokens_[pos_++].text;
+      stmt.aggregate = fn == "MIN"   ? Aggregate::kMin
+                       : fn == "MAX" ? Aggregate::kMax
+                       : fn == "AVG" ? Aggregate::kAvg
+                                     : Aggregate::kSum;
+      SEGDIFF_RETURN_IF_ERROR(ExpectSymbol("("));
+      SEGDIFF_ASSIGN_OR_RETURN(stmt.aggregate_column, ExpectIdentifier());
+      SEGDIFF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    } else {
+      do {
+        SEGDIFF_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+        stmt.columns.push_back(std::move(column));
+      } while (AcceptSymbol(","));
+    }
+    SEGDIFF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SEGDIFF_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier());
+    if (AcceptKeyword("WHERE")) {
+      do {
+        WhereClause clause;
+        SEGDIFF_ASSIGN_OR_RETURN(clause.column, ExpectIdentifier());
+        SEGDIFF_ASSIGN_OR_RETURN(clause.op, ParseCmpOp());
+        SEGDIFF_ASSIGN_OR_RETURN(clause.value, ExpectNumber());
+        stmt.where.push_back(std::move(clause));
+      } while (AcceptKeyword("AND"));
+    }
+    if (AcceptKeyword("ORDER")) {
+      SEGDIFF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      OrderBy order;
+      SEGDIFF_ASSIGN_OR_RETURN(order.column, ExpectIdentifier());
+      if (AcceptKeyword("DESC")) {
+        order.ascending = false;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      stmt.order_by = order;
+    }
+    if (AcceptKeyword("LIMIT")) {
+      SEGDIFF_ASSIGN_OR_RETURN(double limit, ExpectNumber());
+      if (limit < 0) {
+        return Error("LIMIT must be non-negative");
+      }
+      stmt.limit = static_cast<uint64_t>(limit);
+    }
+    return stmt;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& input) {
+  SEGDIFF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace segdiff

@@ -1,0 +1,22 @@
+// Recursive-descent parser for the minidb SQL dialect (grammar in
+// ast.h).
+
+#ifndef SEGDIFF_SQL_PARSER_H_
+#define SEGDIFF_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace segdiff {
+namespace sql {
+
+/// Parses one statement (an optional trailing ';' is consumed). Fails
+/// with InvalidArgument carrying the offending offset.
+Result<Statement> Parse(const std::string& input);
+
+}  // namespace sql
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SQL_PARSER_H_

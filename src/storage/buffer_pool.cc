@@ -1,0 +1,169 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace segdiff {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Release(); }
+
+void PageHandle::MarkDirty() {
+  SEGDIFF_CHECK(valid());
+  pool_->frames_[frame_].dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    data_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages) : pager_(pager) {
+  SEGDIFF_CHECK_GE(capacity_pages, size_t{1});
+  frames_.resize(capacity_pages);
+  free_frames_.reserve(capacity_pages);
+  for (size_t i = 0; i < capacity_pages; ++i) {
+    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    free_frames_.push_back(capacity_pages - 1 - i);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort flush; errors here cannot be reported.
+  Status status = FlushAll();
+  if (!status.ok()) {
+    SEGDIFF_LOG(Error) << "buffer pool flush on destruction failed: "
+                       << status.ToString();
+  }
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  Frame& frame = frames_[frame_idx];
+  SEGDIFF_CHECK_GT(frame.pin_count, 0);
+  if (--frame.pin_count == 0) {
+    lru_.push_front(frame_idx);
+    frame.lru_pos = lru_.begin();
+    frame.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushFrame(Frame& frame) {
+  if (frame.dirty && frame.page_id != kInvalidPageId) {
+    SEGDIFF_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.get()));
+    frame.dirty = false;
+    ++stats_.dirty_writebacks;
+  }
+  return Status::OK();
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    const size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    return idx;
+  }
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all frames pinned");
+  }
+  // Evict the least recently used unpinned frame.
+  const size_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& frame = frames_[victim];
+  frame.in_lru = false;
+  SEGDIFF_RETURN_IF_ERROR(FlushFrame(frame));
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    const size_t idx = it->second;
+    Frame& frame = frames_[idx];
+    if (frame.pin_count == 0 && frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    return PageHandle(this, idx, id, frame.data.get());
+  }
+  ++stats_.misses;
+  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& frame = frames_[idx];
+  SEGDIFF_RETURN_IF_ERROR(pager_->ReadPage(id, frame.data.get()));
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[id] = idx;
+  return PageHandle(this, idx, id, frame.data.get());
+}
+
+Result<PageHandle> BufferPool::AllocatePinned() {
+  SEGDIFF_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  return PinFresh(id);
+}
+
+Result<PageHandle> BufferPool::PinFresh(PageId id) {
+  if (page_table_.count(id) != 0) {
+    return Status::Internal("PinFresh on a cached page");
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  Frame& frame = frames_[idx];
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  page_table_[id] = idx;
+  return PageHandle(this, idx, id, frame.data.get());
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    SEGDIFF_RETURN_IF_ERROR(FlushFrame(frame));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::DropAll() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.pin_count > 0) {
+      return Status::Internal("DropAll with pinned pages");
+    }
+  }
+  SEGDIFF_RETURN_IF_ERROR(FlushAll());
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (frame.page_id == kInvalidPageId) {
+      continue;
+    }
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    page_table_.erase(frame.page_id);
+    frame.page_id = kInvalidPageId;
+    free_frames_.push_back(i);
+  }
+  return Status::OK();
+}
+
+}  // namespace segdiff

@@ -1,0 +1,129 @@
+// LRU buffer pool over a Pager.
+//
+// All page access in minidb goes through the pool, which pins frames via
+// RAII PageHandles. DropAll() flushes and evicts everything — the repo's
+// stand-in for the paper's "operating system cache is flushed before
+// every query" protocol (Section 6); leaving the pool warm models the
+// "system cache available" runs (Section 6.4).
+
+#ifndef SEGDIFF_STORAGE_BUFFER_POOL_H_
+#define SEGDIFF_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace segdiff {
+
+class BufferPool;
+
+/// Pins one frame for the handle's lifetime; data() is kPageSize bytes.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  /// Marks the page as modified so eviction/flush writes it back.
+  void MarkDirty();
+
+  /// Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame, PageId page_id, char* data)
+      : pool_(pool), frame_(frame), page_id_(page_id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  PageId page_id_ = kInvalidPageId;
+  char* data_ = nullptr;
+};
+
+/// Hit/miss counters for cache-behaviour experiments.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// Fixed-capacity LRU page cache. Not thread-safe (minidb is
+/// single-threaded by design, like the paper's workload).
+class BufferPool {
+ public:
+  /// `pager` must outlive the pool. `capacity_pages` >= 1.
+  BufferPool(Pager* pager, size_t capacity_pages);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pinned handle for page `id`, reading it on miss. Fails
+  /// with ResourceExhausted-like Internal error when every frame is
+  /// pinned.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a fresh page via the pager and returns it pinned and
+  /// zeroed (already marked dirty).
+  Result<PageHandle> AllocatePinned();
+
+  /// Pins a freshly allocated (zeroed, never-fetched) page `id` — the
+  /// extent-allocation path. The page must not already be cached.
+  Result<PageHandle> PinFresh(PageId id);
+
+  Pager* pager() { return pager_; }
+
+  /// Writes back all dirty frames (keeps contents cached).
+  Status FlushAll();
+
+  /// Flushes then evicts every unpinned frame: the cold-cache knob.
+  /// Fails if any frame is still pinned.
+  Status DropAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t capacity() const { return frames_.size(); }
+  size_t cached_pages() const { return page_table_.size(); }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<char[]> data;
+    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0
+    bool in_lru = false;
+  };
+
+  void Unpin(size_t frame);
+  Status FlushFrame(Frame& frame);
+  /// Finds a frame for a new page: free frame or LRU victim.
+  Result<size_t> GrabFrame();
+
+  Pager* pager_;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::list<size_t> lru_;  ///< front == most recently used
+  std::unordered_map<PageId, size_t> page_table_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_BUFFER_POOL_H_

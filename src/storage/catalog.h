@@ -1,0 +1,49 @@
+// Catalog: persistent table/index metadata.
+//
+// Serialized into a page chain rooted at page 1 on Checkpoint(); read at
+// Open(). Format (little endian, packed into the chain payload):
+//   u32 table_count
+//   per table: str name | u16 ncols | per col: (str name, u8 type)
+//              | heap meta (first, last, records, pages: u64 x 4)
+//              | u16 nindexes
+//              | per index: str name | u8 ncols | u16 col_idx... | u64 meta
+// where str = u16 length + bytes.
+
+#ifndef SEGDIFF_STORAGE_CATALOG_H_
+#define SEGDIFF_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/record.h"
+
+namespace segdiff {
+
+/// Plain serialized form of one index.
+struct IndexMeta {
+  std::string name;
+  std::vector<size_t> key_columns;
+  PageId meta_page = kInvalidPageId;
+};
+
+/// Plain serialized form of one table.
+struct TableMeta {
+  std::string name;
+  TableSchema schema;
+  HeapFileMeta heap;
+  std::vector<IndexMeta> indexes;
+};
+
+/// Writes the catalog payload into the chain rooted at page 1, allocating
+/// continuation pages as needed (pages are reused across checkpoints).
+Status WriteCatalog(BufferPool* pool, const std::vector<TableMeta>& tables);
+
+/// Reads the catalog; an all-zero page 1 yields an empty list (fresh db).
+Result<std::vector<TableMeta>> ReadCatalog(BufferPool* pool);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_CATALOG_H_

@@ -1,0 +1,144 @@
+#include "storage/db.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace segdiff {
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& path, const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database());
+  SEGDIFF_ASSIGN_OR_RETURN(db->pager_,
+                           Pager::Open(path, options.create_if_missing));
+  db->pager_->SetSimulatedReadLatency(options.sim_seq_read_ns,
+                                      options.sim_random_read_ns);
+  db->pool_ =
+      std::make_unique<BufferPool>(db->pager_.get(), options.buffer_pool_pages);
+
+  // Fresh file: materialize the catalog root page (page 1).
+  if (db->pager_->page_count() == 1) {
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle root, db->pool_->AllocatePinned());
+    if (root.page_id() != 1) {
+      return Status::Internal("catalog root allocated at unexpected page");
+    }
+  }
+
+  SEGDIFF_ASSIGN_OR_RETURN(std::vector<TableMeta> metas,
+                           ReadCatalog(db->pool_.get()));
+  for (TableMeta& meta : metas) {
+    SEGDIFF_ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> table,
+        Table::Attach(db->pool_.get(), meta.name, std::move(meta.schema),
+                      meta.heap));
+    for (IndexMeta& index : meta.indexes) {
+      SEGDIFF_RETURN_IF_ERROR(table->AttachIndex(
+          index.name, std::move(index.key_columns), index.meta_page));
+    }
+    db->tables_.push_back(std::move(table));
+  }
+  return db;
+}
+
+Database::~Database() {
+  if (pager_ == nullptr || pool_ == nullptr) {
+    return;  // partially constructed (Open failed mid-way)
+  }
+  Status status = Checkpoint();
+  if (!status.ok()) {
+    SEGDIFF_LOG(Error) << "checkpoint on close failed: " << status.ToString();
+  }
+}
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     TableSchema schema) {
+  for (const auto& table : tables_) {
+    if (table->name() == name) {
+      return Status::AlreadyExists("table exists: " + name);
+    }
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Create(pool_.get(), name, std::move(schema)));
+  tables_.push_back(std::move(table));
+  return tables_.back().get();
+}
+
+Result<Table*> Database::GetTable(const std::string& name) const {
+  for (const auto& table : tables_) {
+    if (table->name() == name) {
+      return table.get();
+    }
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+Status Database::Checkpoint() {
+  std::vector<TableMeta> metas;
+  metas.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    TableMeta meta;
+    meta.name = table->name();
+    meta.schema = table->schema();
+    meta.heap = table->heap_meta();
+    for (const TableIndex& index : table->indexes()) {
+      IndexMeta index_meta;
+      index_meta.name = index.name;
+      index_meta.key_columns = index.key_columns;
+      index_meta.meta_page = index.tree->meta_page();
+      meta.indexes.push_back(std::move(index_meta));
+    }
+    metas.push_back(std::move(meta));
+  }
+  SEGDIFF_RETURN_IF_ERROR(WriteCatalog(pool_.get(), metas));
+  SEGDIFF_RETURN_IF_ERROR(pool_->FlushAll());
+  return pager_->Sync();
+}
+
+Status Database::CompactInto(const std::string& destination_path) {
+  DatabaseOptions options;
+  options.buffer_pool_pages = pool_->capacity();
+  options.create_if_missing = true;
+  SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<Database> fresh,
+                           Database::Open(destination_path, options));
+  if (!fresh->tables_.empty()) {
+    return Status::InvalidArgument("compaction target is not empty: " +
+                                   destination_path);
+  }
+  for (const auto& table : tables_) {
+    SEGDIFF_ASSIGN_OR_RETURN(Table * copy,
+                             fresh->CreateTable(table->name(),
+                                                table->schema()));
+    SEGDIFF_RETURN_IF_ERROR(table->Scan(
+        [&](const char* record, RecordId, bool* keep_going) -> Status {
+          *keep_going = true;
+          Row row = DecodeRow(table->schema(), record);
+          return copy->Insert(row).status();
+        }));
+    for (const TableIndex& index : table->indexes()) {
+      std::vector<std::string> columns;
+      for (size_t column : index.key_columns) {
+        columns.push_back(table->schema().column(column).name);
+      }
+      SEGDIFF_RETURN_IF_ERROR(copy->CreateIndex(index.name, columns).status());
+    }
+  }
+  return fresh->Checkpoint();
+}
+
+Status Database::DropCaches() {
+  SEGDIFF_RETURN_IF_ERROR(Checkpoint());
+  return pool_->DropAll();
+}
+
+DatabaseSizeStats Database::SizeStats() const {
+  DatabaseSizeStats stats;
+  for (const auto& table : tables_) {
+    stats.data_bytes += table->DataSizeBytes();
+    stats.index_bytes += table->IndexSizeBytes();
+  }
+  stats.file_bytes = pager_->FileSizeBytes();
+  return stats;
+}
+
+}  // namespace segdiff

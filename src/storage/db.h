@@ -1,0 +1,89 @@
+// Database: the top-level minidb handle.
+//
+// One file, one pager, one buffer pool, a catalog of tables. Single
+// threaded, Status-based; the embedded stand-in for the MySQL instance
+// the paper stores SegDiff/Exh features in.
+
+#ifndef SEGDIFF_STORAGE_DB_H_
+#define SEGDIFF_STORAGE_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/pager.h"
+#include "storage/table.h"
+
+namespace segdiff {
+
+struct DatabaseOptions {
+  /// Buffer pool capacity in pages (default 32 MiB at 8 KiB pages).
+  size_t buffer_pool_pages = 4096;
+  bool create_if_missing = true;
+  /// Simulated storage read latency (see Pager::SetSimulatedReadLatency);
+  /// 0/0 disables. Used by the cache experiments to model the paper's
+  /// rotating disk on RAM-backed filesystems.
+  uint64_t sim_seq_read_ns = 0;
+  uint64_t sim_random_read_ns = 0;
+};
+
+/// Aggregate size statistics (paper Section 6 metrics).
+struct DatabaseSizeStats {
+  uint64_t data_bytes = 0;   ///< heap pages: "feature size"
+  uint64_t index_bytes = 0;  ///< B+-tree pages
+  uint64_t file_bytes = 0;   ///< whole file; data+index+metadata
+};
+
+class Database {
+ public:
+  /// Opens (creating if allowed) the database at `path`, loading the
+  /// catalog and attaching all tables and indexes.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                const DatabaseOptions& options);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a new empty table.
+  Result<Table*> CreateTable(const std::string& name, TableSchema schema);
+
+  /// Looks up a table by name.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  /// Persists catalog + all dirty pages + file header.
+  Status Checkpoint();
+
+  /// Checkpoint, then evict the whole buffer pool: emulates the paper's
+  /// "flush OS cache before every query" protocol.
+  Status DropCaches();
+
+  /// Rewrites every table and index into a fresh database file at
+  /// `destination_path` (which must not exist), reclaiming the garbage
+  /// pages left behind by DeleteWhere rewrites and abandoned extents.
+  /// This database is not modified.
+  Status CompactInto(const std::string& destination_path);
+
+  BufferPool* buffer_pool() { return pool_.get(); }
+  Pager* pager() { return pager_.get(); }
+
+  DatabaseSizeStats SizeStats() const;
+
+ private:
+  Database() = default;
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_DB_H_

@@ -1,0 +1,56 @@
+// Extent allocator: hands out pages for one storage object (heap file
+// or B+-tree) from contiguous runs so that object's pages cluster on
+// disk. Without this, interleaved growth of a table and its indexes
+// turns "sequential" scans into random IO.
+
+#ifndef SEGDIFF_STORAGE_EXTENT_H_
+#define SEGDIFF_STORAGE_EXTENT_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/pager.h"
+
+namespace segdiff {
+
+/// Per-object page allocator. Extents grow geometrically (4 pages
+/// doubling to 64) so small objects waste little file space while large
+/// ones stay contiguous. Not persisted: after reopen the first
+/// allocation simply starts a fresh extent at end of file (at most one
+/// partially used extent of slack per object per session).
+class ExtentAllocator {
+ public:
+  static constexpr size_t kInitialExtentPages = 4;   // 32 KiB
+  static constexpr size_t kMaxExtentPages = 64;      // 512 KiB
+
+  explicit ExtentAllocator(Pager* pager,
+                           size_t max_extent_pages = kMaxExtentPages)
+      : pager_(pager), max_extent_pages_(max_extent_pages) {}
+
+  /// Returns the next page of the current extent, starting a new extent
+  /// when exhausted. Pages are already zeroed on disk.
+  Result<PageId> Allocate() {
+    if (remaining_ == 0) {
+      SEGDIFF_ASSIGN_OR_RETURN(next_,
+                               pager_->AllocateExtent(next_extent_pages_));
+      remaining_ = next_extent_pages_;
+      next_extent_pages_ = std::min(next_extent_pages_ * 2,
+                                    max_extent_pages_);
+    }
+    --remaining_;
+    return next_++;
+  }
+
+ private:
+  Pager* pager_;
+  size_t max_extent_pages_;
+  size_t next_extent_pages_ = kInitialExtentPages;
+  PageId next_ = kInvalidPageId;
+  size_t remaining_ = 0;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_EXTENT_H_

@@ -1,0 +1,111 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace segdiff {
+namespace {
+
+PageId PageNext(const char* page) { return DecodeFixed64(page); }
+void SetPageNext(char* page, PageId next) { EncodeFixed64(page, next); }
+uint16_t PageCount(const char* page) { return DecodeFixed16(page + 8); }
+void SetPageCount(char* page, uint16_t count) {
+  EncodeFixed16(page + 8, count);
+}
+
+}  // namespace
+
+HeapFile::HeapFile(BufferPool* pool, size_t record_bytes,
+                   const HeapFileMeta& meta)
+    : pool_(pool),
+      allocator_(pool->pager()),
+      record_bytes_(record_bytes),
+      records_per_page_((kPageSize - kHeaderBytes) / record_bytes),
+      meta_(meta) {}
+
+Result<HeapFile> HeapFile::Create(BufferPool* pool, size_t record_bytes) {
+  if (record_bytes == 0 || record_bytes > kPageSize - kHeaderBytes) {
+    return Status::InvalidArgument("record size does not fit a page");
+  }
+  HeapFile heap(pool, record_bytes, HeapFileMeta{});
+  SEGDIFF_ASSIGN_OR_RETURN(PageId first, heap.allocator_.Allocate());
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool->PinFresh(first));
+  SetPageNext(page.data(), kInvalidPageId);
+  SetPageCount(page.data(), 0);
+  page.MarkDirty();
+  heap.meta_.first_page = first;
+  heap.meta_.last_page = first;
+  heap.meta_.record_count = 0;
+  heap.meta_.page_count = 1;
+  return heap;
+}
+
+Result<HeapFile> HeapFile::Attach(BufferPool* pool, size_t record_bytes,
+                                  const HeapFileMeta& meta) {
+  if (record_bytes == 0 || record_bytes > kPageSize - kHeaderBytes) {
+    return Status::InvalidArgument("record size does not fit a page");
+  }
+  if (meta.first_page == kInvalidPageId || meta.last_page == kInvalidPageId) {
+    return Status::InvalidArgument("heap file meta has invalid pages");
+  }
+  return HeapFile(pool, record_bytes, meta);
+}
+
+Result<RecordId> HeapFile::Append(const char* record) {
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(meta_.last_page));
+  uint16_t count = PageCount(page.data());
+  if (count >= records_per_page_) {
+    // Tail page full: chain a new page from this heap's extents.
+    SEGDIFF_ASSIGN_OR_RETURN(PageId fresh_id, allocator_.Allocate());
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle fresh, pool_->PinFresh(fresh_id));
+    SetPageNext(fresh.data(), kInvalidPageId);
+    SetPageCount(fresh.data(), 0);
+    fresh.MarkDirty();
+    SetPageNext(page.data(), fresh.page_id());
+    page.MarkDirty();
+    meta_.last_page = fresh.page_id();
+    ++meta_.page_count;
+    page = std::move(fresh);
+    count = 0;
+  }
+  char* slot =
+      page.data() + kHeaderBytes + static_cast<size_t>(count) * record_bytes_;
+  std::memcpy(slot, record, record_bytes_);
+  SetPageCount(page.data(), static_cast<uint16_t>(count + 1));
+  page.MarkDirty();
+  ++meta_.record_count;
+  return RecordId{page.page_id(), count};
+}
+
+Status HeapFile::Scan(const ScanFn& fn) const {
+  PageId current = meta_.first_page;
+  bool keep_going = true;
+  while (current != kInvalidPageId && keep_going) {
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    const uint16_t count = PageCount(page.data());
+    const char* base = page.data() + kHeaderBytes;
+    for (uint16_t slot = 0; slot < count && keep_going; ++slot) {
+      SEGDIFF_RETURN_IF_ERROR(
+          fn(base + static_cast<size_t>(slot) * record_bytes_,
+             RecordId{current, slot}, &keep_going));
+    }
+    current = PageNext(page.data());
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ReadRecord(RecordId id, char* buf) const {
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id.page));
+  const uint16_t count = PageCount(page.data());
+  if (id.slot >= count) {
+    return Status::NotFound("record slot out of range");
+  }
+  std::memcpy(buf,
+              page.data() + kHeaderBytes +
+                  static_cast<size_t>(id.slot) * record_bytes_,
+              record_bytes_);
+  return Status::OK();
+}
+
+}  // namespace segdiff

@@ -1,0 +1,74 @@
+// Heap file: an append-only chain of pages holding fixed-width records.
+//
+// Data page layout:
+//   [ 0..7  ] next page id (kInvalidPageId at tail)
+//   [ 8..9  ] record count in this page
+//   [10..15 ] reserved
+//   [16..   ] records, record_bytes each
+//
+// Scans stream pages in chain order; point reads resolve a RecordId.
+
+#ifndef SEGDIFF_STORAGE_HEAP_FILE_H_
+#define SEGDIFF_STORAGE_HEAP_FILE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/extent.h"
+#include "storage/page.h"
+
+namespace segdiff {
+
+/// Persistent position of a heap file, as stored in the catalog.
+struct HeapFileMeta {
+  PageId first_page = kInvalidPageId;
+  PageId last_page = kInvalidPageId;
+  uint64_t record_count = 0;
+  uint64_t page_count = 0;
+};
+
+/// Access object over one heap file. Cheap to construct; all state that
+/// must survive restarts lives in HeapFileMeta (persisted by the catalog).
+class HeapFile {
+ public:
+  static constexpr size_t kHeaderBytes = 16;
+
+  /// Allocates the first page of a fresh heap file.
+  static Result<HeapFile> Create(BufferPool* pool, size_t record_bytes);
+
+  /// Attaches to an existing heap file described by `meta`.
+  static Result<HeapFile> Attach(BufferPool* pool, size_t record_bytes,
+                                 const HeapFileMeta& meta);
+
+  /// Appends one record (record_bytes bytes); returns its id.
+  Result<RecordId> Append(const char* record);
+
+  /// Visits records in storage order. The callback sets `*keep_going` to
+  /// false to stop early.
+  using ScanFn =
+      std::function<Status(const char* record, RecordId id, bool* keep_going)>;
+  Status Scan(const ScanFn& fn) const;
+
+  /// Copies the record at `id` into `buf` (record_bytes bytes).
+  Status ReadRecord(RecordId id, char* buf) const;
+
+  const HeapFileMeta& meta() const { return meta_; }
+  size_t record_bytes() const { return record_bytes_; }
+  size_t records_per_page() const { return records_per_page_; }
+  uint64_t SizeBytes() const { return meta_.page_count * kPageSize; }
+
+ private:
+  HeapFile(BufferPool* pool, size_t record_bytes, const HeapFileMeta& meta);
+
+  BufferPool* pool_;
+  ExtentAllocator allocator_;
+  size_t record_bytes_;
+  size_t records_per_page_;
+  HeapFileMeta meta_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,3 @@
+#include "storage/page.h"
+
+// Header-only declarations; this translation unit anchors the header.

@@ -1,0 +1,38 @@
+// Fixed-size pages: the unit of disk IO and buffering in minidb.
+
+#ifndef SEGDIFF_STORAGE_PAGE_H_
+#define SEGDIFF_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace segdiff {
+
+/// Page size in bytes. 8 KiB, a common database default.
+constexpr size_t kPageSize = 8192;
+
+/// Identifies a page within a database file. Page 0 is the file header,
+/// page 1 the catalog root; data pages start at 2.
+using PageId = uint64_t;
+
+constexpr PageId kInvalidPageId = ~0ull;
+
+/// Identifies a record: page plus slot within the page.
+struct RecordId {
+  PageId page = kInvalidPageId;
+  uint32_t slot = 0;
+
+  /// Packs into 64 bits (page ids stay far below 2^40 in practice).
+  uint64_t Pack() const { return (page << 20) | (slot & 0xFFFFFu); }
+  static RecordId Unpack(uint64_t packed) {
+    return RecordId{packed >> 20, static_cast<uint32_t>(packed & 0xFFFFFu)};
+  }
+
+  friend bool operator==(const RecordId& a, const RecordId& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_PAGE_H_

@@ -1,0 +1,183 @@
+#include "storage/pager.h"
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace segdiff {
+namespace {
+
+constexpr uint32_t kFileMagic = 0x4D494442;  // "MIDB"
+constexpr uint32_t kFileVersion = 1;
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           bool create) {
+  int fd = -1;
+  if (path == ":memory:") {
+    if (!create) {
+      return Status::InvalidArgument(
+          ":memory: databases are always created fresh");
+    }
+    fd = static_cast<int>(::syscall(SYS_memfd_create, "segdiff-memdb", 0u));
+    if (fd < 0) {
+      return Errno("memfd_create", path);
+    }
+  } else {
+    int flags = O_RDWR;
+    if (create) {
+      flags |= O_CREAT;
+    }
+    fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Errno("open", path);
+    }
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  if (size == 0) {
+    // Fresh file: write the header page.
+    std::unique_ptr<Pager> pager(new Pager(path, fd, 1));
+    Status status = pager->WriteHeader();
+    if (!status.ok()) {
+      return status;
+    }
+    return pager;
+  }
+  if (size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::Corruption("file size not page-aligned: " + path);
+  }
+  char header[kPageSize];
+  const ssize_t got = ::pread(fd, header, kPageSize, 0);
+  if (got != static_cast<ssize_t>(kPageSize)) {
+    ::close(fd);
+    return Status::Corruption("short header read: " + path);
+  }
+  if (DecodeFixed32(header) != kFileMagic) {
+    ::close(fd);
+    return Status::Corruption("bad magic: " + path);
+  }
+  if (DecodeFixed32(header + 4) != kFileVersion) {
+    ::close(fd);
+    return Status::Corruption("unsupported version: " + path);
+  }
+  const uint64_t page_count = DecodeFixed64(header + 8);
+  if (page_count * kPageSize > static_cast<uint64_t>(size)) {
+    ::close(fd);
+    return Status::Corruption("header page count exceeds file: " + path);
+  }
+  return std::unique_ptr<Pager>(new Pager(path, fd, page_count));
+}
+
+Pager::~Pager() {
+  if (fd_ >= 0) {
+    // Best-effort header persistence on close.
+    WriteHeader();
+    ::close(fd_);
+  }
+}
+
+void Pager::SetSimulatedReadLatency(uint64_t seq_ns, uint64_t random_ns) {
+  sim_seq_read_ns_ = seq_ns;
+  sim_random_read_ns_ = random_ns;
+}
+
+Status Pager::ReadPage(PageId id, char* buf) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("read past end of file: page " +
+                                   std::to_string(id));
+  }
+  if (sim_seq_read_ns_ != 0 || sim_random_read_ns_ != 0) {
+    const bool sequential =
+        last_read_page_ != kInvalidPageId && id == last_read_page_ + 1;
+    const uint64_t ns = sequential ? sim_seq_read_ns_ : sim_random_read_ns_;
+    if (ns >= 100000) {
+      const timespec delay{static_cast<time_t>(ns / 1000000000ull),
+                           static_cast<long>(ns % 1000000000ull)};
+      ::nanosleep(&delay, nullptr);
+    } else if (ns > 0) {
+      // Spin for sub-100us delays; nanosleep overshoots badly there.
+      const auto until =
+          std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+      while (std::chrono::steady_clock::now() < until) {
+      }
+    }
+  }
+  last_read_page_ = id;
+  const ssize_t got =
+      ::pread(fd_, buf, kPageSize, static_cast<off_t>(id * kPageSize));
+  if (got != static_cast<ssize_t>(kPageSize)) {
+    return Errno("pread", path_);
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const char* buf) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("write past end of file: page " +
+                                   std::to_string(id));
+  }
+  const ssize_t put =
+      ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(id * kPageSize));
+  if (put != static_cast<ssize_t>(kPageSize)) {
+    return Errno("pwrite", path_);
+  }
+  return Status::OK();
+}
+
+Result<PageId> Pager::AllocatePage() { return AllocateExtent(1); }
+
+Result<PageId> Pager::AllocateExtent(size_t n) {
+  if (n == 0) {
+    return Status::InvalidArgument("empty extent");
+  }
+  const PageId id = page_count_;
+  std::vector<char> zero(n * kPageSize, 0);
+  const ssize_t put = ::pwrite(fd_, zero.data(), zero.size(),
+                               static_cast<off_t>(id * kPageSize));
+  if (put != static_cast<ssize_t>(zero.size())) {
+    return Errno("pwrite (allocate)", path_);
+  }
+  page_count_ += n;
+  return id;
+}
+
+Status Pager::WriteHeader() {
+  char header[kPageSize];
+  std::memset(header, 0, sizeof(header));
+  EncodeFixed32(header, kFileMagic);
+  EncodeFixed32(header + 4, kFileVersion);
+  EncodeFixed64(header + 8, page_count_);
+  const ssize_t put = ::pwrite(fd_, header, kPageSize, 0);
+  if (put != static_cast<ssize_t>(kPageSize)) {
+    return Errno("pwrite (header)", path_);
+  }
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  SEGDIFF_RETURN_IF_ERROR(WriteHeader());
+  if (::fsync(fd_) != 0) {
+    return Errno("fsync", path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace segdiff

@@ -1,0 +1,81 @@
+// Pager: page-granular IO over a single database file.
+//
+// File layout: page 0 is the header (magic, version, page count); all
+// other pages are opaque to the pager. Reads/writes use pread/pwrite so
+// no seek state is shared.
+
+#ifndef SEGDIFF_STORAGE_PAGER_H_
+#define SEGDIFF_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace segdiff {
+
+/// Owns the database file descriptor and the page allocation counter.
+class Pager {
+ public:
+  /// Opens (or creates, when `create` is true and the file is missing) a
+  /// database file, validating or writing the header page. The special
+  /// path ":memory:" creates an anonymous memory-backed database
+  /// (memfd) that disappears when the pager is destroyed.
+  static Result<std::unique_ptr<Pager>> Open(const std::string& path,
+                                             bool create);
+
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Reads page `id` into `buf` (kPageSize bytes).
+  Status ReadPage(PageId id, char* buf);
+
+  /// Simulated storage latency, added to every ReadPage: `seq_ns` when
+  /// the read continues the previous one (id == last id + 1), else
+  /// `random_ns`. Models rotating-disk behaviour (the paper's testbed
+  /// was a 2007 SATA disk with cold OS caches) on machines whose /tmp
+  /// is RAM-backed; 0/0 (default) disables it. See DESIGN.md.
+  void SetSimulatedReadLatency(uint64_t seq_ns, uint64_t random_ns);
+
+  /// Writes `buf` (kPageSize bytes) to page `id`.
+  Status WritePage(PageId id, const char* buf);
+
+  /// Extends the file by one zeroed page and returns its id.
+  Result<PageId> AllocatePage();
+
+  /// Extends the file by `n` zeroed pages and returns the first id.
+  /// Storage objects allocate in extents so their pages stay contiguous
+  /// on disk (sequential scans then read sequentially even when several
+  /// objects grow concurrently).
+  Result<PageId> AllocateExtent(size_t n);
+
+  /// Pages in the file, including header.
+  uint64_t page_count() const { return page_count_; }
+
+  /// Bytes on disk (page_count * kPageSize).
+  uint64_t FileSizeBytes() const { return page_count_ * kPageSize; }
+
+  /// Persists the header (page count) and fsyncs.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Pager(std::string path, int fd, uint64_t page_count)
+      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+
+  Status WriteHeader();
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t page_count_ = 0;
+  uint64_t sim_seq_read_ns_ = 0;
+  uint64_t sim_random_read_ns_ = 0;
+  PageId last_read_page_ = kInvalidPageId;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_PAGER_H_

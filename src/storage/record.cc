@@ -1,0 +1,90 @@
+#include "storage/record.h"
+
+#include <unordered_set>
+
+#include "common/coding.h"
+
+namespace segdiff {
+
+Result<TableSchema> TableSchema::Create(std::vector<Column> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  std::unordered_set<std::string> seen;
+  for (const Column& column : columns) {
+    if (column.name.empty()) {
+      return Status::InvalidArgument("column name must not be empty");
+    }
+    if (!seen.insert(column.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + column.name);
+    }
+  }
+  TableSchema schema;
+  schema.columns_ = std::move(columns);
+  return schema;
+}
+
+Result<size_t> TableSchema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      return i;
+    }
+  }
+  return Status::NotFound("no such column: " + name);
+}
+
+Result<TableSchema> DoubleSchema(const std::vector<std::string>& names) {
+  std::vector<Column> columns;
+  columns.reserve(names.size());
+  for (const std::string& name : names) {
+    columns.push_back(Column{name, ColumnType::kDouble});
+  }
+  return TableSchema::Create(std::move(columns));
+}
+
+Row DoubleRow(const std::vector<double>& values) {
+  Row row;
+  row.reserve(values.size());
+  for (double value : values) {
+    row.push_back(Value::Double(value));
+  }
+  return row;
+}
+
+Status EncodeRow(const TableSchema& schema, const Row& row, char* dst) {
+  if (row.size() != schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type != schema.column(i).type) {
+      return Status::InvalidArgument("row type mismatch at column " +
+                                     schema.column(i).name);
+    }
+    if (row[i].type == ColumnType::kDouble) {
+      EncodeDouble(dst + 8 * i, row[i].d);
+    } else {
+      EncodeFixed64(dst + 8 * i, static_cast<uint64_t>(row[i].i));
+    }
+  }
+  return Status::OK();
+}
+
+Row DecodeRow(const TableSchema& schema, const char* src) {
+  Row row;
+  row.reserve(schema.num_columns());
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (schema.column(i).type == ColumnType::kDouble) {
+      row.push_back(Value::Double(DecodeDouble(src + 8 * i)));
+    } else {
+      row.push_back(
+          Value::Int64(static_cast<int64_t>(DecodeFixed64(src + 8 * i))));
+    }
+  }
+  return row;
+}
+
+double DecodeDoubleColumn(const char* src, size_t i) {
+  return DecodeDouble(src + 8 * i);
+}
+
+}  // namespace segdiff

@@ -1,0 +1,87 @@
+// Typed schemas and fixed-width row encoding.
+//
+// minidb rows are fixed-width: every column is 8 bytes (double or
+// int64), so records never fragment and page capacity is static. That
+// matches the workload — every feature table the paper defines holds
+// time spans, value differences, and time stamps.
+
+#ifndef SEGDIFF_STORAGE_RECORD_H_
+#define SEGDIFF_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace segdiff {
+
+enum class ColumnType : unsigned char { kDouble = 0, kInt64 = 1 };
+
+/// Column definition: a name unique within its schema, and a type.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+};
+
+/// A typed cell.
+struct Value {
+  ColumnType type = ColumnType::kDouble;
+  double d = 0.0;
+  int64_t i = 0;
+
+  static Value Double(double v) {
+    Value value;
+    value.type = ColumnType::kDouble;
+    value.d = v;
+    return value;
+  }
+  static Value Int64(int64_t v) {
+    Value value;
+    value.type = ColumnType::kInt64;
+    value.i = v;
+    return value;
+  }
+};
+
+using Row = std::vector<Value>;
+
+/// Ordered list of columns; validates name uniqueness.
+class TableSchema {
+ public:
+  static Result<TableSchema> Create(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the named column, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Bytes per encoded row: 8 * num_columns().
+  size_t RowBytes() const { return 8 * columns_.size(); }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Builds an all-double schema from column names (the common case here).
+Result<TableSchema> DoubleSchema(const std::vector<std::string>& names);
+
+/// Builds an all-double row.
+Row DoubleRow(const std::vector<double>& values);
+
+/// Encodes `row` (which must match `schema` in arity and types) into
+/// `dst` (schema.RowBytes() bytes).
+Status EncodeRow(const TableSchema& schema, const Row& row, char* dst);
+
+/// Decodes a row previously encoded with the same schema.
+Row DecodeRow(const TableSchema& schema, const char* src);
+
+/// Decodes only the double value of column `i` without materializing the
+/// row (hot path for predicate evaluation; the column must be kDouble).
+double DecodeDoubleColumn(const char* src, size_t i);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_RECORD_H_

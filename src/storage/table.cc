@@ -1,0 +1,194 @@
+#include "storage/table.h"
+
+#include <utility>
+
+#include "common/coding.h"
+
+namespace segdiff {
+
+Table::Table(BufferPool* pool, std::string name, TableSchema schema,
+             HeapFile heap)
+    : pool_(pool),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      heap_(std::make_unique<HeapFile>(heap)),
+      encode_buf_(schema_.RowBytes()) {}
+
+Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool,
+                                             std::string name,
+                                             TableSchema schema) {
+  SEGDIFF_ASSIGN_OR_RETURN(HeapFile heap,
+                           HeapFile::Create(pool, schema.RowBytes()));
+  return std::unique_ptr<Table>(
+      new Table(pool, std::move(name), std::move(schema), heap));
+}
+
+Result<std::unique_ptr<Table>> Table::Attach(BufferPool* pool,
+                                             std::string name,
+                                             TableSchema schema,
+                                             const HeapFileMeta& heap_meta) {
+  SEGDIFF_ASSIGN_OR_RETURN(
+      HeapFile heap, HeapFile::Attach(pool, schema.RowBytes(), heap_meta));
+  return std::unique_ptr<Table>(
+      new Table(pool, std::move(name), std::move(schema), heap));
+}
+
+Result<IndexKey> Table::MakeKey(const TableIndex& index, const char* record,
+                                RecordId rid) const {
+  IndexKey key;
+  for (size_t i = 0; i < index.key_columns.size(); ++i) {
+    key.vals[i] = DecodeDoubleColumn(record, index.key_columns[i]);
+  }
+  key.rid = rid.Pack();
+  return key;
+}
+
+Result<RecordId> Table::Insert(const Row& row) {
+  SEGDIFF_RETURN_IF_ERROR(EncodeRow(schema_, row, encode_buf_.data()));
+  SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(encode_buf_.data()));
+  for (TableIndex& index : indexes_) {
+    SEGDIFF_ASSIGN_OR_RETURN(IndexKey key,
+                             MakeKey(index, encode_buf_.data(), rid));
+    SEGDIFF_RETURN_IF_ERROR(index.tree->Insert(key));
+  }
+  return rid;
+}
+
+Result<RecordId> Table::InsertDoubles(const std::vector<double>& values) {
+  if (values.size() != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    EncodeDouble(encode_buf_.data() + 8 * i, values[i]);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(encode_buf_.data()));
+  for (TableIndex& index : indexes_) {
+    SEGDIFF_ASSIGN_OR_RETURN(IndexKey key,
+                             MakeKey(index, encode_buf_.data(), rid));
+    SEGDIFF_RETURN_IF_ERROR(index.tree->Insert(key));
+  }
+  return rid;
+}
+
+Status Table::Scan(const HeapFile::ScanFn& fn) const {
+  return heap_->Scan(fn);
+}
+
+Result<Row> Table::ReadRow(RecordId id) const {
+  std::vector<char> buf(schema_.RowBytes());
+  SEGDIFF_RETURN_IF_ERROR(heap_->ReadRecord(id, buf.data()));
+  return DecodeRow(schema_, buf.data());
+}
+
+Status Table::ReadRecord(RecordId id, char* buf) const {
+  return heap_->ReadRecord(id, buf);
+}
+
+Result<BPlusTree*> Table::CreateIndex(
+    const std::string& index_name,
+    const std::vector<std::string>& columns) {
+  if (columns.empty() ||
+      columns.size() > static_cast<size_t>(kMaxIndexArity)) {
+    return Status::InvalidArgument("index needs 1..4 key columns");
+  }
+  for (const TableIndex& index : indexes_) {
+    if (index.name == index_name) {
+      return Status::AlreadyExists("index exists: " + index_name);
+    }
+  }
+  TableIndex index;
+  index.name = index_name;
+  for (const std::string& column : columns) {
+    SEGDIFF_ASSIGN_OR_RETURN(size_t idx, schema_.ColumnIndex(column));
+    if (schema_.column(idx).type != ColumnType::kDouble) {
+      return Status::InvalidArgument("index columns must be kDouble");
+    }
+    index.key_columns.push_back(idx);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(
+      BPlusTree tree,
+      BPlusTree::Create(pool_, static_cast<int>(columns.size())));
+  index.tree = std::make_unique<BPlusTree>(std::move(tree));
+
+  // Back-fill from existing rows.
+  Status backfill = heap_->Scan(
+      [&](const char* record, RecordId rid, bool* keep_going) -> Status {
+        *keep_going = true;
+        SEGDIFF_ASSIGN_OR_RETURN(IndexKey key, MakeKey(index, record, rid));
+        return index.tree->Insert(key);
+      });
+  SEGDIFF_RETURN_IF_ERROR(backfill);
+  indexes_.push_back(std::move(index));
+  return indexes_.back().tree.get();
+}
+
+Status Table::AttachIndex(const std::string& index_name,
+                          std::vector<size_t> key_columns,
+                          PageId meta_page) {
+  SEGDIFF_ASSIGN_OR_RETURN(BPlusTree tree,
+                           BPlusTree::Attach(pool_, meta_page));
+  TableIndex index;
+  index.name = index_name;
+  index.key_columns = std::move(key_columns);
+  index.tree = std::make_unique<BPlusTree>(std::move(tree));
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Result<BPlusTree*> Table::GetIndex(const std::string& index_name) const {
+  for (const TableIndex& index : indexes_) {
+    if (index.name == index_name) {
+      return index.tree.get();
+    }
+  }
+  return Status::NotFound("no such index: " + index_name);
+}
+
+Result<uint64_t> Table::DeleteWhere(const Predicate& predicate) {
+  SEGDIFF_ASSIGN_OR_RETURN(HeapFile fresh,
+                           HeapFile::Create(pool_, schema_.RowBytes()));
+  uint64_t removed = 0;
+  // Copy survivors into the fresh heap.
+  SEGDIFF_RETURN_IF_ERROR(heap_->Scan(
+      [&](const char* record, RecordId, bool* keep_going) -> Status {
+        *keep_going = true;
+        if (predicate.Matches(record)) {
+          ++removed;
+          return Status::OK();
+        }
+        return fresh.Append(record).status();
+      }));
+  // Rebuild every index over the fresh heap.
+  std::vector<TableIndex> rebuilt;
+  rebuilt.reserve(indexes_.size());
+  for (const TableIndex& old_index : indexes_) {
+    TableIndex index;
+    index.name = old_index.name;
+    index.key_columns = old_index.key_columns;
+    SEGDIFF_ASSIGN_OR_RETURN(
+        BPlusTree tree,
+        BPlusTree::Create(pool_,
+                          static_cast<int>(index.key_columns.size())));
+    index.tree = std::make_unique<BPlusTree>(std::move(tree));
+    SEGDIFF_RETURN_IF_ERROR(fresh.Scan(
+        [&](const char* record, RecordId rid, bool* keep_going) -> Status {
+          *keep_going = true;
+          SEGDIFF_ASSIGN_OR_RETURN(IndexKey key, MakeKey(index, record, rid));
+          return index.tree->Insert(key);
+        }));
+    rebuilt.push_back(std::move(index));
+  }
+  *heap_ = fresh;
+  indexes_ = std::move(rebuilt);
+  return removed;
+}
+
+uint64_t Table::IndexSizeBytes() const {
+  uint64_t total = 0;
+  for (const TableIndex& index : indexes_) {
+    total += index.tree->SizeBytes();
+  }
+  return total;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,102 @@
+// Table: a schema + heap file + any number of B+-tree secondary indexes.
+
+#ifndef SEGDIFF_STORAGE_TABLE_H_
+#define SEGDIFF_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "index/bplus_tree.h"
+#include "query/predicate.h"
+#include "storage/heap_file.h"
+#include "storage/record.h"
+
+namespace segdiff {
+
+/// One secondary index: key = the listed double columns, in order,
+/// with the record id appended as tiebreaker.
+struct TableIndex {
+  std::string name;
+  std::vector<size_t> key_columns;
+  std::unique_ptr<BPlusTree> tree;
+};
+
+/// Heap-backed table. Insert maintains every index; scans stream the heap.
+class Table {
+ public:
+  /// Creates a fresh table (allocates its heap file).
+  static Result<std::unique_ptr<Table>> Create(BufferPool* pool,
+                                               std::string name,
+                                               TableSchema schema);
+
+  /// Attaches to an existing table.
+  static Result<std::unique_ptr<Table>> Attach(BufferPool* pool,
+                                               std::string name,
+                                               TableSchema schema,
+                                               const HeapFileMeta& heap_meta);
+
+  const std::string& name() const { return name_; }
+  const TableSchema& schema() const { return schema_; }
+
+  /// Inserts a typed row; updates all indexes.
+  Result<RecordId> Insert(const Row& row);
+
+  /// Hot path for all-double tables: skips Value boxing.
+  Result<RecordId> InsertDoubles(const std::vector<double>& values);
+
+  /// Raw scan over encoded records (see HeapFile::Scan).
+  Status Scan(const HeapFile::ScanFn& fn) const;
+
+  /// Materializes the row at `id`.
+  Result<Row> ReadRow(RecordId id) const;
+
+  /// Copies the encoded record at `id` into `buf` (schema().RowBytes()).
+  Status ReadRecord(RecordId id, char* buf) const;
+
+  /// Adds an empty index over the named columns (all kDouble, at most
+  /// kMaxIndexArity) and back-fills it from existing rows.
+  Result<BPlusTree*> CreateIndex(const std::string& index_name,
+                                 const std::vector<std::string>& columns);
+
+  /// Attaches an existing index (catalog restart path).
+  Status AttachIndex(const std::string& index_name,
+                     std::vector<size_t> key_columns, PageId meta_page);
+
+  /// The named index, or NotFound.
+  Result<BPlusTree*> GetIndex(const std::string& index_name) const;
+
+  /// Deletes every row matching `predicate` by rewriting the heap file
+  /// and rebuilding all indexes (a compaction-style delete: simple,
+  /// crash-safe at checkpoint granularity, and appropriate for the
+  /// rare-delete feature workload; superseded pages become file garbage
+  /// until the store is rebuilt). Returns the number of rows removed.
+  Result<uint64_t> DeleteWhere(const Predicate& predicate);
+
+  const std::vector<TableIndex>& indexes() const { return indexes_; }
+  uint64_t row_count() const { return heap_->meta().record_count; }
+  /// Heap bytes only: the paper's "feature size".
+  uint64_t DataSizeBytes() const { return heap_->SizeBytes(); }
+  /// Index bytes; data + index = the paper's "disk size".
+  uint64_t IndexSizeBytes() const;
+  const HeapFileMeta& heap_meta() const { return heap_->meta(); }
+
+ private:
+  Table(BufferPool* pool, std::string name, TableSchema schema,
+        HeapFile heap);
+
+  Result<IndexKey> MakeKey(const TableIndex& index, const char* record,
+                           RecordId rid) const;
+
+  BufferPool* pool_;
+  std::string name_;
+  TableSchema schema_;
+  std::unique_ptr<HeapFile> heap_;
+  std::vector<TableIndex> indexes_;
+  std::vector<char> encode_buf_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_TABLE_H_

@@ -1,0 +1,198 @@
+#include "ts/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace segdiff {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerYear = 365.0 * kSecondsPerDay;
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+Status ValidateCadOptions(const CadGeneratorOptions& o) {
+  if (o.num_days <= 0) {
+    return Status::InvalidArgument("num_days must be positive");
+  }
+  if (o.sample_interval_s <= 0.0) {
+    return Status::InvalidArgument("sample_interval_s must be positive");
+  }
+  if (o.cad_min_magnitude_c > o.cad_max_magnitude_c ||
+      o.cad_min_magnitude_c < 0.0) {
+    return Status::InvalidArgument("invalid CAD magnitude range");
+  }
+  if (o.cad_min_drop_s > o.cad_max_drop_s || o.cad_min_drop_s <= 0.0) {
+    return Status::InvalidArgument("invalid CAD drop duration range");
+  }
+  if (o.cad_min_recovery_s > o.cad_max_recovery_s ||
+      o.cad_min_recovery_s <= 0.0) {
+    return Status::InvalidArgument("invalid CAD recovery duration range");
+  }
+  if (o.cad_window_start_h < 0.0 || o.cad_window_end_h > 24.0 ||
+      o.cad_window_start_h >= o.cad_window_end_h) {
+    return Status::InvalidArgument("invalid CAD time-of-day window");
+  }
+  if (o.missing_probability < 0.0 || o.missing_probability >= 1.0 ||
+      o.spike_probability < 0.0 || o.spike_probability >= 1.0) {
+    return Status::InvalidArgument("probabilities must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+/// Smooth 0->1 ramp (cubic smoothstep); drops look rounded, not angular.
+double SmoothStep(double x) {
+  x = std::clamp(x, 0.0, 1.0);
+  return x * x * (3.0 - 2.0 * x);
+}
+
+/// Additive temperature contribution of one CAD event at time t: 0 before
+/// t_start, falls to -magnitude at t_bottom, linearly recovers to 0 at
+/// t_recovered.
+double CadEventDelta(const InjectedDrop& drop, double t) {
+  if (t <= drop.t_start || t >= drop.t_recovered) {
+    return 0.0;
+  }
+  if (t <= drop.t_bottom) {
+    const double x = (t - drop.t_start) / (drop.t_bottom - drop.t_start);
+    return -drop.magnitude_c * SmoothStep(x);
+  }
+  const double x =
+      (t - drop.t_bottom) / (drop.t_recovered - drop.t_bottom);
+  return -drop.magnitude_c * (1.0 - x);
+}
+
+}  // namespace
+
+Result<CadSeries> GenerateCadSeries(const CadGeneratorOptions& options) {
+  SEGDIFF_RETURN_IF_ERROR(ValidateCadOptions(options));
+  // Distinct sensors on the transect get distinct, deterministic streams.
+  Rng rng(options.seed + 0x9E37u * static_cast<uint64_t>(
+                              options.sensor_index + 1));
+
+  // Sensors lower in the canyon are colder and experience stronger CAD
+  // events; the phase lag models the cold air flowing down the transect.
+  const double sensor_offset_c = -0.4 * options.sensor_index;
+  const double sensor_cad_gain =
+      1.0 + 0.03 * options.sensor_index;
+  const double sensor_phase_s = 60.0 * options.sensor_index;
+
+  CadSeries out;
+
+  // Schedule CAD events first so the main loop can sum their deltas.
+  for (int day = 0; day < options.num_days; ++day) {
+    if (!rng.Bernoulli(std::min(1.0, options.cad_events_per_day))) {
+      continue;
+    }
+    InjectedDrop drop;
+    const double day_start =
+        options.start_time_s + day * kSecondsPerDay;
+    drop.t_start = day_start +
+                   rng.Uniform(options.cad_window_start_h * 3600.0,
+                               options.cad_window_end_h * 3600.0) +
+                   sensor_phase_s;
+    const double drop_duration =
+        rng.Uniform(options.cad_min_drop_s, options.cad_max_drop_s);
+    const double recovery_duration = rng.Uniform(
+        options.cad_min_recovery_s, options.cad_max_recovery_s);
+    drop.t_bottom = drop.t_start + drop_duration;
+    drop.t_recovered = drop.t_bottom + recovery_duration;
+    drop.magnitude_c = sensor_cad_gain *
+                       rng.Uniform(options.cad_min_magnitude_c,
+                                   options.cad_max_magnitude_c);
+    out.drops.push_back(drop);
+  }
+
+  const auto num_samples = static_cast<int64_t>(
+      options.num_days * kSecondsPerDay / options.sample_interval_s);
+  double noise = 0.0;
+  const double stationary_sigma =
+      options.ar1_sigma_c /
+      std::sqrt(std::max(1e-12, 1.0 - options.ar1_phi * options.ar1_phi));
+  noise = rng.Gaussian(0.0, stationary_sigma);
+
+  for (int64_t i = 0; i <= num_samples; ++i) {
+    const double t = options.start_time_s + i * options.sample_interval_s;
+    noise = options.ar1_phi * noise +
+            rng.Gaussian(0.0, options.ar1_sigma_c);
+    if (rng.Bernoulli(options.missing_probability)) {
+      continue;  // sensor dropped this packet
+    }
+
+    const double seasonal =
+        options.seasonal_amplitude_c *
+        std::sin(kTwoPi * (t / kSecondsPerYear) - kTwoPi / 4.0);
+    // Diurnal minimum just before dawn (~05:00), maximum mid-afternoon.
+    const double hour_angle = kTwoPi * (t / kSecondsPerDay) - kTwoPi * 0.65;
+    const double diurnal = options.diurnal_amplitude_c * std::sin(hour_angle);
+
+    double value = options.base_temp_c + sensor_offset_c + seasonal +
+                   diurnal + noise;
+    for (const InjectedDrop& drop : out.drops) {
+      value += CadEventDelta(drop, t);
+    }
+    if (options.spike_probability > 0.0 &&
+        rng.Bernoulli(options.spike_probability)) {
+      value += (rng.Bernoulli(0.5) ? 1.0 : -1.0) *
+               rng.Uniform(0.5 * options.spike_magnitude_c,
+                           options.spike_magnitude_c);
+    }
+    SEGDIFF_RETURN_IF_ERROR(out.series.Append({t, value}));
+  }
+  return out;
+}
+
+Result<std::vector<CadSeries>> GenerateCadTransect(
+    const CadGeneratorOptions& options, int sensor_count) {
+  if (sensor_count <= 0) {
+    return Status::InvalidArgument("sensor_count must be positive");
+  }
+  std::vector<CadSeries> transect;
+  transect.reserve(static_cast<size_t>(sensor_count));
+  for (int sensor = 0; sensor < sensor_count; ++sensor) {
+    CadGeneratorOptions per_sensor = options;
+    per_sensor.sensor_index = sensor;
+    SEGDIFF_ASSIGN_OR_RETURN(CadSeries one, GenerateCadSeries(per_sensor));
+    transect.push_back(std::move(one));
+  }
+  return transect;
+}
+
+Result<Series> GenerateFinanceSeries(
+    const FinanceGeneratorOptions& options) {
+  if (options.num_points <= 0 || options.sample_interval_s <= 0.0) {
+    return Status::InvalidArgument("invalid finance generator options");
+  }
+  Rng rng(options.seed);
+  Series series;
+  double price = options.initial_price;
+  for (int i = 0; i < options.num_points; ++i) {
+    price += options.drift_per_step + rng.Gaussian(0.0, options.volatility);
+    if (rng.Bernoulli(options.jump_probability)) {
+      const double jump = rng.Uniform(options.jump_min, options.jump_max);
+      price += rng.Bernoulli(0.5) ? jump : -jump;
+    }
+    price = std::max(price, 0.01);
+    SEGDIFF_RETURN_IF_ERROR(
+        series.Append({i * options.sample_interval_s, price}));
+  }
+  return series;
+}
+
+Result<Series> GenerateRandomWalk(uint64_t seed, int num_points,
+                                  double sample_interval_s, double sigma) {
+  if (num_points <= 0 || sample_interval_s <= 0.0 || sigma < 0.0) {
+    return Status::InvalidArgument("invalid random walk options");
+  }
+  Rng rng(seed);
+  Series series;
+  double value = 0.0;
+  for (int i = 0; i < num_points; ++i) {
+    value += rng.Gaussian(0.0, sigma);
+    SEGDIFF_RETURN_IF_ERROR(series.Append({i * sample_interval_s, value}));
+  }
+  return series;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,101 @@
+// Synthetic workload generators.
+//
+// The paper evaluates on the James Reserve Cold Air Drainage (CAD)
+// transect: 25 sensors sampling air temperature every 5 minutes for a
+// year, where CAD events are sharp early-morning temperature drops
+// (>= 3 degC within 1 hour). That data set is not public, so
+// GenerateCadSeries synthesizes a statistically comparable series:
+// seasonal trend + diurnal cycle + AR(1) noise + injected CAD drop events
+// + occasional spike anomalies and missing samples. Injected events are
+// reported back to the caller so tests can measure recall exactly.
+
+#ifndef SEGDIFF_TS_GENERATOR_H_
+#define SEGDIFF_TS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// One injected cold-air-drainage drop event (ground truth).
+struct InjectedDrop {
+  double t_start = 0.0;     ///< when the temperature starts falling
+  double t_bottom = 0.0;    ///< when the minimum is reached
+  double t_recovered = 0.0; ///< when the pre-event level is restored
+  double magnitude_c = 0.0; ///< total drop in degrees Celsius (positive)
+};
+
+/// Parameters of the synthetic CAD transect generator.
+struct CadGeneratorOptions {
+  uint64_t seed = 20080325;       ///< EDBT'08 opening day
+  int num_days = 30;
+  double sample_interval_s = 300.0;  ///< 5 minutes, as at James Reserve
+  double start_time_s = 0.0;
+
+  double base_temp_c = 12.0;
+  double seasonal_amplitude_c = 9.0;   ///< annual cycle peak-to-mean
+  double diurnal_amplitude_c = 5.5;    ///< daily cycle peak-to-mean
+  double ar1_phi = 0.95;               ///< noise autocorrelation
+  double ar1_sigma_c = 0.08;           ///< noise innovation stddev
+
+  double cad_events_per_day = 0.6;     ///< expected injected drops per day
+  double cad_min_magnitude_c = 3.0;
+  double cad_max_magnitude_c = 12.0;
+  double cad_min_drop_s = 900.0;       ///< 15 minutes
+  double cad_max_drop_s = 4200.0;      ///< 70 minutes
+  double cad_min_recovery_s = 3600.0;
+  double cad_max_recovery_s = 10800.0;
+  double cad_window_start_h = 2.0;     ///< events start between 02:00 ...
+  double cad_window_end_h = 6.0;       ///< ... and 06:00 local time
+
+  double missing_probability = 0.002;  ///< chance a sample is dropped
+  double spike_probability = 0.0;      ///< chance a sample is an anomaly
+  double spike_magnitude_c = 10.0;
+
+  /// Sensor index along the canyon transect (0..24 in the paper). Offsets
+  /// the base temperature, CAD magnitude, and phase slightly per sensor.
+  int sensor_index = 0;
+};
+
+/// A generated series plus its ground-truth injected events.
+struct CadSeries {
+  Series series;
+  std::vector<InjectedDrop> drops;
+};
+
+/// Generates one sensor's series. Fails with InvalidArgument on
+/// non-positive horizon/sampling or inverted magnitude/duration ranges.
+Result<CadSeries> GenerateCadSeries(const CadGeneratorOptions& options);
+
+/// Generates the whole transect: `sensor_count` series with per-sensor
+/// offsets derived from `options` (options.sensor_index is overridden).
+Result<std::vector<CadSeries>> GenerateCadTransect(
+    const CadGeneratorOptions& options, int sensor_count);
+
+/// Parameters for a jump-heavy price-like series (used by the finance
+/// example to exercise jump search).
+struct FinanceGeneratorOptions {
+  uint64_t seed = 7;
+  int num_points = 20000;
+  double sample_interval_s = 60.0;
+  double initial_price = 100.0;
+  double drift_per_step = 0.0001;
+  double volatility = 0.05;
+  double jump_probability = 0.001;   ///< per-step chance of a price jump
+  double jump_min = 1.0;
+  double jump_max = 8.0;
+};
+
+/// Random-walk price series with occasional upward/downward jumps.
+Result<Series> GenerateFinanceSeries(const FinanceGeneratorOptions& options);
+
+/// Pure random walk (Gaussian increments), handy for property tests.
+Result<Series> GenerateRandomWalk(uint64_t seed, int num_points,
+                                  double sample_interval_s, double sigma);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_TS_GENERATOR_H_

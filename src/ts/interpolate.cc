@@ -1,0 +1,63 @@
+#include "ts/interpolate.h"
+
+#include <algorithm>
+
+namespace segdiff {
+
+double Lerp(const Sample& a, const Sample& b, double t) {
+  if (b.t == a.t) {
+    return a.v;
+  }
+  return a.v + (b.v - a.v) / (b.t - a.t) * (t - a.t);
+}
+
+Result<double> ModelGValueAt(const Series& series, double t) {
+  ModelGEvaluator eval(series);
+  return eval.ValueAt(t);
+}
+
+ModelGEvaluator::ModelGEvaluator(const Series& series) : series_(series) {}
+
+double ModelGEvaluator::t_min() const {
+  return series_.empty() ? 0.0 : series_.front().t;
+}
+
+double ModelGEvaluator::t_max() const {
+  return series_.empty() ? 0.0 : series_.back().t;
+}
+
+Result<double> ModelGEvaluator::ValueAt(double t) {
+  if (series_.empty()) {
+    return Status::OutOfRange("empty series");
+  }
+  if (t < series_.front().t || t > series_.back().t) {
+    return Status::OutOfRange("t outside series span");
+  }
+  if (series_.size() == 1) {
+    return series_[0].v;
+  }
+  // Fast path: sequential access advances the hint.
+  if (hint_ + 1 >= series_.size() || t < series_[hint_].t ||
+      t > series_[hint_ + 1].t) {
+    if (hint_ + 2 < series_.size() && t >= series_[hint_ + 1].t &&
+        t <= series_[hint_ + 2].t) {
+      ++hint_;
+    } else {
+      const auto& samples = series_.samples();
+      auto it = std::upper_bound(
+          samples.begin(), samples.end(), t,
+          [](double value, const Sample& s) { return value < s.t; });
+      size_t idx = static_cast<size_t>(it - samples.begin());
+      if (idx > 0) {
+        --idx;
+      }
+      if (idx + 1 >= samples.size()) {
+        idx = samples.size() - 2;
+      }
+      hint_ = idx;
+    }
+  }
+  return Lerp(series_[hint_], series_[hint_ + 1], t);
+}
+
+}  // namespace segdiff

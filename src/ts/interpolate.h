@@ -1,0 +1,40 @@
+// Data Generating Model G (paper Definition 1): values between consecutive
+// samples are the linear interpolation of those samples.
+
+#ifndef SEGDIFF_TS_INTERPOLATE_H_
+#define SEGDIFF_TS_INTERPOLATE_H_
+
+#include "common/result.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// Linear interpolation between two points; `t` must lie in [a.t, b.t]
+/// with a.t < b.t (a.t == b.t returns a.v).
+double Lerp(const Sample& a, const Sample& b, double t);
+
+/// Evaluates Model G at time `t`. Fails with OutOfRange when `t` is outside
+/// [front().t, back().t] or the series is empty.
+Result<double> ModelGValueAt(const Series& series, double t);
+
+/// Random access evaluator over a series with O(log n) seek and O(1)
+/// sequential advance; used by the naive oracle and verification code.
+class ModelGEvaluator {
+ public:
+  /// `series` must outlive the evaluator.
+  explicit ModelGEvaluator(const Series& series);
+
+  /// Value at `t`; OutOfRange outside the series' time span.
+  Result<double> ValueAt(double t);
+
+  double t_min() const;
+  double t_max() const;
+
+ private:
+  const Series& series_;
+  size_t hint_ = 0;  ///< index of the segment [hint_, hint_+1] last used
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_TS_INTERPOLATE_H_

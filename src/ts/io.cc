@@ -1,0 +1,150 @@
+#include "ts/io.h"
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace segdiff {
+namespace {
+
+constexpr uint32_t kBinaryMagic = 0x53474453;  // "SGDS"
+constexpr uint32_t kBinaryVersion = 1;
+
+/// RAII FILE* wrapper.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : file_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+  std::FILE* get() const { return file_; }
+
+ private:
+  std::FILE* file_;
+};
+
+Status OpenError(const std::string& path) {
+  return Status::IOError("cannot open " + path + ": " +
+                         std::strerror(errno));
+}
+
+}  // namespace
+
+Status WriteSeriesCsv(const Series& series, const std::string& path) {
+  File file(path, "w");
+  if (!file.ok()) {
+    return OpenError(path);
+  }
+  if (std::fprintf(file.get(), "# segdiff-series v1\n") < 0) {
+    return Status::IOError("write failed: " + path);
+  }
+  for (const Sample& sample : series) {
+    if (std::fprintf(file.get(), "%.17g,%.17g\n", sample.t, sample.v) < 0) {
+      return Status::IOError("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Series> ReadSeriesCsv(const std::string& path) {
+  File file(path, "r");
+  if (!file.ok()) {
+    return OpenError(path);
+  }
+  Series series;
+  char line[256];
+  int line_number = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++line_number;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') {
+      ++p;
+    }
+    if (*p == '#' || *p == '\n' || *p == '\0' || *p == '\r') {
+      continue;
+    }
+    double t = 0.0;
+    double v = 0.0;
+    if (std::sscanf(p, "%lf,%lf", &t, &v) != 2) {
+      return Status::Corruption("malformed CSV row at " + path + ":" +
+                                std::to_string(line_number));
+    }
+    Status append = series.Append({t, v});
+    if (!append.ok()) {
+      return Status::Corruption("bad sample at " + path + ":" +
+                                std::to_string(line_number) + ": " +
+                                append.ToString());
+    }
+  }
+  return series;
+}
+
+Status WriteSeriesBinary(const Series& series, const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) {
+    return OpenError(path);
+  }
+  char header[16];
+  EncodeFixed32(header, kBinaryMagic);
+  EncodeFixed32(header + 4, kBinaryVersion);
+  EncodeFixed64(header + 8, series.size());
+  if (std::fwrite(header, 1, sizeof(header), file.get()) != sizeof(header)) {
+    return Status::IOError("write failed: " + path);
+  }
+  std::vector<char> buf(series.size() * 16);
+  for (size_t i = 0; i < series.size(); ++i) {
+    EncodeDouble(buf.data() + i * 16, series[i].t);
+    EncodeDouble(buf.data() + i * 16 + 8, series[i].v);
+  }
+  if (!buf.empty() &&
+      std::fwrite(buf.data(), 1, buf.size(), file.get()) != buf.size()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Series> ReadSeriesBinary(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) {
+    return OpenError(path);
+  }
+  char header[16];
+  if (std::fread(header, 1, sizeof(header), file.get()) != sizeof(header)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  if (DecodeFixed32(header) != kBinaryMagic) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  if (DecodeFixed32(header + 4) != kBinaryVersion) {
+    return Status::Corruption("unsupported version: " + path);
+  }
+  const uint64_t count = DecodeFixed64(header + 8);
+  std::vector<char> buf(count * 16);
+  if (!buf.empty() &&
+      std::fread(buf.data(), 1, buf.size(), file.get()) != buf.size()) {
+    return Status::Corruption("truncated body: " + path);
+  }
+  Series series;
+  for (uint64_t i = 0; i < count; ++i) {
+    Status append = series.Append({DecodeDouble(buf.data() + i * 16),
+                                   DecodeDouble(buf.data() + i * 16 + 8)});
+    if (!append.ok()) {
+      return Status::Corruption("bad sample in " + path + ": " +
+                                append.ToString());
+    }
+  }
+  return series;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,118 @@
+#include "ts/resample.h"
+
+#include <cmath>
+
+#include "ts/interpolate.h"
+
+namespace segdiff {
+
+Result<Series> ResampleRegular(const Series& series, double interval_s) {
+  if (series.size() < 2) {
+    return Status::InvalidArgument("need at least 2 samples to resample");
+  }
+  if (interval_s <= 0.0) {
+    return Status::InvalidArgument("interval_s must be positive");
+  }
+  ModelGEvaluator eval(series);
+  Series out;
+  const double t0 = series.front().t;
+  const double t1 = series.back().t;
+  // Guard against grids that would explode memory.
+  if ((t1 - t0) / interval_s > 1e8) {
+    return Status::InvalidArgument("resample grid too fine");
+  }
+  for (int64_t i = 0;; ++i) {
+    const double t = t0 + static_cast<double>(i) * interval_s;
+    if (t > t1) {
+      break;
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(double v, eval.ValueAt(t));
+    SEGDIFF_RETURN_IF_ERROR(out.Append({t, v}));
+  }
+  return out;
+}
+
+Result<Series> FillGaps(const Series& series, double max_gap_s,
+                        double interval_s) {
+  if (max_gap_s <= 0.0 || interval_s <= 0.0) {
+    return Status::InvalidArgument("gap and interval must be positive");
+  }
+  Series out;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0) {
+      const Sample& prev = series[i - 1];
+      const Sample& next = series[i];
+      const double gap = next.t - prev.t;
+      if (gap > max_gap_s) {
+        const auto steps = static_cast<int64_t>(gap / interval_s);
+        for (int64_t k = 1; k <= steps; ++k) {
+          const double t = prev.t + static_cast<double>(k) * interval_s;
+          if (t >= next.t) {
+            break;
+          }
+          SEGDIFF_RETURN_IF_ERROR(out.Append({t, Lerp(prev, next, t)}));
+        }
+      }
+    }
+    SEGDIFF_RETURN_IF_ERROR(out.Append(series[i]));
+  }
+  return out;
+}
+
+Result<Series> DownsampleMean(const Series& series, double bucket_s) {
+  if (bucket_s <= 0.0) {
+    return Status::InvalidArgument("bucket_s must be positive");
+  }
+  Series out;
+  if (series.empty()) {
+    return out;
+  }
+  const double t0 = series.front().t;
+  int64_t current_bucket = 0;
+  double sum = 0.0;
+  size_t count = 0;
+  auto flush = [&]() -> Status {
+    if (count == 0) {
+      return Status::OK();
+    }
+    const double center =
+        t0 + (static_cast<double>(current_bucket) + 0.5) * bucket_s;
+    Status status = out.Append({center, sum / static_cast<double>(count)});
+    sum = 0.0;
+    count = 0;
+    return status;
+  };
+  for (const Sample& sample : series) {
+    const auto bucket =
+        static_cast<int64_t>(std::floor((sample.t - t0) / bucket_s));
+    if (bucket != current_bucket) {
+      SEGDIFF_RETURN_IF_ERROR(flush());
+      current_bucket = bucket;
+    }
+    sum += sample.v;
+    ++count;
+  }
+  SEGDIFF_RETURN_IF_ERROR(flush());
+  return out;
+}
+
+std::vector<Series> SplitAtGaps(const Series& series, double max_gap_s) {
+  std::vector<Series> chunks;
+  Series current;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (i > 0 && series[i].t - series[i - 1].t > max_gap_s &&
+        !current.empty()) {
+      chunks.push_back(std::move(current));
+      current = Series();
+    }
+    // Append cannot fail here: source samples are already valid/ordered.
+    Status status = current.Append(series[i]);
+    (void)status;
+  }
+  if (!current.empty()) {
+    chunks.push_back(std::move(current));
+  }
+  return chunks;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,41 @@
+// Resampling and gap handling.
+//
+// Model G (linear interpolation) is the paper's semantics BETWEEN normal
+// samples, but real deployments lose packets and go dark for hours;
+// interpolating straight across an outage invents events. These
+// utilities let an application regularize its feed and split it at
+// outages before indexing each contiguous stretch.
+
+#ifndef SEGDIFF_TS_RESAMPLE_H_
+#define SEGDIFF_TS_RESAMPLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// Resamples onto the regular grid {t0, t0 + interval, ...} spanning the
+/// input, evaluating Model G at each grid point. Fails on series with
+/// fewer than 2 samples or non-positive interval.
+Result<Series> ResampleRegular(const Series& series, double interval_s);
+
+/// Returns the input with every gap larger than `max_gap_s` bridged by
+/// Model-G samples every `interval_s` (original samples are kept).
+Result<Series> FillGaps(const Series& series, double max_gap_s,
+                        double interval_s);
+
+/// Mean-aggregates samples into buckets of `bucket_s` seconds anchored
+/// at the first sample; each bucket yields one sample at its center.
+/// Empty buckets produce no sample.
+Result<Series> DownsampleMean(const Series& series, double bucket_s);
+
+/// Splits the series into maximal chunks whose internal gaps are all
+/// <= max_gap_s. Index each chunk separately instead of letting Model G
+/// interpolate across sensor outages.
+std::vector<Series> SplitAtGaps(const Series& series, double max_gap_s);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_TS_RESAMPLE_H_

@@ -1,0 +1,88 @@
+#include "ts/series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace segdiff {
+namespace {
+
+Status ValidateSample(const Sample& sample) {
+  if (!std::isfinite(sample.t) || !std::isfinite(sample.v)) {
+    return Status::InvalidArgument("sample has non-finite time or value");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Series> Series::FromSamples(std::vector<Sample> samples) {
+  Series series;
+  series.samples_.reserve(samples.size());
+  for (const Sample& sample : samples) {
+    SEGDIFF_RETURN_IF_ERROR(series.Append(sample));
+  }
+  return series;
+}
+
+Status Series::Append(Sample sample) {
+  SEGDIFF_RETURN_IF_ERROR(ValidateSample(sample));
+  if (!samples_.empty() && sample.t <= samples_.back().t) {
+    return Status::InvalidArgument(
+        "time stamps must be strictly increasing: " +
+        std::to_string(sample.t) + " after " +
+        std::to_string(samples_.back().t));
+  }
+  samples_.push_back(sample);
+  return Status::OK();
+}
+
+double Series::Duration() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  return samples_.back().t - samples_.front().t;
+}
+
+Series Series::Slice(double t_lo, double t_hi) const {
+  Series out;
+  auto lower = std::lower_bound(
+      samples_.begin(), samples_.end(), t_lo,
+      [](const Sample& s, double t) { return s.t < t; });
+  for (auto it = lower; it != samples_.end() && it->t <= t_hi; ++it) {
+    out.samples_.push_back(*it);
+  }
+  return out;
+}
+
+SeriesStats Series::Stats() const {
+  SeriesStats stats;
+  stats.count = samples_.size();
+  if (samples_.empty()) {
+    return stats;
+  }
+  stats.min_v = std::numeric_limits<double>::infinity();
+  stats.max_v = -std::numeric_limits<double>::infinity();
+  stats.min_dt = std::numeric_limits<double>::infinity();
+  stats.max_dt = 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    stats.min_v = std::min(stats.min_v, samples_[i].v);
+    stats.max_v = std::max(stats.max_v, samples_[i].v);
+    sum += samples_[i].v;
+    if (i > 0) {
+      const double dt = samples_[i].t - samples_[i - 1].t;
+      stats.min_dt = std::min(stats.min_dt, dt);
+      stats.max_dt = std::max(stats.max_dt, dt);
+    }
+  }
+  if (samples_.size() < 2) {
+    stats.min_dt = 0.0;
+    stats.max_dt = 0.0;
+  }
+  stats.mean_v = sum / static_cast<double>(samples_.size());
+  return stats;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,78 @@
+// Time-series container: strictly increasing time stamps, double values.
+//
+// All times in the library are seconds (double). The paper's sensor data
+// samples air temperature every 5 minutes (300 s); query/window parameters
+// given in hours are converted by callers (see benchutil/workload.h).
+
+#ifndef SEGDIFF_TS_SERIES_H_
+#define SEGDIFF_TS_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace segdiff {
+
+/// One observation (t_i, v_i).
+struct Sample {
+  double t = 0.0;
+  double v = 0.0;
+
+  friend bool operator==(const Sample& a, const Sample& b) {
+    return a.t == b.t && a.v == b.v;
+  }
+};
+
+/// Summary statistics of a series' values.
+struct SeriesStats {
+  double min_v = 0.0;
+  double max_v = 0.0;
+  double mean_v = 0.0;
+  double min_dt = 0.0;   ///< smallest gap between consecutive samples
+  double max_dt = 0.0;   ///< largest gap between consecutive samples
+  size_t count = 0;
+};
+
+/// An ordered sequence of samples with strictly increasing time stamps.
+class Series {
+ public:
+  Series() = default;
+
+  /// Builds a series from samples; fails with InvalidArgument if time
+  /// stamps are not strictly increasing or any value is non-finite.
+  static Result<Series> FromSamples(std::vector<Sample> samples);
+
+  /// Appends one sample; fails if `sample.t` does not exceed the last time
+  /// stamp or the value is non-finite.
+  Status Append(Sample sample);
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const Sample& operator[](size_t i) const { return samples_[i]; }
+  const Sample& front() const { return samples_.front(); }
+  const Sample& back() const { return samples_.back(); }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  std::vector<Sample>::const_iterator begin() const {
+    return samples_.begin();
+  }
+  std::vector<Sample>::const_iterator end() const { return samples_.end(); }
+
+  /// Total covered time, back().t - front().t; 0 for fewer than 2 samples.
+  double Duration() const;
+
+  /// Returns the sub-series of samples with t in [t_lo, t_hi].
+  Series Slice(double t_lo, double t_hi) const;
+
+  /// Computes value/gap statistics; count==0 for an empty series.
+  SeriesStats Stats() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_TS_SERIES_H_

@@ -1,0 +1,171 @@
+#include "ts/smoothing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace segdiff {
+namespace {
+
+constexpr double kMadToSigma = 1.4826;  // consistency factor for Gaussians
+
+double MedianInPlace(std::vector<double>* values) {
+  const size_t n = values->size();
+  auto mid = values->begin() + static_cast<std::ptrdiff_t>(n / 2);
+  std::nth_element(values->begin(), mid, values->end());
+  double median = *mid;
+  if (n % 2 == 0) {
+    auto below = std::max_element(values->begin(), mid);
+    median = 0.5 * (median + *below);
+  }
+  return median;
+}
+
+double Tricube(double u) {
+  const double a = 1.0 - std::abs(u) * std::abs(u) * std::abs(u);
+  return a <= 0.0 ? 0.0 : a * a * a;
+}
+
+double Bisquare(double u) {
+  const double a = 1.0 - u * u;
+  return a <= 0.0 ? 0.0 : a * a;
+}
+
+}  // namespace
+
+Result<Series> HampelFilter(const Series& series,
+                            const HampelOptions& options,
+                            size_t* replaced_count) {
+  if (options.window_radius == 0) {
+    return Status::InvalidArgument("window_radius must be positive");
+  }
+  if (options.n_sigmas <= 0.0) {
+    return Status::InvalidArgument("n_sigmas must be positive");
+  }
+  size_t replaced = 0;
+  std::vector<Sample> out(series.begin(), series.end());
+  std::vector<double> window;
+  std::vector<double> deviations;
+  const size_t n = series.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= options.window_radius
+                          ? i - options.window_radius
+                          : 0;
+    const size_t hi = std::min(n - 1, i + options.window_radius);
+    window.clear();
+    for (size_t j = lo; j <= hi; ++j) {
+      window.push_back(series[j].v);
+    }
+    const double median = MedianInPlace(&window);
+    deviations.clear();
+    for (size_t j = lo; j <= hi; ++j) {
+      deviations.push_back(std::abs(series[j].v - median));
+    }
+    const double mad = MedianInPlace(&deviations);
+    const double threshold = options.n_sigmas * kMadToSigma * mad;
+    if (std::abs(series[i].v - median) > threshold) {
+      out[i].v = median;
+      ++replaced;
+    }
+  }
+  if (replaced_count != nullptr) {
+    *replaced_count = replaced;
+  }
+  return Series::FromSamples(std::move(out));
+}
+
+Result<Series> MovingAverage(const Series& series, size_t window_radius) {
+  std::vector<Sample> out(series.begin(), series.end());
+  const size_t n = series.size();
+  // Prefix sums keep the filter O(n) regardless of radius.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i + 1] = prefix[i] + series[i].v;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= window_radius ? i - window_radius : 0;
+    const size_t hi = std::min(n - 1, i + window_radius);
+    out[i].v = (prefix[hi + 1] - prefix[lo]) /
+               static_cast<double>(hi - lo + 1);
+  }
+  return Series::FromSamples(std::move(out));
+}
+
+Result<Series> RobustLoess(const Series& series,
+                           const LoessOptions& options) {
+  if (options.bandwidth_s <= 0.0) {
+    return Status::InvalidArgument("bandwidth_s must be positive");
+  }
+  if (options.robust_iterations < 0) {
+    return Status::InvalidArgument("robust_iterations must be >= 0");
+  }
+  const size_t n = series.size();
+  std::vector<Sample> out(series.begin(), series.end());
+  if (n < 3) {
+    return Series::FromSamples(std::move(out));
+  }
+
+  std::vector<double> robustness(n, 1.0);
+  std::vector<double> fitted(n, 0.0);
+
+  for (int pass = 0; pass <= options.robust_iterations; ++pass) {
+    size_t window_lo = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const double t0 = series[i].t;
+      while (window_lo < n &&
+             series[window_lo].t < t0 - options.bandwidth_s) {
+        ++window_lo;
+      }
+      // Weighted least squares of v on (t - t0) over the window.
+      double sw = 0.0, swx = 0.0, swy = 0.0, swxx = 0.0, swxy = 0.0;
+      for (size_t j = window_lo;
+           j < n && series[j].t <= t0 + options.bandwidth_s; ++j) {
+        const double x = series[j].t - t0;
+        const double w =
+            Tricube(x / options.bandwidth_s) * robustness[j];
+        if (w <= 0.0) {
+          continue;
+        }
+        sw += w;
+        swx += w * x;
+        swy += w * series[j].v;
+        swxx += w * x * x;
+        swxy += w * x * series[j].v;
+      }
+      if (sw <= 0.0) {
+        fitted[i] = series[i].v;
+        continue;
+      }
+      const double denom = sw * swxx - swx * swx;
+      if (std::abs(denom) < 1e-12 * std::max(1.0, sw * swxx)) {
+        fitted[i] = swy / sw;  // degenerate window: weighted mean
+      } else {
+        const double slope = (sw * swxy - swx * swy) / denom;
+        const double intercept = (swy - slope * swx) / sw;
+        fitted[i] = intercept;  // evaluated at x = 0, i.e. t = t0
+      }
+    }
+
+    if (pass == options.robust_iterations) {
+      break;
+    }
+    // Bisquare robustness weights from the residuals' MAD.
+    std::vector<double> abs_residuals(n);
+    for (size_t i = 0; i < n; ++i) {
+      abs_residuals[i] = std::abs(series[i].v - fitted[i]);
+    }
+    std::vector<double> copy = abs_residuals;
+    const double mad = MedianInPlace(&copy);
+    const double scale = std::max(6.0 * mad, 1e-9);
+    for (size_t i = 0; i < n; ++i) {
+      robustness[i] = Bisquare(abs_residuals[i] / scale);
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    out[i].v = fitted[i];
+  }
+  return Series::FromSamples(std::move(out));
+}
+
+}  // namespace segdiff

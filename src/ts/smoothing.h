@@ -1,0 +1,49 @@
+// Robust smoothing preprocessors.
+//
+// The paper preprocesses the CAD data with "a smoothing method with robust
+// weights so that anomalies are removed" (Section 6). We provide the
+// standard toolbox: a Hampel outlier filter, a moving average, and robust
+// LOESS (locally weighted linear regression with bisquare robustness
+// iterations, as in Cleveland's lowess).
+
+#ifndef SEGDIFF_TS_SMOOTHING_H_
+#define SEGDIFF_TS_SMOOTHING_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+/// Hampel filter: replaces any sample farther than
+/// `n_sigmas * 1.4826 * MAD` from the window median by that median.
+/// `window_radius` counts samples on each side.
+struct HampelOptions {
+  size_t window_radius = 5;
+  double n_sigmas = 3.0;
+};
+
+/// Returns the filtered series (same time stamps) and, via
+/// `replaced_count`, how many samples were altered (may be nullptr).
+Result<Series> HampelFilter(const Series& series, const HampelOptions& options,
+                            size_t* replaced_count = nullptr);
+
+/// Centered moving average over `window_radius` samples each side.
+Result<Series> MovingAverage(const Series& series, size_t window_radius);
+
+/// Robust LOESS options. `bandwidth_s` is the half-width of the local
+/// regression window in seconds; `robust_iterations` bisquare reweighting
+/// passes (0 == plain LOESS).
+struct LoessOptions {
+  double bandwidth_s = 3600.0;
+  int robust_iterations = 2;
+};
+
+/// Locally weighted linear regression with tricube kernel weights and
+/// optional bisquare robustness iterations. Keeps the input time stamps.
+Result<Series> RobustLoess(const Series& series, const LoessOptions& options);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_TS_SMOOTHING_H_

@@ -1,0 +1,219 @@
+// Literal verification of the paper's Section 4.3.1 + appendix
+// "features to be collected" rules, case by case. For each of the six
+// slope cases we build a concrete segment pair, compute the paper's
+// corner features by hand from the definitions, and check that
+// ComputeFrontier + CollectStoredCorners store exactly those features
+// under each conditional sub-case.
+
+#include <gtest/gtest.h>
+
+#include "feature/cases.h"
+#include "feature/frontier.h"
+#include "feature/parallelogram.h"
+
+namespace segdiff {
+namespace {
+
+struct PairSetup {
+  DataSegment cd;
+  DataSegment ab;
+};
+
+Parallelogram Make(const PairSetup& setup) {
+  auto result = Parallelogram::FromSegments(setup.cd, setup.ab);
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+StoredCorners Collect(const Parallelogram& p, double eps, SearchKind kind) {
+  return CollectStoredCorners(ComputeFrontier(p, kind), eps, kind);
+}
+
+// ---------------------------------------------------------------------
+// Case 1: k_CD >= 0, k_AB <= 0. Drop corners BC, AC; jump corners BC, BD.
+// Paper: if dv_AC - eps <= 0 collect (dt_BC, dv_BC - eps), (dt_AC,
+// dv_AC - eps); if dv_BD + eps > 0 collect (dt_BC, dv_BC + eps),
+// (dt_BD, dv_BD + eps).
+TEST(AppendixCasesTest, Case1DropAndJump) {
+  // CD rises (0,0)->(10,4); AB falls (20,5)->(30,2).
+  PairSetup setup{{{0, 0}, {10, 4}}, {{20, 5}, {30, 2}}};
+  Parallelogram p = Make(setup);
+  ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase1);
+  // Corners: BC = (10, 1), BD = (20, 5), AC = (20, -2), AD = (30, 2).
+  ASSERT_EQ(p.bc(), (FeaturePoint{10, 1}));
+  ASSERT_EQ(p.ac(), (FeaturePoint{20, -2}));
+  ASSERT_EQ(p.bd(), (FeaturePoint{20, 5}));
+
+  const double eps = 0.5;
+  // Drop: dv_AC - eps = -2.5 <= 0 -> collect BC and AC, shifted down.
+  StoredCorners drop = Collect(p, eps, SearchKind::kDrop);
+  ASSERT_EQ(drop.count, 2);
+  EXPECT_EQ(drop.pts[0], (FeaturePoint{10, 0.5}));
+  EXPECT_EQ(drop.pts[1], (FeaturePoint{20, -2.5}));
+  // Jump: dv_BD + eps = 5.5 > 0 -> collect BC and BD, shifted up.
+  StoredCorners jump = Collect(p, eps, SearchKind::kJump);
+  ASSERT_EQ(jump.count, 2);
+  EXPECT_EQ(jump.pts[0], (FeaturePoint{10, 1.5}));
+  EXPECT_EQ(jump.pts[1], (FeaturePoint{20, 5.5}));
+}
+
+TEST(AppendixCasesTest, Case1DropImpossibleStoresNothing) {
+  // Both segments high-and-rising enough that AC is positive: CD
+  // (0,0)->(10,1); AB flat-down tiny (20,5)->(30,4.9): AC = (20, 3.9).
+  PairSetup setup{{{0, 0}, {10, 1}}, {{20, 5}, {30, 4.9}}};
+  Parallelogram p = Make(setup);
+  ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase1);
+  StoredCorners drop = Collect(p, 0.5, SearchKind::kDrop);
+  EXPECT_EQ(drop.count, 0);  // dv_AC - eps = 3.4 > 0: no drop possible
+}
+
+// ---------------------------------------------------------------------
+// Case 2: k_CD >= 0, k_AB >= k_CD. Drop corner BC; jump corners BC, AC,
+// AD (sub-case I) or AC, AD (sub-case II).
+TEST(AppendixCasesTest, Case2DropSingleCorner) {
+  // CD (0,0)->(10,2) slope .2; AB (20,-9)->(30,-4) slope .5.
+  PairSetup setup{{{0, 0}, {10, 2}}, {{20, -9}, {30, -4}}};
+  Parallelogram p = Make(setup);
+  ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase2);
+  // BC = (10, -11): dv_BC - eps <= 0 -> store just BC shifted.
+  StoredCorners drop = Collect(p, 0.5, SearchKind::kDrop);
+  ASSERT_EQ(drop.count, 1);
+  EXPECT_EQ(drop.pts[0], (FeaturePoint{10, -11.5}));
+}
+
+TEST(AppendixCasesTest, Case2JumpSubcases) {
+  const double eps = 0.5;
+  // Sub-case I: dv_AC + eps >= 0 with BC also relevant. CD
+  // (0,0)->(10,2); AB (20,1)->(30,9): BC=(10,-1), AC=(20,7), AD=(30,9).
+  {
+    PairSetup setup{{{0, 0}, {10, 2}}, {{20, 1}, {30, 9}}};
+    Parallelogram p = Make(setup);
+    ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase2);
+    StoredCorners jump = Collect(p, eps, SearchKind::kJump);
+    ASSERT_EQ(jump.count, 3);
+    EXPECT_EQ(jump.pts[0], (FeaturePoint{10, -0.5}));
+    EXPECT_EQ(jump.pts[1], (FeaturePoint{20, 7.5}));
+    EXPECT_EQ(jump.pts[2], (FeaturePoint{30, 9.5}));
+  }
+  // Sub-case II: dv_AC + eps < 0 but dv_AD + eps > 0: drop BC, keep
+  // (AC, AD). CD (0,0)->(10,2); AB (20,-11)->(30,1):
+  // BC=(10,-13), AC=(20,-1), AD=(30,1).
+  {
+    PairSetup setup{{{0, 0}, {10, 2}}, {{20, -11}, {30, 1}}};
+    Parallelogram p = Make(setup);
+    ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase2);
+    StoredCorners jump = Collect(p, eps, SearchKind::kJump);
+    ASSERT_EQ(jump.count, 2);
+    EXPECT_EQ(jump.pts[0], (FeaturePoint{20, -0.5}));
+    EXPECT_EQ(jump.pts[1], (FeaturePoint{30, 1.5}));
+  }
+  // No jump possible: dv_AD + eps <= 0.
+  {
+    PairSetup setup{{{0, 0}, {10, 2}}, {{20, -30}, {30, -20}}};
+    Parallelogram p = Make(setup);
+    ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase2);
+    EXPECT_EQ(Collect(p, eps, SearchKind::kJump).count, 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Case 3: k_CD >= 0, 0 < k_AB < k_CD. Same as case 2 with BD in place
+// of AC.
+TEST(AppendixCasesTest, Case3JumpUsesBd) {
+  // CD (0,0)->(10,9) slope .9; AB (20,1)->(30,3) slope .2.
+  // BC = (10, -8), BD = (20, 1), AD = (30, 3).
+  PairSetup setup{{{0, 0}, {10, 9}}, {{20, 1}, {30, 3}}};
+  Parallelogram p = Make(setup);
+  ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase3);
+  StoredCorners jump = Collect(p, 0.5, SearchKind::kJump);
+  ASSERT_EQ(jump.count, 3);
+  EXPECT_EQ(jump.pts[0], (FeaturePoint{10, -7.5}));
+  EXPECT_EQ(jump.pts[1], (FeaturePoint{20, 1.5}));  // BD, not AC
+  EXPECT_EQ(jump.pts[2], (FeaturePoint{30, 3.5}));
+  // Drop: single corner BC.
+  StoredCorners drop = Collect(p, 0.5, SearchKind::kDrop);
+  ASSERT_EQ(drop.count, 1);
+  EXPECT_EQ(drop.pts[0], (FeaturePoint{10, -8.5}));
+}
+
+// ---------------------------------------------------------------------
+// Case 4: k_CD < 0, k_AB >= 0. Drop corners BC, BD; jump corners BC, AC.
+TEST(AppendixCasesTest, Case4BothKinds) {
+  // CD (0,4)->(10,0) slope -.4; AB (20,-1)->(30,3) slope .4.
+  // BC=(10,-1), BD=(20,-5), AC=(20,3), AD=(30,-1).
+  PairSetup setup{{{0, 4}, {10, 0}}, {{20, -1}, {30, 3}}};
+  Parallelogram p = Make(setup);
+  ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase4);
+  const double eps = 0.5;
+  // Drop: dv_BD - eps = -5.5 <= 0 -> (BC, BD) shifted down.
+  StoredCorners drop = Collect(p, eps, SearchKind::kDrop);
+  ASSERT_EQ(drop.count, 2);
+  EXPECT_EQ(drop.pts[0], (FeaturePoint{10, -1.5}));
+  EXPECT_EQ(drop.pts[1], (FeaturePoint{20, -5.5}));
+  // Jump: dv_AC + eps = 3.5 > 0 -> (BC, AC) shifted up.
+  StoredCorners jump = Collect(p, eps, SearchKind::kJump);
+  ASSERT_EQ(jump.count, 2);
+  EXPECT_EQ(jump.pts[0], (FeaturePoint{10, -0.5}));
+  EXPECT_EQ(jump.pts[1], (FeaturePoint{20, 3.5}));
+}
+
+// ---------------------------------------------------------------------
+// Case 5: k_CD < 0, k_AB <= k_CD. Drop: (BC, AC, AD) / (AC, AD); jump:
+// BC only. (Table 2 prints case 5's slope condition with a typo; the
+// appendix geometry is authoritative — see cases.h.)
+TEST(AppendixCasesTest, Case5DropSubcasesAndJump) {
+  const double eps = 0.5;
+  // k_CD = -0.2, k_AB = -0.8. CD (0,2)->(10,0); AB (20,5)->(30,-3).
+  // Corners: BC = (10, 5), AC = (20, -3), AD = (30, -5).
+  {
+    PairSetup setup{{{0, 2}, {10, 0}}, {{20, 5}, {30, -3}}};
+    Parallelogram p = Make(setup);
+    ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase5);
+    // Sub-case I: dv_AC - eps = -3.5 <= 0 -> all three corners.
+    StoredCorners drop = Collect(p, eps, SearchKind::kDrop);
+    ASSERT_EQ(drop.count, 3);
+    EXPECT_EQ(drop.pts[0], (FeaturePoint{10, 4.5}));   // BC
+    EXPECT_EQ(drop.pts[1], (FeaturePoint{20, -3.5}));  // AC
+    EXPECT_EQ(drop.pts[2], (FeaturePoint{30, -5.5}));  // AD
+    // Jump: dv_BC + eps = 5.5 > 0 -> single corner BC.
+    StoredCorners jump = Collect(p, eps, SearchKind::kJump);
+    ASSERT_EQ(jump.count, 1);
+    EXPECT_EQ(jump.pts[0], (FeaturePoint{10, 5.5}));
+  }
+  // Sub-case II: dv_AC - eps > 0 and dv_AD - eps <= 0 -> (AC, AD) only.
+  // Raise AB so AC stays positive: CD (0,2)->(10,0); AB (20,9)->(30,0.8):
+  // AC = (20, 0.8), AD = (30, -1.2), BC = (10, 9).
+  {
+    PairSetup setup{{{0, 2}, {10, 0}}, {{20, 9}, {30, 0.8}}};
+    Parallelogram p = Make(setup);
+    ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase5);
+    StoredCorners drop = Collect(p, eps, SearchKind::kDrop);
+    ASSERT_EQ(drop.count, 2);
+    EXPECT_EQ(drop.pts[0].dt, 20);
+    EXPECT_NEAR(drop.pts[0].dv, 0.8 - eps, 1e-12);  // AC shifted
+    EXPECT_EQ(drop.pts[1].dt, 30);
+    EXPECT_NEAR(drop.pts[1].dv, -1.2 - eps, 1e-12);  // AD shifted
+  }
+}
+
+// ---------------------------------------------------------------------
+// Case 6: k_CD < 0, k_CD < k_AB < 0. Case 5 with BD in place of AC.
+TEST(AppendixCasesTest, Case6DropUsesBd) {
+  // k_CD = -0.8, k_AB = -0.2. CD (0,8)->(10,0); AB (20,1)->(30,-1).
+  // BC = (10, 1), BD = (20, -7), AD = (30, -9).
+  PairSetup setup{{{0, 8}, {10, 0}}, {{20, 1}, {30, -1}}};
+  Parallelogram p = Make(setup);
+  ASSERT_EQ(ClassifySlopeCase(p.k_cd(), p.k_ab()), SlopeCase::kCase6);
+  StoredCorners drop = Collect(p, 0.5, SearchKind::kDrop);
+  ASSERT_EQ(drop.count, 3);
+  EXPECT_EQ(drop.pts[0], (FeaturePoint{10, 0.5}));    // BC
+  EXPECT_EQ(drop.pts[1], (FeaturePoint{20, -7.5}));   // BD, not AC
+  EXPECT_EQ(drop.pts[2], (FeaturePoint{30, -9.5}));   // AD
+  // Jump: BC only (dv_BC + eps = 1.5 > 0).
+  StoredCorners jump = Collect(p, 0.5, SearchKind::kJump);
+  ASSERT_EQ(jump.count, 1);
+  EXPECT_EQ(jump.pts[0], (FeaturePoint{10, 1.5}));
+}
+
+}  // namespace
+}  // namespace segdiff

@@ -1,0 +1,59 @@
+# End-to-end smoke test of segdiff_cli, driven by ctest:
+#   cmake -DCLI=<path-to-segdiff_cli> -DWORK=<scratch-dir> -P cli_test.cmake
+# Exercises generate -> segment -> build -> search -> stats -> sql ->
+# compact and checks both exit codes and key output markers.
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK)
+  message(FATAL_ERROR "pass -DCLI=<binary> -DWORK=<dir>")
+endif()
+
+file(MAKE_DIRECTORY ${WORK})
+set(CSV ${WORK}/cli_data.csv)
+set(DB ${WORK}/cli_store.db)
+set(SEGMENTS ${WORK}/cli_segments.csv)
+set(COMPACT ${WORK}/cli_compact.db)
+file(REMOVE ${CSV} ${DB} ${SEGMENTS} ${COMPACT} ${WORK}/missing.db)
+
+function(run_cli expect_substring)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "segdiff_cli ${ARGN} failed (${code}): ${out}${err}")
+  endif()
+  if(NOT "${expect_substring}" STREQUAL "" AND
+     NOT out MATCHES "${expect_substring}")
+    message(FATAL_ERROR
+            "segdiff_cli ${ARGN}: expected '${expect_substring}' in:\n${out}")
+  endif()
+endfunction()
+
+run_cli("wrote [0-9]+ observations"
+        generate --out ${CSV} --days 5 --seed 42)
+run_cli("segments \\(r=" segment --csv ${CSV} --eps 0.2 --out ${SEGMENTS})
+run_cli("built .*feature rows"
+        build --csv ${CSV} --db ${DB} --eps 0.2 --smooth)
+run_cli("periods with a drop" search --db ${DB} --t-hours 1 --v -3)
+run_cli("periods with a jump"
+        search --db ${DB} --t-hours 2 --v 2 --jump --mode index)
+run_cli("feature rows" stats --db ${DB})
+run_cli("count" sql --db ${DB} --query
+        "SELECT COUNT(*) FROM drop2 WHERE dt1 <= 3600 AND dv1 <= -3")
+run_cli("compacted" compact --db ${DB} --out ${COMPACT})
+run_cli("periods with a drop" search --db ${COMPACT} --t-hours 1 --v -3)
+
+# Failure paths exit non-zero.
+execute_process(COMMAND ${CLI} search --db ${WORK}/missing.db
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "search on a missing db unexpectedly succeeded")
+endif()
+execute_process(COMMAND ${CLI} frobnicate
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unknown command unexpectedly succeeded")
+endif()
+
+file(REMOVE ${CSV} ${DB} ${SEGMENTS} ${COMPACT})
+message(STATUS "segdiff_cli workflow OK")

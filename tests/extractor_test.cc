@@ -1,0 +1,221 @@
+// Tests for Algorithm 1: windowing, truncation, self pairs, stats.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "feature/extractor.h"
+#include "segment/sliding_window.h"
+#include "ts/generator.h"
+
+namespace segdiff {
+namespace {
+
+PiecewiseLinear MakeChain(std::vector<DataSegment> segments) {
+  auto result = PiecewiseLinear::FromSegments(std::move(segments));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+struct Collected {
+  std::vector<PairFeatures> rows;
+  ExtractorStats stats;
+};
+
+Collected RunExtractor(const PiecewiseLinear& pla, const ExtractorOptions& options) {
+  Collected out;
+  Status status = ExtractFeatures(
+      pla, options,
+      [&out](const PairFeatures& row) {
+        out.rows.push_back(row);
+        return Status::OK();
+      },
+      &out.stats);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+TEST(ExtractorTest, PairsEverySegmentInWindow) {
+  // Three contiguous 10s segments, window covers everything.
+  PiecewiseLinear pla = MakeChain({{{0, 0}, {10, -5}},
+                                   {{10, -5}, {20, 2}},
+                                   {{20, 2}, {30, -1}}});
+  ExtractorOptions options;
+  options.eps = 0.1;
+  options.window_s = 100.0;
+  Collected out = RunExtractor(pla, options);
+  // Cross pairs: (1,2), (1,3), (2,3); self pairs: 3.
+  EXPECT_EQ(out.stats.cross_pairs, 3u);
+  EXPECT_EQ(out.stats.self_pairs, 3u);
+  EXPECT_EQ(out.stats.segments_in, 3u);
+}
+
+TEST(ExtractorTest, WindowEvictsOldSegments) {
+  // Segments of 10s each; window of 15s: segment i pairs only with i-1
+  // (and truncated i-2 when it still overlaps).
+  std::vector<DataSegment> segments;
+  double v = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const double t = i * 10.0;
+    const double nv = (i % 2 == 0) ? v - 3 : v + 2;
+    segments.push_back({{t, v}, {t + 10, nv}});
+    v = nv;
+  }
+  ExtractorOptions options;
+  options.eps = 0.1;
+  options.window_s = 15.0;
+  Collected out = RunExtractor(MakeChain(segments), options);
+  // For segment i (start t=10i), win.start = 10i - 15: segment i-1 fully
+  // inside, segment i-2 overlaps by 5s (truncated), older ones evicted.
+  // Cross pairs: i=1 pairs 1; i>=2 pair 2 each.
+  EXPECT_EQ(out.stats.cross_pairs, 1u + 8u * 2u);
+}
+
+TEST(ExtractorTest, TruncationClampsPairIdToWindow) {
+  // One long old segment, then a short one far later but with window
+  // overlap only over part of the old segment.
+  PiecewiseLinear pla = MakeChain({{{0, 0}, {100, 50}},
+                                   {{100, 50}, {110, 20}}});
+  ExtractorOptions options;
+  options.eps = 0.1;
+  options.window_s = 30.0;  // win.start for AB = 100 - 30 = 70
+  Collected out = RunExtractor(pla, options);
+  ASSERT_EQ(out.stats.cross_pairs, 1u);
+  bool saw_cross = false;
+  for (const PairFeatures& row : out.rows) {
+    if (row.self_pair) continue;
+    saw_cross = true;
+    EXPECT_DOUBLE_EQ(row.id.t_d, 70.0);  // truncated at win.start
+    EXPECT_DOUBLE_EQ(row.id.t_c, 100.0);
+    EXPECT_DOUBLE_EQ(row.id.t_b, 100.0);
+    EXPECT_DOUBLE_EQ(row.id.t_a, 110.0);
+    // Corner dt values must reflect the truncation: max dt = 110-70=40.
+    for (int i = 0; i < row.corners.count; ++i) {
+      EXPECT_LE(row.corners.pts[i].dt, 40.0 + 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_cross);
+}
+
+TEST(ExtractorTest, SelfPairIdsAreSegmentPeriods) {
+  PiecewiseLinear pla = MakeChain({{{0, 5}, {10, 1}}});
+  ExtractorOptions options;
+  options.eps = 0.2;
+  options.window_s = 50.0;
+  Collected out = RunExtractor(pla, options);
+  ASSERT_FALSE(out.rows.empty());
+  for (const PairFeatures& row : out.rows) {
+    EXPECT_TRUE(row.self_pair);
+    EXPECT_DOUBLE_EQ(row.id.t_d, 0.0);
+    EXPECT_DOUBLE_EQ(row.id.t_c, 10.0);
+    EXPECT_DOUBLE_EQ(row.id.t_b, 0.0);
+    EXPECT_DOUBLE_EQ(row.id.t_a, 10.0);
+  }
+}
+
+TEST(ExtractorTest, DropOnlyModeSkipsJumps) {
+  PiecewiseLinear pla = MakeChain({{{0, 0}, {10, -5}}, {{10, -5}, {20, 3}}});
+  ExtractorOptions options;
+  options.eps = 0.1;
+  options.window_s = 100.0;
+  options.collect_jumps = false;
+  Collected out = RunExtractor(pla, options);
+  for (const PairFeatures& row : out.rows) {
+    EXPECT_EQ(row.kind, SearchKind::kDrop);
+  }
+}
+
+TEST(ExtractorTest, NoSelfPairsWhenDisabled) {
+  PiecewiseLinear pla = MakeChain({{{0, 0}, {10, -5}}, {{10, -5}, {20, 3}}});
+  ExtractorOptions options;
+  options.eps = 0.1;
+  options.window_s = 100.0;
+  options.include_self_pairs = false;
+  Collected out = RunExtractor(pla, options);
+  EXPECT_EQ(out.stats.self_pairs, 0u);
+  for (const PairFeatures& row : out.rows) {
+    EXPECT_FALSE(row.self_pair);
+  }
+}
+
+TEST(ExtractorTest, RejectsBadInput) {
+  FeatureExtractor bad_eps(
+      [] {
+        ExtractorOptions o;
+        o.eps = -1;
+        return o;
+      }(),
+      [](const PairFeatures&) { return Status::OK(); });
+  EXPECT_TRUE(bad_eps.AddSegment({{0, 0}, {1, 1}}).IsInvalidArgument());
+
+  FeatureExtractor bad_window(
+      [] {
+        ExtractorOptions o;
+        o.window_s = 0;
+        return o;
+      }(),
+      [](const PairFeatures&) { return Status::OK(); });
+  EXPECT_TRUE(bad_window.AddSegment({{0, 0}, {1, 1}}).IsInvalidArgument());
+
+  FeatureExtractor extractor(ExtractorOptions{}, [](const PairFeatures&) {
+    return Status::OK();
+  });
+  EXPECT_TRUE(extractor.AddSegment({{1, 0}, {1, 1}}).IsInvalidArgument());
+  ASSERT_TRUE(extractor.AddSegment({{0, 0}, {10, 1}}).ok());
+  EXPECT_TRUE(extractor.AddSegment({{5, 0}, {15, 1}}).IsInvalidArgument());
+}
+
+TEST(ExtractorTest, StatsHistogramsAreConsistent) {
+  auto data = GenerateCadSeries([] {
+    CadGeneratorOptions o;
+    o.num_days = 4;
+    return o;
+  }());
+  ASSERT_TRUE(data.ok());
+  auto pla = SegmentSeriesWithTolerance(data->series, 0.2);
+  ASSERT_TRUE(pla.ok());
+  ExtractorOptions options;
+  options.eps = 0.2;
+  options.window_s = 4 * 3600.0;
+  Collected out = RunExtractor(*pla, options);
+
+  const ExtractorStats& stats = out.stats;
+  EXPECT_EQ(stats.segments_in, pla->size());
+  // Frontier histogram sums to cross pairs for each kind.
+  for (int kind = 0; kind < 2; ++kind) {
+    uint64_t total = 0;
+    for (int k = 1; k <= 3; ++k) {
+      total += stats.frontier_hist[kind][k];
+    }
+    EXPECT_EQ(total, stats.cross_pairs);
+  }
+  // Case histogram sums to cross pairs.
+  uint64_t case_total = 0;
+  for (int c = 1; c <= 6; ++c) {
+    case_total += stats.case_hist[c];
+  }
+  EXPECT_EQ(case_total, stats.cross_pairs);
+  // Row/corner counters match what the sink saw.
+  EXPECT_EQ(stats.rows_emitted, out.rows.size());
+  uint64_t corners = 0;
+  for (const PairFeatures& row : out.rows) {
+    corners += static_cast<uint64_t>(row.corners.count);
+  }
+  EXPECT_EQ(stats.corners_emitted, corners);
+  // Per-pair, drop corners + jump corners from Table 2 always sum to 4.
+  EXPECT_EQ(stats.frontier_hist[0][1] + 2 * stats.frontier_hist[0][2] +
+                3 * stats.frontier_hist[0][3] + stats.frontier_hist[1][1] +
+                2 * stats.frontier_hist[1][2] + 3 * stats.frontier_hist[1][3],
+            4 * stats.cross_pairs);
+}
+
+TEST(ExtractorTest, SinkErrorPropagates) {
+  FeatureExtractor extractor(ExtractorOptions{}, [](const PairFeatures&) {
+    return Status::IOError("sink full");
+  });
+  // A falling segment always emits a self-pair drop row.
+  EXPECT_TRUE(extractor.AddSegment({{0, 5}, {10, 0}}).IsIOError());
+}
+
+}  // namespace
+}  // namespace segdiff

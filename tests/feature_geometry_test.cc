@@ -1,0 +1,399 @@
+// Property tests for the paper's core geometry: parallelogram
+// construction (Lemma 3), Table 2 case classification, frontier
+// reduction, and the eps-shift collection rule.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "feature/cases.h"
+#include "feature/frontier.h"
+#include "feature/parallelogram.h"
+
+namespace segdiff {
+namespace {
+
+Parallelogram MakeParallelogram(const DataSegment& cd, const DataSegment& ab) {
+  auto result = Parallelogram::FromSegments(cd, ab);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Exact minimum of dv over the parallelogram restricted to dt <= T
+/// (+inf when the restriction is empty). The minimum is attained at a
+/// corner with dt <= T or where an edge crosses dt == T.
+double MinDvRestricted(const Parallelogram& p, double T) {
+  const FeaturePoint corners[4] = {p.bc(), p.bd(), p.ac(), p.ad()};
+  const int edges[4][2] = {{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+  double best = std::numeric_limits<double>::infinity();
+  for (const FeaturePoint& corner : corners) {
+    if (corner.dt <= T) {
+      best = std::min(best, corner.dv);
+    }
+  }
+  for (const auto& edge : edges) {
+    const FeaturePoint& a = corners[edge[0]];
+    const FeaturePoint& b = corners[edge[1]];
+    const double lo = std::min(a.dt, b.dt);
+    const double hi = std::max(a.dt, b.dt);
+    if (lo <= T && T < hi) {
+      const double dv = a.dv + (b.dv - a.dv) / (b.dt - a.dt) * (T - a.dt);
+      best = std::min(best, dv);
+    }
+  }
+  return best;
+}
+
+/// Mirror for jumps: exact maximum of dv over the restriction.
+double MaxDvRestricted(const Parallelogram& p, double T) {
+  const FeaturePoint corners[4] = {p.bc(), p.bd(), p.ac(), p.ad()};
+  const int edges[4][2] = {{0, 1}, {2, 3}, {0, 2}, {1, 3}};
+  double best = -std::numeric_limits<double>::infinity();
+  for (const FeaturePoint& corner : corners) {
+    if (corner.dt <= T) {
+      best = std::max(best, corner.dv);
+    }
+  }
+  for (const auto& edge : edges) {
+    const FeaturePoint& a = corners[edge[0]];
+    const FeaturePoint& b = corners[edge[1]];
+    const double lo = std::min(a.dt, b.dt);
+    const double hi = std::max(a.dt, b.dt);
+    if (lo <= T && T < hi) {
+      const double dv = a.dv + (b.dv - a.dv) / (b.dt - a.dt) * (T - a.dt);
+      best = std::max(best, dv);
+    }
+  }
+  return best;
+}
+
+/// The paper's Section 4.4 queries over an (unshifted) frontier: does any
+/// point query or line query fire for region (T, V)?
+bool QueriesFire(const Frontier& frontier, double T, double V, bool drop) {
+  for (int i = 0; i < frontier.count; ++i) {
+    const FeaturePoint& pt = frontier.pts[i];
+    if (pt.dt <= T && (drop ? pt.dv <= V : pt.dv >= V)) {
+      return true;
+    }
+  }
+  for (int i = 0; i + 1 < frontier.count; ++i) {
+    const FeaturePoint& a = frontier.pts[i];
+    const FeaturePoint& b = frontier.pts[i + 1];
+    const bool ends_outside =
+        drop ? (a.dv > V && b.dv < V) : (a.dv < V && b.dv > V);
+    if (a.dt <= T && b.dt > T && ends_outside && b.dt > a.dt) {
+      const double at_T = a.dv + (b.dv - a.dv) / (b.dt - a.dt) * (T - a.dt);
+      if (drop ? at_T <= V : at_T >= V) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+DataSegment RandomSegment(Rng* rng, double t_start) {
+  const double duration = rng->Uniform(1.0, 50.0);
+  return DataSegment{{t_start, rng->Uniform(-10, 10)},
+                     {t_start + duration, rng->Uniform(-10, 10)}};
+}
+
+TEST(ParallelogramTest, CornersMatchDefinition) {
+  DataSegment cd{{0, 1}, {10, 5}};   // D=(0,1), C=(10,5)
+  DataSegment ab{{20, 4}, {25, 2}};  // B=(20,4), A=(25,2)
+  Parallelogram p = MakeParallelogram(cd, ab);
+  EXPECT_EQ(p.bc(), (FeaturePoint{10, -1}));
+  EXPECT_EQ(p.bd(), (FeaturePoint{20, 3}));
+  EXPECT_EQ(p.ac(), (FeaturePoint{15, -3}));
+  EXPECT_EQ(p.ad(), (FeaturePoint{25, 1}));
+  EXPECT_DOUBLE_EQ(p.k_cd(), 0.4);
+  EXPECT_DOUBLE_EQ(p.k_ab(), -0.4);
+  EXPECT_FALSE(p.is_self());
+}
+
+TEST(ParallelogramTest, EdgesHaveSegmentSlopes) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    DataSegment cd = RandomSegment(&rng, 0.0);
+    DataSegment ab = RandomSegment(&rng, cd.end.t + rng.Uniform(0.0, 30.0));
+    Parallelogram p = MakeParallelogram(cd, ab);
+    // (BC, BD) and (AC, AD) have slope k_CD.
+    EXPECT_NEAR((p.bd().dv - p.bc().dv) / (p.bd().dt - p.bc().dt), p.k_cd(),
+                1e-9);
+    EXPECT_NEAR((p.ad().dv - p.ac().dv) / (p.ad().dt - p.ac().dt), p.k_cd(),
+                1e-9);
+    // (BC, AC) and (BD, AD) have slope k_AB.
+    EXPECT_NEAR((p.ac().dv - p.bc().dv) / (p.ac().dt - p.bc().dt), p.k_ab(),
+                1e-9);
+    EXPECT_NEAR((p.ad().dv - p.bd().dv) / (p.ad().dt - p.bd().dt), p.k_ab(),
+                1e-9);
+  }
+}
+
+TEST(ParallelogramTest, RejectsOverlapAndDegenerate) {
+  DataSegment cd{{0, 0}, {10, 1}};
+  DataSegment overlapping{{5, 0}, {15, 1}};
+  EXPECT_TRUE(Parallelogram::FromSegments(cd, overlapping)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParallelogramTest, AdjacentSegmentsShareEndpoint) {
+  DataSegment cd{{0, 0}, {10, 1}};
+  DataSegment ab{{10, 1}, {20, 3}};
+  Parallelogram p = MakeParallelogram(cd, ab);
+  EXPECT_EQ(p.bc(), (FeaturePoint{0, 0}));
+}
+
+// Lemma 3: every event with one end on each segment maps inside the
+// parallelogram.
+TEST(ParallelogramTest, Lemma3ContainsAllCrossEvents) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    DataSegment cd = RandomSegment(&rng, 0.0);
+    DataSegment ab = RandomSegment(&rng, cd.end.t + rng.Uniform(0.0, 20.0));
+    Parallelogram p = MakeParallelogram(cd, ab);
+    for (int k = 0; k < 50; ++k) {
+      const double tc = rng.Uniform(cd.start.t, cd.end.t);
+      const double ta = rng.Uniform(ab.start.t, ab.end.t);
+      const FeaturePoint event{ta - tc, ab.ValueAt(ta) - cd.ValueAt(tc)};
+      EXPECT_TRUE(p.Contains(event, 1e-6))
+          << "trial " << trial << " event (" << event.dt << ", " << event.dv
+          << ")";
+    }
+  }
+}
+
+TEST(ParallelogramTest, ContainsRejectsOutsidePoints) {
+  DataSegment cd{{0, 0}, {10, 5}};
+  DataSegment ab{{20, 1}, {30, 2}};
+  Parallelogram p = MakeParallelogram(cd, ab);
+  // Far outside any corner.
+  EXPECT_FALSE(p.Contains({100, 0}, 1e-9));
+  EXPECT_FALSE(p.Contains({0, 100}, 1e-9));
+  EXPECT_FALSE(p.Contains({-5, 0}, 1e-9));
+}
+
+TEST(ParallelogramTest, SelfPairIsDegenerateSegment) {
+  DataSegment seg{{0, 10}, {20, 4}};
+  Parallelogram p = Parallelogram::FromSelf(seg);
+  EXPECT_TRUE(p.is_self());
+  EXPECT_EQ(p.bc(), (FeaturePoint{0, 0}));
+  EXPECT_EQ(p.ad(), (FeaturePoint{20, -6}));
+  // Within-segment events lie on the degenerate feature segment.
+  Rng rng(3);
+  for (int k = 0; k < 50; ++k) {
+    double t1 = rng.Uniform(0, 20);
+    double t2 = rng.Uniform(0, 20);
+    if (t1 > t2) std::swap(t1, t2);
+    const FeaturePoint event{t2 - t1, seg.ValueAt(t2) - seg.ValueAt(t1)};
+    EXPECT_TRUE(p.Contains(event, 1e-6));
+  }
+  EXPECT_FALSE(p.Contains({10, 5}, 1e-6));
+}
+
+TEST(CasesTest, ClassificationTable) {
+  // k_cd >= 0 rows.
+  EXPECT_EQ(ClassifySlopeCase(1.0, -1.0), SlopeCase::kCase1);
+  EXPECT_EQ(ClassifySlopeCase(1.0, 0.0), SlopeCase::kCase1);
+  EXPECT_EQ(ClassifySlopeCase(1.0, 2.0), SlopeCase::kCase2);
+  EXPECT_EQ(ClassifySlopeCase(1.0, 1.0), SlopeCase::kCase2);
+  EXPECT_EQ(ClassifySlopeCase(0.0, 0.0), SlopeCase::kCase2);
+  EXPECT_EQ(ClassifySlopeCase(1.0, 0.5), SlopeCase::kCase3);
+  // k_cd < 0 rows.
+  EXPECT_EQ(ClassifySlopeCase(-1.0, 0.0), SlopeCase::kCase4);
+  EXPECT_EQ(ClassifySlopeCase(-1.0, 2.0), SlopeCase::kCase4);
+  EXPECT_EQ(ClassifySlopeCase(-1.0, -2.0), SlopeCase::kCase5);
+  EXPECT_EQ(ClassifySlopeCase(-1.0, -1.0), SlopeCase::kCase5);
+  EXPECT_EQ(ClassifySlopeCase(-1.0, -0.5), SlopeCase::kCase6);
+}
+
+TEST(CasesTest, CornerCountsMatchTableTwo) {
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase1, SearchKind::kDrop), 2);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase1, SearchKind::kJump), 2);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase2, SearchKind::kDrop), 1);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase2, SearchKind::kJump), 3);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase3, SearchKind::kDrop), 1);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase3, SearchKind::kJump), 3);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase4, SearchKind::kDrop), 2);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase4, SearchKind::kJump), 2);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase5, SearchKind::kDrop), 3);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase5, SearchKind::kJump), 1);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase6, SearchKind::kDrop), 3);
+  EXPECT_EQ(TableTwoCornerCount(SlopeCase::kCase6, SearchKind::kJump), 1);
+}
+
+TEST(CasesTest, Names) {
+  EXPECT_EQ(SlopeCaseName(SlopeCase::kCase1), "case1");
+  EXPECT_EQ(SlopeCaseName(SlopeCase::kCase6), "case6");
+  EXPECT_EQ(SearchKindName(SearchKind::kDrop), "drop");
+  EXPECT_EQ(SearchKindName(SearchKind::kJump), "jump");
+}
+
+// Frontier size equals the Table 2 corner count whenever slopes are
+// nonzero and distinct (boundaries can legitimately collapse corners).
+TEST(FrontierTest, SizeMatchesTableTwo) {
+  Rng rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    DataSegment cd = RandomSegment(&rng, 0.0);
+    DataSegment ab = RandomSegment(&rng, cd.end.t + rng.Uniform(0.1, 20.0));
+    Parallelogram p = MakeParallelogram(cd, ab);
+    if (p.k_cd() == 0.0 || p.k_ab() == 0.0 || p.k_cd() == p.k_ab()) {
+      continue;
+    }
+    const SlopeCase slope_case = ClassifySlopeCase(p.k_cd(), p.k_ab());
+    for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
+      const Frontier frontier = ComputeFrontier(p, kind);
+      EXPECT_EQ(frontier.count, TableTwoCornerCount(slope_case, kind))
+          << SlopeCaseName(slope_case) << "/" << SearchKindName(kind);
+    }
+  }
+}
+
+TEST(FrontierTest, PointsAreOrderedAndMonotone) {
+  Rng rng(23);
+  for (int trial = 0; trial < 500; ++trial) {
+    DataSegment cd = RandomSegment(&rng, 0.0);
+    DataSegment ab = RandomSegment(&rng, cd.end.t + rng.Uniform(0.0, 20.0));
+    Parallelogram p = MakeParallelogram(cd, ab);
+    for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
+      const Frontier frontier = ComputeFrontier(p, kind);
+      ASSERT_GE(frontier.count, 1);
+      ASSERT_LE(frontier.count, 3);
+      EXPECT_EQ(frontier.pts[0], p.bc());
+      for (int i = 0; i + 1 < frontier.count; ++i) {
+        EXPECT_LT(frontier.pts[i].dt, frontier.pts[i + 1].dt);
+        if (kind == SearchKind::kDrop) {
+          EXPECT_GT(frontier.pts[i].dv, frontier.pts[i + 1].dv);
+        } else {
+          EXPECT_LT(frontier.pts[i].dv, frontier.pts[i + 1].dv);
+        }
+      }
+    }
+  }
+}
+
+// THE key reduction property: the frontier point/line queries fire iff
+// the query region intersects the parallelogram (checked exactly).
+TEST(FrontierTest, QueriesDetectIntersectionExactly) {
+  Rng rng(31);
+  int checked = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    DataSegment cd = RandomSegment(&rng, 0.0);
+    DataSegment ab = RandomSegment(&rng, cd.end.t + rng.Uniform(0.1, 20.0));
+    Parallelogram p = MakeParallelogram(cd, ab);
+    const double T = rng.Uniform(0.5, 120.0);
+    // Drop region: dv <= V < 0.
+    {
+      const double V = -rng.Uniform(0.01, 12.0);
+      const double min_dv = MinDvRestricted(p, T);
+      const bool intersects = min_dv <= V && p.bc().dt <= T;
+      // Skip knife-edge ties where floating point decides arbitrarily.
+      if (std::abs(min_dv - V) > 1e-9) {
+        const Frontier frontier = ComputeFrontier(p, SearchKind::kDrop);
+        EXPECT_EQ(QueriesFire(frontier, T, V, true), intersects)
+            << "drop trial " << trial << " T=" << T << " V=" << V;
+        ++checked;
+      }
+    }
+    // Jump region: dv >= V > 0.
+    {
+      const double V = rng.Uniform(0.01, 12.0);
+      const double max_dv = MaxDvRestricted(p, T);
+      const bool intersects = max_dv >= V && p.bc().dt <= T;
+      if (std::abs(max_dv - V) > 1e-9) {
+        const Frontier frontier = ComputeFrontier(p, SearchKind::kJump);
+        EXPECT_EQ(QueriesFire(frontier, T, V, false), intersects)
+            << "jump trial " << trial << " T=" << T << " V=" << V;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 3000);
+}
+
+TEST(CollectTest, ShiftAppliedAndSuffixRule) {
+  // Case-1 style frontier: BC=(2, 1), AC=(8, -4).
+  Frontier frontier;
+  frontier.count = 2;
+  frontier.pts[0] = {2, 1};
+  frontier.pts[1] = {8, -4};
+  const double eps = 0.5;
+  StoredCorners stored = CollectStoredCorners(frontier, eps, SearchKind::kDrop);
+  ASSERT_EQ(stored.count, 2);  // BC' = 0.5 > 0 anchors the crossing edge
+  EXPECT_EQ(stored.pts[0], (FeaturePoint{2, 0.5}));
+  EXPECT_EQ(stored.pts[1], (FeaturePoint{8, -4.5}));
+}
+
+TEST(CollectTest, NothingStoredWhenNoEventPossible) {
+  Frontier frontier;
+  frontier.count = 2;
+  frontier.pts[0] = {2, 6};
+  frontier.pts[1] = {8, 1};
+  // Shift by eps=0.5: final corner dv = 0.5 > 0, no drop indicated.
+  StoredCorners stored =
+      CollectStoredCorners(frontier, 0.5, SearchKind::kDrop);
+  EXPECT_EQ(stored.count, 0);
+}
+
+TEST(CollectTest, SuffixDropsLeadingPositiveCorners) {
+  // Case-5 style frontier: BC=(1, 5), AC=(4, 2), AD=(9, -3).
+  Frontier frontier;
+  frontier.count = 3;
+  frontier.pts[0] = {1, 5};
+  frontier.pts[1] = {4, 2};
+  frontier.pts[2] = {9, -3};
+  // eps = 0.5: shifted AC = 1.5 > 0 -> store suffix (AC, AD): the paper's
+  // case 5 "Drop II" sub-case.
+  StoredCorners stored =
+      CollectStoredCorners(frontier, 0.5, SearchKind::kDrop);
+  ASSERT_EQ(stored.count, 2);
+  EXPECT_EQ(stored.pts[0], (FeaturePoint{4, 1.5}));
+  EXPECT_EQ(stored.pts[1], (FeaturePoint{9, -3.5}));
+  // eps = 2.5: shifted AC = -0.5 <= 0 -> all three stored ("Drop I").
+  stored = CollectStoredCorners(frontier, 2.5, SearchKind::kDrop);
+  ASSERT_EQ(stored.count, 3);
+  EXPECT_EQ(stored.pts[0], (FeaturePoint{1, 2.5}));
+}
+
+TEST(CollectTest, JumpMirrorsDrop) {
+  Frontier frontier;
+  frontier.count = 2;
+  frontier.pts[0] = {2, -1};
+  frontier.pts[1] = {8, 4};
+  StoredCorners stored =
+      CollectStoredCorners(frontier, 0.5, SearchKind::kJump);
+  ASSERT_EQ(stored.count, 2);
+  EXPECT_EQ(stored.pts[0], (FeaturePoint{2, -0.5}));
+  EXPECT_EQ(stored.pts[1], (FeaturePoint{8, 4.5}));
+  // Final corner shifted dv < 0: nothing indicates a jump.
+  frontier.pts[1] = {8, -1};
+  stored = CollectStoredCorners(frontier, 0.5, SearchKind::kJump);
+  EXPECT_EQ(stored.count, 0);
+}
+
+TEST(CollectTest, EmptyFrontier) {
+  Frontier frontier;
+  EXPECT_EQ(CollectStoredCorners(frontier, 0.1, SearchKind::kDrop).count, 0);
+}
+
+TEST(FrontierTest, SelfPairFrontiers) {
+  DataSegment falling{{0, 10}, {20, 4}};
+  Parallelogram p = Parallelogram::FromSelf(falling);
+  Frontier drop = ComputeFrontier(p, SearchKind::kDrop);
+  ASSERT_EQ(drop.count, 2);
+  EXPECT_EQ(drop.pts[0], (FeaturePoint{0, 0}));
+  EXPECT_EQ(drop.pts[1], (FeaturePoint{20, -6}));
+  Frontier jump = ComputeFrontier(p, SearchKind::kJump);
+  EXPECT_EQ(jump.count, 1);
+  EXPECT_EQ(jump.pts[0], (FeaturePoint{0, 0}));
+
+  DataSegment rising{{0, 4}, {20, 10}};
+  Parallelogram q = Parallelogram::FromSelf(rising);
+  EXPECT_EQ(ComputeFrontier(q, SearchKind::kDrop).count, 1);
+  EXPECT_EQ(ComputeFrontier(q, SearchKind::kJump).count, 2);
+}
+
+}  // namespace
+}  // namespace segdiff

@@ -1,0 +1,192 @@
+// End-to-end property tests of the paper's Theorem 1 over the full
+// pipeline (segmentation -> extraction -> storage -> queries):
+//
+//   1. NO MISS: every true event (witnessed by the naive oracle) is
+//      covered by some returned segment pair.
+//   2. TOLERANCE: every returned pair contains an event with
+//      dv <= V + 2*eps (drop) / dv >= V - 2*eps (jump) within (0, T].
+//
+// Swept over eps x (T, V) x data seeds, for both search kinds, with
+// missing samples and anomalies in some datasets.
+
+#include <cstdio>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "segdiff/naive.h"
+#include "segdiff/segdiff_index.h"
+#include "segdiff/verify.h"
+#include "ts/generator.h"
+
+namespace segdiff {
+namespace {
+
+struct GuaranteeCase {
+  uint64_t seed;
+  double eps;
+  double missing_probability;
+};
+
+class GuaranteesTest : public ::testing::TestWithParam<GuaranteeCase> {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/segdiff_guarantees_" +
+            std::to_string(GetParam().seed) + "_" +
+            std::to_string(GetParam().eps) + ".db";
+    std::remove(path_.c_str());
+    CadGeneratorOptions gen;
+    gen.seed = GetParam().seed;
+    gen.num_days = 3;
+    gen.cad_events_per_day = 1.0;
+    gen.missing_probability = GetParam().missing_probability;
+    auto data = GenerateCadSeries(gen);
+    ASSERT_TRUE(data.ok());
+    series_ = std::move(data->series);
+
+    SegDiffOptions options;
+    options.eps = GetParam().eps;
+    options.window_s = 4 * 3600.0;
+    auto index = SegDiffIndex::Open(path_, options);
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(index).value();
+    ASSERT_TRUE(index_->IngestSeries(series_).ok());
+  }
+  void TearDown() override {
+    index_.reset();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+  Series series_;
+  std::unique_ptr<SegDiffIndex> index_;
+};
+
+TEST_P(GuaranteesTest, DropSearchNoMissAndTolerance) {
+  NaiveSearcher naive(series_);
+  const double eps = GetParam().eps;
+  for (double T : {1800.0, 3600.0}) {
+    for (double V : {-1.5, -3.0, -6.0}) {
+      auto results = index_->SearchDrops(T, V);
+      ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+      // Property 1: no true event missed.
+      const auto events = naive.SearchDrops(T, V);
+      const CoverageReport coverage = CheckCoverage(events, *results);
+      EXPECT_TRUE(coverage.AllCovered())
+          << "T=" << T << " V=" << V << ": " << coverage.missing.size()
+          << " of " << coverage.events << " events uncovered; first at t="
+          << (coverage.missing.empty() ? 0.0 : coverage.missing[0].t_start);
+
+      // Property 2: returned pairs within 2*eps tolerance.
+      auto violations = FindToleranceViolations(series_, *results, T, V, eps,
+                                                SearchKind::kDrop);
+      ASSERT_TRUE(violations.ok());
+      EXPECT_TRUE(violations->empty())
+          << "T=" << T << " V=" << V << ": " << violations->size() << " of "
+          << results->size() << " pairs violate the 2eps bound; first t_d="
+          << (violations->empty() ? 0.0 : (*violations)[0].t_d);
+    }
+  }
+}
+
+TEST_P(GuaranteesTest, JumpSearchNoMissAndTolerance) {
+  NaiveSearcher naive(series_);
+  const double eps = GetParam().eps;
+  for (double T : {1800.0, 3600.0}) {
+    for (double V : {1.5, 3.0}) {
+      auto results = index_->SearchJumps(T, V);
+      ASSERT_TRUE(results.ok());
+      const auto events = naive.SearchJumps(T, V);
+      const CoverageReport coverage = CheckCoverage(events, *results);
+      EXPECT_TRUE(coverage.AllCovered())
+          << "T=" << T << " V=" << V << ": " << coverage.missing.size()
+          << " uncovered of " << coverage.events;
+      auto violations = FindToleranceViolations(series_, *results, T, V, eps,
+                                                SearchKind::kJump);
+      ASSERT_TRUE(violations.ok());
+      EXPECT_TRUE(violations->empty()) << "T=" << T << " V=" << V;
+    }
+  }
+}
+
+TEST_P(GuaranteesTest, IndexScanUpholdsTheSameGuarantees) {
+  NaiveSearcher naive(series_);
+  SearchOptions idx;
+  idx.mode = QueryMode::kIndexScan;
+  const double T = 3600.0;
+  const double V = -3.0;
+  auto results = index_->SearchDrops(T, V, idx);
+  ASSERT_TRUE(results.ok());
+  const auto events = naive.SearchDrops(T, V);
+  EXPECT_TRUE(CheckCoverage(events, *results).AllCovered());
+}
+
+// The guarantees are distribution-free: re-verify on pure random walks
+// (no diurnal structure, different sampling rate) across seeds.
+class RandomWalkGuaranteesTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomWalkGuaranteesTest, NoMissAndToleranceBothKinds) {
+  auto walk = GenerateRandomWalk(GetParam(), 600, 60.0, 0.5);
+  ASSERT_TRUE(walk.ok());
+  const std::string path = testing::TempDir() + "/segdiff_walk_" +
+                           std::to_string(GetParam()) + ".db";
+  std::remove(path.c_str());
+  SegDiffOptions options;
+  options.eps = 0.3;
+  options.window_s = 3600.0;
+  auto index = SegDiffIndex::Open(path, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE((*index)->IngestSeries(*walk).ok());
+  NaiveSearcher naive(*walk);
+  for (double T : {600.0, 3000.0}) {
+    for (double magnitude : {1.0, 2.5}) {
+      auto drops = (*index)->SearchDrops(T, -magnitude);
+      ASSERT_TRUE(drops.ok());
+      EXPECT_TRUE(
+          CheckCoverage(naive.SearchDrops(T, -magnitude), *drops).AllCovered())
+          << "drop T=" << T << " V=" << -magnitude;
+      auto drop_violations = FindToleranceViolations(
+          *walk, *drops, T, -magnitude, options.eps, SearchKind::kDrop);
+      ASSERT_TRUE(drop_violations.ok());
+      EXPECT_TRUE(drop_violations->empty());
+
+      auto jumps = (*index)->SearchJumps(T, magnitude);
+      ASSERT_TRUE(jumps.ok());
+      EXPECT_TRUE(
+          CheckCoverage(naive.SearchJumps(T, magnitude), *jumps).AllCovered())
+          << "jump T=" << T << " V=" << magnitude;
+      auto jump_violations = FindToleranceViolations(
+          *walk, *jumps, T, magnitude, options.eps, SearchKind::kJump);
+      ASSERT_TRUE(jump_violations.ok());
+      EXPECT_TRUE(jump_violations->empty());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(WalkSeeds, RandomWalkGuaranteesTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuaranteesTest,
+    ::testing::Values(GuaranteeCase{101, 0.1, 0.0},
+                      GuaranteeCase{102, 0.2, 0.0},
+                      GuaranteeCase{103, 0.4, 0.0},
+                      GuaranteeCase{104, 0.8, 0.0},
+                      GuaranteeCase{105, 1.0, 0.0},
+                      GuaranteeCase{106, 0.2, 0.02},
+                      GuaranteeCase{107, 0.4, 0.05},
+                      GuaranteeCase{108, 0.0, 0.0}),
+    [](const ::testing::TestParamInfo<GuaranteeCase>& info) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "seed%llu_eps%d_miss%d",
+                    static_cast<unsigned long long>(info.param.seed),
+                    static_cast<int>(info.param.eps * 100),
+                    static_cast<int>(info.param.missing_probability * 100));
+      return std::string(name);
+    });
+
+}  // namespace
+}  // namespace segdiff

@@ -1,0 +1,98 @@
+// Tests for resampling and gap handling.
+
+#include <gtest/gtest.h>
+
+#include "ts/generator.h"
+#include "ts/resample.h"
+
+namespace segdiff {
+namespace {
+
+Series MakeSeries(std::vector<Sample> samples) {
+  auto result = Series::FromSamples(std::move(samples));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(ResampleTest, RegularGridMatchesModelG) {
+  Series series = MakeSeries({{0, 0}, {10, 10}, {20, 0}});
+  auto resampled = ResampleRegular(series, 2.5);
+  ASSERT_TRUE(resampled.ok());
+  ASSERT_EQ(resampled->size(), 9u);  // 0, 2.5, ..., 20
+  EXPECT_DOUBLE_EQ((*resampled)[1].v, 2.5);
+  EXPECT_DOUBLE_EQ((*resampled)[4].v, 10.0);
+  EXPECT_DOUBLE_EQ((*resampled)[8].v, 0.0);
+  EXPECT_DOUBLE_EQ(resampled->Stats().min_dt, 2.5);
+  EXPECT_DOUBLE_EQ(resampled->Stats().max_dt, 2.5);
+}
+
+TEST(ResampleTest, Validation) {
+  Series tiny;
+  ASSERT_TRUE(tiny.Append({0, 0}).ok());
+  EXPECT_TRUE(ResampleRegular(tiny, 1.0).status().IsInvalidArgument());
+  Series ok_series = MakeSeries({{0, 0}, {1, 1}});
+  EXPECT_TRUE(ResampleRegular(ok_series, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(ResampleRegular(ok_series, 1e-10).status().IsInvalidArgument());
+}
+
+TEST(FillGapsTest, BridgesOnlyLargeGaps) {
+  Series series = MakeSeries({{0, 0}, {10, 10}, {100, 100}});
+  auto filled = FillGaps(series, 20.0, 30.0);
+  ASSERT_TRUE(filled.ok());
+  // Gap 10..100 (90 s) filled at 40, 70; small gap untouched.
+  ASSERT_EQ(filled->size(), 5u);
+  EXPECT_DOUBLE_EQ((*filled)[2].t, 40.0);
+  EXPECT_DOUBLE_EQ((*filled)[2].v, 40.0);
+  EXPECT_DOUBLE_EQ((*filled)[3].t, 70.0);
+  EXPECT_TRUE(FillGaps(series, -1, 1).status().IsInvalidArgument());
+}
+
+TEST(DownsampleTest, MeanPerBucket) {
+  Series series =
+      MakeSeries({{0, 1}, {1, 3}, {2, 5}, {10, 7}, {11, 9}, {25, 2}});
+  auto down = DownsampleMean(series, 10.0);
+  ASSERT_TRUE(down.ok());
+  ASSERT_EQ(down->size(), 3u);
+  EXPECT_DOUBLE_EQ((*down)[0].v, 3.0);  // mean(1,3,5)
+  EXPECT_DOUBLE_EQ((*down)[0].t, 5.0);  // bucket center
+  EXPECT_DOUBLE_EQ((*down)[1].v, 8.0);  // mean(7,9)
+  EXPECT_DOUBLE_EQ((*down)[2].v, 2.0);
+  EXPECT_TRUE(DownsampleMean(series, 0).status().IsInvalidArgument());
+  Series empty;
+  EXPECT_TRUE(DownsampleMean(empty, 10).value().empty());
+}
+
+TEST(SplitAtGapsTest, ChunksAtOutages) {
+  Series series =
+      MakeSeries({{0, 1}, {300, 2}, {600, 3}, {8000, 4}, {8300, 5}});
+  auto chunks = SplitAtGaps(series, 600.0);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0].size(), 3u);
+  EXPECT_EQ(chunks[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(chunks[1].front().t, 8000.0);
+  // No gaps: one chunk; empty input: none.
+  EXPECT_EQ(SplitAtGaps(series, 1e9).size(), 1u);
+  EXPECT_TRUE(SplitAtGaps(Series(), 10).empty());
+}
+
+TEST(SplitAtGapsTest, RealisticOutageWorkflow) {
+  // Generator with aggressive packet loss; split at >2 sample intervals,
+  // then every chunk is regular enough to index.
+  CadGeneratorOptions gen;
+  gen.num_days = 3;
+  gen.missing_probability = 0.05;
+  auto data = GenerateCadSeries(gen);
+  ASSERT_TRUE(data.ok());
+  auto chunks = SplitAtGaps(data->series, 650.0);
+  size_t total = 0;
+  for (const Series& chunk : chunks) {
+    total += chunk.size();
+    if (chunk.size() >= 2) {
+      EXPECT_LE(chunk.Stats().max_dt, 650.0);
+    }
+  }
+  EXPECT_EQ(total, data->series.size());
+}
+
+}  // namespace
+}  // namespace segdiff

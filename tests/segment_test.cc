@@ -1,0 +1,272 @@
+// Tests for segmentation: the O(n) sliding-window segmenter must be
+// semantically identical to the textbook recheck-everything version and
+// honour the eps/2 bound (paper Lemma 1); bottom-up must honour the same
+// bound with fewer or equal segments.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "segment/bottom_up.h"
+#include "segment/pla.h"
+#include "segment/sliding_window.h"
+#include "ts/generator.h"
+#include "ts/interpolate.h"
+
+namespace segdiff {
+namespace {
+
+Series MakeSeries(std::vector<Sample> samples) {
+  auto result = Series::FromSamples(std::move(samples));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+/// Reference implementation: grow the window, recomputing the max error
+/// of the anchor->candidate line over ALL interior points each step.
+std::vector<DataSegment> ReferenceSlidingWindow(const Series& series,
+                                                double max_error) {
+  std::vector<DataSegment> segments;
+  std::vector<Sample> window;
+  for (const Sample& sample : series) {
+    if (window.empty()) {
+      window.push_back(sample);
+      continue;
+    }
+    std::vector<Sample> candidate = window;
+    candidate.push_back(sample);
+    const Sample& a = candidate.front();
+    const Sample& b = candidate.back();
+    double err = 0.0;
+    for (size_t i = 1; i + 1 < candidate.size(); ++i) {
+      const double fitted = Lerp(a, b, candidate[i].t);
+      err = std::max(err, std::abs(fitted - candidate[i].v));
+    }
+    if (err <= max_error) {
+      window = std::move(candidate);
+    } else {
+      segments.push_back(DataSegment{window.front(), window.back()});
+      window = {window.back(), sample};
+    }
+  }
+  if (window.size() >= 2) {
+    segments.push_back(DataSegment{window.front(), window.back()});
+  }
+  return segments;
+}
+
+TEST(SegmentTest, SlopeRiseDuration) {
+  DataSegment segment{{0, 1}, {4, 9}};
+  EXPECT_DOUBLE_EQ(segment.Slope(), 2.0);
+  EXPECT_DOUBLE_EQ(segment.Rise(), 8.0);
+  EXPECT_DOUBLE_EQ(segment.Duration(), 4.0);
+  EXPECT_DOUBLE_EQ(segment.ValueAt(2), 5.0);
+}
+
+TEST(SegmentTest, Contiguity) {
+  DataSegment a{{0, 1}, {2, 3}};
+  DataSegment b{{2, 3}, {5, 0}};
+  DataSegment c{{2, 4}, {5, 0}};
+  EXPECT_TRUE(AreContiguous(a, b));
+  EXPECT_FALSE(AreContiguous(a, c));
+}
+
+TEST(SlidingWindowTest, CollinearPointsMakeOneSegment) {
+  Series series = MakeSeries({{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  auto pla = SegmentSeriesWithTolerance(series, 0.0);
+  ASSERT_TRUE(pla.ok());
+  EXPECT_EQ(pla->size(), 1u);
+  EXPECT_EQ((*pla)[0].start.t, 0);
+  EXPECT_EQ((*pla)[0].end.t, 4);
+}
+
+TEST(SlidingWindowTest, ZeroToleranceSplitsAtEveryKink) {
+  Series series = MakeSeries({{0, 0}, {1, 1}, {2, 0}, {3, 1}, {4, 0}});
+  auto pla = SegmentSeriesWithTolerance(series, 0.0);
+  ASSERT_TRUE(pla.ok());
+  EXPECT_EQ(pla->size(), 4u);
+}
+
+TEST(SlidingWindowTest, EndpointsAreRealObservations) {
+  auto data = GenerateCadSeries([] {
+    CadGeneratorOptions o;
+    o.num_days = 2;
+    return o;
+  }());
+  ASSERT_TRUE(data.ok());
+  auto pla = SegmentSeriesWithTolerance(data->series, 0.4);
+  ASSERT_TRUE(pla.ok());
+  // Every segment endpoint must be an actual sample.
+  size_t idx = 0;
+  for (const DataSegment& segment : pla->segments()) {
+    while (idx < data->series.size() &&
+           data->series[idx].t < segment.start.t) {
+      ++idx;
+    }
+    ASSERT_LT(idx, data->series.size());
+    EXPECT_EQ(data->series[idx].t, segment.start.t);
+    EXPECT_EQ(data->series[idx].v, segment.start.v);
+  }
+  EXPECT_EQ(pla->segments().back().end.t, data->series.back().t);
+}
+
+TEST(SlidingWindowTest, RejectsInvalidInput) {
+  Series tiny;
+  ASSERT_TRUE(tiny.Append({0, 0}).ok());
+  EXPECT_TRUE(
+      SegmentSeries(tiny, SegmentationOptions{}).status().IsInvalidArgument());
+  Series ok_series = MakeSeries({{0, 0}, {1, 1}});
+  SegmentationOptions bad;
+  bad.max_error = -1;
+  EXPECT_TRUE(SegmentSeries(ok_series, bad).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SegmentSeriesWithTolerance(ok_series, -0.5).status().IsInvalidArgument());
+}
+
+TEST(SlidingWindowTest, StreamingApiMatchesBatch) {
+  auto walk = GenerateRandomWalk(5, 500, 1.0, 0.3);
+  ASSERT_TRUE(walk.ok());
+  SegmentationOptions options;
+  options.max_error = 0.25;
+  auto batch = SegmentSeries(*walk, options);
+  ASSERT_TRUE(batch.ok());
+
+  std::vector<DataSegment> streamed;
+  SlidingWindowSegmenter segmenter(options, [&](const DataSegment& segment) {
+    streamed.push_back(segment);
+    return Status::OK();
+  });
+  for (const Sample& sample : *walk) {
+    ASSERT_TRUE(segmenter.Add(sample).ok());
+  }
+  ASSERT_TRUE(segmenter.Finish().ok());
+  EXPECT_EQ(segmenter.observations(), walk->size());
+  EXPECT_EQ(segmenter.segments_emitted(), streamed.size());
+  ASSERT_EQ(streamed.size(), batch->size());
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_EQ(streamed[i], (*batch)[i]);
+  }
+}
+
+TEST(SlidingWindowTest, StreamingRejectsMisuse) {
+  SlidingWindowSegmenter segmenter(SegmentationOptions{},
+                                   [](const DataSegment&) {
+                                     return Status::OK();
+                                   });
+  ASSERT_TRUE(segmenter.Add({0, 0}).ok());
+  EXPECT_TRUE(segmenter.Add({0, 1}).IsInvalidArgument());
+  EXPECT_TRUE(segmenter.Add({-1, 1}).IsInvalidArgument());
+  EXPECT_TRUE(
+      segmenter
+          .Add({1, std::numeric_limits<double>::quiet_NaN()})
+          .IsInvalidArgument());
+  ASSERT_TRUE(segmenter.Finish().ok());
+  EXPECT_TRUE(segmenter.Finish().IsInvalidArgument());
+  EXPECT_TRUE(segmenter.Add({2, 2}).IsInvalidArgument());
+}
+
+/// Property sweep: fast segmenter == reference segmenter, and the eps/2
+/// bound holds at every sample, over seeds x tolerances.
+class SlidingWindowPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(SlidingWindowPropertyTest, MatchesReferenceAndHonoursBound) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const double eps = std::get<1>(GetParam());
+  auto walk = GenerateRandomWalk(seed, 800, 1.0, 0.4);
+  ASSERT_TRUE(walk.ok());
+
+  auto fast = SegmentSeriesWithTolerance(*walk, eps);
+  ASSERT_TRUE(fast.ok());
+  const auto reference = ReferenceSlidingWindow(*walk, eps / 2.0);
+  ASSERT_EQ(fast->size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ((*fast)[i], reference[i]) << "segment " << i;
+  }
+
+  // Lemma 1 at every sample...
+  auto max_err = fast->MaxAbsErrorOver(*walk);
+  ASSERT_TRUE(max_err.ok());
+  EXPECT_LE(*max_err, eps / 2.0 + 1e-12);
+  // ...and at dense Model-G points between samples.
+  ModelGEvaluator eval(*walk);
+  for (double t = walk->front().t; t <= walk->back().t; t += 3.7) {
+    const double truth = eval.ValueAt(t).value();
+    const double fitted = fast->Evaluate(t).value();
+    EXPECT_LE(std::abs(fitted - truth), eps / 2.0 + 1e-12) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SlidingWindowPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(0.1, 0.2, 0.4, 0.8, 1.0)));
+
+TEST(PlaTest, FromSegmentsValidatesContiguity) {
+  std::vector<DataSegment> good = {{{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}};
+  EXPECT_TRUE(PiecewiseLinear::FromSegments(good).ok());
+  std::vector<DataSegment> gap = {{{0, 0}, {1, 1}}, {{1.5, 1}, {2, 0}}};
+  EXPECT_TRUE(PiecewiseLinear::FromSegments(gap).status().IsInvalidArgument());
+  std::vector<DataSegment> degenerate = {{{1, 1}, {1, 2}}};
+  EXPECT_TRUE(
+      PiecewiseLinear::FromSegments(degenerate).status().IsInvalidArgument());
+}
+
+TEST(PlaTest, EvaluateAndCompressionRate) {
+  std::vector<DataSegment> segments = {{{0, 0}, {2, 4}}, {{2, 4}, {4, 0}}};
+  auto pla = PiecewiseLinear::FromSegments(segments);
+  ASSERT_TRUE(pla.ok());
+  EXPECT_DOUBLE_EQ(pla->Evaluate(1).value(), 2.0);
+  EXPECT_DOUBLE_EQ(pla->Evaluate(3).value(), 2.0);
+  EXPECT_DOUBLE_EQ(pla->Evaluate(2).value(), 4.0);
+  EXPECT_TRUE(pla->Evaluate(-1).status().IsOutOfRange());
+  EXPECT_TRUE(pla->Evaluate(5).status().IsOutOfRange());
+  EXPECT_DOUBLE_EQ(pla->CompressionRate(10), 5.0);
+}
+
+TEST(BottomUpTest, HonoursErrorBound) {
+  for (uint64_t seed : {11u, 12u, 13u}) {
+    auto walk = GenerateRandomWalk(seed, 500, 1.0, 0.4);
+    ASSERT_TRUE(walk.ok());
+    SegmentationOptions options;
+    options.max_error = 0.2;
+    auto pla = BottomUpSegment(*walk, options);
+    ASSERT_TRUE(pla.ok());
+    auto max_err = pla->MaxAbsErrorOver(*walk);
+    ASSERT_TRUE(max_err.ok());
+    EXPECT_LE(*max_err, options.max_error + 1e-12);
+  }
+}
+
+TEST(BottomUpTest, AtLeastAsCompactAsFinestSplit) {
+  auto walk = GenerateRandomWalk(21, 400, 1.0, 0.4);
+  SegmentationOptions options;
+  options.max_error = 0.3;
+  auto bottom_up = BottomUpSegment(*walk, options);
+  ASSERT_TRUE(bottom_up.ok());
+  EXPECT_LT(bottom_up->size(), walk->size() - 1);
+  // Typically beats (never dramatically loses to) sliding window.
+  auto sliding = SegmentSeries(*walk, options);
+  ASSERT_TRUE(sliding.ok());
+  EXPECT_LE(bottom_up->size(), sliding->size() * 2);
+}
+
+TEST(BottomUpTest, CollinearMergesToOne) {
+  Series series = MakeSeries({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  SegmentationOptions options;
+  options.max_error = 0.0;
+  auto pla = BottomUpSegment(series, options);
+  ASSERT_TRUE(pla.ok());
+  EXPECT_EQ(pla->size(), 1u);
+}
+
+TEST(BottomUpTest, RejectsInvalidInput) {
+  Series tiny;
+  ASSERT_TRUE(tiny.Append({0, 0}).ok());
+  EXPECT_TRUE(
+      BottomUpSegment(tiny, SegmentationOptions{}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace segdiff

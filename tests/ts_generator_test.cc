@@ -1,0 +1,251 @@
+// Tests for the synthetic CAD generator and the robust smoothing
+// preprocessors.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ts/generator.h"
+#include "ts/smoothing.h"
+
+namespace segdiff {
+namespace {
+
+TEST(CadGeneratorTest, Deterministic) {
+  CadGeneratorOptions options;
+  options.num_days = 3;
+  auto a = GenerateCadSeries(options);
+  auto b = GenerateCadSeries(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->series.size(), b->series.size());
+  for (size_t i = 0; i < a->series.size(); ++i) {
+    EXPECT_EQ(a->series[i].t, b->series[i].t);
+    EXPECT_EQ(a->series[i].v, b->series[i].v);
+  }
+  ASSERT_EQ(a->drops.size(), b->drops.size());
+}
+
+TEST(CadGeneratorTest, SampleRateAndHorizon) {
+  CadGeneratorOptions options;
+  options.num_days = 2;
+  options.missing_probability = 0.0;
+  auto data = GenerateCadSeries(options);
+  ASSERT_TRUE(data.ok());
+  // 2 days at 5-minute sampling: 2*288 + 1 samples.
+  EXPECT_EQ(data->series.size(), 2u * 288u + 1u);
+  EXPECT_DOUBLE_EQ(data->series.Stats().min_dt, 300.0);
+}
+
+TEST(CadGeneratorTest, MissingSamplesLeaveGaps) {
+  CadGeneratorOptions options;
+  options.num_days = 10;
+  options.missing_probability = 0.05;
+  auto data = GenerateCadSeries(options);
+  ASSERT_TRUE(data.ok());
+  EXPECT_LT(data->series.size(), 10u * 288u + 1u);
+  EXPECT_GT(data->series.Stats().max_dt, 300.0);
+}
+
+TEST(CadGeneratorTest, InjectedDropsAreVisible) {
+  CadGeneratorOptions options;
+  options.num_days = 20;
+  options.cad_events_per_day = 1.0;  // guarantee events
+  options.ar1_sigma_c = 0.02;        // quiet noise to measure cleanly
+  options.missing_probability = 0.0;
+  auto data = GenerateCadSeries(options);
+  ASSERT_TRUE(data.ok());
+  ASSERT_GT(data->drops.size(), 0u);
+  // Around each injected event the series must fall by roughly the
+  // event magnitude (diurnal drift over <=70 min stays small).
+  for (const InjectedDrop& drop : data->drops) {
+    Series window = data->series.Slice(drop.t_start - 300, drop.t_bottom + 300);
+    ASSERT_GE(window.size(), 2u);
+    const double observed = window.front().v - window.Stats().min_v;
+    EXPECT_GT(observed, drop.magnitude_c * 0.7)
+        << "event at t=" << drop.t_start;
+  }
+}
+
+TEST(CadGeneratorTest, EventsInsideMorningWindow) {
+  CadGeneratorOptions options;
+  options.num_days = 40;
+  options.cad_events_per_day = 1.0;
+  options.sensor_index = 0;
+  auto data = GenerateCadSeries(options);
+  ASSERT_TRUE(data.ok());
+  for (const InjectedDrop& drop : data->drops) {
+    const double hour = std::fmod(drop.t_start, 86400.0) / 3600.0;
+    EXPECT_GE(hour, options.cad_window_start_h);
+    EXPECT_LE(hour, options.cad_window_end_h + 0.1);
+    EXPECT_LT(drop.t_start, drop.t_bottom);
+    EXPECT_LT(drop.t_bottom, drop.t_recovered);
+    EXPECT_GE(drop.magnitude_c, options.cad_min_magnitude_c);
+  }
+}
+
+TEST(CadGeneratorTest, TransectSensorsDiffer) {
+  CadGeneratorOptions options;
+  options.num_days = 2;
+  auto transect = GenerateCadTransect(options, 3);
+  ASSERT_TRUE(transect.ok());
+  ASSERT_EQ(transect->size(), 3u);
+  // Lower-canyon sensors are offset colder on average.
+  const double mean0 = (*transect)[0].series.Stats().mean_v;
+  const double mean2 = (*transect)[2].series.Stats().mean_v;
+  EXPECT_GT(mean0, mean2);
+}
+
+TEST(CadGeneratorTest, RejectsBadOptions) {
+  CadGeneratorOptions options;
+  options.num_days = 0;
+  EXPECT_TRUE(GenerateCadSeries(options).status().IsInvalidArgument());
+  options = {};
+  options.sample_interval_s = -1;
+  EXPECT_TRUE(GenerateCadSeries(options).status().IsInvalidArgument());
+  options = {};
+  options.cad_min_magnitude_c = 5;
+  options.cad_max_magnitude_c = 3;
+  EXPECT_TRUE(GenerateCadSeries(options).status().IsInvalidArgument());
+  options = {};
+  options.cad_window_start_h = 7;
+  options.cad_window_end_h = 6;
+  EXPECT_TRUE(GenerateCadSeries(options).status().IsInvalidArgument());
+  options = {};
+  options.missing_probability = 1.5;
+  EXPECT_TRUE(GenerateCadSeries(options).status().IsInvalidArgument());
+  EXPECT_TRUE(GenerateCadTransect({}, 0).status().IsInvalidArgument());
+}
+
+TEST(FinanceGeneratorTest, ProducesPositivePrices) {
+  FinanceGeneratorOptions options;
+  options.num_points = 5000;
+  auto series = GenerateFinanceSeries(options);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 5000u);
+  EXPECT_GT(series->Stats().min_v, 0.0);
+}
+
+TEST(RandomWalkTest, Basics) {
+  auto series = GenerateRandomWalk(3, 100, 1.0, 0.5);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), 100u);
+  EXPECT_TRUE(GenerateRandomWalk(3, 0, 1.0, 0.5).status().IsInvalidArgument());
+}
+
+TEST(HampelTest, RemovesSpikes) {
+  // Smooth ramp with two large spikes.
+  std::vector<Sample> samples;
+  for (int i = 0; i < 100; ++i) {
+    double v = i * 0.1;
+    if (i == 30 || i == 71) v += 50.0;
+    samples.push_back({static_cast<double>(i), v});
+  }
+  auto series = Series::FromSamples(samples);
+  ASSERT_TRUE(series.ok());
+  size_t replaced = 0;
+  auto filtered = HampelFilter(*series, HampelOptions{}, &replaced);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(replaced, 2u);
+  EXPECT_NEAR((*filtered)[30].v, 3.0, 0.5);
+  EXPECT_NEAR((*filtered)[71].v, 7.1, 0.5);
+}
+
+TEST(HampelTest, LeavesCleanDataAlone) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 50; ++i) {
+    samples.push_back({static_cast<double>(i), std::sin(i * 0.2)});
+  }
+  auto series = Series::FromSamples(samples);
+  size_t replaced = 99;
+  auto filtered = HampelFilter(*series, HampelOptions{}, &replaced);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(replaced, 0u);
+}
+
+TEST(HampelTest, RejectsBadOptions) {
+  Series series;
+  ASSERT_TRUE(series.Append({0, 0}).ok());
+  HampelOptions options;
+  options.window_radius = 0;
+  EXPECT_TRUE(HampelFilter(series, options).status().IsInvalidArgument());
+  options = {};
+  options.n_sigmas = 0;
+  EXPECT_TRUE(HampelFilter(series, options).status().IsInvalidArgument());
+}
+
+TEST(MovingAverageTest, FlattensNoise) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 200; ++i) {
+    samples.push_back({static_cast<double>(i), (i % 2 == 0) ? 1.0 : -1.0});
+  }
+  auto series = Series::FromSamples(samples);
+  auto smoothed = MovingAverage(*series, 5);
+  ASSERT_TRUE(smoothed.ok());
+  for (size_t i = 10; i < 190; ++i) {
+    EXPECT_NEAR((*smoothed)[i].v, 0.0, 0.12);
+  }
+}
+
+TEST(LoessTest, RecoversLinearTrendExactly) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 100; ++i) {
+    samples.push_back({static_cast<double>(i), 2.0 + 0.5 * i});
+  }
+  auto series = Series::FromSamples(samples);
+  LoessOptions options;
+  options.bandwidth_s = 10.0;
+  auto smoothed = RobustLoess(*series, options);
+  ASSERT_TRUE(smoothed.ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_NEAR((*smoothed)[i].v, 2.0 + 0.5 * i, 1e-9);
+  }
+}
+
+TEST(LoessTest, RobustToOutliers) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 100; ++i) {
+    double v = 0.1 * i;
+    if (i == 50) v += 100.0;  // gross outlier
+    samples.push_back({static_cast<double>(i), v});
+  }
+  auto series = Series::FromSamples(samples);
+  LoessOptions options;
+  options.bandwidth_s = 8.0;
+  options.robust_iterations = 3;
+  auto smoothed = RobustLoess(*series, options);
+  ASSERT_TRUE(smoothed.ok());
+  // Neighbours of the outlier must stay near the trend.
+  EXPECT_NEAR((*smoothed)[48].v, 4.8, 0.3);
+  EXPECT_NEAR((*smoothed)[52].v, 5.2, 0.3);
+  // Plain LOESS (no robustness) smears the outlier much more.
+  options.robust_iterations = 0;
+  auto plain = RobustLoess(*series, options);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_GT(std::abs((*plain)[48].v - 4.8),
+            std::abs((*smoothed)[48].v - 4.8));
+}
+
+TEST(LoessTest, RejectsBadOptions) {
+  Series series;
+  ASSERT_TRUE(series.Append({0, 0}).ok());
+  LoessOptions options;
+  options.bandwidth_s = 0;
+  EXPECT_TRUE(RobustLoess(series, options).status().IsInvalidArgument());
+  options = {};
+  options.robust_iterations = -1;
+  EXPECT_TRUE(RobustLoess(series, options).status().IsInvalidArgument());
+}
+
+TEST(LoessTest, ShortSeriesPassThrough) {
+  Series series;
+  ASSERT_TRUE(series.Append({0, 5}).ok());
+  ASSERT_TRUE(series.Append({1, 6}).ok());
+  auto smoothed = RobustLoess(series, LoessOptions{});
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_EQ((*smoothed)[0].v, 5);
+  EXPECT_EQ((*smoothed)[1].v, 6);
+}
+
+}  // namespace
+}  // namespace segdiff

@@ -1,0 +1,119 @@
+// Tests for the verification helpers themselves (the test oracle must be
+// trustworthy before guarantees_test leans on it).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "segdiff/verify.h"
+
+namespace segdiff {
+namespace {
+
+Series MakeSeries(std::vector<Sample> samples) {
+  auto result = Series::FromSamples(std::move(samples));
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(VerifyTest, MinDeltaVSimpleRamp) {
+  // v falls linearly from 10 to 0 over [0, 10].
+  Series series = MakeSeries({{0, 10}, {10, 0}});
+  PairId pair{0, 10, 0, 10};  // self pair over the whole segment
+  // Within T=4 the steepest drop is 4 units (slope -1).
+  auto min_dv = MinDeltaVInPair(series, pair, 4.0);
+  ASSERT_TRUE(min_dv.ok());
+  EXPECT_NEAR(*min_dv, -4.0, 1e-9);
+  // With T=20 the whole 10-unit drop is available.
+  EXPECT_NEAR(*MinDeltaVInPair(series, pair, 20.0), -10.0, 1e-9);
+  // Max is 0 (dt -> 0 limit; the series only falls).
+  EXPECT_NEAR(*MaxDeltaVInPair(series, pair, 4.0), 0.0, 1e-9);
+}
+
+TEST(VerifyTest, MinDeltaVAcrossTwoPeriods) {
+  // Rise then plateau then fall: v = /\_ shape.
+  Series series = MakeSeries({{0, 0}, {10, 8}, {20, 8}, {30, 1}});
+  // Start period on the rise, end period on the fall.
+  PairId pair{0, 10, 20, 30};
+  // T = 30 allows (10, 30): 1 - 8 = -7.
+  EXPECT_NEAR(*MinDeltaVInPair(series, pair, 30.0), -7.0, 1e-9);
+  // T = 12 allows t'=10 (v=8) to t''=22 (v=8-1.4=6.6): dv=-1.4; but the
+  // best is anchored at dt = T: t'' = t' + 12; sweeping t' in [0,10],
+  // best at t'=10: v(22)-v(10) = 6.6-8 = -1.4.
+  EXPECT_NEAR(*MinDeltaVInPair(series, pair, 12.0), -1.4, 1e-9);
+  // Jump direction: best is v(20)-v(t'): t' small on the rise, dt <= T.
+  // T=30: t'=0 to t''=20: +8.
+  EXPECT_NEAR(*MaxDeltaVInPair(series, pair, 30.0), 8.0, 1e-9);
+}
+
+TEST(VerifyTest, InfeasiblePairReturnsInfinity) {
+  Series series = MakeSeries({{0, 0}, {10, 5}});
+  // End period is 100s after the start period; T=5 makes it infeasible.
+  PairId pair{0, 2, 8, 10};
+  auto min_dv = MinDeltaVInPair(series, pair, 5.0);
+  ASSERT_TRUE(min_dv.ok());
+  EXPECT_TRUE(std::isinf(*min_dv));
+  EXPECT_GT(*min_dv, 0);
+  auto max_dv = MaxDeltaVInPair(series, pair, 5.0);
+  EXPECT_TRUE(std::isinf(*max_dv));
+  EXPECT_LT(*max_dv, 0);
+}
+
+TEST(VerifyTest, DtZeroTreatedAsLimit) {
+  Series series = MakeSeries({{0, 0}, {10, 5}});
+  // Touching periods: [0,5] and [5,10].
+  PairId pair{0, 5, 5, 10};
+  // T tiny: only events near the junction; dv -> 0.
+  auto min_dv = MinDeltaVInPair(series, pair, 1e-9);
+  ASSERT_TRUE(min_dv.ok());
+  EXPECT_NEAR(*min_dv, 0.0, 1e-6);
+}
+
+TEST(VerifyTest, PairCoversEvent) {
+  PairId pair{0, 10, 20, 30};
+  EXPECT_TRUE(PairCoversEvent(pair, {5, 25, -3}));
+  EXPECT_TRUE(PairCoversEvent(pair, {0, 30, -3}));   // boundary inclusive
+  EXPECT_FALSE(PairCoversEvent(pair, {11, 25, -3}));  // start outside
+  EXPECT_FALSE(PairCoversEvent(pair, {5, 31, -3}));   // end outside
+}
+
+TEST(VerifyTest, CheckCoverageReportsMissing) {
+  std::vector<NaiveEvent> events = {{5, 25, -3}, {100, 110, -4}};
+  std::vector<PairId> pairs = {{0, 10, 20, 30}};
+  CoverageReport report = CheckCoverage(events, pairs);
+  EXPECT_EQ(report.events, 2u);
+  EXPECT_EQ(report.covered, 1u);
+  ASSERT_EQ(report.missing.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.missing[0].t_start, 100);
+  EXPECT_FALSE(report.AllCovered());
+}
+
+TEST(VerifyTest, CheckCoverageEmptyCases) {
+  EXPECT_TRUE(CheckCoverage({}, {}).AllCovered());
+  EXPECT_TRUE(CheckCoverage({}, {{0, 1, 2, 3}}).AllCovered());
+  EXPECT_FALSE(CheckCoverage({{0, 1, -5}}, {}).AllCovered());
+}
+
+TEST(VerifyTest, ToleranceViolationsDetected) {
+  // Flat series: no drops at all.
+  std::vector<Sample> samples;
+  for (int i = 0; i <= 100; ++i) {
+    samples.push_back({i * 1.0, 5.0});
+  }
+  Series series = MakeSeries(samples);
+  // A claimed pair over flat data must violate V=-3, eps=0.2 (needs a
+  // drop <= -2.6 somewhere, impossible).
+  std::vector<PairId> pairs = {{0, 20, 30, 50}};
+  auto violations = FindToleranceViolations(series, pairs, 10.0, -3.0, 0.2,
+                                            SearchKind::kDrop);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_EQ(violations->size(), 1u);
+  // With a huge eps the tolerance absorbs it.
+  violations =
+      FindToleranceViolations(series, pairs, 10.0, -3.0, 2.0, SearchKind::kDrop);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_TRUE(violations->empty());
+}
+
+}  // namespace
+}  // namespace segdiff

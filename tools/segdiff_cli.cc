@@ -1,0 +1,368 @@
+// segdiff_cli: the exploratory command-line tool the paper's biologists
+// asked for. Generate or import sensor data, build a SegDiff store, run
+// drop/jump searches with different thresholds, inspect store contents
+// with SQL, and print storage statistics.
+//
+// Usage:
+//   segdiff_cli generate --out data.csv [--days 30] [--sensor 0]
+//                        [--seed 20080325] [--smooth]
+//   segdiff_cli build    --csv data.csv --db store.db [--eps 0.2]
+//                        [--window-hours 8] [--no-index] [--smooth]
+//   segdiff_cli search   --db store.db [--t-hours 1] [--v -3] [--jump]
+//                        [--mode seq|index|auto] [--limit 20]
+//   segdiff_cli stats    --db store.db
+//   segdiff_cli sql      --db store.db --query "SELECT ..."
+//   segdiff_cli segment  --csv data.csv --eps 0.2 --out segments.csv
+//                        (export the piecewise linear approximation,
+//                         e.g. for plotting the paper's Figure 1 (b))
+//   segdiff_cli compact  --db store.db --out compacted.db
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "segdiff/segdiff_index.h"
+#include "segment/sliding_window.h"
+#include "sql/engine.h"
+#include "storage/db.h"
+#include "ts/generator.h"
+#include "ts/io.h"
+#include "ts/smoothing.h"
+
+namespace segdiff {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: segdiff_cli <generate|build|search|stats|sql> "
+               "[--flag value ...]\n"
+               "run with a command and no flags to see its options in the "
+               "header of tools/segdiff_cli.cc\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Minimal --flag value parser ("--jump"-style booleans have no value).
+class Flags {
+ public:
+  static constexpr const char* kBooleanFlags[] = {"--jump", "--no-index",
+                                                  "--smooth"};
+
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      bool boolean = false;
+      for (const char* name : kBooleanFlags) {
+        boolean |= key == name;
+      }
+      if (boolean) {
+        values_[key] = "1";
+      } else if (i + 1 < argc) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Result<Series> Smooth(const Series& series) {
+  SEGDIFF_ASSIGN_OR_RETURN(Series filtered,
+                           HampelFilter(series, HampelOptions{}));
+  LoessOptions loess;
+  loess.bandwidth_s = 1500.0;
+  loess.robust_iterations = 1;
+  return RobustLoess(filtered, loess);
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.Get("--out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out is required\n");
+    return 2;
+  }
+  CadGeneratorOptions gen;
+  gen.num_days = flags.GetInt("--days", 30);
+  gen.sensor_index = flags.GetInt("--sensor", 0);
+  gen.seed = static_cast<uint64_t>(flags.GetInt("--seed", 20080325));
+  auto data = GenerateCadSeries(gen);
+  if (!data.ok()) return Fail(data.status());
+  Series series = std::move(data->series);
+  if (flags.Has("--smooth")) {
+    auto smoothed = Smooth(series);
+    if (!smoothed.ok()) return Fail(smoothed.status());
+    series = std::move(smoothed).value();
+  }
+  if (Status status = WriteSeriesCsv(series, out); !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("wrote %zu observations (%d days, sensor %d, %zu injected "
+              "CAD events) to %s\n",
+              series.size(), gen.num_days, gen.sensor_index,
+              data->drops.size(), out.c_str());
+  return 0;
+}
+
+int CmdBuild(const Flags& flags) {
+  const std::string csv = flags.Get("--csv", "");
+  const std::string db = flags.Get("--db", "");
+  if (csv.empty() || db.empty()) {
+    std::fprintf(stderr, "build: --csv and --db are required\n");
+    return 2;
+  }
+  auto series = ReadSeriesCsv(csv);
+  if (!series.ok()) return Fail(series.status());
+  Series input = std::move(series).value();
+  if (flags.Has("--smooth")) {
+    auto smoothed = Smooth(input);
+    if (!smoothed.ok()) return Fail(smoothed.status());
+    input = std::move(smoothed).value();
+  }
+  std::remove(db.c_str());
+  SegDiffOptions options;
+  options.eps = flags.GetDouble("--eps", 0.2);
+  options.window_s = flags.GetDouble("--window-hours", 8.0) * 3600.0;
+  options.build_indexes = !flags.Has("--no-index");
+  auto store = SegDiffIndex::Open(db, options);
+  if (!store.ok()) return Fail(store.status());
+  if (Status status = (*store)->IngestSeries(input); !status.ok()) {
+    return Fail(status);
+  }
+  if (Status status = (*store)->Checkpoint(); !status.ok()) {
+    return Fail(status);
+  }
+  const SegDiffSizes sizes = (*store)->GetSizes();
+  std::printf("built %s: %zu observations -> %llu segments (r=%.2f), "
+              "%llu feature rows, %.1f KiB features + %.1f KiB indexes\n",
+              db.c_str(), input.size(),
+              static_cast<unsigned long long>((*store)->num_segments()),
+              static_cast<double>(input.size()) /
+                  static_cast<double>((*store)->num_segments()),
+              static_cast<unsigned long long>(sizes.feature_rows),
+              sizes.feature_bytes / 1024.0, sizes.index_bytes / 1024.0);
+  return 0;
+}
+
+int CmdSearch(const Flags& flags) {
+  const std::string db = flags.Get("--db", "");
+  if (db.empty()) {
+    std::fprintf(stderr, "search: --db is required\n");
+    return 2;
+  }
+  const double T = flags.GetDouble("--t-hours", 1.0) * 3600.0;
+  const bool jump = flags.Has("--jump");
+  const double V = flags.GetDouble("--v", jump ? 3.0 : -3.0);
+  SegDiffOptions options;  // thresholds are query-time; defaults suffice
+  options.create_if_missing = false;
+  auto store = SegDiffIndex::Open(db, options);
+  if (!store.ok()) return Fail(store.status());
+
+  SearchOptions search;
+  const std::string mode = flags.Get("--mode", "seq");
+  if (mode == "index") {
+    search.mode = QueryMode::kIndexScan;
+  } else if (mode == "auto") {
+    search.mode = QueryMode::kAuto;
+  } else {
+    search.mode = QueryMode::kSeqScan;
+  }
+  SearchStats stats;
+  auto results = jump ? (*store)->SearchJumps(T, V, search, &stats)
+                      : (*store)->SearchDrops(T, V, search, &stats);
+  if (!results.ok()) return Fail(results.status());
+
+  std::printf("%zu periods with a %s of %s%.2f within %.2f h "
+              "(%.2f ms, %llu range queries, mode=%s)\n",
+              results->size(), jump ? "jump" : "drop", jump ? ">= " : "<= ",
+              V, T / 3600.0, stats.seconds * 1e3,
+              static_cast<unsigned long long>(stats.queries_issued),
+              mode.c_str());
+  const int limit = flags.GetInt("--limit", 20);
+  int shown = 0;
+  for (const PairId& pair : *results) {
+    if (++shown > limit) {
+      std::printf("  ... (%zu more; raise --limit)\n",
+                  results->size() - static_cast<size_t>(limit));
+      break;
+    }
+    std::printf("  starts in [%.0f, %.0f]  ends in [%.0f, %.0f]\n",
+                pair.t_d, pair.t_c, pair.t_b, pair.t_a);
+  }
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  const std::string db = flags.Get("--db", "");
+  if (db.empty()) {
+    std::fprintf(stderr, "stats: --db is required\n");
+    return 2;
+  }
+  SegDiffOptions options;
+  options.create_if_missing = false;
+  auto store = SegDiffIndex::Open(db, options);
+  if (!store.ok()) return Fail(store.status());
+  const SegDiffSizes sizes = (*store)->GetSizes();
+  std::printf("store: %s\n", db.c_str());
+  std::printf("  segments:      %llu\n",
+              static_cast<unsigned long long>((*store)->num_segments()));
+  std::printf("  feature rows:  %llu\n",
+              static_cast<unsigned long long>(sizes.feature_rows));
+  std::printf("  feature bytes: %llu\n",
+              static_cast<unsigned long long>(sizes.feature_bytes));
+  std::printf("  index bytes:   %llu\n",
+              static_cast<unsigned long long>(sizes.index_bytes));
+  std::printf("  segment dir:   %llu bytes\n",
+              static_cast<unsigned long long>(sizes.segment_dir_bytes));
+  std::printf("  file bytes:    %llu\n",
+              static_cast<unsigned long long>(sizes.file_bytes));
+  return 0;
+}
+
+int CmdSql(const Flags& flags) {
+  const std::string db = flags.Get("--db", "");
+  if (db.empty()) {
+    std::fprintf(stderr, "sql: --db is required\n");
+    return 2;
+  }
+  DatabaseOptions options;
+  options.create_if_missing = false;
+  auto database = Database::Open(db, options);
+  if (!database.ok()) return Fail(database.status());
+  sql::Engine engine(database->get());
+
+  const std::string query = flags.Get("--query", "");
+  if (!query.empty()) {
+    auto result = engine.Execute(query);
+    if (!result.ok()) return Fail(result.status());
+    std::fputs(sql::FormatResult(*result).c_str(), stdout);
+  } else {
+    // REPL: one statement per line; errors don't end the session.
+    std::fprintf(stderr, "segdiff sql> (one statement per line; ctrl-d or "
+                         "'quit' to exit)\n");
+    char buf[4096];
+    while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+      std::string line = buf;
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line.empty()) continue;
+      if (line == "quit" || line == "exit") break;
+      auto result = engine.Execute(line);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     result.status().ToString().c_str());
+        continue;
+      }
+      std::fputs(sql::FormatResult(*result).c_str(), stdout);
+    }
+  }
+  if (Status status = (*database)->Checkpoint(); !status.ok()) {
+    return Fail(status);
+  }
+  return 0;
+}
+
+int CmdSegment(const Flags& flags) {
+  const std::string csv = flags.Get("--csv", "");
+  const std::string out = flags.Get("--out", "");
+  if (csv.empty() || out.empty()) {
+    std::fprintf(stderr, "segment: --csv and --out are required\n");
+    return 2;
+  }
+  auto series = ReadSeriesCsv(csv);
+  if (!series.ok()) return Fail(series.status());
+  Series input = std::move(series).value();
+  if (flags.Has("--smooth")) {
+    auto smoothed = Smooth(input);
+    if (!smoothed.ok()) return Fail(smoothed.status());
+    input = std::move(smoothed).value();
+  }
+  const double eps = flags.GetDouble("--eps", 0.2);
+  auto pla = SegmentSeriesWithTolerance(input, eps);
+  if (!pla.ok()) return Fail(pla.status());
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    return Fail(Status::IOError("cannot open " + out));
+  }
+  std::fprintf(f, "# t_start,v_start,t_end,v_end (eps=%g)\n", eps);
+  for (const DataSegment& segment : pla->segments()) {
+    std::fprintf(f, "%.17g,%.17g,%.17g,%.17g\n", segment.start.t,
+                 segment.start.v, segment.end.t, segment.end.v);
+  }
+  std::fclose(f);
+  std::printf("segmented %zu observations into %zu segments (r=%.2f) -> %s\n",
+              input.size(), pla->size(),
+              pla->CompressionRate(input.size()), out.c_str());
+  return 0;
+}
+
+int CmdCompact(const Flags& flags) {
+  const std::string db = flags.Get("--db", "");
+  const std::string out = flags.Get("--out", "");
+  if (db.empty() || out.empty()) {
+    std::fprintf(stderr, "compact: --db and --out are required\n");
+    return 2;
+  }
+  std::remove(out.c_str());
+  DatabaseOptions options;
+  options.create_if_missing = false;
+  auto database = Database::Open(db, options);
+  if (!database.ok()) return Fail(database.status());
+  if (Status status = (*database)->CompactInto(out); !status.ok()) {
+    return Fail(status);
+  }
+  auto compacted = Database::Open(out, DatabaseOptions{});
+  if (!compacted.ok()) return Fail(compacted.status());
+  std::printf("compacted %llu -> %llu bytes (%s -> %s)\n",
+              static_cast<unsigned long long>(
+                  (*database)->pager()->FileSizeBytes()),
+              static_cast<unsigned long long>(
+                  (*compacted)->pager()->FileSizeBytes()),
+              db.c_str(), out.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "search") return CmdSearch(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "sql") return CmdSql(flags);
+  if (command == "segment") return CmdSegment(flags);
+  if (command == "compact") return CmdCompact(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace segdiff
+
+int main(int argc, char** argv) { return segdiff::Run(argc, argv); }
