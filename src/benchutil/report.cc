@@ -1,6 +1,7 @@
 #include "benchutil/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -62,6 +63,154 @@ std::string HumanBytes(uint64_t bytes) {
 
 void PrintBanner(std::ostream& os, const std::string& title) {
   os << "\n== " << title << " ==\n";
+}
+
+JsonValue JsonValue::Object() { return JsonValue(Kind::kObject); }
+JsonValue JsonValue::Array() { return JsonValue(Kind::kArray); }
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v(Kind::kNumber);
+  v.num_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Number(int64_t value) {
+  JsonValue v(Kind::kInt);
+  v.int_ = value;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string value) {
+  JsonValue v(Kind::kString);
+  v.str_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::Bool(bool value) {
+  JsonValue v(Kind::kBool);
+  v.bool_ = value;
+  return v;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  members_.emplace_back(key, std::move(value));
+}
+void JsonValue::Set(const std::string& key, double value) {
+  Set(key, Number(value));
+}
+void JsonValue::Set(const std::string& key, int64_t value) {
+  Set(key, Number(value));
+}
+void JsonValue::Set(const std::string& key, const std::string& value) {
+  Set(key, String(value));
+}
+void JsonValue::Set(const std::string& key, const char* value) {
+  Set(key, String(value));
+}
+void JsonValue::Set(const std::string& key, bool value) {
+  Set(key, Bool(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  elements_.push_back(std::move(value));
+}
+
+namespace {
+
+void AppendEscaped(const std::string& in, std::string* out) {
+  out->push_back('"');
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string JsonValue::ToString() const {
+  std::string out;
+  switch (kind_) {
+    case Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) {
+          out += ", ";
+        }
+        first = false;
+        AppendEscaped(key, &out);
+        out += ": ";
+        out += value.ToString();
+      }
+      out.push_back('}');
+      break;
+    }
+    case Kind::kArray: {
+      out.push_back('[');
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i != 0) {
+          out += ", ";
+        }
+        out += elements_[i].ToString();
+      }
+      out.push_back(']');
+      break;
+    }
+    case Kind::kNumber: {
+      char buf[64];
+      // %.17g round-trips doubles; JSON has no inf/nan, emit null.
+      if (!std::isfinite(num_)) {
+        out += "null";
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        out += buf;
+      }
+      break;
+    }
+    case Kind::kInt: {
+      out += std::to_string(int_);
+      break;
+    }
+    case Kind::kString:
+      AppendEscaped(str_, &out);
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+  }
+  return out;
+}
+
+bool WriteJsonFile(const std::string& path, const JsonValue& value) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string text = value.ToString();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace segdiff

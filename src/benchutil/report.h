@@ -1,4 +1,6 @@
-// Plain-text table/figure output for the bench harness.
+// Plain-text table/figure output for the bench harness, plus a minimal
+// JSON writer so benches can emit machine-readable BENCH_*.json files
+// tracking the perf trajectory across PRs.
 
 #ifndef SEGDIFF_BENCHUTIL_REPORT_H_
 #define SEGDIFF_BENCHUTIL_REPORT_H_
@@ -6,6 +8,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace segdiff {
@@ -31,6 +34,57 @@ std::string HumanBytes(uint64_t bytes);
 
 /// Section banner ("== Table 3: ... ==").
 void PrintBanner(std::ostream& os, const std::string& title);
+
+/// Insertion-ordered JSON value builder — just enough for bench output
+/// (objects, arrays, numbers, strings, booleans). Build bottom-up:
+///
+///   JsonValue row = JsonValue::Object();
+///   row.Set("threads", int64_t{4});
+///   row.Set("seconds", 0.123);
+///   JsonValue rows = JsonValue::Array();
+///   rows.Append(std::move(row));
+///   JsonValue root = JsonValue::Object();
+///   root.Set("results", std::move(rows));
+///   WriteJsonFile("BENCH_parallel.json", root);
+class JsonValue {
+ public:
+  static JsonValue Object();
+  static JsonValue Array();
+  static JsonValue Number(double value);
+  static JsonValue Number(int64_t value);
+  static JsonValue String(std::string value);
+  static JsonValue Bool(bool value);
+
+  /// Object member (insertion order preserved; duplicate keys appended).
+  void Set(const std::string& key, JsonValue value);
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, int64_t value);
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, const char* value);
+  void Set(const std::string& key, bool value);
+
+  /// Array element.
+  void Append(JsonValue value);
+
+  /// Serializes compactly (no whitespace beyond ", ").
+  std::string ToString() const;
+
+ private:
+  enum class Kind { kObject, kArray, kNumber, kInt, kString, kBool };
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  double num_ = 0.0;
+  int64_t int_ = 0;
+  bool bool_ = false;
+  std::string str_;
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< object
+  std::vector<JsonValue> elements_;                          ///< array
+};
+
+/// Writes `value` (plus trailing newline) to `path`, overwriting.
+/// Returns false on IO failure (benches log and continue).
+bool WriteJsonFile(const std::string& path, const JsonValue& value);
 
 }  // namespace segdiff
 

@@ -1,0 +1,130 @@
+#include "common/thread_pool.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace segdiff {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  SEGDIFF_CHECK_GE(num_threads, size_t{1});
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      // Drain remaining tasks even when stopping, so Submit-then-destroy
+      // still runs every task exactly once.
+      if (tasks_.empty()) {
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) {
+        all_idle_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) {
+    return Status::OK();
+  }
+  // All claim/completion bookkeeping lives behind one mutex: iterations
+  // are coarse (a whole scan or partition each), so contention on the
+  // claim path is irrelevant next to the work itself. Helpers enqueued
+  // here may run after ParallelFor returns (once every iteration is
+  // claimed there is nothing left for them); the shared_ptr keeps the
+  // state — including the copied fn — alive for those stragglers, and a
+  // failed claim never touches fn.
+  struct ForState {
+    std::function<Status(size_t)> fn;
+    size_t n = 0;
+    size_t next = 0;     ///< first unclaimed iteration (== n: none left)
+    size_t running = 0;  ///< claimed iterations still executing
+    Status first_error = Status::OK();
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<ForState>();
+  state->fn = fn;
+  state->n = n;
+  auto run = [state] {
+    for (;;) {
+      size_t i;
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        if (state->next >= state->n) {
+          return;
+        }
+        i = state->next++;
+        ++state->running;
+      }
+      Status status = state->fn(i);
+      {
+        std::unique_lock<std::mutex> lock(state->mu);
+        if (!status.ok()) {
+          if (state->first_error.ok()) {
+            state->first_error = std::move(status);
+          }
+          state->next = state->n;  // cancel unclaimed iterations
+        }
+        --state->running;
+        if (state->next >= state->n && state->running == 0) {
+          state->cv.notify_all();
+        }
+      }
+    }
+  };
+  const size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit(run);
+  }
+  run();  // the calling thread participates, so progress never stalls
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state] {
+    return state->next >= state->n && state->running == 0;
+  });
+  return state->first_error;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,65 @@
+// Fixed-size worker pool for intra-query parallelism.
+//
+// The pool is created once with N workers and destroyed deterministically:
+// the destructor stops intake, drains queued tasks, and joins every
+// worker. ParallelFor is the primary API — it dynamically load-balances
+// iterations over the workers *and* the calling thread, so it completes
+// even when every worker is busy (nested ParallelFor from a worker
+// thread is therefore safe, if rarely useful).
+
+#ifndef SEGDIFF_COMMON_THREAD_POOL_H_
+#define SEGDIFF_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace segdiff {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution by some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Invokes `fn(i)` for every i in [0, n), spread across the workers and
+  /// the calling thread. Blocks until all iterations finish. On error the
+  /// remaining iterations are skipped and the first error (by completion
+  /// order) is returned.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;   ///< workers wait here for tasks
+  std::condition_variable all_idle_;     ///< Wait() waits here
+  std::deque<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;  ///< tasks dequeued but not yet finished
+  bool stop_ = false;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_THREAD_POOL_H_

@@ -1,5 +1,7 @@
 #include "query/executor.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 namespace segdiff {
@@ -21,6 +23,56 @@ Status SeqScan(const Table& table, const Predicate& predicate,
     stats->Add(local);
   }
   return status;
+}
+
+Status ParallelSeqScan(const Table& table, const Predicate& predicate,
+                       ThreadPool* pool, size_t num_partitions,
+                       const PartitionSinkFactory& make_sink,
+                       ScanStats* stats) {
+  if (pool == nullptr || num_partitions <= 1) {
+    // Degenerate case: one partition is just a serial scan.
+    return SeqScan(table, predicate, make_sink(0), stats);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(std::vector<PageId> pages, table.HeapPageIds());
+  num_partitions = std::min(num_partitions, std::max<size_t>(pages.size(), 1));
+  // Contiguous page runs keep each worker's reads sequential.
+  std::vector<std::vector<PageId>> partitions(num_partitions);
+  const size_t base = pages.size() / num_partitions;
+  const size_t extra = pages.size() % num_partitions;
+  size_t next = 0;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const size_t take = base + (p < extra ? 1 : 0);
+    partitions[p].assign(pages.begin() + static_cast<ptrdiff_t>(next),
+                         pages.begin() + static_cast<ptrdiff_t>(next + take));
+    next += take;
+  }
+  std::vector<RowCallback> sinks(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    sinks[p] = make_sink(p);
+  }
+  std::vector<ScanStats> partition_stats(num_partitions);
+  SEGDIFF_RETURN_IF_ERROR(pool->ParallelFor(
+      num_partitions, [&](size_t p) -> Status {
+        ScanStats& local = partition_stats[p];
+        const RowCallback& sink = sinks[p];
+        return table.ScanPages(
+            partitions[p],
+            [&](const char* record, RecordId id, bool* keep_going) -> Status {
+              *keep_going = true;
+              ++local.rows_scanned;
+              if (predicate.Matches(record)) {
+                ++local.rows_matched;
+                return sink(record, id);
+              }
+              return Status::OK();
+            });
+      }));
+  if (stats != nullptr) {
+    for (const ScanStats& local : partition_stats) {
+      stats->Add(local);
+    }
+  }
+  return Status::OK();
 }
 
 Status IndexScan(const Table& table, const IndexScanSpec& spec,

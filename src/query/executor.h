@@ -1,11 +1,14 @@
-// Access-path executors: sequential scan and index range scan.
+// Access-path executors: sequential scan (serial or partitioned across a
+// thread pool) and index range scan.
 
 #ifndef SEGDIFF_QUERY_EXECUTOR_H_
 #define SEGDIFF_QUERY_EXECUTOR_H_
 
 #include <functional>
+#include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "index/bplus_tree.h"
 #include "query/predicate.h"
 #include "storage/table.h"
@@ -33,6 +36,24 @@ using RowCallback = std::function<Status(const char* record, RecordId id)>;
 /// Full-table scan applying `predicate` to every record.
 Status SeqScan(const Table& table, const Predicate& predicate,
                const RowCallback& callback, ScanStats* stats = nullptr);
+
+/// Returns the per-partition row callback for partition `i` of a
+/// parallel scan. Each partition's callback runs on exactly one worker
+/// thread, so a factory handing out partition-private sinks (e.g. one
+/// result vector per partition, concatenated afterwards) needs no
+/// locking.
+using PartitionSinkFactory = std::function<RowCallback(size_t partition)>;
+
+/// Partitioned full-table scan: splits the table's heap pages into
+/// `num_partitions` contiguous runs executed concurrently on `pool` (the
+/// calling thread participates). Rows are visited exactly once overall;
+/// per-partition ScanStats are merged into `stats` in partition order,
+/// so totals equal the serial SeqScan's. Early-stop (`keep_going`)
+/// inside a callback only stops that partition.
+Status ParallelSeqScan(const Table& table, const Predicate& predicate,
+                       ThreadPool* pool, size_t num_partitions,
+                       const PartitionSinkFactory& make_sink,
+                       ScanStats* stats = nullptr);
 
 /// Range scan over a B+-tree index. Starts at the first key >= `lower`,
 /// advances while `key_continue(key)` holds, and for each key passing

@@ -42,23 +42,36 @@ Result<std::unique_ptr<ExhIndex>> ExhIndex::Open(const std::string& path,
 }
 
 Status ExhIndex::IngestSeries(const Series& series) {
-  std::deque<Sample> window;
+  // window_ persists across calls: a chunk boundary must not lose the
+  // pairs between a chunk's tail and the next chunk's head.
   for (const Sample& sample : series) {
-    while (!window.empty() &&
-           sample.t - window.front().t > options_.window_s) {
-      window.pop_front();
+    if (!window_.empty() && sample.t <= window_.back().t) {
+      return Status::InvalidArgument(
+          "chunked ingest requires strictly increasing time stamps");
     }
-    for (const Sample& earlier : window) {
+    while (!window_.empty() &&
+           sample.t - window_.front().t > options_.window_s) {
+      window_.pop_front();
+    }
+    for (const Sample& earlier : window_) {
       SEGDIFF_RETURN_IF_ERROR(
           table_
               ->InsertDoubles(
                   {sample.t - earlier.t, sample.v - earlier.v, earlier.t})
               .status());
     }
-    window.push_back(sample);
+    window_.push_back(sample);
     ++observations_;
   }
   return Status::OK();
+}
+
+ThreadPool* ExhIndex::EnsurePool(size_t num_threads) {
+  const size_t workers = num_threads - 1;  // the caller participates
+  if (pool_ == nullptr || pool_->size() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return pool_.get();
 }
 
 Result<std::vector<ExhEvent>> ExhIndex::SearchDrops(
@@ -107,7 +120,33 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
     Predicate predicate;
     predicate.And(0, CmpOp::kLe, T);
     predicate.And(1, drop ? CmpOp::kLe : CmpOp::kGe, V);
-    SEGDIFF_RETURN_IF_ERROR(SeqScan(*table_, predicate, collect, &local.scan));
+    const size_t num_threads = options.num_threads;
+    if (num_threads > 1) {
+      // Partition the single range query's scan across the pool; events
+      // are re-sorted below, so per-partition collection order is
+      // irrelevant to the result.
+      std::vector<std::vector<ExhEvent>> partition_out(num_threads);
+      SEGDIFF_RETURN_IF_ERROR(ParallelSeqScan(
+          *table_, predicate, EnsurePool(num_threads), num_threads,
+          [&partition_out](size_t p) -> RowCallback {
+            std::vector<ExhEvent>* sink = &partition_out[p];
+            return [sink](const char* record, RecordId) -> Status {
+              ExhEvent event;
+              event.dv = DecodeDoubleColumn(record, 1);
+              event.t_start = DecodeDoubleColumn(record, 2);
+              event.t_end = event.t_start + DecodeDoubleColumn(record, 0);
+              sink->push_back(event);
+              return Status::OK();
+            };
+          },
+          &local.scan));
+      for (const std::vector<ExhEvent>& part : partition_out) {
+        events.insert(events.end(), part.begin(), part.end());
+      }
+    } else {
+      SEGDIFF_RETURN_IF_ERROR(
+          SeqScan(*table_, predicate, collect, &local.scan));
+    }
   } else {
     if (!options_.build_index) {
       return Status::InvalidArgument(

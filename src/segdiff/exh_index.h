@@ -50,8 +50,11 @@ class ExhIndex {
   static Result<std::unique_ptr<ExhIndex>> Open(const std::string& path,
                                                 const ExhOptions& options);
 
-  /// Appends all within-window pairs of `series`. May be called with
-  /// successive chunks; the pair window does not span chunks.
+  /// Appends all within-window pairs of `series`. May be called
+  /// repeatedly with later series chunks (time stamps must keep
+  /// increasing); the trailing window of samples is carried across calls
+  /// so chunked and one-shot ingest produce identical tables (mirroring
+  /// SegDiffIndex's chunked-ingest contract).
   Status IngestSeries(const Series& series);
 
   Result<std::vector<ExhEvent>> SearchDrops(double T, double V,
@@ -72,10 +75,15 @@ class ExhIndex {
   Result<std::vector<ExhEvent>> Search(bool drop, double T, double V,
                                        const SearchOptions& options,
                                        SearchStats* stats);
+  ThreadPool* EnsurePool(size_t num_threads);
 
   ExhOptions options_;
   std::unique_ptr<Database> db_;
   Table* table_ = nullptr;
+  std::unique_ptr<ThreadPool> pool_;  ///< parallel-search workers
+  /// Trailing `window_s` of already-ingested samples, so pairs spanning
+  /// chunk boundaries are not dropped on the next IngestSeries call.
+  std::deque<Sample> window_;
   uint64_t observations_ = 0;
 };
 

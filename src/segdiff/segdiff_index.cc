@@ -268,6 +268,14 @@ Result<std::vector<PairId>> SegDiffIndex::SearchJumps(
   return Search(SearchKind::kJump, T, V, options, stats);
 }
 
+ThreadPool* SegDiffIndex::EnsurePool(size_t num_threads) {
+  const size_t workers = num_threads - 1;
+  if (pool_ == nullptr || pool_->size() != workers) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return pool_.get();
+}
+
 Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
                                                  double V,
                                                  const SearchOptions& options,
@@ -282,11 +290,64 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
   Stopwatch stopwatch;
   SearchStats local;
   const bool drop = kind == SearchKind::kDrop;
+  const size_t num_threads = options.num_threads;
+  ThreadPool* pool = num_threads > 1 ? EnsurePool(num_threads) : nullptr;
 
-  std::vector<PairId> results;
+  // Everything that lazily mutates index state happens before any task
+  // can run on a worker thread; the tasks themselves are read-only.
+  if (options.mode == QueryMode::kAuto) {
+    SEGDIFF_RETURN_IF_ERROR(EnsureColumnStats());
+  }
+
+  // Builds the paper's predicate for one query, for sequential scans.
+  auto make_predicate = [drop, T, V](const RangeQuery& query) {
+    Predicate predicate;
+    if (!query.is_line) {
+      predicate.And(DtCol(query.corner), CmpOp::kLe, T);
+      predicate.And(DvCol(query.corner), drop ? CmpOp::kLe : CmpOp::kGe,
+                    V);
+      return predicate;
+    }
+    const size_t dt1 = DtCol(query.corner);
+    const size_t dv1 = DvCol(query.corner);
+    const size_t dt2 = DtCol(query.corner + 1);
+    const size_t dv2 = DvCol(query.corner + 1);
+    predicate.And(dt1, CmpOp::kLe, T);
+    predicate.And(dv1, drop ? CmpOp::kGt : CmpOp::kLt, V);
+    predicate.And(dt2, CmpOp::kGt, T);
+    predicate.And(dv2, drop ? CmpOp::kLt : CmpOp::kGt, V);
+    predicate.AndResidual([=](const char* record) {
+      const double a_dt = DecodeDoubleColumn(record, dt1);
+      const double a_dv = DecodeDoubleColumn(record, dv1);
+      const double b_dt = DecodeDoubleColumn(record, dt2);
+      const double b_dv = DecodeDoubleColumn(record, dv2);
+      if (b_dt <= a_dt) {
+        return false;
+      }
+      const double at_T = a_dv + (b_dv - a_dv) / (b_dt - a_dt) * (T - a_dt);
+      return drop ? at_T <= V : at_T >= V;
+    });
+    return predicate;
+  };
+
+  // One executable unit: a fused whole-table pass, or a single
+  // point/line range query with its access path already resolved.
+  struct QueryTask {
+    int k = 1;
+    Table* table = nullptr;
+    bool fused = false;
+    RangeQuery query;
+    QueryMode mode = QueryMode::kSeqScan;
+  };
+  std::vector<QueryTask> tasks;
   for (int k = 1; k <= 3; ++k) {
     Table* table = feature_tables_[static_cast<int>(kind)][k - 1];
     if (table->row_count() == 0) {
+      continue;
+    }
+    if (options.mode == QueryMode::kSeqScan && options.fused_scan) {
+      tasks.push_back(QueryTask{k, table, true, RangeQuery{},
+                                QueryMode::kSeqScan});
       continue;
     }
     std::vector<RangeQuery> queries;
@@ -296,50 +357,50 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
     for (int j = 1; j < k; ++j) {
       queries.push_back(RangeQuery{true, j});
     }
+    for (const RangeQuery& query : queries) {
+      QueryMode mode = options.mode;
+      if (mode == QueryMode::kIndexScan && !options_.build_indexes) {
+        return Status::InvalidArgument(
+            "index scan requested but indexes were not built");
+      }
+      if (mode == QueryMode::kAuto) {
+        const auto& range =
+            column_stats_[static_cast<int>(kind)][k - 1][DtCol(query.corner)];
+        const PlanChoice choice = ChooseAccessPath(
+            table->row_count(), range.seen ? range.lo : 0.0,
+            range.seen ? range.hi : 0.0, T, options_.build_indexes);
+        mode = choice.path == AccessPath::kIndexScan ? QueryMode::kIndexScan
+                                                     : QueryMode::kSeqScan;
+      }
+      tasks.push_back(QueryTask{k, table, false, query, mode});
+    }
+  }
 
-    const RowCallback collect = [&](const char* record, RecordId) -> Status {
+  // Runs one task, collecting matches into `out` (private to the task)
+  // and execution counters into `scan`. Fused tasks may additionally
+  // partition their single pass across the pool by heap page.
+  auto run_task = [&](const QueryTask& task, std::vector<PairId>* out,
+                      ScanStats* scan) -> Status {
+    const int k = task.k;
+    const RowCallback collect = [out, k](const char* record,
+                                         RecordId) -> Status {
       PairId id;
       id.t_d = DecodeDoubleColumn(record, TdCol(k));
       id.t_c = DecodeDoubleColumn(record, TcCol(k));
       id.t_b = DecodeDoubleColumn(record, TbCol(k));
       id.t_a = 0.0;  // resolved after dedup
-      results.push_back(id);
+      out->push_back(id);
       return Status::OK();
     };
-
-    // Builds the paper's predicate for one query, for sequential scans.
-    auto make_predicate = [&](const RangeQuery& query) {
-      Predicate predicate;
-      if (!query.is_line) {
-        predicate.And(DtCol(query.corner), CmpOp::kLe, T);
-        predicate.And(DvCol(query.corner), drop ? CmpOp::kLe : CmpOp::kGe,
-                      V);
-        return predicate;
-      }
-      const size_t dt1 = DtCol(query.corner);
-      const size_t dv1 = DvCol(query.corner);
-      const size_t dt2 = DtCol(query.corner + 1);
-      const size_t dv2 = DvCol(query.corner + 1);
-      predicate.And(dt1, CmpOp::kLe, T);
-      predicate.And(dv1, drop ? CmpOp::kGt : CmpOp::kLt, V);
-      predicate.And(dt2, CmpOp::kGt, T);
-      predicate.And(dv2, drop ? CmpOp::kLt : CmpOp::kGt, V);
-      predicate.AndResidual([=](const char* record) {
-        const double a_dt = DecodeDoubleColumn(record, dt1);
-        const double a_dv = DecodeDoubleColumn(record, dv1);
-        const double b_dt = DecodeDoubleColumn(record, dt2);
-        const double b_dv = DecodeDoubleColumn(record, dv2);
-        if (b_dt <= a_dt) {
-          return false;
-        }
-        const double at_T = a_dv + (b_dv - a_dv) / (b_dt - a_dt) * (T - a_dt);
-        return drop ? at_T <= V : at_T >= V;
-      });
-      return predicate;
-    };
-
-    if (options.mode == QueryMode::kSeqScan && options.fused_scan) {
+    if (task.fused) {
       // One pass evaluating the OR of every query's conditions.
+      std::vector<RangeQuery> queries;
+      for (int j = 1; j <= k; ++j) {
+        queries.push_back(RangeQuery{false, j});
+      }
+      for (int j = 1; j < k; ++j) {
+        queries.push_back(RangeQuery{true, j});
+      }
       std::vector<Predicate> predicates;
       predicates.reserve(queries.size());
       for (const RangeQuery& query : queries) {
@@ -354,65 +415,90 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
         }
         return false;
       });
-      ++local.queries_issued;
-      SEGDIFF_RETURN_IF_ERROR(SeqScan(*table, fused, collect, &local.scan));
-      continue;
+      if (pool == nullptr) {
+        return SeqScan(*task.table, fused, collect, scan);
+      }
+      std::vector<std::vector<PairId>> partition_out(num_threads);
+      SEGDIFF_RETURN_IF_ERROR(ParallelSeqScan(
+          *task.table, fused, pool, num_threads,
+          [&partition_out, k](size_t p) -> RowCallback {
+            std::vector<PairId>* sink = &partition_out[p];
+            return [sink, k](const char* record, RecordId) -> Status {
+              PairId id;
+              id.t_d = DecodeDoubleColumn(record, TdCol(k));
+              id.t_c = DecodeDoubleColumn(record, TcCol(k));
+              id.t_b = DecodeDoubleColumn(record, TbCol(k));
+              id.t_a = 0.0;
+              sink->push_back(id);
+              return Status::OK();
+            };
+          },
+          scan));
+      for (const std::vector<PairId>& part : partition_out) {
+        out->insert(out->end(), part.begin(), part.end());
+      }
+      return Status::OK();
     }
+    if (task.mode == QueryMode::kSeqScan) {
+      return SeqScan(*task.table, make_predicate(task.query), collect, scan);
+    }
+    // Index scan: all conditions evaluate on the key; the heap fetch
+    // only materializes the pair id.
+    IndexScanSpec spec;
+    const std::string index_name =
+        (task.query.is_line ? "ln" : "pt") + std::to_string(task.query.corner);
+    SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree,
+                             task.table->GetIndex(index_name));
+    spec.index = tree;
+    spec.lower = IndexKey::LowerBound({-kInf, -kInf, -kInf, -kInf});
+    spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
+    if (!task.query.is_line) {
+      spec.key_filter = [drop, V](const IndexKey& key) {
+        return drop ? key.vals[1] <= V : key.vals[1] >= V;
+      };
+    } else {
+      spec.key_filter = [drop, T, V](const IndexKey& key) {
+        const double a_dt = key.vals[0];
+        const double a_dv = key.vals[1];
+        const double b_dt = key.vals[2];
+        const double b_dv = key.vals[3];
+        const bool ends_outside = drop
+                                      ? (a_dv > V && b_dv < V)
+                                      : (a_dv < V && b_dv > V);
+        if (!ends_outside || !(b_dt > T) || b_dt <= a_dt) {
+          return false;
+        }
+        const double at_T =
+            a_dv + (b_dv - a_dv) / (b_dt - a_dt) * (T - a_dt);
+        return drop ? at_T <= V : at_T >= V;
+      };
+    }
+    return IndexScan(*task.table, spec, Predicate::True(), collect, scan);
+  };
 
-    for (const RangeQuery& query : queries) {
-      QueryMode mode = options.mode;
-      if (mode == QueryMode::kIndexScan && !options_.build_indexes) {
-        return Status::InvalidArgument(
-            "index scan requested but indexes were not built");
-      }
-      if (mode == QueryMode::kAuto) {
-        SEGDIFF_RETURN_IF_ERROR(EnsureColumnStats());
-        const auto& range =
-            column_stats_[static_cast<int>(kind)][k - 1][DtCol(query.corner)];
-        const PlanChoice choice = ChooseAccessPath(
-            table->row_count(), range.seen ? range.lo : 0.0,
-            range.seen ? range.hi : 0.0, T, options_.build_indexes);
-        mode = choice.path == AccessPath::kIndexScan ? QueryMode::kIndexScan
-                                                     : QueryMode::kSeqScan;
-      }
-      ++local.queries_issued;
-      if (mode == QueryMode::kSeqScan) {
-        SEGDIFF_RETURN_IF_ERROR(
-            SeqScan(*table, make_predicate(query), collect, &local.scan));
-        continue;
-      }
-      // Index scan: all conditions evaluate on the key; the heap fetch
-      // only materializes the pair id.
-      IndexScanSpec spec;
-      const std::string index_name =
-          (query.is_line ? "ln" : "pt") + std::to_string(query.corner);
-      SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree, table->GetIndex(index_name));
-      spec.index = tree;
-      spec.lower = IndexKey::LowerBound({-kInf, -kInf, -kInf, -kInf});
-      spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
-      if (!query.is_line) {
-        spec.key_filter = [drop, V](const IndexKey& key) {
-          return drop ? key.vals[1] <= V : key.vals[1] >= V;
-        };
-      } else {
-        spec.key_filter = [drop, T, V](const IndexKey& key) {
-          const double a_dt = key.vals[0];
-          const double a_dv = key.vals[1];
-          const double b_dt = key.vals[2];
-          const double b_dv = key.vals[3];
-          const bool ends_outside = drop
-                                        ? (a_dv > V && b_dv < V)
-                                        : (a_dv < V && b_dv > V);
-          if (!ends_outside || !(b_dt > T) || b_dt <= a_dt) {
-            return false;
-          }
-          const double at_T =
-              a_dv + (b_dv - a_dv) / (b_dt - a_dt) * (T - a_dt);
-          return drop ? at_T <= V : at_T >= V;
-        };
-      }
-      SEGDIFF_RETURN_IF_ERROR(IndexScan(*table, spec, Predicate::True(),
-                                        collect, &local.scan));
+  std::vector<PairId> results;
+  local.queries_issued = tasks.size();
+  if (pool == nullptr || tasks.size() <= 1 ||
+      (options.mode == QueryMode::kSeqScan && options.fused_scan)) {
+    // Serial task loop. Fused tasks still fan out internally when a pool
+    // exists (table-at-a-time with partitioned passes avoids nesting
+    // task- and partition-level parallelism).
+    for (const QueryTask& task : tasks) {
+      SEGDIFF_RETURN_IF_ERROR(run_task(task, &results, &local.scan));
+    }
+  } else {
+    // Concurrent point/line queries: each task gets a private result
+    // vector and ScanStats, merged in task order so stats totals match
+    // the serial path exactly (satellite: stats correctness).
+    std::vector<std::vector<PairId>> task_out(tasks.size());
+    std::vector<ScanStats> task_scan(tasks.size());
+    SEGDIFF_RETURN_IF_ERROR(
+        pool->ParallelFor(tasks.size(), [&](size_t i) -> Status {
+          return run_task(tasks[i], &task_out[i], &task_scan[i]);
+        }));
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      local.scan.Add(task_scan[i]);
+      results.insert(results.end(), task_out[i].begin(), task_out[i].end());
     }
   }
 

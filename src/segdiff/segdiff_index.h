@@ -62,6 +62,13 @@ struct SearchOptions {
   /// conditions in a single pass — an optimization the ablation bench
   /// quantifies. Only affects kSeqScan.
   bool fused_scan = false;
+  /// Intra-query parallelism. 0 or 1 executes everything serially on the
+  /// calling thread, preserving the paper's single-threaded semantics.
+  /// >= 2 runs the search's independent range queries concurrently on a
+  /// worker pool (fused and Exh scans are instead partitioned across the
+  /// workers by heap page). Results and SearchStats are identical to the
+  /// serial path; only wall-clock time changes.
+  size_t num_threads = 0;
 };
 
 /// Execution report for one search.
@@ -123,6 +130,10 @@ class SegDiffIndex {
 
   Status InitTables();
   Status WriteFeatureRow(const PairFeatures& row);
+  /// Lazily creates (or resizes) the worker pool backing parallel
+  /// searches: `num_threads - 1` workers, since the calling thread
+  /// participates in every ParallelFor.
+  ThreadPool* EnsurePool(size_t num_threads);
   Result<std::vector<PairId>> Search(SearchKind kind, double T, double V,
                                      const SearchOptions& options,
                                      SearchStats* stats);
@@ -137,6 +148,7 @@ class SegDiffIndex {
 
   std::unique_ptr<FeatureExtractor> extractor_;
   std::unique_ptr<SlidingWindowSegmenter> segmenter_;
+  std::unique_ptr<ThreadPool> pool_;  ///< parallel-search workers
   uint64_t observations_ = 0;
 
   /// t_start -> t_end of every segment, for materializing t_a.

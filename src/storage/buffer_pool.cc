@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -23,6 +24,10 @@ PageHandle::~PageHandle() { Release(); }
 
 void PageHandle::MarkDirty() {
   SEGDIFF_CHECK(valid());
+  // The frame is pinned by this handle, so the dirty flag cannot race
+  // with eviction; concurrent markers of the same pinned frame are
+  // idempotent writes under the shard mutex.
+  std::lock_guard<std::mutex> lock(pool_->ShardOf(page_id_).mu);
   pool_->frames_[frame_].dirty = true;
 }
 
@@ -36,11 +41,20 @@ void PageHandle::Release() {
 
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages) : pager_(pager) {
   SEGDIFF_CHECK_GE(capacity_pages, size_t{1});
+  const size_t num_shards = std::max(
+      size_t{1}, std::min(kMaxShards, capacity_pages / kMinFramesPerShard));
   frames_.resize(capacity_pages);
-  free_frames_.reserve(capacity_pages);
+  shards_ = std::vector<Shard>(num_shards);
+  // Deal the frames out round-robin; each shard's free list is its whole
+  // slice of the pool.
   for (size_t i = 0; i < capacity_pages; ++i) {
     frames_[i].data = std::make_unique<char[]>(kPageSize);
-    free_frames_.push_back(capacity_pages - 1 - i);
+    shards_[i % num_shards].free_frames.push_back(i);
+  }
+  for (Shard& shard : shards_) {
+    // Matches the historical "lowest frame grabbed first" order so the
+    // single-shard case reproduces the original pool exactly.
+    std::reverse(shard.free_frames.begin(), shard.free_frames.end());
   }
 }
 
@@ -55,65 +69,78 @@ BufferPool::~BufferPool() {
 
 void BufferPool::Unpin(size_t frame_idx) {
   Frame& frame = frames_[frame_idx];
+  // The frame is pinned (by the releasing handle), so its page_id is
+  // stable and names the owning shard.
+  Shard& shard = ShardOf(frame.page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   SEGDIFF_CHECK_GT(frame.pin_count, 0);
   if (--frame.pin_count == 0) {
-    lru_.push_front(frame_idx);
-    frame.lru_pos = lru_.begin();
+    shard.lru.push_front(frame_idx);
+    frame.lru_pos = shard.lru.begin();
     frame.in_lru = true;
   }
 }
 
-Status BufferPool::FlushFrame(Frame& frame) {
+Status BufferPool::FlushFrame(Frame& frame, Shard& shard) {
   if (frame.dirty && frame.page_id != kInvalidPageId) {
     SEGDIFF_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.get()));
     frame.dirty = false;
-    ++stats_.dirty_writebacks;
+    ++shard.stats.dirty_writebacks;
   }
   return Status::OK();
 }
 
-Result<size_t> BufferPool::GrabFrame() {
-  if (!free_frames_.empty()) {
-    const size_t idx = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::GrabFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    const size_t idx = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return idx;
   }
-  if (lru_.empty()) {
+  if (shard.lru.empty()) {
     return Status::Internal("buffer pool exhausted: all frames pinned");
   }
-  // Evict the least recently used unpinned frame.
-  const size_t victim = lru_.back();
-  lru_.pop_back();
+  // Evict the least recently used unpinned frame of this shard.
+  const size_t victim = shard.lru.back();
+  shard.lru.pop_back();
   Frame& frame = frames_[victim];
   frame.in_lru = false;
-  SEGDIFF_RETURN_IF_ERROR(FlushFrame(frame));
-  page_table_.erase(frame.page_id);
+  SEGDIFF_RETURN_IF_ERROR(FlushFrame(frame, shard));
+  shard.page_table.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
-  ++stats_.evictions;
+  ++shard.stats.evictions;
   return victim;
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  auto it = page_table_.find(id);
-  if (it != page_table_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(id);
+  if (it != shard.page_table.end()) {
+    ++shard.stats.hits;
     const size_t idx = it->second;
     Frame& frame = frames_[idx];
     if (frame.pin_count == 0 && frame.in_lru) {
-      lru_.erase(frame.lru_pos);
+      shard.lru.erase(frame.lru_pos);
       frame.in_lru = false;
     }
     ++frame.pin_count;
     return PageHandle(this, idx, id, frame.data.get());
   }
-  ++stats_.misses;
-  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  ++shard.stats.misses;
+  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame(shard));
   Frame& frame = frames_[idx];
-  SEGDIFF_RETURN_IF_ERROR(pager_->ReadPage(id, frame.data.get()));
+  // The read happens under the shard mutex: concurrent misses in the
+  // same shard serialize (a per-frame IO latch would let them overlap,
+  // but same-shard miss storms are rare with page-striped shards).
+  Status read = pager_->ReadPage(id, frame.data.get());
+  if (!read.ok()) {
+    shard.free_frames.push_back(idx);
+    return read;
+  }
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = false;
-  page_table_[id] = idx;
+  shard.page_table[id] = idx;
   return PageHandle(this, idx, id, frame.data.get());
 }
 
@@ -123,47 +150,83 @@ Result<PageHandle> BufferPool::AllocatePinned() {
 }
 
 Result<PageHandle> BufferPool::PinFresh(PageId id) {
-  if (page_table_.count(id) != 0) {
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return PinFreshLocked(id, shard);
+}
+
+Result<PageHandle> BufferPool::PinFreshLocked(PageId id, Shard& shard) {
+  if (shard.page_table.count(id) != 0) {
     return Status::Internal("PinFresh on a cached page");
   }
-  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame());
+  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame(shard));
   Frame& frame = frames_[idx];
   std::memset(frame.data.get(), 0, kPageSize);
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = true;
-  page_table_[id] = idx;
+  shard.page_table[id] = idx;
   return PageHandle(this, idx, id, frame.data.get());
 }
 
 Status BufferPool::FlushAll() {
-  for (Frame& frame : frames_) {
-    SEGDIFF_RETURN_IF_ERROR(FlushFrame(frame));
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [page_id, idx] : shard.page_table) {
+      (void)page_id;
+      SEGDIFF_RETURN_IF_ERROR(FlushFrame(frames_[idx], shard));
+    }
   }
   return Status::OK();
 }
 
 Status BufferPool::DropAll() {
-  for (Frame& frame : frames_) {
-    if (frame.page_id != kInvalidPageId && frame.pin_count > 0) {
-      return Status::Internal("DropAll with pinned pages");
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [page_id, idx] : shard.page_table) {
+      (void)page_id;
+      if (frames_[idx].pin_count > 0) {
+        return Status::Internal("DropAll with pinned pages");
+      }
     }
   }
   SEGDIFF_RETURN_IF_ERROR(FlushAll());
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    Frame& frame = frames_[i];
-    if (frame.page_id == kInvalidPageId) {
-      continue;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [page_id, idx] : shard.page_table) {
+      (void)page_id;
+      Frame& frame = frames_[idx];
+      if (frame.in_lru) {
+        shard.lru.erase(frame.lru_pos);
+        frame.in_lru = false;
+      }
+      frame.page_id = kInvalidPageId;
+      shard.free_frames.push_back(idx);
     }
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
-      frame.in_lru = false;
-    }
-    page_table_.erase(frame.page_id);
-    frame.page_id = kInvalidPageId;
-    free_frames_.push_back(i);
+    shard.page_table.clear();
   }
   return Status::OK();
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.evictions += shard.stats.evictions;
+    total.dirty_writebacks += shard.stats.dirty_writebacks;
+  }
+  return total;
+}
+
+size_t BufferPool::cached_pages() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.page_table.size();
+  }
+  return total;
 }
 
 }  // namespace segdiff

@@ -5,6 +5,17 @@
 // stand-in for the paper's "operating system cache is flushed before
 // every query" protocol (Section 6); leaving the pool warm models the
 // "system cache available" runs (Section 6.4).
+//
+// Thread safety: the pool is striped into shards, each owning a fixed
+// slice of the frames plus its own mutex, LRU list, free list, and page
+// table; a page lives in the shard `page_id % num_shards`, so concurrent
+// readers of different pages rarely contend. Fetch/PinFresh/Allocate and
+// handle release are safe from any thread. FlushAll/DropAll lock shards
+// one at a time and must not race with concurrent fetches (they are
+// control-plane operations, called between queries). Small pools
+// (< kMinFramesPerShard pages) collapse to a single shard, preserving
+// the exact single-threaded eviction semantics the paper experiments
+// rely on.
 
 #ifndef SEGDIFF_STORAGE_BUFFER_POOL_H_
 #define SEGDIFF_STORAGE_BUFFER_POOL_H_
@@ -12,6 +23,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -50,12 +62,13 @@ class PageHandle {
       : pool_(pool), frame_(frame), page_id_(page_id), data_(data) {}
 
   BufferPool* pool_ = nullptr;
-  size_t frame_ = 0;
+  size_t frame_ = 0;  ///< global frame index (shard derived from it)
   PageId page_id_ = kInvalidPageId;
   char* data_ = nullptr;
 };
 
-/// Hit/miss counters for cache-behaviour experiments.
+/// Hit/miss counters for cache-behaviour experiments. Aggregated over
+/// the shards; a consistent snapshot requires no concurrent fetches.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -63,10 +76,14 @@ struct BufferPoolStats {
   uint64_t dirty_writebacks = 0;
 };
 
-/// Fixed-capacity LRU page cache. Not thread-safe (minidb is
-/// single-threaded by design, like the paper's workload).
+/// Fixed-capacity LRU page cache, sharded for concurrent readers.
 class BufferPool {
  public:
+  /// Shards with fewer than this many frames are not worth striping;
+  /// pools smaller than this use one shard (exact LRU, as before).
+  static constexpr size_t kMinFramesPerShard = 16;
+  static constexpr size_t kMaxShards = 16;
+
   /// `pager` must outlive the pool. `capacity_pages` >= 1.
   BufferPool(Pager* pager, size_t capacity_pages);
   ~BufferPool();
@@ -74,8 +91,8 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Returns a pinned handle for page `id`, reading it on miss. Fails
-  /// with ResourceExhausted-like Internal error when every frame is
-  /// pinned.
+  /// with ResourceExhausted-like Internal error when every frame of the
+  /// page's shard is pinned.
   Result<PageHandle> Fetch(PageId id);
 
   /// Allocates a fresh page via the pager and returns it pinned and
@@ -95,9 +112,10 @@ class BufferPool {
   /// Fails if any frame is still pinned.
   Status DropAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
+  BufferPoolStats stats() const;
   size_t capacity() const { return frames_.size(); }
-  size_t cached_pages() const { return page_table_.size(); }
+  size_t cached_pages() const;
+  size_t num_shards() const { return shards_.size(); }
 
  private:
   friend class PageHandle;
@@ -107,21 +125,35 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     std::unique_ptr<char[]> data;
-    std::list<size_t>::iterator lru_pos;  // valid iff pin_count == 0
+    std::list<size_t>::iterator lru_pos;  // valid iff in_lru
     bool in_lru = false;
   };
 
+  /// One stripe: a slice of frames_ plus all bookkeeping for the pages
+  /// that hash to it. Everything below `mu` is guarded by it.
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<size_t> free_frames;      ///< global frame indices
+    std::list<size_t> lru;                ///< front == most recently used
+    std::unordered_map<PageId, size_t> page_table;
+    BufferPoolStats stats;
+  };
+
+  Shard& ShardOf(PageId id) { return shards_[id % shards_.size()]; }
+  const Shard& ShardOf(PageId id) const {
+    return shards_[id % shards_.size()];
+  }
+
   void Unpin(size_t frame);
-  Status FlushFrame(Frame& frame);
-  /// Finds a frame for a new page: free frame or LRU victim.
-  Result<size_t> GrabFrame();
+  Status FlushFrame(Frame& frame, Shard& shard);
+  /// Finds a frame for a new page in `shard`: free frame or LRU victim.
+  /// Caller holds shard.mu.
+  Result<size_t> GrabFrame(Shard& shard);
+  Result<PageHandle> PinFreshLocked(PageId id, Shard& shard);
 
   Pager* pager_;
   std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::list<size_t> lru_;  ///< front == most recently used
-  std::unordered_map<PageId, size_t> page_table_;
-  BufferPoolStats stats_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace segdiff

@@ -95,6 +95,37 @@ Status HeapFile::Scan(const ScanFn& fn) const {
   return Status::OK();
 }
 
+Result<std::vector<PageId>> HeapFile::CollectPageIds() const {
+  std::vector<PageId> pages;
+  pages.reserve(meta_.page_count);
+  PageId current = meta_.first_page;
+  while (current != kInvalidPageId) {
+    pages.push_back(current);
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    current = PageNext(page.data());
+  }
+  return pages;
+}
+
+Status HeapFile::ScanPages(const std::vector<PageId>& pages,
+                           const ScanFn& fn) const {
+  bool keep_going = true;
+  for (const PageId id : pages) {
+    if (!keep_going) {
+      break;
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id));
+    const uint16_t count = PageCount(page.data());
+    const char* base = page.data() + kHeaderBytes;
+    for (uint16_t slot = 0; slot < count && keep_going; ++slot) {
+      SEGDIFF_RETURN_IF_ERROR(
+          fn(base + static_cast<size_t>(slot) * record_bytes_,
+             RecordId{id, slot}, &keep_going));
+    }
+  }
+  return Status::OK();
+}
+
 Status HeapFile::ReadRecord(RecordId id, char* buf) const {
   SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id.page));
   const uint16_t count = PageCount(page.data());

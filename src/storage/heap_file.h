@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "storage/buffer_pool.h"
@@ -53,6 +54,15 @@ class HeapFile {
 
   /// Copies the record at `id` into `buf` (record_bytes bytes).
   Status ReadRecord(RecordId id, char* buf) const;
+
+  /// Page ids of the chain in storage order, by walking the next
+  /// pointers. The walk touches every page header (one pool fetch per
+  /// page), so callers partitioning a scan should reuse the result.
+  Result<std::vector<PageId>> CollectPageIds() const;
+
+  /// Scans only `pages` (typically one partition of CollectPageIds()),
+  /// in the given order. `keep_going = false` stops this partition.
+  Status ScanPages(const std::vector<PageId>& pages, const ScanFn& fn) const;
 
   const HeapFileMeta& meta() const { return meta_; }
   size_t record_bytes() const { return record_bytes_; }

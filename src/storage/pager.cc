@@ -100,13 +100,15 @@ void Pager::SetSimulatedReadLatency(uint64_t seq_ns, uint64_t random_ns) {
 }
 
 Status Pager::ReadPage(PageId id, char* buf) {
-  if (id >= page_count_) {
+  if (id >= page_count_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("read past end of file: page " +
                                    std::to_string(id));
   }
   if (sim_seq_read_ns_ != 0 || sim_random_read_ns_ != 0) {
-    const bool sequential =
-        last_read_page_ != kInvalidPageId && id == last_read_page_ + 1;
+    // With concurrent readers the "previous read" is whichever thread
+    // read last — exactly how a shared disk head behaves.
+    const PageId prev = last_read_page_.load(std::memory_order_relaxed);
+    const bool sequential = prev != kInvalidPageId && id == prev + 1;
     const uint64_t ns = sequential ? sim_seq_read_ns_ : sim_random_read_ns_;
     if (ns >= 100000) {
       const timespec delay{static_cast<time_t>(ns / 1000000000ull),
@@ -120,7 +122,7 @@ Status Pager::ReadPage(PageId id, char* buf) {
       }
     }
   }
-  last_read_page_ = id;
+  last_read_page_.store(id, std::memory_order_relaxed);
   const ssize_t got =
       ::pread(fd_, buf, kPageSize, static_cast<off_t>(id * kPageSize));
   if (got != static_cast<ssize_t>(kPageSize)) {
@@ -130,7 +132,7 @@ Status Pager::ReadPage(PageId id, char* buf) {
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
-  if (id >= page_count_) {
+  if (id >= page_count_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("write past end of file: page " +
                                    std::to_string(id));
   }
@@ -148,14 +150,15 @@ Result<PageId> Pager::AllocateExtent(size_t n) {
   if (n == 0) {
     return Status::InvalidArgument("empty extent");
   }
-  const PageId id = page_count_;
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const PageId id = page_count_.load(std::memory_order_relaxed);
   std::vector<char> zero(n * kPageSize, 0);
   const ssize_t put = ::pwrite(fd_, zero.data(), zero.size(),
                                static_cast<off_t>(id * kPageSize));
   if (put != static_cast<ssize_t>(zero.size())) {
     return Errno("pwrite (allocate)", path_);
   }
-  page_count_ += n;
+  page_count_.store(id + n, std::memory_order_release);
   return id;
 }
 
@@ -164,7 +167,7 @@ Status Pager::WriteHeader() {
   std::memset(header, 0, sizeof(header));
   EncodeFixed32(header, kFileMagic);
   EncodeFixed32(header + 4, kFileVersion);
-  EncodeFixed64(header + 8, page_count_);
+  EncodeFixed64(header + 8, page_count_.load());
   const ssize_t put = ::pwrite(fd_, header, kPageSize, 0);
   if (put != static_cast<ssize_t>(kPageSize)) {
     return Errno("pwrite (header)", path_);

@@ -7,7 +7,9 @@
 #ifndef SEGDIFF_STORAGE_PAGER_H_
 #define SEGDIFF_STORAGE_PAGER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/result.h"
@@ -16,6 +18,9 @@
 namespace segdiff {
 
 /// Owns the database file descriptor and the page allocation counter.
+/// Concurrent ReadPage/WritePage calls are safe (pread/pwrite share no
+/// seek state); allocation and header writes serialize on an internal
+/// mutex.
 class Pager {
  public:
   /// Opens (or creates, when `create` is true and the file is missing) a
@@ -52,10 +57,10 @@ class Pager {
   Result<PageId> AllocateExtent(size_t n);
 
   /// Pages in the file, including header.
-  uint64_t page_count() const { return page_count_; }
+  uint64_t page_count() const { return page_count_.load(); }
 
   /// Bytes on disk (page_count * kPageSize).
-  uint64_t FileSizeBytes() const { return page_count_ * kPageSize; }
+  uint64_t FileSizeBytes() const { return page_count_.load() * kPageSize; }
 
   /// Persists the header (page count) and fsyncs.
   Status Sync();
@@ -70,10 +75,11 @@ class Pager {
 
   std::string path_;
   int fd_ = -1;
-  uint64_t page_count_ = 0;
+  std::atomic<uint64_t> page_count_{0};
   uint64_t sim_seq_read_ns_ = 0;
   uint64_t sim_random_read_ns_ = 0;
-  PageId last_read_page_ = kInvalidPageId;
+  std::atomic<PageId> last_read_page_{kInvalidPageId};
+  std::mutex alloc_mu_;  ///< guards file extension + header writes
 };
 
 }  // namespace segdiff

@@ -74,6 +74,15 @@ Status Table::Scan(const HeapFile::ScanFn& fn) const {
   return heap_->Scan(fn);
 }
 
+Result<std::vector<PageId>> Table::HeapPageIds() const {
+  return heap_->CollectPageIds();
+}
+
+Status Table::ScanPages(const std::vector<PageId>& pages,
+                        const HeapFile::ScanFn& fn) const {
+  return heap_->ScanPages(pages, fn);
+}
+
 Result<Row> Table::ReadRow(RecordId id) const {
   std::vector<char> buf(schema_.RowBytes());
   SEGDIFF_RETURN_IF_ERROR(heap_->ReadRecord(id, buf.data()));

@@ -49,6 +49,13 @@ class Table {
   /// Raw scan over encoded records (see HeapFile::Scan).
   Status Scan(const HeapFile::ScanFn& fn) const;
 
+  /// Heap page ids in storage order (for partitioned parallel scans).
+  Result<std::vector<PageId>> HeapPageIds() const;
+
+  /// Raw scan restricted to the given heap pages.
+  Status ScanPages(const std::vector<PageId>& pages,
+                   const HeapFile::ScanFn& fn) const;
+
   /// Materializes the row at `id`.
   Result<Row> ReadRow(RecordId id) const;
 

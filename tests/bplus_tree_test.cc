@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/random.h"
 #include "index/bplus_tree.h"
 #include "storage/pager.h"
@@ -24,7 +26,7 @@ RefKey ToRef(const IndexKey& key) {
 class BPlusTreeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_bptree_test.db";
+    path_ = UniqueTestPath("segdiff_bptree");
     std::remove(path_.c_str());
     auto pager = Pager::Open(path_, true);
     ASSERT_TRUE(pager.ok());

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "segdiff/episodes.h"
 #include "segdiff/segdiff_index.h"
 #include "segdiff/verify.h"
@@ -106,7 +108,7 @@ TEST(RefineTest, EndToEndDrillDown) {
   gen.cad_events_per_day = 1.0;
   auto data = GenerateCadSeries(gen);
   ASSERT_TRUE(data.ok());
-  const std::string path = testing::TempDir() + "/segdiff_episodes_e2e.db";
+  const std::string path = UniqueTestPath("segdiff_episodes_e2e");
   std::remove(path.c_str());
   SegDiffOptions options;
   options.window_s = 4 * 3600.0;

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "segdiff/exh_index.h"
 #include "segdiff/naive.h"
 #include "ts/generator.h"
@@ -16,7 +18,7 @@ namespace {
 class ExhTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_exh_test.db";
+    path_ = UniqueTestPath("segdiff_exh");
     std::remove(path_.c_str());
     CadGeneratorOptions gen;
     gen.num_days = 2;
@@ -120,6 +122,54 @@ TEST_F(ExhTest, Validation) {
   SearchOptions automatic;
   automatic.mode = QueryMode::kAuto;
   EXPECT_TRUE((*exh)->SearchDrops(600, -1.0, automatic).ok());
+}
+
+TEST_F(ExhTest, ChunkedIngestMatchesOneShot) {
+  // Regression: the pair window used to reset on every IngestSeries
+  // call, silently dropping every pair that straddles a chunk boundary.
+  ExhOptions options;
+  options.window_s = 3600.0;
+  auto whole = ExhIndex::Open(path_, options);
+  ASSERT_TRUE(whole.ok());
+  ASSERT_TRUE((*whole)->IngestSeries(series_).ok());
+
+  const std::string chunked_path =
+      UniqueTestPath("segdiff_exh_chunked");
+  std::remove(chunked_path.c_str());
+  auto chunked = ExhIndex::Open(chunked_path, options);
+  ASSERT_TRUE(chunked.ok());
+  // Uneven chunks, including a chunk much shorter than the window.
+  const size_t cuts[] = {3, series_.size() / 3, series_.size() / 3 + 5,
+                         series_.size()};
+  size_t start = 0;
+  for (const size_t end : cuts) {
+    Series chunk;
+    for (size_t i = start; i < end; ++i) {
+      ASSERT_TRUE(chunk.Append(series_[i]).ok());
+    }
+    ASSERT_TRUE((*chunked)->IngestSeries(chunk).ok());
+    start = end;
+  }
+
+  EXPECT_EQ((*chunked)->GetSizes().feature_rows,
+            (*whole)->GetSizes().feature_rows);
+  auto a = (*whole)->SearchDrops(1800.0, -2.0);
+  auto b = (*chunked)->SearchDrops(1800.0, -2.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].t_start, (*b)[i].t_start);
+    EXPECT_DOUBLE_EQ((*a)[i].t_end, (*b)[i].t_end);
+    EXPECT_DOUBLE_EQ((*a)[i].dv, (*b)[i].dv);
+  }
+
+  // Re-sending an already-ingested timestamp is rejected, not silently
+  // double-counted.
+  Series stale;
+  ASSERT_TRUE(stale.Append(series_[series_.size() - 1]).ok());
+  EXPECT_TRUE((*chunked)->IngestSeries(stale).IsInvalidArgument());
+  std::remove(chunked_path.c_str());
 }
 
 TEST_F(ExhTest, ColdCachePreservesResults) {

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "query/predicate.h"
 #include "segdiff/episodes.h"
 #include "segdiff/naive.h"
@@ -25,8 +27,8 @@ namespace {
 class IntegrationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_integration.db";
-    compact_path_ = testing::TempDir() + "/segdiff_integration_compact.db";
+    path_ = UniqueTestPath("segdiff_integration");
+    compact_path_ = UniqueTestPath("segdiff_integration_compact");
     std::remove(path_.c_str());
     std::remove(compact_path_.c_str());
   }

@@ -1,0 +1,218 @@
+// Parallel == serial, bit for bit: SearchDrops/SearchJumps with
+// num_threads = 4 must return byte-identical (sorted, deduplicated)
+// results AND identical SearchStats across every query mode, for both
+// the SegDiff index and the Exh baseline. Also covers the raw
+// ParallelSeqScan executor against its serial counterpart.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_paths.h"
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "query/executor.h"
+#include "query/predicate.h"
+#include "segdiff/exh_index.h"
+#include "segdiff/segdiff_index.h"
+#include "storage/db.h"
+#include "storage/record.h"
+#include "ts/generator.h"
+
+namespace segdiff {
+namespace {
+
+void ExpectSameStats(const SearchStats& serial, const SearchStats& parallel) {
+  EXPECT_EQ(serial.scan.rows_scanned, parallel.scan.rows_scanned);
+  EXPECT_EQ(serial.scan.index_entries_scanned,
+            parallel.scan.index_entries_scanned);
+  EXPECT_EQ(serial.queries_issued, parallel.queries_issued);
+  EXPECT_EQ(serial.pairs_returned, parallel.pairs_returned);
+}
+
+class ParallelQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = UniqueTestPath("segdiff_parallel_query");
+    std::remove(path_.c_str());
+    CadGeneratorOptions gen;
+    gen.num_days = 4;
+    gen.cad_events_per_day = 2.0;
+    auto data = GenerateCadSeries(gen);
+    ASSERT_TRUE(data.ok());
+    series_ = std::move(data->series);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  Series series_;
+};
+
+TEST_F(ParallelQueryTest, SegDiffParallelMatchesSerialAcrossModes) {
+  SegDiffOptions options;
+  options.eps = 0.2;
+  options.window_s = 4 * 3600.0;
+  auto index = SegDiffIndex::Open(path_, options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_TRUE((*index)->IngestSeries(series_).ok());
+
+  struct ModeCase {
+    const char* name;
+    QueryMode mode;
+    bool fused;
+  };
+  const ModeCase cases[] = {
+      {"seq", QueryMode::kSeqScan, false},
+      {"fused", QueryMode::kSeqScan, true},
+      {"index", QueryMode::kIndexScan, false},
+      {"auto", QueryMode::kAuto, false},
+  };
+  const double T = 3600.0;
+  for (const ModeCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    SearchOptions serial;
+    serial.mode = c.mode;
+    serial.fused_scan = c.fused;
+    serial.num_threads = 0;
+    SearchOptions parallel = serial;
+    parallel.num_threads = 4;
+
+    for (const double V : {-1.0, -3.0}) {
+      SearchStats serial_stats, parallel_stats;
+      auto a = (*index)->SearchDrops(T, V, serial, &serial_stats);
+      auto b = (*index)->SearchDrops(T, V, parallel, &parallel_stats);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      EXPECT_FALSE(a->empty());  // the workload must exercise the path
+      EXPECT_EQ(*a, *b);
+      ExpectSameStats(serial_stats, parallel_stats);
+    }
+    {
+      SearchStats serial_stats, parallel_stats;
+      auto a = (*index)->SearchJumps(T, 1.0, serial, &serial_stats);
+      auto b = (*index)->SearchJumps(T, 1.0, parallel, &parallel_stats);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b);
+      ExpectSameStats(serial_stats, parallel_stats);
+    }
+  }
+}
+
+TEST_F(ParallelQueryTest, SegDiffThreadCountsAgree) {
+  // 2, 4, and 8 threads all reduce to the same answer, repeatedly (the
+  // repetition shakes out scheduling-dependent merges).
+  SegDiffOptions options;
+  options.window_s = 4 * 3600.0;
+  auto index = SegDiffIndex::Open(path_, options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE((*index)->IngestSeries(series_).ok());
+  SearchOptions serial;
+  serial.mode = QueryMode::kSeqScan;
+  auto expected = (*index)->SearchDrops(3600.0, -2.0, serial);
+  ASSERT_TRUE(expected.ok());
+  for (const size_t threads : {2u, 4u, 8u}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      SearchOptions parallel;
+      parallel.mode = QueryMode::kSeqScan;
+      parallel.num_threads = threads;
+      auto got = (*index)->SearchDrops(3600.0, -2.0, parallel);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*expected, *got) << threads << " threads, rep " << rep;
+    }
+  }
+}
+
+TEST_F(ParallelQueryTest, ExhParallelMatchesSerial) {
+  ExhOptions options;
+  options.window_s = 2 * 3600.0;
+  auto exh = ExhIndex::Open(path_, options);
+  ASSERT_TRUE(exh.ok());
+  ASSERT_TRUE((*exh)->IngestSeries(series_).ok());
+  SearchOptions serial;
+  serial.mode = QueryMode::kSeqScan;
+  SearchOptions parallel = serial;
+  parallel.num_threads = 4;
+  SearchStats serial_stats, parallel_stats;
+  auto a = (*exh)->SearchDrops(3600.0, -2.0, serial, &serial_stats);
+  auto b = (*exh)->SearchDrops(3600.0, -2.0, parallel, &parallel_stats);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->empty());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*a)[i].t_start, (*b)[i].t_start);
+    EXPECT_DOUBLE_EQ((*a)[i].t_end, (*b)[i].t_end);
+    EXPECT_DOUBLE_EQ((*a)[i].dv, (*b)[i].dv);
+  }
+  ExpectSameStats(serial_stats, parallel_stats);
+}
+
+TEST(ParallelSeqScanTest, MatchesSerialSeqScan) {
+  const std::string path =
+      UniqueTestPath("segdiff_parallel_scan");
+  std::remove(path.c_str());
+  auto db = Database::Open(path, DatabaseOptions{});
+  ASSERT_TRUE(db.ok());
+  auto schema = DoubleSchema({"dt", "dv"});
+  ASSERT_TRUE(schema.ok());
+  auto table = (*db)->CreateTable("f", *schema);
+  ASSERT_TRUE(table.ok());
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_TRUE(
+        (*table)
+            ->InsertDoubles({rng.Uniform(0, 100), rng.Uniform(-10, 10)})
+            .ok());
+  }
+  Predicate predicate;
+  predicate.And(0, CmpOp::kLe, 50.0);
+  predicate.And(1, CmpOp::kLe, 0.0);
+
+  std::vector<std::pair<double, double>> serial_rows;
+  ScanStats serial_stats;
+  ASSERT_TRUE(SeqScan(**table, predicate,
+                      [&](const char* record, RecordId) {
+                        serial_rows.emplace_back(DecodeDoubleColumn(record, 0),
+                                                 DecodeDoubleColumn(record, 1));
+                        return Status::OK();
+                      },
+                      &serial_stats)
+                  .ok());
+  ASSERT_FALSE(serial_rows.empty());
+
+  ThreadPool pool(3);
+  for (const size_t partitions : {1u, 2u, 4u, 7u}) {
+    std::vector<std::vector<std::pair<double, double>>> outs(partitions);
+    ScanStats parallel_stats;
+    ASSERT_TRUE(ParallelSeqScan(
+                    **table, predicate, &pool, partitions,
+                    [&outs](size_t p) -> RowCallback {
+                      auto* sink = &outs[p];
+                      return [sink](const char* record, RecordId) {
+                        sink->emplace_back(DecodeDoubleColumn(record, 0),
+                                           DecodeDoubleColumn(record, 1));
+                        return Status::OK();
+                      };
+                    },
+                    &parallel_stats)
+                    .ok());
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& part : outs) {
+      merged.insert(merged.end(), part.begin(), part.end());
+    }
+    // Partitions preserve heap order within themselves and are merged
+    // in page order, so the concatenation equals the serial scan.
+    EXPECT_EQ(merged, serial_rows) << partitions << " partitions";
+    EXPECT_EQ(parallel_stats.rows_scanned, serial_stats.rows_scanned);
+  }
+  db->reset();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace segdiff

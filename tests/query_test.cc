@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/coding.h"
 #include "common/random.h"
 #include "query/executor.h"
@@ -21,7 +23,7 @@ namespace {
 class QueryTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_query_test.db";
+    path_ = UniqueTestPath("segdiff_query");
     std::remove(path_.c_str());
     auto db = Database::Open(path_, DatabaseOptions{});
     ASSERT_TRUE(db.ok());

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "segdiff/segdiff_index.h"
 #include "ts/generator.h"
 
@@ -15,7 +17,7 @@ namespace {
 class SegDiffIndexTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_index_test.db";
+    path_ = UniqueTestPath("segdiff_index");
     std::remove(path_.c_str());
     CadGeneratorOptions gen;
     gen.num_days = 5;

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/random.h"
 #include "sql/engine.h"
 
@@ -110,7 +112,7 @@ RandomQuery MakeQuery(Rng* rng) {
 
 TEST(SqlDifferentialTest, RandomQueriesMatchReference) {
   const std::string path =
-      testing::TempDir() + "/segdiff_sql_differential.db";
+      UniqueTestPath("segdiff_sql_differential");
   std::remove(path.c_str());
   auto db = Database::Open(path, DatabaseOptions{});
   ASSERT_TRUE(db.ok());

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/random.h"
 #include "sql/engine.h"
 #include "sql/lexer.h"
@@ -123,7 +125,7 @@ TEST(ParserTest, Errors) {
 class EngineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_sql_test.db";
+    path_ = UniqueTestPath("segdiff_sql");
     std::remove(path_.c_str());
     auto db = Database::Open(path_, DatabaseOptions{});
     ASSERT_TRUE(db.ok());

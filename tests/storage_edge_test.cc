@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/coding.h"
 #include "common/random.h"
 #include "index/bplus_tree.h"
@@ -36,7 +38,7 @@ TEST(CodingTest, RoundTrips) {
 class StorageEdgeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_storage_edge.db";
+    path_ = UniqueTestPath("segdiff_storage_edge");
     std::remove(path_.c_str());
     auto pager = Pager::Open(path_, true);
     ASSERT_TRUE(pager.ok());

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/random.h"
 #include "storage/buffer_pool.h"
 #include "storage/db.h"
@@ -19,7 +21,7 @@ namespace {
 class StorageTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_storage_test.db";
+    path_ = UniqueTestPath("segdiff_storage");
     std::remove(path_.c_str());
   }
   void TearDown() override { std::remove(path_.c_str()); }
@@ -473,7 +475,7 @@ TEST_F(StorageTest, InMemoryDatabase) {
 
 TEST_F(StorageTest, CompactReclaimsDeleteGarbage) {
   const std::string compact_path =
-      testing::TempDir() + "/segdiff_storage_compact.db";
+      UniqueTestPath("segdiff_storage_compact");
   std::remove(compact_path.c_str());
   {
     auto db = Database::Open(path_, DatabaseOptions{});

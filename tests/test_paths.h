@@ -1,0 +1,35 @@
+// Unique temp paths for test databases.
+//
+// gtest_discover_tests runs every TEST as its own ctest job, so under
+// `ctest -j` two tests of the same fixture execute concurrently in
+// separate processes. A fixed per-fixture file name makes them clobber
+// each other's database mid-run; deriving the path from the running
+// test's full name keeps parallel jobs disjoint.
+
+#ifndef SEGDIFF_TESTS_TEST_PATHS_H_
+#define SEGDIFF_TESTS_TEST_PATHS_H_
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace segdiff {
+
+/// "<TempDir>/<stem>_<SuiteName>_<TestName><suffix>", sanitized. Must be
+/// called on a test thread (uses the current test's name).
+inline std::string UniqueTestPath(const std::string& stem,
+                                  const std::string& suffix = ".db") {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string name = std::string(info->test_suite_name()) + "_" + info->name();
+  for (char& c : name) {
+    if (c == '/' || c == '.') {
+      c = '_';
+    }
+  }
+  return testing::TempDir() + "/" + stem + "_" + name + suffix;
+}
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_TESTS_TEST_PATHS_H_

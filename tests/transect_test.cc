@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "common/stopwatch.h"
 #include "segdiff/transect_index.h"
 #include "storage/extent.h"
@@ -18,7 +20,7 @@ namespace {
 class TransectTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = testing::TempDir() + "/segdiff_transect_test";
+    dir_ = UniqueTestPath("segdiff_transect", "");
     Cleanup();
   }
   void TearDown() override { Cleanup(); }
@@ -125,7 +127,7 @@ TEST_F(TransectTest, Validation) {
 class ExtentTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = testing::TempDir() + "/segdiff_extent_test.db";
+    path_ = UniqueTestPath("segdiff_extent");
     std::remove(path_.c_str());
     auto pager = Pager::Open(path_, true);
     ASSERT_TRUE(pager.ok());

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_paths.h"
+
 #include "ts/interpolate.h"
 #include "ts/io.h"
 #include "ts/series.h"
@@ -134,8 +136,8 @@ class IoTest : public ::testing::Test {
     std::remove(csv_path_.c_str());
     std::remove(bin_path_.c_str());
   }
-  std::string csv_path_ = testing::TempDir() + "/segdiff_io_test.csv";
-  std::string bin_path_ = testing::TempDir() + "/segdiff_io_test.bin";
+  std::string csv_path_ = UniqueTestPath("segdiff_io", ".csv");
+  std::string bin_path_ = UniqueTestPath("segdiff_io", ".bin");
 };
 
 TEST_F(IoTest, CsvRoundTrip) {
