@@ -1,0 +1,163 @@
+// Ingest throughput: observations/second through the streaming pipeline
+// (segmentation + Algorithm 1 + feature-table inserts), measured three
+// ways:
+//   batch       one IngestSeries call over the whole series
+//   streaming   one AppendObservation call per observation + final flush
+//   transect/N  one series per sensor, ingested concurrently on N threads
+// The batch-vs-streaming delta is the per-call overhead of the unified
+// observation-at-a-time path (the two produce byte-identical stores);
+// the transect rows show per-sensor ingest parallelism.
+//
+// Results additionally land in BENCH_ingest.json.
+
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchutil/report.h"
+#include "benchutil/workload.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "segdiff/segdiff_index.h"
+#include "segdiff/transect_index.h"
+
+namespace segdiff {
+namespace {
+
+constexpr size_t kTransectThreads[] = {1, 2, 4, 8};
+constexpr int kTransectSensors = 8;
+
+SegDiffOptions StoreOptions() {
+  SegDiffOptions options;
+  options.eps = PaperDefaults::kEps;
+  options.window_s = PaperDefaults::kWindowS;
+  options.buffer_pool_pages = 32768;
+  return options;
+}
+
+int RunBench() {
+  WorkloadConfig config = WorkloadConfig::FromEnv();
+  auto series_or = MakeSmoothedBenchSeries(config);
+  SEGDIFF_CHECK(series_or.ok()) << series_or.status().ToString();
+  const Series& series = *series_or;
+  std::cout << "workload: " << series.size() << " observations ("
+            << config.num_days << " days at " << config.sample_interval_s
+            << " s), eps=" << PaperDefaults::kEps << "\n";
+
+  PrintBanner(std::cout, "Ingest throughput: batch vs streaming vs "
+                         "concurrent transect");
+  TablePrinter table({"shape", "threads", "wall ms", "obs/s", "segments",
+                      "feature rows"});
+  JsonValue results = JsonValue::Array();
+
+  auto add_row = [&](const std::string& shape, size_t threads,
+                     double seconds, uint64_t observations,
+                     uint64_t segments, uint64_t rows) {
+    const double obs_per_s =
+        seconds > 0.0 ? static_cast<double>(observations) / seconds : 0.0;
+    table.AddRow({shape, std::to_string(threads), Fmt(seconds * 1e3, 1),
+                  Fmt(obs_per_s / 1e3, 1) + "K", std::to_string(segments),
+                  std::to_string(rows)});
+    JsonValue row = JsonValue::Object();
+    row.Set("shape", shape);
+    row.Set("threads", static_cast<int64_t>(threads));
+    row.Set("seconds", seconds);
+    row.Set("observations", static_cast<int64_t>(observations));
+    row.Set("obs_per_s", obs_per_s);
+    row.Set("segments", static_cast<int64_t>(segments));
+    row.Set("feature_rows", static_cast<int64_t>(rows));
+    results.Append(std::move(row));
+  };
+
+  {
+    const std::string path = BenchDbPath("ingest_batch");
+    auto store = SegDiffIndex::Open(path, StoreOptions());
+    SEGDIFF_CHECK(store.ok()) << store.status().ToString();
+    Stopwatch watch;
+    SEGDIFF_CHECK_OK((*store)->IngestSeries(series));
+    const double seconds = watch.ElapsedSeconds();
+    add_row("batch", 1, seconds, series.size(), (*store)->num_segments(),
+            (*store)->GetSizes().feature_rows);
+    store->reset();
+    RemoveBenchDb(path);
+  }
+
+  {
+    const std::string path = BenchDbPath("ingest_streaming");
+    auto store = SegDiffIndex::Open(path, StoreOptions());
+    SEGDIFF_CHECK(store.ok()) << store.status().ToString();
+    Stopwatch watch;
+    for (const Sample& sample : series) {
+      SEGDIFF_CHECK_OK((*store)->AppendObservation(sample.t, sample.v));
+    }
+    SEGDIFF_CHECK_OK((*store)->FlushPending());
+    const double seconds = watch.ElapsedSeconds();
+    add_row("streaming", 1, seconds, series.size(),
+            (*store)->num_segments(), (*store)->GetSizes().feature_rows);
+    store->reset();
+    RemoveBenchDb(path);
+  }
+
+  // Transect: same workload per sensor, scaled-down horizon so the
+  // serial baseline stays in seconds.
+  WorkloadConfig sensor_config = config;
+  sensor_config.num_days = std::max(2, config.num_days / 2);
+  std::vector<Series> all_series;
+  uint64_t transect_observations = 0;
+  for (int s = 0; s < kTransectSensors; ++s) {
+    WorkloadConfig one = sensor_config;
+    one.seed = sensor_config.seed + static_cast<uint64_t>(s);
+    auto sensor_series = MakeSmoothedBenchSeries(one);
+    SEGDIFF_CHECK(sensor_series.ok()) << sensor_series.status().ToString();
+    transect_observations += sensor_series->size();
+    all_series.push_back(std::move(sensor_series).value());
+  }
+  for (const size_t threads : kTransectThreads) {
+    const std::string dir =
+        BenchDbPath("ingest_transect_" + std::to_string(threads));
+    auto transect =
+        TransectIndex::Open(dir, kTransectSensors, StoreOptions());
+    SEGDIFF_CHECK(transect.ok()) << transect.status().ToString();
+    Stopwatch watch;
+    SEGDIFF_CHECK_OK((*transect)->IngestAllSensors(all_series, threads));
+    const double seconds = watch.ElapsedSeconds();
+    const TransectSizes sizes = (*transect)->GetSizes();
+    uint64_t segments = 0;
+    for (int s = 0; s < kTransectSensors; ++s) {
+      segments += (*(*transect)->sensor(s))->num_segments();
+    }
+    add_row("transect", threads, seconds, transect_observations, segments,
+            sizes.feature_rows);
+    transect->reset();
+    for (int s = 0; s < kTransectSensors; ++s) {
+      RemoveBenchDb(dir + "/sensor" + std::to_string(s) + ".db");
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "expected shape: streaming within ~10% of batch (same "
+               "pipeline, per-call overhead only); transect scales with "
+               "threads until storage inserts saturate.\n";
+
+  JsonValue root = JsonValue::Object();
+  root.Set("bench", "ingest");
+  root.Set("observations", static_cast<int64_t>(series.size()));
+  root.Set("transect_sensors", static_cast<int64_t>(kTransectSensors));
+  root.Set("transect_observations",
+           static_cast<int64_t>(transect_observations));
+  root.Set("hardware_threads",
+           static_cast<int64_t>(std::thread::hardware_concurrency()));
+  root.Set("results", std::move(results));
+  const std::string json_path = "BENCH_ingest.json";
+  if (WriteJsonFile(json_path, root)) {
+    std::cout << "wrote " << json_path << "\n";
+  } else {
+    std::cout << "failed to write " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace segdiff
+
+int main() { return segdiff::RunBench(); }

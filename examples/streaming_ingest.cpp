@@ -1,15 +1,18 @@
 // Streaming ingestion: the paper stresses that segmentation and
 // Algorithm 1 are both ONLINE, so features are queryable as soon as data
 // arrive ("no considerable delay for users to search new data"). This
-// example simulates a live sensor feed arriving in hourly batches,
-// appends each batch to the same SegDiff store, and runs the default
-// CAD query after every batch, reporting how result counts and store
-// size evolve.
+// example simulates a live sensor feed delivered one observation at a
+// time through AppendObservation, runs the default CAD query every six
+// simulated hours, and — halfway through the feed — closes the store and
+// reopens it to show that ingest state survives: the reopened store
+// resumes appending exactly where the old handle left off, with the open
+// segment, pair window, and build options restored from the file.
 //
 //   $ ./streaming_ingest [num_days]
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "segdiff/segdiff_index.h"
@@ -40,50 +43,67 @@ int main(int argc, char** argv) {
   segdiff::SegDiffOptions options;
   options.eps = 0.2;
   options.window_s = 8 * 3600.0;
-  auto store = segdiff::SegDiffIndex::Open(path, options);
-  if (!store.ok()) return Fail(store.status());
+  auto opened = segdiff::SegDiffIndex::Open(path, options);
+  if (!opened.ok()) return Fail(opened.status());
+  std::unique_ptr<segdiff::SegDiffIndex> store = std::move(opened).value();
 
-  // Deliver the feed in 6-hour batches, querying after each.
-  const double batch_span = 6 * 3600.0;
+  const double report_span = 6 * 3600.0;
   const double t0 = data->series.front().t;
-  double batch_end = t0 + batch_span;
-  segdiff::Series batch;
-  size_t delivered = 0;
+  const size_t half = data->series.size() / 2;
+  double next_report = t0 + report_span;
+  bool reopened = false;
   std::printf("\n%8s %10s %10s %12s %8s %10s\n", "hour", "samples",
               "segments", "feature rows", "periods", "query ms");
 
-  auto flush_batch = [&](double now_hours) -> int {
-    if (batch.size() < 2) {
-      return 0;
-    }
-    if (auto st = (*store)->IngestSeries(batch); !st.ok()) return Fail(st);
-    delivered += batch.size();
-    batch = segdiff::Series();
+  auto report = [&](double now_hours) -> int {
+    // Features of the open trailing segment are not searchable yet; the
+    // closed prefix is, with no batch boundary required.
     segdiff::SearchStats stats;
-    auto hits = (*store)->SearchDrops(3600.0, -3.0, {}, &stats);
+    auto hits = store->SearchDrops(3600.0, -3.0, {}, &stats);
     if (!hits.ok()) return Fail(hits.status());
-    const auto sizes = (*store)->GetSizes();
-    std::printf("%8.0f %10zu %10llu %12llu %8zu %10.2f\n", now_hours,
-                delivered,
-                static_cast<unsigned long long>((*store)->num_segments()),
+    const auto sizes = store->GetSizes();
+    std::printf("%8.0f %10llu %10llu %12llu %8zu %10.2f\n", now_hours,
+                static_cast<unsigned long long>(store->num_observations()),
+                static_cast<unsigned long long>(store->num_segments()),
                 static_cast<unsigned long long>(sizes.feature_rows),
                 hits->size(), stats.seconds * 1e3);
     return 0;
   };
 
-  for (const segdiff::Sample& sample : data->series) {
-    if (sample.t >= batch_end) {
-      if (int rc = flush_batch((batch_end - t0) / 3600.0); rc != 0) return rc;
-      while (sample.t >= batch_end) {
-        batch_end += batch_span;
-      }
+  for (size_t i = 0; i < data->series.size(); ++i) {
+    const segdiff::Sample& sample = data->series[i];
+    if (!reopened && i == half) {
+      // Simulate a collection-process restart: drop the handle (which
+      // persists the ingest state) and reopen. Build parameters are
+      // adopted from the store, so default options suffice.
+      store.reset();
+      segdiff::SegDiffOptions resume;
+      resume.create_if_missing = false;
+      auto back = segdiff::SegDiffIndex::Open(path, resume);
+      if (!back.ok()) return Fail(back.status());
+      store = std::move(back).value();
+      reopened = true;
+      std::printf("%8s reopened mid-stream: resuming at observation %llu "
+                  "(eps=%g adopted from the store)\n", "--",
+                  static_cast<unsigned long long>(store->num_observations()),
+                  store->options().eps);
     }
-    if (auto st = batch.Append(sample); !st.ok()) return Fail(st);
+    while (sample.t >= next_report) {
+      if (int rc = report((next_report - t0) / 3600.0); rc != 0) return rc;
+      next_report += report_span;
+    }
+    if (auto st = store->AppendObservation(sample.t, sample.v); !st.ok()) {
+      return Fail(st);
+    }
   }
-  if (int rc = flush_batch((batch_end - t0) / 3600.0); rc != 0) return rc;
+  // End of feed: finalize the open segment so the tail is searchable.
+  if (auto st = store->FlushPending(); !st.ok()) return Fail(st);
+  if (int rc = report((data->series.back().t - t0) / 3600.0); rc != 0) {
+    return rc;
+  }
 
-  if (auto st = (*store)->Checkpoint(); !st.ok()) return Fail(st);
-  std::printf("\nstore checkpointed at %s; reopen it read-only with the "
-              "same SegDiffOptions to keep querying.\n", path.c_str());
+  if (auto st = store->Checkpoint(); !st.ok()) return Fail(st);
+  std::printf("\nstore checkpointed at %s; reopen it to keep querying or "
+              "appending.\n", path.c_str());
   return 0;
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one command:
+#   1. configure + build + full ctest suite (the CI gate from ROADMAP.md)
+#   2. an AddressSanitizer build running the streaming-ingest and storage
+#      suites (the subsystems that serialize/restore raw state blobs)
+#
+# Usage: scripts/check_tier1.sh [--no-asan]
+# Exits non-zero on the first failing step.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_ASAN=1
+if [[ "${1:-}" == "--no-asan" ]]; then
+  RUN_ASAN=0
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${RUN_ASAN}" == "1" ]]; then
+  echo "== asan: configure + build (streaming + storage suites) =="
+  cmake -B build-asan -S . -DSEGDIFF_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" --target \
+    streaming_ingest_test storage_test segdiff_index_test
+  echo "== asan: run =="
+  (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
+    -R 'StreamingIngestTest|ExhStreamingTest|StorageTest|SegDiffIndexTest')
+fi
+
+echo "== check_tier1: all green =="

@@ -1,0 +1,91 @@
+// Bounds-checked byte-buffer serialization for small metadata blobs
+// (ingest state, catalog auxiliary payloads). Little endian, mirroring
+// the fixed-width helpers in common/coding.h.
+
+#ifndef SEGDIFF_COMMON_BYTES_H_
+#define SEGDIFF_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/result.h"
+
+namespace segdiff {
+
+/// Append-only builder for a serialized blob.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    char buf[4];
+    EncodeFixed32(buf, v);
+    out_.append(buf, 4);
+  }
+  void U64(uint64_t v) {
+    char buf[8];
+    EncodeFixed64(buf, v);
+    out_.append(buf, 8);
+  }
+  void F64(double v) {
+    char buf[8];
+    EncodeDouble(buf, v);
+    out_.append(buf, 8);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Sequential reader over a serialized blob; every read is bounds
+/// checked and fails with Corruption on truncation.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& blob)
+      : ByteReader(blob.data(), blob.size()) {}
+
+  Result<uint8_t> U8() {
+    SEGDIFF_RETURN_IF_ERROR(Need(1));
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    SEGDIFF_RETURN_IF_ERROR(Need(4));
+    const uint32_t v = DecodeFixed32(data_ + pos_);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    SEGDIFF_RETURN_IF_ERROR(Need(8));
+    const uint64_t v = DecodeFixed64(data_ + pos_);
+    pos_ += 8;
+    return v;
+  }
+  Result<double> F64() {
+    SEGDIFF_RETURN_IF_ERROR(Need(8));
+    const double v = DecodeDouble(data_ + pos_);
+    pos_ += 8;
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > size_) {
+      return Status::Corruption("serialized blob truncated");
+    }
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_BYTES_H_

@@ -1,6 +1,7 @@
 #include "feature/extractor.h"
 
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "feature/frontier.h"
@@ -95,6 +96,36 @@ Status FeatureExtractor::AddSegment(const DataSegment& segment) {
   }
 
   window_.push_back(segment);
+  return Status::OK();
+}
+
+ExtractorState FeatureExtractor::SaveState() const {
+  ExtractorState state;
+  state.window.assign(window_.begin(), window_.end());
+  state.last_end_t = last_end_t_;
+  state.has_last = has_last_;
+  state.stats = stats_;
+  return state;
+}
+
+Status FeatureExtractor::RestoreState(const ExtractorState& state) {
+  double prev_end = -std::numeric_limits<double>::infinity();
+  for (const DataSegment& segment : state.window) {
+    if (!(segment.start.t < segment.end.t) || segment.start.t < prev_end) {
+      return Status::InvalidArgument(
+          "extractor state window is not a temporal segment chain");
+    }
+    prev_end = segment.end.t;
+  }
+  if (state.has_last && !state.window.empty() &&
+      state.window.back().end.t > state.last_end_t) {
+    return Status::InvalidArgument(
+        "extractor state last_end_t precedes its window");
+  }
+  window_.assign(state.window.begin(), state.window.end());
+  last_end_t_ = state.last_end_t;
+  has_last_ = state.has_last;
+  stats_ = state.stats;
   return Status::OK();
 }
 

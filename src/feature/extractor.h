@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "common/result.h"
 #include "feature/schema.h"
@@ -44,6 +45,16 @@ struct ExtractorStats {
   uint64_t case_hist[7] = {0, 0, 0, 0, 0, 0, 0};
 };
 
+/// A snapshot of the extractor's pair window and counters, sufficient to
+/// resume extraction in a new instance (or a new process: SegDiffIndex
+/// serializes this into its store so reopened stores keep appending).
+struct ExtractorState {
+  std::vector<DataSegment> window;  ///< previous segments, oldest first
+  double last_end_t = 0.0;
+  bool has_last = false;
+  ExtractorStats stats;
+};
+
 /// Streaming extractor; emits feature rows through the sink in the order
 /// pairs are formed. Segments must arrive in temporal order and must not
 /// overlap (contiguous chains from the segmenter always qualify).
@@ -56,6 +67,13 @@ class FeatureExtractor {
 
   /// Processes one new data segment.
   Status AddSegment(const DataSegment& segment);
+
+  /// Snapshot of the pair window for later RestoreState.
+  ExtractorState SaveState() const;
+
+  /// Replaces the extractor's entire state with `state` (as produced by
+  /// SaveState, possibly in a previous process).
+  Status RestoreState(const ExtractorState& state);
 
   const ExtractorStats& stats() const { return stats_; }
 

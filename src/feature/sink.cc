@@ -1,0 +1,17 @@
+#include "feature/sink.h"
+
+namespace segdiff {
+
+Status FeatureSink::AppendSeries(const Series& series) {
+  for (const Sample& sample : series) {
+    SEGDIFF_RETURN_IF_ERROR(AppendObservation(sample.t, sample.v));
+  }
+  return Status::OK();
+}
+
+Status FeatureSink::IngestSeries(const Series& series) {
+  SEGDIFF_RETURN_IF_ERROR(AppendSeries(series));
+  return FlushPending();
+}
+
+}  // namespace segdiff

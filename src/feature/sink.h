@@ -1,0 +1,67 @@
+// FeatureSink: the unified observation-at-a-time ingest contract.
+//
+// Both index kinds (SegDiffIndex's segment -> feature pipeline and
+// ExhIndex's exhaustive pair table) ingest a live feed through the same
+// interface: one AppendObservation(t, v) call per arriving sample. The
+// pipeline is a pure function of the observation sequence, so any
+// chunking of the same feed — one observation at a time, arbitrary
+// chunks via AppendSeries, or whole series via IngestSeries — produces
+// byte-identical feature tables, provided pending state is flushed at
+// the same point.
+//
+//   AppendObservation   never forces a segment boundary; features for
+//                       the open trailing window become searchable only
+//                       once the window closes naturally or is flushed.
+//   FlushPending        finalizes the open trailing state so everything
+//                       appended so far is searchable. Appending may
+//                       continue afterwards; for SegDiff the next
+//                       segment is anchored at the flushed endpoint, so
+//                       the approximation stays contiguous.
+//   IngestSeries        batch convenience: AppendSeries + FlushPending,
+//                       preserving the historical one-shot contract.
+//
+// Implementations persist their pending state (open segment, pair
+// windows) into the store on Checkpoint/close, so a reopened store
+// resumes appending exactly where it left off.
+
+#ifndef SEGDIFF_FEATURE_SINK_H_
+#define SEGDIFF_FEATURE_SINK_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "ts/series.h"
+
+namespace segdiff {
+
+class FeatureSink {
+ public:
+  virtual ~FeatureSink() = default;
+
+  /// Feeds the next observation; time stamps must be strictly increasing
+  /// across the entire lifetime of the store (including across reopens).
+  virtual Status AppendObservation(double t, double v) = 0;
+
+  /// AppendObservation, for callers holding a Sample.
+  Status AppendSample(const Sample& sample) {
+    return AppendObservation(sample.t, sample.v);
+  }
+
+  /// Streams every sample of `series` through AppendObservation without
+  /// flushing: the natural call for one chunk of a continuing feed.
+  virtual Status AppendSeries(const Series& series);
+
+  /// Finalizes pending ingest state (e.g. the open trailing segment) so
+  /// all appended data is searchable. Idempotent; appending may resume.
+  virtual Status FlushPending() = 0;
+
+  /// Batch ingest: AppendSeries + FlushPending.
+  virtual Status IngestSeries(const Series& series);
+
+  /// Observations consumed over the store's lifetime.
+  virtual uint64_t num_observations() const = 0;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_FEATURE_SINK_H_

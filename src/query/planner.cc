@@ -14,13 +14,25 @@ PlanChoice ChooseAccessPath(uint64_t row_count, double leading_lo,
     choice.estimated_selectivity = 1.0;
     return choice;
   }
+  // Untrustworthy statistics — an inverted range (stats never collected,
+  // or collected from conflicting snapshots) or any NaN — must not flow
+  // into the selectivity arithmetic below: a NaN fails every comparison
+  // and would fall through to the degenerate branch, where
+  // `query_hi >= leading_lo` being false yields selectivity 0 and wrongly
+  // picks the index for what may be the whole table. Fall back to the
+  // always-correct sequential scan instead.
+  if (!(leading_lo <= leading_hi) || !(query_hi == query_hi)) {
+    choice.path = AccessPath::kSeqScan;
+    choice.estimated_selectivity = 1.0;
+    return choice;
+  }
   double selectivity = 1.0;
   if (leading_hi > leading_lo) {
     selectivity = (query_hi - leading_lo) / (leading_hi - leading_lo);
     selectivity = std::clamp(selectivity, 0.0, 1.0);
   } else {
-    // Degenerate column: a single distinct value; range either covers it
-    // entirely or not at all.
+    // Degenerate zero-width column: a single distinct value; the range
+    // either covers it entirely or not at all.
     selectivity = query_hi >= leading_lo ? 1.0 : 0.0;
   }
   choice.estimated_selectivity = selectivity;

@@ -29,6 +29,9 @@ struct PlannerOptions {
 /// `leading_lo`/`leading_hi`: observed min/max of the leading index
 /// column; `query_hi`: the query's upper bound on that column (range
 /// [leading_lo, query_hi]). Index must exist for kIndexScan to be chosen.
+/// Malformed statistics (inverted range, NaN anywhere) fall back to a
+/// sequential scan; a zero-width range (single distinct value) is legal
+/// and treated as all-or-nothing.
 PlanChoice ChooseAccessPath(uint64_t row_count, double leading_lo,
                             double leading_hi, double query_hi,
                             bool index_available,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/bytes.h"
 #include "common/stopwatch.h"
 #include "query/predicate.h"
 
@@ -10,6 +11,11 @@ namespace segdiff {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Catalog meta blob holding the resumable ingest state.
+constexpr char kIngestStateKey[] = "exh.ingest";
+constexpr uint32_t kIngestStateMagic = 0x4558494E;  // "EXIN"
+constexpr uint32_t kIngestStateVersion = 1;
 
 }  // namespace
 
@@ -37,31 +43,77 @@ Result<std::unique_ptr<ExhIndex>> ExhIndex::Open(const std::string& path,
     }
   } else {
     SEGDIFF_ASSIGN_OR_RETURN(index->table_, index->db_->GetTable("exh"));
+    index->options_.build_index = !index->table_->indexes().empty();
   }
+  SEGDIFF_RETURN_IF_ERROR(index->RestoreIngestState());
   return index;
 }
 
-Status ExhIndex::IngestSeries(const Series& series) {
-  // window_ persists across calls: a chunk boundary must not lose the
-  // pairs between a chunk's tail and the next chunk's head.
-  for (const Sample& sample : series) {
+ExhIndex::~ExhIndex() {
+  if (db_ != nullptr) {
+    SaveIngestState();  // db_'s destructor checkpoints the catalog
+  }
+}
+
+Status ExhIndex::AppendObservation(double t, double v) {
+  // window_ persists across calls (and reopens): an append boundary must
+  // not lose the pairs between the retained tail and this observation.
+  if (!window_.empty() && t <= window_.back().t) {
+    return Status::InvalidArgument(
+        "chunked ingest requires strictly increasing time stamps");
+  }
+  while (!window_.empty() && t - window_.front().t > options_.window_s) {
+    window_.pop_front();
+  }
+  for (const Sample& earlier : window_) {
+    SEGDIFF_RETURN_IF_ERROR(
+        table_->InsertDoubles({t - earlier.t, v - earlier.v, earlier.t})
+            .status());
+  }
+  window_.push_back(Sample{t, v});
+  ++observations_;
+  return Status::OK();
+}
+
+void ExhIndex::SaveIngestState() {
+  ByteWriter w;
+  w.U32(kIngestStateMagic);
+  w.U32(kIngestStateVersion);
+  w.F64(options_.window_s);
+  w.U64(observations_);
+  w.U32(static_cast<uint32_t>(window_.size()));
+  for (const Sample& sample : window_) {
+    w.F64(sample.t);
+    w.F64(sample.v);
+  }
+  db_->PutMeta(kIngestStateKey, w.Take());
+}
+
+Status ExhIndex::RestoreIngestState() {
+  auto blob = db_->GetMeta(kIngestStateKey);
+  if (!blob.ok()) {
+    // Legacy or fresh store: appends start with an empty window.
+    return blob.status().IsNotFound() ? Status::OK() : blob.status();
+  }
+  ByteReader r(*blob);
+  SEGDIFF_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  SEGDIFF_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (magic != kIngestStateMagic || version != kIngestStateVersion) {
+    return Status::Corruption("bad exh ingest-state blob");
+  }
+  // The window length is a property of the store, not of this Open call.
+  SEGDIFF_ASSIGN_OR_RETURN(options_.window_s, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(observations_, r.U64());
+  SEGDIFF_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  window_.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    Sample sample;
+    SEGDIFF_ASSIGN_OR_RETURN(sample.t, r.F64());
+    SEGDIFF_ASSIGN_OR_RETURN(sample.v, r.F64());
     if (!window_.empty() && sample.t <= window_.back().t) {
-      return Status::InvalidArgument(
-          "chunked ingest requires strictly increasing time stamps");
-    }
-    while (!window_.empty() &&
-           sample.t - window_.front().t > options_.window_s) {
-      window_.pop_front();
-    }
-    for (const Sample& earlier : window_) {
-      SEGDIFF_RETURN_IF_ERROR(
-          table_
-              ->InsertDoubles(
-                  {sample.t - earlier.t, sample.v - earlier.v, earlier.t})
-              .status());
+      return Status::Corruption("exh ingest-state window out of order");
     }
     window_.push_back(sample);
-    ++observations_;
   }
   return Status::OK();
 }
@@ -177,9 +229,15 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
   return events;
 }
 
-Status ExhIndex::Checkpoint() { return db_->Checkpoint(); }
+Status ExhIndex::Checkpoint() {
+  SaveIngestState();
+  return db_->Checkpoint();
+}
 
-Status ExhIndex::DropCaches() { return db_->DropCaches(); }
+Status ExhIndex::DropCaches() {
+  SaveIngestState();
+  return db_->DropCaches();
+}
 
 ExhSizes ExhIndex::GetSizes() const {
   ExhSizes sizes;

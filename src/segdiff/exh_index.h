@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "feature/sink.h"
 #include "query/executor.h"
 #include "segdiff/segdiff_index.h"
 #include "storage/db.h"
@@ -45,17 +46,37 @@ struct ExhSizes {
   uint64_t file_bytes = 0;
 };
 
-class ExhIndex {
+class ExhIndex : public FeatureSink {
  public:
+  /// Opens (creating if missing) the Exh store at `path`. Reopened
+  /// stores resume appending: the trailing sample window and the build
+  /// window are persisted in the store and restored here, persisted
+  /// parameters taking precedence over `options`. Legacy stores (written
+  /// before state persistence) reopen query-only-equivalent: appends
+  /// start a fresh window, so pairs spanning the reopen gap are lost.
   static Result<std::unique_ptr<ExhIndex>> Open(const std::string& path,
                                                 const ExhOptions& options);
+
+  /// Saves ingest state into the database before the database handle
+  /// checkpoints itself on destruction.
+  ~ExhIndex() override;
+
+  /// Appends one observation: inserts a (dt, dv, t) row for every
+  /// retained earlier sample within the window. Rows are immediately
+  /// searchable; there is no buffered pending state.
+  Status AppendObservation(double t, double v) override;
+
+  /// No-op: Exh materializes every pair eagerly in AppendObservation.
+  Status FlushPending() override { return Status::OK(); }
 
   /// Appends all within-window pairs of `series`. May be called
   /// repeatedly with later series chunks (time stamps must keep
   /// increasing); the trailing window of samples is carried across calls
   /// so chunked and one-shot ingest produce identical tables (mirroring
   /// SegDiffIndex's chunked-ingest contract).
-  Status IngestSeries(const Series& series);
+  Status IngestSeries(const Series& series) override {
+    return FeatureSink::IngestSeries(series);
+  }
 
   Result<std::vector<ExhEvent>> SearchDrops(double T, double V,
                                             const SearchOptions& options = {},
@@ -67,8 +88,9 @@ class ExhIndex {
   Status Checkpoint();
   Status DropCaches();
   ExhSizes GetSizes() const;
-  uint64_t num_observations() const { return observations_; }
+  uint64_t num_observations() const override { return observations_; }
   const ExhOptions& options() const { return options_; }
+  Database* db() { return db_.get(); }
 
  private:
   explicit ExhIndex(ExhOptions options);
@@ -76,6 +98,12 @@ class ExhIndex {
                                        const SearchOptions& options,
                                        SearchStats* stats);
   ThreadPool* EnsurePool(size_t num_threads);
+  /// Serializes the trailing sample window + counters into the
+  /// database's catalog meta blob (persisted at the next checkpoint).
+  void SaveIngestState();
+  /// Restores ingest state on reopen, adopting persisted build
+  /// parameters; silently absent for legacy stores.
+  Status RestoreIngestState();
 
   ExhOptions options_;
   std::unique_ptr<Database> db_;

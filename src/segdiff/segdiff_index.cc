@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <utility>
 
+#include "common/bytes.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "query/planner.h"
 #include "query/predicate.h"
@@ -13,6 +16,11 @@ namespace segdiff {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Catalog meta blob holding the resumable ingest state.
+constexpr char kIngestStateKey[] = "segdiff.ingest";
+constexpr uint32_t kIngestStateMagic = 0x5347494E;  // "SGIN"
+constexpr uint32_t kIngestStateVersion = 1;
 
 std::string FeatureTableName(SearchKind kind, int corner_count) {
   std::string name(SearchKindName(kind));
@@ -66,19 +74,42 @@ Result<std::unique_ptr<SegDiffIndex>> SegDiffIndex::Open(
   db_options.sim_random_read_ns = options.sim_random_read_ns;
   SEGDIFF_ASSIGN_OR_RETURN(index->db_, Database::Open(path, db_options));
   SEGDIFF_RETURN_IF_ERROR(index->InitTables());
+  SEGDIFF_RETURN_IF_ERROR(index->RestoreIngestState());
 
   // Streaming pipeline: segmenter -> segment directory + extractor ->
-  // feature tables.
+  // feature tables. Built after RestoreIngestState so a reopened store's
+  // adopted build parameters (eps, window, collected kinds) apply.
   ExtractorOptions extractor_options;
-  extractor_options.eps = options.eps;
-  extractor_options.window_s = options.window_s;
-  extractor_options.collect_drops = options.collect_drops;
-  extractor_options.collect_jumps = options.collect_jumps;
+  extractor_options.eps = index->options_.eps;
+  extractor_options.window_s = index->options_.window_s;
+  extractor_options.collect_drops = index->options_.collect_drops;
+  extractor_options.collect_jumps = index->options_.collect_jumps;
   SegDiffIndex* raw = index.get();
   index->extractor_ = std::make_unique<FeatureExtractor>(
       extractor_options,
       [raw](const PairFeatures& row) { return raw->WriteFeatureRow(row); });
+  SegmentationOptions seg_options;
+  seg_options.max_error = index->options_.eps / 2.0;
+  index->segmenter_ = std::make_unique<SlidingWindowSegmenter>(
+      seg_options,
+      [raw](const DataSegment& segment) { return raw->OnSegment(segment); });
+  if (index->restored_extractor_ != nullptr) {
+    SEGDIFF_RETURN_IF_ERROR(
+        index->extractor_->RestoreState(*index->restored_extractor_));
+    index->restored_extractor_.reset();
+  }
+  if (index->restored_segmenter_ != nullptr) {
+    SEGDIFF_RETURN_IF_ERROR(
+        index->segmenter_->RestoreState(*index->restored_segmenter_));
+    index->restored_segmenter_.reset();
+  }
   return index;
+}
+
+SegDiffIndex::~SegDiffIndex() {
+  if (db_ != nullptr) {
+    SaveIngestState();  // db_'s destructor checkpoints the catalog
+  }
 }
 
 Status SegDiffIndex::InitTables() {
@@ -136,6 +167,9 @@ Status SegDiffIndex::InitTables() {
         feature_tables_[static_cast<int>(kind)][k - 1] = table;
       }
     }
+    // Whether indexes exist is a property of the store, not of this Open
+    // call: adopt it so resumed appends keep the attached indexes fed.
+    options_.build_indexes = !feature_tables_[0][0]->indexes().empty();
     segment_dir_fresh_ = false;
     column_stats_fresh_ = false;
   }
@@ -178,27 +212,185 @@ Status SegDiffIndex::WriteFeatureRow(const PairFeatures& row) {
   return Status::OK();
 }
 
+Status SegDiffIndex::OnSegment(const DataSegment& segment) {
+  SEGDIFF_RETURN_IF_ERROR(segments_table_
+                              ->InsertDoubles({segment.start.t, segment.start.v,
+                                               segment.end.t, segment.end.v})
+                              .status());
+  segment_dir_[segment.start.t] = segment.end.t;
+  return extractor_->AddSegment(segment);
+}
+
+Status SegDiffIndex::AppendObservation(double t, double v) {
+  SEGDIFF_RETURN_IF_ERROR(segmenter_->Add(Sample{t, v}));
+  ++observations_;
+  return Status::OK();
+}
+
+Status SegDiffIndex::FlushPending() { return segmenter_->Flush(); }
+
 Status SegDiffIndex::IngestSeries(const Series& series) {
   if (series.size() < 2) {
     return Status::InvalidArgument("series must have at least 2 samples");
   }
-  SegmentationOptions seg_options;
-  seg_options.max_error = options_.eps / 2.0;
-  SlidingWindowSegmenter segmenter(
-      seg_options, [this](const DataSegment& segment) -> Status {
-        SEGDIFF_RETURN_IF_ERROR(
-            segments_table_
-                ->InsertDoubles({segment.start.t, segment.start.v,
-                                 segment.end.t, segment.end.v})
-                .status());
-        segment_dir_[segment.start.t] = segment.end.t;
-        return extractor_->AddSegment(segment);
-      });
-  for (const Sample& sample : series) {
-    SEGDIFF_RETURN_IF_ERROR(segmenter.Add(sample));
-    ++observations_;
+  return FeatureSink::IngestSeries(series);
+}
+
+void SegDiffIndex::SaveIngestState() {
+  const SegmenterState seg = segmenter_->SaveState();
+  const ExtractorState ext = extractor_->SaveState();
+  ByteWriter w;
+  w.U32(kIngestStateMagic);
+  w.U32(kIngestStateVersion);
+  w.F64(options_.eps);
+  w.F64(options_.window_s);
+  w.U8(options_.collect_drops ? 1 : 0);
+  w.U8(options_.collect_jumps ? 1 : 0);
+  w.U64(observations_);
+  w.U8(seg.has_anchor ? 1 : 0);
+  w.U8(seg.has_endpoint ? 1 : 0);
+  w.U8(seg.finished ? 1 : 0);
+  w.F64(seg.anchor.t);
+  w.F64(seg.anchor.v);
+  w.F64(seg.endpoint.t);
+  w.F64(seg.endpoint.v);
+  w.F64(seg.slope_lo);
+  w.F64(seg.slope_hi);
+  w.U64(seg.observations);
+  w.U64(seg.segments_emitted);
+  w.F64(ext.last_end_t);
+  w.U8(ext.has_last ? 1 : 0);
+  w.U64(ext.stats.segments_in);
+  w.U64(ext.stats.cross_pairs);
+  w.U64(ext.stats.self_pairs);
+  w.U64(ext.stats.rows_emitted);
+  w.U64(ext.stats.corners_emitted);
+  for (int kind = 0; kind < 2; ++kind) {
+    for (int k = 0; k < 4; ++k) {
+      w.U64(ext.stats.frontier_hist[kind][k]);
+    }
   }
-  return segmenter.Finish();
+  for (int c = 0; c < 7; ++c) {
+    w.U64(ext.stats.case_hist[c]);
+  }
+  w.U32(static_cast<uint32_t>(ext.window.size()));
+  for (const DataSegment& segment : ext.window) {
+    w.F64(segment.start.t);
+    w.F64(segment.start.v);
+    w.F64(segment.end.t);
+    w.F64(segment.end.v);
+  }
+  db_->PutMeta(kIngestStateKey, w.Take());
+}
+
+Status SegDiffIndex::RestoreIngestState() {
+  auto blob = db_->GetMeta(kIngestStateKey);
+  if (!blob.ok()) {
+    if (!blob.status().IsNotFound()) {
+      return blob.status();
+    }
+    // Legacy store (written before ingest-state persistence) or fresh
+    // database. Non-empty legacy stores always ended with a flushed
+    // trailing segment, so the resumable state is reconstructible from
+    // the segment directory: replay the chain into the extractor's pair
+    // window (with the standard eviction rule) and anchor the segmenter
+    // at the last emitted endpoint. Lifetime counters are unknowable and
+    // restart at zero.
+    if (segments_table_ == nullptr || segments_table_->row_count() == 0) {
+      return Status::OK();
+    }
+    auto extractor = std::make_unique<ExtractorState>();
+    auto segmenter = std::make_unique<SegmenterState>();
+    std::deque<DataSegment> window;
+    SEGDIFF_RETURN_IF_ERROR(segments_table_->Scan(
+        [&](const char* record, RecordId, bool* keep_going) -> Status {
+          *keep_going = true;
+          DataSegment segment;
+          segment.start.t = DecodeDoubleColumn(record, 0);
+          segment.start.v = DecodeDoubleColumn(record, 1);
+          segment.end.t = DecodeDoubleColumn(record, 2);
+          segment.end.v = DecodeDoubleColumn(record, 3);
+          const double win_start = segment.start.t - options_.window_s;
+          while (!window.empty() && window.front().end.t <= win_start) {
+            window.pop_front();
+          }
+          window.push_back(segment);
+          return Status::OK();
+        }));
+    extractor->window.assign(window.begin(), window.end());
+    extractor->last_end_t = window.back().end.t;
+    extractor->has_last = true;
+    extractor->stats.segments_in = segments_table_->row_count();
+    segmenter->has_anchor = true;
+    segmenter->anchor = window.back().end;
+    segmenter->segments_emitted = segments_table_->row_count();
+    restored_extractor_ = std::move(extractor);
+    restored_segmenter_ = std::move(segmenter);
+    return Status::OK();
+  }
+
+  ByteReader r(*blob);
+  SEGDIFF_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  SEGDIFF_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (magic != kIngestStateMagic || version != kIngestStateVersion) {
+    return Status::Corruption("bad segdiff ingest-state blob");
+  }
+  // Build parameters are properties of the store, not of this Open call.
+  SEGDIFF_ASSIGN_OR_RETURN(options_.eps, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(options_.window_s, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(uint8_t collect_drops, r.U8());
+  SEGDIFF_ASSIGN_OR_RETURN(uint8_t collect_jumps, r.U8());
+  options_.collect_drops = collect_drops != 0;
+  options_.collect_jumps = collect_jumps != 0;
+  SEGDIFF_ASSIGN_OR_RETURN(observations_, r.U64());
+
+  auto segmenter = std::make_unique<SegmenterState>();
+  SEGDIFF_ASSIGN_OR_RETURN(uint8_t has_anchor, r.U8());
+  SEGDIFF_ASSIGN_OR_RETURN(uint8_t has_endpoint, r.U8());
+  SEGDIFF_ASSIGN_OR_RETURN(uint8_t finished, r.U8());
+  segmenter->has_anchor = has_anchor != 0;
+  segmenter->has_endpoint = has_endpoint != 0;
+  segmenter->finished = finished != 0;
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->anchor.t, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->anchor.v, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->endpoint.t, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->endpoint.v, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->slope_lo, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->slope_hi, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->observations, r.U64());
+  SEGDIFF_ASSIGN_OR_RETURN(segmenter->segments_emitted, r.U64());
+
+  auto extractor = std::make_unique<ExtractorState>();
+  SEGDIFF_ASSIGN_OR_RETURN(extractor->last_end_t, r.F64());
+  SEGDIFF_ASSIGN_OR_RETURN(uint8_t has_last, r.U8());
+  extractor->has_last = has_last != 0;
+  SEGDIFF_ASSIGN_OR_RETURN(extractor->stats.segments_in, r.U64());
+  SEGDIFF_ASSIGN_OR_RETURN(extractor->stats.cross_pairs, r.U64());
+  SEGDIFF_ASSIGN_OR_RETURN(extractor->stats.self_pairs, r.U64());
+  SEGDIFF_ASSIGN_OR_RETURN(extractor->stats.rows_emitted, r.U64());
+  SEGDIFF_ASSIGN_OR_RETURN(extractor->stats.corners_emitted, r.U64());
+  for (int kind = 0; kind < 2; ++kind) {
+    for (int k = 0; k < 4; ++k) {
+      SEGDIFF_ASSIGN_OR_RETURN(extractor->stats.frontier_hist[kind][k],
+                               r.U64());
+    }
+  }
+  for (int c = 0; c < 7; ++c) {
+    SEGDIFF_ASSIGN_OR_RETURN(extractor->stats.case_hist[c], r.U64());
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(uint32_t window_size, r.U32());
+  extractor->window.reserve(window_size);
+  for (uint32_t i = 0; i < window_size; ++i) {
+    DataSegment segment;
+    SEGDIFF_ASSIGN_OR_RETURN(segment.start.t, r.F64());
+    SEGDIFF_ASSIGN_OR_RETURN(segment.start.v, r.F64());
+    SEGDIFF_ASSIGN_OR_RETURN(segment.end.t, r.F64());
+    SEGDIFF_ASSIGN_OR_RETURN(segment.end.v, r.F64());
+    extractor->window.push_back(segment);
+  }
+  restored_segmenter_ = std::move(segmenter);
+  restored_extractor_ = std::move(extractor);
+  return Status::OK();
 }
 
 Status SegDiffIndex::EnsureSegmentDirectory() {
@@ -525,11 +717,15 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
   return results;
 }
 
-Status SegDiffIndex::Checkpoint() { return db_->Checkpoint(); }
+Status SegDiffIndex::Checkpoint() {
+  SaveIngestState();
+  return db_->Checkpoint();
+}
 
 Status SegDiffIndex::DropCaches() {
   segment_dir_.clear();
   segment_dir_fresh_ = false;  // force re-read through the (cold) pool
+  SaveIngestState();
   return db_->DropCaches();
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/result.h"
 #include "feature/extractor.h"
+#include "feature/sink.h"
 #include "query/executor.h"
 #include "segment/sliding_window.h"
 #include "storage/db.h"
@@ -88,18 +89,40 @@ struct SegDiffSizes {
   uint64_t file_bytes = 0;      ///< whole database file
 };
 
-class SegDiffIndex {
+class SegDiffIndex : public FeatureSink {
  public:
-  /// Creates (or opens) the store backing file at `path`. Appending via
-  /// IngestSeries is supported within the creating process; reopened
-  /// stores are query-only.
+  /// Creates (or opens) the store backing file at `path`. Reopened
+  /// stores resume appending exactly where ingest left off: the open
+  /// segment, the extractor's pair window, and the build parameters
+  /// (eps, window, collected kinds) are persisted in the store and
+  /// restored here — persisted build parameters take precedence over
+  /// the corresponding fields of `options`. Stores written before state
+  /// persistence existed are reconstructed from their segment directory
+  /// (resuming at the last flushed segment boundary).
   static Result<std::unique_ptr<SegDiffIndex>> Open(
       const std::string& path, const SegDiffOptions& options);
 
-  /// Segments and extracts `series`, appending features. May be called
-  /// repeatedly with later series chunks (time stamps must keep
-  /// increasing); each call finalizes its own trailing segment.
-  Status IngestSeries(const Series& series);
+  /// Saves ingest state into the database before the database handle
+  /// checkpoints itself on destruction.
+  ~SegDiffIndex() override;
+
+  /// Feeds one observation through the streaming pipeline (segmenter ->
+  /// segment directory + extractor -> feature tables). Features of the
+  /// open trailing segment become searchable when the segment closes —
+  /// naturally or via FlushPending().
+  Status AppendObservation(double t, double v) override;
+
+  /// Emits the open trailing segment (if any) and continues the next
+  /// segment anchored at its endpoint, so the approximation stays
+  /// contiguous. After this, every appended observation is searchable.
+  Status FlushPending() override;
+
+  /// Segments and extracts `series`, appending features; equivalent to
+  /// AppendSeries + FlushPending. May be called repeatedly with later
+  /// series chunks (time stamps must keep increasing); each call
+  /// finalizes its own trailing segment, and the next chunk continues
+  /// from the finalized endpoint.
+  Status IngestSeries(const Series& series) override;
 
   /// Drop search: all segment pairs whose parallelogram indicates an
   /// event with 0 < dt <= T and dv <= V (V < 0). Sorted, deduplicated.
@@ -120,7 +143,7 @@ class SegDiffIndex {
 
   SegDiffSizes GetSizes() const;
   const ExtractorStats& extractor_stats() const;
-  uint64_t num_observations() const { return observations_; }
+  uint64_t num_observations() const override { return observations_; }
   uint64_t num_segments() const;
   const SegDiffOptions& options() const { return options_; }
   Database* db() { return db_.get(); }
@@ -130,6 +153,15 @@ class SegDiffIndex {
 
   Status InitTables();
   Status WriteFeatureRow(const PairFeatures& row);
+  /// One completed segment from the segmenter: segment directory row +
+  /// in-memory directory + extractor.
+  Status OnSegment(const DataSegment& segment);
+  /// Serializes segmenter + extractor + counters into the database's
+  /// catalog meta blob (persisted at the next checkpoint).
+  void SaveIngestState();
+  /// Restores ingest state on reopen: from the meta blob when present,
+  /// otherwise reconstructed from the segment directory (legacy stores).
+  Status RestoreIngestState();
   /// Lazily creates (or resizes) the worker pool backing parallel
   /// searches: `num_threads - 1` workers, since the calling thread
   /// participates in every ParallelFor.
@@ -148,6 +180,10 @@ class SegDiffIndex {
 
   std::unique_ptr<FeatureExtractor> extractor_;
   std::unique_ptr<SlidingWindowSegmenter> segmenter_;
+  /// Restored state parked between RestoreIngestState and pipeline
+  /// construction in Open (the pipeline needs the adopted options).
+  std::unique_ptr<ExtractorState> restored_extractor_;
+  std::unique_ptr<SegmenterState> restored_segmenter_;
   std::unique_ptr<ThreadPool> pool_;  ///< parallel-search workers
   uint64_t observations_ = 0;
 

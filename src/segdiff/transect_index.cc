@@ -5,6 +5,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/thread_pool.h"
+
 namespace segdiff {
 
 Result<std::unique_ptr<TransectIndex>> TransectIndex::Open(
@@ -34,6 +36,44 @@ Status TransectIndex::IngestSensorSeries(int sensor, const Series& series) {
     return Status::InvalidArgument("sensor index out of range");
   }
   return sensors_[static_cast<size_t>(sensor)]->IngestSeries(series);
+}
+
+Status TransectIndex::AppendSensorObservation(int sensor, double t, double v) {
+  if (sensor < 0 || sensor >= sensor_count()) {
+    return Status::InvalidArgument("sensor index out of range");
+  }
+  return sensors_[static_cast<size_t>(sensor)]->AppendObservation(t, v);
+}
+
+Status TransectIndex::FlushAllPending() {
+  for (auto& store : sensors_) {
+    SEGDIFF_RETURN_IF_ERROR(store->FlushPending());
+  }
+  return Status::OK();
+}
+
+Status TransectIndex::IngestAllSensors(const std::vector<Series>& all_series,
+                                       size_t num_threads) {
+  if (all_series.size() != static_cast<size_t>(sensor_count())) {
+    return Status::InvalidArgument(
+        "IngestAllSensors needs exactly one series per sensor");
+  }
+  if (num_threads <= 1) {
+    for (int s = 0; s < sensor_count(); ++s) {
+      SEGDIFF_RETURN_IF_ERROR(IngestSensorSeries(s, all_series[s]));
+    }
+    return Status::OK();
+  }
+  // Each task touches exactly one store, so per-sensor pipelines never
+  // share mutable state; the pool only parallelizes across sensors.
+  const size_t workers = num_threads - 1;  // the caller participates
+  if (ingest_pool_ == nullptr || ingest_pool_->size() != workers) {
+    ingest_pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return ingest_pool_->ParallelFor(
+      all_series.size(), [&](size_t s) -> Status {
+        return sensors_[s]->IngestSeries(all_series[s]);
+      });
 }
 
 template <typename SearchFn>

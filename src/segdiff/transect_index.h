@@ -46,6 +46,20 @@ class TransectIndex {
   /// Ingests a series for one sensor (0-based).
   Status IngestSensorSeries(int sensor, const Series& series);
 
+  /// Appends one observation to one sensor's streaming pipeline
+  /// (0-based); see SegDiffIndex::AppendObservation.
+  Status AppendSensorObservation(int sensor, double t, double v);
+
+  /// Flushes every sensor's open trailing segment.
+  Status FlushAllPending();
+
+  /// Ingests one series per sensor (`all_series.size()` must equal
+  /// sensor_count()). With `num_threads` >= 2 the per-sensor ingests run
+  /// concurrently on a worker pool — the stores are independent, so the
+  /// result is identical to the serial loop; only wall-clock changes.
+  Status IngestAllSensors(const std::vector<Series>& all_series,
+                          size_t num_threads = 0);
+
   /// Searches every sensor; hits are ordered by (sensor, pair).
   Result<std::vector<TransectHit>> SearchDrops(
       double T, double V, const SearchOptions& options = {},
@@ -70,6 +84,7 @@ class TransectIndex {
                                              SearchStats* stats);
 
   std::vector<std::unique_ptr<SegDiffIndex>> sensors_;
+  std::unique_ptr<ThreadPool> ingest_pool_;  ///< parallel-ingest workers
 };
 
 }  // namespace segdiff

@@ -70,14 +70,60 @@ Status SlidingWindowSegmenter::Add(const Sample& sample) {
   return Status::OK();
 }
 
+Status SlidingWindowSegmenter::Flush() {
+  if (finished_) {
+    return Status::InvalidArgument("Flush after Finish");
+  }
+  if (!has_anchor_ || !has_endpoint_) {
+    return Status::OK();  // nothing pending
+  }
+  SEGDIFF_RETURN_IF_ERROR(Emit(DataSegment{anchor_, endpoint_}));
+  // Restart anchored at the flushed endpoint: the next segment continues
+  // from it, keeping the approximation contiguous across flushes.
+  anchor_ = endpoint_;
+  has_endpoint_ = false;
+  slope_lo_ = -std::numeric_limits<double>::infinity();
+  slope_hi_ = std::numeric_limits<double>::infinity();
+  return Status::OK();
+}
+
 Status SlidingWindowSegmenter::Finish() {
   if (finished_) {
     return Status::InvalidArgument("Finish called twice");
   }
+  SEGDIFF_RETURN_IF_ERROR(Flush());
   finished_ = true;
-  if (has_anchor_ && has_endpoint_) {
-    SEGDIFF_RETURN_IF_ERROR(Emit(DataSegment{anchor_, endpoint_}));
+  return Status::OK();
+}
+
+SegmenterState SlidingWindowSegmenter::SaveState() const {
+  SegmenterState state;
+  state.has_anchor = has_anchor_;
+  state.has_endpoint = has_endpoint_;
+  state.finished = finished_;
+  state.anchor = anchor_;
+  state.endpoint = endpoint_;
+  state.slope_lo = slope_lo_;
+  state.slope_hi = slope_hi_;
+  state.observations = observations_;
+  state.segments_emitted = segments_emitted_;
+  return state;
+}
+
+Status SlidingWindowSegmenter::RestoreState(const SegmenterState& state) {
+  if (state.has_endpoint &&
+      (!state.has_anchor || !(state.anchor.t < state.endpoint.t))) {
+    return Status::InvalidArgument("inconsistent segmenter state");
   }
+  has_anchor_ = state.has_anchor;
+  has_endpoint_ = state.has_endpoint;
+  finished_ = state.finished;
+  anchor_ = state.anchor;
+  endpoint_ = state.endpoint;
+  slope_lo_ = state.slope_lo;
+  slope_hi_ = state.slope_hi;
+  observations_ = state.observations;
+  segments_emitted_ = state.segments_emitted;
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #ifndef SEGDIFF_SEGMENT_SLIDING_WINDOW_H_
 #define SEGDIFF_SEGMENT_SLIDING_WINDOW_H_
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -33,9 +34,25 @@ struct SegmentationOptions {
   double max_error = 0.1;
 };
 
+/// A snapshot of the segmenter's open window, sufficient to resume the
+/// exact observation-for-observation behaviour in a new instance (or a
+/// new process: SegDiffIndex serializes this into its store).
+struct SegmenterState {
+  bool has_anchor = false;
+  bool has_endpoint = false;
+  bool finished = false;
+  Sample anchor;
+  Sample endpoint;
+  double slope_lo = 0.0;
+  double slope_hi = 0.0;
+  uint64_t observations = 0;
+  uint64_t segments_emitted = 0;
+};
+
 /// Streaming segmenter: feed observations in time order; completed
 /// segments are emitted through the callback as soon as they are final.
-/// Call Finish() to flush the trailing segment.
+/// Call Flush() to force the trailing segment out (appending continues,
+/// anchored at the flushed endpoint) or Finish() to end the stream.
 class SlidingWindowSegmenter {
  public:
   using EmitFn = std::function<Status(const DataSegment&)>;
@@ -46,15 +63,30 @@ class SlidingWindowSegmenter {
   /// Feeds the next observation; time stamps must be strictly increasing.
   Status Add(const Sample& sample);
 
+  /// Emits the open window as a segment (if it has >= 2 observations)
+  /// and restarts the window anchored at its endpoint, so subsequent
+  /// observations produce a contiguous approximation. Idempotent when
+  /// nothing is pending.
+  Status Flush();
+
   /// Flushes the pending window as a final segment (if it has >= 2
-  /// observations). The segmenter can keep accepting samples afterwards
-  /// only via a new instance.
+  /// observations) and ends the stream: no further Add calls. To keep
+  /// appending after a flush use Flush() instead.
   Status Finish();
 
+  /// Snapshot of the open window for later RestoreState.
+  SegmenterState SaveState() const;
+
+  /// Replaces the segmenter's entire state with `state` (as produced by
+  /// SaveState, possibly in a previous process).
+  Status RestoreState(const SegmenterState& state);
+
   /// Number of observations consumed so far.
-  size_t observations() const { return observations_; }
+  size_t observations() const { return static_cast<size_t>(observations_); }
   /// Number of segments emitted so far.
-  size_t segments_emitted() const { return segments_emitted_; }
+  size_t segments_emitted() const {
+    return static_cast<size_t>(segments_emitted_);
+  }
 
  private:
   Status Emit(const DataSegment& segment);
@@ -68,8 +100,8 @@ class SlidingWindowSegmenter {
   double slope_lo_ = 0.0;  ///< feasible slope interval (interior points)
   double slope_hi_ = 0.0;
   bool finished_ = false;
-  size_t observations_ = 0;
-  size_t segments_emitted_ = 0;
+  uint64_t observations_ = 0;
+  uint64_t segments_emitted_ = 0;
 };
 
 /// Convenience: segments a whole series. Fails with InvalidArgument for

@@ -11,7 +11,7 @@ namespace {
 
 constexpr PageId kCatalogRootPage = 1;
 constexpr uint32_t kCatalogMagic = 0x43544C47;  // "CTLG"
-constexpr uint32_t kCatalogVersion = 1;
+constexpr uint32_t kCatalogVersion = 2;  ///< v2 added named meta blobs
 constexpr size_t kChainHeaderBytes = 16;
 constexpr size_t kChainPayloadBytes = kPageSize - kChainHeaderBytes;
 
@@ -73,6 +73,9 @@ class Reader {
   }
   Result<std::string> Str() {
     SEGDIFF_ASSIGN_OR_RETURN(uint16_t len, U16());
+    return Bytes(len);
+  }
+  Result<std::string> Bytes(size_t len) {
     SEGDIFF_RETURN_IF_ERROR(Need(len));
     std::string s(data_ + pos_, len);
     pos_ += len;
@@ -87,7 +90,8 @@ class Reader {
 
 }  // namespace
 
-Status WriteCatalog(BufferPool* pool, const std::vector<TableMeta>& tables) {
+Status WriteCatalog(BufferPool* pool, const CatalogData& catalog) {
+  const std::vector<TableMeta>& tables = catalog.tables;
   std::string payload;
   AppendU32(&payload, kCatalogMagic);
   AppendU32(&payload, kCatalogVersion);
@@ -112,6 +116,12 @@ Status WriteCatalog(BufferPool* pool, const std::vector<TableMeta>& tables) {
       }
       AppendU64(&payload, index.meta_page);
     }
+  }
+  AppendU32(&payload, static_cast<uint32_t>(catalog.blobs.size()));
+  for (const auto& [name, blob] : catalog.blobs) {
+    AppendStr(&payload, name);
+    AppendU32(&payload, static_cast<uint32_t>(blob.size()));
+    payload.append(blob);
   }
 
   // Spill the payload over the chain, reusing pages already in the chain.
@@ -148,7 +158,7 @@ Status WriteCatalog(BufferPool* pool, const std::vector<TableMeta>& tables) {
   return Status::OK();
 }
 
-Result<std::vector<TableMeta>> ReadCatalog(BufferPool* pool) {
+Result<CatalogData> ReadCatalog(BufferPool* pool) {
   std::string payload;
   PageId current = kCatalogRootPage;
   while (current != kInvalidPageId && current != 0) {
@@ -160,9 +170,10 @@ Result<std::vector<TableMeta>> ReadCatalog(BufferPool* pool) {
     payload.append(page.data() + kChainHeaderBytes, chunk);
     current = DecodeFixed64(page.data());
   }
-  std::vector<TableMeta> tables;
+  CatalogData catalog;
+  std::vector<TableMeta>& tables = catalog.tables;
   if (payload.size() < 12) {
-    return tables;  // fresh database
+    return catalog;  // fresh database
   }
   Reader reader(payload.data(), payload.size());
   SEGDIFF_ASSIGN_OR_RETURN(uint32_t magic, reader.U32());
@@ -170,7 +181,7 @@ Result<std::vector<TableMeta>> ReadCatalog(BufferPool* pool) {
     return Status::Corruption("bad catalog magic");
   }
   SEGDIFF_ASSIGN_OR_RETURN(uint32_t version, reader.U32());
-  if (version != kCatalogVersion) {
+  if (version < 1 || version > kCatalogVersion) {
     return Status::Corruption("unsupported catalog version");
   }
   SEGDIFF_ASSIGN_OR_RETURN(uint32_t table_count, reader.U32());
@@ -209,7 +220,16 @@ Result<std::vector<TableMeta>> ReadCatalog(BufferPool* pool) {
     }
     tables.push_back(std::move(meta));
   }
-  return tables;
+  if (version >= 2) {
+    SEGDIFF_ASSIGN_OR_RETURN(uint32_t blob_count, reader.U32());
+    for (uint32_t b = 0; b < blob_count; ++b) {
+      SEGDIFF_ASSIGN_OR_RETURN(std::string name, reader.Str());
+      SEGDIFF_ASSIGN_OR_RETURN(uint32_t length, reader.U32());
+      SEGDIFF_ASSIGN_OR_RETURN(std::string blob, reader.Bytes(length));
+      catalog.blobs[std::move(name)] = std::move(blob);
+    }
+  }
+  return catalog;
 }
 
 }  // namespace segdiff

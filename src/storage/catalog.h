@@ -1,17 +1,23 @@
-// Catalog: persistent table/index metadata.
+// Catalog: persistent table/index metadata plus named meta blobs.
 //
 // Serialized into a page chain rooted at page 1 on Checkpoint(); read at
 // Open(). Format (little endian, packed into the chain payload):
+//   u32 magic | u32 version
 //   u32 table_count
 //   per table: str name | u16 ncols | per col: (str name, u8 type)
 //              | heap meta (first, last, records, pages: u64 x 4)
 //              | u16 nindexes
 //              | per index: str name | u8 ncols | u16 col_idx... | u64 meta
-// where str = u16 length + bytes.
+//   u32 blob_count                                        (version >= 2)
+//   per blob:  str name | u32 length | bytes
+// where str = u16 length + bytes. Meta blobs are opaque named payloads
+// for engine state that rides along with the catalog — e.g. the ingest
+// pipeline's resumable segmenter/extractor/pair-window state.
 
 #ifndef SEGDIFF_STORAGE_CATALOG_H_
 #define SEGDIFF_STORAGE_CATALOG_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -37,12 +43,20 @@ struct TableMeta {
   std::vector<IndexMeta> indexes;
 };
 
+/// The whole persistent catalog: table metadata plus named meta blobs
+/// (an ordered map, so serialization is deterministic).
+struct CatalogData {
+  std::vector<TableMeta> tables;
+  std::map<std::string, std::string> blobs;
+};
+
 /// Writes the catalog payload into the chain rooted at page 1, allocating
 /// continuation pages as needed (pages are reused across checkpoints).
-Status WriteCatalog(BufferPool* pool, const std::vector<TableMeta>& tables);
+Status WriteCatalog(BufferPool* pool, const CatalogData& catalog);
 
-/// Reads the catalog; an all-zero page 1 yields an empty list (fresh db).
-Result<std::vector<TableMeta>> ReadCatalog(BufferPool* pool);
+/// Reads the catalog; an all-zero page 1 yields an empty catalog (fresh
+/// db). Version-1 catalogs (pre meta blobs) read as blob-free.
+Result<CatalogData> ReadCatalog(BufferPool* pool);
 
 }  // namespace segdiff
 

@@ -24,9 +24,9 @@ Result<std::unique_ptr<Database>> Database::Open(
     }
   }
 
-  SEGDIFF_ASSIGN_OR_RETURN(std::vector<TableMeta> metas,
-                           ReadCatalog(db->pool_.get()));
-  for (TableMeta& meta : metas) {
+  SEGDIFF_ASSIGN_OR_RETURN(CatalogData catalog, ReadCatalog(db->pool_.get()));
+  db->meta_ = std::move(catalog.blobs);
+  for (TableMeta& meta : catalog.tables) {
     SEGDIFF_ASSIGN_OR_RETURN(
         std::unique_ptr<Table> table,
         Table::Attach(db->pool_.get(), meta.name, std::move(meta.schema),
@@ -73,9 +73,25 @@ Result<Table*> Database::GetTable(const std::string& name) const {
   return Status::NotFound("no such table: " + name);
 }
 
+void Database::PutMeta(const std::string& name, std::string blob) {
+  meta_[name] = std::move(blob);
+}
+
+Result<std::string> Database::GetMeta(const std::string& name) const {
+  auto it = meta_.find(name);
+  if (it == meta_.end()) {
+    return Status::NotFound("no such meta blob: " + name);
+  }
+  return it->second;
+}
+
+bool Database::EraseMeta(const std::string& name) {
+  return meta_.erase(name) != 0;
+}
+
 Status Database::Checkpoint() {
-  std::vector<TableMeta> metas;
-  metas.reserve(tables_.size());
+  CatalogData catalog;
+  catalog.tables.reserve(tables_.size());
   for (const auto& table : tables_) {
     TableMeta meta;
     meta.name = table->name();
@@ -88,9 +104,10 @@ Status Database::Checkpoint() {
       index_meta.meta_page = index.tree->meta_page();
       meta.indexes.push_back(std::move(index_meta));
     }
-    metas.push_back(std::move(meta));
+    catalog.tables.push_back(std::move(meta));
   }
-  SEGDIFF_RETURN_IF_ERROR(WriteCatalog(pool_.get(), metas));
+  catalog.blobs = meta_;
+  SEGDIFF_RETURN_IF_ERROR(WriteCatalog(pool_.get(), catalog));
   SEGDIFF_RETURN_IF_ERROR(pool_->FlushAll());
   return pager_->Sync();
 }
@@ -123,6 +140,7 @@ Status Database::CompactInto(const std::string& destination_path) {
       SEGDIFF_RETURN_IF_ERROR(copy->CreateIndex(index.name, columns).status());
     }
   }
+  fresh->meta_ = meta_;  // ingest state etc. survives compaction
   return fresh->Checkpoint();
 }
 

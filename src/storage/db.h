@@ -7,6 +7,7 @@
 #ifndef SEGDIFF_STORAGE_DB_H_
 #define SEGDIFF_STORAGE_DB_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,17 @@ class Database {
     return tables_;
   }
 
+  /// Stores a named opaque blob in the catalog (persisted at the next
+  /// Checkpoint). Engines use this for state that must ride along with
+  /// the tables — e.g. resumable ingest state.
+  void PutMeta(const std::string& name, std::string blob);
+
+  /// The named blob, or NotFound.
+  Result<std::string> GetMeta(const std::string& name) const;
+
+  /// Removes the named blob; returns whether it existed.
+  bool EraseMeta(const std::string& name);
+
   /// Persists catalog + all dirty pages + file header.
   Status Checkpoint();
 
@@ -82,6 +94,7 @@ class Database {
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<Table>> tables_;
+  std::map<std::string, std::string> meta_;  ///< named catalog blobs
 };
 
 }  // namespace segdiff

@@ -1,7 +1,7 @@
 # End-to-end smoke test of segdiff_cli, driven by ctest:
 #   cmake -DCLI=<path-to-segdiff_cli> -DWORK=<scratch-dir> -P cli_test.cmake
-# Exercises generate -> segment -> build -> search -> stats -> sql ->
-# compact and checks both exit codes and key output markers.
+# Exercises generate -> segment -> build -> append -> search -> stats ->
+# sql -> compact and checks both exit codes and key output markers.
 
 if(NOT DEFINED CLI OR NOT DEFINED WORK)
   message(FATAL_ERROR "pass -DCLI=<binary> -DWORK=<dir>")
@@ -9,10 +9,11 @@ endif()
 
 file(MAKE_DIRECTORY ${WORK})
 set(CSV ${WORK}/cli_data.csv)
+set(CSV2 ${WORK}/cli_more.csv)
 set(DB ${WORK}/cli_store.db)
 set(SEGMENTS ${WORK}/cli_segments.csv)
 set(COMPACT ${WORK}/cli_compact.db)
-file(REMOVE ${CSV} ${DB} ${SEGMENTS} ${COMPACT} ${WORK}/missing.db)
+file(REMOVE ${CSV} ${CSV2} ${DB} ${SEGMENTS} ${COMPACT} ${WORK}/missing.db)
 
 function(run_cli expect_substring)
   execute_process(COMMAND ${CLI} ${ARGN}
@@ -34,6 +35,13 @@ run_cli("wrote [0-9]+ observations"
 run_cli("segments \\(r=" segment --csv ${CSV} --eps 0.2 --out ${SEGMENTS})
 run_cli("built .*feature rows"
         build --csv ${CSV} --db ${DB} --eps 0.2 --smooth)
+# generate emits an inclusive endpoint sample at t = days * 86400, so the
+# second chunk starts a full day later to keep time stamps strictly
+# increasing (the gap is legal; an equal time stamp is not).
+run_cli("wrote [0-9]+ observations"
+        generate --out ${CSV2} --days 3 --seed 42 --start-day 6)
+run_cli("appended [0-9]+ observations .*eps=0.2"
+        append --csv ${CSV2} --db ${DB} --smooth)
 run_cli("periods with a drop" search --db ${DB} --t-hours 1 --v -3)
 run_cli("periods with a jump"
         search --db ${DB} --t-hours 2 --v 2 --jump --mode index)
@@ -55,5 +63,5 @@ if(code EQUAL 0)
   message(FATAL_ERROR "unknown command unexpectedly succeeded")
 endif()
 
-file(REMOVE ${CSV} ${DB} ${SEGMENTS} ${COMPACT})
+file(REMOVE ${CSV} ${CSV2} ${DB} ${SEGMENTS} ${COMPACT})
 message(STATUS "segdiff_cli workflow OK")

@@ -19,6 +19,7 @@
 #include "query/predicate.h"
 #include "segdiff/exh_index.h"
 #include "segdiff/segdiff_index.h"
+#include "segdiff/transect_index.h"
 #include "storage/db.h"
 #include "storage/record.h"
 #include "ts/generator.h"
@@ -150,6 +151,62 @@ TEST_F(ParallelQueryTest, ExhParallelMatchesSerial) {
     EXPECT_DOUBLE_EQ((*a)[i].dv, (*b)[i].dv);
   }
   ExpectSameStats(serial_stats, parallel_stats);
+}
+
+TEST(TransectConcurrentIngestTest, MatchesSerialIngest) {
+  // Concurrent per-sensor ingest touches disjoint stores, so it must be
+  // indistinguishable from the serial loop — same segments, same feature
+  // rows, same search hits.
+  const int kSensors = 5;
+  const std::string serial_dir =
+      UniqueTestPath("transect_ingest", "_serial");
+  const std::string parallel_dir =
+      UniqueTestPath("transect_ingest", "_parallel");
+  std::vector<Series> all_series;
+  for (int s = 0; s < kSensors; ++s) {
+    CadGeneratorOptions gen;
+    gen.num_days = 2;
+    gen.cad_events_per_day = 2.0;
+    gen.sensor_index = s;
+    gen.seed = 20080325 + static_cast<uint64_t>(s);
+    auto data = GenerateCadSeries(gen);
+    ASSERT_TRUE(data.ok());
+    all_series.push_back(std::move(data->series));
+  }
+
+  SegDiffOptions options;
+  options.window_s = 4 * 3600.0;
+  auto serial = TransectIndex::Open(serial_dir, kSensors, options);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE((*serial)->IngestAllSensors(all_series, /*num_threads=*/0).ok());
+  auto parallel = TransectIndex::Open(parallel_dir, kSensors, options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_TRUE(
+      (*parallel)->IngestAllSensors(all_series, /*num_threads=*/4).ok());
+
+  for (int s = 0; s < kSensors; ++s) {
+    auto a = (*serial)->sensor(s);
+    auto b = (*parallel)->sensor(s);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ((*a)->num_segments(), (*b)->num_segments()) << "sensor " << s;
+    EXPECT_EQ((*a)->num_observations(), (*b)->num_observations());
+    EXPECT_EQ((*a)->GetSizes().feature_rows, (*b)->GetSizes().feature_rows);
+  }
+  auto serial_hits = (*serial)->SearchDrops(3600.0, -3.0);
+  auto parallel_hits = (*parallel)->SearchDrops(3600.0, -3.0);
+  ASSERT_TRUE(serial_hits.ok());
+  ASSERT_TRUE(parallel_hits.ok());
+  EXPECT_EQ(*serial_hits, *parallel_hits);
+
+  serial->reset();
+  parallel->reset();
+  for (int s = 0; s < kSensors; ++s) {
+    std::remove(
+        (serial_dir + "/sensor" + std::to_string(s) + ".db").c_str());
+    std::remove(
+        (parallel_dir + "/sensor" + std::to_string(s) + ".db").c_str());
+  }
 }
 
 TEST(ParallelSeqScanTest, MatchesSerialSeqScan) {

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <set>
 #include <string>
 
@@ -212,6 +213,28 @@ TEST(PlannerTest, ClampsAndDegenerates) {
   PlannerOptions options;
   options.index_selectivity_threshold = 0.9;
   EXPECT_EQ(ChooseAccessPath(10, 0.0, 100.0, 60.0, true, options).path,
+            AccessPath::kIndexScan);
+}
+
+TEST(PlannerTest, MalformedStatsFallBackToSeqScan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // Inverted range: the stats are inconsistent, so no selectivity
+  // estimate is trustworthy; the safe path is the sequential scan.
+  PlanChoice inverted = ChooseAccessPath(10, 9.0, 5.0, 7.0, true);
+  EXPECT_EQ(inverted.path, AccessPath::kSeqScan);
+  EXPECT_DOUBLE_EQ(inverted.estimated_selectivity, 1.0);
+  // NaN bounds must not reach the degenerate branch, where a failed
+  // comparison would report selectivity 0 and wrongly pick the index.
+  EXPECT_EQ(ChooseAccessPath(10, nan, 100.0, 7.0, true).path,
+            AccessPath::kSeqScan);
+  EXPECT_EQ(ChooseAccessPath(10, 0.0, nan, 7.0, true).path,
+            AccessPath::kSeqScan);
+  EXPECT_EQ(ChooseAccessPath(10, 0.0, 100.0, nan, true).path,
+            AccessPath::kSeqScan);
+  EXPECT_EQ(ChooseAccessPath(10, nan, nan, nan, true).path,
+            AccessPath::kSeqScan);
+  // Zero-width is NOT malformed: still all-or-nothing.
+  EXPECT_EQ(ChooseAccessPath(10, 3.0, 3.0, 2.0, true).path,
             AccessPath::kIndexScan);
 }
 

@@ -357,6 +357,94 @@ TEST_F(StorageTest, DatabaseReopenRestoresEverything) {
   }
 }
 
+TEST_F(StorageTest, MetaBlobsPersistAcrossReopen) {
+  {
+    auto db = Database::Open(path_, DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE((*db)->GetMeta("absent").status().IsNotFound());
+    (*db)->PutMeta("engine.state", std::string("\x01\x00\x7f""abc", 6));
+    (*db)->PutMeta("other", "tiny");
+    (*db)->PutMeta("other", "overwritten");  // last write wins
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    DatabaseOptions options;
+    options.create_if_missing = false;
+    auto db = Database::Open(path_, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto blob = (*db)->GetMeta("engine.state");
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(*blob, std::string("\x01\x00\x7f""abc", 6));
+    auto other = (*db)->GetMeta("other");
+    ASSERT_TRUE(other.ok());
+    EXPECT_EQ(*other, "overwritten");
+    EXPECT_TRUE((*db)->EraseMeta("other"));
+    EXPECT_FALSE((*db)->EraseMeta("other"));  // already gone
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    DatabaseOptions options;
+    options.create_if_missing = false;
+    auto db = Database::Open(path_, options);
+    ASSERT_TRUE(db.ok());
+    EXPECT_TRUE((*db)->GetMeta("other").status().IsNotFound());
+    EXPECT_TRUE((*db)->GetMeta("engine.state").ok());
+  }
+}
+
+TEST_F(StorageTest, MetaBlobSpillsAcrossCatalogPages) {
+  // A blob much larger than one page forces the catalog chain to spill;
+  // it must round-trip bit-exactly alongside table metadata.
+  std::string big(3 * kPageSize + 123, '\0');
+  Rng rng(42);
+  for (char& c : big) {
+    c = static_cast<char>(rng.NextU64() & 0xff);
+  }
+  {
+    auto db = Database::Open(path_, DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    auto schema = DoubleSchema({"x"});
+    ASSERT_TRUE((*db)->CreateTable("t", *schema).ok());
+    (*db)->PutMeta("big", big);
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    DatabaseOptions options;
+    options.create_if_missing = false;
+    auto db = Database::Open(path_, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto blob = (*db)->GetMeta("big");
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(*blob, big);
+    EXPECT_TRUE((*db)->GetTable("t").ok());
+  }
+}
+
+TEST_F(StorageTest, MetaBlobsSurviveCompaction) {
+  const std::string compact_path = path_ + ".compact";
+  std::remove(compact_path.c_str());
+  {
+    auto db = Database::Open(path_, DatabaseOptions{});
+    ASSERT_TRUE(db.ok());
+    auto schema = DoubleSchema({"x"});
+    auto table = (*db)->CreateTable("t", *schema);
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)->InsertDoubles({1.0}).ok());
+    (*db)->PutMeta("engine.state", "resume-here");
+    ASSERT_TRUE((*db)->CompactInto(compact_path).ok());
+  }
+  {
+    DatabaseOptions options;
+    options.create_if_missing = false;
+    auto db = Database::Open(compact_path, options);
+    ASSERT_TRUE(db.ok());
+    auto blob = (*db)->GetMeta("engine.state");
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(*blob, "resume-here");
+  }
+  std::remove(compact_path.c_str());
+}
+
 TEST_F(StorageTest, DatabaseDuplicateTableRejected) {
   auto db = Database::Open(path_, DatabaseOptions{});
   auto schema = DoubleSchema({"x"});

@@ -5,9 +5,12 @@
 //
 // Usage:
 //   segdiff_cli generate --out data.csv [--days 30] [--sensor 0]
-//                        [--seed 20080325] [--smooth]
+//                        [--seed 20080325] [--start-day 0] [--smooth]
 //   segdiff_cli build    --csv data.csv --db store.db [--eps 0.2]
 //                        [--window-hours 8] [--no-index] [--smooth]
+//   segdiff_cli append   --csv more.csv --db store.db [--smooth]
+//                        (resume ingest into an existing store; picks up
+//                         the persisted open segment and build options)
 //   segdiff_cli search   --db store.db [--t-hours 1] [--v -3] [--jump]
 //                        [--mode seq|index|auto] [--limit 20]
 //   segdiff_cli stats    --db store.db
@@ -37,7 +40,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: segdiff_cli <generate|build|search|stats|sql> "
+               "usage: segdiff_cli <generate|build|append|search|stats|sql> "
                "[--flag value ...]\n"
                "run with a command and no flags to see its options in the "
                "header of tools/segdiff_cli.cc\n");
@@ -109,6 +112,8 @@ int CmdGenerate(const Flags& flags) {
   gen.num_days = flags.GetInt("--days", 30);
   gen.sensor_index = flags.GetInt("--sensor", 0);
   gen.seed = static_cast<uint64_t>(flags.GetInt("--seed", 20080325));
+  // Later chunks of the same logical deployment start at a later day.
+  gen.start_time_s = flags.GetDouble("--start-day", 0.0) * 86400.0;
   auto data = GenerateCadSeries(gen);
   if (!data.ok()) return Fail(data.status());
   Series series = std::move(data->series);
@@ -164,6 +169,49 @@ int CmdBuild(const Flags& flags) {
                   static_cast<double>((*store)->num_segments()),
               static_cast<unsigned long long>(sizes.feature_rows),
               sizes.feature_bytes / 1024.0, sizes.index_bytes / 1024.0);
+  return 0;
+}
+
+int CmdAppend(const Flags& flags) {
+  const std::string csv = flags.Get("--csv", "");
+  const std::string db = flags.Get("--db", "");
+  if (csv.empty() || db.empty()) {
+    std::fprintf(stderr, "append: --csv and --db are required\n");
+    return 2;
+  }
+  auto series = ReadSeriesCsv(csv);
+  if (!series.ok()) return Fail(series.status());
+  Series input = std::move(series).value();
+  if (flags.Has("--smooth")) {
+    auto smoothed = Smooth(input);
+    if (!smoothed.ok()) return Fail(smoothed.status());
+    input = std::move(smoothed).value();
+  }
+  SegDiffOptions options;  // eps/window/index are adopted from the store
+  options.create_if_missing = false;
+  auto store = SegDiffIndex::Open(db, options);
+  if (!store.ok()) return Fail(store.status());
+  const uint64_t before = (*store)->num_observations();
+  for (const Sample& sample : input) {
+    if (Status status = (*store)->AppendObservation(sample.t, sample.v);
+        !status.ok()) {
+      return Fail(status);
+    }
+  }
+  if (Status status = (*store)->FlushPending(); !status.ok()) {
+    return Fail(status);
+  }
+  if (Status status = (*store)->Checkpoint(); !status.ok()) {
+    return Fail(status);
+  }
+  const SegDiffSizes sizes = (*store)->GetSizes();
+  std::printf("appended %zu observations to %s (%llu total, eps=%g): "
+              "%llu segments, %llu feature rows\n",
+              input.size(), db.c_str(),
+              static_cast<unsigned long long>(before + input.size()),
+              (*store)->options().eps,
+              static_cast<unsigned long long>((*store)->num_segments()),
+              static_cast<unsigned long long>(sizes.feature_rows));
   return 0;
 }
 
@@ -354,6 +402,7 @@ int Run(int argc, char** argv) {
   const Flags flags(argc, argv, 2);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
+  if (command == "append") return CmdAppend(flags);
   if (command == "search") return CmdSearch(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "sql") return CmdSql(flags);
