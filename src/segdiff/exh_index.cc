@@ -27,30 +27,46 @@ Result<std::unique_ptr<ExhIndex>> ExhIndex::Open(const std::string& path,
     return Status::InvalidArgument("window_s must be positive");
   }
   std::unique_ptr<ExhIndex> index(new ExhIndex(options));
-  DatabaseOptions db_options;
-  db_options.buffer_pool_pages = options.buffer_pool_pages;
-  db_options.sim_seq_read_ns = options.sim_seq_read_ns;
-  db_options.sim_random_read_ns = options.sim_random_read_ns;
-  SEGDIFF_ASSIGN_OR_RETURN(index->db_, Database::Open(path, db_options));
-  if (index->db_->tables().empty()) {
-    SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema,
-                             DoubleSchema({"dt", "dv", "t"}));
-    SEGDIFF_ASSIGN_OR_RETURN(index->table_,
-                             index->db_->CreateTable("exh", schema));
-    if (options.build_index) {
-      SEGDIFF_RETURN_IF_ERROR(
-          index->table_->CreateIndex("ptdv", {"dt", "dv"}).status());
+  Status status = index->OpenImpl(path);
+  if (!status.ok()) {
+    // A failed open must not mutate the store: the destructor will not
+    // save (default/partial) ingest state over the persisted blob, and
+    // the database handle must not checkpoint the catalog on close.
+    if (index->db_ != nullptr) {
+      index->db_->set_checkpoint_on_close(false);
     }
-  } else {
-    SEGDIFF_ASSIGN_OR_RETURN(index->table_, index->db_->GetTable("exh"));
-    index->options_.build_index = !index->table_->indexes().empty();
+    return status;
   }
-  SEGDIFF_RETURN_IF_ERROR(index->RestoreIngestState());
+  index->opened_ = true;
   return index;
 }
 
+Status ExhIndex::OpenImpl(const std::string& path) {
+  DatabaseOptions db_options;
+  db_options.buffer_pool_pages = options_.buffer_pool_pages;
+  db_options.sim_seq_read_ns = options_.sim_seq_read_ns;
+  db_options.sim_random_read_ns = options_.sim_random_read_ns;
+  SEGDIFF_ASSIGN_OR_RETURN(db_, Database::Open(path, db_options));
+  if (db_->tables().empty()) {
+    SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema,
+                             DoubleSchema({"dt", "dv", "t"}));
+    SEGDIFF_ASSIGN_OR_RETURN(table_, db_->CreateTable("exh", schema));
+    if (options_.build_index) {
+      SEGDIFF_RETURN_IF_ERROR(
+          table_->CreateIndex("ptdv", {"dt", "dv"}).status());
+    }
+  } else {
+    SEGDIFF_ASSIGN_OR_RETURN(table_, db_->GetTable("exh"));
+    options_.build_index = !table_->indexes().empty();
+  }
+  return RestoreIngestState();
+}
+
 ExhIndex::~ExhIndex() {
-  if (db_ != nullptr) {
+  // Only a fully-opened index saves state: after a failed Open the
+  // window is default/partially restored, and writing it back would
+  // destroy the persisted resume point (and mask the corruption).
+  if (opened_) {
     SaveIngestState();  // db_'s destructor checkpoints the catalog
   }
 }
@@ -232,6 +248,11 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
 Status ExhIndex::Checkpoint() {
   SaveIngestState();
   return db_->Checkpoint();
+}
+
+Status ExhIndex::Compact(const std::string& destination_path) {
+  SaveIngestState();  // the copied ingest blob must reflect the table
+  return db_->CompactInto(destination_path);
 }
 
 Status ExhIndex::DropCaches() {

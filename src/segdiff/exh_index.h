@@ -87,6 +87,14 @@ class ExhIndex : public FeatureSink {
 
   Status Checkpoint();
   Status DropCaches();
+
+  /// Saves ingest state, then rewrites the store into a fresh file at
+  /// `destination_path` (Database::CompactInto). Prefer this over
+  /// db()->CompactInto(): it guarantees the compacted store's ingest
+  /// blob is consistent with its table, so it reopens as a valid
+  /// resume point.
+  Status Compact(const std::string& destination_path);
+
   ExhSizes GetSizes() const;
   uint64_t num_observations() const override { return observations_; }
   const ExhOptions& options() const { return options_; }
@@ -94,6 +102,10 @@ class ExhIndex : public FeatureSink {
 
  private:
   explicit ExhIndex(ExhOptions options);
+  /// Everything fallible in Open: database, table, restored state. On
+  /// failure the instance may be partially built; Open marks the
+  /// database handle to not checkpoint on close.
+  Status OpenImpl(const std::string& path);
   Result<std::vector<ExhEvent>> Search(bool drop, double T, double V,
                                        const SearchOptions& options,
                                        SearchStats* stats);
@@ -113,6 +125,10 @@ class ExhIndex : public FeatureSink {
   /// chunk boundaries are not dropped on the next IngestSeries call.
   std::deque<Sample> window_;
   uint64_t observations_ = 0;
+  /// Set only when Open fully succeeded; the destructor saves ingest
+  /// state only for opened instances so a failed open never overwrites
+  /// the persisted resume point.
+  bool opened_ = false;
 };
 
 }  // namespace segdiff

@@ -67,47 +67,62 @@ Result<std::unique_ptr<SegDiffIndex>> SegDiffIndex::Open(
     return Status::InvalidArgument("window_s must be positive");
   }
   std::unique_ptr<SegDiffIndex> index(new SegDiffIndex(options));
+  Status status = index->OpenImpl(path);
+  if (!status.ok()) {
+    // A failed open must not mutate the store: the destructor will not
+    // save (default/partial) ingest state over the persisted blob, and
+    // the database handle must not checkpoint the catalog on close.
+    if (index->db_ != nullptr) {
+      index->db_->set_checkpoint_on_close(false);
+    }
+    return status;
+  }
+  index->opened_ = true;
+  return index;
+}
+
+Status SegDiffIndex::OpenImpl(const std::string& path) {
   DatabaseOptions db_options;
-  db_options.buffer_pool_pages = options.buffer_pool_pages;
-  db_options.create_if_missing = options.create_if_missing;
-  db_options.sim_seq_read_ns = options.sim_seq_read_ns;
-  db_options.sim_random_read_ns = options.sim_random_read_ns;
-  SEGDIFF_ASSIGN_OR_RETURN(index->db_, Database::Open(path, db_options));
-  SEGDIFF_RETURN_IF_ERROR(index->InitTables());
-  SEGDIFF_RETURN_IF_ERROR(index->RestoreIngestState());
+  db_options.buffer_pool_pages = options_.buffer_pool_pages;
+  db_options.create_if_missing = options_.create_if_missing;
+  db_options.sim_seq_read_ns = options_.sim_seq_read_ns;
+  db_options.sim_random_read_ns = options_.sim_random_read_ns;
+  SEGDIFF_ASSIGN_OR_RETURN(db_, Database::Open(path, db_options));
+  SEGDIFF_RETURN_IF_ERROR(InitTables());
+  SEGDIFF_RETURN_IF_ERROR(RestoreIngestState());
 
   // Streaming pipeline: segmenter -> segment directory + extractor ->
   // feature tables. Built after RestoreIngestState so a reopened store's
   // adopted build parameters (eps, window, collected kinds) apply.
   ExtractorOptions extractor_options;
-  extractor_options.eps = index->options_.eps;
-  extractor_options.window_s = index->options_.window_s;
-  extractor_options.collect_drops = index->options_.collect_drops;
-  extractor_options.collect_jumps = index->options_.collect_jumps;
-  SegDiffIndex* raw = index.get();
-  index->extractor_ = std::make_unique<FeatureExtractor>(
+  extractor_options.eps = options_.eps;
+  extractor_options.window_s = options_.window_s;
+  extractor_options.collect_drops = options_.collect_drops;
+  extractor_options.collect_jumps = options_.collect_jumps;
+  extractor_ = std::make_unique<FeatureExtractor>(
       extractor_options,
-      [raw](const PairFeatures& row) { return raw->WriteFeatureRow(row); });
+      [this](const PairFeatures& row) { return WriteFeatureRow(row); });
   SegmentationOptions seg_options;
-  seg_options.max_error = index->options_.eps / 2.0;
-  index->segmenter_ = std::make_unique<SlidingWindowSegmenter>(
+  seg_options.max_error = options_.eps / 2.0;
+  segmenter_ = std::make_unique<SlidingWindowSegmenter>(
       seg_options,
-      [raw](const DataSegment& segment) { return raw->OnSegment(segment); });
-  if (index->restored_extractor_ != nullptr) {
-    SEGDIFF_RETURN_IF_ERROR(
-        index->extractor_->RestoreState(*index->restored_extractor_));
-    index->restored_extractor_.reset();
+      [this](const DataSegment& segment) { return OnSegment(segment); });
+  if (restored_extractor_ != nullptr) {
+    SEGDIFF_RETURN_IF_ERROR(extractor_->RestoreState(*restored_extractor_));
+    restored_extractor_.reset();
   }
-  if (index->restored_segmenter_ != nullptr) {
-    SEGDIFF_RETURN_IF_ERROR(
-        index->segmenter_->RestoreState(*index->restored_segmenter_));
-    index->restored_segmenter_.reset();
+  if (restored_segmenter_ != nullptr) {
+    SEGDIFF_RETURN_IF_ERROR(segmenter_->RestoreState(*restored_segmenter_));
+    restored_segmenter_.reset();
   }
-  return index;
+  return Status::OK();
 }
 
 SegDiffIndex::~SegDiffIndex() {
-  if (db_ != nullptr) {
+  // Only a fully-opened index has a pipeline to save; after a failed
+  // Open, segmenter_/extractor_ may be null and the persisted state must
+  // stay whatever it was (db_'s destructor also skips its checkpoint).
+  if (opened_) {
     SaveIngestState();  // db_'s destructor checkpoints the catalog
   }
 }
@@ -302,6 +317,11 @@ Status SegDiffIndex::RestoreIngestState() {
     auto extractor = std::make_unique<ExtractorState>();
     auto segmenter = std::make_unique<SegmenterState>();
     std::deque<DataSegment> window;
+    // The reconstruction assumes the scan yields segments in temporal
+    // (insertion) order — the anchor and pair window come from the last
+    // rows seen. Validate the chain instead of trusting it: a violated
+    // order would silently corrupt the resume point.
+    double prev_end_t = -kInf;
     SEGDIFF_RETURN_IF_ERROR(segments_table_->Scan(
         [&](const char* record, RecordId, bool* keep_going) -> Status {
           *keep_going = true;
@@ -310,6 +330,12 @@ Status SegDiffIndex::RestoreIngestState() {
           segment.start.v = DecodeDoubleColumn(record, 1);
           segment.end.t = DecodeDoubleColumn(record, 2);
           segment.end.v = DecodeDoubleColumn(record, 3);
+          if (!(segment.start.t < segment.end.t) ||
+              segment.start.t < prev_end_t) {
+            return Status::Corruption(
+                "segment directory is not a temporal segment chain");
+          }
+          prev_end_t = segment.end.t;
           const double win_start = segment.start.t - options_.window_s;
           while (!window.empty() && window.front().end.t <= win_start) {
             window.pop_front();
@@ -720,6 +746,11 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
 Status SegDiffIndex::Checkpoint() {
   SaveIngestState();
   return db_->Checkpoint();
+}
+
+Status SegDiffIndex::Compact(const std::string& destination_path) {
+  SaveIngestState();  // the copied ingest blob must reflect the tables
+  return db_->CompactInto(destination_path);
 }
 
 Status SegDiffIndex::DropCaches() {

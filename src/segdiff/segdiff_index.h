@@ -141,6 +141,13 @@ class SegDiffIndex : public FeatureSink {
   /// Checkpoint then evict the buffer pool: cold-cache experiments.
   Status DropCaches();
 
+  /// Saves ingest state, then rewrites the store into a fresh file at
+  /// `destination_path` (Database::CompactInto). Prefer this over
+  /// db()->CompactInto(): it guarantees the compacted store's ingest
+  /// blob is consistent with its tables, so it reopens as a valid
+  /// resume point.
+  Status Compact(const std::string& destination_path);
+
   SegDiffSizes GetSizes() const;
   const ExtractorStats& extractor_stats() const;
   uint64_t num_observations() const override { return observations_; }
@@ -151,6 +158,10 @@ class SegDiffIndex : public FeatureSink {
  private:
   SegDiffIndex(SegDiffOptions options);
 
+  /// Everything fallible in Open: database, tables, restored state, and
+  /// the streaming pipeline. On failure the instance may be partially
+  /// built; Open marks the database handle to not checkpoint on close.
+  Status OpenImpl(const std::string& path);
   Status InitTables();
   Status WriteFeatureRow(const PairFeatures& row);
   /// One completed segment from the segmenter: segment directory row +
@@ -186,6 +197,9 @@ class SegDiffIndex : public FeatureSink {
   std::unique_ptr<SegmenterState> restored_segmenter_;
   std::unique_ptr<ThreadPool> pool_;  ///< parallel-search workers
   uint64_t observations_ = 0;
+  /// Set only when Open fully succeeded; the destructor saves ingest
+  /// state (which dereferences the pipeline) only for opened instances.
+  bool opened_ = false;
 
   /// t_start -> t_end of every segment, for materializing t_a.
   std::unordered_map<double, double> segment_dir_;

@@ -44,6 +44,9 @@ Database::~Database() {
   if (pager_ == nullptr || pool_ == nullptr) {
     return;  // partially constructed (Open failed mid-way)
   }
+  if (!checkpoint_on_close_) {
+    return;  // the owning engine's open failed; leave the file untouched
+  }
   Status status = Checkpoint();
   if (!status.ok()) {
     SEGDIFF_LOG(Error) << "checkpoint on close failed: " << status.ToString();

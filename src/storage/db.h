@@ -80,8 +80,20 @@ class Database {
   /// Rewrites every table and index into a fresh database file at
   /// `destination_path` (which must not exist), reclaiming the garbage
   /// pages left behind by DeleteWhere rewrites and abandoned extents.
-  /// This database is not modified.
+  /// This database is not modified. Catalog blobs are copied from the
+  /// in-memory map, which owning engines only refresh when they persist
+  /// their state — callers holding a SegDiffIndex/ExhIndex must compact
+  /// through the index's Compact() (or Checkpoint first) so the copied
+  /// ingest blob is consistent with the copied tables.
   Status CompactInto(const std::string& destination_path);
+
+  /// Disables the automatic Checkpoint in the destructor. Engines call
+  /// this when their Open fails after the database handle was created:
+  /// closing must not rewrite the catalog of a store that was never
+  /// successfully opened (e.g. one whose ingest blob is corrupt).
+  void set_checkpoint_on_close(bool checkpoint) {
+    checkpoint_on_close_ = checkpoint;
+  }
 
   BufferPool* buffer_pool() { return pool_.get(); }
   Pager* pager() { return pager_.get(); }
@@ -95,6 +107,7 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::map<std::string, std::string> meta_;  ///< named catalog blobs
+  bool checkpoint_on_close_ = true;
 };
 
 }  // namespace segdiff

@@ -134,7 +134,7 @@ TEST_F(IntegrationTest, FullWorkflow) {
   }
 
   // 7. Compaction shrinks the file (extent slack) and preserves answers.
-  ASSERT_TRUE((*reopened)->db()->CompactInto(compact_path_).ok());
+  ASSERT_TRUE((*reopened)->Compact(compact_path_).ok());
   auto compacted = SegDiffIndex::Open(compact_path_, options);
   ASSERT_TRUE(compacted.ok());
   EXPECT_LE((*compacted)->GetSizes().file_bytes,

@@ -340,8 +340,10 @@ TEST_F(StreamingIngestTest, IngestStateSurvivesCompaction) {
     for (size_t i = 0; i < half; ++i) {
       ASSERT_TRUE(stream->AppendObservation(series_[i].t, series_[i].v).ok());
     }
-    ASSERT_TRUE(stream->Checkpoint().ok());
-    ASSERT_TRUE(stream->db()->CompactInto(batch_path_ + ".compact").ok());
+    // Deliberately no Checkpoint first: Compact() itself must save the
+    // ingest state, so the compacted store is a consistent resume point
+    // even when compaction races ahead of any explicit checkpoint.
+    ASSERT_TRUE(stream->Compact(batch_path_ + ".compact").ok());
   }
   SegDiffOptions reopen;
   reopen.create_if_missing = false;
@@ -350,6 +352,72 @@ TEST_F(StreamingIngestTest, IngestStateSurvivesCompaction) {
   ASSERT_TRUE(
       compacted->AppendObservation(series_[half].t, series_[half].v).ok());
   std::remove((batch_path_ + ".compact").c_str());
+}
+
+TEST_F(StreamingIngestTest, CorruptIngestStateFailsOpenCleanly) {
+  SegDiffOptions options;
+  {
+    auto stream = OpenStore(stream_path_, options);
+    for (size_t i = 0; i < series_.size() / 2; ++i) {
+      ASSERT_TRUE(stream->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+  }
+  const std::string garbage = "garbage";
+  {
+    DatabaseOptions raw_options;
+    raw_options.create_if_missing = false;
+    auto raw = Database::Open(stream_path_, raw_options);
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    (*raw)->PutMeta("segdiff.ingest", garbage);
+    ASSERT_TRUE((*raw)->Checkpoint().ok());
+  }
+  SegDiffOptions reopen;
+  reopen.create_if_missing = false;
+  // The corruption surfaces as a clean error — no crash in the
+  // partially-built index's destructor...
+  auto failed = SegDiffIndex::Open(stream_path_, reopen);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsCorruption()) << failed.status().ToString();
+  // ...and the failed open left the store byte-for-byte alone: the bad
+  // blob is still there to diagnose, not silently replaced by a default
+  // state that would mask the corruption on the next open.
+  DatabaseOptions raw_options;
+  raw_options.create_if_missing = false;
+  auto raw = Database::Open(stream_path_, raw_options);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  auto blob = (*raw)->GetMeta("segdiff.ingest");
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_EQ(*blob, garbage);
+}
+
+TEST_F(StreamingIngestTest, OutOfOrderSegmentDirectoryRejected) {
+  SegDiffOptions options;
+  {
+    auto stream = OpenStore(stream_path_, options);
+    Series first;
+    for (size_t i = 0; i < series_.size() / 2; ++i) {
+      ASSERT_TRUE(first.Append(series_[i]).ok());
+    }
+    ASSERT_TRUE(stream->IngestSeries(first).ok());
+  }
+  {
+    // Simulate a corrupted legacy store: no ingest blob, and a segment
+    // appended out of temporal order at the end of the directory.
+    DatabaseOptions raw_options;
+    raw_options.create_if_missing = false;
+    auto raw = Database::Open(stream_path_, raw_options);
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    EXPECT_TRUE((*raw)->EraseMeta("segdiff.ingest"));
+    auto segments = (*raw)->GetTable("segments");
+    ASSERT_TRUE(segments.ok());
+    ASSERT_TRUE((*segments)->InsertDoubles({1.0, 0.0, 2.0, 0.0}).ok());
+    ASSERT_TRUE((*raw)->Checkpoint().ok());
+  }
+  SegDiffOptions reopen;
+  reopen.create_if_missing = false;
+  auto failed = SegDiffIndex::Open(stream_path_, reopen);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsCorruption()) << failed.status().ToString();
 }
 
 // ---------------------------------------------------------------------
@@ -425,6 +493,38 @@ TEST_F(ExhStreamingTest, ReopenResumesAppending) {
     ASSERT_TRUE(stream->AppendObservation(series_[i].t, series_[i].v).ok());
   }
   ExpectSameExhTables(stream.get(), batch.get());
+}
+
+TEST_F(ExhStreamingTest, CorruptIngestStateFailsOpenCleanly) {
+  ExhOptions options;
+  options.window_s = 3600.0;
+  {
+    auto stream = OpenStore(stream_path_, options);
+    for (size_t i = 0; i < series_.size() / 2; ++i) {
+      ASSERT_TRUE(stream->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+  }
+  const std::string garbage = "garbage";
+  {
+    DatabaseOptions raw_options;
+    raw_options.create_if_missing = false;
+    auto raw = Database::Open(stream_path_, raw_options);
+    ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+    (*raw)->PutMeta("exh.ingest", garbage);
+    ASSERT_TRUE((*raw)->Checkpoint().ok());
+  }
+  auto failed = ExhIndex::Open(stream_path_, options);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsCorruption()) << failed.status().ToString();
+  // The failed open neither crashed nor replaced the bad blob with a
+  // default (empty-window) state.
+  DatabaseOptions raw_options;
+  raw_options.create_if_missing = false;
+  auto raw = Database::Open(stream_path_, raw_options);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  auto blob = (*raw)->GetMeta("exh.ingest");
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_EQ(*blob, garbage);
 }
 
 }  // namespace
