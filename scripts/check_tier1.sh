@@ -3,9 +3,14 @@
 #   1. configure + build + full ctest suite (the CI gate from ROADMAP.md)
 #   2. an AddressSanitizer build running the streaming-ingest and storage
 #      suites (the subsystems that serialize/restore raw state blobs)
+#      plus the `faults` ctest group (crash-recovery + fault injection,
+#      whose error paths exercise partially-initialized state)
 #
 # Usage: scripts/check_tier1.sh [--no-asan]
 # Exits non-zero on the first failing step.
+#
+# SEGDIFF_FAULT_SEED varies the crash-matrix fault schedule (see
+# tests/fault_injection_test.cc); unset keeps the deterministic default.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,13 +30,16 @@ echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
 if [[ "${RUN_ASAN}" == "1" ]]; then
-  echo "== asan: configure + build (streaming + storage suites) =="
+  echo "== asan: configure + build (streaming + storage + fault suites) =="
   cmake -B build-asan -S . -DSEGDIFF_SANITIZE=address >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
-    streaming_ingest_test storage_test segdiff_index_test
+    streaming_ingest_test storage_test segdiff_index_test \
+    fault_injection_test
   echo "== asan: run =="
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
     -R 'StreamingIngestTest|ExhStreamingTest|StorageTest|SegDiffIndexTest')
+  echo "== asan: fault-injection group (ctest -L faults) =="
+  (cd build-asan && ctest --output-on-failure -j "${JOBS}" -L faults)
 fi
 
 echo "== check_tier1: all green =="

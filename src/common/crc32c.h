@@ -1,0 +1,29 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every on-disk page (see storage/pager.cc). Chosen
+// over plain CRC32 for its better error-detection properties on storage
+// workloads and for hardware support (SSE4.2 crc32 instruction) when the
+// build targets it.
+
+#ifndef SEGDIFF_COMMON_CRC32C_H_
+#define SEGDIFF_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace segdiff {
+
+/// Extends `crc` with `data[0, n)`. Pass the return value of a previous
+/// call to checksum data in chunks.
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
+
+/// CRC32C of `data[0, n)`.
+inline uint32_t Crc32c(const char* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Whether this build uses the SSE4.2 hardware crc32 instruction.
+bool Crc32cHardwareAccelerated();
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_CRC32C_H_

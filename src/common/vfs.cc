@@ -1,0 +1,182 @@
+#include "common/vfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace segdiff {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Directory part of `path` ("." when there is none).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+class PosixFile : public RandomAccessFile {
+ public:
+  PosixFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Status Read(uint64_t offset, size_t n, char* buf) override {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t got = ::pread(fd_, buf + done, n - done,
+                                  static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) {
+          continue;  // interrupted mid-transfer: retry the remainder
+        }
+        return Errno("pread", path_);
+      }
+      if (got == 0) {
+        return Status::IOError("short read (EOF at " +
+                               std::to_string(offset + done) + ", wanted " +
+                               std::to_string(n) + " bytes at " +
+                               std::to_string(offset) + "): " + path_);
+      }
+      done += static_cast<size_t>(got);
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const char* buf, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      const ssize_t put = ::pwrite(fd_, buf + done, n - done,
+                                   static_cast<off_t>(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return Errno("pwrite", path_);
+      }
+      done += static_cast<size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Errno("fsync", path_);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Errno("fstat", path_);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixVfs : public Vfs {
+ public:
+  Result<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& path,
+                                                     bool create) override {
+    int fd = -1;
+    if (path == ":memory:") {
+      if (!create) {
+        return Status::InvalidArgument(
+            ":memory: databases are always created fresh");
+      }
+      fd = static_cast<int>(::syscall(SYS_memfd_create, "segdiff-memdb", 0u));
+      if (fd < 0) {
+        return Errno("memfd_create", path);
+      }
+    } else {
+      int flags = O_RDWR;
+      if (create) {
+        flags |= O_CREAT;
+      }
+      do {
+        fd = ::open(path.c_str(), flags, 0644);
+      } while (fd < 0 && errno == EINTR);
+      if (fd < 0) {
+        return Errno("open", path);
+      }
+    }
+    return std::unique_ptr<RandomAccessFile>(
+        std::make_unique<PosixFile>(path, fd));
+  }
+
+  Status SyncDir(const std::string& path) override {
+    if (path == ":memory:") {
+      return Status::OK();  // no directory entry to persist
+    }
+    const std::string dir = DirName(path);
+    int fd;
+    do {
+      fd = ::open(dir.c_str(), O_RDONLY);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return Errno("open (dir)", dir);
+    }
+    Status status;
+    if (::fsync(fd) != 0) {
+      // Some file systems refuse fsync on directories; that is not a
+      // durability failure the caller can act on, so only real errors
+      // (EIO, EBADF) propagate.
+      if (errno == EIO || errno == EBADF) {
+        status = Errno("fsync (dir)", dir);
+      }
+    }
+    ::close(fd);
+    return status;
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such file: " + path);
+      }
+      return Errno("unlink", path);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Default() {
+  static PosixVfs* posix = new PosixVfs();  // leaked: process lifetime
+  return posix;
+}
+
+}  // namespace segdiff

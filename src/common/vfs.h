@@ -1,0 +1,80 @@
+// Vfs: the virtual file system every byte of database IO goes through.
+//
+// The Pager (and anything else touching store files) performs its IO via
+// a Vfs instance instead of raw syscalls, so that
+//   - short reads/writes and EINTR are retried in exactly one place
+//     (PosixVfs), instead of ad hoc at every call site, and
+//   - tests can substitute a FaultInjectionVfs (storage/fault_vfs.h)
+//     that drops unsynced writes, tears pages, or fails the Nth
+//     fsync/read/write to exercise crash recovery.
+//
+// Vfs instances are non-owning dependencies: callers keep them alive for
+// the lifetime of every file opened through them. Vfs::Default() returns
+// a process-wide PosixVfs singleton.
+
+#ifndef SEGDIFF_COMMON_VFS_H_
+#define SEGDIFF_COMMON_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace segdiff {
+
+/// One open file supporting positional (seek-free) IO. Read/Write
+/// transfer exactly `n` bytes or fail: partial transfers and EINTR are
+/// handled inside the implementation, never surfaced to callers.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `buf`. Hitting EOF before
+  /// `n` bytes is an IOError ("short read").
+  virtual Status Read(uint64_t offset, size_t n, char* buf) = 0;
+
+  /// Writes exactly `n` bytes from `buf` at `offset`, extending the file
+  /// as needed.
+  virtual Status Write(uint64_t offset, const char* buf, size_t n) = 0;
+
+  /// Truncates (or extends with zeros) to `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Flushes file data and metadata to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Current size in bytes.
+  virtual Result<uint64_t> Size() = 0;
+};
+
+/// Factory for RandomAccessFiles plus the directory-level operations
+/// durability needs.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Opens `path` for read/write, creating it when `create` is true and
+  /// it does not exist. The special path ":memory:" returns an anonymous
+  /// memory-backed file (memfd) that disappears on close; it requires
+  /// `create` and never touches the file system.
+  virtual Result<std::unique_ptr<RandomAccessFile>> OpenFile(
+      const std::string& path, bool create) = 0;
+
+  /// Fsyncs the directory containing `path`, making a preceding file
+  /// creation durable (some file systems lose the directory entry of a
+  /// freshly created file on crash unless its parent is synced).
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Deletes `path`; NotFound if it does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// The process-wide POSIX-backed instance.
+  static Vfs* Default();
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_COMMON_VFS_H_

@@ -71,11 +71,11 @@ BPlusTree::BPlusTree(BufferPool* pool, PageId meta_page, int arity,
       height_(height) {}
 
 size_t BPlusTree::LeafCapacity() const {
-  return (kPageSize - kNodeHeaderBytes) / LeafEntryBytes();
+  return (kPageCapacity - kNodeHeaderBytes) / LeafEntryBytes();
 }
 
 size_t BPlusTree::InternalCapacity() const {
-  return (kPageSize - kNodeHeaderBytes) / InternalEntryBytes();
+  return (kPageCapacity - kNodeHeaderBytes) / InternalEntryBytes();
 }
 
 void BPlusTree::EncodeKey(const IndexKey& key, char* dst) const {

@@ -46,6 +46,8 @@ Status ExhIndex::OpenImpl(const std::string& path) {
   db_options.buffer_pool_pages = options_.buffer_pool_pages;
   db_options.sim_seq_read_ns = options_.sim_seq_read_ns;
   db_options.sim_random_read_ns = options_.sim_random_read_ns;
+  db_options.vfs = options_.vfs;
+  db_options.verify_checksums = options_.verify_checksums;
   SEGDIFF_ASSIGN_OR_RETURN(db_, Database::Open(path, db_options));
   if (db_->tables().empty()) {
     SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema,
@@ -194,7 +196,8 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
       // are re-sorted below, so per-partition collection order is
       // irrelevant to the result.
       std::vector<std::vector<ExhEvent>> partition_out(num_threads);
-      SEGDIFF_RETURN_IF_ERROR(ParallelSeqScan(
+      SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
+          ParallelSeqScan(
           *table_, predicate, EnsurePool(num_threads), num_threads,
           [&partition_out](size_t p) -> RowCallback {
             std::vector<ExhEvent>* sink = &partition_out[p];
@@ -207,13 +210,15 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
               return Status::OK();
             };
           },
-          &local.scan));
+          &local.scan),
+          "the exh pair table"));
       for (const std::vector<ExhEvent>& part : partition_out) {
         events.insert(events.end(), part.begin(), part.end());
       }
     } else {
-      SEGDIFF_RETURN_IF_ERROR(
-          SeqScan(*table_, predicate, collect, &local.scan));
+      SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
+          SeqScan(*table_, predicate, collect, &local.scan),
+          "the exh pair table"));
     }
   } else {
     if (!options_.build_index) {
@@ -228,8 +233,9 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
     spec.key_filter = [drop, V](const IndexKey& key) {
       return drop ? key.vals[1] <= V : key.vals[1] >= V;
     };
-    SEGDIFF_RETURN_IF_ERROR(
-        IndexScan(*table_, spec, Predicate::True(), collect, &local.scan));
+    SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
+        IndexScan(*table_, spec, Predicate::True(), collect, &local.scan),
+        "the exh pair table"));
   }
 
   std::sort(events.begin(), events.end(),

@@ -30,6 +30,11 @@ struct ExhOptions {
   /// Simulated storage read latency (cold-cache experiments); 0 = off.
   uint64_t sim_seq_read_ns = 0;
   uint64_t sim_random_read_ns = 0;
+  /// File system the store's IO goes through (nullptr = default POSIX
+  /// Vfs; non-owning). Fault-injection tests substitute their own.
+  Vfs* vfs = nullptr;
+  /// Verify page checksums on read (see DatabaseOptions).
+  bool verify_checksums = true;
 };
 
 /// One matching event (pair of sampled observations).

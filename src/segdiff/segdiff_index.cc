@@ -55,6 +55,17 @@ bool PairIdKeyEq(const PairId& a, const PairId& b) {
 
 }  // namespace
 
+Status QuarantineScanError(Status status, const std::string& what) {
+  if (status.ok() || !status.IsCorruption()) {
+    return status;
+  }
+  return Status::Corruption(
+      "quarantined range: " + what + " has unreadable pages [" +
+      std::string(status.message()) +
+      "]; run `segdiff_cli verify --scrub` to map the damage, then "
+      "rebuild or compact from a healthy replica");
+}
+
 SegDiffIndex::SegDiffIndex(SegDiffOptions options)
     : options_(std::move(options)) {}
 
@@ -87,6 +98,8 @@ Status SegDiffIndex::OpenImpl(const std::string& path) {
   db_options.create_if_missing = options_.create_if_missing;
   db_options.sim_seq_read_ns = options_.sim_seq_read_ns;
   db_options.sim_random_read_ns = options_.sim_random_read_ns;
+  db_options.vfs = options_.vfs;
+  db_options.verify_checksums = options_.verify_checksums;
   SEGDIFF_ASSIGN_OR_RETURN(db_, Database::Open(path, db_options));
   SEGDIFF_RETURN_IF_ERROR(InitTables());
   SEGDIFF_RETURN_IF_ERROR(RestoreIngestState());
@@ -427,13 +440,15 @@ Status SegDiffIndex::EnsureSegmentDirectory() {
     return Status::OK();
   }
   segment_dir_.clear();
-  SEGDIFF_RETURN_IF_ERROR(segments_table_->Scan(
-      [this](const char* record, RecordId, bool* keep_going) -> Status {
-        *keep_going = true;
-        segment_dir_[DecodeDoubleColumn(record, 0)] =
-            DecodeDoubleColumn(record, 2);
-        return Status::OK();
-      }));
+  SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
+      segments_table_->Scan(
+          [this](const char* record, RecordId, bool* keep_going) -> Status {
+            *keep_going = true;
+            segment_dir_[DecodeDoubleColumn(record, 0)] =
+                DecodeDoubleColumn(record, 2);
+            return Status::OK();
+          }),
+      "the segment directory"));
   segment_dir_fresh_ = true;
   return Status::OK();
 }
@@ -702,7 +717,9 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
     // exists (table-at-a-time with partitioned passes avoids nesting
     // task- and partition-level parallelism).
     for (const QueryTask& task : tasks) {
-      SEGDIFF_RETURN_IF_ERROR(run_task(task, &results, &local.scan));
+      SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
+          run_task(task, &results, &local.scan),
+          "feature table '" + task.table->name() + "'"));
     }
   } else {
     // Concurrent point/line queries: each task gets a private result
@@ -712,7 +729,9 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
     std::vector<ScanStats> task_scan(tasks.size());
     SEGDIFF_RETURN_IF_ERROR(
         pool->ParallelFor(tasks.size(), [&](size_t i) -> Status {
-          return run_task(tasks[i], &task_out[i], &task_scan[i]);
+          return QuarantineScanError(
+              run_task(tasks[i], &task_out[i], &task_scan[i]),
+              "feature table '" + tasks[i].table->name() + "'");
         }));
     for (size_t i = 0; i < tasks.size(); ++i) {
       local.scan.Add(task_scan[i]);

@@ -46,6 +46,11 @@ struct SegDiffOptions {
   /// Simulated storage read latency (cold-cache experiments); 0 = off.
   uint64_t sim_seq_read_ns = 0;
   uint64_t sim_random_read_ns = 0;
+  /// File system the store's IO goes through (nullptr = default POSIX
+  /// Vfs; non-owning). Fault-injection tests substitute their own.
+  Vfs* vfs = nullptr;
+  /// Verify page checksums on read (see DatabaseOptions).
+  bool verify_checksums = true;
 };
 
 /// How a search executes its range queries.
@@ -88,6 +93,14 @@ struct SegDiffSizes {
   uint64_t segment_dir_bytes = 0;
   uint64_t file_bytes = 0;      ///< whole database file
 };
+
+/// Rewrites a Corruption status coming out of a table scan into a
+/// "quarantined range" error naming the store object (`what`), keeping
+/// the underlying page diagnosis and adding remediation advice. Every
+/// other status passes through unchanged. Used by the search paths so a
+/// checksum-failed page surfaces as a clear, actionable error — never as
+/// a partial result set.
+Status QuarantineScanError(Status status, const std::string& what);
 
 class SegDiffIndex : public FeatureSink {
  public:

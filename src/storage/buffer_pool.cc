@@ -104,7 +104,16 @@ Result<size_t> BufferPool::GrabFrame(Shard& shard) {
   shard.lru.pop_back();
   Frame& frame = frames_[victim];
   frame.in_lru = false;
-  SEGDIFF_RETURN_IF_ERROR(FlushFrame(frame, shard));
+  Status flush = FlushFrame(frame, shard);
+  if (!flush.ok()) {
+    // Write-back failed: the page keeps its dirty contents and returns
+    // to the LRU (still cached, still dirty, still evictable), so a
+    // later flush can retry; the caller sees the IO error.
+    shard.lru.push_back(victim);
+    frame.lru_pos = std::prev(shard.lru.end());
+    frame.in_lru = true;
+    return flush;
+  }
   shard.page_table.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
   ++shard.stats.evictions;

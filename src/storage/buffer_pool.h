@@ -90,8 +90,11 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns a pinned handle for page `id`, reading it on miss. Fails
-  /// with ResourceExhausted-like Internal error when every frame of the
+  /// Returns a pinned handle for page `id`, reading it on miss. A miss
+  /// goes through Pager::ReadPage, which verifies the page checksum —
+  /// a corrupted page surfaces here as Status::Corruption naming the
+  /// page, never as a cached frame of garbage. Fails with a
+  /// ResourceExhausted-like Internal error when every frame of the
   /// page's shard is pinned.
   Result<PageHandle> Fetch(PageId id);
 

@@ -13,7 +13,7 @@ constexpr PageId kCatalogRootPage = 1;
 constexpr uint32_t kCatalogMagic = 0x43544C47;  // "CTLG"
 constexpr uint32_t kCatalogVersion = 2;  ///< v2 added named meta blobs
 constexpr size_t kChainHeaderBytes = 16;
-constexpr size_t kChainPayloadBytes = kPageSize - kChainHeaderBytes;
+constexpr size_t kChainPayloadBytes = kPageCapacity - kChainHeaderBytes;
 
 void AppendU8(std::string* out, uint8_t v) {
   out->push_back(static_cast<char>(v));

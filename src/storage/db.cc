@@ -9,10 +9,16 @@ namespace segdiff {
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& path, const DatabaseOptions& options) {
   std::unique_ptr<Database> db(new Database());
-  SEGDIFF_ASSIGN_OR_RETURN(db->pager_,
-                           Pager::Open(path, options.create_if_missing));
+  SEGDIFF_ASSIGN_OR_RETURN(
+      db->pager_, Pager::Open(path, options.create_if_missing, options.vfs));
   db->pager_->SetSimulatedReadLatency(options.sim_seq_read_ns,
                                       options.sim_random_read_ns);
+  db->pager_->set_verify_checksums(options.verify_checksums);
+  if (db->pager_->read_only()) {
+    // Legacy v1 store: readable, but pages cannot be written back, so a
+    // close must not attempt to checkpoint. Compact() upgrades it.
+    db->checkpoint_on_close_ = false;
+  }
   db->pool_ =
       std::make_unique<BufferPool>(db->pager_.get(), options.buffer_pool_pages);
 
@@ -119,6 +125,12 @@ Status Database::CompactInto(const std::string& destination_path) {
   DatabaseOptions options;
   options.buffer_pool_pages = pool_->capacity();
   options.create_if_missing = true;
+  // The fresh store inherits this database's Vfs (fault-injection tests
+  // compact through the injected file system too) and is always written
+  // in the current checksummed format — compacting is the upgrade path
+  // for legacy v1 stores.
+  options.vfs = pager_->vfs();
+  options.verify_checksums = pager_->verify_checksums();
   SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<Database> fresh,
                            Database::Open(destination_path, options));
   if (!fresh->tables_.empty()) {
@@ -145,6 +157,16 @@ Status Database::CompactInto(const std::string& destination_path) {
   }
   fresh->meta_ = meta_;  // ingest state etc. survives compaction
   return fresh->Checkpoint();
+}
+
+Result<ScrubReport> Database::Scrub() {
+  // Flush so the on-disk image matches the logical state being scrubbed
+  // (dirty cached pages would otherwise mask or fake on-disk damage).
+  // Legacy stores cannot be written, but they have nothing dirty either.
+  if (!pager_->read_only()) {
+    SEGDIFF_RETURN_IF_ERROR(pool_->FlushAll());
+  }
+  return pager_->Scrub();
 }
 
 Status Database::DropCaches() {

@@ -29,6 +29,13 @@ struct DatabaseOptions {
   /// rotating disk on RAM-backed filesystems.
   uint64_t sim_seq_read_ns = 0;
   uint64_t sim_random_read_ns = 0;
+  /// File system the store does its IO through; nullptr = the default
+  /// POSIX Vfs. Non-owning: must outlive the database. Tests inject a
+  /// FaultInjectionVfs here to exercise crash recovery.
+  Vfs* vfs = nullptr;
+  /// Verify page checksums on read (bench_checksum measures the cost of
+  /// flipping this; leave on outside benchmarks).
+  bool verify_checksums = true;
 };
 
 /// Aggregate size statistics (paper Section 6 metrics).
@@ -97,6 +104,12 @@ class Database {
 
   BufferPool* buffer_pool() { return pool_.get(); }
   Pager* pager() { return pager_.get(); }
+
+  /// Flushes dirty pages, then walks every page of the file verifying
+  /// its checksum (segdiff_cli verify --scrub). Collects corrupt pages
+  /// instead of failing on the first; read-only on the file contents
+  /// apart from the flush.
+  Result<ScrubReport> Scrub();
 
   DatabaseSizeStats SizeStats() const;
 

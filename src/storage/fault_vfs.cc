@@ -1,0 +1,286 @@
+#include "storage/fault_vfs.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace segdiff {
+namespace {
+
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) {
+    return ".";
+  }
+  if (slash == 0) {
+    return "/";
+  }
+  return path.substr(0, slash);
+}
+
+Status Injected(const char* what) {
+  return Status::IOError(std::string("injected fault: ") + what);
+}
+
+Status Crashed() {
+  return Status::IOError("simulated crash: file system unavailable");
+}
+
+}  // namespace
+
+/// Wraps one open file; all fault decisions live in the owning Vfs so a
+/// schedule spans every file of a store. Namespace-scoped (not
+/// anonymous) to match the friend declaration in fault_vfs.h.
+class FaultFile : public RandomAccessFile {
+ public:
+  FaultFile(FaultInjectionVfs* vfs, std::string path,
+            std::unique_ptr<RandomAccessFile> base)
+      : vfs_(vfs), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Read(uint64_t offset, size_t n, char* buf) override;
+  Status Write(uint64_t offset, const char* buf, size_t n) override;
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override;
+  Result<uint64_t> Size() override { return base_->Size(); }
+
+ private:
+  FaultInjectionVfs* vfs_;
+  std::string path_;
+  std::unique_ptr<RandomAccessFile> base_;
+};
+
+FaultInjectionVfs::FaultInjectionVfs(Vfs* base)
+    : base_(base != nullptr ? base : Vfs::Default()) {}
+
+FaultInjectionVfs::~FaultInjectionVfs() = default;
+
+bool FaultInjectionVfs::ShouldFail(int64_t* countdown) {
+  if (*countdown < 0) {
+    return false;
+  }
+  if (*countdown == 0) {
+    ++counters_.injected_failures;
+    return true;  // sticky: the device stays failed until Reset()
+  }
+  --*countdown;
+  return false;
+}
+
+Status FaultFile::Read(uint64_t offset, size_t n, char* buf) {
+  {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (vfs_->crashed_) {
+      return Crashed();
+    }
+    if (vfs_->ShouldFail(&vfs_->fail_reads_after_)) {
+      return Injected("read failure");
+    }
+    ++vfs_->counters_.reads;
+    vfs_->counters_.read_bytes += n;
+  }
+  return base_->Read(offset, n, buf);
+}
+
+Status FaultFile::Write(uint64_t offset, const char* buf, size_t n) {
+  size_t write_n = n;
+  {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (vfs_->crashed_) {
+      return Crashed();
+    }
+    if (vfs_->ShouldFail(&vfs_->fail_writes_after_)) {
+      return Injected("write failure");
+    }
+    ++vfs_->counters_.writes;
+    vfs_->counters_.written_bytes += n;
+    if (vfs_->torn_armed_ && offset <= vfs_->torn_offset_ &&
+        vfs_->torn_offset_ < offset + n) {
+      // Tear: persist only a prefix, then report success — exactly what
+      // a power cut mid-sector-train leaves behind.
+      write_n = std::min(n, vfs_->torn_keep_bytes_);
+      vfs_->torn_armed_ = false;
+      ++vfs_->counters_.torn_writes;
+    }
+  }
+  if (write_n == 0) {
+    return Status::OK();
+  }
+  Status status = base_->Write(offset, buf, write_n);
+  if (status.ok() && write_n < n) {
+    return Status::OK();  // torn write still "succeeds"
+  }
+  return status;
+}
+
+Status FaultFile::Sync() {
+  {
+    std::lock_guard<std::mutex> lock(vfs_->mu_);
+    if (vfs_->crashed_) {
+      return Crashed();
+    }
+    if (vfs_->ShouldFail(&vfs_->fail_syncs_after_)) {
+      return Injected("fsync failure");
+    }
+    ++vfs_->counters_.syncs;
+  }
+  SEGDIFF_RETURN_IF_ERROR(base_->Sync());
+  // Successful sync: snapshot the durable state a crash would roll back
+  // to. Reading the file back is O(file size), fine at test scale.
+  SEGDIFF_ASSIGN_OR_RETURN(uint64_t size, base_->Size());
+  std::string contents(size, '\0');
+  if (size > 0) {
+    SEGDIFF_RETURN_IF_ERROR(base_->Read(0, size, contents.data()));
+  }
+  std::lock_guard<std::mutex> lock(vfs_->mu_);
+  FaultInjectionVfs::FileState& state = vfs_->files_[path_];
+  state.synced = std::move(contents);
+  state.synced_valid = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<RandomAccessFile>> FaultInjectionVfs::OpenFile(
+    const std::string& path, bool create) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Crashed();
+    }
+  }
+  if (path == ":memory:") {
+    // Anonymous memory files have no crash state worth modelling.
+    return base_->OpenFile(path, create);
+  }
+  const bool existed = base_->FileExists(path);
+  SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                           base_->OpenFile(path, create));
+  std::string initial;
+  if (existed) {
+    // Pre-existing contents count as durable: they survived whatever
+    // made them, so a simulated crash rolls back no further than this.
+    SEGDIFF_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+    initial.resize(size);
+    if (size > 0) {
+      SEGDIFF_RETURN_IF_ERROR(file->Read(0, size, initial.data()));
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[path];
+  if (!state.synced_valid) {
+    state.synced = std::move(initial);
+    state.synced_valid = true;
+    state.creation_pending_dir_sync = !existed;
+  }
+  return std::unique_ptr<RandomAccessFile>(
+      std::make_unique<FaultFile>(this, path, std::move(file)));
+}
+
+Status FaultInjectionVfs::SyncDir(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Crashed();
+    }
+    ++counters_.dir_syncs;
+  }
+  SEGDIFF_RETURN_IF_ERROR(base_->SyncDir(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string dir = DirOf(path);
+  for (auto& [file_path, state] : files_) {
+    if (DirOf(file_path) == dir) {
+      state.creation_pending_dir_sync = false;
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultInjectionVfs::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionVfs::RemoveFile(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      return Crashed();
+    }
+    files_.erase(path);
+  }
+  return base_->RemoveFile(path);
+}
+
+void FaultInjectionVfs::FailAfterWrites(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_writes_after_ = n;
+}
+
+void FaultInjectionVfs::FailAfterReads(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_reads_after_ = n;
+}
+
+void FaultInjectionVfs::FailAfterSyncs(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_syncs_after_ = n;
+}
+
+void FaultInjectionVfs::SetTornWrite(uint64_t offset, size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_armed_ = true;
+  torn_offset_ = offset;
+  torn_keep_bytes_ = keep_bytes;
+}
+
+Status FaultInjectionVfs::Crash() {
+  // Snapshot the revert work under the lock, then do base IO unlocked
+  // (base files are independent of our mutex, but keep it simple and
+  // safe against concurrent FaultFile calls, which now all fail fast).
+  std::map<std::string, FileState> files;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_ = true;
+    files = files_;
+  }
+  Status first_error;
+  for (const auto& [path, state] : files) {
+    Status status;
+    if (state.creation_pending_dir_sync) {
+      // The directory entry was never made durable: the file is gone.
+      status = base_->RemoveFile(path);
+      if (status.IsNotFound()) {
+        status = Status::OK();
+      }
+    } else if (state.synced_valid) {
+      auto file = base_->OpenFile(path, /*create=*/true);
+      if (!file.ok()) {
+        status = file.status();
+      } else {
+        status = (*file)->Truncate(state.synced.size());
+        if (status.ok() && !state.synced.empty()) {
+          status =
+              (*file)->Write(0, state.synced.data(), state.synced.size());
+        }
+      }
+    }
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+void FaultInjectionVfs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = false;
+  fail_writes_after_ = -1;
+  fail_reads_after_ = -1;
+  fail_syncs_after_ = -1;
+  torn_armed_ = false;
+  counters_ = Counters();
+  files_.clear();
+}
+
+FaultInjectionVfs::Counters FaultInjectionVfs::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace segdiff

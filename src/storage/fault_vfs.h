@@ -1,0 +1,115 @@
+// FaultInjectionVfs: a Vfs wrapper that simulates storage failures and
+// crashes, for the crash-recovery harness (tests/fault_injection_test.cc)
+// and for reproducing reported corruption.
+//
+// Fault model (deterministic, schedule set by the test):
+//   - Nth-operation failures: FailAfterWrites/Reads/Syncs(n) make the
+//     (n+1)th subsequent operation of that kind — and every one after
+//     it — return an injected IOError, like a device that went away.
+//   - Torn writes: SetTornWrite(offset, keep) makes the next write
+//     covering file offset `offset` persist only its first `keep` bytes
+//     and report success — a torn page, detectable only by checksum.
+//   - Crash(): reverts every file to its state at the last successful
+//     Sync (unsynced writes are lost; files whose parent directory was
+//     never synced after creation disappear entirely) and fails all
+//     further IO until Reset(). Destroy store objects after Crash() —
+//     their best-effort close-time writes fail harmlessly — then Reset()
+//     and reopen to observe what a real power cut would have left.
+//
+// Counters record every operation that reached the wrapper, so tests can
+// both assert IO behaviour ("the fix added exactly one directory sync")
+// and enumerate fault points for exhaustive crash matrices.
+//
+// All methods are thread-safe (one internal mutex).
+
+#ifndef SEGDIFF_STORAGE_FAULT_VFS_H_
+#define SEGDIFF_STORAGE_FAULT_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/vfs.h"
+
+namespace segdiff {
+
+class FaultInjectionVfs : public Vfs {
+ public:
+  struct Counters {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t syncs = 0;
+    uint64_t dir_syncs = 0;
+    uint64_t read_bytes = 0;
+    uint64_t written_bytes = 0;
+    uint64_t injected_failures = 0;
+    uint64_t torn_writes = 0;
+  };
+
+  /// Wraps `base` (nullptr = the default POSIX Vfs); `base` must outlive
+  /// this instance.
+  explicit FaultInjectionVfs(Vfs* base = nullptr);
+  ~FaultInjectionVfs() override;
+
+  Result<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& path,
+                                                     bool create) override;
+  Status SyncDir(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+
+  /// The next `n` writes succeed; every write after them fails with an
+  /// injected IOError. Negative disables.
+  void FailAfterWrites(int64_t n);
+  void FailAfterReads(int64_t n);
+  void FailAfterSyncs(int64_t n);
+
+  /// The next write covering absolute file offset `offset` (in any
+  /// file) persists only its first `keep_bytes` bytes, then reports
+  /// success. One-shot.
+  void SetTornWrite(uint64_t offset, size_t keep_bytes);
+
+  /// Simulated power cut: every tracked file reverts to its contents at
+  /// its last successful Sync(); files created since their directory was
+  /// last synced are deleted outright. All subsequent IO through this
+  /// Vfs fails until Reset().
+  Status Crash();
+
+  /// Clears the crashed flag, all fault schedules, and counters.
+  /// Synced-state snapshots are re-seeded from the files' current
+  /// contents on their next open.
+  void Reset();
+
+  Counters counters() const;
+
+ private:
+  friend class FaultFile;
+
+  struct FileState {
+    std::string synced;     ///< contents at last successful Sync
+    bool synced_valid = false;  ///< snapshot taken (else: unknown/created)
+    /// Created through this Vfs and parent directory not yet synced: a
+    /// crash deletes the file.
+    bool creation_pending_dir_sync = false;
+  };
+
+  /// Decrements a countdown fault; true = this operation must fail.
+  bool ShouldFail(int64_t* countdown);
+
+  Vfs* base_;
+  mutable std::mutex mu_;
+  bool crashed_ = false;
+  int64_t fail_writes_after_ = -1;
+  int64_t fail_reads_after_ = -1;
+  int64_t fail_syncs_after_ = -1;
+  bool torn_armed_ = false;
+  uint64_t torn_offset_ = 0;
+  size_t torn_keep_bytes_ = 0;
+  Counters counters_;
+  std::map<std::string, FileState> files_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_FAULT_VFS_H_

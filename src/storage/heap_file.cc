@@ -21,11 +21,11 @@ HeapFile::HeapFile(BufferPool* pool, size_t record_bytes,
     : pool_(pool),
       allocator_(pool->pager()),
       record_bytes_(record_bytes),
-      records_per_page_((kPageSize - kHeaderBytes) / record_bytes),
+      records_per_page_((kPageCapacity - kHeaderBytes) / record_bytes),
       meta_(meta) {}
 
 Result<HeapFile> HeapFile::Create(BufferPool* pool, size_t record_bytes) {
-  if (record_bytes == 0 || record_bytes > kPageSize - kHeaderBytes) {
+  if (record_bytes == 0 || record_bytes > kPageCapacity - kHeaderBytes) {
     return Status::InvalidArgument("record size does not fit a page");
   }
   HeapFile heap(pool, record_bytes, HeapFileMeta{});
@@ -43,7 +43,7 @@ Result<HeapFile> HeapFile::Create(BufferPool* pool, size_t record_bytes) {
 
 Result<HeapFile> HeapFile::Attach(BufferPool* pool, size_t record_bytes,
                                   const HeapFileMeta& meta) {
-  if (record_bytes == 0 || record_bytes > kPageSize - kHeaderBytes) {
+  if (record_bytes == 0 || record_bytes > kPageCapacity - kHeaderBytes) {
     return Status::InvalidArgument("record size does not fit a page");
   }
   if (meta.first_page == kInvalidPageId || meta.last_page == kInvalidPageId) {

@@ -4,7 +4,8 @@
 //   [ 0..7  ] next page id (kInvalidPageId at tail)
 //   [ 8..9  ] record count in this page
 //   [10..15 ] reserved
-//   [16..   ] records, record_bytes each
+//   [16..   ] records, record_bytes each (up to kPageCapacity; the
+//             trailing kPageTrailerBytes belong to the pager's checksum)
 //
 // Scans stream pages in chain order; point reads resolve a RecordId.
 

@@ -11,6 +11,17 @@ namespace segdiff {
 /// Page size in bytes. 8 KiB, a common database default.
 constexpr size_t kPageSize = 8192;
 
+/// Every page ends in a trailer the pager owns (file format v2):
+///   [kPageCapacity + 0 .. +3]  CRC32C of bytes [0, kPageCapacity)
+///   [kPageCapacity + 4 .. +7]  trailer magic (distinguishes "no
+///                              trailer" from "payload corrupted")
+/// Page users (heap files, B+-tree nodes, the catalog chain) may only
+/// touch the first kPageCapacity bytes; the pager stamps the trailer on
+/// every write and verifies it on every read. Legacy v1 files have no
+/// trailers and open read-only (see storage/pager.h).
+constexpr size_t kPageTrailerBytes = 8;
+constexpr size_t kPageCapacity = kPageSize - kPageTrailerBytes;
+
 /// Identifies a page within a database file. Page 0 is the file header,
 /// page 1 the catalog root; data pages start at 2.
 using PageId = uint64_t;

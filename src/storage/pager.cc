@@ -1,102 +1,108 @@
 #include "storage/pager.h"
 
-#include <fcntl.h>
-#include <sys/syscall.h>
 #include <time.h>
-#include <unistd.h>
 
-#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
-#include <vector>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 
 namespace segdiff {
 namespace {
 
-constexpr uint32_t kFileMagic = 0x4D494442;  // "MIDB"
-constexpr uint32_t kFileVersion = 1;
+constexpr uint32_t kFileMagic = 0x4D494442;    // "MIDB"
+constexpr uint32_t kTrailerMagic = 0x50474353;  // "PGCS"
 
-Status Errno(const std::string& what, const std::string& path) {
-  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+/// Computes and stores the trailer of a page about to be written.
+void StampTrailer(char* page) {
+  EncodeFixed32(page + kPageCapacity, Crc32c(page, kPageCapacity));
+  EncodeFixed32(page + kPageCapacity + 4, kTrailerMagic);
+}
+
+Status ReadOnlyError(const std::string& path) {
+  return Status::NotSupported(
+      "legacy v1 store is read-only (no page checksums): " + path +
+      "; compact it to upgrade to the checksummed v2 format");
 }
 
 }  // namespace
 
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
-                                           bool create) {
-  int fd = -1;
-  if (path == ":memory:") {
-    if (!create) {
-      return Status::InvalidArgument(
-          ":memory: databases are always created fresh");
-    }
-    fd = static_cast<int>(::syscall(SYS_memfd_create, "segdiff-memdb", 0u));
-    if (fd < 0) {
-      return Errno("memfd_create", path);
-    }
-  } else {
-    int flags = O_RDWR;
-    if (create) {
-      flags |= O_CREAT;
-    }
-    fd = ::open(path.c_str(), flags, 0644);
-    if (fd < 0) {
-      return Errno("open", path);
-    }
+                                           bool create, Vfs* vfs) {
+  if (vfs == nullptr) {
+    vfs = Vfs::Default();
   }
-  const off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return Errno("lseek", path);
-  }
+  const bool existed = path != ":memory:" && vfs->FileExists(path);
+  SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                           vfs->OpenFile(path, create));
+  SEGDIFF_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   if (size == 0) {
-    // Fresh file: write the header page.
-    std::unique_ptr<Pager> pager(new Pager(path, fd, 1));
+    // Fresh file: write the (checksummed, v2) header page.
+    std::unique_ptr<Pager> pager(new Pager(path, std::move(file), 1,
+                                           kFormatChecksummed, vfs,
+                                           /*created=*/!existed));
     Status status = pager->WriteHeader();
     if (!status.ok()) {
       return status;
     }
     return pager;
   }
-  if (size % static_cast<off_t>(kPageSize) != 0) {
-    ::close(fd);
+  if (size % kPageSize != 0) {
     return Status::Corruption("file size not page-aligned: " + path);
   }
   char header[kPageSize];
-  const ssize_t got = ::pread(fd, header, kPageSize, 0);
-  if (got != static_cast<ssize_t>(kPageSize)) {
-    ::close(fd);
-    return Status::Corruption("short header read: " + path);
-  }
+  SEGDIFF_RETURN_IF_ERROR(file->Read(0, kPageSize, header));
   if (DecodeFixed32(header) != kFileMagic) {
-    ::close(fd);
     return Status::Corruption("bad magic: " + path);
   }
-  if (DecodeFixed32(header + 4) != kFileVersion) {
-    ::close(fd);
-    return Status::Corruption("unsupported version: " + path);
+  const uint32_t version = DecodeFixed32(header + 4);
+  if (version != kFormatLegacy && version != kFormatChecksummed) {
+    return Status::Corruption("unsupported version " +
+                              std::to_string(version) + ": " + path);
   }
   const uint64_t page_count = DecodeFixed64(header + 8);
-  if (page_count * kPageSize > static_cast<uint64_t>(size)) {
-    ::close(fd);
+  if (page_count * kPageSize > size) {
     return Status::Corruption("header page count exceeds file: " + path);
   }
-  return std::unique_ptr<Pager>(new Pager(path, fd, page_count));
+  std::unique_ptr<Pager> pager(
+      new Pager(path, std::move(file), page_count, version, vfs,
+                /*created=*/false));
+  if (version == kFormatChecksummed) {
+    SEGDIFF_RETURN_IF_ERROR(pager->VerifyPageBuffer(0, header));
+  }
+  return pager;
 }
 
 Pager::~Pager() {
-  if (fd_ >= 0) {
+  if (file_ != nullptr && !read_only()) {
     // Best-effort header persistence on close.
     WriteHeader();
-    ::close(fd_);
   }
 }
 
 void Pager::SetSimulatedReadLatency(uint64_t seq_ns, uint64_t random_ns) {
   sim_seq_read_ns_ = seq_ns;
   sim_random_read_ns_ = random_ns;
+}
+
+Status Pager::VerifyPageBuffer(PageId id, const char* buf) const {
+  const uint32_t magic = DecodeFixed32(buf + kPageCapacity + 4);
+  if (magic != kTrailerMagic) {
+    return Status::Corruption("page " + std::to_string(id) + " of " + path_ +
+                              " has no valid trailer (torn or zeroed page)");
+  }
+  const uint32_t stored = DecodeFixed32(buf + kPageCapacity);
+  const uint32_t computed = Crc32c(buf, kPageCapacity);
+  if (stored != computed) {
+    char detail[64];
+    std::snprintf(detail, sizeof(detail), " (stored 0x%08x, computed 0x%08x)",
+                  stored, computed);
+    return Status::Corruption("checksum mismatch on page " +
+                              std::to_string(id) + " of " + path_ + detail);
+  }
+  return Status::OK();
 }
 
 Status Pager::ReadPage(PageId id, char* buf) {
@@ -123,25 +129,28 @@ Status Pager::ReadPage(PageId id, char* buf) {
     }
   }
   last_read_page_.store(id, std::memory_order_relaxed);
-  const ssize_t got =
-      ::pread(fd_, buf, kPageSize, static_cast<off_t>(id * kPageSize));
-  if (got != static_cast<ssize_t>(kPageSize)) {
-    return Errno("pread", path_);
+  SEGDIFF_RETURN_IF_ERROR(file_->Read(id * kPageSize, kPageSize, buf));
+  if (format_version_ == kFormatChecksummed && verify_checksums_) {
+    SEGDIFF_RETURN_IF_ERROR(VerifyPageBuffer(id, buf));
   }
   return Status::OK();
 }
 
 Status Pager::WritePage(PageId id, const char* buf) {
+  if (read_only()) {
+    return ReadOnlyError(path_);
+  }
   if (id >= page_count_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("write past end of file: page " +
                                    std::to_string(id));
   }
-  const ssize_t put =
-      ::pwrite(fd_, buf, kPageSize, static_cast<off_t>(id * kPageSize));
-  if (put != static_cast<ssize_t>(kPageSize)) {
-    return Errno("pwrite", path_);
-  }
-  return Status::OK();
+  // Stamp the trailer into a private copy: `buf` (typically a pinned
+  // buffer-pool frame) stays logically const and concurrent readers of
+  // the frame never observe a half-written trailer.
+  char page[kPageSize];
+  std::memcpy(page, buf, kPageCapacity);
+  StampTrailer(page);
+  return file_->Write(id * kPageSize, page, kPageSize);
 }
 
 Result<PageId> Pager::AllocatePage() { return AllocateExtent(1); }
@@ -150,37 +159,68 @@ Result<PageId> Pager::AllocateExtent(size_t n) {
   if (n == 0) {
     return Status::InvalidArgument("empty extent");
   }
+  if (read_only()) {
+    return ReadOnlyError(path_);
+  }
   std::lock_guard<std::mutex> lock(alloc_mu_);
   const PageId id = page_count_.load(std::memory_order_relaxed);
+  // Zero pages with valid trailers: a page that is allocated, counted by
+  // a later checkpoint, but never written still verifies on read.
   std::vector<char> zero(n * kPageSize, 0);
-  const ssize_t put = ::pwrite(fd_, zero.data(), zero.size(),
-                               static_cast<off_t>(id * kPageSize));
-  if (put != static_cast<ssize_t>(zero.size())) {
-    return Errno("pwrite (allocate)", path_);
+  StampTrailer(zero.data());
+  for (size_t i = 1; i < n; ++i) {
+    std::memcpy(zero.data() + i * kPageSize + kPageCapacity,
+                zero.data() + kPageCapacity, kPageTrailerBytes);
   }
+  SEGDIFF_RETURN_IF_ERROR(file_->Write(id * kPageSize, zero.data(),
+                                       zero.size()));
   page_count_.store(id + n, std::memory_order_release);
   return id;
 }
 
 Status Pager::WriteHeader() {
+  if (read_only()) {
+    return ReadOnlyError(path_);
+  }
   char header[kPageSize];
   std::memset(header, 0, sizeof(header));
   EncodeFixed32(header, kFileMagic);
-  EncodeFixed32(header + 4, kFileVersion);
+  EncodeFixed32(header + 4, format_version_);
   EncodeFixed64(header + 8, page_count_.load());
-  const ssize_t put = ::pwrite(fd_, header, kPageSize, 0);
-  if (put != static_cast<ssize_t>(kPageSize)) {
-    return Errno("pwrite (header)", path_);
-  }
-  return Status::OK();
+  StampTrailer(header);
+  return file_->Write(0, header, kPageSize);
 }
 
 Status Pager::Sync() {
   SEGDIFF_RETURN_IF_ERROR(WriteHeader());
-  if (::fsync(fd_) != 0) {
-    return Errno("fsync", path_);
+  SEGDIFF_RETURN_IF_ERROR(file_->Sync());
+  if (needs_dir_sync_) {
+    // First sync after creating the file: persist the directory entry
+    // too, or a crash here could lose the whole store on some file
+    // systems even though the data was fsynced.
+    SEGDIFF_RETURN_IF_ERROR(vfs_->SyncDir(path_));
+    needs_dir_sync_ = false;
   }
   return Status::OK();
+}
+
+Result<ScrubReport> Pager::Scrub() {
+  ScrubReport report;
+  const uint64_t count = page_count_.load(std::memory_order_acquire);
+  std::vector<char> buf(kPageSize);
+  for (PageId id = 0; id < count; ++id) {
+    ++report.pages_checked;
+    Status status = file_->Read(id * kPageSize, kPageSize, buf.data());
+    if (status.ok() && format_version_ == kFormatChecksummed) {
+      status = VerifyPageBuffer(id, buf.data());
+    } else if (status.ok()) {
+      ++report.pages_unverifiable;  // legacy v1: nothing to verify against
+    }
+    if (!status.ok()) {
+      report.corrupt.push_back(ScrubIssue{id, status.ToString()});
+    }
+  }
+  return report;
 }
 
 }  // namespace segdiff

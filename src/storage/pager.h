@@ -1,8 +1,22 @@
 // Pager: page-granular IO over a single database file.
 //
 // File layout: page 0 is the header (magic, version, page count); all
-// other pages are opaque to the pager. Reads/writes use pread/pwrite so
-// no seek state is shared.
+// other pages are opaque to the pager except for their trailer. All IO
+// goes through a Vfs (common/vfs.h), which centralizes short-IO/EINTR
+// handling and lets tests inject faults.
+//
+// Durability & integrity (file format v2):
+//   - every page ends in an 8-byte trailer: CRC32C of the payload plus a
+//     trailer magic (see storage/page.h). WritePage/AllocateExtent stamp
+//     it; ReadPage verifies it and returns Status::Corruption naming the
+//     page on mismatch — a flipped bit on disk can never surface as a
+//     silently wrong query result.
+//   - Sync() persists the header and fsyncs; after creating a file it
+//     also fsyncs the parent directory once, so a crash right after
+//     Create cannot lose the store's directory entry.
+// Legacy v1 files (no trailers) open read-only: reads work without
+// checksum verification, any write returns NotSupported telling the user
+// to compact (compaction rewrites into a fresh v2 file).
 
 #ifndef SEGDIFF_STORAGE_PAGER_H_
 #define SEGDIFF_STORAGE_PAGER_H_
@@ -11,30 +25,54 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "common/vfs.h"
 #include "storage/page.h"
 
 namespace segdiff {
 
-/// Owns the database file descriptor and the page allocation counter.
-/// Concurrent ReadPage/WritePage calls are safe (pread/pwrite share no
+/// One unreadable page found by Pager::Scrub.
+struct ScrubIssue {
+  PageId page = kInvalidPageId;
+  std::string message;
+};
+
+/// Checksum health of a whole file (segdiff_cli verify --scrub).
+struct ScrubReport {
+  uint64_t pages_checked = 0;
+  /// Pages whose checksums cannot be verified (legacy v1 file).
+  uint64_t pages_unverifiable = 0;
+  std::vector<ScrubIssue> corrupt;
+
+  bool clean() const { return corrupt.empty(); }
+};
+
+/// Owns the database file and the page allocation counter.
+/// Concurrent ReadPage/WritePage calls are safe (positional IO shares no
 /// seek state); allocation and header writes serialize on an internal
 /// mutex.
 class Pager {
  public:
+  static constexpr uint32_t kFormatLegacy = 1;  ///< no page trailers
+  static constexpr uint32_t kFormatChecksummed = 2;
+
   /// Opens (or creates, when `create` is true and the file is missing) a
   /// database file, validating or writing the header page. The special
-  /// path ":memory:" creates an anonymous memory-backed database
-  /// (memfd) that disappears when the pager is destroyed.
+  /// path ":memory:" creates an anonymous memory-backed database that
+  /// disappears when the pager is destroyed. `vfs` (nullptr = the
+  /// default POSIX Vfs) must outlive the pager.
   static Result<std::unique_ptr<Pager>> Open(const std::string& path,
-                                             bool create);
+                                             bool create,
+                                             Vfs* vfs = nullptr);
 
   ~Pager();
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
-  /// Reads page `id` into `buf` (kPageSize bytes).
+  /// Reads page `id` into `buf` (kPageSize bytes), verifying its
+  /// checksum (v2 files; see set_verify_checksums).
   Status ReadPage(PageId id, char* buf);
 
   /// Simulated storage latency, added to every ReadPage: `seq_ns` when
@@ -44,7 +82,8 @@ class Pager {
   /// is RAM-backed; 0/0 (default) disables it. See DESIGN.md.
   void SetSimulatedReadLatency(uint64_t seq_ns, uint64_t random_ns);
 
-  /// Writes `buf` (kPageSize bytes) to page `id`.
+  /// Writes `buf` (kPageSize bytes) to page `id`, stamping the page
+  /// trailer; the last kPageTrailerBytes of `buf` are ignored.
   Status WritePage(PageId id, const char* buf);
 
   /// Extends the file by one zeroed page and returns its id.
@@ -53,7 +92,8 @@ class Pager {
   /// Extends the file by `n` zeroed pages and returns the first id.
   /// Storage objects allocate in extents so their pages stay contiguous
   /// on disk (sequential scans then read sequentially even when several
-  /// objects grow concurrently).
+  /// objects grow concurrently). Each fresh page is written with a valid
+  /// trailer, so an allocated-but-never-written page still verifies.
   Result<PageId> AllocateExtent(size_t n);
 
   /// Pages in the file, including header.
@@ -62,20 +102,56 @@ class Pager {
   /// Bytes on disk (page_count * kPageSize).
   uint64_t FileSizeBytes() const { return page_count_.load() * kPageSize; }
 
-  /// Persists the header (page count) and fsyncs.
+  /// Persists the header (page count) and fsyncs; after file creation,
+  /// also fsyncs the parent directory (once).
   Status Sync();
+
+  /// Walks every page and verifies its checksum, collecting (not
+  /// failing on) unreadable pages. Reads bypass simulated latency and
+  /// always verify, regardless of set_verify_checksums.
+  Result<ScrubReport> Scrub();
 
   const std::string& path() const { return path_; }
 
+  /// The Vfs this pager's IO goes through (never null).
+  Vfs* vfs() const { return vfs_; }
+
+  /// On-disk format version (kFormatLegacy or kFormatChecksummed).
+  uint32_t format_version() const { return format_version_; }
+
+  /// Legacy v1 files are read-only: any write returns NotSupported.
+  bool read_only() const { return format_version_ == kFormatLegacy; }
+
+  /// Disables checksum verification on ReadPage (benchmarks measuring
+  /// verification overhead; scrubbing still verifies). Writes always
+  /// stamp trailers — a v2 file is never left with stale checksums.
+  void set_verify_checksums(bool verify) { verify_checksums_ = verify; }
+  bool verify_checksums() const { return verify_checksums_; }
+
  private:
-  Pager(std::string path, int fd, uint64_t page_count)
-      : path_(std::move(path)), fd_(fd), page_count_(page_count) {}
+  Pager(std::string path, std::unique_ptr<RandomAccessFile> file,
+        uint64_t page_count, uint32_t format_version, Vfs* vfs,
+        bool created)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        vfs_(vfs),
+        page_count_(page_count),
+        format_version_(format_version),
+        needs_dir_sync_(created) {}
 
   Status WriteHeader();
+  /// Checksum check for one page already read into `buf`.
+  Status VerifyPageBuffer(PageId id, const char* buf) const;
 
   std::string path_;
-  int fd_ = -1;
+  std::unique_ptr<RandomAccessFile> file_;
+  Vfs* vfs_;  ///< non-owning; outlives the pager
   std::atomic<uint64_t> page_count_{0};
+  uint32_t format_version_ = kFormatChecksummed;
+  bool verify_checksums_ = true;
+  /// The file was created by this pager and its directory entry has not
+  /// been fsynced yet; cleared by the first successful Sync.
+  bool needs_dir_sync_ = false;
   uint64_t sim_seq_read_ns_ = 0;
   uint64_t sim_random_read_ns_ = 0;
   std::atomic<PageId> last_read_page_{kInvalidPageId};

@@ -35,6 +35,8 @@ uint64_t NextRand(uint64_t* state) {
   return *state = x;
 }
 
+// Only the payload (kPageCapacity bytes) belongs to the caller; the
+// trailer is the pager's checksum.
 void StampPage(char* data, PageId id) {
   std::memset(data, static_cast<int>(id & 0x7f), kPageSize);
   std::memcpy(data, &id, sizeof(id));
@@ -44,7 +46,7 @@ bool CheckPage(const char* data, PageId id) {
   PageId stored;
   std::memcpy(&stored, data, sizeof(stored));
   if (stored != id) return false;
-  for (size_t i = sizeof(stored); i < kPageSize; ++i) {
+  for (size_t i = sizeof(stored); i < kPageCapacity; ++i) {
     if (data[i] != static_cast<char>(id & 0x7f)) return false;
   }
   return true;
@@ -139,7 +141,7 @@ TEST_F(BufferPoolConcurrencyTest, ConcurrentWritersFlushCleanly) {
             ++failures[t];
             continue;
           }
-          handle->data()[kPageSize - 1] = static_cast<char>(round);
+          handle->data()[kPageCapacity - 1] = static_cast<char>(round);
           handle->MarkDirty();
         }
       }
@@ -157,7 +159,7 @@ TEST_F(BufferPoolConcurrencyTest, ConcurrentWritersFlushCleanly) {
   for (const PageId id : pages_) {
     auto handle = pool.Fetch(id);
     ASSERT_TRUE(handle.ok());
-    EXPECT_EQ(handle->data()[kPageSize - 1], static_cast<char>(49))
+    EXPECT_EQ(handle->data()[kPageCapacity - 1], static_cast<char>(49))
         << "page " << id;
   }
 }

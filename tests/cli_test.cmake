@@ -1,7 +1,8 @@
 # End-to-end smoke test of segdiff_cli, driven by ctest:
 #   cmake -DCLI=<path-to-segdiff_cli> -DWORK=<scratch-dir> -P cli_test.cmake
 # Exercises generate -> segment -> build -> append -> search -> stats ->
-# sql -> compact and checks both exit codes and key output markers.
+# sql -> compact -> verify and checks both exit codes and key output
+# markers.
 
 if(NOT DEFINED CLI OR NOT DEFINED WORK)
   message(FATAL_ERROR "pass -DCLI=<binary> -DWORK=<dir>")
@@ -50,6 +51,8 @@ run_cli("count" sql --db ${DB} --query
         "SELECT COUNT(*) FROM drop2 WHERE dt1 <= 3600 AND dv1 <= -3")
 run_cli("compacted" compact --db ${DB} --out ${COMPACT})
 run_cli("periods with a drop" search --db ${COMPACT} --t-hours 1 --v -3)
+run_cli("verify: ok" verify --db ${DB} --scrub)
+run_cli("0 corrupt" verify --db ${COMPACT} --scrub)
 
 # Failure paths exit non-zero.
 execute_process(COMMAND ${CLI} search --db ${WORK}/missing.db

@@ -1,0 +1,670 @@
+// Crash-recovery and corruption-detection harness.
+//
+// Drives the storage stack through FaultInjectionVfs: torn pages, lost
+// unsynced writes, failed fsyncs, dying devices, and flipped bits. The
+// contract under test (DESIGN.md §9): after any single fault the store
+// either reopens and resumes exactly at its last checkpoint, or reports
+// Status::Corruption naming the damaged page — it never crashes, hangs,
+// or silently returns wrong results, and a failed open never clobbers
+// the on-disk evidence.
+//
+// The crash-matrix sweep samples its fault points with a seeded RNG;
+// set SEGDIFF_FAULT_SEED to explore a different schedule (the default
+// keeps CI deterministic).
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_paths.h"
+
+#include "common/crc32c.h"
+#include "common/env.h"
+#include "common/vfs.h"
+#include "segdiff/segdiff_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/db.h"
+#include "storage/fault_vfs.h"
+#include "storage/pager.h"
+#include "ts/generator.h"
+
+namespace segdiff {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC32C known answers (RFC 3720 test vector) and incremental equivalence.
+
+TEST(Crc32cTest, KnownAnswers) {
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  const char kNumbers[] = "123456789";
+  EXPECT_EQ(Crc32c(kNumbers, 9), 0xE3069283u);
+  // 32 zero bytes (iSCSI test vector).
+  const char zeros[32] = {0};
+  EXPECT_EQ(Crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+}
+
+TEST(Crc32cTest, ExtendSplitsAreEquivalent) {
+  std::string data(1027, '\0');
+  std::mt19937_64 rng(42);
+  for (char& c : data) {
+    c = static_cast<char>(rng());
+  }
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{512},
+                       size_t{1026}, data.size()}) {
+    uint32_t crc = Crc32cExtend(0, data.data(), split);
+    crc = Crc32cExtend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+  // The accessor must be callable either way; its value depends on the
+  // build's -march flags.
+  (void)Crc32cHardwareAccelerated();
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+/// Flips one bit of the byte at `offset` in `path` (the classic silent
+/// media error).
+void FlipByte(const std::string& path, uint64_t offset) {
+  auto file = Vfs::Default()->OpenFile(path, /*create=*/false);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  char b = 0;
+  ASSERT_TRUE((*file)->Read(offset, 1, &b).ok());
+  b ^= 0x40;
+  ASSERT_TRUE((*file)->Write(offset, &b, 1).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+}
+
+Series MakeSeries(int num_days, uint64_t seed = 20080325) {
+  CadGeneratorOptions gen;
+  gen.num_days = num_days;
+  gen.cad_events_per_day = 1.0;
+  gen.seed = seed;
+  auto data = GenerateCadSeries(gen);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return std::move(data->series);
+}
+
+/// Raw records of one table, in heap (= insertion) order.
+std::vector<std::string> TableRecords(Database* db, const std::string& name) {
+  std::vector<std::string> records;
+  auto table = db->GetTable(name);
+  EXPECT_TRUE(table.ok()) << table.status().ToString();
+  const size_t bytes = (*table)->schema().num_columns() * 8;
+  Status scan = (*table)->Scan(
+      [&](const char* record, RecordId, bool* keep_going) -> Status {
+        *keep_going = true;
+        records.emplace_back(record, bytes);
+        return Status::OK();
+      });
+  EXPECT_TRUE(scan.ok()) << scan.ToString();
+  return records;
+}
+
+const char* const kSegDiffTables[] = {"segments", "drop1", "drop2", "drop3",
+                                      "jump1",    "jump2", "jump3"};
+
+void ExpectSameTables(SegDiffIndex* actual, SegDiffIndex* expected) {
+  for (const char* name : kSegDiffTables) {
+    const std::vector<std::string> a = TableRecords(actual->db(), name);
+    const std::vector<std::string> e = TableRecords(expected->db(), name);
+    ASSERT_EQ(a.size(), e.size()) << "row count mismatch in " << name;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], e[i]) << "record " << i << " differs in " << name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pager-level detection: flipped bits and torn pages.
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = UniqueTestPath("fault");
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(FaultInjectionTest, SingleByteFlipIsDetectedAndLocated) {
+  char buf[kPageSize];
+  {
+    auto pager = Pager::Open(path_, /*create=*/true);
+    ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+    auto first = (*pager)->AllocateExtent(4);  // pages 1..4
+    ASSERT_TRUE(first.ok());
+    for (PageId id = *first; id < *first + 4; ++id) {
+      std::memset(buf, static_cast<int>('a' + id), kPageSize);
+      ASSERT_TRUE((*pager)->WritePage(id, buf).ok());
+    }
+    ASSERT_TRUE((*pager)->Sync().ok());
+  }
+  FlipByte(path_, 2 * kPageSize + 137);  // one bit in page 2's payload
+
+  auto pager = Pager::Open(path_, /*create=*/false);
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  Status bad = (*pager)->ReadPage(2, buf);
+  ASSERT_TRUE(bad.IsCorruption()) << bad.ToString();
+  EXPECT_NE(std::string(bad.message()).find("page 2"), std::string::npos)
+      << bad.ToString();
+  EXPECT_TRUE((*pager)->ReadPage(1, buf).ok());  // neighbours unaffected
+  EXPECT_TRUE((*pager)->ReadPage(3, buf).ok());
+
+  auto report = (*pager)->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->pages_checked, (*pager)->page_count());
+  EXPECT_EQ(report->pages_unverifiable, 0u);
+  ASSERT_EQ(report->corrupt.size(), 1u);
+  EXPECT_EQ(report->corrupt[0].page, 2u);
+  EXPECT_FALSE(report->clean());
+
+  // Scrub (and the failed read) must not "repair" anything: the flipped
+  // byte is evidence. A second scrub sees the same damage.
+  auto again = (*pager)->Scrub();
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->corrupt.size(), 1u);
+}
+
+TEST_F(FaultInjectionTest, TornPageWriteSurfacesAsCorruptionAfterCrash) {
+  FaultInjectionVfs vfs;
+  char buf[kPageSize];
+  {
+    auto pager = Pager::Open(path_, /*create=*/true, &vfs);
+    ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+    auto first = (*pager)->AllocateExtent(3);
+    ASSERT_TRUE(first.ok());
+    for (PageId id = *first; id < *first + 3; ++id) {
+      std::memset(buf, 'o', kPageSize);
+      ASSERT_TRUE((*pager)->WritePage(id, buf).ok());
+    }
+    ASSERT_TRUE((*pager)->Sync().ok());
+
+    // Power cut mid-write: page 2's rewrite persists only 1000 bytes,
+    // yet the device reported success. The following Sync makes the torn
+    // state the durable state; the crash then prevents any healing
+    // rewrite from reaching the disk.
+    vfs.SetTornWrite(2 * kPageSize, 1000);
+    std::memset(buf, 'n', kPageSize);
+    ASSERT_TRUE((*pager)->WritePage(2, buf).ok());
+    ASSERT_TRUE((*pager)->Sync().ok());
+    ASSERT_TRUE(vfs.Crash().ok());
+    // Pager destructor's best-effort header write fails harmlessly here.
+  }
+  EXPECT_EQ(vfs.counters().torn_writes, 1u);
+  vfs.Reset();
+
+  auto pager = Pager::Open(path_, /*create=*/false, &vfs);
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  Status torn = (*pager)->ReadPage(2, buf);
+  ASSERT_TRUE(torn.IsCorruption()) << torn.ToString();
+  // The untouched pages still read back as their old contents.
+  ASSERT_TRUE((*pager)->ReadPage(1, buf).ok());
+  EXPECT_EQ(buf[0], 'o');
+  auto report = (*pager)->Scrub();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->corrupt.size(), 1u);
+  EXPECT_EQ(report->corrupt[0].page, 2u);
+}
+
+// Satellite: a dirty page whose eviction write-back fails must stay
+// dirty and cached, and the error must reach the caller that forced the
+// eviction — not vanish into the LRU.
+TEST_F(FaultInjectionTest, DirtyEvictionWritebackFailurePropagates) {
+  FaultInjectionVfs vfs;
+  auto pager = Pager::Open(path_, /*create=*/true, &vfs);
+  ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+  auto first = (*pager)->AllocateExtent(20);
+  ASSERT_TRUE(first.ok());
+
+  BufferPool pool(pager->get(), 16);  // 16 frames, single shard
+  ASSERT_EQ(pool.num_shards(), 1u);
+  for (PageId id = *first; id < *first + 16; ++id) {
+    auto handle = pool.Fetch(id);
+    ASSERT_TRUE(handle.ok());
+    std::memset(handle->data(), static_cast<int>(id & 0x7f), kPageCapacity);
+    handle->MarkDirty();
+  }
+
+  vfs.FailAfterWrites(0);  // the device dies
+  auto evicting = pool.Fetch(*first + 16);  // full pool -> must evict
+  ASSERT_FALSE(evicting.ok());
+  EXPECT_TRUE(evicting.status().IsIOError()) << evicting.status().ToString();
+  // The victim was not lost: still cached, still dirty, still evictable.
+  EXPECT_EQ(pool.cached_pages(), 16u);
+
+  vfs.FailAfterWrites(-1);  // device back; the retry must succeed
+  {
+    auto retry = pool.Fetch(*first + 16);
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+  ASSERT_TRUE(pool.DropAll().ok());
+
+  // Every dirty page reached disk intact once the device recovered.
+  char buf[kPageSize];
+  for (PageId id = *first; id < *first + 16; ++id) {
+    ASSERT_TRUE((*pager)->ReadPage(id, buf).ok());
+    EXPECT_EQ(buf[0], static_cast<char>(id & 0x7f)) << "page " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store-level crash recovery.
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = UniqueTestPath("crash");
+    golden_path_ = UniqueTestPath("crash", "_golden.db");
+    std::remove(path_.c_str());
+    std::remove(golden_path_.c_str());
+    series_ = MakeSeries(1);
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(golden_path_.c_str());
+  }
+
+  SegDiffOptions Options(Vfs* vfs) const {
+    SegDiffOptions options;
+    options.build_indexes = false;  // heap-only stores keep the sweep fast
+    options.vfs = vfs;
+    return options;
+  }
+
+  /// The oracle: the full series ingested with no faults.
+  std::unique_ptr<SegDiffIndex> BuildGolden() {
+    auto store = SegDiffIndex::Open(golden_path_, Options(nullptr));
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    for (const Sample& s : series_) {
+      EXPECT_TRUE((*store)->AppendObservation(s.t, s.v).ok());
+    }
+    EXPECT_TRUE((*store)->FlushPending().ok());
+    return std::move(store).value();
+  }
+
+  /// Ingests the series with a checkpoint every `kCheckpointEvery`
+  /// observations, stopping at the first error (an injected fault).
+  static void IngestUntilFault(SegDiffIndex* store, const Series& series) {
+    uint64_t appended = 0;
+    for (const Sample& s : series) {
+      if (!store->AppendObservation(s.t, s.v).ok()) {
+        return;
+      }
+      if (++appended % kCheckpointEvery == 0 && !store->Checkpoint().ok()) {
+        return;
+      }
+    }
+    if (!store->FlushPending().ok()) {
+      return;
+    }
+    Status final_checkpoint = store->Checkpoint();  // may hit the fault
+    (void)final_checkpoint;
+  }
+
+  /// Reopens after a crash and verifies the recovery contract: the store
+  /// either resumes exactly (appending the tail reproduces the golden
+  /// tables byte for byte) or reports Corruption. Anything else fails.
+  void CheckRecoversOrReportsCorruption(FaultInjectionVfs* vfs,
+                                        SegDiffIndex* golden) {
+    auto reopened = SegDiffIndex::Open(path_, Options(vfs));
+    if (!reopened.ok()) {
+      EXPECT_TRUE(reopened.status().IsCorruption())
+          << "reopen after crash must resume or report Corruption, got: "
+          << reopened.status().ToString();
+      return;
+    }
+    SegDiffIndex* store = reopened->get();
+    const uint64_t resumed_at = store->num_observations();
+    ASSERT_LE(resumed_at, series_.size());
+    for (size_t i = resumed_at; i < series_.size(); ++i) {
+      ASSERT_TRUE(store->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+    ASSERT_TRUE(store->FlushPending().ok());
+    ExpectSameTables(store, golden);
+  }
+
+  static constexpr uint64_t kCheckpointEvery = 25;
+
+  std::string path_;
+  std::string golden_path_;
+  Series series_;
+};
+
+TEST_F(CrashRecoveryTest, UnsyncedWritesRollBackToLastCheckpoint) {
+  FaultInjectionVfs vfs;
+  auto golden = BuildGolden();
+  const size_t half = series_.size() / 2;
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    // The second half is never checkpointed: a crash erases it.
+    for (size_t i = half; i < series_.size(); ++i) {
+      ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+    ASSERT_TRUE(vfs.Crash().ok());
+  }
+  vfs.Reset();
+
+  auto reopened = SegDiffIndex::Open(path_, Options(&vfs));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_observations(), half);
+  // Appending the lost tail reproduces the golden store exactly.
+  for (size_t i = half; i < series_.size(); ++i) {
+    ASSERT_TRUE(
+        (*reopened)->AppendObservation(series_[i].t, series_[i].v).ok());
+  }
+  ASSERT_TRUE((*reopened)->FlushPending().ok());
+  ExpectSameTables(reopened->get(), golden.get());
+}
+
+TEST_F(CrashRecoveryTest, FailedFsyncSurfacesAndStoreRecovers) {
+  FaultInjectionVfs vfs;
+  auto store = SegDiffIndex::Open(path_, Options(&vfs));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (size_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
+  }
+  vfs.FailAfterSyncs(0);
+  Status failed = (*store)->Checkpoint();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.IsIOError()) << failed.ToString();
+  // fsync failures must not be swallowed and retried as a false success:
+  // once the device recovers, an explicit checkpoint persists everything.
+  vfs.FailAfterSyncs(-1);
+  ASSERT_TRUE((*store)->Checkpoint().ok());
+  ASSERT_TRUE(vfs.Crash().ok());
+  store->reset();
+  vfs.Reset();
+
+  auto reopened = SegDiffIndex::Open(path_, Options(&vfs));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_observations(), 50u);
+}
+
+TEST_F(CrashRecoveryTest, CreatedFileSurvivesCrashOnlyAfterDirSync) {
+  FaultInjectionVfs vfs;
+  {
+    // Created, written, never checkpointed: the directory entry itself
+    // is not durable, so a crash makes the whole file vanish.
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+    ASSERT_TRUE(vfs.Crash().ok());
+  }
+  vfs.Reset();
+  EXPECT_FALSE(vfs.FileExists(path_));
+
+  {
+    // Same sequence with a checkpoint: Pager::Sync fsyncs the parent
+    // directory after creation, so the file now survives the crash.
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    EXPECT_GE(vfs.counters().dir_syncs, 1u);
+    ASSERT_TRUE(vfs.Crash().ok());
+  }
+  vfs.Reset();
+  ASSERT_TRUE(vfs.FileExists(path_));
+  auto reopened = SegDiffIndex::Open(path_, Options(&vfs));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_observations(), 10u);
+}
+
+// The crash matrix: kill the device after the Nth write (then crash) for
+// a seeded sample of N across the whole ingest, and likewise for syncs.
+// Every fault point must land in "resumes exactly" or "reports
+// Corruption" — nothing else.
+TEST_F(CrashRecoveryTest, CrashMatrixWriteFaultSweep) {
+  auto golden = BuildGolden();
+  FaultInjectionVfs vfs;
+
+  // Dry run: count the total writes a faultless ingest performs.
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    IngestUntilFault(store->get(), series_);
+  }
+  const uint64_t total_writes = vfs.counters().writes;
+  ASSERT_GT(total_writes, 0u);
+
+  const uint64_t seed = static_cast<uint64_t>(
+      GetEnvInt64("SEGDIFF_FAULT_SEED", 20080325));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> pick(0, total_writes - 1);
+  std::vector<uint64_t> fault_points = {0, 1, total_writes - 1};
+  for (int i = 0; i < 9; ++i) {
+    fault_points.push_back(pick(rng));
+  }
+
+  for (const uint64_t n : fault_points) {
+    SCOPED_TRACE("device dies after write " + std::to_string(n) +
+                 " (seed " + std::to_string(seed) + ")");
+    std::remove(path_.c_str());
+    vfs.Reset();
+    vfs.FailAfterWrites(static_cast<int64_t>(n));
+    {
+      auto store = SegDiffIndex::Open(path_, Options(&vfs));
+      if (store.ok()) {
+        IngestUntilFault(store->get(), series_);
+      }
+      ASSERT_TRUE(vfs.Crash().ok());
+    }
+    vfs.Reset();
+    if (!vfs.FileExists(path_)) {
+      continue;  // crashed before the directory entry was durable
+    }
+    CheckRecoversOrReportsCorruption(&vfs, golden.get());
+  }
+}
+
+TEST_F(CrashRecoveryTest, CrashMatrixSyncFaultSweep) {
+  auto golden = BuildGolden();
+  FaultInjectionVfs vfs;
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    IngestUntilFault(store->get(), series_);
+  }
+  const uint64_t total_syncs = vfs.counters().syncs;
+  ASSERT_GT(total_syncs, 0u);
+
+  for (uint64_t n = 0; n < total_syncs; ++n) {
+    SCOPED_TRACE("device dies after fsync " + std::to_string(n));
+    std::remove(path_.c_str());
+    vfs.Reset();
+    vfs.FailAfterSyncs(static_cast<int64_t>(n));
+    {
+      auto store = SegDiffIndex::Open(path_, Options(&vfs));
+      if (store.ok()) {
+        IngestUntilFault(store->get(), series_);
+      }
+      ASSERT_TRUE(vfs.Crash().ok());
+    }
+    vfs.Reset();
+    if (!vfs.FileExists(path_)) {
+      continue;
+    }
+    CheckRecoversOrReportsCorruption(&vfs, golden.get());
+  }
+}
+
+// Compaction through a dying device must fail loudly and leave the
+// source byte-for-byte intact; a half-written destination either
+// vanishes with the crash (its directory entry was never durable) or
+// refuses to open — it can never pass for a healthy store.
+TEST_F(CrashRecoveryTest, CrashDuringCompactLeavesSourceIntact) {
+  FaultInjectionVfs vfs;
+  const std::string dest = path_ + ".compact";
+  std::remove(dest.c_str());
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
+    }
+    ASSERT_TRUE((*store)->FlushPending().ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+
+    vfs.FailAfterWrites(5);  // the device dies a few pages into the copy
+    Status compact = (*store)->Compact(dest);
+    ASSERT_FALSE(compact.ok());
+    EXPECT_TRUE(compact.IsIOError()) << compact.ToString();
+    ASSERT_TRUE(vfs.Crash().ok());
+  }
+  vfs.Reset();
+
+  auto reopened = SegDiffIndex::Open(path_, Options(&vfs));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_observations(), 100u);
+  EXPECT_TRUE((*reopened)->SearchDrops(3600.0, -3.0).ok());
+
+  if (vfs.FileExists(dest)) {
+    SegDiffOptions options = Options(&vfs);
+    options.create_if_missing = false;
+    auto half = SegDiffIndex::Open(dest, options);
+    EXPECT_FALSE(half.ok()) << "half-compacted store opened cleanly";
+  }
+  std::remove(dest.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation: corruption quarantines the range, search says so.
+
+TEST_F(CrashRecoveryTest, FlippedFeaturePageQuarantinesSearch) {
+  PageId victim = kInvalidPageId;
+  {
+    auto store = SegDiffIndex::Open(path_, Options(nullptr));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (const Sample& s : series_) {
+      ASSERT_TRUE((*store)->AppendObservation(s.t, s.v).ok());
+    }
+    ASSERT_TRUE((*store)->FlushPending().ok());
+    auto results = (*store)->SearchDrops(3600.0, -3.0);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+
+    // Find a heap page of drop1 to damage.
+    auto table = (*store)->db()->GetTable("drop1");
+    ASSERT_TRUE(table.ok());
+    ASSERT_TRUE((*table)
+                    ->Scan([&](const char*, RecordId id,
+                               bool* keep_going) -> Status {
+                      victim = id.page;
+                      *keep_going = false;
+                      return Status::OK();
+                    })
+                    .ok());
+  }
+  ASSERT_NE(victim, kInvalidPageId) << "series produced no drop1 rows";
+  FlipByte(path_, victim * kPageSize + 64);
+
+  auto store = SegDiffIndex::Open(path_, Options(nullptr));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto results = (*store)->SearchDrops(3600.0, -3.0);
+  ASSERT_FALSE(results.ok()) << "corrupt page returned "
+                             << results->size() << " rows";
+  EXPECT_TRUE(results.status().IsCorruption());
+  const std::string message(results.status().message());
+  EXPECT_NE(message.find("quarantined"), std::string::npos) << message;
+  EXPECT_NE(message.find("drop1"), std::string::npos) << message;
+
+  // The scrubber maps the damage to the exact page.
+  auto report = (*store)->db()->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->corrupt.size(), 1u);
+  EXPECT_EQ(report->corrupt[0].page, victim);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy v1 stores: readable, write-protected, upgraded by compaction.
+
+TEST_F(FaultInjectionTest, LegacyV1OpensReadOnlyAndCompactUpgrades) {
+  const std::string dest = path_ + ".compacted";
+  std::remove(dest.c_str());
+  {
+    DatabaseOptions options;
+    auto db = Database::Open(path_, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto schema = DoubleSchema({"a", "b"});
+    ASSERT_TRUE(schema.ok());
+    auto table = (*db)->CreateTable("t", *schema);
+    ASSERT_TRUE(table.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          (*table)->InsertDoubles({double(i), double(-i)}).ok());
+    }
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  // Rewrite the header's version field: the file now claims to be a v1
+  // store written before page trailers existed.
+  {
+    auto file = Vfs::Default()->OpenFile(path_, /*create=*/false);
+    ASSERT_TRUE(file.ok());
+    const char v1[4] = {1, 0, 0, 0};
+    ASSERT_TRUE((*file)->Write(4, v1, 4).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+
+  // Pager level: reads fine, writes refused with actionable advice.
+  {
+    auto pager = Pager::Open(path_, /*create=*/false);
+    ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+    EXPECT_EQ((*pager)->format_version(), Pager::kFormatLegacy);
+    EXPECT_TRUE((*pager)->read_only());
+    char buf[kPageSize];
+    EXPECT_TRUE((*pager)->ReadPage(1, buf).ok());
+    Status refused = (*pager)->WritePage(1, buf);
+    ASSERT_TRUE(refused.IsNotSupported()) << refused.ToString();
+    EXPECT_NE(std::string(refused.message()).find("compact"),
+              std::string::npos);
+    auto report = (*pager)->Scrub();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->clean());
+    EXPECT_EQ(report->pages_unverifiable, report->pages_checked);
+  }
+
+  // Database level: data readable, compaction writes a fresh v2 store.
+  {
+    DatabaseOptions options;
+    options.create_if_missing = false;
+    auto db = Database::Open(path_, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_TRUE((*db)->pager()->read_only());
+    EXPECT_EQ(TableRecords(db->get(), "t").size(), 100u);
+    ASSERT_TRUE((*db)->CompactInto(dest).ok());
+  }
+  {
+    DatabaseOptions options;
+    options.create_if_missing = false;
+    auto db = Database::Open(dest, options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ((*db)->pager()->format_version(), Pager::kFormatChecksummed);
+    EXPECT_FALSE((*db)->pager()->read_only());
+    EXPECT_EQ(TableRecords(db->get(), "t").size(), 100u);
+    auto report = (*db)->Scrub();
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->clean());
+    EXPECT_EQ(report->pages_unverifiable, 0u);
+  }
+  std::remove(dest.c_str());
+}
+
+}  // namespace
+}  // namespace segdiff

@@ -54,8 +54,9 @@ class StorageEdgeTest : public ::testing::Test {
 
 TEST_F(StorageEdgeTest, HeapRecordExactlyFillsPage) {
   BufferPool pool(pager_.get(), 16);
-  // Largest record that fits: one record per page.
-  const size_t record_bytes = kPageSize - HeapFile::kHeaderBytes;
+  // Largest record that fits: one record per page (the checksum trailer
+  // comes out of the usable capacity).
+  const size_t record_bytes = kPageCapacity - HeapFile::kHeaderBytes;
   auto heap = HeapFile::Create(&pool, record_bytes);
   ASSERT_TRUE(heap.ok());
   EXPECT_EQ(heap->records_per_page(), 1u);
