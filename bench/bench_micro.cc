@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "benchutil/workload.h"
 #include "common/coding.h"
@@ -14,6 +15,7 @@
 #include "feature/extractor.h"
 #include "index/bplus_tree.h"
 #include "query/predicate.h"
+#include "query/scan_kernel.h"
 #include "segment/sliding_window.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
@@ -167,7 +169,62 @@ void BM_PredicateMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_PredicateMatch);
 
+/// Batched page evaluation: the selection-bitmap kernel over one full
+/// page of drop2-shaped records. Arg 0 = portable scalar kernel, arg 1 =
+/// the runtime-dispatched SIMD kernel (SSE2/AVX2 when available).
+void BM_ScanKernelBatch(benchmark::State& state) {
+  Predicate predicate;
+  predicate.And(0, CmpOp::kLe, 3600.0).And(1, CmpOp::kLe, -3.0);
+  constexpr size_t kColumns = 7;  // drop2: dt1 dv1 dt2 dv2 t_d t_c t_b
+  constexpr size_t kRecordBytes = kColumns * 8;
+  constexpr size_t kRows = 1021;  // kMaxBatchRows for 8-byte records
+  std::vector<char> records(kRows * kRecordBytes);
+  Rng rng(5);
+  for (size_t i = 0; i < kRows; ++i) {
+    char* rec = records.data() + i * kRecordBytes;
+    EncodeDouble(rec, rng.Uniform(0, 8 * 3600));
+    EncodeDouble(rec + 8, rng.Uniform(-10, 2));
+    for (size_t c = 2; c < kColumns; ++c) {
+      EncodeDouble(rec + 8 * c, rng.Uniform(0, 8 * 3600));
+    }
+  }
+  const ScanKernelFn kernel =
+      state.range(0) == 0 ? ScalarScanKernel() : ActiveScanKernel();
+  state.SetLabel(state.range(0) == 0 ? "scalar" : ActiveScanKernelName());
+  uint64_t bitmap[kBatchBitmapWords];
+  for (auto _ : state) {
+    kernel(records.data(), kRecordBytes, kRows,
+           predicate.conditions().data(), predicate.conditions().size(),
+           bitmap);
+    benchmark::DoNotOptimize(bitmap[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRows));
+}
+BENCHMARK(BM_ScanKernelBatch)->Arg(0)->Arg(1);
+
 }  // namespace
 }  // namespace segdiff
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with one extra spelling: --quick (used by the tier-1
+// bench smoke) caps per-benchmark min time so the suite runs in seconds.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::string(*it) == "--quick") {
+      it = args.erase(it);
+      args.push_back(min_time);
+    } else {
+      ++it;
+    }
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

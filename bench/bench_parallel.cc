@@ -44,13 +44,17 @@ double TimeSearch(const SearchFn& search, int reps, SearchStats* stats) {
   return best;
 }
 
-int RunBench() {
+int RunBench(bool quick) {
   WorkloadConfig config = WorkloadConfig::FromEnv();
   // The acceptance target is a >= 1M-row store: 56 days of 5-minute
-  // samples give ~1.5M Exh pair rows at the default 8h window.
-  config.num_days = std::max(config.num_days, 56);
+  // samples give ~1.5M Exh pair rows at the default 8h window. --quick
+  // (the tier-1 bench smoke) instead runs a days-scale store once, just
+  // to prove the binary executes end to end.
+  config.num_days = quick ? std::min(config.num_days, 4)
+                          : std::max(config.num_days, 56);
   const int reps =
-      static_cast<int>(GetEnvInt64("SEGDIFF_BENCH_QUERY_REPS", 3));
+      quick ? 1
+            : static_cast<int>(GetEnvInt64("SEGDIFF_BENCH_QUERY_REPS", 3));
   auto series_or = MakeSmoothedBenchSeries(config);
   SEGDIFF_CHECK(series_or.ok()) << series_or.status().ToString();
   const Series& series = *series_or;
@@ -187,4 +191,10 @@ int RunBench() {
 }  // namespace
 }  // namespace segdiff
 
-int main() { return segdiff::RunBench(); }
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    quick |= std::string(argv[i]) == "--quick";
+  }
+  return segdiff::RunBench(quick);
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification in one command:
-#   1. configure + build + full ctest suite (the CI gate from ROADMAP.md)
+#   1. configure + build + full ctest suite (the CI gate from ROADMAP.md),
+#      then a --quick smoke of the scan/parallel/micro benches (proves
+#      the bench binaries still run end to end; no perf assertions)
 #   2. an AddressSanitizer build running the streaming-ingest and storage
 #      suites (the subsystems that serialize/restore raw state blobs)
 #      plus the `faults` ctest group (crash-recovery + fault injection,
@@ -28,6 +30,11 @@ cmake --build build -j "${JOBS}"
 
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tier-1: bench smoke (--quick) =="
+(cd build && ./bench/bench_scan --quick && \
+ ./bench/bench_parallel --quick && \
+ ./bench/bench_micro --quick --benchmark_filter='BM_ScanKernelBatch|BM_PredicateMatch')
 
 if [[ "${RUN_ASAN}" == "1" ]]; then
   echo "== asan: configure + build (streaming + storage + fault suites) =="

@@ -1,26 +1,113 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <vector>
 
+#include "query/scan_kernel.h"
+
 namespace segdiff {
+namespace {
+
+/// Per-scan (per-partition, under ParallelSeqScan) page evaluator.
+/// Both modes walk identical pages and count identically, so serial,
+/// parallel, batched, and row-at-a-time scans all agree on
+/// rows_scanned + rows_pruned and pages_scanned + pages_pruned.
+class PageEvaluator {
+ public:
+  PageEvaluator(const Table& table, const Predicate& predicate,
+                const SeqScanOptions& options, const RowCallback& callback)
+      : predicate_(predicate),
+        callback_(callback),
+        record_bytes_(table.schema().RowBytes()),
+        batch_(options.batch),
+        kernel_(ActiveScanKernel()),
+        zone_map_(options.prune && !predicate.conditions().empty()
+                      ? table.zone_map()
+                      : nullptr) {}
+
+  Status Evaluate(PageId page, const char* records, uint16_t count,
+                  bool* keep_going) {
+    *keep_going = true;
+    if (zone_map_ != nullptr) {
+      const size_t zone = zone_map_->FindZone(page);
+      // Prune only when the zone covers exactly the rows the page holds;
+      // a mismatch (e.g. a crash persisted appends the checkpointed map
+      // never saw) falls back to evaluating the whole page.
+      if (zone != ZoneMap::kNoZone &&
+          zone_map_->zone(zone).rows == count &&
+          !ZoneCanMatch(*zone_map_, zone, predicate_.conditions())) {
+        ++stats_.pages_pruned;
+        stats_.rows_pruned += count;
+        return Status::OK();
+      }
+    }
+    ++stats_.pages_scanned;
+    return batch_ ? EvaluateBatch(page, records, count)
+                  : EvaluateRows(page, records, count);
+  }
+
+  const ScanStats& stats() const { return stats_; }
+
+ private:
+  Status EvaluateRows(PageId page, const char* records, uint16_t count) {
+    for (uint16_t slot = 0; slot < count; ++slot) {
+      const char* record = records + static_cast<size_t>(slot) * record_bytes_;
+      ++stats_.rows_scanned;
+      if (predicate_.Matches(record)) {
+        ++stats_.rows_matched;
+        SEGDIFF_RETURN_IF_ERROR(callback_(record, RecordId{page, slot}));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status EvaluateBatch(PageId page, const char* records, uint16_t count) {
+    const std::vector<ColumnCondition>& conditions = predicate_.conditions();
+    kernel_(records, record_bytes_, count, conditions.data(),
+            conditions.size(), bitmap_);
+    stats_.rows_scanned += count;
+    const auto& residual = predicate_.residual();
+    for (size_t w = 0; w * 64 < count; ++w) {
+      uint64_t word = bitmap_[w];
+      while (word != 0) {
+        const size_t slot = w * 64 + static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const char* record = records + slot * record_bytes_;
+        if (!residual || residual(record)) {
+          ++stats_.rows_matched;
+          SEGDIFF_RETURN_IF_ERROR(
+              callback_(record, RecordId{page, static_cast<uint16_t>(slot)}));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const Predicate& predicate_;
+  const RowCallback& callback_;
+  const size_t record_bytes_;
+  const bool batch_;
+  const ScanKernelFn kernel_;
+  const ZoneMap* zone_map_;
+  ScanStats stats_;
+  uint64_t bitmap_[kBatchBitmapWords];
+};
+
+}  // namespace
 
 Status SeqScan(const Table& table, const Predicate& predicate,
-               const RowCallback& callback, ScanStats* stats) {
-  ScanStats local;
-  Status status = table.Scan(
-      [&](const char* record, RecordId id, bool* keep_going) -> Status {
-        *keep_going = true;
-        ++local.rows_scanned;
-        if (predicate.Matches(record)) {
-          ++local.rows_matched;
-          return callback(record, id);
-        }
-        return Status::OK();
+               const RowCallback& callback, ScanStats* stats,
+               const SeqScanOptions& options) {
+  PageEvaluator evaluator(table, predicate, options, callback);
+  Status status = table.ScanPageData(
+      [&](PageId page, const char* records, uint16_t count,
+          bool* keep_going) -> Status {
+        return evaluator.Evaluate(page, records, count, keep_going);
       });
   if (stats != nullptr) {
-    stats->Add(local);
+    stats->Add(evaluator.stats());
   }
   return status;
 }
@@ -28,10 +115,10 @@ Status SeqScan(const Table& table, const Predicate& predicate,
 Status ParallelSeqScan(const Table& table, const Predicate& predicate,
                        ThreadPool* pool, size_t num_partitions,
                        const PartitionSinkFactory& make_sink,
-                       ScanStats* stats) {
+                       ScanStats* stats, const SeqScanOptions& options) {
   if (pool == nullptr || num_partitions <= 1) {
     // Degenerate case: one partition is just a serial scan.
-    return SeqScan(table, predicate, make_sink(0), stats);
+    return SeqScan(table, predicate, make_sink(0), stats, options);
   }
   SEGDIFF_ASSIGN_OR_RETURN(std::vector<PageId> pages, table.HeapPageIds());
   num_partitions = std::min(num_partitions, std::max<size_t>(pages.size(), 1));
@@ -53,19 +140,15 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
   std::vector<ScanStats> partition_stats(num_partitions);
   SEGDIFF_RETURN_IF_ERROR(pool->ParallelFor(
       num_partitions, [&](size_t p) -> Status {
-        ScanStats& local = partition_stats[p];
-        const RowCallback& sink = sinks[p];
-        return table.ScanPages(
+        PageEvaluator evaluator(table, predicate, options, sinks[p]);
+        Status status = table.ScanPagesData(
             partitions[p],
-            [&](const char* record, RecordId id, bool* keep_going) -> Status {
-              *keep_going = true;
-              ++local.rows_scanned;
-              if (predicate.Matches(record)) {
-                ++local.rows_matched;
-                return sink(record, id);
-              }
-              return Status::OK();
+            [&](PageId page, const char* records, uint16_t count,
+                bool* keep_going) -> Status {
+              return evaluator.Evaluate(page, records, count, keep_going);
             });
+        partition_stats[p] = evaluator.stats();
+        return status;
       }));
   if (stats != nullptr) {
     for (const ScanStats& local : partition_stats) {

@@ -18,12 +18,18 @@ namespace segdiff {
 /// Execution counters, reported by both executors.
 struct ScanStats {
   uint64_t rows_scanned = 0;          ///< heap records examined (seq scan)
+  uint64_t rows_pruned = 0;           ///< records skipped via zone maps
+  uint64_t pages_scanned = 0;         ///< heap pages evaluated (seq scan)
+  uint64_t pages_pruned = 0;          ///< heap pages skipped via zone maps
   uint64_t index_entries_scanned = 0; ///< index keys examined (index scan)
   uint64_t heap_fetches = 0;          ///< random heap reads (index scan)
   uint64_t rows_matched = 0;
 
   void Add(const ScanStats& other) {
     rows_scanned += other.rows_scanned;
+    rows_pruned += other.rows_pruned;
+    pages_scanned += other.pages_scanned;
+    pages_pruned += other.pages_pruned;
     index_entries_scanned += other.index_entries_scanned;
     heap_fetches += other.heap_fetches;
     rows_matched += other.rows_matched;
@@ -33,9 +39,24 @@ struct ScanStats {
 /// Receives each matching record.
 using RowCallback = std::function<Status(const char* record, RecordId id)>;
 
+/// Sequential-scan tuning knobs. The defaults are the fast path; the
+/// flags exist so benchmarks and differential tests can ablate each
+/// layer against the row-at-a-time baseline.
+struct SeqScanOptions {
+  /// Evaluate pages with the batched selection-bitmap kernel instead of
+  /// per-row Predicate::Matches.
+  bool batch = true;
+  /// Skip pages whose zone-map ranges cannot satisfy the predicate's
+  /// column conditions (only when the table has a zone map). Pruned
+  /// pages are still fetched — and checksum-verified — by the buffer
+  /// pool; pruning saves the decode and predicate work, not the IO.
+  bool prune = true;
+};
+
 /// Full-table scan applying `predicate` to every record.
 Status SeqScan(const Table& table, const Predicate& predicate,
-               const RowCallback& callback, ScanStats* stats = nullptr);
+               const RowCallback& callback, ScanStats* stats = nullptr,
+               const SeqScanOptions& options = {});
 
 /// Returns the per-partition row callback for partition `i` of a
 /// parallel scan. Each partition's callback runs on exactly one worker
@@ -53,7 +74,8 @@ using PartitionSinkFactory = std::function<RowCallback(size_t partition)>;
 Status ParallelSeqScan(const Table& table, const Predicate& predicate,
                        ThreadPool* pool, size_t num_partitions,
                        const PartitionSinkFactory& make_sink,
-                       ScanStats* stats = nullptr);
+                       ScanStats* stats = nullptr,
+                       const SeqScanOptions& options = {});
 
 /// Range scan over a B+-tree index. Starts at the first key >= `lower`,
 /// advances while `key_continue(key)` holds, and for each key passing

@@ -42,4 +42,30 @@ PlanChoice ChooseAccessPath(uint64_t row_count, double leading_lo,
   return choice;
 }
 
+PlanChoice ChooseAccessPath(const TableStatsView& stats, bool index_available,
+                            const PlannerOptions& options) {
+  PlanChoice choice;
+  choice.estimated_selectivity = 1.0;
+  if (!index_available || stats.row_count == 0) {
+    return choice;
+  }
+  const bool fractions_valid =
+      stats.index_entry_fraction >= 0.0 && stats.index_entry_fraction <= 1.0 &&
+      stats.heap_fetch_fraction >= 0.0 && stats.heap_fetch_fraction <= 1.0;
+  if (!fractions_valid || stats.pages_after_pruning > stats.pages_total) {
+    return choice;  // untrustworthy stats (incl. NaN): sequential scan
+  }
+  choice.estimated_selectivity = stats.index_entry_fraction;
+  const double rows = static_cast<double>(stats.row_count);
+  const double seq_cost =
+      static_cast<double>(stats.pages_after_pruning) * options.seq_page_cost;
+  const double index_cost =
+      stats.index_entry_fraction * rows * options.index_entry_cost +
+      stats.heap_fetch_fraction * rows * options.random_fetch_cost;
+  if (index_cost < seq_cost) {
+    choice.path = AccessPath::kIndexScan;
+  }
+  return choice;
+}
+
 }  // namespace segdiff

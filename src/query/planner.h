@@ -24,6 +24,15 @@ struct PlannerOptions {
   /// Use the index when the estimated fraction of scanned index entries
   /// is below this. ~10% mirrors the classical secondary-index rule.
   double index_selectivity_threshold = 0.10;
+
+  /// Cost-model constants for the zone-map-aware overload, in relative
+  /// units where reading one heap page sequentially costs 1. Index
+  /// entries are cheap (cache-dense leaf walks); each candidate heap
+  /// fetch is a random page read, the classical reason secondary-index
+  /// access loses on dense queries (paper Figures 10-11).
+  double seq_page_cost = 1.0;
+  double index_entry_cost = 0.001;
+  double random_fetch_cost = 4.0;
 };
 
 /// `leading_lo`/`leading_hi`: observed min/max of the leading index
@@ -35,6 +44,31 @@ struct PlannerOptions {
 PlanChoice ChooseAccessPath(uint64_t row_count, double leading_lo,
                             double leading_hi, double query_hi,
                             bool index_available,
+                            const PlannerOptions& options = {});
+
+/// Zone-map-derived statistics for the cost-based overload. The page
+/// counts come from a per-query zone survey (SurveyZones), so the
+/// sequential side is priced at what the pruned scan will actually
+/// read; the fractions estimate the index side from real per-column
+/// ranges instead of a single leading-column guess.
+struct TableStatsView {
+  uint64_t row_count = 0;
+  uint64_t pages_total = 0;
+  /// Pages whose zone ranges intersect the query (<= pages_total).
+  uint64_t pages_after_pruning = 0;
+  /// Estimated fraction of index entries the range walk visits
+  /// (selectivity of the leading key column's bound).
+  double index_entry_fraction = 1.0;
+  /// Estimated fraction of rows surviving every key-column bound — each
+  /// one costs a random heap fetch on the index path.
+  double heap_fetch_fraction = 1.0;
+};
+
+/// Cost-based choice: pruned-sequential page cost vs index entry walk +
+/// random heap fetches. Malformed statistics (NaN or out-of-range
+/// fractions) fall back to the always-correct sequential scan.
+/// estimated_selectivity reports the index-entry fraction.
+PlanChoice ChooseAccessPath(const TableStatsView& stats, bool index_available,
                             const PlannerOptions& options = {});
 
 }  // namespace segdiff

@@ -58,6 +58,12 @@ class Predicate {
     return conditions_;
   }
 
+  /// The residual row test (empty when none was set). Batched executors
+  /// evaluate conditions() with a kernel and call this only on survivors.
+  const std::function<bool(const char*)>& residual() const {
+    return residual_;
+  }
+
  private:
   std::vector<ColumnCondition> conditions_;
   std::function<bool(const char*)> residual_;

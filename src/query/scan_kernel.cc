@@ -1,0 +1,286 @@
+#include "query/scan_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/env.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <emmintrin.h>
+#endif
+
+namespace segdiff {
+namespace {
+
+// Sets the low `count` bits; bits at and above `count` stay zero so the
+// caller can walk whole words.
+void InitBitmap(size_t count, uint64_t* bitmap) {
+  const size_t words = (count + 63) / 64;
+  for (size_t w = 0; w < words; ++w) {
+    bitmap[w] = ~uint64_t{0};
+  }
+  if (count % 64 != 0) {
+    bitmap[words - 1] = ~uint64_t{0} >> (64 - count % 64);
+  }
+}
+
+// Strided gather of one column into a contiguous buffer: the only part
+// of the kernel that touches the record layout; the compare loops below
+// then run over plain doubles.
+void GatherColumn(const char* records, size_t record_bytes, size_t count,
+                  size_t column, double* vals) {
+  const char* cell = records + 8 * column;
+  for (size_t i = 0; i < count; ++i) {
+    vals[i] = DecodeDoubleColumn(cell, 0);
+    cell += record_bytes;
+  }
+}
+
+template <CmpOp Op>
+bool CmpScalar(double v, double bound) {
+  if constexpr (Op == CmpOp::kLt) {
+    return v < bound;
+  } else if constexpr (Op == CmpOp::kLe) {
+    return v <= bound;
+  } else if constexpr (Op == CmpOp::kGt) {
+    return v > bound;
+  } else if constexpr (Op == CmpOp::kGe) {
+    return v >= bound;
+  } else {
+    return v == bound;
+  }
+}
+
+template <CmpOp Op>
+void AndCompareScalar(const double* vals, size_t count, double bound,
+                      uint64_t* bitmap) {
+  for (size_t w = 0; w * 64 < count; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, count - base);
+    uint64_t m = 0;
+    for (size_t b = 0; b < limit; ++b) {
+      m |= static_cast<uint64_t>(CmpScalar<Op>(vals[base + b], bound)) << b;
+    }
+    bitmap[w] &= m;
+  }
+}
+
+void KernelScalar(const char* records, size_t record_bytes, size_t count,
+                  const ColumnCondition* conditions, size_t num_conditions,
+                  uint64_t* bitmap) {
+  InitBitmap(count, bitmap);
+  if (count == 0 || num_conditions == 0) {
+    return;
+  }
+  double vals[kMaxBatchRows];
+  for (size_t c = 0; c < num_conditions; ++c) {
+    const ColumnCondition& cond = conditions[c];
+    GatherColumn(records, record_bytes, count, cond.column, vals);
+    switch (cond.op) {
+      case CmpOp::kLt:
+        AndCompareScalar<CmpOp::kLt>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kLe:
+        AndCompareScalar<CmpOp::kLe>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kGt:
+        AndCompareScalar<CmpOp::kGt>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kGe:
+        AndCompareScalar<CmpOp::kGe>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kEq:
+        AndCompareScalar<CmpOp::kEq>(vals, count, cond.value, bitmap);
+        break;
+    }
+  }
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+// SSE2 is the x86-64 baseline: two doubles per compare, all ordered
+// (NaN compares false, matching EvalCondition).
+template <CmpOp Op>
+__m128d Cmp128(__m128d a, __m128d b) {
+  if constexpr (Op == CmpOp::kLt) {
+    return _mm_cmplt_pd(a, b);
+  } else if constexpr (Op == CmpOp::kLe) {
+    return _mm_cmple_pd(a, b);
+  } else if constexpr (Op == CmpOp::kGt) {
+    return _mm_cmpgt_pd(a, b);
+  } else if constexpr (Op == CmpOp::kGe) {
+    return _mm_cmpge_pd(a, b);
+  } else {
+    return _mm_cmpeq_pd(a, b);
+  }
+}
+
+template <CmpOp Op>
+void AndCompareSse2(const double* vals, size_t count, double bound,
+                    uint64_t* bitmap) {
+  const __m128d vb = _mm_set1_pd(bound);
+  for (size_t w = 0; w * 64 < count; ++w) {
+    const size_t base = w * 64;
+    const size_t limit = std::min<size_t>(64, count - base);
+    uint64_t m = 0;
+    size_t b = 0;
+    for (; b + 2 <= limit; b += 2) {
+      const __m128d va = _mm_loadu_pd(vals + base + b);
+      m |= static_cast<uint64_t>(_mm_movemask_pd(Cmp128<Op>(va, vb))) << b;
+    }
+    for (; b < limit; ++b) {
+      m |= static_cast<uint64_t>(CmpScalar<Op>(vals[base + b], bound)) << b;
+    }
+    bitmap[w] &= m;
+  }
+}
+
+void KernelSse2(const char* records, size_t record_bytes, size_t count,
+                const ColumnCondition* conditions, size_t num_conditions,
+                uint64_t* bitmap) {
+  InitBitmap(count, bitmap);
+  if (count == 0 || num_conditions == 0) {
+    return;
+  }
+  double vals[kMaxBatchRows];
+  for (size_t c = 0; c < num_conditions; ++c) {
+    const ColumnCondition& cond = conditions[c];
+    GatherColumn(records, record_bytes, count, cond.column, vals);
+    switch (cond.op) {
+      case CmpOp::kLt:
+        AndCompareSse2<CmpOp::kLt>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kLe:
+        AndCompareSse2<CmpOp::kLe>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kGt:
+        AndCompareSse2<CmpOp::kGt>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kGe:
+        AndCompareSse2<CmpOp::kGe>(vals, count, cond.value, bitmap);
+        break;
+      case CmpOp::kEq:
+        AndCompareSse2<CmpOp::kEq>(vals, count, cond.value, bitmap);
+        break;
+    }
+  }
+}
+
+#endif  // x86-64
+
+struct KernelChoice {
+  ScanKernelFn fn;
+  const char* name;
+};
+
+KernelChoice PickKernel() {
+  const ScanKernelFn sse2 = Sse2ScanKernel();
+  ScanKernelFn avx2 = Avx2ScanKernel();  // null when not compiled in
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (avx2 != nullptr && !__builtin_cpu_supports("avx2")) {
+    avx2 = nullptr;
+  }
+#else
+  avx2 = nullptr;
+#endif
+  const std::string want = GetEnvString("SEGDIFF_SCAN_KERNEL", "");
+  if (want == "scalar") {
+    return {&KernelScalar, "scalar"};
+  }
+  if (want == "sse2" && sse2 != nullptr) {
+    return {sse2, "sse2"};
+  }
+  if (want == "avx2" && avx2 != nullptr) {
+    return {avx2, "avx2"};
+  }
+  // Default (and fallback for unsupported requests): widest available.
+  if (avx2 != nullptr) {
+    return {avx2, "avx2"};
+  }
+  if (sse2 != nullptr) {
+    return {sse2, "sse2"};
+  }
+  return {&KernelScalar, "scalar"};
+}
+
+const KernelChoice& Active() {
+  static const KernelChoice choice = PickKernel();
+  return choice;
+}
+
+bool RangeCanMatch(const ColumnCondition& cond, double lo, double hi) {
+  switch (cond.op) {
+    case CmpOp::kLt:
+      return lo < cond.value;
+    case CmpOp::kLe:
+      return lo <= cond.value;
+    case CmpOp::kGt:
+      return hi > cond.value;
+    case CmpOp::kGe:
+      return hi >= cond.value;
+    case CmpOp::kEq:
+      return lo <= cond.value && cond.value <= hi;
+  }
+  return true;
+}
+
+}  // namespace
+
+ScanKernelFn ActiveScanKernel() { return Active().fn; }
+
+const char* ActiveScanKernelName() { return Active().name; }
+
+ScanKernelFn ScalarScanKernel() { return &KernelScalar; }
+
+ScanKernelFn Sse2ScanKernel() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return &KernelSse2;
+#else
+  return nullptr;
+#endif
+}
+
+bool ZoneCanMatch(const ZoneMap& zone_map, size_t zone_idx,
+                  const std::vector<ColumnCondition>& conditions) {
+  for (const ColumnCondition& cond : conditions) {
+    if (cond.column >= zone_map.num_columns()) {
+      continue;  // no evidence about this column; cannot prune on it
+    }
+    const double lo = zone_map.Min(zone_idx, cond.column);
+    const double hi = zone_map.Max(zone_idx, cond.column);
+    if (std::isnan(lo) || std::isnan(hi)) {
+      continue;  // polluted bounds must never justify a skip
+    }
+    if (lo > hi) {
+      // No non-NaN value was observed. With the NaN bit set, every cell
+      // of this column is NaN and fails any comparison — the page
+      // cannot match. Without it the zone is inconsistent; do not prune.
+      if (zone_map.HasNan(zone_idx, cond.column)) {
+        return false;
+      }
+      continue;
+    }
+    if (!RangeCanMatch(cond, lo, hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ZoneSurvey SurveyZones(const ZoneMap& zone_map,
+                       const std::vector<ColumnCondition>& conditions) {
+  ZoneSurvey survey;
+  survey.zones_total = zone_map.zone_count();
+  survey.rows_total = zone_map.total_rows();
+  for (size_t z = 0; z < zone_map.zone_count(); ++z) {
+    if (ZoneCanMatch(zone_map, z, conditions)) {
+      ++survey.zones_surviving;
+      survey.rows_surviving += zone_map.zone(z).rows;
+    }
+  }
+  return survey;
+}
+
+}  // namespace segdiff

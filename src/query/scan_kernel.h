@@ -1,0 +1,80 @@
+// Batched predicate kernels and zone-map pruning tests.
+//
+// The batched sequential scan evaluates one heap page at a time: each
+// ColumnCondition is applied to the page's column values with a
+// branch-free compare loop that ANDs a selection bitmap, and only rows
+// whose bit survives reach the residual std::function / row callback.
+// Three kernel variants share one signature — a portable scalar loop
+// (auto-vectorizable), an SSE2 loop (x86-64 baseline), and an AVX2 loop
+// compiled with a target attribute and selected at runtime via CPU
+// detection, following the crc32c hardware/software dispatch pattern.
+//
+// Semantics match EvalCondition exactly: all comparisons are ordered,
+// so a NaN cell never matches.
+
+#ifndef SEGDIFF_QUERY_SCAN_KERNEL_H_
+#define SEGDIFF_QUERY_SCAN_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "query/predicate.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/zone_map.h"
+
+namespace segdiff {
+
+/// Most records one heap page can hold (the 1-column case); batch
+/// buffers are sized for it so any page fits one batch.
+inline constexpr size_t kMaxBatchRows =
+    (kPageCapacity - HeapFile::kHeaderBytes) / 8;
+inline constexpr size_t kBatchBitmapWords = (kMaxBatchRows + 63) / 64;
+
+/// Fills `bitmap` (ceil(count/64) words; bit i = record i matches every
+/// condition) for `count` fixed-width records starting at `records`.
+/// Bits at and above `count` are zero. `count` must not exceed
+/// kMaxBatchRows and every condition's column must lie within the
+/// record.
+using ScanKernelFn = void (*)(const char* records, size_t record_bytes,
+                              size_t count, const ColumnCondition* conditions,
+                              size_t num_conditions, uint64_t* bitmap);
+
+/// The kernel chosen for this process: the widest variant the CPU
+/// supports, overridable with SEGDIFF_SCAN_KERNEL=scalar|sse2|avx2
+/// (unsupported requests fall back to the widest supported variant).
+ScanKernelFn ActiveScanKernel();
+
+/// Name of the variant ActiveScanKernel() returns ("scalar", "sse2",
+/// "avx2") — for --stats output and bench reports.
+const char* ActiveScanKernelName();
+
+/// The individual variants, exposed for differential tests. Sse2/Avx2
+/// are null function pointers off x86-64 (and Avx2 may be unusable even
+/// where non-null; callers outside tests should use ActiveScanKernel).
+ScanKernelFn ScalarScanKernel();
+ScanKernelFn Sse2ScanKernel();
+ScanKernelFn Avx2ScanKernel();
+
+/// True when some value inside zone `zone_idx` could satisfy every
+/// condition. Sound with NaN-bearing pages: zone bounds exclude NaN
+/// cells, and a NaN cell never matches a condition, so bounds over the
+/// non-NaN values are sufficient evidence to prune. A bound that is
+/// itself NaN (polluted stats) disables pruning on that column.
+bool ZoneCanMatch(const ZoneMap& zone_map, size_t zone_idx,
+                  const std::vector<ColumnCondition>& conditions);
+
+/// Page-level selectivity survey: how much of the table survives
+/// pruning under `conditions`. Feeds the planner's cost model.
+struct ZoneSurvey {
+  uint64_t zones_total = 0;
+  uint64_t zones_surviving = 0;
+  uint64_t rows_total = 0;
+  uint64_t rows_surviving = 0;
+};
+ZoneSurvey SurveyZones(const ZoneMap& zone_map,
+                       const std::vector<ColumnCondition>& conditions);
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_QUERY_SCAN_KERNEL_H_

@@ -5,7 +5,9 @@
 
 #include "common/bytes.h"
 #include "common/stopwatch.h"
+#include "query/planner.h"
 #include "query/predicate.h"
+#include "query/scan_kernel.h"
 
 namespace segdiff {
 namespace {
@@ -181,15 +183,52 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
     return Status::OK();
   };
 
+  // Zone maps feed both the pruned sequential scan and the kAuto cost
+  // model; legacy stores build theirs here (serial context), once.
+  SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(table_->EnsureZoneMap(),
+                                              "the exh pair table"));
+
+  Predicate predicate;
+  predicate.And(0, CmpOp::kLe, T);
+  predicate.And(1, drop ? CmpOp::kLe : CmpOp::kGe, V);
+
   QueryMode mode = options.mode;
   if (mode == QueryMode::kAuto) {
-    mode = options_.build_index ? QueryMode::kIndexScan : QueryMode::kSeqScan;
+    const ZoneMap* zone_map = table_->zone_map();
+    if (!options_.build_index || zone_map == nullptr) {
+      mode = QueryMode::kSeqScan;
+    } else {
+      const ZoneSurvey survey = SurveyZones(*zone_map, predicate.conditions());
+      TableStatsView view;
+      view.row_count = table_->row_count();
+      view.pages_total = table_->heap_meta().page_count;
+      view.pages_after_pruning =
+          survey.zones_surviving + (view.pages_total > survey.zones_total
+                                        ? view.pages_total - survey.zones_total
+                                        : 0);
+      const ZoneMap::ColumnRange dt = zone_map->GlobalRange(0);
+      const ZoneMap::ColumnRange dv = zone_map->GlobalRange(1);
+      auto le_fraction = [](const ZoneMap::ColumnRange& r, double hi) {
+        if (!(r.lo <= r.hi)) return 1.0;
+        if (r.hi <= r.lo) return hi >= r.lo ? 1.0 : 0.0;
+        return std::clamp((hi - r.lo) / (r.hi - r.lo), 0.0, 1.0);
+      };
+      auto ge_fraction = [](const ZoneMap::ColumnRange& r, double lo) {
+        if (!(r.lo <= r.hi)) return 1.0;
+        if (r.hi <= r.lo) return lo <= r.lo ? 1.0 : 0.0;
+        return std::clamp((r.hi - lo) / (r.hi - r.lo), 0.0, 1.0);
+      };
+      view.index_entry_fraction = le_fraction(dt, T);
+      view.heap_fetch_fraction =
+          view.index_entry_fraction *
+          (drop ? le_fraction(dv, V) : ge_fraction(dv, V));
+      const PlanChoice choice = ChooseAccessPath(view, options_.build_index);
+      mode = choice.path == AccessPath::kIndexScan ? QueryMode::kIndexScan
+                                                   : QueryMode::kSeqScan;
+    }
   }
   ++local.queries_issued;
   if (mode == QueryMode::kSeqScan) {
-    Predicate predicate;
-    predicate.And(0, CmpOp::kLe, T);
-    predicate.And(1, drop ? CmpOp::kLe : CmpOp::kGe, V);
     const size_t num_threads = options.num_threads;
     if (num_threads > 1) {
       // Partition the single range query's scan across the pool; events

@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "query/planner.h"
 #include "query/predicate.h"
+#include "query/scan_kernel.h"
 
 namespace segdiff {
 namespace {
@@ -43,6 +44,36 @@ struct RangeQuery {
   bool is_line = false;
   int corner = 1;  ///< point: corner j; line: edge (j, j+1)
 };
+
+/// Estimated fraction of rows satisfying `cond`, assuming a uniform
+/// distribution over the column's zone-map-observed [lo, hi]. A NaN
+/// query bound propagates into the result, which the cost-based planner
+/// rejects (falling back to the sequential scan).
+double ConditionFraction(const ZoneMap& zone_map,
+                         const ColumnCondition& cond) {
+  const ZoneMap::ColumnRange range = zone_map.GlobalRange(cond.column);
+  if (!(range.lo <= range.hi)) {
+    return 1.0;  // column never observed: no evidence to plan on
+  }
+  const double width = range.hi - range.lo;
+  switch (cond.op) {
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+      if (width <= 0.0) {
+        return cond.value >= range.lo ? 1.0 : 0.0;
+      }
+      return std::clamp((cond.value - range.lo) / width, 0.0, 1.0);
+    case CmpOp::kGt:
+    case CmpOp::kGe:
+      if (width <= 0.0) {
+        return cond.value <= range.lo ? 1.0 : 0.0;
+      }
+      return std::clamp((range.hi - cond.value) / width, 0.0, 1.0);
+    case CmpOp::kEq:
+      return (cond.value >= range.lo && cond.value <= range.hi) ? 0.1 : 0.0;
+  }
+  return 1.0;
+}
 
 bool PairIdLess(const PairId& a, const PairId& b) {
   if (a.t_d != b.t_d) return a.t_d < b.t_d;
@@ -185,7 +216,6 @@ Status SegDiffIndex::InitTables() {
       }
     }
     segment_dir_fresh_ = true;
-    column_stats_fresh_ = true;
   } else {
     SEGDIFF_ASSIGN_OR_RETURN(segments_table_, db_->GetTable("segments"));
     for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
@@ -199,13 +229,6 @@ Status SegDiffIndex::InitTables() {
     // call: adopt it so resumed appends keep the attached indexes fed.
     options_.build_indexes = !feature_tables_[0][0]->indexes().empty();
     segment_dir_fresh_ = false;
-    column_stats_fresh_ = false;
-  }
-  for (int kind = 0; kind < 2; ++kind) {
-    for (int k = 1; k <= 3; ++k) {
-      column_stats_[kind][k - 1].resize(
-          feature_tables_[kind][k - 1]->schema().num_columns());
-    }
   }
   return Status::OK();
 }
@@ -224,20 +247,10 @@ Status SegDiffIndex::WriteFeatureRow(const PairFeatures& row) {
   row_buf_.push_back(row.id.t_d);
   row_buf_.push_back(row.id.t_c);
   row_buf_.push_back(row.id.t_b);
-  SEGDIFF_RETURN_IF_ERROR(table->InsertDoubles(row_buf_).status());
-
-  auto& stats = column_stats_[static_cast<int>(row.kind)][k - 1];
-  for (size_t c = 0; c < row_buf_.size(); ++c) {
-    ColumnRange& range = stats[c];
-    if (!range.seen) {
-      range.lo = range.hi = row_buf_[c];
-      range.seen = true;
-    } else {
-      range.lo = std::min(range.lo, row_buf_[c]);
-      range.hi = std::max(range.hi, row_buf_[c]);
-    }
-  }
-  return Status::OK();
+  // Table::InsertDoubles also folds the row into the table's zone map,
+  // so the per-page stats the planner and pruned scans use stay current
+  // with every flushed feature.
+  return table->InsertDoubles(row_buf_).status();
 }
 
 Status SegDiffIndex::OnSegment(const DataSegment& segment) {
@@ -453,35 +466,13 @@ Status SegDiffIndex::EnsureSegmentDirectory() {
   return Status::OK();
 }
 
-Status SegDiffIndex::EnsureColumnStats() {
-  if (column_stats_fresh_) {
-    return Status::OK();
+Status SegDiffIndex::EnsureZoneMaps(SearchKind kind) {
+  for (int k = 1; k <= 3; ++k) {
+    Table* table = feature_tables_[static_cast<int>(kind)][k - 1];
+    SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
+        table->EnsureZoneMap(),
+        "feature table '" + table->name() + "'"));
   }
-  for (int kind = 0; kind < 2; ++kind) {
-    for (int k = 1; k <= 3; ++k) {
-      Table* table = feature_tables_[kind][k - 1];
-      auto& stats = column_stats_[kind][k - 1];
-      for (ColumnRange& range : stats) {
-        range.seen = false;
-      }
-      SEGDIFF_RETURN_IF_ERROR(table->Scan(
-          [&](const char* record, RecordId, bool* keep_going) -> Status {
-            *keep_going = true;
-            for (size_t c = 0; c < stats.size(); ++c) {
-              const double v = DecodeDoubleColumn(record, c);
-              if (!stats[c].seen) {
-                stats[c].lo = stats[c].hi = v;
-                stats[c].seen = true;
-              } else {
-                stats[c].lo = std::min(stats[c].lo, v);
-                stats[c].hi = std::max(stats[c].hi, v);
-              }
-            }
-            return Status::OK();
-          }));
-    }
-  }
-  column_stats_fresh_ = true;
   return Status::OK();
 }
 
@@ -528,9 +519,9 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
 
   // Everything that lazily mutates index state happens before any task
   // can run on a worker thread; the tasks themselves are read-only.
-  if (options.mode == QueryMode::kAuto) {
-    SEGDIFF_RETURN_IF_ERROR(EnsureColumnStats());
-  }
+  // Zone maps drive both page pruning inside the sequential scans and
+  // the kAuto cost model; legacy stores build theirs here, once.
+  SEGDIFF_RETURN_IF_ERROR(EnsureZoneMaps(kind));
 
   // Builds the paper's predicate for one query, for sequential scans.
   auto make_predicate = [drop, T, V](const RangeQuery& query) {
@@ -597,13 +588,37 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
             "index scan requested but indexes were not built");
       }
       if (mode == QueryMode::kAuto) {
-        const auto& range =
-            column_stats_[static_cast<int>(kind)][k - 1][DtCol(query.corner)];
-        const PlanChoice choice = ChooseAccessPath(
-            table->row_count(), range.seen ? range.lo : 0.0,
-            range.seen ? range.hi : 0.0, T, options_.build_indexes);
-        mode = choice.path == AccessPath::kIndexScan ? QueryMode::kIndexScan
-                                                     : QueryMode::kSeqScan;
+        const ZoneMap* zone_map = table->zone_map();
+        if (zone_map == nullptr) {
+          mode = QueryMode::kSeqScan;  // no stats: always-correct default
+        } else {
+          // Price the sequential side at what the pruned scan will
+          // actually evaluate, and the index side from real per-column
+          // ranges — the query's own conditions drive both.
+          const Predicate predicate = make_predicate(query);
+          const ZoneSurvey survey =
+              SurveyZones(*zone_map, predicate.conditions());
+          TableStatsView view;
+          view.row_count = table->row_count();
+          view.pages_total = table->heap_meta().page_count;
+          // Pages without a zone (e.g. crash-recovered tails) cannot be
+          // pruned; keep them on the sequential side's bill.
+          view.pages_after_pruning =
+              survey.zones_surviving +
+              (view.pages_total > survey.zones_total
+                   ? view.pages_total - survey.zones_total
+                   : 0);
+          view.index_entry_fraction =
+              ConditionFraction(*zone_map, predicate.conditions().front());
+          view.heap_fetch_fraction = 1.0;
+          for (const ColumnCondition& cond : predicate.conditions()) {
+            view.heap_fetch_fraction *= ConditionFraction(*zone_map, cond);
+          }
+          const PlanChoice choice =
+              ChooseAccessPath(view, options_.build_indexes);
+          mode = choice.path == AccessPath::kIndexScan ? QueryMode::kIndexScan
+                                                       : QueryMode::kSeqScan;
+        }
       }
       tasks.push_back(QueryTask{k, table, false, query, mode});
     }

@@ -194,7 +194,10 @@ class SegDiffIndex : public FeatureSink {
                                      const SearchOptions& options,
                                      SearchStats* stats);
   Status EnsureSegmentDirectory();
-  Status EnsureColumnStats();
+  /// Builds any missing zone maps for the kind's feature tables (legacy
+  /// stores); fresh tables maintain theirs incrementally on insert.
+  /// Must run before a search fans out to worker threads.
+  Status EnsureZoneMaps(SearchKind kind);
 
   SegDiffOptions options_;
   std::unique_ptr<Database> db_;
@@ -217,15 +220,6 @@ class SegDiffIndex : public FeatureSink {
   /// t_start -> t_end of every segment, for materializing t_a.
   std::unordered_map<double, double> segment_dir_;
   bool segment_dir_fresh_ = false;
-
-  /// Per (kind, k, column) observed [min, max], for the kAuto planner.
-  struct ColumnRange {
-    double lo = 0.0;
-    double hi = 0.0;
-    bool seen = false;
-  };
-  std::vector<ColumnRange> column_stats_[2][3];
-  bool column_stats_fresh_ = false;
 
   std::vector<double> row_buf_;
 };

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "query/scan_kernel.h"
 #include "sql/parser.h"
 
 namespace segdiff {
@@ -153,6 +154,9 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
                                           bool explain_only) {
   SEGDIFF_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   const TableSchema& schema = table->schema();
+  // Stores written before zone maps existed rebuild theirs on first
+  // query; fresh tables maintain them incrementally (no-op here).
+  SEGDIFF_RETURN_IF_ERROR(table->EnsureZoneMap());
 
   // Aggregate bookkeeping (COUNT(*) handled via `matched`).
   const bool value_aggregate = stmt.aggregate != Aggregate::kNone &&
@@ -226,14 +230,23 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
   }
 
   if (explain_only) {
+    std::string zone_label = "zone map: none";
+    if (const ZoneMap* zone_map = table->zone_map()) {
+      const ZoneSurvey survey =
+          SurveyZones(*zone_map, predicate.conditions());
+      zone_label = "zone map: " + std::to_string(survey.zones_surviving) +
+                   "/" + std::to_string(survey.zones_total) +
+                   " pages match";
+    }
     result.columns = {"plan"};
-    result.rows.assign(3, Row{});
+    result.rows.assign(4, Row{});
     result.row_labels = {
         std::string("table ") + stmt.table + " (" +
             std::to_string(table->row_count()) + " rows)",
         chosen != nullptr ? "access: index_scan(" + chosen->name + ")"
                           : "access: seq_scan",
         "residual conjuncts: " + std::to_string(stmt.where.size()),
+        std::move(zone_label),
     };
     result.access_path = "explain";
     return result;
@@ -404,6 +417,16 @@ std::string FormatResult(const QueryResult& result) {
   std::string out;
   if (!result.access_path.empty()) {
     out += "-- " + result.access_path + "\n";
+  }
+  // A scan ran (seq or index): report what pruning + evaluation did.
+  const ScanStats& stats = result.scan_stats;
+  if (stats.rows_scanned + stats.rows_pruned + stats.pages_scanned +
+          stats.pages_pruned >
+      0) {
+    out += "-- pages scanned=" + std::to_string(stats.pages_scanned) +
+           " pruned=" + std::to_string(stats.pages_pruned) +
+           ", rows scanned=" + std::to_string(stats.rows_scanned) +
+           " pruned=" + std::to_string(stats.rows_pruned) + "\n";
   }
   if (result.columns.empty()) {
     out += "ok";

@@ -41,7 +41,24 @@ Result<std::unique_ptr<Database>> Database::Open(
       SEGDIFF_RETURN_IF_ERROR(table->AttachIndex(
           index.name, std::move(index.key_columns), index.meta_page));
     }
+    // Zone maps are derived data persisted under a reserved blob key;
+    // a blob that fails to parse or disagrees with the heap (e.g. a
+    // crash persisted pages the map never saw) is simply dropped —
+    // pruning stays off until Table::EnsureZoneMap rebuilds it.
+    auto blob = db->meta_.find(kZoneMapBlobPrefix + table->name());
+    if (blob != db->meta_.end()) {
+      Result<ZoneMap> map = ZoneMap::Deserialize(blob->second);
+      if (map.ok()) {
+        table->AttachZoneMap(std::move(map).value());
+      }
+    }
     db->tables_.push_back(std::move(table));
+  }
+  // The reserved blobs never live in meta_; Checkpoint regenerates them
+  // from the attached tables (and CompactInto must not copy stale ones).
+  for (auto it = db->meta_.begin(); it != db->meta_.end();) {
+    it = it->first.rfind(kZoneMapBlobPrefix, 0) == 0 ? db->meta_.erase(it)
+                                                     : ++it;
   }
   return db;
 }
@@ -116,6 +133,12 @@ Status Database::Checkpoint() {
     catalog.tables.push_back(std::move(meta));
   }
   catalog.blobs = meta_;
+  for (const auto& table : tables_) {
+    if (table->zone_map() != nullptr) {
+      catalog.blobs[kZoneMapBlobPrefix + table->name()] =
+          table->zone_map()->Serialize();
+    }
+  }
   SEGDIFF_RETURN_IF_ERROR(WriteCatalog(pool_.get(), catalog));
   SEGDIFF_RETURN_IF_ERROR(pool_->FlushAll());
   return pager_->Sync();

@@ -95,6 +95,33 @@ Status HeapFile::Scan(const ScanFn& fn) const {
   return Status::OK();
 }
 
+Status HeapFile::ScanPageData(const PageDataFn& fn) const {
+  PageId current = meta_.first_page;
+  bool keep_going = true;
+  while (current != kInvalidPageId && keep_going) {
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    SEGDIFF_RETURN_IF_ERROR(fn(current, page.data() + kHeaderBytes,
+                               PageCount(page.data()), &keep_going));
+    current = PageNext(page.data());
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ScanPagesData(const std::vector<PageId>& pages,
+                               const PageDataFn& fn) const {
+  bool keep_going = true;
+  for (const PageId id : pages) {
+    if (!keep_going) {
+      break;
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id));
+    SEGDIFF_RETURN_IF_ERROR(
+        fn(id, page.data() + kHeaderBytes, PageCount(page.data()),
+           &keep_going));
+  }
+  return Status::OK();
+}
+
 Result<std::vector<PageId>> HeapFile::CollectPageIds() const {
   std::vector<PageId> pages;
   pages.reserve(meta_.page_count);

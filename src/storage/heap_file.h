@@ -65,6 +65,19 @@ class HeapFile {
   /// in the given order. `keep_going = false` stops this partition.
   Status ScanPages(const std::vector<PageId>& pages, const ScanFn& fn) const;
 
+  /// Page-at-a-time scan: the callback sees each page's record area
+  /// (`records` = first record, `count` records of record_bytes each)
+  /// while the page stays pinned, so batched executors can evaluate a
+  /// whole page without per-record dispatch. Every page is fetched
+  /// through the buffer pool — and therefore checksum-verified — even
+  /// when the callback then decides to skip it (zone-map pruning must
+  /// not mask corruption).
+  using PageDataFn = std::function<Status(PageId page, const char* records,
+                                          uint16_t count, bool* keep_going)>;
+  Status ScanPageData(const PageDataFn& fn) const;
+  Status ScanPagesData(const std::vector<PageId>& pages,
+                       const PageDataFn& fn) const;
+
   const HeapFileMeta& meta() const { return meta_; }
   size_t record_bytes() const { return record_bytes_; }
   size_t records_per_page() const { return records_per_page_; }

@@ -19,8 +19,12 @@ Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool,
                                              TableSchema schema) {
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile heap,
                            HeapFile::Create(pool, schema.RowBytes()));
-  return std::unique_ptr<Table>(
+  std::unique_ptr<Table> table(
       new Table(pool, std::move(name), std::move(schema), heap));
+  if (ZoneMap::SupportsSchema(table->schema_)) {
+    table->zone_map_ = std::make_unique<ZoneMap>(table->schema_.num_columns());
+  }
+  return table;
 }
 
 Result<std::unique_ptr<Table>> Table::Attach(BufferPool* pool,
@@ -46,6 +50,9 @@ Result<IndexKey> Table::MakeKey(const TableIndex& index, const char* record,
 Result<RecordId> Table::Insert(const Row& row) {
   SEGDIFF_RETURN_IF_ERROR(EncodeRow(schema_, row, encode_buf_.data()));
   SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(encode_buf_.data()));
+  if (zone_map_ != nullptr) {
+    zone_map_->OnAppend(rid, encode_buf_.data());
+  }
   for (TableIndex& index : indexes_) {
     SEGDIFF_ASSIGN_OR_RETURN(IndexKey key,
                              MakeKey(index, encode_buf_.data(), rid));
@@ -62,6 +69,9 @@ Result<RecordId> Table::InsertDoubles(const std::vector<double>& values) {
     EncodeDouble(encode_buf_.data() + 8 * i, values[i]);
   }
   SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(encode_buf_.data()));
+  if (zone_map_ != nullptr) {
+    zone_map_->OnAppend(rid, encode_buf_.data());
+  }
   for (TableIndex& index : indexes_) {
     SEGDIFF_ASSIGN_OR_RETURN(IndexKey key,
                              MakeKey(index, encode_buf_.data(), rid));
@@ -81,6 +91,40 @@ Result<std::vector<PageId>> Table::HeapPageIds() const {
 Status Table::ScanPages(const std::vector<PageId>& pages,
                         const HeapFile::ScanFn& fn) const {
   return heap_->ScanPages(pages, fn);
+}
+
+Status Table::ScanPageData(const HeapFile::PageDataFn& fn) const {
+  return heap_->ScanPageData(fn);
+}
+
+Status Table::ScanPagesData(const std::vector<PageId>& pages,
+                            const HeapFile::PageDataFn& fn) const {
+  return heap_->ScanPagesData(pages, fn);
+}
+
+bool Table::AttachZoneMap(ZoneMap map) {
+  if (map.num_columns() != schema_.num_columns() ||
+      map.total_rows() != heap_->meta().record_count ||
+      map.zone_count() > heap_->meta().page_count) {
+    return false;  // stale or foreign map; pruning with it would be unsafe
+  }
+  zone_map_ = std::make_unique<ZoneMap>(std::move(map));
+  return true;
+}
+
+Status Table::EnsureZoneMap() {
+  if (zone_map_ != nullptr || !ZoneMap::SupportsSchema(schema_)) {
+    return Status::OK();
+  }
+  auto map = std::make_unique<ZoneMap>(schema_.num_columns());
+  SEGDIFF_RETURN_IF_ERROR(heap_->Scan(
+      [&](const char* record, RecordId rid, bool* keep_going) -> Status {
+        *keep_going = true;
+        map->OnAppend(rid, record);
+        return Status::OK();
+      }));
+  zone_map_ = std::move(map);
+  return Status::OK();
 }
 
 Result<Row> Table::ReadRow(RecordId id) const {
@@ -157,6 +201,10 @@ Result<uint64_t> Table::DeleteWhere(const Predicate& predicate) {
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile fresh,
                            HeapFile::Create(pool_, schema_.RowBytes()));
   uint64_t removed = 0;
+  std::unique_ptr<ZoneMap> fresh_map;
+  if (ZoneMap::SupportsSchema(schema_)) {
+    fresh_map = std::make_unique<ZoneMap>(schema_.num_columns());
+  }
   // Copy survivors into the fresh heap.
   SEGDIFF_RETURN_IF_ERROR(heap_->Scan(
       [&](const char* record, RecordId, bool* keep_going) -> Status {
@@ -165,7 +213,11 @@ Result<uint64_t> Table::DeleteWhere(const Predicate& predicate) {
           ++removed;
           return Status::OK();
         }
-        return fresh.Append(record).status();
+        SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, fresh.Append(record));
+        if (fresh_map != nullptr) {
+          fresh_map->OnAppend(rid, record);
+        }
+        return Status::OK();
       }));
   // Rebuild every index over the fresh heap.
   std::vector<TableIndex> rebuilt;
@@ -188,6 +240,7 @@ Result<uint64_t> Table::DeleteWhere(const Predicate& predicate) {
     rebuilt.push_back(std::move(index));
   }
   *heap_ = fresh;
+  zone_map_ = std::move(fresh_map);
   indexes_ = std::move(rebuilt);
   return removed;
 }

@@ -12,6 +12,7 @@
 #include "query/predicate.h"
 #include "storage/heap_file.h"
 #include "storage/record.h"
+#include "storage/zone_map.h"
 
 namespace segdiff {
 
@@ -56,6 +57,12 @@ class Table {
   Status ScanPages(const std::vector<PageId>& pages,
                    const HeapFile::ScanFn& fn) const;
 
+  /// Page-at-a-time scans over the whole chain / the given pages; the
+  /// batched executors decode each page's records in one shot.
+  Status ScanPageData(const HeapFile::PageDataFn& fn) const;
+  Status ScanPagesData(const std::vector<PageId>& pages,
+                       const HeapFile::PageDataFn& fn) const;
+
   /// Materializes the row at `id`.
   Result<Row> ReadRow(RecordId id) const;
 
@@ -81,6 +88,26 @@ class Table {
   /// until the store is rebuilt). Returns the number of rows removed.
   Result<uint64_t> DeleteWhere(const Predicate& predicate);
 
+  /// The table's zone map, or nullptr (unsupported schema, or a legacy
+  /// store whose map has not been rebuilt yet — call EnsureZoneMap).
+  const ZoneMap* zone_map() const { return zone_map_.get(); }
+
+  /// Adopts a zone map restored from the catalog. Rejects (drops) maps
+  /// inconsistent with the heap — wrong arity or row count — since a
+  /// stale map could prune live pages; the caller falls back to
+  /// EnsureZoneMap. Returns whether the map was adopted.
+  bool AttachZoneMap(ZoneMap map);
+
+  /// Builds the zone map from a full heap scan when the schema supports
+  /// one and it is missing (legacy stores / rejected blobs). No-op when
+  /// already present or unsupported.
+  Status EnsureZoneMap();
+
+  /// Discards the zone map (scans stop pruning until EnsureZoneMap).
+  /// Tests use this to exercise the legacy-store path; losing a map is
+  /// always safe — it is derived data.
+  void DetachZoneMap() { zone_map_.reset(); }
+
   const std::vector<TableIndex>& indexes() const { return indexes_; }
   uint64_t row_count() const { return heap_->meta().record_count; }
   /// Heap bytes only: the paper's "feature size".
@@ -100,6 +127,7 @@ class Table {
   std::string name_;
   TableSchema schema_;
   std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<ZoneMap> zone_map_;
   std::vector<TableIndex> indexes_;
   std::vector<char> encode_buf_;
 };

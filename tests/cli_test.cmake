@@ -44,6 +44,9 @@ run_cli("wrote [0-9]+ observations"
 run_cli("appended [0-9]+ observations .*eps=0.2"
         append --csv ${CSV2} --db ${DB} --smooth)
 run_cli("periods with a drop" search --db ${DB} --t-hours 1 --v -3)
+run_cli("pages: [0-9]+ scanned, [0-9]+ pruned"
+        search --db ${DB} --t-hours 1 --v -3 --stats)
+run_cli("kernel: " search --db ${DB} --t-hours 1 --v -3 --stats)
 run_cli("periods with a jump"
         search --db ${DB} --t-hours 2 --v 2 --jump --mode index)
 run_cli("feature rows" stats --db ${DB})

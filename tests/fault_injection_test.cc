@@ -25,6 +25,7 @@
 #include "common/crc32c.h"
 #include "common/env.h"
 #include "common/vfs.h"
+#include "query/executor.h"
 #include "segdiff/segdiff_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/db.h"
@@ -590,6 +591,67 @@ TEST_F(CrashRecoveryTest, FlippedFeaturePageQuarantinesSearch) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   ASSERT_EQ(report->corrupt.size(), 1u);
   EXPECT_EQ(report->corrupt[0].page, victim);
+}
+
+// Zone-map pruning must not mask corruption: a pruned page is still
+// fetched — and checksum-verified — by the buffer pool; pruning only
+// skips the decode and predicate work. A damaged page therefore fails
+// the scan even when its rows could never match the predicate.
+TEST_F(FaultInjectionTest, PrunedCorruptPageStillDetected) {
+  PageId victim = kInvalidPageId;
+  Predicate nothing_matches;
+  nothing_matches.And(0, CmpOp::kGe, 1e9);  // beyond every zone's max
+  {
+    auto db = Database::Open(path_, DatabaseOptions{});
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto schema = DoubleSchema({"a", "b"});
+    ASSERT_TRUE(schema.ok());
+    auto table = (*db)->CreateTable("f", *schema);
+    ASSERT_TRUE(table.ok());
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE((*table)
+                      ->InsertDoubles({static_cast<double>(i),
+                                       static_cast<double>(-i)})
+                      .ok());
+    }
+    ASSERT_TRUE((*table)
+                    ->Scan([&](const char*, RecordId id,
+                               bool* keep_going) -> Status {
+                      victim = id.page;
+                      *keep_going = false;
+                      return Status::OK();
+                    })
+                    .ok());
+    // Sanity: on the healthy store this query prunes every single page.
+    ScanStats stats;
+    ASSERT_TRUE(SeqScan(**table, nothing_matches,
+                        [](const char*, RecordId) { return Status::OK(); },
+                        &stats)
+                    .ok());
+    ASSERT_EQ(stats.pages_pruned, (*table)->heap_meta().page_count);
+    ASSERT_EQ(stats.pages_scanned, 0u);
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  ASSERT_NE(victim, kInvalidPageId);
+  FlipByte(path_, victim * kPageSize + 200);
+
+  DatabaseOptions options;
+  options.create_if_missing = false;
+  auto db = Database::Open(path_, options);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  (*db)->set_checkpoint_on_close(false);  // keep the evidence on disk
+  auto table = (*db)->GetTable("f");
+  ASSERT_TRUE(table.ok());
+  ASSERT_NE((*table)->zone_map(), nullptr) << "zone map not restored";
+  Status status =
+      SeqScan(**table, nothing_matches,
+              [](const char*, RecordId) { return Status::OK(); }, nullptr);
+  ASSERT_TRUE(status.IsCorruption())
+      << "pruned scan masked a corrupt page: " << status.ToString();
+  EXPECT_NE(std::string(status.message())
+                .find("page " + std::to_string(victim)),
+            std::string::npos)
+      << status.ToString();
 }
 
 // ---------------------------------------------------------------------------

@@ -92,7 +92,11 @@ TEST_F(QueryTest, SeqScanMatchesManualFilter) {
                       },
                       &stats)
                   .ok());
-  EXPECT_EQ(stats.rows_scanned, 4000u);
+  // Zone maps may skip pages that cannot match, but every row is either
+  // scanned or pruned — never silently dropped.
+  EXPECT_EQ(stats.rows_scanned + stats.rows_pruned, 4000u);
+  EXPECT_EQ(stats.pages_scanned + stats.pages_pruned,
+            table_->heap_meta().page_count);
   EXPECT_EQ(stats.rows_matched, tags.size());
   // Expected selectivity ~ (30/100)*(5/20) = 7.5%; sanity band.
   EXPECT_GT(tags.size(), 150u);
@@ -214,6 +218,56 @@ TEST(PlannerTest, ClampsAndDegenerates) {
   options.index_selectivity_threshold = 0.9;
   EXPECT_EQ(ChooseAccessPath(10, 0.0, 100.0, 60.0, true, options).path,
             AccessPath::kIndexScan);
+}
+
+TEST(PlannerTest, CostModelPrefersIndexForSparseQueries) {
+  TableStatsView stats;
+  stats.row_count = 1000000;
+  stats.pages_total = 7000;
+  stats.pages_after_pruning = 7000;  // nothing prunable
+  stats.index_entry_fraction = 0.001;
+  stats.heap_fetch_fraction = 0.0005;
+  PlanChoice choice = ChooseAccessPath(stats, /*index_available=*/true);
+  EXPECT_EQ(choice.path, AccessPath::kIndexScan);
+  EXPECT_DOUBLE_EQ(choice.estimated_selectivity, 0.001);
+  // Same query, but zone maps already shrink the seq scan to a handful
+  // of pages: the sequential side wins outright.
+  stats.pages_after_pruning = 40;
+  EXPECT_EQ(ChooseAccessPath(stats, true).path, AccessPath::kSeqScan);
+}
+
+TEST(PlannerTest, CostModelPrefersSeqScanForDenseQueries) {
+  TableStatsView stats;
+  stats.row_count = 1000000;
+  stats.pages_total = 7000;
+  stats.pages_after_pruning = 6500;
+  stats.index_entry_fraction = 0.5;
+  stats.heap_fetch_fraction = 0.3;  // random fetches dominate
+  EXPECT_EQ(ChooseAccessPath(stats, true).path, AccessPath::kSeqScan);
+  EXPECT_EQ(ChooseAccessPath(stats, false).path, AccessPath::kSeqScan);
+}
+
+TEST(PlannerTest, CostModelRejectsMalformedStats) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  TableStatsView stats;
+  stats.row_count = 1000;
+  stats.pages_total = 10;
+  stats.pages_after_pruning = 10;  // seq cost 10 > index cost ~4
+  stats.index_entry_fraction = 0.001;
+  stats.heap_fetch_fraction = 0.001;
+  ASSERT_EQ(ChooseAccessPath(stats, true).path, AccessPath::kIndexScan);
+  TableStatsView bad = stats;
+  bad.index_entry_fraction = nan;
+  EXPECT_EQ(ChooseAccessPath(bad, true).path, AccessPath::kSeqScan);
+  bad = stats;
+  bad.heap_fetch_fraction = 1.5;
+  EXPECT_EQ(ChooseAccessPath(bad, true).path, AccessPath::kSeqScan);
+  bad = stats;
+  bad.pages_after_pruning = 11;  // more surviving pages than pages
+  EXPECT_EQ(ChooseAccessPath(bad, true).path, AccessPath::kSeqScan);
+  bad = stats;
+  bad.row_count = 0;
+  EXPECT_EQ(ChooseAccessPath(bad, true).path, AccessPath::kSeqScan);
 }
 
 TEST(PlannerTest, MalformedStatsFallBackToSeqScan) {

@@ -280,8 +280,9 @@ TEST_F(EngineTest, AggregatesAndExplain) {
 
   // EXPLAIN reports the plan without executing.
   QueryResult plan = MustExecute("EXPLAIN SELECT * FROM g WHERE a <= 2");
-  ASSERT_EQ(plan.row_labels.size(), 3u);
+  ASSERT_EQ(plan.row_labels.size(), 4u);
   EXPECT_NE(plan.row_labels[1].find("index_scan(ia)"), std::string::npos);
+  EXPECT_NE(plan.row_labels[3].find("zone map:"), std::string::npos);
   plan = MustExecute("EXPLAIN SELECT * FROM g WHERE b >= 5");
   EXPECT_NE(plan.row_labels[1].find("seq_scan"), std::string::npos);
   EXPECT_TRUE(

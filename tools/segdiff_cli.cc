@@ -12,7 +12,10 @@
 //                        (resume ingest into an existing store; picks up
 //                         the persisted open segment and build options)
 //   segdiff_cli search   --db store.db [--t-hours 1] [--v -3] [--jump]
-//                        [--mode seq|index|auto] [--limit 20]
+//                        [--mode seq|index|auto] [--limit 20] [--stats]
+//                        (--stats additionally prints executor counters:
+//                         pages scanned/pruned by the zone maps, rows
+//                         scanned/pruned, and the active scan kernel)
 //   segdiff_cli stats    --db store.db
 //   segdiff_cli sql      --db store.db --query "SELECT ..."
 //   segdiff_cli segment  --csv data.csv --eps 0.2 --out segments.csv
@@ -33,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "query/scan_kernel.h"
 #include "segdiff/segdiff_index.h"
 #include "segment/sliding_window.h"
 #include "sql/engine.h"
@@ -62,8 +66,8 @@ int Fail(const Status& status) {
 /// Minimal --flag value parser ("--jump"-style booleans have no value).
 class Flags {
  public:
-  static constexpr const char* kBooleanFlags[] = {"--jump", "--no-index",
-                                                  "--smooth", "--scrub"};
+  static constexpr const char* kBooleanFlags[] = {
+      "--jump", "--no-index", "--smooth", "--scrub", "--stats"};
 
   Flags(int argc, char** argv, int start) {
     for (int i = start; i < argc; ++i) {
@@ -256,6 +260,19 @@ int CmdSearch(const Flags& flags) {
               V, T / 3600.0, stats.seconds * 1e3,
               static_cast<unsigned long long>(stats.queries_issued),
               mode.c_str());
+  if (flags.Has("--stats")) {
+    const ScanStats& scan = stats.scan;
+    std::printf("  pages: %llu scanned, %llu pruned (zone maps)\n",
+                static_cast<unsigned long long>(scan.pages_scanned),
+                static_cast<unsigned long long>(scan.pages_pruned));
+    std::printf("  rows:  %llu scanned, %llu pruned, %llu matched, "
+                "%llu index entries\n",
+                static_cast<unsigned long long>(scan.rows_scanned),
+                static_cast<unsigned long long>(scan.rows_pruned),
+                static_cast<unsigned long long>(scan.rows_matched),
+                static_cast<unsigned long long>(scan.index_entries_scanned));
+    std::printf("  kernel: %s\n", ActiveScanKernelName());
+  }
   const int limit = flags.GetInt("--limit", 20);
   int shown = 0;
   for (const PairId& pair : *results) {
