@@ -3,10 +3,15 @@
 #   1. configure + build + full ctest suite (the CI gate from ROADMAP.md),
 #      then a --quick smoke of the scan/parallel/micro benches (proves
 #      the bench binaries still run end to end; no perf assertions)
-#   2. an AddressSanitizer build running the streaming-ingest and storage
+#   2. a governance smoke: N concurrent pathological corner queries with
+#      a 50 ms deadline through segdiff_cli — every one must reach a
+#      terminal status (deadline-exceeded or success), proving a slow
+#      query cannot wedge the store
+#   3. an AddressSanitizer build running the streaming-ingest and storage
 #      suites (the subsystems that serialize/restore raw state blobs)
-#      plus the `faults` ctest group (crash-recovery + fault injection,
-#      whose error paths exercise partially-initialized state)
+#      plus the `faults` and `governance` ctest groups (crash-recovery,
+#      fault injection, and cancellation — the error paths that exercise
+#      partially-initialized and partially-released state)
 #
 # Usage: scripts/check_tier1.sh [--no-asan]
 # Exits non-zero on the first failing step.
@@ -34,19 +39,54 @@ echo "== tier-1: ctest =="
 echo "== tier-1: bench smoke (--quick) =="
 (cd build && ./bench/bench_scan --quick && \
  ./bench/bench_parallel --quick && \
+ ./bench/bench_governance --quick && \
  ./bench/bench_micro --quick --benchmark_filter='BM_ScanKernelBatch|BM_PredicateMatch')
+
+echo "== tier-1: governance smoke (concurrent 50ms-deadline searches) =="
+GOV_WORK="build/governance_smoke"
+rm -rf "${GOV_WORK}"; mkdir -p "${GOV_WORK}"
+./build/tools/segdiff_cli generate --out "${GOV_WORK}/data.csv" --days 20
+./build/tools/segdiff_cli build --csv "${GOV_WORK}/data.csv" \
+  --db "${GOV_WORK}/store.db" --eps 0.05
+# 8 concurrent pathological corner queries (max T, near-zero |V| => the
+# widest parallelogram overlap) under a 50 ms deadline. Each must reach
+# a terminal state: exit 0 (finished in time) or exit 1 with
+# DEADLINE_EXCEEDED. Anything else — a hang (caught by timeout) or a
+# crash — fails the gate.
+GOV_PIDS=()
+for i in $(seq 1 8); do
+  timeout 30 ./build/tools/segdiff_cli search --db "${GOV_WORK}/store.db" \
+    --t-hours 8 --v -0.01 --timeout-ms 50 --stats \
+    > "${GOV_WORK}/q${i}.out" 2>&1 &
+  GOV_PIDS+=("$!")
+done
+GOV_FAIL=0
+for pid in "${GOV_PIDS[@]}"; do
+  rc=0; wait "${pid}" || rc=$?
+  if [[ "${rc}" != 0 && "${rc}" != 1 ]]; then
+    echo "governance smoke: query exited ${rc} (hang or crash)"
+    GOV_FAIL=1
+  fi
+done
+if [[ "${GOV_FAIL}" != 0 ]]; then
+  cat "${GOV_WORK}"/q*.out
+  exit 1
+fi
+echo "governance smoke: all 8 concurrent deadline queries terminal"
+rm -rf "${GOV_WORK}"
 
 if [[ "${RUN_ASAN}" == "1" ]]; then
   echo "== asan: configure + build (streaming + storage + fault suites) =="
   cmake -B build-asan -S . -DSEGDIFF_SANITIZE=address >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
     streaming_ingest_test storage_test segdiff_index_test \
-    fault_injection_test
+    fault_injection_test governance_test
   echo "== asan: run =="
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
     -R 'StreamingIngestTest|ExhStreamingTest|StorageTest|SegDiffIndexTest')
-  echo "== asan: fault-injection group (ctest -L faults) =="
-  (cd build-asan && ctest --output-on-failure -j "${JOBS}" -L faults)
+  echo "== asan: fault + governance groups (ctest -L) =="
+  (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
+    -L 'faults|governance')
 fi
 
 echo "== check_tier1: all green =="

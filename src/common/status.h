@@ -25,6 +25,9 @@ enum class StatusCode : unsigned char {
   kNotSupported,
   kOutOfRange,
   kInternal,
+  kCancelled,          ///< the caller cooperatively cancelled the operation
+  kDeadlineExceeded,   ///< the operation ran past its deadline
+  kResourceExhausted,  ///< an admission/memory budget refused the operation
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -73,6 +76,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -88,6 +100,13 @@ class Status {
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Message carried by a non-OK status; empty for OK.
   std::string_view message() const {

@@ -66,6 +66,11 @@ void ThreadPool::Wait() {
 
 Status ThreadPool::ParallelFor(size_t n,
                                const std::function<Status(size_t)>& fn) {
+  return ParallelFor(n, /*ctx=*/nullptr, fn);
+}
+
+Status ThreadPool::ParallelFor(size_t n, const QueryContext* ctx,
+                               const std::function<Status(size_t)>& fn) {
   if (n == 0) {
     return Status::OK();
   }
@@ -78,15 +83,17 @@ Status ThreadPool::ParallelFor(size_t n,
   // failed claim never touches fn.
   struct ForState {
     std::function<Status(size_t)> fn;
+    const QueryContext* ctx = nullptr;
     size_t n = 0;
     size_t next = 0;     ///< first unclaimed iteration (== n: none left)
     size_t running = 0;  ///< claimed iterations still executing
-    Status first_error = Status::OK();
+    FirstErrorCollector errors;
     std::mutex mu;
     std::condition_variable cv;
   };
   auto state = std::make_shared<ForState>();
   state->fn = fn;
+  state->ctx = ctx;
   state->n = n;
   auto run = [state] {
     for (;;) {
@@ -99,13 +106,24 @@ Status ThreadPool::ParallelFor(size_t n,
         i = state->next++;
         ++state->running;
       }
-      Status status = state->fn(i);
+      // Claim-time governance: a cancelled/expired query stops spawning
+      // iterations here; iterations already running hit the same context
+      // inside fn and unwind on their own. The caller's ctx is only
+      // dereferenced while this thread holds a claimed iteration
+      // (running > 0), which ParallelFor's exit condition forbids after
+      // it returns — a straggler helper that finds no work left bails
+      // out above without ever touching the (possibly dead) context.
+      Status status;
+      if (state->ctx != nullptr) {
+        status = state->ctx->Check();
+      }
+      if (status.ok()) {
+        status = state->fn(i);
+      }
+      state->errors.Record(std::move(status));
       {
         std::unique_lock<std::mutex> lock(state->mu);
-        if (!status.ok()) {
-          if (state->first_error.ok()) {
-            state->first_error = std::move(status);
-          }
+        if (state->errors.failed()) {
           state->next = state->n;  // cancel unclaimed iterations
         }
         --state->running;
@@ -124,7 +142,7 @@ Status ThreadPool::ParallelFor(size_t n,
   state->cv.wait(lock, [&state] {
     return state->next >= state->n && state->running == 0;
   });
-  return state->first_error;
+  return state->errors.status();
 }
 
 }  // namespace segdiff

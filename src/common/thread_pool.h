@@ -19,9 +19,44 @@
 #include <thread>
 #include <vector>
 
+#include "common/governance.h"
 #include "common/status.h"
 
 namespace segdiff {
+
+/// First-error-wins capture for fan-out work: every worker Records its
+/// Status, and only the first non-OK one (by completion order) is kept.
+/// This is the single error-propagation idiom for pool fan-outs —
+/// ParallelFor is built on it, and ad-hoc fan-outs (Submit + Wait) should
+/// use it too rather than hand-rolling a mutex + Status pair.
+class FirstErrorCollector {
+ public:
+  /// Keeps `status` if it is the first non-OK status recorded.
+  void Record(Status status) {
+    if (status.ok()) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) {
+      first_ = std::move(status);
+    }
+  }
+
+  bool failed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !first_.ok();
+  }
+
+  /// OK if nothing failed, else the first recorded error.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Status first_;
+};
 
 class ThreadPool {
  public:
@@ -47,6 +82,14 @@ class ThreadPool {
   /// remaining iterations are skipped and the first error (by completion
   /// order) is returned.
   Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+  /// Governed variant: additionally checks `ctx` (may be null) before
+  /// every iteration claim, so a cancelled or expired query stops
+  /// fanning out new iterations immediately — already-running iterations
+  /// still finish (they observe the same context at their own page-level
+  /// check points and unwind through their Status path).
+  Status ParallelFor(size_t n, const QueryContext* ctx,
+                     const std::function<Status(size_t)>& fn);
 
  private:
   void WorkerLoop();

@@ -25,11 +25,29 @@ class PageEvaluator {
         kernel_(ActiveScanKernel()),
         zone_map_(options.prune && !predicate.conditions().empty()
                       ? table.zone_map()
-                      : nullptr) {}
+                      : nullptr),
+        ctx_(options.context) {}
 
   Status Evaluate(PageId page, const char* records, uint16_t count,
                   bool* keep_going) {
     *keep_going = true;
+    // Page-granular cancellation point: the scan stops within one page
+    // of a cancel, and the non-OK return unwinds the pin held by the
+    // page-data walk. The deadline's clock read is amortized over
+    // kDeadlineCheckPageInterval pages (first page included, so an
+    // already-expired deadline fails before any work) — a relaxed
+    // atomic load per page is all the always-on cost.
+    if (ctx_ != nullptr) {
+      if (ctx_->cancel.cancelled()) {
+        return Status::Cancelled("query cancelled by caller");
+      }
+      if (++pages_since_deadline_check_ >= kDeadlineCheckPageInterval) {
+        pages_since_deadline_check_ = 0;
+        if (ctx_->deadline.expired()) {
+          return Status::DeadlineExceeded("query deadline exceeded");
+        }
+      }
+    }
     if (zone_map_ != nullptr) {
       const size_t zone = zone_map_->FindZone(page);
       // Prune only when the zone covers exactly the rows the page holds;
@@ -58,6 +76,7 @@ class PageEvaluator {
       if (predicate_.Matches(record)) {
         ++stats_.rows_matched;
         SEGDIFF_RETURN_IF_ERROR(callback_(record, RecordId{page, slot}));
+        SEGDIFF_RETURN_IF_ERROR(CheckBetweenEmits());
       }
     }
     return Status::OK();
@@ -79,8 +98,20 @@ class PageEvaluator {
           ++stats_.rows_matched;
           SEGDIFF_RETURN_IF_ERROR(
               callback_(record, RecordId{page, static_cast<uint16_t>(slot)}));
+          SEGDIFF_RETURN_IF_ERROR(CheckBetweenEmits());
         }
       }
+    }
+    return Status::OK();
+  }
+
+  /// Extra check points inside the residual/emit loop, for pages where
+  /// the row callback itself is the expensive part (corner-query overlap
+  /// tests): every kGovernanceCheckInterval emitted rows.
+  Status CheckBetweenEmits() {
+    if (ctx_ != nullptr && ++emits_since_check_ >= kGovernanceCheckInterval) {
+      emits_since_check_ = 0;
+      return ctx_->Check();
     }
     return Status::OK();
   }
@@ -91,6 +122,10 @@ class PageEvaluator {
   const bool batch_;
   const ScanKernelFn kernel_;
   const ZoneMap* zone_map_;
+  const QueryContext* ctx_;
+  uint64_t emits_since_check_ = 0;
+  // Starts at the interval so page 0 performs a deadline check.
+  uint64_t pages_since_deadline_check_ = kDeadlineCheckPageInterval - 1;
   ScanStats stats_;
   uint64_t bitmap_[kBatchBitmapWords];
 };
@@ -139,7 +174,7 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
   }
   std::vector<ScanStats> partition_stats(num_partitions);
   SEGDIFF_RETURN_IF_ERROR(pool->ParallelFor(
-      num_partitions, [&](size_t p) -> Status {
+      num_partitions, options.context, [&](size_t p) -> Status {
         PageEvaluator evaluator(table, predicate, options, sinks[p]);
         Status status = table.ScanPagesData(
             partitions[p],
@@ -170,6 +205,12 @@ Status IndexScan(const Table& table, const IndexScanSpec& spec,
   while (it.Valid()) {
     const IndexKey& key = it.key();
     ++local.index_entries_scanned;
+    // Governance check amortised over the range walk; leaf pins are
+    // RAII, so the early return releases the current leaf cleanly.
+    if (spec.context != nullptr &&
+        local.index_entries_scanned % kGovernanceCheckInterval == 1) {
+      SEGDIFF_RETURN_IF_ERROR(spec.context->Check());
+    }
     if (spec.key_continue && !spec.key_continue(key)) {
       break;
     }

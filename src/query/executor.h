@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/governance.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "index/bplus_tree.h"
@@ -51,6 +52,12 @@ struct SeqScanOptions {
   /// pages are still fetched — and checksum-verified — by the buffer
   /// pool; pruning saves the decode and predicate work, not the IO.
   bool prune = true;
+  /// Governance check point (non-owning; may be null = ungoverned). The
+  /// scan checks it once per heap page and every
+  /// kGovernanceCheckInterval emitted rows inside the residual loop, so
+  /// a cancel/deadline stops the scan within one page of work; partial
+  /// state (page pins, partition sinks) unwinds through the Status path.
+  const QueryContext* context = nullptr;
 };
 
 /// Full-table scan applying `predicate` to every record.
@@ -88,6 +95,9 @@ struct IndexScanSpec {
   IndexKey lower;
   std::function<bool(const IndexKey&)> key_continue;  ///< stop when false
   std::function<bool(const IndexKey&)> key_filter;    ///< skip when false
+  /// Governance check point (may be null), consulted every
+  /// kGovernanceCheckInterval index entries during the range walk.
+  const QueryContext* context = nullptr;
 };
 
 Status IndexScan(const Table& table, const IndexScanSpec& spec,

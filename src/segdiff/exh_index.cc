@@ -21,7 +21,8 @@ constexpr uint32_t kIngestStateVersion = 1;
 
 }  // namespace
 
-ExhIndex::ExhIndex(ExhOptions options) : options_(options) {}
+ExhIndex::ExhIndex(ExhOptions options)
+    : options_(options), admission_(options_.admission) {}
 
 Result<std::unique_ptr<ExhIndex>> ExhIndex::Open(const std::string& path,
                                                  const ExhOptions& options) {
@@ -140,10 +141,20 @@ Status ExhIndex::RestoreIngestState() {
 
 ThreadPool* ExhIndex::EnsurePool(size_t num_threads) {
   const size_t workers = num_threads - 1;  // the caller participates
-  if (pool_ == nullptr || pool_->size() != workers) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  // Resize only when idle; concurrent searches share the existing pool
+  // (see SegDiffIndex::EnsurePool).
+  if (pool_ == nullptr ||
+      (pool_->size() != workers && pool_users_ == 0)) {
     pool_ = std::make_unique<ThreadPool>(workers);
   }
+  ++pool_users_;
   return pool_.get();
+}
+
+void ExhIndex::ReleasePool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  --pool_users_;
 }
 
 Result<std::vector<ExhEvent>> ExhIndex::SearchDrops(
@@ -173,20 +184,94 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
   }
   Stopwatch stopwatch;
   SearchStats local;
+
+  // Governance shell — mirrors SegDiffIndex::Search.
+  MemoryBudget budget(options.max_result_bytes);
+  QueryContext ctx;
+  ctx.cancel = options.cancel;
+  ctx.deadline = options.deadline_ms > 0
+                     ? Deadline::Earlier(options.deadline,
+                                         Deadline::AfterMillis(
+                                             options.deadline_ms))
+                     : options.deadline;
+  ctx.budget = &budget;
+
+  Stopwatch admission_watch;
+  Result<AdmissionController::Ticket> ticket =
+      admission_.Admit(ctx, options.priority);
+  if (!ticket.ok()) {
+    admission_.RecordOutcome(ticket.status(), 0, false);
+    return ticket.status();
+  }
+  local.admission_wait_ms = admission_watch.ElapsedMillis();
+
+  const size_t num_threads = options.num_threads <= 1
+                                 ? options.num_threads
+                                 : admission_.ClampThreads(
+                                       options.num_threads);
+
   std::vector<ExhEvent> events;
-  const RowCallback collect = [&](const char* record, RecordId) -> Status {
+  Status run =
+      SearchScan(drop, T, V, options, num_threads, ctx, &events, &local);
+
+  bool truncated = false;
+  if (!run.ok()) {
+    if (run.IsResourceExhausted() && budget.breached() && stats != nullptr) {
+      truncated = true;  // graceful: keep the flagged partial result
+    } else {
+      admission_.RecordOutcome(run, budget.peak(),
+                               run.IsResourceExhausted() &&
+                                   budget.breached());
+      return run;
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const ExhEvent& a, const ExhEvent& b) {
+              if (a.t_start != b.t_start) return a.t_start < b.t_start;
+              return a.t_end < b.t_end;
+            });
+  local.pairs_returned = events.size();
+  local.truncated = truncated;
+  local.result_bytes_peak = budget.peak();
+  local.seconds = stopwatch.ElapsedSeconds();
+  admission_.RecordOutcome(Status::OK(), budget.peak(), truncated);
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return events;
+}
+
+Status ExhIndex::SearchScan(bool drop, double T, double V,
+                            const SearchOptions& options, size_t num_threads,
+                            const QueryContext& ctx,
+                            std::vector<ExhEvent>* events,
+                            SearchStats* local) {
+  MemoryBudget* budget = ctx.budget;
+  const RowCallback collect = [events, budget](const char* record,
+                                               RecordId) -> Status {
+    if (budget != nullptr && !budget->Charge(sizeof(ExhEvent))) {
+      return budget->Exceeded();
+    }
     ExhEvent event;
     event.dv = DecodeDoubleColumn(record, 1);
     event.t_start = DecodeDoubleColumn(record, 2);
     event.t_end = event.t_start + DecodeDoubleColumn(record, 0);
-    events.push_back(event);
+    events->push_back(event);
     return Status::OK();
   };
 
   // Zone maps feed both the pruned sequential scan and the kAuto cost
-  // model; legacy stores build theirs here (serial context), once.
-  SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(table_->EnsureZoneMap(),
-                                              "the exh pair table"));
+  // model; legacy stores build theirs here, once (serialized for
+  // concurrent first searches).
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(table_->EnsureZoneMap(),
+                                                "the exh pair table"));
+  }
+
+  SeqScanOptions scan_options;
+  scan_options.context = &ctx;
 
   Predicate predicate;
   predicate.And(0, CmpOp::kLe, T);
@@ -227,67 +312,63 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
                                                    : QueryMode::kSeqScan;
     }
   }
-  ++local.queries_issued;
+  ++local->queries_issued;
   if (mode == QueryMode::kSeqScan) {
-    const size_t num_threads = options.num_threads;
     if (num_threads > 1) {
       // Partition the single range query's scan across the pool; events
-      // are re-sorted below, so per-partition collection order is
+      // are re-sorted by the shell, so per-partition collection order is
       // irrelevant to the result.
       std::vector<std::vector<ExhEvent>> partition_out(num_threads);
-      SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
+      ThreadPool* pool = EnsurePool(num_threads);
+      Status status = QuarantineScanError(
           ParallelSeqScan(
-          *table_, predicate, EnsurePool(num_threads), num_threads,
-          [&partition_out](size_t p) -> RowCallback {
-            std::vector<ExhEvent>* sink = &partition_out[p];
-            return [sink](const char* record, RecordId) -> Status {
-              ExhEvent event;
-              event.dv = DecodeDoubleColumn(record, 1);
-              event.t_start = DecodeDoubleColumn(record, 2);
-              event.t_end = event.t_start + DecodeDoubleColumn(record, 0);
-              sink->push_back(event);
-              return Status::OK();
-            };
-          },
-          &local.scan),
-          "the exh pair table"));
+              *table_, predicate, pool, num_threads,
+              [&partition_out, budget](size_t p) -> RowCallback {
+                std::vector<ExhEvent>* sink = &partition_out[p];
+                return [sink, budget](const char* record,
+                                      RecordId) -> Status {
+                  if (budget != nullptr &&
+                      !budget->Charge(sizeof(ExhEvent))) {
+                    return budget->Exceeded();
+                  }
+                  ExhEvent event;
+                  event.dv = DecodeDoubleColumn(record, 1);
+                  event.t_start = DecodeDoubleColumn(record, 2);
+                  event.t_end = event.t_start + DecodeDoubleColumn(record, 0);
+                  sink->push_back(event);
+                  return Status::OK();
+                };
+              },
+              &local->scan, scan_options),
+          "the exh pair table");
+      ReleasePool();
+      // Merge even on failure: a budget-truncated search keeps what the
+      // partitions collected before the breach.
       for (const std::vector<ExhEvent>& part : partition_out) {
-        events.insert(events.end(), part.begin(), part.end());
+        events->insert(events->end(), part.begin(), part.end());
       }
-    } else {
-      SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
-          SeqScan(*table_, predicate, collect, &local.scan),
-          "the exh pair table"));
+      return status;
     }
-  } else {
-    if (!options_.build_index) {
-      return Status::InvalidArgument(
-          "index scan requested but the index was not built");
-    }
-    SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree, table_->GetIndex("ptdv"));
-    IndexScanSpec spec;
-    spec.index = tree;
-    spec.lower = IndexKey::LowerBound({-kInf, -kInf});
-    spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
-    spec.key_filter = [drop, V](const IndexKey& key) {
-      return drop ? key.vals[1] <= V : key.vals[1] >= V;
-    };
-    SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
-        IndexScan(*table_, spec, Predicate::True(), collect, &local.scan),
-        "the exh pair table"));
+    return QuarantineScanError(
+        SeqScan(*table_, predicate, collect, &local->scan, scan_options),
+        "the exh pair table");
   }
-
-  std::sort(events.begin(), events.end(),
-            [](const ExhEvent& a, const ExhEvent& b) {
-              if (a.t_start != b.t_start) return a.t_start < b.t_start;
-              return a.t_end < b.t_end;
-            });
-  local.pairs_returned = events.size();
-  local.seconds = stopwatch.ElapsedSeconds();
-  if (stats != nullptr) {
-    *stats = local;
+  if (!options_.build_index) {
+    return Status::InvalidArgument(
+        "index scan requested but the index was not built");
   }
-  return events;
+  SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree, table_->GetIndex("ptdv"));
+  IndexScanSpec spec;
+  spec.context = &ctx;
+  spec.index = tree;
+  spec.lower = IndexKey::LowerBound({-kInf, -kInf});
+  spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
+  spec.key_filter = [drop, V](const IndexKey& key) {
+    return drop ? key.vals[1] <= V : key.vals[1] >= V;
+  };
+  return QuarantineScanError(
+      IndexScan(*table_, spec, Predicate::True(), collect, &local->scan),
+      "the exh pair table");
 }
 
 Status ExhIndex::Checkpoint() {

@@ -11,9 +11,12 @@
 
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/admission.h"
+#include "common/governance.h"
 #include "common/result.h"
 #include "feature/sink.h"
 #include "query/executor.h"
@@ -35,6 +38,8 @@ struct ExhOptions {
   Vfs* vfs = nullptr;
   /// Verify page checksums on read (see DatabaseOptions).
   bool verify_checksums = true;
+  /// Admission-control limits for this store's query entry points.
+  AdmissionOptions admission;
 };
 
 /// One matching event (pair of sampled observations).
@@ -105,16 +110,28 @@ class ExhIndex : public FeatureSink {
   const ExhOptions& options() const { return options_; }
   Database* db() { return db_.get(); }
 
+  /// The store's admission gate (see SegDiffIndex::admission_controller).
+  AdmissionController* admission_controller() { return &admission_; }
+
  private:
   explicit ExhIndex(ExhOptions options);
   /// Everything fallible in Open: database, table, restored state. On
   /// failure the instance may be partially built; Open marks the
   /// database handle to not checkpoint on close.
   Status OpenImpl(const std::string& path);
+  /// Governance shell around SearchScan (admission, deadline/cancel
+  /// context, budget truncation contract — see SegDiffIndex::Search).
   Result<std::vector<ExhEvent>> Search(bool drop, double T, double V,
                                        const SearchOptions& options,
                                        SearchStats* stats);
+  /// Plans and runs the single range query, appending raw matches to
+  /// `events` (kept on a budget breach for the shell's truncation path).
+  Status SearchScan(bool drop, double T, double V,
+                    const SearchOptions& options, size_t num_threads,
+                    const QueryContext& ctx, std::vector<ExhEvent>* events,
+                    SearchStats* local);
   ThreadPool* EnsurePool(size_t num_threads);
+  void ReleasePool();
   /// Serializes the trailing sample window + counters into the
   /// database's catalog meta blob (persisted at the next checkpoint).
   void SaveIngestState();
@@ -126,6 +143,11 @@ class ExhIndex : public FeatureSink {
   std::unique_ptr<Database> db_;
   Table* table_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  ///< parallel-search workers
+  std::mutex pool_mu_;                ///< guards pool_ + pool_users_
+  size_t pool_users_ = 0;
+  AdmissionController admission_;
+  /// Serializes the lazy zone-map build on first search.
+  std::mutex lazy_mu_;
   /// Trailing `window_s` of already-ingested samples, so pairs spanning
   /// chunk boundaries are not dropped on the next IngestSeries call.
   std::deque<Sample> window_;

@@ -98,7 +98,7 @@ Status QuarantineScanError(Status status, const std::string& what) {
 }
 
 SegDiffIndex::SegDiffIndex(SegDiffOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)), admission_(options_.admission) {}
 
 Result<std::unique_ptr<SegDiffIndex>> SegDiffIndex::Open(
     const std::string& path, const SegDiffOptions& options) {
@@ -446,6 +446,10 @@ Status SegDiffIndex::RestoreIngestState() {
 }
 
 Status SegDiffIndex::EnsureSegmentDirectory() {
+  // Concurrent searches may race to the first build; once fresh, the
+  // directory is only read (DropCaches, which clears it, is documented
+  // as not concurrent with searches).
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   if (segment_dir_fresh_ && !segment_dir_.empty()) {
     return Status::OK();
   }
@@ -467,6 +471,9 @@ Status SegDiffIndex::EnsureSegmentDirectory() {
 }
 
 Status SegDiffIndex::EnsureZoneMaps(SearchKind kind) {
+  // Legacy stores build zone maps lazily here; serialize so concurrent
+  // first searches don't build the same map twice.
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   for (int k = 1; k <= 3; ++k) {
     Table* table = feature_tables_[static_cast<int>(kind)][k - 1];
     SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
@@ -494,10 +501,23 @@ Result<std::vector<PairId>> SegDiffIndex::SearchJumps(
 
 ThreadPool* SegDiffIndex::EnsurePool(size_t num_threads) {
   const size_t workers = num_threads - 1;
-  if (pool_ == nullptr || pool_->size() != workers) {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  // Resizing destroys the pool (joining its workers), so it is only safe
+  // when no other search holds it; concurrent searches with a different
+  // num_threads simply share the existing pool — ParallelFor spreads
+  // over whatever workers exist plus the calling thread, so only the
+  // parallelism degree differs, never the results.
+  if (pool_ == nullptr ||
+      (pool_->size() != workers && pool_users_ == 0)) {
     pool_ = std::make_unique<ThreadPool>(workers);
   }
+  ++pool_users_;
   return pool_.get();
+}
+
+void SegDiffIndex::ReleasePool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  --pool_users_;
 }
 
 Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
@@ -513,15 +533,111 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
   }
   Stopwatch stopwatch;
   SearchStats local;
-  const bool drop = kind == SearchKind::kDrop;
-  const size_t num_threads = options.num_threads;
+
+  // Governance shell: one context shared by every thread of this search,
+  // one budget charged by result growth, one admission slot held for the
+  // query's whole execution.
+  MemoryBudget budget(options.max_result_bytes);
+  QueryContext ctx;
+  ctx.cancel = options.cancel;
+  ctx.deadline = options.deadline_ms > 0
+                     ? Deadline::Earlier(options.deadline,
+                                         Deadline::AfterMillis(
+                                             options.deadline_ms))
+                     : options.deadline;
+  ctx.budget = &budget;
+
+  Stopwatch admission_watch;
+  Result<AdmissionController::Ticket> ticket =
+      admission_.Admit(ctx, options.priority);
+  if (!ticket.ok()) {
+    admission_.RecordOutcome(ticket.status(), 0, false);
+    return ticket.status();
+  }
+  local.admission_wait_ms = admission_watch.ElapsedMillis();
+
+  // 0/1 stays serial (paper semantics); explicit parallelism is clamped
+  // by the store's per-query worker limit.
+  const size_t num_threads = options.num_threads <= 1
+                                 ? options.num_threads
+                                 : admission_.ClampThreads(
+                                       options.num_threads);
   ThreadPool* pool = num_threads > 1 ? EnsurePool(num_threads) : nullptr;
+
+  std::vector<PairId> results;
+  Status run = SearchImpl(kind, T, V, options, num_threads, pool, ctx,
+                          &results, &local);
+  if (pool != nullptr) {
+    ReleasePool();
+  }
+
+  bool truncated = false;
+  if (!run.ok()) {
+    if (run.IsResourceExhausted() && budget.breached() && stats != nullptr) {
+      // Budget breach degrades gracefully: keep the pairs collected so
+      // far and flag the cut. Without a stats out-param there is nowhere
+      // to surface the flag, so fail instead — never a silent cut.
+      truncated = true;
+    } else {
+      admission_.RecordOutcome(run, budget.peak(),
+                               run.IsResourceExhausted() &&
+                                   budget.breached());
+      return run;
+    }
+  }
+
+  // Union of all queries: dedupe on (t_d, t_c, t_b).
+  std::sort(results.begin(), results.end(), PairIdLess);
+  results.erase(std::unique(results.begin(), results.end(), PairIdKeyEq),
+                results.end());
+
+  // Materialize t_a from the segment directory.
+  Status fin = EnsureSegmentDirectory();
+  if (fin.ok()) {
+    for (PairId& id : results) {
+      auto it = segment_dir_.find(id.t_b);
+      if (it == segment_dir_.end()) {
+        fin = Status::Corruption("feature row references unknown segment");
+        break;
+      }
+      id.t_a = it->second;
+    }
+  }
+  if (!fin.ok()) {
+    admission_.RecordOutcome(fin, budget.peak(), false);
+    return fin;
+  }
+
+  local.pairs_returned = results.size();
+  local.truncated = truncated;
+  local.result_bytes_peak = budget.peak();
+  local.seconds = stopwatch.ElapsedSeconds();
+  admission_.RecordOutcome(Status::OK(), budget.peak(), truncated);
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return results;
+}
+
+Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
+                                const SearchOptions& options,
+                                size_t num_threads, ThreadPool* pool,
+                                const QueryContext& ctx,
+                                std::vector<PairId>* results,
+                                SearchStats* local) {
+  const bool drop = kind == SearchKind::kDrop;
 
   // Everything that lazily mutates index state happens before any task
   // can run on a worker thread; the tasks themselves are read-only.
   // Zone maps drive both page pruning inside the sequential scans and
   // the kAuto cost model; legacy stores build theirs here, once.
   SEGDIFF_RETURN_IF_ERROR(EnsureZoneMaps(kind));
+
+  // Executor-level governance: every scan below checks `ctx` at page
+  // granularity (and the index walks every kGovernanceCheckInterval
+  // entries).
+  SeqScanOptions scan_options;
+  scan_options.context = &ctx;
 
   // Builds the paper's predicate for one query, for sequential scans.
   auto make_predicate = [drop, T, V](const RangeQuery& query) {
@@ -630,8 +746,14 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
   auto run_task = [&](const QueryTask& task, std::vector<PairId>* out,
                       ScanStats* scan) -> Status {
     const int k = task.k;
-    const RowCallback collect = [out, k](const char* record,
-                                         RecordId) -> Status {
+    MemoryBudget* budget = ctx.budget;
+    const RowCallback collect = [out, k, budget](const char* record,
+                                                 RecordId) -> Status {
+      // Result-set growth is what the memory budget charges; a breach
+      // aborts this task (and, via the shared budget, every sibling).
+      if (budget != nullptr && !budget->Charge(sizeof(PairId))) {
+        return budget->Exceeded();
+      }
       PairId id;
       id.t_d = DecodeDoubleColumn(record, TdCol(k));
       id.t_c = DecodeDoubleColumn(record, TcCol(k));
@@ -664,14 +786,18 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
         return false;
       });
       if (pool == nullptr) {
-        return SeqScan(*task.table, fused, collect, scan);
+        return SeqScan(*task.table, fused, collect, scan, scan_options);
       }
       std::vector<std::vector<PairId>> partition_out(num_threads);
-      SEGDIFF_RETURN_IF_ERROR(ParallelSeqScan(
+      Status status = ParallelSeqScan(
           *task.table, fused, pool, num_threads,
-          [&partition_out, k](size_t p) -> RowCallback {
+          [&partition_out, k, budget](size_t p) -> RowCallback {
             std::vector<PairId>* sink = &partition_out[p];
-            return [sink, k](const char* record, RecordId) -> Status {
+            return [sink, k, budget](const char* record,
+                                     RecordId) -> Status {
+              if (budget != nullptr && !budget->Charge(sizeof(PairId))) {
+                return budget->Exceeded();
+              }
               PairId id;
               id.t_d = DecodeDoubleColumn(record, TdCol(k));
               id.t_c = DecodeDoubleColumn(record, TcCol(k));
@@ -681,18 +807,22 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
               return Status::OK();
             };
           },
-          scan));
+          scan, scan_options);
+      // Merge even on failure: a budget-truncated search keeps what the
+      // partitions collected before the breach.
       for (const std::vector<PairId>& part : partition_out) {
         out->insert(out->end(), part.begin(), part.end());
       }
-      return Status::OK();
+      return status;
     }
     if (task.mode == QueryMode::kSeqScan) {
-      return SeqScan(*task.table, make_predicate(task.query), collect, scan);
+      return SeqScan(*task.table, make_predicate(task.query), collect, scan,
+                     scan_options);
     }
     // Index scan: all conditions evaluate on the key; the heap fetch
     // only materializes the pair id.
     IndexScanSpec spec;
+    spec.context = &ctx;
     const std::string index_name =
         (task.query.is_line ? "ln" : "pt") + std::to_string(task.query.corner);
     SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree,
@@ -724,8 +854,7 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
     return IndexScan(*task.table, spec, Predicate::True(), collect, scan);
   };
 
-  std::vector<PairId> results;
-  local.queries_issued = tasks.size();
+  local->queries_issued = tasks.size();
   if (pool == nullptr || tasks.size() <= 1 ||
       (options.mode == QueryMode::kSeqScan && options.fused_scan)) {
     // Serial task loop. Fused tasks still fan out internally when a pool
@@ -733,48 +862,32 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
     // task- and partition-level parallelism).
     for (const QueryTask& task : tasks) {
       SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
-          run_task(task, &results, &local.scan),
+          run_task(task, results, &local->scan),
           "feature table '" + task.table->name() + "'"));
     }
-  } else {
-    // Concurrent point/line queries: each task gets a private result
-    // vector and ScanStats, merged in task order so stats totals match
-    // the serial path exactly (satellite: stats correctness).
-    std::vector<std::vector<PairId>> task_out(tasks.size());
-    std::vector<ScanStats> task_scan(tasks.size());
-    SEGDIFF_RETURN_IF_ERROR(
-        pool->ParallelFor(tasks.size(), [&](size_t i) -> Status {
-          return QuarantineScanError(
-              run_task(tasks[i], &task_out[i], &task_scan[i]),
-              "feature table '" + tasks[i].table->name() + "'");
-        }));
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      local.scan.Add(task_scan[i]);
-      results.insert(results.end(), task_out[i].begin(), task_out[i].end());
-    }
+    return Status::OK();
   }
-
-  // Union of all queries: dedupe on (t_d, t_c, t_b).
-  std::sort(results.begin(), results.end(), PairIdLess);
-  results.erase(std::unique(results.begin(), results.end(), PairIdKeyEq),
-                results.end());
-
-  // Materialize t_a from the segment directory.
-  SEGDIFF_RETURN_IF_ERROR(EnsureSegmentDirectory());
-  for (PairId& id : results) {
-    auto it = segment_dir_.find(id.t_b);
-    if (it == segment_dir_.end()) {
-      return Status::Corruption("feature row references unknown segment");
-    }
-    id.t_a = it->second;
+  // Concurrent point/line queries: each task gets a private result
+  // vector and ScanStats, merged in task order so stats totals match
+  // the serial path exactly (satellite: stats correctness). The
+  // governed ParallelFor stops claiming tasks once the context fires;
+  // in-flight tasks stop at their own page-level checks.
+  std::vector<std::vector<PairId>> task_out(tasks.size());
+  std::vector<ScanStats> task_scan(tasks.size());
+  Status status = pool->ParallelFor(tasks.size(), &ctx,
+                                    [&](size_t i) -> Status {
+                                      return QuarantineScanError(
+                                          run_task(tasks[i], &task_out[i],
+                                                   &task_scan[i]),
+                                          "feature table '" +
+                                              tasks[i].table->name() + "'");
+                                    });
+  // Merge even on failure (see partition merge above).
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    local->scan.Add(task_scan[i]);
+    results->insert(results->end(), task_out[i].begin(), task_out[i].end());
   }
-
-  local.pairs_returned = results.size();
-  local.seconds = stopwatch.ElapsedSeconds();
-  if (stats != nullptr) {
-    *stats = local;
-  }
-  return results;
+  return status;
 }
 
 Status SegDiffIndex::Checkpoint() {
@@ -788,8 +901,11 @@ Status SegDiffIndex::Compact(const std::string& destination_path) {
 }
 
 Status SegDiffIndex::DropCaches() {
-  segment_dir_.clear();
-  segment_dir_fresh_ = false;  // force re-read through the (cold) pool
+  {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    segment_dir_.clear();
+    segment_dir_fresh_ = false;  // force re-read through the (cold) pool
+  }
   SaveIngestState();
   return db_->DropCaches();
 }

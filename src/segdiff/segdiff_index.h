@@ -20,10 +20,13 @@
 #define SEGDIFF_SEGDIFF_SEGDIFF_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/admission.h"
+#include "common/governance.h"
 #include "common/result.h"
 #include "feature/extractor.h"
 #include "feature/sink.h"
@@ -51,6 +54,9 @@ struct SegDiffOptions {
   Vfs* vfs = nullptr;
   /// Verify page checksums on read (see DatabaseOptions).
   bool verify_checksums = true;
+  /// Admission-control limits for this store's query entry points
+  /// (defaults auto-size to the machine; see AdmissionOptions).
+  AdmissionOptions admission;
 };
 
 /// How a search executes its range queries.
@@ -73,8 +79,30 @@ struct SearchOptions {
   /// >= 2 runs the search's independent range queries concurrently on a
   /// worker pool (fused and Exh scans are instead partitioned across the
   /// workers by heap page). Results and SearchStats are identical to the
-  /// serial path; only wall-clock time changes.
+  /// serial path; only wall-clock time changes. Requests > 1 are clamped
+  /// to the store's AdmissionOptions::max_threads_per_query.
   size_t num_threads = 0;
+
+  // Governance (see DESIGN.md §11). All default to "ungoverned".
+
+  /// Relative deadline: the search fails with DeadlineExceeded within
+  /// one page of work once `deadline_ms` ms have elapsed. 0 = none.
+  uint64_t deadline_ms = 0;
+  /// Absolute deadline, combined (earlier wins) with `deadline_ms`.
+  /// Lets a driver spread one budget across several searches
+  /// (TransectIndex::SearchAll).
+  Deadline deadline;
+  /// Cooperative cancel: obtain from a CancellationSource and Cancel()
+  /// from any thread; the search fails with Status::Cancelled within one
+  /// page of work.
+  CancellationToken cancel;
+  /// Cap on result-set memory. On breach the search returns the pairs
+  /// found so far with SearchStats::truncated set — or, when the caller
+  /// passed no SearchStats out-param (nowhere to surface the flag),
+  /// fails with ResourceExhausted instead. Never silent. 0 = unlimited.
+  uint64_t max_result_bytes = 0;
+  /// Admission scheduling class (see QueryPriority).
+  QueryPriority priority = QueryPriority::kNormal;
 };
 
 /// Execution report for one search.
@@ -83,6 +111,14 @@ struct SearchStats {
   uint64_t queries_issued = 0;
   uint64_t pairs_returned = 0;
   double seconds = 0.0;
+  /// The result set was cut short by SearchOptions::max_result_bytes;
+  /// pairs_returned counts only what was kept.
+  bool truncated = false;
+  /// High-water mark of result-set bytes across all of the search's
+  /// threads (tracked even without a budget).
+  uint64_t result_bytes_peak = 0;
+  /// Time spent queued in admission control before executing.
+  double admission_wait_ms = 0.0;
 };
 
 /// Space usage (paper Section 6 metrics).
@@ -168,6 +204,11 @@ class SegDiffIndex : public FeatureSink {
   const SegDiffOptions& options() const { return options_; }
   Database* db() { return db_.get(); }
 
+  /// The store's admission gate: governance counters for --stats, plus
+  /// direct access for tests and front-ends (e.g. to hold slots or
+  /// inspect queue depth). Searches are admitted through it implicitly.
+  AdmissionController* admission_controller() { return &admission_; }
+
  private:
   SegDiffIndex(SegDiffOptions options);
 
@@ -188,11 +229,24 @@ class SegDiffIndex : public FeatureSink {
   Status RestoreIngestState();
   /// Lazily creates (or resizes) the worker pool backing parallel
   /// searches: `num_threads - 1` workers, since the calling thread
-  /// participates in every ParallelFor.
+  /// participates in every ParallelFor. Thread-safe; while any search is
+  /// using the pool a size mismatch reuses the existing pool instead of
+  /// resizing under it.
   ThreadPool* EnsurePool(size_t num_threads);
+  void ReleasePool();
+  /// Governance shell: validates, admits, builds the QueryContext and
+  /// budget, delegates to SearchImpl, then applies the truncation
+  /// contract and folds the outcome into the governance counters.
   Result<std::vector<PairId>> Search(SearchKind kind, double T, double V,
                                      const SearchOptions& options,
                                      SearchStats* stats);
+  /// Plans and runs the range-query tasks, appending raw (un-deduped)
+  /// matches to `results`. On a memory-budget breach, whatever the tasks
+  /// collected stays in `results` for the shell's truncation path.
+  Status SearchImpl(SearchKind kind, double T, double V,
+                    const SearchOptions& options, size_t num_threads,
+                    ThreadPool* pool, const QueryContext& ctx,
+                    std::vector<PairId>* results, SearchStats* local);
   Status EnsureSegmentDirectory();
   /// Builds any missing zone maps for the kind's feature tables (legacy
   /// stores); fresh tables maintain theirs incrementally on insert.
@@ -212,6 +266,12 @@ class SegDiffIndex : public FeatureSink {
   std::unique_ptr<ExtractorState> restored_extractor_;
   std::unique_ptr<SegmenterState> restored_segmenter_;
   std::unique_ptr<ThreadPool> pool_;  ///< parallel-search workers
+  std::mutex pool_mu_;                ///< guards pool_ + pool_users_
+  size_t pool_users_ = 0;             ///< searches currently on the pool
+  AdmissionController admission_;
+  /// Serializes the lazy first-search initialisation (zone-map builds,
+  /// segment-directory load) so concurrent searches are safe.
+  std::mutex lazy_mu_;
   uint64_t observations_ = 0;
   /// Set only when Open fully succeeded; the destructor saves ingest
   /// state (which dereferences the pipeline) only for opened instances.

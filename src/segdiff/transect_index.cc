@@ -2,6 +2,7 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -78,20 +79,43 @@ Status TransectIndex::IngestAllSensors(const std::vector<Series>& all_series,
 
 template <typename SearchFn>
 Result<std::vector<TransectHit>> TransectIndex::SearchAll(
-    const SearchFn& search, SearchStats* stats) {
+    const SearchOptions& options, const SearchFn& search,
+    SearchStats* stats) {
+  // One deadline for the whole transect: the relative budget converts to
+  // an absolute deadline once, so N sensors share it instead of each
+  // starting a fresh deadline_ms clock.
+  SearchOptions per_sensor = options;
+  if (options.deadline_ms > 0) {
+    per_sensor.deadline = Deadline::Earlier(
+        options.deadline, Deadline::AfterMillis(options.deadline_ms));
+    per_sensor.deadline_ms = 0;
+  }
+  QueryContext ctx;
+  ctx.cancel = per_sensor.cancel;
+  ctx.deadline = per_sensor.deadline;
+
   std::vector<TransectHit> hits;
   SearchStats total;
   for (int s = 0; s < sensor_count(); ++s) {
+    // Sensor-boundary check point, in addition to the page-granular
+    // checks inside each store's search.
+    SEGDIFF_RETURN_IF_ERROR(ctx.Check());
     SearchStats one;
     SEGDIFF_ASSIGN_OR_RETURN(
         std::vector<PairId> pairs,
-        search(sensors_[static_cast<size_t>(s)].get(), &one));
+        search(sensors_[static_cast<size_t>(s)].get(), per_sensor, &one));
     for (const PairId& pair : pairs) {
       hits.push_back(TransectHit{s, pair});
     }
     total.scan.Add(one.scan);
     total.queries_issued += one.queries_issued;
     total.seconds += one.seconds;
+    // max_result_bytes governs each sensor's search independently; the
+    // aggregate just reports that some sensor was cut.
+    total.truncated = total.truncated || one.truncated;
+    total.result_bytes_peak =
+        std::max(total.result_bytes_peak, one.result_bytes_peak);
+    total.admission_wait_ms += one.admission_wait_ms;
   }
   total.pairs_returned = hits.size();
   if (stats != nullptr) {
@@ -103,8 +127,10 @@ Result<std::vector<TransectHit>> TransectIndex::SearchAll(
 Result<std::vector<TransectHit>> TransectIndex::SearchDrops(
     double T, double V, const SearchOptions& options, SearchStats* stats) {
   return SearchAll(
-      [&](SegDiffIndex* store, SearchStats* one) {
-        return store->SearchDrops(T, V, options, one);
+      options,
+      [&](SegDiffIndex* store, const SearchOptions& per_sensor,
+          SearchStats* one) {
+        return store->SearchDrops(T, V, per_sensor, one);
       },
       stats);
 }
@@ -112,8 +138,10 @@ Result<std::vector<TransectHit>> TransectIndex::SearchDrops(
 Result<std::vector<TransectHit>> TransectIndex::SearchJumps(
     double T, double V, const SearchOptions& options, SearchStats* stats) {
   return SearchAll(
-      [&](SegDiffIndex* store, SearchStats* one) {
-        return store->SearchJumps(T, V, options, one);
+      options,
+      [&](SegDiffIndex* store, const SearchOptions& per_sensor,
+          SearchStats* one) {
+        return store->SearchJumps(T, V, per_sensor, one);
       },
       stats);
 }

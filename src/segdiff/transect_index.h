@@ -79,8 +79,14 @@ class TransectIndex {
  private:
   TransectIndex() = default;
 
+  /// Fans one search out across every sensor. A relative deadline
+  /// (deadline_ms) is converted to a single absolute deadline up front —
+  /// the whole transect shares one budget instead of every sensor
+  /// getting a fresh one — and cancel/deadline are also checked between
+  /// sensors so a governed search stops promptly at sensor boundaries.
   template <typename SearchFn>
-  Result<std::vector<TransectHit>> SearchAll(const SearchFn& search,
+  Result<std::vector<TransectHit>> SearchAll(const SearchOptions& options,
+                                             const SearchFn& search,
                                              SearchStats* stats);
 
   std::vector<std::unique_ptr<SegDiffIndex>> sensors_;

@@ -1,7 +1,9 @@
 #include "sql/engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -81,11 +83,76 @@ std::string ValueToString(const Value& value) {
   return buf;
 }
 
+/// Matches `SET statement_timeout_ms = <n>` (case-insensitive keywords,
+/// optional trailing semicolon). Returns true and fills `*out` on match.
+/// The session command never reaches the SQL parser — it is engine
+/// state, not a statement over tables.
+bool ParseSetStatementTimeout(const std::string& text, uint64_t* out) {
+  size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  };
+  auto eat_word = [&](const char* word) {
+    const size_t len = std::strlen(word);
+    if (text.size() - pos < len) return false;
+    for (size_t i = 0; i < len; ++i) {
+      if (std::tolower(static_cast<unsigned char>(text[pos + i])) !=
+          word[i]) {
+        return false;
+      }
+    }
+    pos += len;
+    return true;
+  };
+  skip_space();
+  if (!eat_word("set")) return false;
+  skip_space();
+  if (!eat_word("statement_timeout_ms")) return false;
+  skip_space();
+  if (pos >= text.size() || text[pos] != '=') return false;
+  ++pos;
+  skip_space();
+  uint64_t value = 0;
+  bool any_digit = false;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    value = value * 10 + static_cast<uint64_t>(text[pos] - '0');
+    any_digit = true;
+    ++pos;
+  }
+  if (!any_digit) return false;
+  skip_space();
+  if (pos < text.size() && text[pos] == ';') {
+    ++pos;
+    skip_space();
+  }
+  if (pos != text.size()) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 Result<QueryResult> Engine::Execute(const std::string& statement) {
+  uint64_t timeout_ms = 0;
+  if (ParseSetStatementTimeout(statement, &timeout_ms)) {
+    statement_timeout_ms_ = timeout_ms;
+    return QueryResult{};
+  }
   SEGDIFF_ASSIGN_OR_RETURN(Statement parsed, Parse(statement));
   return Execute(parsed);
+}
+
+QueryContext Engine::StatementContext() const {
+  QueryContext ctx = injected_ctx_;
+  if (statement_timeout_ms_ > 0) {
+    ctx.deadline = Deadline::Earlier(
+        ctx.deadline, Deadline::AfterMillis(statement_timeout_ms_));
+  }
+  return ctx;
 }
 
 Result<QueryResult> Engine::Execute(const Statement& statement) {
@@ -273,9 +340,15 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
     return Status::OK();
   };
 
+  // Statement governance: the session timeout (and any injected cancel
+  // token) bounds the scan below; checks happen at page granularity.
+  const QueryContext ctx = StatementContext();
+  SEGDIFF_RETURN_IF_ERROR(ctx.Check());
+
   if (chosen != nullptr) {
     result.access_path = "index_scan(" + chosen->name + ")";
     IndexScanSpec spec;
+    spec.context = &ctx;
     spec.index = chosen->tree.get();
     IndexKey lower;
     for (int i = 0; i < kMaxIndexArity; ++i) {
@@ -293,8 +366,10 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
                                       &result.scan_stats));
   } else {
     result.access_path = "seq_scan";
-    SEGDIFF_RETURN_IF_ERROR(
-        SeqScan(*table, predicate, collect, &result.scan_stats));
+    SeqScanOptions scan_options;
+    scan_options.context = &ctx;
+    SEGDIFF_RETURN_IF_ERROR(SeqScan(*table, predicate, collect,
+                                    &result.scan_stats, scan_options));
   }
 
   if (order_column.has_value()) {

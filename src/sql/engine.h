@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/governance.h"
 #include "common/result.h"
 #include "query/executor.h"
 #include "sql/ast.h"
@@ -38,13 +39,29 @@ class Engine {
   /// `db` must outlive the engine.
   explicit Engine(Database* db) : db_(db) {}
 
-  /// Parses and executes one statement.
+  /// Parses and executes one statement. Recognizes the session command
+  /// `SET statement_timeout_ms = <n>` (0 disables the timeout) before
+  /// handing anything else to the SQL parser.
   Result<QueryResult> Execute(const std::string& statement);
 
   /// Executes an already-parsed statement.
   Result<QueryResult> Execute(const Statement& statement);
 
+  /// Deadline applied to every subsequent SELECT scan; 0 = none.
+  /// A statement that runs past it fails with DeadlineExceeded.
+  void set_statement_timeout_ms(uint64_t ms) { statement_timeout_ms_ = ms; }
+  uint64_t statement_timeout_ms() const { return statement_timeout_ms_; }
+
+  /// Injects an external cancel token / deadline combined (via
+  /// Deadline::Earlier) with the per-statement timeout. Lets embedders
+  /// and tests cancel a running statement deterministically.
+  void set_query_context(QueryContext ctx) { injected_ctx_ = ctx; }
+
  private:
+  /// The governance context for one statement: the injected context's
+  /// deadline tightened by statement_timeout_ms_.
+  QueryContext StatementContext() const;
+
   Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
   Result<QueryResult> ExecuteCreateIndex(const CreateIndexStmt& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
@@ -55,6 +72,8 @@ class Engine {
   Result<QueryResult> ExecuteDescribe(const DescribeStmt& stmt);
 
   Database* db_;
+  uint64_t statement_timeout_ms_ = 0;
+  QueryContext injected_ctx_;
 };
 
 /// Renders a result as an aligned text table (for the CLI / examples).

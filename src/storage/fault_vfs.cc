@@ -53,52 +53,61 @@ FaultInjectionVfs::FaultInjectionVfs(Vfs* base)
 
 FaultInjectionVfs::~FaultInjectionVfs() = default;
 
-bool FaultInjectionVfs::ShouldFail(int64_t* countdown) {
-  if (*countdown < 0) {
-    return false;
+bool FaultInjectionVfs::ShouldFail(std::atomic<int64_t>* countdown) {
+  int64_t remaining = countdown->load(std::memory_order_relaxed);
+  for (;;) {
+    if (remaining < 0) {
+      return false;
+    }
+    if (remaining == 0) {
+      // Sticky: the device stays failed until Reset(). Not decremented,
+      // so every subsequent caller lands here too.
+      counters_.injected_failures.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Claim one of the remaining successful slots. On a lost race,
+    // `remaining` reloads and we retry, so exactly `n` operations
+    // succeed regardless of thread interleaving.
+    if (countdown->compare_exchange_weak(remaining, remaining - 1,
+                                         std::memory_order_relaxed)) {
+      return false;
+    }
   }
-  if (*countdown == 0) {
-    ++counters_.injected_failures;
-    return true;  // sticky: the device stays failed until Reset()
-  }
-  --*countdown;
-  return false;
 }
 
 Status FaultFile::Read(uint64_t offset, size_t n, char* buf) {
-  {
-    std::lock_guard<std::mutex> lock(vfs_->mu_);
-    if (vfs_->crashed_) {
-      return Crashed();
-    }
-    if (vfs_->ShouldFail(&vfs_->fail_reads_after_)) {
-      return Injected("read failure");
-    }
-    ++vfs_->counters_.reads;
-    vfs_->counters_.read_bytes += n;
+  if (vfs_->crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
   }
+  if (vfs_->ShouldFail(&vfs_->fail_reads_after_)) {
+    return Injected("read failure");
+  }
+  vfs_->counters_.reads.fetch_add(1, std::memory_order_relaxed);
+  vfs_->counters_.read_bytes.fetch_add(n, std::memory_order_relaxed);
   return base_->Read(offset, n, buf);
 }
 
 Status FaultFile::Write(uint64_t offset, const char* buf, size_t n) {
+  if (vfs_->crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
+  }
+  if (vfs_->ShouldFail(&vfs_->fail_writes_after_)) {
+    return Injected("write failure");
+  }
+  vfs_->counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  vfs_->counters_.written_bytes.fetch_add(n, std::memory_order_relaxed);
   size_t write_n = n;
-  {
+  if (vfs_->torn_armed_.load(std::memory_order_acquire)) {
+    // Cold path: only an armed torn write pays for the lock (the
+    // offset/keep pair is multi-field state the flag alone can't carry).
     std::lock_guard<std::mutex> lock(vfs_->mu_);
-    if (vfs_->crashed_) {
-      return Crashed();
-    }
-    if (vfs_->ShouldFail(&vfs_->fail_writes_after_)) {
-      return Injected("write failure");
-    }
-    ++vfs_->counters_.writes;
-    vfs_->counters_.written_bytes += n;
-    if (vfs_->torn_armed_ && offset <= vfs_->torn_offset_ &&
-        vfs_->torn_offset_ < offset + n) {
+    if (vfs_->torn_armed_.load(std::memory_order_relaxed) &&
+        offset <= vfs_->torn_offset_ && vfs_->torn_offset_ < offset + n) {
       // Tear: persist only a prefix, then report success — exactly what
       // a power cut mid-sector-train leaves behind.
       write_n = std::min(n, vfs_->torn_keep_bytes_);
-      vfs_->torn_armed_ = false;
-      ++vfs_->counters_.torn_writes;
+      vfs_->torn_armed_.store(false, std::memory_order_release);
+      vfs_->counters_.torn_writes.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (write_n == 0) {
@@ -112,16 +121,13 @@ Status FaultFile::Write(uint64_t offset, const char* buf, size_t n) {
 }
 
 Status FaultFile::Sync() {
-  {
-    std::lock_guard<std::mutex> lock(vfs_->mu_);
-    if (vfs_->crashed_) {
-      return Crashed();
-    }
-    if (vfs_->ShouldFail(&vfs_->fail_syncs_after_)) {
-      return Injected("fsync failure");
-    }
-    ++vfs_->counters_.syncs;
+  if (vfs_->crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
   }
+  if (vfs_->ShouldFail(&vfs_->fail_syncs_after_)) {
+    return Injected("fsync failure");
+  }
+  vfs_->counters_.syncs.fetch_add(1, std::memory_order_relaxed);
   SEGDIFF_RETURN_IF_ERROR(base_->Sync());
   // Successful sync: snapshot the durable state a crash would roll back
   // to. Reading the file back is O(file size), fine at test scale.
@@ -139,11 +145,8 @@ Status FaultFile::Sync() {
 
 Result<std::unique_ptr<RandomAccessFile>> FaultInjectionVfs::OpenFile(
     const std::string& path, bool create) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (crashed_) {
-      return Crashed();
-    }
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
   }
   if (path == ":memory:") {
     // Anonymous memory files have no crash state worth modelling.
@@ -174,13 +177,10 @@ Result<std::unique_ptr<RandomAccessFile>> FaultInjectionVfs::OpenFile(
 }
 
 Status FaultInjectionVfs::SyncDir(const std::string& path) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (crashed_) {
-      return Crashed();
-    }
-    ++counters_.dir_syncs;
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
   }
+  counters_.dir_syncs.fetch_add(1, std::memory_order_relaxed);
   SEGDIFF_RETURN_IF_ERROR(base_->SyncDir(path));
   std::lock_guard<std::mutex> lock(mu_);
   const std::string dir = DirOf(path);
@@ -197,36 +197,33 @@ bool FaultInjectionVfs::FileExists(const std::string& path) {
 }
 
 Status FaultInjectionVfs::RemoveFile(const std::string& path) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (crashed_) {
-      return Crashed();
-    }
     files_.erase(path);
   }
   return base_->RemoveFile(path);
 }
 
 void FaultInjectionVfs::FailAfterWrites(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  fail_writes_after_ = n;
+  fail_writes_after_.store(n, std::memory_order_relaxed);
 }
 
 void FaultInjectionVfs::FailAfterReads(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  fail_reads_after_ = n;
+  fail_reads_after_.store(n, std::memory_order_relaxed);
 }
 
 void FaultInjectionVfs::FailAfterSyncs(int64_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  fail_syncs_after_ = n;
+  fail_syncs_after_.store(n, std::memory_order_relaxed);
 }
 
 void FaultInjectionVfs::SetTornWrite(uint64_t offset, size_t keep_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  torn_armed_ = true;
   torn_offset_ = offset;
   torn_keep_bytes_ = keep_bytes;
+  torn_armed_.store(true, std::memory_order_release);
 }
 
 Status FaultInjectionVfs::Crash() {
@@ -236,7 +233,7 @@ Status FaultInjectionVfs::Crash() {
   std::map<std::string, FileState> files;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    crashed_ = true;
+    crashed_.store(true, std::memory_order_release);
     files = files_;
   }
   Status first_error;
@@ -269,18 +266,37 @@ Status FaultInjectionVfs::Crash() {
 
 void FaultInjectionVfs::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  crashed_ = false;
-  fail_writes_after_ = -1;
-  fail_reads_after_ = -1;
-  fail_syncs_after_ = -1;
-  torn_armed_ = false;
-  counters_ = Counters();
+  crashed_.store(false, std::memory_order_release);
+  fail_writes_after_.store(-1, std::memory_order_relaxed);
+  fail_reads_after_.store(-1, std::memory_order_relaxed);
+  fail_syncs_after_.store(-1, std::memory_order_relaxed);
+  torn_armed_.store(false, std::memory_order_release);
+  counters_.reads.store(0, std::memory_order_relaxed);
+  counters_.writes.store(0, std::memory_order_relaxed);
+  counters_.syncs.store(0, std::memory_order_relaxed);
+  counters_.dir_syncs.store(0, std::memory_order_relaxed);
+  counters_.read_bytes.store(0, std::memory_order_relaxed);
+  counters_.written_bytes.store(0, std::memory_order_relaxed);
+  counters_.injected_failures.store(0, std::memory_order_relaxed);
+  counters_.torn_writes.store(0, std::memory_order_relaxed);
   files_.clear();
 }
 
 FaultInjectionVfs::Counters FaultInjectionVfs::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  Counters snapshot;
+  snapshot.reads = counters_.reads.load(std::memory_order_relaxed);
+  snapshot.writes = counters_.writes.load(std::memory_order_relaxed);
+  snapshot.syncs = counters_.syncs.load(std::memory_order_relaxed);
+  snapshot.dir_syncs = counters_.dir_syncs.load(std::memory_order_relaxed);
+  snapshot.read_bytes =
+      counters_.read_bytes.load(std::memory_order_relaxed);
+  snapshot.written_bytes =
+      counters_.written_bytes.load(std::memory_order_relaxed);
+  snapshot.injected_failures =
+      counters_.injected_failures.load(std::memory_order_relaxed);
+  snapshot.torn_writes =
+      counters_.torn_writes.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 }  // namespace segdiff

@@ -20,11 +20,17 @@
 // both assert IO behaviour ("the fix added exactly one directory sync")
 // and enumerate fault points for exhaustive crash matrices.
 //
-// All methods are thread-safe (one internal mutex).
+// All methods are thread-safe. The per-operation hot path (counters,
+// countdown faults, crashed flag) is lock-free so a parallel scan's
+// worker threads do not serialize on the wrapper, and the Nth-operation
+// countdowns decrement with a CAS loop so exactly one operation observes
+// the 0 -> fail transition no matter how many threads race. The mutex
+// only guards cold multi-field state (file snapshots, torn writes).
 
 #ifndef SEGDIFF_STORAGE_FAULT_VFS_H_
 #define SEGDIFF_STORAGE_FAULT_VFS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -94,20 +100,34 @@ class FaultInjectionVfs : public Vfs {
     bool creation_pending_dir_sync = false;
   };
 
-  /// Decrements a countdown fault; true = this operation must fail.
-  bool ShouldFail(int64_t* countdown);
+  /// Decrements a countdown fault (CAS loop: exactly one racing
+  /// operation takes each remaining slot); true = this operation must
+  /// fail. At 0 the countdown is sticky — every caller fails.
+  bool ShouldFail(std::atomic<int64_t>* countdown);
 
   Vfs* base_;
+  /// Guards files_ and the torn-write schedule; never taken on the
+  /// read/write/sync fast path unless a torn write is armed.
   mutable std::mutex mu_;
-  bool crashed_ = false;
-  int64_t fail_writes_after_ = -1;
-  int64_t fail_reads_after_ = -1;
-  int64_t fail_syncs_after_ = -1;
-  bool torn_armed_ = false;
-  uint64_t torn_offset_ = 0;
-  size_t torn_keep_bytes_ = 0;
-  Counters counters_;
-  std::map<std::string, FileState> files_;
+  std::atomic<bool> crashed_{false};
+  std::atomic<int64_t> fail_writes_after_{-1};
+  std::atomic<int64_t> fail_reads_after_{-1};
+  std::atomic<int64_t> fail_syncs_after_{-1};
+  std::atomic<bool> torn_armed_{false};
+  uint64_t torn_offset_ = 0;      ///< guarded by mu_
+  size_t torn_keep_bytes_ = 0;    ///< guarded by mu_
+  struct AtomicCounters {
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> syncs{0};
+    std::atomic<uint64_t> dir_syncs{0};
+    std::atomic<uint64_t> read_bytes{0};
+    std::atomic<uint64_t> written_bytes{0};
+    std::atomic<uint64_t> injected_failures{0};
+    std::atomic<uint64_t> torn_writes{0};
+  };
+  AtomicCounters counters_;
+  std::map<std::string, FileState> files_;  ///< guarded by mu_
 };
 
 }  // namespace segdiff

@@ -13,11 +13,19 @@
 //                         the persisted open segment and build options)
 //   segdiff_cli search   --db store.db [--t-hours 1] [--v -3] [--jump]
 //                        [--mode seq|index|auto] [--limit 20] [--stats]
-//                        (--stats additionally prints executor counters:
-//                         pages scanned/pruned by the zone maps, rows
-//                         scanned/pruned, and the active scan kernel)
+//                        [--timeout-ms N] [--max-mem BYTES] [--threads N]
+//                        (--timeout-ms bounds the search: past the
+//                         deadline it fails with DEADLINE_EXCEEDED;
+//                         --max-mem caps result memory — a breached
+//                         budget returns the partial results marked
+//                         TRUNCATED; --stats additionally prints executor
+//                         counters — pages scanned/pruned by the zone
+//                         maps, rows scanned/pruned, the active scan
+//                         kernel — and the store's governance counters)
 //   segdiff_cli stats    --db store.db
 //   segdiff_cli sql      --db store.db --query "SELECT ..."
+//                        [--timeout-ms N]  (statement timeout; the REPL
+//                         also accepts SET statement_timeout_ms = N)
 //   segdiff_cli segment  --csv data.csv --eps 0.2 --out segments.csv
 //                        (export the piecewise linear approximation,
 //                         e.g. for plotting the paper's Figure 1 (b))
@@ -97,6 +105,12 @@ class Flags {
   int GetInt(const std::string& key, int fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  uint64_t GetUint64(const std::string& key, uint64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return static_cast<uint64_t>(std::strtoull(it->second.c_str(),
+                                               nullptr, 10));
   }
   bool Has(const std::string& key) const { return values_.count(key) != 0; }
 
@@ -249,17 +263,20 @@ int CmdSearch(const Flags& flags) {
   } else {
     search.mode = QueryMode::kSeqScan;
   }
+  search.deadline_ms = flags.GetUint64("--timeout-ms", 0);
+  search.max_result_bytes = flags.GetUint64("--max-mem", 0);
+  search.num_threads = static_cast<size_t>(flags.GetInt("--threads", 0));
   SearchStats stats;
   auto results = jump ? (*store)->SearchJumps(T, V, search, &stats)
                       : (*store)->SearchDrops(T, V, search, &stats);
   if (!results.ok()) return Fail(results.status());
 
   std::printf("%zu periods with a %s of %s%.2f within %.2f h "
-              "(%.2f ms, %llu range queries, mode=%s)\n",
+              "(%.2f ms, %llu range queries, mode=%s)%s\n",
               results->size(), jump ? "jump" : "drop", jump ? ">= " : "<= ",
               V, T / 3600.0, stats.seconds * 1e3,
               static_cast<unsigned long long>(stats.queries_issued),
-              mode.c_str());
+              mode.c_str(), stats.truncated ? " TRUNCATED" : "");
   if (flags.Has("--stats")) {
     const ScanStats& scan = stats.scan;
     std::printf("  pages: %llu scanned, %llu pruned (zone maps)\n",
@@ -272,6 +289,19 @@ int CmdSearch(const Flags& flags) {
                 static_cast<unsigned long long>(scan.rows_matched),
                 static_cast<unsigned long long>(scan.index_entries_scanned));
     std::printf("  kernel: %s\n", ActiveScanKernelName());
+    const GovernanceCounters gov =
+        (*store)->admission_controller()->counters();
+    std::printf("  governance: %llu admitted (%llu queued), %llu rejected, "
+                "%llu cancelled, %llu deadline-exceeded, %llu truncated\n",
+                static_cast<unsigned long long>(gov.admitted),
+                static_cast<unsigned long long>(gov.queued),
+                static_cast<unsigned long long>(gov.rejected),
+                static_cast<unsigned long long>(gov.cancelled),
+                static_cast<unsigned long long>(gov.deadline_exceeded),
+                static_cast<unsigned long long>(gov.truncated));
+    std::printf("  result bytes peak: %llu, admission wait: %.2f ms\n",
+                static_cast<unsigned long long>(stats.result_bytes_peak),
+                stats.admission_wait_ms);
   }
   const int limit = flags.GetInt("--limit", 20);
   int shown = 0;
@@ -325,6 +355,7 @@ int CmdSql(const Flags& flags) {
   auto database = Database::Open(db, options);
   if (!database.ok()) return Fail(database.status());
   sql::Engine engine(database->get());
+  engine.set_statement_timeout_ms(flags.GetUint64("--timeout-ms", 0));
 
   const std::string query = flags.Get("--query", "");
   if (!query.empty()) {
