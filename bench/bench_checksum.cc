@@ -157,7 +157,7 @@ int RunBench() {
   root.Set("scan_repetitions", static_cast<int64_t>(kScanRepetitions));
   root.Set("verify_overhead_pct", overhead);
   root.Set("results", std::move(results));
-  const std::string json_path = "BENCH_checksum.json";
+  const std::string json_path = BenchReportPath("BENCH_checksum.json");
   if (WriteJsonFile(json_path, root)) {
     std::cout << "wrote " << json_path << "\n";
   } else {

@@ -251,7 +251,7 @@ int RunBench(bool quick) {
   root.Set("concurrent_deadline_ms", 50.0);
   root.Set("concurrent_max_latency_ms", concurrent_max_ms);
   root.Set("concurrent_wall_ms", concurrent_wall_ms);
-  const std::string json_path = "BENCH_governance.json";
+  const std::string json_path = BenchReportPath("BENCH_governance.json");
   if (WriteJsonFile(json_path, root)) {
     std::cout << "wrote " << json_path << "\n";
   } else {

@@ -148,7 +148,7 @@ int RunBench() {
   root.Set("hardware_threads",
            static_cast<int64_t>(std::thread::hardware_concurrency()));
   root.Set("results", std::move(results));
-  const std::string json_path = "BENCH_ingest.json";
+  const std::string json_path = BenchReportPath("BENCH_ingest.json");
   if (WriteJsonFile(json_path, root)) {
     std::cout << "wrote " << json_path << "\n";
   } else {

@@ -4,7 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "query/scan_kernel.h"
 #include "segment/sliding_window.h"
 #include "storage/buffer_pool.h"
+#include "storage/column_page.h"
 #include "storage/pager.h"
 #include "ts/generator.h"
 #include "ts/interpolate.h"
@@ -202,6 +206,101 @@ void BM_ScanKernelBatch(benchmark::State& state) {
                           static_cast<int64_t>(kRows));
 }
 BENCHMARK(BM_ScanKernelBatch)->Arg(0)->Arg(1);
+
+/// One full single-column segment encoded with EncodeColumnSegment,
+/// decoded through ColumnCursor in 1024-value batches — the exact shape
+/// the columnar SeqScan feeds to the selection-bitmap kernels.
+struct EncodedColumn {
+  std::string blob;
+  ColumnDirEntry dir;
+  const char* payload = nullptr;
+  size_t rows = 0;
+};
+
+EncodedColumn EncodeOneColumn(const std::vector<double>& values,
+                              ColumnEncoding expect) {
+  EncodedColumn out;
+  out.rows = values.size();
+  std::vector<char> records(out.rows * 8);
+  for (size_t r = 0; r < out.rows; ++r) {
+    EncodeDouble(records.data() + r * 8, values[r]);
+  }
+  out.blob = EncodeColumnSegment(records.data(), 1, out.rows);
+  SEGDIFF_CHECK(!out.blob.empty());
+  // Single column: 16-byte header, one 32-byte dir entry, payload.
+  const char* e = out.blob.data() + 16;
+  out.dir.encoding = static_cast<ColumnEncoding>(e[0]);
+  out.dir.scale_log10 = static_cast<uint8_t>(e[1]);
+  std::memcpy(&out.dir.bit_width, e + 2, 2);
+  std::memcpy(&out.dir.payload_bytes, e + 4, 4);
+  std::memcpy(&out.dir.base, e + 8, 8);
+  std::memcpy(&out.dir.min, e + 16, 8);
+  std::memcpy(&out.dir.max, e + 24, 8);
+  out.payload = out.blob.data() + 16 + 32;
+  SEGDIFF_CHECK(out.dir.encoding == expect)
+      << "workload no longer selects " << ColumnEncodingName(expect)
+      << ", got " << ColumnEncodingName(out.dir.encoding);
+  return out;
+}
+
+/// Frame-of-reference decode: centi-grid sensor drops in a narrow band,
+/// the shape of dv columns after compaction.
+void BM_DecodeFOR(benchmark::State& state) {
+  static const EncodedColumn* col = [] {
+    Rng rng(7);
+    std::vector<double> dv;
+    dv.reserve(ColumnStore::kMaxSegmentRows);
+    for (size_t i = 0; i < ColumnStore::kMaxSegmentRows; ++i) {
+      double v = std::round(rng.Uniform(-8.0, 2.0) * 100.0) / 100.0;
+      if (v == 0.0) v = 0.0;  // TryQuantize rejects -0.0
+      dv.push_back(v);
+    }
+    return new EncodedColumn(
+        EncodeOneColumn(dv, ColumnEncoding::kForPacked));
+  }();
+  alignas(64) static double batch[1024];
+  for (auto _ : state) {
+    ColumnCursor cursor(&col->dir, col->payload, col->rows);
+    for (size_t pos = 0; pos < col->rows; pos += 1024) {
+      cursor.Decode(std::min<size_t>(1024, col->rows - pos), batch);
+      benchmark::DoNotOptimize(batch[0]);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(col->rows));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(col->rows * 8));
+}
+BENCHMARK(BM_DecodeFOR);
+
+/// Gorilla-style XOR decode: raw doubles off the decimal grid — the
+/// fallback encoding for unquantizable value columns.
+void BM_DecodeXor(benchmark::State& state) {
+  static const EncodedColumn* col = [] {
+    Rng rng(11);
+    std::vector<double> v;
+    v.reserve(ColumnStore::kMaxSegmentRows);
+    double walk = 20.0;
+    for (size_t i = 0; i < ColumnStore::kMaxSegmentRows; ++i) {
+      walk += rng.Uniform(-0.05, 0.05);
+      v.push_back(walk);
+    }
+    return new EncodedColumn(EncodeOneColumn(v, ColumnEncoding::kXor));
+  }();
+  alignas(64) static double batch[1024];
+  for (auto _ : state) {
+    ColumnCursor cursor(&col->dir, col->payload, col->rows);
+    for (size_t pos = 0; pos < col->rows; pos += 1024) {
+      cursor.Decode(std::min<size_t>(1024, col->rows - pos), batch);
+      benchmark::DoNotOptimize(batch[0]);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(col->rows));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(col->rows * 8));
+}
+BENCHMARK(BM_DecodeXor);
 
 }  // namespace
 }  // namespace segdiff

@@ -176,7 +176,7 @@ int RunBench(bool quick) {
   root.Set("reps", static_cast<int64_t>(reps));
   root.Set("hardware_threads", static_cast<int64_t>(hw_threads));
   root.Set("results", std::move(results));
-  const std::string json_path = "BENCH_parallel.json";
+  const std::string json_path = BenchReportPath("BENCH_parallel.json");
   if (WriteJsonFile(json_path, root)) {
     std::cout << "wrote " << json_path << "\n";
   } else {

@@ -40,7 +40,37 @@ echo "== tier-1: bench smoke (--quick) =="
 (cd build && ./bench/bench_scan --quick && \
  ./bench/bench_parallel --quick && \
  ./bench/bench_governance --quick && \
- ./bench/bench_micro --quick --benchmark_filter='BM_ScanKernelBatch|BM_PredicateMatch')
+ ./bench/bench_micro --quick \
+   --benchmark_filter='BM_ScanKernelBatch|BM_PredicateMatch|BM_DecodeFOR|BM_DecodeXor')
+
+echo "== tier-1: compression smoke (compact to columnar, ratio + scrub) =="
+CMP_WORK="build/compression_smoke"
+rm -rf "${CMP_WORK}"; mkdir -p "${CMP_WORK}"
+./build/tools/segdiff_cli generate --out "${CMP_WORK}/data.csv" --days 20
+./build/tools/segdiff_cli build --csv "${CMP_WORK}/data.csv" \
+  --db "${CMP_WORK}/row.db" --eps 0.05
+./build/tools/segdiff_cli compact --db "${CMP_WORK}/row.db" \
+  --out "${CMP_WORK}/col.db"
+CMP_STATS="$(./build/tools/segdiff_cli stats --db "${CMP_WORK}/col.db")"
+echo "${CMP_STATS}"
+# Every feature table must land in columnar segments at >= 2x
+# compression (sensor-shaped features sit on a decimal grid, so FOR /
+# delta packing must beat raw doubles by at least this much).
+BEST_RATIO="$(echo "${CMP_STATS}" | sed -n 's/.*(\([0-9.]*\)x)$/\1/p' \
+  | sort -g | tail -1)"
+if [[ -z "${BEST_RATIO}" ]]; then
+  echo "compression smoke: compacted store reports no columnar segments"
+  exit 1
+fi
+if ! awk -v r="${BEST_RATIO}" 'BEGIN { exit (r + 0 >= 2.0) ? 0 : 1 }'; then
+  echo "compression smoke: best table ratio ${BEST_RATIO}x < 2.0x floor"
+  exit 1
+fi
+# The compacted store must also pass a full checksum scrub: compressed
+# payloads ride the same per-page CRC32C trailers as row pages.
+./build/tools/segdiff_cli verify --db "${CMP_WORK}/col.db" --scrub
+echo "compression smoke: columnar ratio ${BEST_RATIO}x, scrub clean"
+rm -rf "${CMP_WORK}"
 
 echo "== tier-1: governance smoke (concurrent 50ms-deadline searches) =="
 GOV_WORK="build/governance_smoke"

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
 namespace segdiff {
@@ -211,6 +214,26 @@ bool WriteJsonFile(const std::string& path, const JsonValue& value) {
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
                   std::fputc('\n', f) != EOF;
   return std::fclose(f) == 0 && ok;
+}
+
+std::string BenchReportPath(const std::string& filename) {
+  const char* dir = std::getenv("SEGDIFF_BENCH_REPORT_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    return std::string(dir) + "/" + filename;
+  }
+  std::error_code ec;
+  std::filesystem::path at = std::filesystem::current_path(ec);
+  if (!ec) {
+    for (std::filesystem::path probe = at;; probe = probe.parent_path()) {
+      if (std::filesystem::exists(probe / "ROADMAP.md", ec)) {
+        return (probe / filename).string();
+      }
+      if (probe == probe.root_path() || probe.parent_path() == probe) {
+        break;
+      }
+    }
+  }
+  return filename;  // no marker found: current directory, as before
 }
 
 }  // namespace segdiff

@@ -86,6 +86,14 @@ class JsonValue {
 /// Returns false on IO failure (benches log and continue).
 bool WriteJsonFile(const std::string& path, const JsonValue& value);
 
+/// Stable location for a BENCH_*.json report, independent of the
+/// directory the bench was launched from (ctest and `--quick` CI runs
+/// execute inside the build tree, which previously scattered reports).
+/// Resolution order: $SEGDIFF_BENCH_REPORT_DIR if set; else the nearest
+/// ancestor of the current directory containing ROADMAP.md (the repo
+/// root); else the current directory unchanged.
+std::string BenchReportPath(const std::string& filename);
+
 }  // namespace segdiff
 
 #endif  // SEGDIFF_BENCHUTIL_REPORT_H_

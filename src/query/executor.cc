@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/coding.h"
 #include "query/scan_kernel.h"
 
 namespace segdiff {
@@ -13,7 +14,9 @@ namespace {
 /// Per-scan (per-partition, under ParallelSeqScan) page evaluator.
 /// Both modes walk identical pages and count identically, so serial,
 /// parallel, batched, and row-at-a-time scans all agree on
-/// rows_scanned + rows_pruned and pages_scanned + pages_pruned.
+/// rows_scanned + rows_pruned and pages_scanned + pages_pruned —
+/// and the columnar segment path counts segment pages/rows under the
+/// same fields, so totals also agree across storage formats.
 class PageEvaluator {
  public:
   PageEvaluator(const Table& table, const Predicate& predicate,
@@ -22,7 +25,9 @@ class PageEvaluator {
         callback_(callback),
         record_bytes_(table.schema().RowBytes()),
         batch_(options.batch),
+        prune_(options.prune && !predicate.conditions().empty()),
         kernel_(ActiveScanKernel()),
+        column_compare_(ActiveColumnCompare()),
         zone_map_(options.prune && !predicate.conditions().empty()
                       ? table.zone_map()
                       : nullptr),
@@ -66,16 +71,148 @@ class PageEvaluator {
                   : EvaluateRows(page, records, count);
   }
 
+  /// Evaluates one compressed columnar segment. The segment's pages are
+  /// always fetched — and checksum-verified — by opening the handle,
+  /// before any prune decision, matching the heap path's "pruning saves
+  /// the decode, not the IO" contract (and keeping corruption detection
+  /// in force for pruned segments).
+  Status EvaluateSegment(const ColumnStore& store, size_t seg_idx) {
+    const ColumnSegmentInfo& info = store.meta().segments[seg_idx];
+    if (ctx_ != nullptr) {
+      if (ctx_->cancel.cancelled()) {
+        return Status::Cancelled("query cancelled by caller");
+      }
+      pages_since_deadline_check_ += info.pages;
+      if (pages_since_deadline_check_ >= kDeadlineCheckPageInterval) {
+        pages_since_deadline_check_ = 0;
+        if (ctx_->deadline.expired()) {
+          return Status::DeadlineExceeded("query deadline exceeded");
+        }
+      }
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(ColumnSegmentHandle handle,
+                             store.OpenSegment(seg_idx));
+    if (prune_ && !SegmentCanMatch(info, predicate_.conditions())) {
+      stats_.pages_pruned += info.pages;
+      stats_.rows_pruned += info.rows;
+      return Status::OK();
+    }
+    stats_.pages_scanned += info.pages;
+    stats_.rows_scanned += info.rows;
+    const size_t ncols = handle.num_columns();
+    // Rows must be materialized when something consumes whole records
+    // (callback or residual) or in the row-at-a-time ablation mode;
+    // count-only scans decode just the predicate's columns.
+    const bool need_rows =
+        static_cast<bool>(callback_) || predicate_.residual() || !batch_;
+    std::vector<size_t> wanted;
+    if (need_rows) {
+      for (size_t c = 0; c < ncols; ++c) {
+        wanted.push_back(c);
+      }
+    } else {
+      for (const ColumnCondition& cond : predicate_.conditions()) {
+        if (std::find(wanted.begin(), wanted.end(), cond.column) ==
+            wanted.end()) {
+          wanted.push_back(cond.column);
+        }
+      }
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(ColumnDecoder decoder,
+                             ColumnDecoder::Create(&handle, wanted));
+    if (row_buf_.size() < record_bytes_) {
+      row_buf_.resize(record_bytes_);
+    }
+    size_t count;
+    while ((count = decoder.NextBatch()) > 0) {
+      SEGDIFF_RETURN_IF_ERROR(batch_
+                                  ? SegmentBatch(decoder, info, ncols, count,
+                                                 need_rows)
+                                  : SegmentRows(decoder, info, ncols, count));
+    }
+    return Status::OK();
+  }
+
   const ScanStats& stats() const { return stats_; }
 
  private:
+  /// Rebuilds the encoded record for batch row `i` from the decoded
+  /// columns (bit-exact: the cursors reproduce the stored bit patterns).
+  const char* MaterializeRow(const ColumnDecoder& decoder, size_t ncols,
+                             size_t i) {
+    for (size_t c = 0; c < ncols; ++c) {
+      EncodeDouble(row_buf_.data() + 8 * c, decoder.column(c)[i]);
+    }
+    return row_buf_.data();
+  }
+
+  /// Vectorized evaluation of one decoded batch: selection bitmap over
+  /// contiguous columns, then residual/emit only for surviving rows.
+  /// Count-only scans (no callback, no residual) never materialize —
+  /// just popcount the bitmap.
+  Status SegmentBatch(const ColumnDecoder& decoder,
+                      const ColumnSegmentInfo& info, size_t ncols,
+                      size_t count, bool need_rows) {
+    InitSelectionBitmap(count, bitmap_);
+    for (const ColumnCondition& cond : predicate_.conditions()) {
+      column_compare_(decoder.column(cond.column), count, cond.op, cond.value,
+                      bitmap_);
+    }
+    if (!need_rows) {
+      for (size_t w = 0; w * 64 < count; ++w) {
+        stats_.rows_matched += static_cast<uint64_t>(std::popcount(bitmap_[w]));
+      }
+      return Status::OK();
+    }
+    const auto& residual = predicate_.residual();
+    for (size_t w = 0; w * 64 < count; ++w) {
+      uint64_t word = bitmap_[w];
+      while (word != 0) {
+        const size_t i = w * 64 + static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
+        const char* record = MaterializeRow(decoder, ncols, i);
+        if (!residual || residual(record)) {
+          ++stats_.rows_matched;
+          if (callback_) {
+            const uint32_t row =
+                static_cast<uint32_t>(decoder.batch_start() + i);
+            SEGDIFF_RETURN_IF_ERROR(
+                callback_(record, RecordId{info.first_page, row}));
+          }
+          SEGDIFF_RETURN_IF_ERROR(CheckBetweenEmits());
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Row-at-a-time ablation path over a decoded batch.
+  Status SegmentRows(const ColumnDecoder& decoder,
+                     const ColumnSegmentInfo& info, size_t ncols,
+                     size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      const char* record = MaterializeRow(decoder, ncols, i);
+      if (predicate_.Matches(record)) {
+        ++stats_.rows_matched;
+        if (callback_) {
+          const uint32_t row = static_cast<uint32_t>(decoder.batch_start() + i);
+          SEGDIFF_RETURN_IF_ERROR(
+              callback_(record, RecordId{info.first_page, row}));
+        }
+        SEGDIFF_RETURN_IF_ERROR(CheckBetweenEmits());
+      }
+    }
+    return Status::OK();
+  }
   Status EvaluateRows(PageId page, const char* records, uint16_t count) {
     for (uint16_t slot = 0; slot < count; ++slot) {
       const char* record = records + static_cast<size_t>(slot) * record_bytes_;
       ++stats_.rows_scanned;
       if (predicate_.Matches(record)) {
         ++stats_.rows_matched;
-        SEGDIFF_RETURN_IF_ERROR(callback_(record, RecordId{page, slot}));
+        if (callback_) {
+          SEGDIFF_RETURN_IF_ERROR(callback_(record, RecordId{page, slot}));
+        }
         SEGDIFF_RETURN_IF_ERROR(CheckBetweenEmits());
       }
     }
@@ -96,8 +233,10 @@ class PageEvaluator {
         const char* record = records + slot * record_bytes_;
         if (!residual || residual(record)) {
           ++stats_.rows_matched;
-          SEGDIFF_RETURN_IF_ERROR(
-              callback_(record, RecordId{page, static_cast<uint16_t>(slot)}));
+          if (callback_) {
+            SEGDIFF_RETURN_IF_ERROR(callback_(
+                record, RecordId{page, static_cast<uint16_t>(slot)}));
+          }
           SEGDIFF_RETURN_IF_ERROR(CheckBetweenEmits());
         }
       }
@@ -120,13 +259,16 @@ class PageEvaluator {
   const RowCallback& callback_;
   const size_t record_bytes_;
   const bool batch_;
+  const bool prune_;
   const ScanKernelFn kernel_;
+  const ColumnCompareFn column_compare_;
   const ZoneMap* zone_map_;
   const QueryContext* ctx_;
   uint64_t emits_since_check_ = 0;
   // Starts at the interval so page 0 performs a deadline check.
   uint64_t pages_since_deadline_check_ = kDeadlineCheckPageInterval - 1;
   ScanStats stats_;
+  std::vector<char> row_buf_;  ///< columnar row materialization scratch
   uint64_t bitmap_[kBatchBitmapWords];
 };
 
@@ -136,16 +278,40 @@ Status SeqScan(const Table& table, const Predicate& predicate,
                const RowCallback& callback, ScanStats* stats,
                const SeqScanOptions& options) {
   PageEvaluator evaluator(table, predicate, options, callback);
-  Status status = table.ScanPageData(
-      [&](PageId page, const char* records, uint16_t count,
-          bool* keep_going) -> Status {
-        return evaluator.Evaluate(page, records, count, keep_going);
-      });
+  Status status = Status::OK();
+  // Columnar segments hold the oldest rows; scanning them first keeps
+  // the visit order identical to the row-format scan of the same data.
+  const ColumnStore* columnar = table.columnar();
+  if (columnar != nullptr) {
+    for (size_t s = 0; s < columnar->segment_count() && status.ok(); ++s) {
+      status = evaluator.EvaluateSegment(*columnar, s);
+    }
+  }
+  if (status.ok()) {
+    status = table.ScanPageData(
+        [&](PageId page, const char* records, uint16_t count,
+            bool* keep_going) -> Status {
+          return evaluator.Evaluate(page, records, count, keep_going);
+        });
+  }
   if (stats != nullptr) {
     stats->Add(evaluator.stats());
   }
   return status;
 }
+
+namespace {
+
+/// One contiguous slice of a parallel scan: a run of columnar segments
+/// followed by a run of heap pages (segments always precede the heap in
+/// scan order, so every contiguous slice has this shape).
+struct ScanPartition {
+  size_t seg_begin = 0;
+  size_t seg_end = 0;  ///< exclusive
+  std::vector<PageId> pages;
+};
+
+}  // namespace
 
 Status ParallelSeqScan(const Table& table, const Predicate& predicate,
                        ThreadPool* pool, size_t num_partitions,
@@ -156,17 +322,44 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
     return SeqScan(table, predicate, make_sink(0), stats, options);
   }
   SEGDIFF_ASSIGN_OR_RETURN(std::vector<PageId> pages, table.HeapPageIds());
-  num_partitions = std::min(num_partitions, std::max<size_t>(pages.size(), 1));
-  // Contiguous page runs keep each worker's reads sequential.
-  std::vector<std::vector<PageId>> partitions(num_partitions);
-  const size_t base = pages.size() / num_partitions;
-  const size_t extra = pages.size() % num_partitions;
-  size_t next = 0;
-  for (size_t p = 0; p < num_partitions; ++p) {
-    const size_t take = base + (p < extra ? 1 : 0);
-    partitions[p].assign(pages.begin() + static_cast<ptrdiff_t>(next),
-                         pages.begin() + static_cast<ptrdiff_t>(next + take));
-    next += take;
+  const ColumnStore* columnar = table.columnar();
+  const size_t num_segments =
+      columnar != nullptr ? columnar->segment_count() : 0;
+
+  // Weighted work units in scan order: each segment counts its page
+  // span, each heap page counts 1, so partitions balance by IO volume
+  // rather than unit count. Runs stay contiguous to keep each worker's
+  // reads sequential.
+  const size_t num_units = num_segments + pages.size();
+  uint64_t total_weight = pages.size();
+  for (size_t s = 0; s < num_segments; ++s) {
+    total_weight += std::max<uint32_t>(columnar->meta().segments[s].pages, 1);
+  }
+  num_partitions = std::min(num_partitions, std::max<size_t>(num_units, 1));
+  std::vector<ScanPartition> partitions(num_partitions);
+  {
+    size_t p = 0;
+    uint64_t taken = 0;
+    // Greedy prefix split: move to the next partition once this one's
+    // cumulative weight reaches its proportional share. A single heavy
+    // unit can skip partitions, leaving them (correctly) empty.
+    auto advance = [&](uint64_t weight, size_t next_seg) {
+      taken += weight;
+      while (p + 1 < num_partitions &&
+             taken * num_partitions >= (p + 1) * total_weight) {
+        ++p;
+        partitions[p].seg_begin = partitions[p].seg_end = next_seg;
+      }
+    };
+    for (size_t s = 0; s < num_segments; ++s) {
+      partitions[p].seg_end = s + 1;
+      advance(std::max<uint32_t>(columnar->meta().segments[s].pages, 1),
+              s + 1);
+    }
+    for (PageId page : pages) {
+      partitions[p].pages.push_back(page);
+      advance(1, num_segments);
+    }
   }
   std::vector<RowCallback> sinks(num_partitions);
   for (size_t p = 0; p < num_partitions; ++p) {
@@ -175,13 +368,21 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
   std::vector<ScanStats> partition_stats(num_partitions);
   SEGDIFF_RETURN_IF_ERROR(pool->ParallelFor(
       num_partitions, options.context, [&](size_t p) -> Status {
+        const ScanPartition& part = partitions[p];
         PageEvaluator evaluator(table, predicate, options, sinks[p]);
-        Status status = table.ScanPagesData(
-            partitions[p],
-            [&](PageId page, const char* records, uint16_t count,
-                bool* keep_going) -> Status {
-              return evaluator.Evaluate(page, records, count, keep_going);
-            });
+        Status status = Status::OK();
+        for (size_t s = part.seg_begin; s < part.seg_end && status.ok();
+             ++s) {
+          status = evaluator.EvaluateSegment(*columnar, s);
+        }
+        if (status.ok()) {
+          status = table.ScanPagesData(
+              part.pages,
+              [&](PageId page, const char* records, uint16_t count,
+                  bool* keep_going) -> Status {
+                return evaluator.Evaluate(page, records, count, keep_going);
+              });
+        }
         partition_stats[p] = evaluator.stats();
         return status;
       }));

@@ -16,12 +16,15 @@
 
 namespace segdiff {
 
-/// Execution counters, reported by both executors.
+/// Execution counters, reported by both executors. Columnar segments
+/// count under the same fields (a pruned segment adds its page span to
+/// pages_pruned and its rows to rows_pruned), so row-format and
+/// columnar scans of the same data report identical totals.
 struct ScanStats {
-  uint64_t rows_scanned = 0;          ///< heap records examined (seq scan)
-  uint64_t rows_pruned = 0;           ///< records skipped via zone maps
-  uint64_t pages_scanned = 0;         ///< heap pages evaluated (seq scan)
-  uint64_t pages_pruned = 0;          ///< heap pages skipped via zone maps
+  uint64_t rows_scanned = 0;          ///< records examined (seq scan)
+  uint64_t rows_pruned = 0;           ///< records skipped via zone stats
+  uint64_t pages_scanned = 0;         ///< pages evaluated (seq scan)
+  uint64_t pages_pruned = 0;          ///< pages skipped via zone stats
   uint64_t index_entries_scanned = 0; ///< index keys examined (index scan)
   uint64_t heap_fetches = 0;          ///< random heap reads (index scan)
   uint64_t rows_matched = 0;
@@ -37,7 +40,11 @@ struct ScanStats {
   }
 };
 
-/// Receives each matching record.
+/// Receives each matching record. A null callback turns the scan into a
+/// count-only scan (stats still fully populated); over columnar
+/// segments this is the fastest path — only the predicate's columns are
+/// decoded and matches are popcounted straight off the selection
+/// bitmap, never materializing a row.
 using RowCallback = std::function<Status(const char* record, RecordId id)>;
 
 /// Sequential-scan tuning knobs. The defaults are the fast path; the
@@ -60,7 +67,10 @@ struct SeqScanOptions {
   const QueryContext* context = nullptr;
 };
 
-/// Full-table scan applying `predicate` to every record.
+/// Full-table scan applying `predicate` to every record: the table's
+/// compressed columnar segments first (vectorized decode feeding the
+/// selection-bitmap kernels), then the row-format heap tail — insertion
+/// order overall.
 Status SeqScan(const Table& table, const Predicate& predicate,
                const RowCallback& callback, ScanStats* stats = nullptr,
                const SeqScanOptions& options = {});
@@ -72,12 +82,14 @@ Status SeqScan(const Table& table, const Predicate& predicate,
 /// locking.
 using PartitionSinkFactory = std::function<RowCallback(size_t partition)>;
 
-/// Partitioned full-table scan: splits the table's heap pages into
-/// `num_partitions` contiguous runs executed concurrently on `pool` (the
-/// calling thread participates). Rows are visited exactly once overall;
-/// per-partition ScanStats are merged into `stats` in partition order,
-/// so totals equal the serial SeqScan's. Early-stop (`keep_going`)
-/// inside a callback only stops that partition.
+/// Partitioned full-table scan: splits the table's work units —
+/// columnar segments (weighted by their page span) followed by heap
+/// pages (weight 1) — into `num_partitions` contiguous runs executed
+/// concurrently on `pool` (the calling thread participates). Rows are
+/// visited exactly once overall; per-partition ScanStats are merged
+/// into `stats` in partition order, so totals equal the serial
+/// SeqScan's. Early-stop (`keep_going`) inside a callback only stops
+/// that partition.
 Status ParallelSeqScan(const Table& table, const Predicate& predicate,
                        ThreadPool* pool, size_t num_partitions,
                        const PartitionSinkFactory& make_sink,

@@ -51,7 +51,9 @@ PlanChoice ChooseAccessPath(const TableStatsView& stats, bool index_available,
   }
   const bool fractions_valid =
       stats.index_entry_fraction >= 0.0 && stats.index_entry_fraction <= 1.0 &&
-      stats.heap_fetch_fraction >= 0.0 && stats.heap_fetch_fraction <= 1.0;
+      stats.heap_fetch_fraction >= 0.0 && stats.heap_fetch_fraction <= 1.0 &&
+      stats.random_fetch_cost_scale >= 1.0 &&
+      stats.random_fetch_cost_scale <= kColumnarFetchCostScale;
   if (!fractions_valid || stats.pages_after_pruning > stats.pages_total) {
     return choice;  // untrustworthy stats (incl. NaN): sequential scan
   }
@@ -61,7 +63,8 @@ PlanChoice ChooseAccessPath(const TableStatsView& stats, bool index_available,
       static_cast<double>(stats.pages_after_pruning) * options.seq_page_cost;
   const double index_cost =
       stats.index_entry_fraction * rows * options.index_entry_cost +
-      stats.heap_fetch_fraction * rows * options.random_fetch_cost;
+      stats.heap_fetch_fraction * rows * options.random_fetch_cost *
+          stats.random_fetch_cost_scale;
   if (index_cost < seq_cost) {
     choice.path = AccessPath::kIndexScan;
   }

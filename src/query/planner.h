@@ -62,7 +62,17 @@ struct TableStatsView {
   /// Estimated fraction of rows surviving every key-column bound — each
   /// one costs a random heap fetch on the index path.
   double heap_fetch_fraction = 1.0;
+  /// Multiplier on random_fetch_cost for this table's row mix. A random
+  /// fetch into a compressed columnar segment decodes a whole segment
+  /// (amortized by the store's one-segment cache, but still far pricier
+  /// than a heap page read); callers set this to the row-weighted mean
+  /// of 1.0 (heap rows) and kColumnarFetchCostScale (columnar rows).
+  double random_fetch_cost_scale = 1.0;
 };
+
+/// Relative cost of one random fetch that lands in a columnar segment
+/// versus one that lands in a row-format heap page.
+inline constexpr double kColumnarFetchCostScale = 4.0;
 
 /// Cost-based choice: pruned-sequential page cost vs index entry walk +
 /// random heap fetches. Malformed statistics (NaN or out-of-range

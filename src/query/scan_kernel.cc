@@ -169,8 +169,57 @@ void KernelSse2(const char* records, size_t record_bytes, size_t count,
 
 #endif  // x86-64
 
+/// Dispatch over a contiguous column batch: same compare loops as the
+/// page kernels, minus the gather.
+void ColumnCompareScalar(const double* vals, size_t count, CmpOp op,
+                         double bound, uint64_t* bitmap) {
+  switch (op) {
+    case CmpOp::kLt:
+      AndCompareScalar<CmpOp::kLt>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kLe:
+      AndCompareScalar<CmpOp::kLe>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kGt:
+      AndCompareScalar<CmpOp::kGt>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kGe:
+      AndCompareScalar<CmpOp::kGe>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kEq:
+      AndCompareScalar<CmpOp::kEq>(vals, count, bound, bitmap);
+      break;
+  }
+}
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+void ColumnCompareSse2(const double* vals, size_t count, CmpOp op,
+                       double bound, uint64_t* bitmap) {
+  switch (op) {
+    case CmpOp::kLt:
+      AndCompareSse2<CmpOp::kLt>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kLe:
+      AndCompareSse2<CmpOp::kLe>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kGt:
+      AndCompareSse2<CmpOp::kGt>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kGe:
+      AndCompareSse2<CmpOp::kGe>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kEq:
+      AndCompareSse2<CmpOp::kEq>(vals, count, bound, bitmap);
+      break;
+  }
+}
+
+#endif  // x86-64
+
 struct KernelChoice {
   ScanKernelFn fn;
+  ColumnCompareFn column_fn;
   const char* name;
 };
 
@@ -185,24 +234,28 @@ KernelChoice PickKernel() {
 #else
   avx2 = nullptr;
 #endif
+  const KernelChoice scalar = {&KernelScalar, ScalarColumnCompare(),
+                               "scalar"};
+  const KernelChoice with_sse2 = {sse2, Sse2ColumnCompare(), "sse2"};
+  const KernelChoice with_avx2 = {avx2, Avx2ColumnCompare(), "avx2"};
   const std::string want = GetEnvString("SEGDIFF_SCAN_KERNEL", "");
   if (want == "scalar") {
-    return {&KernelScalar, "scalar"};
+    return scalar;
   }
   if (want == "sse2" && sse2 != nullptr) {
-    return {sse2, "sse2"};
+    return with_sse2;
   }
   if (want == "avx2" && avx2 != nullptr) {
-    return {avx2, "avx2"};
+    return with_avx2;
   }
   // Default (and fallback for unsupported requests): widest available.
   if (avx2 != nullptr) {
-    return {avx2, "avx2"};
+    return with_avx2;
   }
   if (sse2 != nullptr) {
-    return {sse2, "sse2"};
+    return with_sse2;
   }
-  return {&KernelScalar, "scalar"};
+  return scalar;
 }
 
 const KernelChoice& Active() {
@@ -281,6 +334,125 @@ ZoneSurvey SurveyZones(const ZoneMap& zone_map,
     }
   }
   return survey;
+}
+
+void InitSelectionBitmap(size_t count, uint64_t* bitmap) {
+  InitBitmap(count, bitmap);
+}
+
+ColumnCompareFn ActiveColumnCompare() { return Active().column_fn; }
+
+ColumnCompareFn ScalarColumnCompare() { return &ColumnCompareScalar; }
+
+ColumnCompareFn Sse2ColumnCompare() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return &ColumnCompareSse2;
+#else
+  return nullptr;
+#endif
+}
+
+bool SegmentCanMatch(const ColumnSegmentInfo& info,
+                     const std::vector<ColumnCondition>& conditions) {
+  for (const ColumnCondition& cond : conditions) {
+    if (cond.column >= info.min.size()) {
+      continue;  // no evidence about this column; cannot prune on it
+    }
+    const double lo = info.min[cond.column];
+    const double hi = info.max[cond.column];
+    if (std::isnan(lo) || std::isnan(hi)) {
+      continue;  // polluted bounds must never justify a skip
+    }
+    if (lo > hi) {
+      // No non-NaN value in this column. With the NaN bit set every
+      // cell is NaN and fails any comparison — the segment cannot
+      // match. Without it the stats are inconsistent; do not prune.
+      if ((info.nan_mask >> cond.column) & 1u) {
+        return false;
+      }
+      continue;
+    }
+    if (!RangeCanMatch(cond, lo, hi)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ColumnarSurvey SurveyColumnarSegments(
+    const ColumnStore& store,
+    const std::vector<ColumnCondition>& conditions) {
+  ColumnarSurvey survey;
+  survey.segments_total = store.segment_count();
+  survey.rows_total = store.row_count();
+  survey.pages_total = store.page_count();
+  for (const ColumnSegmentInfo& info : store.meta().segments) {
+    if (SegmentCanMatch(info, conditions)) {
+      ++survey.segments_surviving;
+      survey.rows_surviving += info.rows;
+      survey.pages_surviving += info.pages;
+    }
+  }
+  return survey;
+}
+
+ZoneMap::ColumnRange ColumnarGlobalRange(const ColumnStore& store,
+                                         size_t column) {
+  ZoneMap::ColumnRange range{1.0, -1.0, false};  // inverted: nothing seen
+  bool first = true;
+  for (const ColumnSegmentInfo& info : store.meta().segments) {
+    if (column >= info.min.size()) {
+      continue;
+    }
+    range.has_nan = range.has_nan || ((info.nan_mask >> column) & 1u) != 0;
+    const double lo = info.min[column];
+    const double hi = info.max[column];
+    if (!(lo <= hi)) {
+      continue;  // all-NaN (or polluted) segment contributes no bounds
+    }
+    if (first) {
+      range.lo = lo;
+      range.hi = hi;
+      first = false;
+    } else {
+      range.lo = std::min(range.lo, lo);
+      range.hi = std::max(range.hi, hi);
+    }
+  }
+  return range;
+}
+
+Result<ColumnDecoder> ColumnDecoder::Create(
+    ColumnSegmentHandle* handle, const std::vector<size_t>& columns) {
+  ColumnDecoder decoder;
+  decoder.handle_ = handle;
+  decoder.columns_ = columns;
+  decoder.buffers_.resize(columns.size());
+  decoder.cursors_.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const size_t col = columns[i];
+    if (col >= handle->num_columns() || col >= ZoneMap::kMaxColumns) {
+      return Status::InvalidArgument("decoder column out of range");
+    }
+    decoder.slot_of_[col] = static_cast<uint8_t>(i);
+    SEGDIFF_ASSIGN_OR_RETURN(ColumnCursor cursor, handle->OpenColumn(col));
+    decoder.cursors_.push_back(cursor);
+  }
+  return decoder;
+}
+
+size_t ColumnDecoder::NextBatch() {
+  const size_t rows = handle_->rows();
+  if (next_row_ >= rows) {
+    return 0;
+  }
+  const size_t count = std::min(kColumnBatchRows, rows - next_row_);
+  for (size_t i = 0; i < cursors_.size(); ++i) {
+    cursors_[i].Decode(count, buffers_[i].vals);
+  }
+  batch_start_ = next_row_;
+  next_row_ += count;
+  return count;
 }
 
 }  // namespace segdiff

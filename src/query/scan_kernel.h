@@ -18,7 +18,9 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/result.h"
 #include "query/predicate.h"
+#include "storage/column_page.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
 #include "storage/zone_map.h"
@@ -74,6 +76,107 @@ struct ZoneSurvey {
 };
 ZoneSurvey SurveyZones(const ZoneMap& zone_map,
                        const std::vector<ColumnCondition>& conditions);
+
+// ---------------------------------------------------------------------
+// Columnar scan path: decode one column batch at a time and run the
+// same selection-bitmap comparisons over the contiguous values.
+
+/// Rows per decode batch. A multiple of 64 (whole bitmap words) that
+/// fits the kBatchBitmapWords bitmap buffers the evaluators already
+/// carry, and divides ColumnStore::kMaxSegmentRows so only a segment's
+/// final batch is short.
+inline constexpr size_t kColumnBatchRows = 1024;
+static_assert(kColumnBatchRows % 64 == 0);
+static_assert(kColumnBatchRows / 64 <= kBatchBitmapWords);
+static_assert(ColumnStore::kMaxSegmentRows % kColumnBatchRows == 0);
+
+/// Sets the low `count` bits of `bitmap` (ceil(count/64) words); bits at
+/// and above `count` stay zero so callers can walk whole words.
+void InitSelectionBitmap(size_t count, uint64_t* bitmap);
+
+/// ANDs `bitmap` with `vals[i] op bound` over a contiguous column batch
+/// — the columnar counterpart of ScanKernelFn, minus the gather (the
+/// decoder already materialized the column). Comparisons are ordered:
+/// NaN never matches.
+using ColumnCompareFn = void (*)(const double* vals, size_t count, CmpOp op,
+                                 double bound, uint64_t* bitmap);
+
+/// Widest supported variant, honouring the same SEGDIFF_SCAN_KERNEL
+/// override as ActiveScanKernel().
+ColumnCompareFn ActiveColumnCompare();
+
+/// The individual variants, exposed for differential tests (null off
+/// x86-64 / without AVX2, like their ScanKernelFn counterparts).
+ColumnCompareFn ScalarColumnCompare();
+ColumnCompareFn Sse2ColumnCompare();
+ColumnCompareFn Avx2ColumnCompare();
+
+/// Segment-level pruning test over the directory's zone statistics —
+/// the columnar counterpart of ZoneCanMatch, with identical NaN rules.
+/// Pruned segments must still have their pages fetched (and therefore
+/// checksum-verified); opening the segment handle does exactly that.
+bool SegmentCanMatch(const ColumnSegmentInfo& info,
+                     const std::vector<ColumnCondition>& conditions);
+
+/// Selectivity survey over a table's columnar segments, from catalog
+/// statistics alone (no IO). zones = segments; rows/pages feed the same
+/// cost model as SurveyZones.
+struct ColumnarSurvey {
+  uint64_t segments_total = 0;
+  uint64_t segments_surviving = 0;
+  uint64_t rows_total = 0;
+  uint64_t rows_surviving = 0;
+  uint64_t pages_total = 0;
+  uint64_t pages_surviving = 0;
+};
+ColumnarSurvey SurveyColumnarSegments(
+    const ColumnStore& store, const std::vector<ColumnCondition>& conditions);
+
+/// Global [min, max] (plus NaN flag) of column `column` over a columnar
+/// store's segment statistics — the segment-directory counterpart of
+/// ZoneMap::GlobalRange, for planner selectivity estimates on
+/// dual-format tables. lo > hi when no non-NaN value was recorded.
+ZoneMap::ColumnRange ColumnarGlobalRange(const ColumnStore& store,
+                                         size_t column);
+
+/// Streams one columnar segment in kColumnBatchRows batches, decoding
+/// only the requested columns into 64-byte-aligned buffers that feed
+/// ColumnCompareFn (and, for materialization, row reconstruction).
+class ColumnDecoder {
+ public:
+  /// `handle` must outlive the decoder. `columns` are table column
+  /// indices; payloads for exactly these columns are assembled.
+  static Result<ColumnDecoder> Create(ColumnSegmentHandle* handle,
+                                      const std::vector<size_t>& columns);
+
+  /// Decodes the next batch of every requested column; returns the batch
+  /// row count, 0 when the segment is exhausted.
+  size_t NextBatch();
+
+  /// Row index (within the segment) of the current batch's first row.
+  size_t batch_start() const { return batch_start_; }
+
+  /// The current batch of table column `col` (64-byte aligned). `col`
+  /// must be one of the requested columns.
+  const double* column(size_t col) const {
+    return buffers_[slot_of_[col]].vals;
+  }
+
+ private:
+  struct alignas(64) Batch {
+    double vals[kColumnBatchRows];
+  };
+
+  ColumnDecoder() = default;
+
+  ColumnSegmentHandle* handle_ = nullptr;
+  std::vector<size_t> columns_;
+  std::vector<ColumnCursor> cursors_;
+  std::vector<Batch> buffers_;
+  uint8_t slot_of_[ZoneMap::kMaxColumns] = {};
+  size_t next_row_ = 0;
+  size_t batch_start_ = 0;
+};
 
 }  // namespace segdiff
 

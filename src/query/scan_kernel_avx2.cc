@@ -109,9 +109,32 @@ void KernelAvx2(const char* records, size_t record_bytes, size_t count,
   }
 }
 
+void ColumnCompareAvx2(const double* vals, size_t count, CmpOp op,
+                       double bound, uint64_t* bitmap) {
+  switch (op) {
+    case CmpOp::kLt:
+      AndCompareAvx2<CmpOp::kLt>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kLe:
+      AndCompareAvx2<CmpOp::kLe>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kGt:
+      AndCompareAvx2<CmpOp::kGt>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kGe:
+      AndCompareAvx2<CmpOp::kGe>(vals, count, bound, bitmap);
+      break;
+    case CmpOp::kEq:
+      AndCompareAvx2<CmpOp::kEq>(vals, count, bound, bitmap);
+      break;
+  }
+}
+
 }  // namespace
 
 ScanKernelFn Avx2ScanKernel() { return &KernelAvx2; }
+
+ColumnCompareFn Avx2ColumnCompare() { return &ColumnCompareAvx2; }
 
 }  // namespace segdiff
 
@@ -120,6 +143,8 @@ ScanKernelFn Avx2ScanKernel() { return &KernelAvx2; }
 namespace segdiff {
 
 ScanKernelFn Avx2ScanKernel() { return nullptr; }
+
+ColumnCompareFn Avx2ColumnCompare() { return nullptr; }
 
 }  // namespace segdiff
 

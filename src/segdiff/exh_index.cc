@@ -280,6 +280,7 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
   QueryMode mode = options.mode;
   if (mode == QueryMode::kAuto) {
     const ZoneMap* zone_map = table_->zone_map();
+    const ColumnStore* columnar = table_->columnar();
     if (!options_.build_index || zone_map == nullptr) {
       mode = QueryMode::kSeqScan;
     } else {
@@ -291,8 +292,39 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
           survey.zones_surviving + (view.pages_total > survey.zones_total
                                         ? view.pages_total - survey.zones_total
                                         : 0);
-      const ZoneMap::ColumnRange dt = zone_map->GlobalRange(0);
-      const ZoneMap::ColumnRange dv = zone_map->GlobalRange(1);
+      // Merge per-column ranges across formats: compacted stores hold
+      // their rows in columnar segments whose statistics live in the
+      // segment directory, not the heap zone map.
+      auto merge = [](ZoneMap::ColumnRange a, const ZoneMap::ColumnRange& b) {
+        if (b.lo <= b.hi) {
+          if (a.lo <= a.hi) {
+            a.lo = std::min(a.lo, b.lo);
+            a.hi = std::max(a.hi, b.hi);
+          } else {
+            a.lo = b.lo;
+            a.hi = b.hi;
+          }
+        }
+        a.has_nan = a.has_nan || b.has_nan;
+        return a;
+      };
+      ZoneMap::ColumnRange dt = zone_map->GlobalRange(0);
+      ZoneMap::ColumnRange dv = zone_map->GlobalRange(1);
+      if (columnar != nullptr) {
+        const ColumnarSurvey col_survey =
+            SurveyColumnarSegments(*columnar, predicate.conditions());
+        view.pages_total += col_survey.pages_total;
+        view.pages_after_pruning += col_survey.pages_surviving;
+        const uint64_t col_rows = columnar->row_count();
+        if (view.row_count > 0) {
+          view.random_fetch_cost_scale =
+              (static_cast<double>(view.row_count - col_rows) +
+               kColumnarFetchCostScale * static_cast<double>(col_rows)) /
+              static_cast<double>(view.row_count);
+        }
+        dt = merge(dt, ColumnarGlobalRange(*columnar, 0));
+        dv = merge(dv, ColumnarGlobalRange(*columnar, 1));
+      }
       auto le_fraction = [](const ZoneMap::ColumnRange& r, double hi) {
         if (!(r.lo <= r.hi)) return 1.0;
         if (r.hi <= r.lo) return hi >= r.lo ? 1.0 : 0.0;

@@ -49,9 +49,8 @@ struct RangeQuery {
 /// distribution over the column's zone-map-observed [lo, hi]. A NaN
 /// query bound propagates into the result, which the cost-based planner
 /// rejects (falling back to the sequential scan).
-double ConditionFraction(const ZoneMap& zone_map,
+double ConditionFraction(const ZoneMap::ColumnRange& range,
                          const ColumnCondition& cond) {
-  const ZoneMap::ColumnRange range = zone_map.GlobalRange(cond.column);
   if (!(range.lo <= range.hi)) {
     return 1.0;  // column never observed: no evidence to plan on
   }
@@ -705,30 +704,74 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
       }
       if (mode == QueryMode::kAuto) {
         const ZoneMap* zone_map = table->zone_map();
-        if (zone_map == nullptr) {
+        const ColumnStore* columnar = table->columnar();
+        if (zone_map == nullptr && columnar == nullptr) {
           mode = QueryMode::kSeqScan;  // no stats: always-correct default
         } else {
           // Price the sequential side at what the pruned scan will
-          // actually evaluate, and the index side from real per-column
-          // ranges — the query's own conditions drive both.
+          // actually evaluate — heap pages surviving the zone map plus
+          // columnar pages surviving the segment directory — and the
+          // index side from real per-column ranges over both formats.
           const Predicate predicate = make_predicate(query);
-          const ZoneSurvey survey =
-              SurveyZones(*zone_map, predicate.conditions());
           TableStatsView view;
           view.row_count = table->row_count();
           view.pages_total = table->heap_meta().page_count;
-          // Pages without a zone (e.g. crash-recovered tails) cannot be
-          // pruned; keep them on the sequential side's bill.
-          view.pages_after_pruning =
-              survey.zones_surviving +
-              (view.pages_total > survey.zones_total
-                   ? view.pages_total - survey.zones_total
-                   : 0);
-          view.index_entry_fraction =
-              ConditionFraction(*zone_map, predicate.conditions().front());
+          view.pages_after_pruning = 0;
+          if (zone_map != nullptr) {
+            const ZoneSurvey survey =
+                SurveyZones(*zone_map, predicate.conditions());
+            // Pages without a zone (e.g. crash-recovered tails) cannot
+            // be pruned; keep them on the sequential side's bill.
+            view.pages_after_pruning =
+                survey.zones_surviving +
+                (view.pages_total > survey.zones_total
+                     ? view.pages_total - survey.zones_total
+                     : 0);
+          } else {
+            view.pages_after_pruning = view.pages_total;
+          }
+          if (columnar != nullptr) {
+            const ColumnarSurvey survey =
+                SurveyColumnarSegments(*columnar, predicate.conditions());
+            view.pages_total += survey.pages_total;
+            view.pages_after_pruning += survey.pages_surviving;
+            const uint64_t col_rows = columnar->row_count();
+            if (view.row_count > 0) {
+              view.random_fetch_cost_scale =
+                  (static_cast<double>(view.row_count - col_rows) +
+                   kColumnarFetchCostScale * static_cast<double>(col_rows)) /
+                  static_cast<double>(view.row_count);
+            }
+          }
+          // Per-column global ranges merged across formats.
+          auto global_range = [&](size_t column) {
+            ZoneMap::ColumnRange range{1.0, -1.0, false};
+            if (zone_map != nullptr) {
+              range = zone_map->GlobalRange(column);
+            }
+            if (columnar != nullptr) {
+              const ZoneMap::ColumnRange cr =
+                  ColumnarGlobalRange(*columnar, column);
+              if (cr.lo <= cr.hi) {
+                if (range.lo <= range.hi) {
+                  range.lo = std::min(range.lo, cr.lo);
+                  range.hi = std::max(range.hi, cr.hi);
+                } else {
+                  range.lo = cr.lo;
+                  range.hi = cr.hi;
+                }
+              }
+              range.has_nan = range.has_nan || cr.has_nan;
+            }
+            return range;
+          };
+          view.index_entry_fraction = ConditionFraction(
+              global_range(predicate.conditions().front().column),
+              predicate.conditions().front());
           view.heap_fetch_fraction = 1.0;
           for (const ColumnCondition& cond : predicate.conditions()) {
-            view.heap_fetch_fraction *= ConditionFraction(*zone_map, cond);
+            view.heap_fetch_fraction *=
+                ConditionFraction(global_range(cond.column), cond);
           }
           const PlanChoice choice =
               ChooseAccessPath(view, options_.build_indexes);

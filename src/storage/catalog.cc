@@ -11,7 +11,7 @@ namespace {
 
 constexpr PageId kCatalogRootPage = 1;
 constexpr uint32_t kCatalogMagic = 0x43544C47;  // "CTLG"
-constexpr uint32_t kCatalogVersion = 2;  ///< v2 added named meta blobs
+constexpr uint32_t kCatalogVersion = 3;  ///< v2: meta blobs; v3: columnar
 constexpr size_t kChainHeaderBytes = 16;
 constexpr size_t kChainPayloadBytes = kPageCapacity - kChainHeaderBytes;
 
@@ -36,6 +36,11 @@ void AppendU64(std::string* out, uint64_t v) {
 void AppendStr(std::string* out, const std::string& s) {
   AppendU16(out, static_cast<uint16_t>(s.size()));
   out->append(s);
+}
+void AppendF64(std::string* out, double v) {
+  char buf[8];
+  EncodeDouble(buf, v);
+  out->append(buf, 8);
 }
 
 /// Bounds-checked reader over the catalog payload.
@@ -68,6 +73,12 @@ class Reader {
   Result<uint64_t> U64() {
     SEGDIFF_RETURN_IF_ERROR(Need(8));
     uint64_t v = DecodeFixed64(data_ + pos_);
+    pos_ += 8;
+    return v;
+  }
+  Result<double> F64() {
+    SEGDIFF_RETURN_IF_ERROR(Need(8));
+    double v = DecodeDouble(data_ + pos_);
     pos_ += 8;
     return v;
   }
@@ -115,6 +126,22 @@ Status WriteCatalog(BufferPool* pool, const CatalogData& catalog) {
         AppendU16(&payload, static_cast<uint16_t>(column));
       }
       AppendU64(&payload, index.meta_page);
+    }
+    // Columnar segment directory (v3). Zone stats are serialized at the
+    // table's full arity so pruning needs no segment IO after reopen.
+    const size_t ncols = table.schema.num_columns();
+    AppendU32(&payload,
+              static_cast<uint32_t>(table.columnar.segments.size()));
+    for (const ColumnSegmentInfo& segment : table.columnar.segments) {
+      AppendU64(&payload, segment.first_page);
+      AppendU32(&payload, segment.rows);
+      AppendU32(&payload, segment.pages);
+      AppendU64(&payload, segment.encoded_bytes);
+      AppendU32(&payload, segment.nan_mask);
+      for (size_t c = 0; c < ncols; ++c) {
+        AppendF64(&payload, c < segment.min.size() ? segment.min[c] : 0.0);
+        AppendF64(&payload, c < segment.max.size() ? segment.max[c] : -1.0);
+      }
     }
   }
   AppendU32(&payload, static_cast<uint32_t>(catalog.blobs.size()));
@@ -217,6 +244,28 @@ Result<CatalogData> ReadCatalog(BufferPool* pool) {
       }
       SEGDIFF_ASSIGN_OR_RETURN(index.meta_page, reader.U64());
       meta.indexes.push_back(std::move(index));
+    }
+    if (version >= 3) {
+      SEGDIFF_ASSIGN_OR_RETURN(uint32_t nsegments, reader.U32());
+      const size_t seg_cols = meta.schema.num_columns();
+      for (uint32_t s = 0; s < nsegments; ++s) {
+        ColumnSegmentInfo segment;
+        SEGDIFF_ASSIGN_OR_RETURN(segment.first_page, reader.U64());
+        SEGDIFF_ASSIGN_OR_RETURN(segment.rows, reader.U32());
+        SEGDIFF_ASSIGN_OR_RETURN(segment.pages, reader.U32());
+        SEGDIFF_ASSIGN_OR_RETURN(segment.encoded_bytes, reader.U64());
+        SEGDIFF_ASSIGN_OR_RETURN(segment.nan_mask, reader.U32());
+        segment.min.resize(seg_cols);
+        segment.max.resize(seg_cols);
+        for (size_t c = 0; c < seg_cols; ++c) {
+          SEGDIFF_ASSIGN_OR_RETURN(segment.min[c], reader.F64());
+          SEGDIFF_ASSIGN_OR_RETURN(segment.max[c], reader.F64());
+        }
+        meta.columnar.row_count += segment.rows;
+        meta.columnar.page_count += segment.pages;
+        meta.columnar.encoded_bytes += segment.encoded_bytes;
+        meta.columnar.segments.push_back(std::move(segment));
+      }
     }
     tables.push_back(std::move(meta));
   }

@@ -8,11 +8,17 @@
 //              | heap meta (first, last, records, pages: u64 x 4)
 //              | u16 nindexes
 //              | per index: str name | u8 ncols | u16 col_idx... | u64 meta
+//              | u32 nsegments                             (version >= 3)
+//              | per segment: u64 first_page | u32 rows | u32 pages
+//                             | u64 encoded_bytes | u32 nan_mask
+//                             | f64 min, f64 max per column
 //   u32 blob_count                                        (version >= 2)
 //   per blob:  str name | u32 length | bytes
 // where str = u16 length + bytes. Meta blobs are opaque named payloads
 // for engine state that rides along with the catalog — e.g. the ingest
-// pipeline's resumable segmenter/extractor/pair-window state.
+// pipeline's resumable segmenter/extractor/pair-window state. Version 3
+// added the per-table columnar segment directory (the persistent form
+// of ColumnStoreMeta); v1/v2 catalogs read as segment-free.
 
 #ifndef SEGDIFF_STORAGE_CATALOG_H_
 #define SEGDIFF_STORAGE_CATALOG_H_
@@ -23,6 +29,7 @@
 
 #include "common/result.h"
 #include "storage/buffer_pool.h"
+#include "storage/column_page.h"
 #include "storage/heap_file.h"
 #include "storage/record.h"
 
@@ -41,6 +48,7 @@ struct TableMeta {
   TableSchema schema;
   HeapFileMeta heap;
   std::vector<IndexMeta> indexes;
+  ColumnStoreMeta columnar;  ///< empty for pure row-format tables
 };
 
 /// The whole persistent catalog: table metadata plus named meta blobs

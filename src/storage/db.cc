@@ -36,7 +36,7 @@ Result<std::unique_ptr<Database>> Database::Open(
     SEGDIFF_ASSIGN_OR_RETURN(
         std::unique_ptr<Table> table,
         Table::Attach(db->pool_.get(), meta.name, std::move(meta.schema),
-                      meta.heap));
+                      meta.heap, std::move(meta.columnar)));
     for (IndexMeta& index : meta.indexes) {
       SEGDIFF_RETURN_IF_ERROR(table->AttachIndex(
           index.name, std::move(index.key_columns), index.meta_page));
@@ -123,6 +123,9 @@ Status Database::Checkpoint() {
     meta.name = table->name();
     meta.schema = table->schema();
     meta.heap = table->heap_meta();
+    if (table->columnar() != nullptr) {
+      meta.columnar = table->columnar()->meta();
+    }
     for (const TableIndex& index : table->indexes()) {
       IndexMeta index_meta;
       index_meta.name = index.name;
@@ -144,7 +147,8 @@ Status Database::Checkpoint() {
   return pager_->Sync();
 }
 
-Status Database::CompactInto(const std::string& destination_path) {
+Status Database::CompactInto(const std::string& destination_path,
+                             const CompactOptions& compact_options) {
   DatabaseOptions options;
   options.buffer_pool_pages = pool_->capacity();
   options.create_if_missing = true;
@@ -164,12 +168,40 @@ Status Database::CompactInto(const std::string& destination_path) {
     SEGDIFF_ASSIGN_OR_RETURN(Table * copy,
                              fresh->CreateTable(table->name(),
                                                 table->schema()));
-    SEGDIFF_RETURN_IF_ERROR(table->Scan(
-        [&](const char* record, RecordId, bool* keep_going) -> Status {
-          *keep_going = true;
-          Row row = DecodeRow(table->schema(), record);
-          return copy->Insert(row).status();
-        }));
+    if (compact_options.columnar &&
+        ZoneMap::SupportsSchema(table->schema())) {
+      // Row→columnar conversion: buffer encoded records segment by
+      // segment and re-encode each chunk compressed. The final partial
+      // chunk is columnar too — the copy's heap starts empty, ready for
+      // fresh row-format appends.
+      const size_t row_bytes = table->schema().RowBytes();
+      std::vector<char> chunk;
+      chunk.reserve(ColumnStore::kMaxSegmentRows * row_bytes);
+      size_t chunk_rows = 0;
+      SEGDIFF_RETURN_IF_ERROR(table->Scan(
+          [&](const char* record, RecordId, bool* keep_going) -> Status {
+            *keep_going = true;
+            chunk.insert(chunk.end(), record, record + row_bytes);
+            if (++chunk_rows == ColumnStore::kMaxSegmentRows) {
+              SEGDIFF_RETURN_IF_ERROR(
+                  copy->AppendColumnarSegment(chunk.data(), chunk_rows));
+              chunk.clear();
+              chunk_rows = 0;
+            }
+            return Status::OK();
+          }));
+      if (chunk_rows > 0) {
+        SEGDIFF_RETURN_IF_ERROR(
+            copy->AppendColumnarSegment(chunk.data(), chunk_rows));
+      }
+    } else {
+      SEGDIFF_RETURN_IF_ERROR(table->Scan(
+          [&](const char* record, RecordId, bool* keep_going) -> Status {
+            *keep_going = true;
+            Row row = DecodeRow(table->schema(), record);
+            return copy->Insert(row).status();
+          }));
+    }
     for (const TableIndex& index : table->indexes()) {
       std::vector<std::string> columns;
       for (size_t column : index.key_columns) {

@@ -38,6 +38,13 @@ struct DatabaseOptions {
   bool verify_checksums = true;
 };
 
+struct CompactOptions {
+  /// Convert eligible tables (all-double, at most ZoneMap::kMaxColumns
+  /// columns) to compressed columnar segments while compacting. Tables
+  /// with unsupported schemas stay on the row path regardless.
+  bool columnar = true;
+};
+
 /// Aggregate size statistics (paper Section 6 metrics).
 struct DatabaseSizeStats {
   uint64_t data_bytes = 0;   ///< heap pages: "feature size"
@@ -87,12 +94,16 @@ class Database {
   /// Rewrites every table and index into a fresh database file at
   /// `destination_path` (which must not exist), reclaiming the garbage
   /// pages left behind by DeleteWhere rewrites and abandoned extents.
-  /// This database is not modified. Catalog blobs are copied from the
-  /// in-memory map, which owning engines only refresh when they persist
-  /// their state — callers holding a SegDiffIndex/ExhIndex must compact
-  /// through the index's Compact() (or Checkpoint first) so the copied
-  /// ingest blob is consistent with the copied tables.
-  Status CompactInto(const std::string& destination_path);
+  /// With options.columnar (the default), eligible tables are converted
+  /// to compressed columnar segments on the way — the row→columnar
+  /// lifecycle step. This database is not modified. Catalog blobs are
+  /// copied from the in-memory map, which owning engines only refresh
+  /// when they persist their state — callers holding a
+  /// SegDiffIndex/ExhIndex must compact through the index's Compact()
+  /// (or Checkpoint first) so the copied ingest blob is consistent with
+  /// the copied tables.
+  Status CompactInto(const std::string& destination_path,
+                     const CompactOptions& options = CompactOptions());
 
   /// Disables the automatic Checkpoint in the destructor. Engines call
   /// this when their Open fails after the database handle was created:

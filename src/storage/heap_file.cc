@@ -28,17 +28,10 @@ Result<HeapFile> HeapFile::Create(BufferPool* pool, size_t record_bytes) {
   if (record_bytes == 0 || record_bytes > kPageCapacity - kHeaderBytes) {
     return Status::InvalidArgument("record size does not fit a page");
   }
-  HeapFile heap(pool, record_bytes, HeapFileMeta{});
-  SEGDIFF_ASSIGN_OR_RETURN(PageId first, heap.allocator_.Allocate());
-  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool->PinFresh(first));
-  SetPageNext(page.data(), kInvalidPageId);
-  SetPageCount(page.data(), 0);
-  page.MarkDirty();
-  heap.meta_.first_page = first;
-  heap.meta_.last_page = first;
-  heap.meta_.record_count = 0;
-  heap.meta_.page_count = 1;
-  return heap;
+  // The first page (and its extent) is allocated lazily by the first
+  // Append: an empty heap occupies zero pages, so tables whose rows all
+  // live in columnar segments carry no heap slack.
+  return HeapFile(pool, record_bytes, HeapFileMeta{});
 }
 
 Result<HeapFile> HeapFile::Attach(BufferPool* pool, size_t record_bytes,
@@ -46,13 +39,28 @@ Result<HeapFile> HeapFile::Attach(BufferPool* pool, size_t record_bytes,
   if (record_bytes == 0 || record_bytes > kPageCapacity - kHeaderBytes) {
     return Status::InvalidArgument("record size does not fit a page");
   }
-  if (meta.first_page == kInvalidPageId || meta.last_page == kInvalidPageId) {
+  if ((meta.first_page == kInvalidPageId) !=
+      (meta.last_page == kInvalidPageId)) {
     return Status::InvalidArgument("heap file meta has invalid pages");
+  }
+  if (meta.first_page == kInvalidPageId &&
+      (meta.record_count != 0 || meta.page_count != 0)) {
+    return Status::InvalidArgument("pageless heap file meta claims rows");
   }
   return HeapFile(pool, record_bytes, meta);
 }
 
 Result<RecordId> HeapFile::Append(const char* record) {
+  if (meta_.last_page == kInvalidPageId) {
+    SEGDIFF_ASSIGN_OR_RETURN(PageId first, allocator_.Allocate());
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle fresh, pool_->PinFresh(first));
+    SetPageNext(fresh.data(), kInvalidPageId);
+    SetPageCount(fresh.data(), 0);
+    fresh.MarkDirty();
+    meta_.first_page = first;
+    meta_.last_page = first;
+    meta_.page_count = 1;
+  }
   SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(meta_.last_page));
   uint16_t count = PageCount(page.data());
   if (count >= records_per_page_) {

@@ -37,7 +37,9 @@ class HeapFile {
  public:
   static constexpr size_t kHeaderBytes = 16;
 
-  /// Allocates the first page of a fresh heap file.
+  /// Creates a fresh, empty heap file. No pages are allocated until the
+  /// first Append, so empty heaps (fresh tables, fully columnar tables)
+  /// occupy zero file space.
   static Result<HeapFile> Create(BufferPool* pool, size_t record_bytes);
 
   /// Attaches to an existing heap file described by `meta`.

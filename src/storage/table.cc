@@ -30,11 +30,21 @@ Result<std::unique_ptr<Table>> Table::Create(BufferPool* pool,
 Result<std::unique_ptr<Table>> Table::Attach(BufferPool* pool,
                                              std::string name,
                                              TableSchema schema,
-                                             const HeapFileMeta& heap_meta) {
+                                             const HeapFileMeta& heap_meta,
+                                             ColumnStoreMeta columnar) {
   SEGDIFF_ASSIGN_OR_RETURN(
       HeapFile heap, HeapFile::Attach(pool, schema.RowBytes(), heap_meta));
-  return std::unique_ptr<Table>(
+  std::unique_ptr<Table> table(
       new Table(pool, std::move(name), std::move(schema), heap));
+  if (!columnar.segments.empty()) {
+    if (!ZoneMap::SupportsSchema(table->schema_)) {
+      return Status::Corruption(
+          "catalog records columnar segments for an unsupported schema");
+    }
+    table->columnar_ = std::make_unique<ColumnStore>(
+        pool, table->schema_.num_columns(), std::move(columnar));
+  }
+  return table;
 }
 
 Result<IndexKey> Table::MakeKey(const TableIndex& index, const char* record,
@@ -81,7 +91,77 @@ Result<RecordId> Table::InsertDoubles(const std::vector<double>& values) {
 }
 
 Status Table::Scan(const HeapFile::ScanFn& fn) const {
+  if (columnar_ != nullptr) {
+    bool keep_going = true;
+    SEGDIFF_RETURN_IF_ERROR(ScanColumnar(fn, &keep_going));
+    if (!keep_going) {
+      return Status::OK();
+    }
+  }
   return heap_->Scan(fn);
+}
+
+Status Table::ScanColumnar(const HeapFile::ScanFn& fn,
+                           bool* keep_going) const {
+  const size_t ncols = schema_.num_columns();
+  std::vector<double> values;
+  std::vector<char> record(schema_.RowBytes());
+  for (size_t s = 0; s < columnar_->segment_count() && *keep_going; ++s) {
+    SEGDIFF_ASSIGN_OR_RETURN(ColumnSegmentHandle handle,
+                             columnar_->OpenSegment(s));
+    const size_t rows = handle.rows();
+    values.resize(ncols * rows);
+    for (size_t c = 0; c < ncols; ++c) {
+      SEGDIFF_RETURN_IF_ERROR(
+          handle.DecodeColumn(c, values.data() + c * rows));
+    }
+    const PageId first = handle.first_page();
+    for (size_t r = 0; r < rows && *keep_going; ++r) {
+      for (size_t c = 0; c < ncols; ++c) {
+        EncodeDouble(record.data() + c * 8, values[c * rows + r]);
+      }
+      SEGDIFF_RETURN_IF_ERROR(
+          fn(record.data(), RecordId{first, static_cast<uint32_t>(r)},
+             keep_going));
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::AppendColumnarSegment(const char* records, size_t rows) {
+  if (!ZoneMap::SupportsSchema(schema_)) {
+    return Status::NotSupported(
+        "columnar segments require an all-double schema of at most " +
+        std::to_string(ZoneMap::kMaxColumns) + " columns");
+  }
+  if (heap_->meta().record_count != 0) {
+    return Status::InvalidArgument(
+        "columnar segments must precede row-format appends");
+  }
+  if (!indexes_.empty()) {
+    return Status::InvalidArgument(
+        "columnar segments must be appended before indexes exist");
+  }
+  if (columnar_ == nullptr) {
+    columnar_ =
+        std::make_unique<ColumnStore>(pool_, schema_.num_columns());
+  }
+  return columnar_->AppendSegment(records, rows);
+}
+
+Table::FormatBreakdown Table::GetFormatBreakdown() const {
+  FormatBreakdown breakdown;
+  breakdown.row_pages = heap_->meta().page_count;
+  breakdown.row_rows = heap_->meta().record_count;
+  breakdown.row_bytes = heap_->SizeBytes();
+  if (columnar_ != nullptr) {
+    breakdown.columnar_segments = columnar_->segment_count();
+    breakdown.columnar_pages = columnar_->page_count();
+    breakdown.columnar_rows = columnar_->row_count();
+    breakdown.columnar_encoded_bytes = columnar_->encoded_bytes();
+    breakdown.columnar_logical_bytes = columnar_->LogicalBytes();
+  }
+  return breakdown;
 }
 
 Result<std::vector<PageId>> Table::HeapPageIds() const {
@@ -129,11 +209,15 @@ Status Table::EnsureZoneMap() {
 
 Result<Row> Table::ReadRow(RecordId id) const {
   std::vector<char> buf(schema_.RowBytes());
-  SEGDIFF_RETURN_IF_ERROR(heap_->ReadRecord(id, buf.data()));
+  SEGDIFF_RETURN_IF_ERROR(ReadRecord(id, buf.data()));
   return DecodeRow(schema_, buf.data());
 }
 
 Status Table::ReadRecord(RecordId id, char* buf) const {
+  if (columnar_ != nullptr && columnar_->FindSegment(id.page) !=
+                                  ColumnStore::npos) {
+    return columnar_->ReadRow(id, buf);
+  }
   return heap_->ReadRecord(id, buf);
 }
 
@@ -163,8 +247,9 @@ Result<BPlusTree*> Table::CreateIndex(
       BPlusTree::Create(pool_, static_cast<int>(columns.size())));
   index.tree = std::make_unique<BPlusTree>(std::move(tree));
 
-  // Back-fill from existing rows.
-  Status backfill = heap_->Scan(
+  // Back-fill from existing rows — the full table scan, so columnar
+  // rows (with their {segment, row} record ids) are indexed too.
+  Status backfill = Scan(
       [&](const char* record, RecordId rid, bool* keep_going) -> Status {
         *keep_going = true;
         SEGDIFF_ASSIGN_OR_RETURN(IndexKey key, MakeKey(index, record, rid));
@@ -205,8 +290,12 @@ Result<uint64_t> Table::DeleteWhere(const Predicate& predicate) {
   if (ZoneMap::SupportsSchema(schema_)) {
     fresh_map = std::make_unique<ZoneMap>(schema_.num_columns());
   }
-  // Copy survivors into the fresh heap.
-  SEGDIFF_RETURN_IF_ERROR(heap_->Scan(
+  // Copy survivors into the fresh heap. The full table scan covers the
+  // columnar segments too: a delete rewrites the whole table back to
+  // row format (deletes are rare in the feature workload; the next
+  // compaction re-converts), and the superseded segment pages become
+  // file garbage exactly like superseded heap pages.
+  SEGDIFF_RETURN_IF_ERROR(Scan(
       [&](const char* record, RecordId, bool* keep_going) -> Status {
         *keep_going = true;
         if (predicate.Matches(record)) {
@@ -240,6 +329,7 @@ Result<uint64_t> Table::DeleteWhere(const Predicate& predicate) {
     rebuilt.push_back(std::move(index));
   }
   *heap_ = fresh;
+  columnar_.reset();
   zone_map_ = std::move(fresh_map);
   indexes_ = std::move(rebuilt);
   return removed;

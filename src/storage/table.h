@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "index/bplus_tree.h"
 #include "query/predicate.h"
+#include "storage/column_page.h"
 #include "storage/heap_file.h"
 #include "storage/record.h"
 #include "storage/zone_map.h"
@@ -24,7 +25,12 @@ struct TableIndex {
   std::unique_ptr<BPlusTree> tree;
 };
 
-/// Heap-backed table. Insert maintains every index; scans stream the heap.
+/// Table with a dual-format data layout: an optional run of immutable
+/// compressed columnar segments (produced by compaction-time conversion,
+/// holding the oldest rows) followed by the append-only row heap. Insert
+/// maintains every index and always lands in the heap; scans stream the
+/// columnar segments first, then the heap, so visit order is insertion
+/// order regardless of format.
 class Table {
  public:
   /// Creates a fresh table (allocates its heap file).
@@ -32,11 +38,13 @@ class Table {
                                                std::string name,
                                                TableSchema schema);
 
-  /// Attaches to an existing table.
+  /// Attaches to an existing table (plus its columnar portion, if the
+  /// catalog recorded one).
   static Result<std::unique_ptr<Table>> Attach(BufferPool* pool,
                                                std::string name,
                                                TableSchema schema,
-                                               const HeapFileMeta& heap_meta);
+                                               const HeapFileMeta& heap_meta,
+                                               ColumnStoreMeta columnar = {});
 
   const std::string& name() const { return name_; }
   const TableSchema& schema() const { return schema_; }
@@ -47,7 +55,8 @@ class Table {
   /// Hot path for all-double tables: skips Value boxing.
   Result<RecordId> InsertDoubles(const std::vector<double>& values);
 
-  /// Raw scan over encoded records (see HeapFile::Scan).
+  /// Raw scan over encoded records in insertion order: columnar
+  /// segments (materialized row by row), then the heap.
   Status Scan(const HeapFile::ScanFn& fn) const;
 
   /// Heap page ids in storage order (for partitioned parallel scans).
@@ -67,7 +76,32 @@ class Table {
   Result<Row> ReadRow(RecordId id) const;
 
   /// Copies the encoded record at `id` into `buf` (schema().RowBytes()).
+  /// Resolves both heap record ids and columnar ids ({segment first
+  /// page, row index}), so index scans work across both formats.
   Status ReadRecord(RecordId id, char* buf) const;
+
+  /// The table's columnar portion, or nullptr (pure row format).
+  const ColumnStore* columnar() const { return columnar_.get(); }
+
+  /// Appends `rows` row-major encoded records as one compressed
+  /// columnar segment — the compaction-time conversion path. Only legal
+  /// on an all-double schema of at most ZoneMap::kMaxColumns columns,
+  /// before any heap rows or indexes exist (so scan order stays
+  /// insertion order and indexes never miss rows).
+  Status AppendColumnarSegment(const char* records, size_t rows);
+
+  /// Per-format storage accounting for stats/EXPLAIN surfaces.
+  struct FormatBreakdown {
+    uint64_t row_pages = 0;
+    uint64_t row_rows = 0;
+    uint64_t row_bytes = 0;  ///< on-disk heap bytes (pages x page size)
+    uint64_t columnar_segments = 0;
+    uint64_t columnar_pages = 0;
+    uint64_t columnar_rows = 0;
+    uint64_t columnar_encoded_bytes = 0;  ///< compressed payload bytes
+    uint64_t columnar_logical_bytes = 0;  ///< same rows in row format
+  };
+  FormatBreakdown GetFormatBreakdown() const;
 
   /// Adds an empty index over the named columns (all kDouble, at most
   /// kMaxIndexArity) and back-fills it from existing rows.
@@ -109,9 +143,16 @@ class Table {
   void DetachZoneMap() { zone_map_.reset(); }
 
   const std::vector<TableIndex>& indexes() const { return indexes_; }
-  uint64_t row_count() const { return heap_->meta().record_count; }
-  /// Heap bytes only: the paper's "feature size".
-  uint64_t DataSizeBytes() const { return heap_->SizeBytes(); }
+  uint64_t row_count() const {
+    return heap_->meta().record_count +
+           (columnar_ != nullptr ? columnar_->row_count() : 0);
+  }
+  /// Data bytes only (heap + columnar pages): the paper's "feature
+  /// size". Compression shrinks this directly.
+  uint64_t DataSizeBytes() const {
+    return heap_->SizeBytes() +
+           (columnar_ != nullptr ? columnar_->page_count() * kPageSize : 0);
+  }
   /// Index bytes; data + index = the paper's "disk size".
   uint64_t IndexSizeBytes() const;
   const HeapFileMeta& heap_meta() const { return heap_->meta(); }
@@ -123,10 +164,15 @@ class Table {
   Result<IndexKey> MakeKey(const TableIndex& index, const char* record,
                            RecordId rid) const;
 
+  /// Visits the columnar rows in segment order (clears *keep_going on
+  /// early stop, like HeapFile::Scan's callback contract).
+  Status ScanColumnar(const HeapFile::ScanFn& fn, bool* keep_going) const;
+
   BufferPool* pool_;
   std::string name_;
   TableSchema schema_;
   std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<ColumnStore> columnar_;
   std::unique_ptr<ZoneMap> zone_map_;
   std::vector<TableIndex> indexes_;
   std::vector<char> encode_buf_;

@@ -280,9 +280,13 @@ TEST_F(EngineTest, AggregatesAndExplain) {
 
   // EXPLAIN reports the plan without executing.
   QueryResult plan = MustExecute("EXPLAIN SELECT * FROM g WHERE a <= 2");
-  ASSERT_EQ(plan.row_labels.size(), 4u);
+  ASSERT_EQ(plan.row_labels.size(), 7u);
   EXPECT_NE(plan.row_labels[1].find("index_scan(ia)"), std::string::npos);
   EXPECT_NE(plan.row_labels[3].find("zone map:"), std::string::npos);
+  EXPECT_NE(plan.row_labels[4].find("format: row pages="), std::string::npos);
+  // A pure row store reports no compression and no segment directory.
+  EXPECT_NE(plan.row_labels[5].find("compression: none"), std::string::npos);
+  EXPECT_NE(plan.row_labels[6].find("segment dir: none"), std::string::npos);
   plan = MustExecute("EXPLAIN SELECT * FROM g WHERE b >= 5");
   EXPECT_NE(plan.row_labels[1].find("seq_scan"), std::string::npos);
   EXPECT_TRUE(

@@ -336,8 +336,23 @@ TEST_F(ZoneMapStoreTest, SurvivesCompaction) {
   ASSERT_TRUE(compacted.ok());
   auto table = (*compacted)->GetTable("f");
   ASSERT_TRUE(table.ok());
+  // Compaction converts the rows to columnar segments: the zone map
+  // covers only the (now empty) row-format heap tail, and the segment
+  // directory carries equivalent zone statistics for pruning.
+  ASSERT_NE((*table)->columnar(), nullptr);
+  EXPECT_EQ((*table)->columnar()->row_count(), (*table)->row_count());
   ASSERT_NE((*table)->zone_map(), nullptr);
-  EXPECT_EQ((*table)->zone_map()->total_rows(), (*table)->row_count());
+  EXPECT_EQ((*table)->zone_map()->total_rows(),
+            (*table)->heap_meta().record_count);
+  const ColumnarSurvey all = SurveyColumnarSegments(
+      *(*table)->columnar(), std::vector<ColumnCondition>{});
+  EXPECT_EQ(all.rows_total, (*table)->row_count());
+  EXPECT_EQ(all.segments_surviving, all.segments_total);
+  // A predicate outside every segment's range prunes everything.
+  std::vector<ColumnCondition> impossible{{0, CmpOp::kGt, 1e18}};
+  const ColumnarSurvey none =
+      SurveyColumnarSegments(*(*table)->columnar(), impossible);
+  EXPECT_EQ(none.segments_surviving, 0u);
   EXPECT_EQ(Query(*table), expect);
   compacted->reset();
   std::remove(compact_path.c_str());

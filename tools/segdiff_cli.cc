@@ -341,6 +341,32 @@ int CmdStats(const Flags& flags) {
               static_cast<unsigned long long>(sizes.segment_dir_bytes));
   std::printf("  file bytes:    %llu\n",
               static_cast<unsigned long long>(sizes.file_bytes));
+  // Per-table page-format breakdown: compacted stores keep their
+  // feature rows in compressed columnar segments; uncompacted (or
+  // still-ingesting) tables are pure row format.
+  std::printf("  tables (row pages / columnar segments):\n");
+  for (const auto& table : (*store)->db()->tables()) {
+    const Table::FormatBreakdown b = table->GetFormatBreakdown();
+    std::printf("    %-14s row: %llu pages, %llu rows", table->name().c_str(),
+                static_cast<unsigned long long>(b.row_pages),
+                static_cast<unsigned long long>(b.row_rows));
+    if (b.columnar_segments > 0) {
+      const double ratio =
+          b.columnar_encoded_bytes > 0
+              ? static_cast<double>(b.columnar_logical_bytes) /
+                    static_cast<double>(b.columnar_encoded_bytes)
+              : 0.0;
+      std::printf(
+          "; columnar: %llu segments, %llu pages, %llu rows, "
+          "%llu -> %llu bytes (%.2fx)",
+          static_cast<unsigned long long>(b.columnar_segments),
+          static_cast<unsigned long long>(b.columnar_pages),
+          static_cast<unsigned long long>(b.columnar_rows),
+          static_cast<unsigned long long>(b.columnar_logical_bytes),
+          static_cast<unsigned long long>(b.columnar_encoded_bytes), ratio);
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 
