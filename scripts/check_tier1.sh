@@ -7,13 +7,19 @@
 #      a 50 ms deadline through segdiff_cli — every one must reach a
 #      terminal status (deadline-exceeded or success), proving a slow
 #      query cannot wedge the store
-#   3. an AddressSanitizer build running the streaming-ingest and storage
+#   3. a WAL recovery smoke: kill -9 a CLI ingest mid-append, then prove
+#      the store reopens with everything it had acknowledged before the
+#      crash and passes a full checksum + log scrub
+#   4. an AddressSanitizer build running the streaming-ingest and storage
 #      suites (the subsystems that serialize/restore raw state blobs)
 #      plus the `faults` and `governance` ctest groups (crash-recovery,
 #      fault injection, and cancellation — the error paths that exercise
 #      partially-initialized and partially-released state)
+#   5. a ThreadSanitizer build running the `concurrency` ctest group
+#      (snapshot reads racing WAL-backed ingest, admission control,
+#      cooperative cancellation)
 #
-# Usage: scripts/check_tier1.sh [--no-asan]
+# Usage: scripts/check_tier1.sh [--no-asan]   (skips both sanitizer runs)
 # Exits non-zero on the first failing step.
 #
 # SEGDIFF_FAULT_SEED varies the crash-matrix fault schedule (see
@@ -105,6 +111,41 @@ fi
 echo "governance smoke: all 8 concurrent deadline queries terminal"
 rm -rf "${GOV_WORK}"
 
+echo "== tier-1: WAL recovery smoke (kill -9 mid-ingest, reopen, scrub) =="
+WAL_WORK="build/wal_smoke"
+rm -rf "${WAL_WORK}"; mkdir -p "${WAL_WORK}"
+./build/tools/segdiff_cli generate --out "${WAL_WORK}/base.csv" --days 10
+./build/tools/segdiff_cli generate --out "${WAL_WORK}/tail.csv" --days 20 \
+  --start-day 11
+./build/tools/segdiff_cli build --csv "${WAL_WORK}/base.csv" \
+  --db "${WAL_WORK}/store.db" --eps 0.05 --wal-window-ms 1
+BASE_SEGMENTS="$(./build/tools/segdiff_cli stats --db "${WAL_WORK}/store.db" \
+  | awk '/segments:/ {print $2}')"
+# Pull the power mid-append. Wherever the kill lands — before the open,
+# mid-group-commit, or after completion — the store must reopen, keep
+# every observation it held at build time, and scrub clean.
+./build/tools/segdiff_cli append --csv "${WAL_WORK}/tail.csv" \
+  --db "${WAL_WORK}/store.db" --wal-window-ms 1 \
+  > "${WAL_WORK}/append.out" 2>&1 &
+WAL_PID="$!"
+sleep 2
+kill -9 "${WAL_PID}" 2>/dev/null || true
+wait "${WAL_PID}" 2>/dev/null || true
+# stats reopens the store, which replays the log tail (recovery).
+WAL_STATS="$(./build/tools/segdiff_cli stats --db "${WAL_WORK}/store.db")"
+echo "${WAL_STATS}"
+AFTER_SEGMENTS="$(echo "${WAL_STATS}" | awk '/segments:/ {print $2}')"
+if [[ -z "${AFTER_SEGMENTS}" || "${AFTER_SEGMENTS}" -lt "${BASE_SEGMENTS}" ]]
+then
+  echo "wal smoke: segments dropped from ${BASE_SEGMENTS} to" \
+       "${AFTER_SEGMENTS:-none} across the crash"
+  exit 1
+fi
+./build/tools/segdiff_cli verify --db "${WAL_WORK}/store.db" --scrub
+echo "wal smoke: recovered (${BASE_SEGMENTS} -> ${AFTER_SEGMENTS} segments)," \
+     "scrub clean"
+rm -rf "${WAL_WORK}"
+
 if [[ "${RUN_ASAN}" == "1" ]]; then
   echo "== asan: configure + build (streaming + storage + fault suites) =="
   cmake -B build-asan -S . -DSEGDIFF_SANITIZE=address >/dev/null
@@ -117,6 +158,18 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   echo "== asan: fault + governance groups (ctest -L) =="
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
     -L 'faults|governance')
+
+  echo "== tsan: configure + build (concurrency + faults + governance) =="
+  cmake -B build-tsan -S . -DSEGDIFF_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target \
+    thread_pool_test buffer_pool_concurrency_test parallel_query_test \
+    fault_injection_test governance_test
+  echo "== tsan: run =="
+  # -L takes a regex: one pass over the threading suites plus the
+  # fault-injection and governance groups (snapshot reads racing
+  # WAL-backed ingest, admission control, cooperative cancellation).
+  (cd build-tsan && ctest --output-on-failure -j "${JOBS}" \
+    -L 'concurrency|faults|governance')
 fi
 
 echo "== check_tier1: all green =="

@@ -63,10 +63,14 @@ DiskSim DiskSim::FromEnv() {
 std::string BenchDbPath(const std::string& name) {
   const std::string dir = GetEnvString("TMPDIR", "/tmp");
   std::string path = dir + "/segdiff_bench_" + name + ".db";
-  std::remove(path.c_str());
+  RemoveBenchDb(path);
   return path;
 }
 
-void RemoveBenchDb(const std::string& path) { std::remove(path.c_str()); }
+void RemoveBenchDb(const std::string& path) {
+  std::remove(path.c_str());
+  // WAL-enabled stores keep a sidecar log beside the database file.
+  std::remove((path + ".wal").c_str());
+}
 
 }  // namespace segdiff

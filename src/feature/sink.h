@@ -23,6 +23,16 @@
 // Implementations persist their pending state (open segment, pair
 // windows) into the store on Checkpoint/close, so a reopened store
 // resumes appending exactly where it left off.
+//
+// Durability (WAL-backed stores): AppendObservation logs the
+// observation to the write-ahead log before touching any table, and
+// FlushPending closes the group-commit window — once FlushPending
+// returns OK, every observation appended so far survives a crash
+// (acknowledged means durable). Recovery replays the logged
+// observations through the same pipeline, so a crash between flushes
+// loses at most the tail after the last group commit. Appends and
+// flushes may run concurrently with searches: each search reads a
+// point-in-time snapshot taken on an append boundary.
 
 #ifndef SEGDIFF_FEATURE_SINK_H_
 #define SEGDIFF_FEATURE_SINK_H_

@@ -141,7 +141,7 @@ Result<BPlusTree> BPlusTree::Attach(BufferPool* pool, PageId meta_page) {
 }
 
 Status BPlusTree::PersistMeta() {
-  SEGDIFF_ASSIGN_OR_RETURN(PageHandle meta, pool_->Fetch(meta_page_));
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle meta, pool_->FetchMut(meta_page_));
   char* d = meta.data();
   EncodeFixed32(d, kTreeMagic);
   EncodeFixed32(d + 4, static_cast<uint32_t>(arity_));
@@ -155,7 +155,10 @@ Status BPlusTree::PersistMeta() {
 
 Result<BPlusTree::SplitResult> BPlusTree::InsertInto(PageId node_id,
                                                      const IndexKey& key) {
-  SEGDIFF_ASSIGN_OR_RETURN(PageHandle node, pool_->Fetch(node_id));
+  // FetchMut even on the internal-descent path (which only reads): the
+  // copy-on-write redirect for an unchanged page is harmless, and the
+  // leaf/split paths below do mutate.
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle node, pool_->FetchMut(node_id));
   char* d = node.data();
   const uint16_t count = NodeCount(d);
   const size_t key_bytes = KeyBytes();
@@ -247,7 +250,7 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertInto(PageId node_id,
   }
 
   // Insert (separator, right_page) into this node at position lo.
-  SEGDIFF_ASSIGN_OR_RETURN(PageHandle again, pool_->Fetch(node_id));
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle again, pool_->FetchMut(node_id));
   char* ad = again.data();
   const uint16_t acount = NodeCount(ad);
   char* abase = ad + kNodeHeaderBytes;
@@ -359,18 +362,27 @@ Status BPlusTree::Delete(const IndexKey& key) {
     const uint16_t count = NodeCount(d);
     char* base = d + kNodeHeaderBytes;
     if (NodeIsLeaf(d)) {
+      // Re-fetch the leaf through the mutating path so a live snapshot
+      // gets its pre-image before the removal below; the read handle
+      // must be released first (its buffer pointer would go stale once
+      // the copy-on-write redirect swaps the frame's buffer).
+      node.Release();
+      SEGDIFF_ASSIGN_OR_RETURN(PageHandle leaf, pool_->FetchMut(node_id));
+      char* ld = leaf.data();
+      const uint16_t lcount = NodeCount(ld);
+      char* lbase = ld + kNodeHeaderBytes;
       size_t lo = 0;
-      size_t hi = count;
+      size_t hi = lcount;
       while (lo < hi) {
         const size_t mid = (lo + hi) / 2;
-        const IndexKey probe = DecodeKey(base + mid * key_bytes);
+        const IndexKey probe = DecodeKey(lbase + mid * key_bytes);
         const int cmp = IndexKey::Compare(probe, key, arity_);
         if (cmp == 0) {
-          char* at = base + mid * key_bytes;
-          std::memmove(at, at + key_bytes, (count - mid - 1) * key_bytes);
-          SetNodeCount(d, static_cast<uint16_t>(count - 1));
-          node.MarkDirty();
-          node.Release();
+          char* at = lbase + mid * key_bytes;
+          std::memmove(at, at + key_bytes, (lcount - mid - 1) * key_bytes);
+          SetNodeCount(ld, static_cast<uint16_t>(lcount - 1));
+          leaf.MarkDirty();
+          leaf.Release();
           --entry_count_;
           return PersistMeta();
         }
@@ -400,13 +412,14 @@ Status BPlusTree::Delete(const IndexKey& key) {
 }
 
 BPlusTree::Iterator::Iterator(const BPlusTree* tree, PageId leaf,
-                              uint16_t slot)
-    : tree_(tree), leaf_(leaf), slot_(slot) {}
+                              uint16_t slot, const PoolSnapshot* snap)
+    : tree_(tree), leaf_(leaf), slot_(slot), snap_(snap) {}
 
 Status BPlusTree::Iterator::LoadCurrent() {
   valid_ = false;
   while (leaf_ != kInvalidPageId) {
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, tree_->pool_->Fetch(leaf_));
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page,
+                             tree_->pool_->Fetch(leaf_, snap_));
     const uint16_t count = NodeCount(page.data());
     if (slot_ < count) {
       key_ = tree_->DecodeKey(page.data() + kNodeHeaderBytes +
@@ -429,12 +442,23 @@ Status BPlusTree::Iterator::Next() {
   return LoadCurrent();
 }
 
-Result<BPlusTree::Iterator> BPlusTree::Seek(const IndexKey& lower) const {
+Result<BPlusTree::Iterator> BPlusTree::Seek(const IndexKey& lower,
+                                            const PoolSnapshot* snap) const {
   PageId node_id = root_;
+  if (snap != nullptr) {
+    // The in-memory root may already be ahead of the snapshot (inserts
+    // grow the tree upward); the snapshot's version of the metadata
+    // page records the root as of the snapshot epoch.
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle meta, pool_->Fetch(meta_page_, snap));
+    if (DecodeFixed32(meta.data()) != kTreeMagic) {
+      return Status::Corruption("bad B+tree meta magic in snapshot");
+    }
+    node_id = DecodeFixed64(meta.data() + 8);
+  }
   const size_t key_bytes = KeyBytes();
   const size_t entry_bytes = InternalEntryBytes();
   for (;;) {
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle node, pool_->Fetch(node_id));
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle node, pool_->Fetch(node_id, snap));
     const char* d = node.data();
     const uint16_t count = NodeCount(d);
     const char* base = d + kNodeHeaderBytes;
@@ -450,7 +474,7 @@ Result<BPlusTree::Iterator> BPlusTree::Seek(const IndexKey& lower) const {
           hi = mid;
         }
       }
-      Iterator it(this, node_id, static_cast<uint16_t>(lo));
+      Iterator it(this, node_id, static_cast<uint16_t>(lo), snap);
       node.Release();
       SEGDIFF_RETURN_IF_ERROR(it.LoadCurrent());
       return it;

@@ -32,6 +32,8 @@
 
 namespace segdiff {
 
+class PoolSnapshot;
+
 /// Maximum number of double components in a key.
 constexpr int kMaxIndexArity = 4;
 
@@ -78,18 +80,26 @@ class BPlusTree {
 
    private:
     friend class BPlusTree;
-    Iterator(const BPlusTree* tree, PageId leaf, uint16_t slot);
+    Iterator(const BPlusTree* tree, PageId leaf, uint16_t slot,
+             const PoolSnapshot* snap);
     Status LoadCurrent();
 
     const BPlusTree* tree_ = nullptr;
     PageId leaf_ = kInvalidPageId;
     uint16_t slot_ = 0;
     bool valid_ = false;
+    const PoolSnapshot* snap_ = nullptr;  ///< non-owning; see Seek
     IndexKey key_;
   };
 
-  /// Positions at the first key >= `lower`.
-  Result<Iterator> Seek(const IndexKey& lower) const;
+  /// Positions at the first key >= `lower`. A non-null `snap` pins the
+  /// scan to that pool snapshot: the descent starts from the root
+  /// recorded in the snapshot's version of the metadata page (rewritten
+  /// by every insert, so its pre-image is snapshot-consistent) and every
+  /// node page reads through the snapshot. The snapshot must outlive the
+  /// returned iterator.
+  Result<Iterator> Seek(const IndexKey& lower,
+                        const PoolSnapshot* snap = nullptr) const;
 
   /// Positions at the smallest key.
   Result<Iterator> SeekFirst() const;

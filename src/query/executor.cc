@@ -7,9 +7,22 @@
 
 #include "common/coding.h"
 #include "query/scan_kernel.h"
+#include "storage/snapshot.h"
 
 namespace segdiff {
 namespace {
+
+/// The zone map a scan should prune with: the frozen copy when reading
+/// a snapshot (the live map keeps moving under concurrent ingest), the
+/// table's live map otherwise.
+const ZoneMap* ResolveZoneMap(const Table& table,
+                              const SeqScanOptions& options) {
+  if (options.snapshot != nullptr) {
+    const TableSnapshotView* view = options.snapshot->TableView(table.name());
+    return view != nullptr ? view->zone_map.get() : nullptr;
+  }
+  return table.zone_map();
+}
 
 /// Per-scan (per-partition, under ParallelSeqScan) page evaluator.
 /// Both modes walk identical pages and count identically, so serial,
@@ -29,7 +42,7 @@ class PageEvaluator {
         kernel_(ActiveScanKernel()),
         column_compare_(ActiveColumnCompare()),
         zone_map_(options.prune && !predicate.conditions().empty()
-                      ? table.zone_map()
+                      ? ResolveZoneMap(table, options)
                       : nullptr),
         ctx_(options.context) {}
 
@@ -292,7 +305,8 @@ Status SeqScan(const Table& table, const Predicate& predicate,
         [&](PageId page, const char* records, uint16_t count,
             bool* keep_going) -> Status {
           return evaluator.Evaluate(page, records, count, keep_going);
-        });
+        },
+        options.snapshot);
   }
   if (stats != nullptr) {
     stats->Add(evaluator.stats());
@@ -309,6 +323,7 @@ struct ScanPartition {
   size_t seg_begin = 0;
   size_t seg_end = 0;  ///< exclusive
   std::vector<PageId> pages;
+  size_t heap_first = 0;  ///< heap index of pages[0] (tail-count math)
 };
 
 }  // namespace
@@ -321,7 +336,8 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
     // Degenerate case: one partition is just a serial scan.
     return SeqScan(table, predicate, make_sink(0), stats, options);
   }
-  SEGDIFF_ASSIGN_OR_RETURN(std::vector<PageId> pages, table.HeapPageIds());
+  SEGDIFF_ASSIGN_OR_RETURN(std::vector<PageId> pages,
+                           table.HeapPageIds(options.snapshot));
   const ColumnStore* columnar = table.columnar();
   const size_t num_segments =
       columnar != nullptr ? columnar->segment_count() : 0;
@@ -356,8 +372,11 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
       advance(std::max<uint32_t>(columnar->meta().segments[s].pages, 1),
               s + 1);
     }
-    for (PageId page : pages) {
-      partitions[p].pages.push_back(page);
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (partitions[p].pages.empty()) {
+        partitions[p].heap_first = i;
+      }
+      partitions[p].pages.push_back(pages[i]);
       advance(1, num_segments);
     }
   }
@@ -377,11 +396,12 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
         }
         if (status.ok()) {
           status = table.ScanPagesData(
-              part.pages,
+              part.pages, part.heap_first,
               [&](PageId page, const char* records, uint16_t count,
                   bool* keep_going) -> Status {
                 return evaluator.Evaluate(page, records, count, keep_going);
-              });
+              },
+              options.snapshot);
         }
         partition_stats[p] = evaluator.stats();
         return status;
@@ -402,7 +422,10 @@ Status IndexScan(const Table& table, const IndexScanSpec& spec,
   }
   ScanStats local;
   std::vector<char> record(table.schema().RowBytes());
-  SEGDIFF_ASSIGN_OR_RETURN(BPlusTree::Iterator it, spec.index->Seek(spec.lower));
+  const PoolSnapshot* pool_snap =
+      spec.snapshot != nullptr ? spec.snapshot->pool_snapshot() : nullptr;
+  SEGDIFF_ASSIGN_OR_RETURN(BPlusTree::Iterator it,
+                           spec.index->Seek(spec.lower, pool_snap));
   while (it.Valid()) {
     const IndexKey& key = it.key();
     ++local.index_entries_scanned;
@@ -417,8 +440,8 @@ Status IndexScan(const Table& table, const IndexScanSpec& spec,
     }
     if (!spec.key_filter || spec.key_filter(key)) {
       ++local.heap_fetches;
-      SEGDIFF_RETURN_IF_ERROR(
-          table.ReadRecord(RecordId::Unpack(key.rid), record.data()));
+      SEGDIFF_RETURN_IF_ERROR(table.ReadRecord(RecordId::Unpack(key.rid),
+                                               record.data(), spec.snapshot));
       if (residual.Matches(record.data())) {
         ++local.rows_matched;
         SEGDIFF_RETURN_IF_ERROR(

@@ -16,6 +16,8 @@
 
 namespace segdiff {
 
+class DatabaseSnapshot;
+
 /// Execution counters, reported by both executors. Columnar segments
 /// count under the same fields (a pruned segment adds its page span to
 /// pages_pruned and its rows to rows_pruned), so row-format and
@@ -65,6 +67,13 @@ struct SeqScanOptions {
   /// a cancel/deadline stops the scan within one page of work; partial
   /// state (page pins, partition sinks) unwinds through the Status path.
   const QueryContext* context = nullptr;
+  /// Point-in-time view to scan (non-owning; must outlive the scan).
+  /// Null scans the live table. With a snapshot, the heap walk, the
+  /// page bytes, and the zone map all come from the frozen view, so a
+  /// scan concurrent with ingest sees exactly the rows present at
+  /// Database::CreateSnapshot() — columnar segments are immutable and
+  /// are read directly either way.
+  const DatabaseSnapshot* snapshot = nullptr;
 };
 
 /// Full-table scan applying `predicate` to every record: the table's
@@ -110,6 +119,9 @@ struct IndexScanSpec {
   /// Governance check point (may be null), consulted every
   /// kGovernanceCheckInterval index entries during the range walk.
   const QueryContext* context = nullptr;
+  /// Point-in-time view (see SeqScanOptions::snapshot): the B+-tree
+  /// descent and the heap fetches both read through the snapshot.
+  const DatabaseSnapshot* snapshot = nullptr;
 };
 
 Status IndexScan(const Table& table, const IndexScanSpec& spec,

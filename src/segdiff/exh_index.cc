@@ -8,6 +8,8 @@
 #include "query/planner.h"
 #include "query/predicate.h"
 #include "query/scan_kernel.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace segdiff {
 namespace {
@@ -34,9 +36,10 @@ Result<std::unique_ptr<ExhIndex>> ExhIndex::Open(const std::string& path,
   if (!status.ok()) {
     // A failed open must not mutate the store: the destructor will not
     // save (default/partial) ingest state over the persisted blob, and
-    // the database handle must not checkpoint the catalog on close.
+    // abandoning the database handle discards its dirty pages instead
+    // of checkpointing them on close.
     if (index->db_ != nullptr) {
-      index->db_->set_checkpoint_on_close(false);
+      index->db_->Abandon();
     }
     return status;
   }
@@ -51,6 +54,11 @@ Status ExhIndex::OpenImpl(const std::string& path) {
   db_options.sim_random_read_ns = options_.sim_random_read_ns;
   db_options.vfs = options_.vfs;
   db_options.verify_checksums = options_.verify_checksums;
+  db_options.wal = options_.wal;
+  db_options.wal_group_commit_ms = options_.wal_group_commit_ms;
+  // Appends log the observation itself as the redo record; the pair
+  // rows derived from it are re-derived on replay, not logged.
+  db_options.wal_observation_log = true;
   SEGDIFF_ASSIGN_OR_RETURN(db_, Database::Open(path, db_options));
   if (db_->tables().empty()) {
     SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema,
@@ -64,7 +72,33 @@ Status ExhIndex::OpenImpl(const std::string& path) {
     SEGDIFF_ASSIGN_OR_RETURN(table_, db_->GetTable("exh"));
     options_.build_index = !table_->indexes().empty();
   }
-  return RestoreIngestState();
+  SEGDIFF_RETURN_IF_ERROR(RestoreIngestState());
+  return DrainRecoveredOps();
+}
+
+Status ExhIndex::DrainRecoveredOps() {
+  if (!db_->HasRecoveredOps()) {
+    return Status::OK();
+  }
+  std::vector<WalRecord> ops = db_->TakeRecoveredOps();
+  // Replay through the normal append path, suspended so nothing is
+  // logged twice; see SegDiffIndex::DrainRecoveredOps for why already-
+  // absorbed observations are skipped rather than treated as errors.
+  // kFlush is a no-op for Exh: pairs materialize eagerly on append.
+  Wal::Suspend suspend(db_->wal());
+  for (const WalRecord& op : ops) {
+    if (op.type == WalRecordType::kFlush) {
+      continue;
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(WalObservation obs,
+                             DecodeWalObservation(op.payload));
+    Status status = AppendObservation(obs.t, obs.v);
+    if (status.IsInvalidArgument()) {
+      continue;  // already absorbed before the crash
+    }
+    SEGDIFF_RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
 }
 
 ExhIndex::~ExhIndex() {
@@ -77,11 +111,17 @@ ExhIndex::~ExhIndex() {
 }
 
 Status ExhIndex::AppendObservation(double t, double v) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   // window_ persists across calls (and reopens): an append boundary must
   // not lose the pairs between the retained tail and this observation.
   if (!window_.empty() && t <= window_.back().t) {
     return Status::InvalidArgument(
         "chunked ingest requires strictly increasing time stamps");
+  }
+  // WAL before data: the observation is the redo record for every pair
+  // row inserted below (a sticky log failure surfaces at the sync).
+  if (db_->wal() != nullptr) {
+    (void)db_->wal()->AppendObservation(t, v);
   }
   while (!window_.empty() && t - window_.front().t > options_.window_s) {
     window_.pop_front();
@@ -96,6 +136,22 @@ Status ExhIndex::AppendObservation(double t, double v) {
   return Status::OK();
 }
 
+Status ExhIndex::FlushPending() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  Wal* wal = db_->wal();
+  if (wal == nullptr) {
+    return Status::OK();  // every pair row is already in the table
+  }
+  // Exh has no buffered pending state, so the marker only delimits the
+  // replay boundary; the sync is the durability point (acknowledged
+  // means durable). State is saved first so an auto-checkpoint (which
+  // truncates the log) leaves a consistent resume point.
+  SEGDIFF_RETURN_IF_ERROR(wal->AppendFlushMarker().status());
+  SaveIngestState();
+  SEGDIFF_RETURN_IF_ERROR(wal->Sync());
+  return db_->MaybeAutoCheckpoint();
+}
+
 void ExhIndex::SaveIngestState() {
   ByteWriter w;
   w.U32(kIngestStateMagic);
@@ -107,6 +163,10 @@ void ExhIndex::SaveIngestState() {
     w.F64(sample.t);
     w.F64(sample.v);
   }
+  // Suspended: the blob reaches the catalog only via Checkpoint (see
+  // SegDiffIndex::SaveIngestState — a WAL-logged blob would make
+  // recovery skip re-deriving rows that reverted with the data file).
+  Wal::Suspend suspend(db_->wal());
   db_->PutMeta(kIngestStateKey, w.Take());
 }
 
@@ -210,9 +270,19 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
                                  : admission_.ClampThreads(
                                        options.num_threads);
 
+  // Freeze the point-in-time view the whole search reads. Created under
+  // ingest_mu_ so it lands on an append boundary: it sees exactly the
+  // pair rows of the first snapshot_observations observations.
+  DatabaseSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    snapshot = db_->CreateSnapshot();
+    local.snapshot_observations = observations_;
+  }
+
   std::vector<ExhEvent> events;
-  Status run =
-      SearchScan(drop, T, V, options, num_threads, ctx, &events, &local);
+  Status run = SearchScan(drop, T, V, options, num_threads, ctx, snapshot,
+                          &events, &local);
 
   bool truncated = false;
   if (!run.ok()) {
@@ -245,6 +315,7 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
 Status ExhIndex::SearchScan(bool drop, double T, double V,
                             const SearchOptions& options, size_t num_threads,
                             const QueryContext& ctx,
+                            const DatabaseSnapshot& snapshot,
                             std::vector<ExhEvent>* events,
                             SearchStats* local) {
   MemoryBudget* budget = ctx.budget;
@@ -262,16 +333,25 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
   };
 
   // Zone maps feed both the pruned sequential scan and the kAuto cost
-  // model; legacy stores build theirs here, once (serialized for
-  // concurrent first searches).
+  // model; legacy stores build theirs here, once. The attach mutates the
+  // live table, so writers are excluded too (ingest_mu_ before lazy_mu_)
+  // — the map becomes visible to later snapshots; this search's
+  // (earlier) snapshot scans unpruned, which is correct, just slower.
   {
+    std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
     std::lock_guard<std::mutex> lock(lazy_mu_);
     SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(table_->EnsureZoneMap(),
                                                 "the exh pair table"));
   }
 
+  const TableSnapshotView* snap_view = snapshot.TableView(table_->name());
+  if (snap_view == nullptr) {
+    return Status::Internal("snapshot is missing the exh pair table");
+  }
+
   SeqScanOptions scan_options;
   scan_options.context = &ctx;
+  scan_options.snapshot = &snapshot;
 
   Predicate predicate;
   predicate.And(0, CmpOp::kLe, T);
@@ -279,15 +359,18 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
 
   QueryMode mode = options.mode;
   if (mode == QueryMode::kAuto) {
-    const ZoneMap* zone_map = table_->zone_map();
+    // Plan from the snapshot's statistics, not the live table's — the
+    // scan below reads the snapshot, so the cost model must describe it.
+    const ZoneMap* zone_map = snap_view->zone_map.get();
     const ColumnStore* columnar = table_->columnar();
     if (!options_.build_index || zone_map == nullptr) {
       mode = QueryMode::kSeqScan;
     } else {
       const ZoneSurvey survey = SurveyZones(*zone_map, predicate.conditions());
       TableStatsView view;
-      view.row_count = table_->row_count();
-      view.pages_total = table_->heap_meta().page_count;
+      view.row_count = snap_view->heap_meta.record_count +
+                       (columnar != nullptr ? columnar->row_count() : 0);
+      view.pages_total = snap_view->heap_meta.page_count;
       view.pages_after_pruning =
           survey.zones_surviving + (view.pages_total > survey.zones_total
                                         ? view.pages_total - survey.zones_total
@@ -392,6 +475,7 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
   SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree, table_->GetIndex("ptdv"));
   IndexScanSpec spec;
   spec.context = &ctx;
+  spec.snapshot = &snapshot;
   spec.index = tree;
   spec.lower = IndexKey::LowerBound({-kInf, -kInf});
   spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
@@ -404,16 +488,19 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
 }
 
 Status ExhIndex::Checkpoint() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   SaveIngestState();
   return db_->Checkpoint();
 }
 
 Status ExhIndex::Compact(const std::string& destination_path) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   SaveIngestState();  // the copied ingest blob must reflect the table
   return db_->CompactInto(destination_path);
 }
 
 Status ExhIndex::DropCaches() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   SaveIngestState();
   return db_->DropCaches();
 }

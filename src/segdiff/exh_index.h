@@ -38,6 +38,10 @@ struct ExhOptions {
   Vfs* vfs = nullptr;
   /// Verify page checksums on read (see DatabaseOptions).
   bool verify_checksums = true;
+  /// Write-ahead logging (see SegDiffOptions::wal).
+  bool wal = true;
+  /// Group-commit window in ms (see SegDiffOptions::wal_group_commit_ms).
+  int64_t wal_group_commit_ms = -1;
   /// Admission-control limits for this store's query entry points.
   AdmissionOptions admission;
 };
@@ -73,11 +77,16 @@ class ExhIndex : public FeatureSink {
 
   /// Appends one observation: inserts a (dt, dv, t) row for every
   /// retained earlier sample within the window. Rows are immediately
-  /// searchable; there is no buffered pending state.
+  /// searchable; there is no buffered pending state. In WAL mode the
+  /// observation is logged first and acknowledged durable at the next
+  /// group commit. Safe to call concurrently with searches.
   Status AppendObservation(double t, double v) override;
 
-  /// No-op: Exh materializes every pair eagerly in AppendObservation.
-  Status FlushPending() override { return Status::OK(); }
+  /// Exh materializes every pair eagerly in AppendObservation, so this
+  /// only enforces the durability boundary: in WAL mode it closes the
+  /// group-commit window (acknowledged means durable) and may
+  /// auto-checkpoint a grown log.
+  Status FlushPending() override;
 
   /// Appends all within-window pairs of `series`. May be called
   /// repeatedly with later series chunks (time stamps must keep
@@ -124,12 +133,17 @@ class ExhIndex : public FeatureSink {
   Result<std::vector<ExhEvent>> Search(bool drop, double T, double V,
                                        const SearchOptions& options,
                                        SearchStats* stats);
-  /// Plans and runs the single range query, appending raw matches to
-  /// `events` (kept on a budget breach for the shell's truncation path).
+  /// Plans and runs the single range query against `snapshot`,
+  /// appending raw matches to `events` (kept on a budget breach for the
+  /// shell's truncation path).
   Status SearchScan(bool drop, double T, double V,
                     const SearchOptions& options, size_t num_threads,
-                    const QueryContext& ctx, std::vector<ExhEvent>* events,
-                    SearchStats* local);
+                    const QueryContext& ctx,
+                    const DatabaseSnapshot& snapshot,
+                    std::vector<ExhEvent>* events, SearchStats* local);
+  /// Replays the WAL's recovered observation backlog through the append
+  /// path (under Wal::Suspend); see SegDiffIndex::DrainRecoveredOps.
+  Status DrainRecoveredOps();
   ThreadPool* EnsurePool(size_t num_threads);
   void ReleasePool();
   /// Serializes the trailing sample window + counters into the
@@ -146,6 +160,10 @@ class ExhIndex : public FeatureSink {
   std::mutex pool_mu_;                ///< guards pool_ + pool_users_
   size_t pool_users_ = 0;
   AdmissionController admission_;
+  /// Serializes writers (appends, checkpoints) against each other and
+  /// against snapshot creation; searches read snapshots and never take
+  /// it while scanning. Lock order: ingest_mu_ before lazy_mu_.
+  std::mutex ingest_mu_;
   /// Serializes the lazy zone-map build on first search.
   std::mutex lazy_mu_;
   /// Trailing `window_s` of already-ingested samples, so pairs spanning

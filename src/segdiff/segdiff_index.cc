@@ -112,9 +112,10 @@ Result<std::unique_ptr<SegDiffIndex>> SegDiffIndex::Open(
   if (!status.ok()) {
     // A failed open must not mutate the store: the destructor will not
     // save (default/partial) ingest state over the persisted blob, and
-    // the database handle must not checkpoint the catalog on close.
+    // the abandoned database handle neither checkpoints nor flushes on
+    // close — the files stay as they were, recovery still possible.
     if (index->db_ != nullptr) {
-      index->db_->set_checkpoint_on_close(false);
+      index->db_->Abandon();
     }
     return status;
   }
@@ -130,6 +131,12 @@ Status SegDiffIndex::OpenImpl(const std::string& path) {
   db_options.sim_random_read_ns = options_.sim_random_read_ns;
   db_options.vfs = options_.vfs;
   db_options.verify_checksums = options_.verify_checksums;
+  db_options.wal = options_.wal;
+  db_options.wal_group_commit_ms = options_.wal_group_commit_ms;
+  // Engine stores log the observation stream, not the rows it fans out
+  // into: one kObservation record redoes the whole pipeline step
+  // (segment row + up to 6 feature rows + index inserts) on replay.
+  db_options.wal_observation_log = true;
   SEGDIFF_ASSIGN_OR_RETURN(db_, Database::Open(path, db_options));
   SEGDIFF_RETURN_IF_ERROR(InitTables());
   SEGDIFF_RETURN_IF_ERROR(RestoreIngestState());
@@ -158,6 +165,36 @@ Status SegDiffIndex::OpenImpl(const std::string& path) {
     SEGDIFF_RETURN_IF_ERROR(segmenter_->RestoreState(*restored_segmenter_));
     restored_segmenter_.reset();
   }
+  return DrainRecoveredOps();
+}
+
+Status SegDiffIndex::DrainRecoveredOps() {
+  if (!db_->HasRecoveredOps()) {
+    return Status::OK();
+  }
+  std::vector<WalRecord> ops = db_->TakeRecoveredOps();
+  // Replay through the normal pipeline, suspended so nothing is logged
+  // twice. The restored ingest-state blob is checkpoint-consistent with
+  // the tables (SaveIngestState never WAL-logs it), so the backlog
+  // normally applies in full; any observation the restored state does
+  // already cover (e.g. a legacy store upgraded mid-stream) is rejected
+  // by the segmenter's strictly-increasing-timestamp rule and skipped,
+  // which keeps the replay idempotent.
+  Wal::Suspend suspend(db_->wal());
+  for (const WalRecord& op : ops) {
+    if (op.type == WalRecordType::kFlush) {
+      SEGDIFF_RETURN_IF_ERROR(segmenter_->Flush());
+      continue;
+    }
+    SEGDIFF_ASSIGN_OR_RETURN(WalObservation obs,
+                             DecodeWalObservation(op.payload));
+    Status status = segmenter_->Add(Sample{obs.t, obs.v});
+    if (status.IsInvalidArgument()) {
+      continue;  // already absorbed before the crash
+    }
+    SEGDIFF_RETURN_IF_ERROR(status);
+    ++observations_;
+  }
   return Status::OK();
 }
 
@@ -171,64 +208,74 @@ SegDiffIndex::~SegDiffIndex() {
 }
 
 Status SegDiffIndex::InitTables() {
+  // CreateTable checkpoints the catalog (so WAL-logged rows always find
+  // their table on replay), which means a crash while a fresh store was
+  // being laid out can leave a durable PREFIX of the tables. Creation is
+  // therefore written to be idempotent: every table and index is
+  // ensured individually, so reopening a torn store finishes the job.
   const bool fresh = db_->tables().empty();
-  if (fresh) {
-    SEGDIFF_ASSIGN_OR_RETURN(TableSchema seg_schema,
-                             DoubleSchema({"t_s", "v_s", "t_e", "v_e"}));
-    SEGDIFF_ASSIGN_OR_RETURN(segments_table_,
-                             db_->CreateTable("segments", seg_schema));
-    for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
-      for (int k = 1; k <= 3; ++k) {
-        std::vector<std::string> columns;
-        for (int j = 1; j <= k; ++j) {
-          columns.push_back("dt" + std::to_string(j));
-          columns.push_back("dv" + std::to_string(j));
-        }
-        columns.push_back("td");
-        columns.push_back("tc");
-        columns.push_back("tb");
-        SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema, DoubleSchema(columns));
-        SEGDIFF_ASSIGN_OR_RETURN(
-            Table * table,
-            db_->CreateTable(FeatureTableName(kind, k), schema));
-        feature_tables_[static_cast<int>(kind)][k - 1] = table;
-        if (options_.build_indexes) {
-          for (int j = 1; j <= k; ++j) {
-            SEGDIFF_RETURN_IF_ERROR(
-                table
-                    ->CreateIndex("pt" + std::to_string(j),
-                                  {"dt" + std::to_string(j),
-                                   "dv" + std::to_string(j)})
-                    .status());
-          }
-          for (int j = 1; j < k; ++j) {
-            SEGDIFF_RETURN_IF_ERROR(
-                table
-                    ->CreateIndex("ln" + std::to_string(j),
-                                  {"dt" + std::to_string(j),
-                                   "dv" + std::to_string(j),
-                                   "dt" + std::to_string(j + 1),
-                                   "dv" + std::to_string(j + 1)})
-                    .status());
-          }
-        }
-      }
+  auto ensure_table = [this](const std::string& name,
+                             TableSchema schema) -> Result<Table*> {
+    Result<Table*> existing = db_->GetTable(name);
+    if (existing.ok() || !existing.status().IsNotFound()) {
+      return existing;
     }
-    segment_dir_fresh_ = true;
-  } else {
-    SEGDIFF_ASSIGN_OR_RETURN(segments_table_, db_->GetTable("segments"));
-    for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
-      for (int k = 1; k <= 3; ++k) {
-        SEGDIFF_ASSIGN_OR_RETURN(
-            Table * table, db_->GetTable(FeatureTableName(kind, k)));
-        feature_tables_[static_cast<int>(kind)][k - 1] = table;
-      }
+    return db_->CreateTable(name, std::move(schema));
+  };
+  SEGDIFF_ASSIGN_OR_RETURN(TableSchema seg_schema,
+                           DoubleSchema({"t_s", "v_s", "t_e", "v_e"}));
+  SEGDIFF_ASSIGN_OR_RETURN(segments_table_,
+                           ensure_table("segments", std::move(seg_schema)));
+  // Whether indexes exist is a property of the store, not of this Open
+  // call: adopt it from the first feature table so resumed appends keep
+  // the attached indexes fed. A store still mid-creation (some tables
+  // missing) keeps the requested option instead.
+  {
+    Result<Table*> first = db_->GetTable(FeatureTableName(SearchKind::kDrop, 1));
+    if (first.ok()) {
+      options_.build_indexes = !(*first)->indexes().empty();
+    } else if (!first.status().IsNotFound()) {
+      return first.status();
     }
-    // Whether indexes exist is a property of the store, not of this Open
-    // call: adopt it so resumed appends keep the attached indexes fed.
-    options_.build_indexes = !feature_tables_[0][0]->indexes().empty();
-    segment_dir_fresh_ = false;
   }
+  for (SearchKind kind : {SearchKind::kDrop, SearchKind::kJump}) {
+    for (int k = 1; k <= 3; ++k) {
+      std::vector<std::string> columns;
+      for (int j = 1; j <= k; ++j) {
+        columns.push_back("dt" + std::to_string(j));
+        columns.push_back("dv" + std::to_string(j));
+      }
+      columns.push_back("td");
+      columns.push_back("tc");
+      columns.push_back("tb");
+      SEGDIFF_ASSIGN_OR_RETURN(TableSchema schema, DoubleSchema(columns));
+      SEGDIFF_ASSIGN_OR_RETURN(
+          Table * table,
+          ensure_table(FeatureTableName(kind, k), std::move(schema)));
+      feature_tables_[static_cast<int>(kind)][k - 1] = table;
+      if (options_.build_indexes) {
+        auto ensure_index = [&table](const std::string& name,
+                                     std::vector<std::string> cols) -> Status {
+          if (table->GetIndex(name).ok()) {
+            return Status::OK();
+          }
+          return table->CreateIndex(name, std::move(cols)).status();
+        };
+        for (int j = 1; j <= k; ++j) {
+          SEGDIFF_RETURN_IF_ERROR(ensure_index(
+              "pt" + std::to_string(j),
+              {"dt" + std::to_string(j), "dv" + std::to_string(j)}));
+        }
+        for (int j = 1; j < k; ++j) {
+          SEGDIFF_RETURN_IF_ERROR(ensure_index(
+              "ln" + std::to_string(j),
+              {"dt" + std::to_string(j), "dv" + std::to_string(j),
+               "dt" + std::to_string(j + 1), "dv" + std::to_string(j + 1)}));
+        }
+      }
+    }
+  }
+  segment_dir_fresh_ = fresh;
   return Status::OK();
 }
 
@@ -257,17 +304,43 @@ Status SegDiffIndex::OnSegment(const DataSegment& segment) {
                               ->InsertDoubles({segment.start.t, segment.start.v,
                                                segment.end.t, segment.end.v})
                               .status());
-  segment_dir_[segment.start.t] = segment.end.t;
+  {
+    // Searches resolve t_a from segment_dir_ while ingest appends to it.
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    segment_dir_[segment.start.t] = segment.end.t;
+  }
   return extractor_->AddSegment(segment);
 }
 
 Status SegDiffIndex::AppendObservation(double t, double v) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  if (db_->wal() != nullptr) {
+    // WAL-before-data: the redo record is in the log (buffered for the
+    // next group commit) before the pipeline touches any page.
+    SEGDIFF_RETURN_IF_ERROR(db_->wal()->AppendObservation(t, v).status());
+  }
   SEGDIFF_RETURN_IF_ERROR(segmenter_->Add(Sample{t, v}));
   ++observations_;
   return Status::OK();
 }
 
-Status SegDiffIndex::FlushPending() { return segmenter_->Flush(); }
+Status SegDiffIndex::FlushPending() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  Wal* wal = db_->wal();
+  if (wal != nullptr) {
+    SEGDIFF_RETURN_IF_ERROR(wal->AppendFlushMarker().status());
+  }
+  SEGDIFF_RETURN_IF_ERROR(segmenter_->Flush());
+  if (wal != nullptr) {
+    // Acknowledged means durable: everything appended so far survives a
+    // crash from here on. State is saved first so an auto-checkpoint
+    // (which truncates the log) leaves a consistent resume point.
+    SaveIngestState();
+    SEGDIFF_RETURN_IF_ERROR(wal->Sync());
+    SEGDIFF_RETURN_IF_ERROR(db_->MaybeAutoCheckpoint());
+  }
+  return Status::OK();
+}
 
 Status SegDiffIndex::IngestSeries(const Series& series) {
   if (series.size() < 2) {
@@ -320,6 +393,14 @@ void SegDiffIndex::SaveIngestState() {
     w.F64(segment.end.t);
     w.F64(segment.end.v);
   }
+  // Suspended: the blob must reach the catalog only via Checkpoint,
+  // which flushes the tables it describes in the same operation. A
+  // kPutMeta WAL record would let recovery restore a pipeline state
+  // newer than the checkpointed tables and then skip re-deriving (via
+  // DrainRecoveredOps) exactly the rows that reverted with the data
+  // file. The state is redundant with the observation log, so losing
+  // the un-checkpointed blob costs nothing.
+  Wal::Suspend suspend(db_->wal());
   db_->PutMeta(kIngestStateKey, w.Take());
 }
 
@@ -445,15 +526,22 @@ Status SegDiffIndex::RestoreIngestState() {
 }
 
 Status SegDiffIndex::EnsureSegmentDirectory() {
-  // Concurrent searches may race to the first build; once fresh, the
-  // directory is only read (DropCaches, which clears it, is documented
-  // as not concurrent with searches).
-  std::lock_guard<std::mutex> lock(lazy_mu_);
-  if (segment_dir_fresh_ && !segment_dir_.empty()) {
-    return Status::OK();
+  {
+    // Fast path: once fresh, OnSegment keeps the directory current
+    // incrementally (under lazy_mu_), so no rebuild is ever needed.
+    std::lock_guard<std::mutex> lock(lazy_mu_);
+    if (segment_dir_fresh_) {
+      return Status::OK();
+    }
   }
-  if (segment_dir_fresh_ && segments_table_->row_count() == 0) {
-    return Status::OK();
+  // Rebuild (reopened or cache-dropped store): block ingest so the live
+  // scan plus the rebuilt map form one atomic state — a segment emitted
+  // mid-rebuild could otherwise vanish from the directory. Lock order:
+  // ingest_mu_ before lazy_mu_, as everywhere.
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (segment_dir_fresh_) {
+    return Status::OK();  // another search rebuilt it while we waited
   }
   segment_dir_.clear();
   SEGDIFF_RETURN_IF_ERROR(QuarantineScanError(
@@ -470,8 +558,10 @@ Status SegDiffIndex::EnsureSegmentDirectory() {
 }
 
 Status SegDiffIndex::EnsureZoneMaps(SearchKind kind) {
-  // Legacy stores build zone maps lazily here; serialize so concurrent
-  // first searches don't build the same map twice.
+  // Legacy stores build zone maps lazily here; serialize against both
+  // concurrent first searches (the build) and ingest (the attach would
+  // race OnAppend). Fresh stores hit only the is-attached check.
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
   std::lock_guard<std::mutex> lock(lazy_mu_);
   for (int k = 1; k <= 3; ++k) {
     Table* table = feature_tables_[static_cast<int>(kind)][k - 1];
@@ -563,9 +653,19 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
                                        options.num_threads);
   ThreadPool* pool = num_threads > 1 ? EnsurePool(num_threads) : nullptr;
 
+  // Freeze the view this search reads: taken between ingest operations
+  // (under ingest_mu_), so it is a consistent cut of every table, and
+  // the search needs no further coordination with concurrent appends.
+  DatabaseSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(ingest_mu_);
+    snapshot = db_->CreateSnapshot();
+    local.snapshot_observations = observations_;
+  }
+
   std::vector<PairId> results;
   Status run = SearchImpl(kind, T, V, options, num_threads, pool, ctx,
-                          &results, &local);
+                          snapshot, &results, &local);
   if (pool != nullptr) {
     ReleasePool();
   }
@@ -590,9 +690,13 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
   results.erase(std::unique(results.begin(), results.end(), PairIdKeyEq),
                 results.end());
 
-  // Materialize t_a from the segment directory.
+  // Materialize t_a from the segment directory. Every pair came from
+  // the snapshot, so its segment is in the directory (which only grows
+  // under concurrent ingest — lookups happen under lazy_mu_ because
+  // OnSegment inserts while we read).
   Status fin = EnsureSegmentDirectory();
   if (fin.ok()) {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
     for (PairId& id : results) {
       auto it = segment_dir_.find(id.t_b);
       if (it == segment_dir_.end()) {
@@ -622,6 +726,7 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
                                 const SearchOptions& options,
                                 size_t num_threads, ThreadPool* pool,
                                 const QueryContext& ctx,
+                                const DatabaseSnapshot& snapshot,
                                 std::vector<PairId>* results,
                                 SearchStats* local) {
   const bool drop = kind == SearchKind::kDrop;
@@ -634,9 +739,11 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
 
   // Executor-level governance: every scan below checks `ctx` at page
   // granularity (and the index walks every kGovernanceCheckInterval
-  // entries).
+  // entries). Every scan and index descent reads the search's frozen
+  // snapshot, never the moving live tables.
   SeqScanOptions scan_options;
   scan_options.context = &ctx;
+  scan_options.snapshot = &snapshot;
 
   // Builds the paper's predicate for one query, for sequential scans.
   auto make_predicate = [drop, T, V](const RangeQuery& query) {
@@ -681,7 +788,20 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
   std::vector<QueryTask> tasks;
   for (int k = 1; k <= 3; ++k) {
     Table* table = feature_tables_[static_cast<int>(kind)][k - 1];
-    if (table->row_count() == 0) {
+    // Row counts, page counts, and zone maps all come from the frozen
+    // view: concurrent ingest must affect neither the plan nor the
+    // result. Columnar segments are immutable, so the live directory is
+    // the snapshot directory.
+    const TableSnapshotView* view = snapshot.TableView(table->name());
+    if (view == nullptr) {
+      return Status::Internal("search snapshot does not cover table '" +
+                              table->name() + "'");
+    }
+    const ColumnStore* columnar = table->columnar();
+    const uint64_t snap_rows =
+        view->heap_meta.record_count +
+        (columnar != nullptr ? columnar->row_count() : 0);
+    if (snap_rows == 0) {
       continue;
     }
     if (options.mode == QueryMode::kSeqScan && options.fused_scan) {
@@ -703,8 +823,7 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
             "index scan requested but indexes were not built");
       }
       if (mode == QueryMode::kAuto) {
-        const ZoneMap* zone_map = table->zone_map();
-        const ColumnStore* columnar = table->columnar();
+        const ZoneMap* zone_map = view->zone_map.get();
         if (zone_map == nullptr && columnar == nullptr) {
           mode = QueryMode::kSeqScan;  // no stats: always-correct default
         } else {
@@ -713,34 +832,34 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
           // columnar pages surviving the segment directory — and the
           // index side from real per-column ranges over both formats.
           const Predicate predicate = make_predicate(query);
-          TableStatsView view;
-          view.row_count = table->row_count();
-          view.pages_total = table->heap_meta().page_count;
-          view.pages_after_pruning = 0;
+          TableStatsView stats_view;
+          stats_view.row_count = snap_rows;
+          stats_view.pages_total = view->heap_meta.page_count;
+          stats_view.pages_after_pruning = 0;
           if (zone_map != nullptr) {
             const ZoneSurvey survey =
                 SurveyZones(*zone_map, predicate.conditions());
             // Pages without a zone (e.g. crash-recovered tails) cannot
             // be pruned; keep them on the sequential side's bill.
-            view.pages_after_pruning =
+            stats_view.pages_after_pruning =
                 survey.zones_surviving +
-                (view.pages_total > survey.zones_total
-                     ? view.pages_total - survey.zones_total
+                (stats_view.pages_total > survey.zones_total
+                     ? stats_view.pages_total - survey.zones_total
                      : 0);
           } else {
-            view.pages_after_pruning = view.pages_total;
+            stats_view.pages_after_pruning = stats_view.pages_total;
           }
           if (columnar != nullptr) {
             const ColumnarSurvey survey =
                 SurveyColumnarSegments(*columnar, predicate.conditions());
-            view.pages_total += survey.pages_total;
-            view.pages_after_pruning += survey.pages_surviving;
+            stats_view.pages_total += survey.pages_total;
+            stats_view.pages_after_pruning += survey.pages_surviving;
             const uint64_t col_rows = columnar->row_count();
-            if (view.row_count > 0) {
-              view.random_fetch_cost_scale =
-                  (static_cast<double>(view.row_count - col_rows) +
+            if (stats_view.row_count > 0) {
+              stats_view.random_fetch_cost_scale =
+                  (static_cast<double>(stats_view.row_count - col_rows) +
                    kColumnarFetchCostScale * static_cast<double>(col_rows)) /
-                  static_cast<double>(view.row_count);
+                  static_cast<double>(stats_view.row_count);
             }
           }
           // Per-column global ranges merged across formats.
@@ -765,16 +884,16 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
             }
             return range;
           };
-          view.index_entry_fraction = ConditionFraction(
+          stats_view.index_entry_fraction = ConditionFraction(
               global_range(predicate.conditions().front().column),
               predicate.conditions().front());
-          view.heap_fetch_fraction = 1.0;
+          stats_view.heap_fetch_fraction = 1.0;
           for (const ColumnCondition& cond : predicate.conditions()) {
-            view.heap_fetch_fraction *=
+            stats_view.heap_fetch_fraction *=
                 ConditionFraction(global_range(cond.column), cond);
           }
           const PlanChoice choice =
-              ChooseAccessPath(view, options_.build_indexes);
+              ChooseAccessPath(stats_view, options_.build_indexes);
           mode = choice.path == AccessPath::kIndexScan ? QueryMode::kIndexScan
                                                        : QueryMode::kSeqScan;
         }
@@ -866,6 +985,7 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
     // only materializes the pair id.
     IndexScanSpec spec;
     spec.context = &ctx;
+    spec.snapshot = &snapshot;
     const std::string index_name =
         (task.query.is_line ? "ln" : "pt") + std::to_string(task.query.corner);
     SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree,
@@ -934,16 +1054,19 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
 }
 
 Status SegDiffIndex::Checkpoint() {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   SaveIngestState();
   return db_->Checkpoint();
 }
 
 Status SegDiffIndex::Compact(const std::string& destination_path) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
   SaveIngestState();  // the copied ingest blob must reflect the tables
   return db_->CompactInto(destination_path);
 }
 
 Status SegDiffIndex::DropCaches() {
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
   {
     std::lock_guard<std::mutex> lock(lazy_mu_);
     segment_dir_.clear();

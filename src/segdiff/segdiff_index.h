@@ -54,6 +54,14 @@ struct SegDiffOptions {
   Vfs* vfs = nullptr;
   /// Verify page checksums on read (see DatabaseOptions).
   bool verify_checksums = true;
+  /// Write-ahead logging: every appended observation is redo-logged and
+  /// group-committed, so a crash loses at most the tail after the last
+  /// group commit. false reverts to checkpoint-only durability (an
+  /// unclean shutdown loses everything since the last Checkpoint).
+  bool wal = true;
+  /// Group-commit window in milliseconds; 0 = fsync every append; -1 =
+  /// the SEGDIFF_WAL_GROUP_COMMIT_MS environment variable (default 1).
+  int64_t wal_group_commit_ms = -1;
   /// Admission-control limits for this store's query entry points
   /// (defaults auto-size to the machine; see AdmissionOptions).
   AdmissionOptions admission;
@@ -111,6 +119,11 @@ struct SearchStats {
   uint64_t queries_issued = 0;
   uint64_t pairs_returned = 0;
   double seconds = 0.0;
+  /// Observation count frozen with the search's snapshot: the search
+  /// sees exactly the features derived from the first
+  /// `snapshot_observations` observations, no matter how much ingest
+  /// runs concurrently (differential tests key on this).
+  uint64_t snapshot_observations = 0;
   /// The result set was cut short by SearchOptions::max_result_bytes;
   /// pairs_returned counts only what was kept.
   bool truncated = false;
@@ -158,12 +171,17 @@ class SegDiffIndex : public FeatureSink {
   /// Feeds one observation through the streaming pipeline (segmenter ->
   /// segment directory + extractor -> feature tables). Features of the
   /// open trailing segment become searchable when the segment closes —
-  /// naturally or via FlushPending().
+  /// naturally or via FlushPending(). In WAL mode the observation is
+  /// logged before any page is touched; it is acknowledged durable at
+  /// the next group commit. Safe to call concurrently with searches
+  /// (which read snapshots); appends themselves are serialized.
   Status AppendObservation(double t, double v) override;
 
   /// Emits the open trailing segment (if any) and continues the next
   /// segment anchored at its endpoint, so the approximation stays
-  /// contiguous. After this, every appended observation is searchable.
+  /// contiguous. After this, every appended observation is searchable —
+  /// and, in WAL mode, durable: FlushPending closes the group-commit
+  /// window before returning (acknowledged means durable).
   Status FlushPending() override;
 
   /// Segments and extracts `series`, appending features; equivalent to
@@ -240,13 +258,19 @@ class SegDiffIndex : public FeatureSink {
   Result<std::vector<PairId>> Search(SearchKind kind, double T, double V,
                                      const SearchOptions& options,
                                      SearchStats* stats);
-  /// Plans and runs the range-query tasks, appending raw (un-deduped)
-  /// matches to `results`. On a memory-budget breach, whatever the tasks
-  /// collected stays in `results` for the shell's truncation path.
+  /// Plans and runs the range-query tasks against `snapshot`, appending
+  /// raw (un-deduped) matches to `results`. On a memory-budget breach,
+  /// whatever the tasks collected stays in `results` for the shell's
+  /// truncation path.
   Status SearchImpl(SearchKind kind, double T, double V,
                     const SearchOptions& options, size_t num_threads,
                     ThreadPool* pool, const QueryContext& ctx,
+                    const DatabaseSnapshot& snapshot,
                     std::vector<PairId>* results, SearchStats* local);
+  /// Replays the WAL's recovered observation backlog through the ingest
+  /// pipeline (under Wal::Suspend): every acknowledged observation a
+  /// crash interrupted lands back in the feature tables.
+  Status DrainRecoveredOps();
   Status EnsureSegmentDirectory();
   /// Builds any missing zone maps for the kind's feature tables (legacy
   /// stores); fresh tables maintain theirs incrementally on insert.
@@ -269,8 +293,13 @@ class SegDiffIndex : public FeatureSink {
   std::mutex pool_mu_;                ///< guards pool_ + pool_users_
   size_t pool_users_ = 0;             ///< searches currently on the pool
   AdmissionController admission_;
+  /// Serializes writers (appends, flushes, checkpoints) against each
+  /// other and against snapshot creation, so searches can run fully
+  /// concurrently with ingest. Lock order: ingest_mu_ before lazy_mu_.
+  std::mutex ingest_mu_;
   /// Serializes the lazy first-search initialisation (zone-map builds,
-  /// segment-directory load) so concurrent searches are safe.
+  /// segment-directory load) and guards segment_dir_, which ingest
+  /// keeps appending to while searches resolve t_a from it.
   std::mutex lazy_mu_;
   uint64_t observations_ = 0;
   /// Set only when Open fully succeeded; the destructor saves ingest

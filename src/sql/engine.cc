@@ -191,6 +191,11 @@ Result<QueryResult> Engine::ExecuteCreateIndex(const CreateIndexStmt& stmt) {
   SEGDIFF_ASSIGN_OR_RETURN(Table * table, db_->GetTable(stmt.table));
   SEGDIFF_RETURN_IF_ERROR(
       table->CreateIndex(stmt.index, stmt.columns).status());
+  if (db_->wal() != nullptr) {
+    // The index build is not WAL-logged; checkpoint so the catalog
+    // registers it durably before any logged inserts reference it.
+    SEGDIFF_RETURN_IF_ERROR(db_->Checkpoint());
+  }
   return QueryResult{};
 }
 
@@ -484,6 +489,13 @@ Result<QueryResult> Engine::ExecuteDelete(const DeleteStmt& stmt) {
   QueryResult result;
   SEGDIFF_ASSIGN_OR_RETURN(result.rows_affected,
                            table->DeleteWhere(predicate));
+  if (db_->wal() != nullptr) {
+    // DeleteWhere rewrites the heap in place under Wal::Suspend, which
+    // invalidates the ordinals of every logged row append; checkpoint
+    // (flush + log truncate) before anything else can crash-recover
+    // against the compacted table.
+    SEGDIFF_RETURN_IF_ERROR(db_->Checkpoint());
+  }
   result.access_path = "rewrite";
   return result;
 }

@@ -4,8 +4,11 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "storage/wal.h"
 
 namespace segdiff {
+
+PoolSnapshot::~PoolSnapshot() { pool_->ReleaseSnapshot(epoch_); }
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -13,6 +16,7 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
     pool_ = other.pool_;
     frame_ = other.frame_;
     page_id_ = other.page_id_;
+    buffer_ = std::move(other.buffer_);
     data_ = other.data_;
     other.pool_ = nullptr;
     other.data_ = nullptr;
@@ -24,18 +28,30 @@ PageHandle::~PageHandle() { Release(); }
 
 void PageHandle::MarkDirty() {
   SEGDIFF_CHECK(valid());
+  // Snapshot-version handles are frozen history; writing through one is
+  // a bug in the caller, not a recoverable condition.
+  SEGDIFF_CHECK(frame_ != kNoFrame);
   // The frame is pinned by this handle, so the dirty flag cannot race
   // with eviction; concurrent markers of the same pinned frame are
   // idempotent writes under the shard mutex.
   std::lock_guard<std::mutex> lock(pool_->ShardOf(page_id_).mu);
-  pool_->frames_[frame_].dirty = true;
+  BufferPool::Frame& frame = pool_->frames_[frame_];
+  frame.dirty = true;
+  if (pool_->wal_ != nullptr) {
+    // Log-before-mutate: the record covering this change is already
+    // appended, so the log's last LSN bounds it from above.
+    frame.rec_lsn = pool_->wal_->last_lsn();
+  }
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    if (frame_ != kNoFrame) {
+      pool_->Unpin(frame_);
+    }
     pool_ = nullptr;
     data_ = nullptr;
+    buffer_.reset();
   }
 }
 
@@ -48,7 +64,7 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages) : pager_(pager) {
   // Deal the frames out round-robin; each shard's free list is its whole
   // slice of the pool.
   for (size_t i = 0; i < capacity_pages; ++i) {
-    frames_[i].data = std::make_unique<char[]>(kPageSize);
+    frames_[i].data = std::shared_ptr<char[]>(new char[kPageSize]);
     shards_[i % num_shards].free_frames.push_back(i);
   }
   for (Shard& shard : shards_) {
@@ -59,6 +75,7 @@ BufferPool::BufferPool(Pager* pager, size_t capacity_pages) : pager_(pager) {
 }
 
 BufferPool::~BufferPool() {
+  if (abandoned_) return;
   // Best-effort flush; errors here cannot be reported.
   Status status = FlushAll();
   if (!status.ok()) {
@@ -81,10 +98,28 @@ void BufferPool::Unpin(size_t frame_idx) {
   }
 }
 
-Status BufferPool::FlushFrame(Frame& frame, Shard& shard) {
+Status BufferPool::FlushFrame(Frame& frame, Shard& shard, bool log_image) {
   if (frame.dirty && frame.page_id != kInvalidPageId) {
+    if (log_image && wal_ != nullptr) {
+      // Undo-before-steal: durably log the page's PRIOR on-disk bytes
+      // before overwriting them. If the process dies after this write
+      // but before the next checkpoint, the stolen page survives on
+      // disk while the catalog still describes the old checkpoint;
+      // recovery rolls the page back to this image (the oldest one per
+      // page = its checkpoint-era content) so logical replay starts
+      // from an exact checkpoint state. Raw read: the prior bytes may
+      // themselves be a torn page left by an earlier crash.
+      std::unique_ptr<char[]> prior(new char[kPageSize]);
+      SEGDIFF_RETURN_IF_ERROR(
+          pager_->ReadPageRaw(frame.page_id, prior.get()));
+      SEGDIFF_ASSIGN_OR_RETURN(
+          uint64_t image_lsn,
+          wal_->AppendUndoImage(frame.page_id, prior.get(), kPageCapacity));
+      SEGDIFF_RETURN_IF_ERROR(wal_->EnsureDurable(image_lsn));
+    }
     SEGDIFF_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.get()));
     frame.dirty = false;
+    frame.rec_lsn = 0;
     ++shard.stats.dirty_writebacks;
   }
   return Status::OK();
@@ -104,7 +139,7 @@ Result<size_t> BufferPool::GrabFrame(Shard& shard) {
   shard.lru.pop_back();
   Frame& frame = frames_[victim];
   frame.in_lru = false;
-  Status flush = FlushFrame(frame, shard);
+  Status flush = FlushFrame(frame, shard, /*log_image=*/true);
   if (!flush.ok()) {
     // Write-back failed: the page keeps its dirty contents and returns
     // to the LRU (still cached, still dirty, still evictable), so a
@@ -117,6 +152,11 @@ Result<size_t> BufferPool::GrabFrame(Shard& shard) {
   shard.page_table.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
   ++shard.stats.evictions;
+  // An evicted frame's buffer may still be shared with late-releasing
+  // handles; the next occupant must not scribble over their bytes.
+  if (frame.data.use_count() > 1) {
+    frame.data = std::shared_ptr<char[]>(new char[kPageSize]);
+  }
   return victim;
 }
 
@@ -133,7 +173,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
       frame.in_lru = false;
     }
     ++frame.pin_count;
-    return PageHandle(this, idx, id, frame.data.get());
+    return PageHandle(this, idx, id, frame.data);
   }
   ++shard.stats.misses;
   SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame(shard));
@@ -149,8 +189,139 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = false;
+  frame.rec_lsn = 0;
   shard.page_table[id] = idx;
-  return PageHandle(this, idx, id, frame.data.get());
+  return PageHandle(this, idx, id, frame.data);
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id, const PoolSnapshot* snapshot) {
+  if (snapshot == nullptr) return Fetch(id);
+  {
+    Shard& shard = ShardOf(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.versions.find(id);
+    if (it != shard.versions.end()) {
+      // First version at-or-after the snapshot's epoch is the page's
+      // content as of snapshot time.
+      for (const PageVersion& version : it->second) {
+        if (version.hi >= snapshot->epoch()) {
+          return PageHandle(this, PageHandle::kNoFrame, id, version.image);
+        }
+      }
+    }
+  }
+  // No covering version: the page is unchanged since the snapshot (any
+  // later write would have preserved a version first), so the live
+  // frame — or disk — holds exactly the snapshot's bytes.
+  return Fetch(id);
+}
+
+Result<PageHandle> BufferPool::FetchMut(PageId id) {
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find(id);
+  size_t idx;
+  if (it != shard.page_table.end()) {
+    ++shard.stats.hits;
+    idx = it->second;
+    Frame& frame = frames_[idx];
+    if (frame.pin_count == 0 && frame.in_lru) {
+      shard.lru.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+  } else {
+    ++shard.stats.misses;
+    SEGDIFF_ASSIGN_OR_RETURN(idx, GrabFrame(shard));
+    Frame& frame = frames_[idx];
+    Status read = pager_->ReadPage(id, frame.data.get());
+    if (!read.ok()) {
+      shard.free_frames.push_back(idx);
+      return read;
+    }
+    frame.page_id = id;
+    frame.pin_count = 1;
+    frame.dirty = false;
+    frame.rec_lsn = 0;
+    shard.page_table[id] = idx;
+  }
+  Frame& frame = frames_[idx];
+  PreserveVersionLocked(shard, frame);
+  return PageHandle(this, idx, id, frame.data);
+}
+
+void BufferPool::PreserveVersionLocked(Shard& shard, Frame& frame) {
+  const uint64_t max_live = max_live_epoch_.load(std::memory_order_acquire);
+  if (max_live == 0) return;
+  auto it = shard.versions.find(frame.page_id);
+  uint64_t last_hi = 0;
+  if (it != shard.versions.end() && !it->second.empty()) {
+    last_hi = it->second.back().hi;
+  }
+  // Covered already: every live snapshot either has a version at or
+  // above its epoch, or was created after the last write to this page.
+  if (max_live <= last_hi) return;
+  // Move the current buffer into history (open reader handles keep
+  // sharing it, now-immutable) and give the frame a fresh copy for the
+  // caller's write.
+  auto fresh = std::shared_ptr<char[]>(new char[kPageSize]);
+  std::memcpy(fresh.get(), frame.data.get(), kPageSize);
+  std::vector<PageVersion>& list =
+      it != shard.versions.end() ? it->second : shard.versions[frame.page_id];
+  list.push_back(PageVersion{epoch_counter_.load(std::memory_order_acquire),
+                             std::move(frame.data)});
+  frame.data = std::move(fresh);
+  ++shard.stats.cow_copies;
+}
+
+std::shared_ptr<const PoolSnapshot> BufferPool::CreateSnapshot() {
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  const uint64_t epoch = epoch_counter_.fetch_add(1) + 1;
+  live_epochs_.insert(epoch);
+  // The counter is monotone, so a new snapshot is always the max.
+  max_live_epoch_.store(epoch, std::memory_order_release);
+  return std::shared_ptr<const PoolSnapshot>(new PoolSnapshot(this, epoch));
+}
+
+void BufferPool::ReleaseSnapshot(uint64_t epoch) {
+  std::set<uint64_t> live;
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    auto it = live_epochs_.find(epoch);
+    if (it != live_epochs_.end()) live_epochs_.erase(it);
+    max_live_epoch_.store(
+        live_epochs_.empty() ? 0 : *live_epochs_.rbegin(),
+        std::memory_order_release);
+    live.insert(live_epochs_.begin(), live_epochs_.end());
+  }
+  // Garbage-collect versions no live snapshot can reach. An entry
+  // covers epochs in (previous hi, hi]; it survives iff a live epoch
+  // falls in that range.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (live.empty()) {
+      shard.versions.clear();
+      continue;
+    }
+    for (auto it = shard.versions.begin(); it != shard.versions.end();) {
+      std::vector<PageVersion>& list = it->second;
+      std::vector<PageVersion> kept;
+      uint64_t prev = 0;
+      for (PageVersion& version : list) {
+        auto first_live = live.upper_bound(prev);
+        if (first_live != live.end() && *first_live <= version.hi) {
+          kept.push_back(std::move(version));
+        }
+        prev = version.hi;
+      }
+      if (kept.empty()) {
+        it = shard.versions.erase(it);
+      } else {
+        it->second = std::move(kept);
+        ++it;
+      }
+    }
+  }
 }
 
 Result<PageHandle> BufferPool::AllocatePinned() {
@@ -174,16 +345,36 @@ Result<PageHandle> BufferPool::PinFreshLocked(PageId id, Shard& shard) {
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = true;
+  frame.rec_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
   shard.page_table[id] = idx;
-  return PageHandle(this, idx, id, frame.data.get());
+  return PageHandle(this, idx, id, frame.data);
 }
 
 Status BufferPool::FlushAll() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (wal_ != nullptr) {
+      // Same undo-before-steal rule as eviction, but batched: log every
+      // dirty page's prior on-disk bytes, force the log durable once,
+      // then write the pages. A crash between any of the writes and the
+      // checkpoint's header sync then rolls back cleanly instead of
+      // leaving a file that is half old checkpoint, half new.
+      std::unique_ptr<char[]> prior(new char[kPageSize]);
+      uint64_t last_image_lsn = 0;
+      for (const auto& [page_id, idx] : shard.page_table) {
+        const Frame& frame = frames_[idx];
+        if (!frame.dirty || frame.page_id == kInvalidPageId) continue;
+        SEGDIFF_RETURN_IF_ERROR(pager_->ReadPageRaw(page_id, prior.get()));
+        SEGDIFF_ASSIGN_OR_RETURN(
+            last_image_lsn,
+            wal_->AppendUndoImage(page_id, prior.get(), kPageCapacity));
+      }
+      SEGDIFF_RETURN_IF_ERROR(wal_->EnsureDurable(last_image_lsn));
+    }
     for (const auto& [page_id, idx] : shard.page_table) {
       (void)page_id;
-      SEGDIFF_RETURN_IF_ERROR(FlushFrame(frames_[idx], shard));
+      SEGDIFF_RETURN_IF_ERROR(
+          FlushFrame(frames_[idx], shard, /*log_image=*/false));
     }
   }
   return Status::OK();
@@ -225,6 +416,7 @@ BufferPoolStats BufferPool::stats() const {
     total.misses += shard.stats.misses;
     total.evictions += shard.stats.evictions;
     total.dirty_writebacks += shard.stats.dirty_writebacks;
+    total.cow_copies += shard.stats.cow_copies;
   }
   return total;
 }

@@ -155,7 +155,7 @@ Status WriteCatalog(BufferPool* pool, const CatalogData& catalog) {
   size_t offset = 0;
   PageId current = kCatalogRootPage;
   for (;;) {
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool->Fetch(current));
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool->FetchMut(current));
     const size_t chunk =
         std::min(kChainPayloadBytes, payload.size() - offset);
     EncodeFixed32(page.data() + 8, static_cast<uint32_t>(chunk));

@@ -1,10 +1,20 @@
 #include "storage/db.h"
 
+#include <cstring>
+#include <map>
 #include <utility>
 
+#include "common/env.h"
 #include "common/logging.h"
 
 namespace segdiff {
+namespace {
+
+bool IsLogicalRecord(WalRecordType type) {
+  return type != WalRecordType::kUndoImage;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(
     const std::string& path, const DatabaseOptions& options) {
@@ -14,19 +24,83 @@ Result<std::unique_ptr<Database>> Database::Open(
   db->pager_->SetSimulatedReadLatency(options.sim_seq_read_ns,
                                       options.sim_random_read_ns);
   db->pager_->set_verify_checksums(options.verify_checksums);
-  if (db->pager_->read_only()) {
-    // Legacy v1 store: readable, but pages cannot be written back, so a
-    // close must not attempt to checkpoint. Compact() upgrades it.
-    db->checkpoint_on_close_ = false;
-  }
   db->pool_ =
       std::make_unique<BufferPool>(db->pager_.get(), options.buffer_pool_pages);
+  db->wal_auto_checkpoint_bytes_ = options.wal_auto_checkpoint_bytes;
 
   // Fresh file: materialize the catalog root page (page 1).
-  if (db->pager_->page_count() == 1) {
+  const bool fresh = db->pager_->page_count() == 1;
+  if (fresh) {
     SEGDIFF_ASSIGN_OR_RETURN(PageHandle root, db->pool_->AllocatePinned());
     if (root.page_id() != 1) {
       return Status::Internal("catalog root allocated at unexpected page");
+    }
+  }
+
+  // WAL is forced off where it cannot work: anonymous stores vanish
+  // with the process, and legacy v1 files cannot be written at all.
+  // replay_wal=false (read-only inspection) skips the log entirely.
+  const bool wal_enabled = options.wal && options.replay_wal &&
+                           path != ":memory:" && !db->pager_->read_only();
+  std::vector<WalRecord> recovered;
+  if (wal_enabled) {
+    WalOptions wal_options;
+    wal_options.group_commit_ms =
+        options.wal_group_commit_ms >= 0
+            ? options.wal_group_commit_ms
+            : GetEnvInt64("SEGDIFF_WAL_GROUP_COMMIT_MS", 1);
+    SEGDIFF_ASSIGN_OR_RETURN(
+        db->wal_, Wal::Open(db->pager_->vfs(), path, wal_options,
+                            db->pager_->applied_lsn() + 1));
+    db->wal_->set_logs_rows(!options.wal_observation_log);
+    db->pool_->set_wal(db->wal_.get());
+    recovered = db->wal_->TakeRecoveredRecords();
+    if (fresh && !recovered.empty()) {
+      // A fresh database cannot have a tail to replay — every logical
+      // record postdates the first CreateTable checkpoint. This log
+      // belongs to a deleted store that shared the path (the database
+      // file was removed, its sidecar survived); replaying it would
+      // resurrect foreign data, so discard it.
+      recovered.clear();
+      SEGDIFF_RETURN_IF_ERROR(db->wal_->Reset(1));
+    }
+    db->recovered_count_ = recovered.size();
+  }
+
+  bool has_logical = false;
+  for (const WalRecord& record : recovered) {
+    has_logical = has_logical || IsLogicalRecord(record.type);
+  }
+  if (!recovered.empty()) {
+    // Undo rollback: every page written to the data file since the last
+    // completed checkpoint (a steal or a checkpoint flush the crash
+    // interrupted) carries an undo image of its prior bytes; applying
+    // the OLDEST image per page restores the page's content as of that
+    // checkpoint, so the logical replay below re-runs against an exact
+    // checkpoint state — required when a crash preserves unsynced
+    // writes (kill -9, power loss after the page cache drained).
+    // Applied in the pool only (nothing is written until a checkpoint
+    // or a steal), keeping a failed Open side-effect-free, and before
+    // ReadCatalog so patched catalog pages are read patched. PinFresh
+    // skips the disk read, so an image also heals a page torn by the
+    // crash. Images of pages past the checkpoint's page count are
+    // dropped: those pages postdate the checkpoint and replay
+    // re-creates them from scratch.
+    std::map<uint64_t, std::string> oldest;
+    for (WalRecord& record : recovered) {
+      if (record.type != WalRecordType::kUndoImage) continue;
+      SEGDIFF_ASSIGN_OR_RETURN(WalUndoImage image,
+                               DecodeWalUndoImage(record.payload));
+      if (image.page_id < db->pager_->page_count() &&
+          image.image.size() == kPageCapacity &&
+          oldest.find(image.page_id) == oldest.end()) {
+        oldest[image.page_id] = std::move(image.image);
+      }
+    }
+    for (const auto& [page_id, image] : oldest) {
+      SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, db->pool_->PinFresh(page_id));
+      std::memcpy(page.data(), image.data(), kPageCapacity);
+      page.MarkDirty();
     }
   }
 
@@ -60,19 +134,117 @@ Result<std::unique_ptr<Database>> Database::Open(
     it = it->first.rfind(kZoneMapBlobPrefix, 0) == 0 ? db->meta_.erase(it)
                                                      : ++it;
   }
+
+  if (has_logical) {
+    SEGDIFF_RETURN_IF_ERROR(db->ReplayWal(std::move(recovered)));
+  }
+  db->opened_ = true;
   return db;
 }
 
+Status Database::ReplayWal(std::vector<WalRecord> records) {
+  // Replay re-runs the original mutations through the normal code
+  // paths, suspended so nothing is logged twice. Everything lands in
+  // the buffer pool only; the file advances at the next checkpoint.
+  Wal::Suspend suspend(wal_.get());
+  for (WalRecord& record : records) {
+    switch (record.type) {
+      case WalRecordType::kPutMeta: {
+        SEGDIFF_ASSIGN_OR_RETURN(WalMetaUpdate update,
+                                 DecodeWalPutMeta(record.payload));
+        meta_[std::move(update.name)] = std::move(update.blob);
+        break;
+      }
+      case WalRecordType::kEraseMeta: {
+        SEGDIFF_ASSIGN_OR_RETURN(std::string name,
+                                 DecodeWalEraseMeta(record.payload));
+        meta_.erase(name);
+        break;
+      }
+      case WalRecordType::kRowAppend: {
+        SEGDIFF_ASSIGN_OR_RETURN(WalRowAppend append,
+                                 DecodeWalRowAppend(record.payload));
+        Result<Table*> table = GetTable(append.table);
+        if (!table.ok()) {
+          return Status::Corruption(
+              "WAL row-append references unknown table '" + append.table +
+              "' (checkpoint missing after CreateTable?)");
+        }
+        if (append.row.size() != (*table)->schema().RowBytes()) {
+          return Status::Corruption("WAL row size mismatch for table '" +
+                                    append.table + "'");
+        }
+        const uint64_t have = (*table)->row_count();
+        if (append.ordinal < have) {
+          break;  // already present — idempotent replay skips it
+        }
+        if (append.ordinal > have) {
+          return Status::Corruption(
+              "WAL row-append gap for table '" + append.table + "': log has " +
+              "ordinal " + std::to_string(append.ordinal) + ", table has " +
+              std::to_string(have) + " rows");
+        }
+        SEGDIFF_RETURN_IF_ERROR(
+            (*table)->InsertEncoded(append.row.data()).status());
+        break;
+      }
+      case WalRecordType::kObservation:
+      case WalRecordType::kFlush:
+        // Engine records: their redo semantics live in the owning
+        // SegDiff/Exh index, which drains them right after attach.
+        recovered_ops_.push_back(std::move(record));
+        break;
+      case WalRecordType::kUndoImage:
+        // Already applied: Open rolled every imaged page back to its
+        // checkpoint-era content before the catalog was read.
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<WalRecord> Database::TakeRecoveredOps() {
+  return std::move(recovered_ops_);
+}
+
 Database::~Database() {
-  if (pager_ == nullptr || pool_ == nullptr) {
-    return;  // partially constructed (Open failed mid-way)
+  if (pool_ != nullptr && (!opened_ || abandoned_)) {
+    // Never flush state of a handle that was not successfully opened or
+    // was explicitly abandoned — it could overwrite a store recovery
+    // can still salvage (e.g. checkpoint an empty catalog over it).
+    pool_->set_abandoned();
   }
-  if (!checkpoint_on_close_) {
-    return;  // the owning engine's open failed; leave the file untouched
+  if (!opened_ || closed_ || abandoned_) {
+    return;  // wal_'s destructor still stops the flusher thread
   }
-  Status status = Checkpoint();
+  Status status = Close();
   if (!status.ok()) {
-    SEGDIFF_LOG(Error) << "checkpoint on close failed: " << status.ToString();
+    SEGDIFF_LOG(Error) << "close failed: " << status.ToString();
+  }
+}
+
+Status Database::Close() {
+  if (closed_ || abandoned_ || pager_ == nullptr || pool_ == nullptr) {
+    return Status::OK();
+  }
+  closed_ = true;
+  Status status = Status::OK();
+  if (!pager_->read_only()) {
+    status = Checkpoint();
+  }
+  if (wal_ != nullptr) {
+    Status wal_status = wal_->Close();
+    if (status.ok()) {
+      status = wal_status;
+    }
+  }
+  return status;
+}
+
+void Database::Abandon() {
+  abandoned_ = true;
+  if (pool_ != nullptr) {
+    pool_->set_abandoned();
   }
 }
 
@@ -87,6 +259,15 @@ Result<Table*> Database::CreateTable(const std::string& name,
       std::unique_ptr<Table> table,
       Table::Create(pool_.get(), name, std::move(schema)));
   tables_.push_back(std::move(table));
+  if (wal_ != nullptr) {
+    // Redo records reference tables by name; make the (cheap, empty)
+    // table durable before any row is logged against it.
+    Status status = Checkpoint();
+    if (!status.ok()) {
+      tables_.pop_back();
+      return status;
+    }
+  }
   return tables_.back().get();
 }
 
@@ -100,6 +281,11 @@ Result<Table*> Database::GetTable(const std::string& name) const {
 }
 
 void Database::PutMeta(const std::string& name, std::string blob) {
+  if (wal_ != nullptr) {
+    // Failure here is sticky inside the WAL; the next Checkpoint (the
+    // operation that makes blobs durable anyway) will surface it.
+    (void)wal_->AppendPutMeta(name, blob);
+  }
   meta_[name] = std::move(blob);
 }
 
@@ -112,10 +298,18 @@ Result<std::string> Database::GetMeta(const std::string& name) const {
 }
 
 bool Database::EraseMeta(const std::string& name) {
+  if (wal_ != nullptr) {
+    (void)wal_->AppendEraseMeta(name);
+  }
   return meta_.erase(name) != 0;
 }
 
 Status Database::Checkpoint() {
+  // Fuzzy checkpoint: the WAL tail is forced durable first, so the
+  // applied LSN recorded below can never run ahead of the log.
+  if (wal_ != nullptr) {
+    SEGDIFF_RETURN_IF_ERROR(wal_->Sync());
+  }
   CatalogData catalog;
   catalog.tables.reserve(tables_.size());
   for (const auto& table : tables_) {
@@ -144,7 +338,46 @@ Status Database::Checkpoint() {
   }
   SEGDIFF_RETURN_IF_ERROR(WriteCatalog(pool_.get(), catalog));
   SEGDIFF_RETURN_IF_ERROR(pool_->FlushAll());
-  return pager_->Sync();
+  // The applied LSN advances — and the log truncates — only when the
+  // recovered engine backlog has been drained; otherwise the un-replayed
+  // observations must stay in the log for the next engine open.
+  const bool advance = wal_ != nullptr && recovered_ops_.empty();
+  uint64_t applied = 0;
+  if (advance) {
+    // Captured AFTER the flush: FlushAll (and any steal inside
+    // WriteCatalog) appends undo images, and the next generation must
+    // start exactly one past the last assigned LSN or the first frame
+    // written after the reset would look gapped to the scanner.
+    applied = wal_->last_lsn();
+    SEGDIFF_RETURN_IF_ERROR(wal_->EnsureDurable(applied));
+    pager_->set_applied_lsn(applied);
+  }
+  SEGDIFF_RETURN_IF_ERROR(pager_->Sync());
+  if (advance) {
+    SEGDIFF_RETURN_IF_ERROR(wal_->Reset(applied + 1));
+  }
+  return Status::OK();
+}
+
+Status Database::MaybeAutoCheckpoint() {
+  if (wal_ == nullptr || wal_->SizeBytes() < wal_auto_checkpoint_bytes_) {
+    return Status::OK();
+  }
+  return Checkpoint();
+}
+
+DatabaseSnapshot Database::CreateSnapshot() {
+  DatabaseSnapshot snapshot;
+  snapshot.pool_snap_ = pool_->CreateSnapshot();
+  for (const auto& table : tables_) {
+    TableSnapshotView view;
+    view.heap_meta = table->heap_meta();
+    if (table->zone_map() != nullptr) {
+      view.zone_map = std::make_shared<ZoneMap>(*table->zone_map());
+    }
+    snapshot.tables_[table->name()] = std::move(view);
+  }
+  return snapshot;
 }
 
 Status Database::CompactInto(const std::string& destination_path,
@@ -155,9 +388,12 @@ Status Database::CompactInto(const std::string& destination_path,
   // The fresh store inherits this database's Vfs (fault-injection tests
   // compact through the injected file system too) and is always written
   // in the current checksummed format — compacting is the upgrade path
-  // for legacy v1 stores.
+  // for legacy v1 stores. It runs checkpoint-only: the bulk rewrite is
+  // made durable by the single Checkpoint at the end, and logging every
+  // copied row would only double the IO.
   options.vfs = pager_->vfs();
   options.verify_checksums = pager_->verify_checksums();
+  options.wal = false;
   SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<Database> fresh,
                            Database::Open(destination_path, options));
   if (!fresh->tables_.empty()) {
@@ -211,7 +447,23 @@ Status Database::CompactInto(const std::string& destination_path,
     }
   }
   fresh->meta_ = meta_;  // ingest state etc. survives compaction
-  return fresh->Checkpoint();
+  return fresh->Close();
+}
+
+WalInfo Database::GetWalInfo() const {
+  WalInfo info;
+  info.applied_lsn = pager_ != nullptr ? pager_->applied_lsn() : 0;
+  info.recovered_records = recovered_count_;
+  if (wal_ == nullptr) {
+    return info;
+  }
+  info.enabled = true;
+  info.size_bytes = wal_->SizeBytes();
+  info.last_lsn = wal_->last_lsn();
+  info.durable_lsn = wal_->durable_lsn();
+  info.group_commit_ms = wal_->group_commit_ms();
+  info.stats = wal_->stats();
+  return info;
 }
 
 Result<ScrubReport> Database::Scrub() {

@@ -1,8 +1,27 @@
 // Database: the top-level minidb handle.
 //
-// One file, one pager, one buffer pool, a catalog of tables. Single
-// threaded, Status-based; the embedded stand-in for the MySQL instance
-// the paper stores SegDiff/Exh features in.
+// One file, one pager, one buffer pool, a write-ahead log, a catalog of
+// tables. The embedded stand-in for the MySQL instance the paper stores
+// SegDiff/Exh features in.
+//
+// Durability model (WAL mode, the default):
+//   - every logical mutation (row insert / engine observation / meta
+//     blob update) is logged before its pages are touched; the log is
+//     fsynced in group-commit batches (see storage/wal.h);
+//   - Checkpoint() is fuzzy: it syncs the log, writes the catalog and
+//     all dirty pages, stamps the pager header with the applied LSN,
+//     fsyncs the data file, then truncates the log to a fresh
+//     generation. A crash at any point replays the log tail past the
+//     header's applied LSN on the next Open — replay is idempotent and
+//     byte-deterministic, so replaying twice yields identical files;
+//   - a failed Open is side-effect-free: recovery replays into the
+//     buffer pool only (nothing is written, synced, or truncated until
+//     the first successful Checkpoint or page steal).
+//
+// Concurrency: one writer (the ingest path) plus any number of readers
+// holding DatabaseSnapshots (storage/snapshot.h). Writers and snapshot
+// creation must be externally serialized (the engines use their ingest
+// mutex); snapshot readers then run with no further coordination.
 
 #ifndef SEGDIFF_STORAGE_DB_H_
 #define SEGDIFF_STORAGE_DB_H_
@@ -16,7 +35,9 @@
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 #include "storage/pager.h"
+#include "storage/snapshot.h"
 #include "storage/table.h"
+#include "storage/wal.h"
 
 namespace segdiff {
 
@@ -36,6 +57,27 @@ struct DatabaseOptions {
   /// Verify page checksums on read (bench_checksum measures the cost of
   /// flipping this; leave on outside benchmarks).
   bool verify_checksums = true;
+
+  /// Write-ahead logging. Off, the store falls back to checkpoint-only
+  /// durability (everything since the last Checkpoint is lost on a
+  /// crash). Forced off for ":memory:" stores and read-only legacy v1
+  /// files.
+  bool wal = true;
+  /// Group-commit window in milliseconds: 0 fsyncs inside every append,
+  /// > 0 batches appends and makes them durable at most this much
+  /// later. The default -1 reads SEGDIFF_WAL_GROUP_COMMIT_MS (itself
+  /// defaulting to 1 ms).
+  int64_t wal_group_commit_ms = -1;
+  /// Engine stores set this: the WAL logs kObservation/kFlush records
+  /// (the redo unit is the observation; the rows it deterministically
+  /// fans out into are not logged) instead of per-row kRowAppend.
+  bool wal_observation_log = false;
+  /// Suggested log size that MaybeAutoCheckpoint() checkpoints at.
+  uint64_t wal_auto_checkpoint_bytes = 16ull << 20;
+  /// Replay the WAL tail at Open. Off, the log is neither replayed nor
+  /// opened for writing — strictly for read-only inspection (the CLI's
+  /// verify path); pair it with Abandon() so close writes nothing.
+  bool replay_wal = true;
 };
 
 struct CompactOptions {
@@ -52,10 +94,24 @@ struct DatabaseSizeStats {
   uint64_t file_bytes = 0;   ///< whole file; data+index+metadata
 };
 
+/// Durability status surfaced by `segdiff_cli stats`.
+struct WalInfo {
+  bool enabled = false;
+  uint64_t size_bytes = 0;      ///< log file + buffered bytes
+  uint64_t last_lsn = 0;        ///< last assigned LSN
+  uint64_t durable_lsn = 0;     ///< last fsynced LSN
+  uint64_t applied_lsn = 0;     ///< pager header: checkpointed through
+  uint64_t recovered_records = 0;  ///< records replayed at Open
+  int64_t group_commit_ms = 0;
+  WalStats stats;
+};
+
 class Database {
  public:
   /// Opens (creating if allowed) the database at `path`, loading the
-  /// catalog and attaching all tables and indexes.
+  /// catalog, attaching all tables and indexes, and replaying the WAL
+  /// tail left by a crash. Replay is in-memory: a failed Open leaves
+  /// both files byte-identical.
   static Result<std::unique_ptr<Database>> Open(const std::string& path,
                                                 const DatabaseOptions& options);
 
@@ -63,7 +119,21 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Creates a new empty table.
+  /// Checkpoint + WAL shutdown. Idempotent; the destructor calls it
+  /// (logging, not returning, errors) unless Abandon() was called.
+  Status Close();
+
+  /// Declares the handle dead: nothing is checkpointed or flushed at
+  /// destruction and the store's files stay as they are — recovery can
+  /// still salvage them. Engines call this when their Open fails after
+  /// the Database was created (closing then would rewrite the catalog
+  /// of a store that was never successfully opened); the CLI uses it
+  /// for read-only inspection.
+  void Abandon();
+
+  /// Creates a new empty table. In WAL mode the creation is
+  /// checkpointed immediately (redo records reference tables by name,
+  /// so the table must be durable before rows are logged against it).
   Result<Table*> CreateTable(const std::string& name, TableSchema schema);
 
   /// Looks up a table by name.
@@ -74,8 +144,9 @@ class Database {
   }
 
   /// Stores a named opaque blob in the catalog (persisted at the next
-  /// Checkpoint). Engines use this for state that must ride along with
-  /// the tables — e.g. resumable ingest state.
+  /// Checkpoint; in WAL mode also logged, so it survives a crash that
+  /// precedes the checkpoint). Engines use this for state that must
+  /// ride along with the tables — e.g. resumable ingest state.
   void PutMeta(const std::string& name, std::string blob);
 
   /// The named blob, or NotFound.
@@ -84,12 +155,34 @@ class Database {
   /// Removes the named blob; returns whether it existed.
   bool EraseMeta(const std::string& name);
 
-  /// Persists catalog + all dirty pages + file header.
+  /// Persists catalog + all dirty pages + file header. In WAL mode this
+  /// is the fuzzy checkpoint described in the file comment; the log is
+  /// truncated only when the recovered observation backlog (see
+  /// TakeRecoveredOps) has been drained, so un-replayed engine records
+  /// are never discarded.
   Status Checkpoint();
+
+  /// Checkpoint() iff the WAL has grown past
+  /// options.wal_auto_checkpoint_bytes; called by the engines after
+  /// segment flushes to bound recovery time.
+  Status MaybeAutoCheckpoint();
 
   /// Checkpoint, then evict the whole buffer pool: emulates the paper's
   /// "flush OS cache before every query" protocol.
   Status DropCaches();
+
+  /// Freezes a consistent point-in-time view of every table for readers
+  /// that run concurrently with ingest. Must not race with writes (the
+  /// engines call it under their ingest mutex, between operations).
+  DatabaseSnapshot CreateSnapshot();
+
+  /// Recovered kObservation/kFlush records awaiting replay through the
+  /// owning engine's ingest pipeline (the records' redo semantics live
+  /// there, not here). The engine drains them immediately after attach,
+  /// under Wal::Suspend. Until drained (non-empty return not yet
+  /// taken), Checkpoint keeps the log intact.
+  std::vector<WalRecord> TakeRecoveredOps();
+  bool HasRecoveredOps() const { return !recovered_ops_.empty(); }
 
   /// Rewrites every table and index into a fresh database file at
   /// `destination_path` (which must not exist), reclaiming the garbage
@@ -105,16 +198,13 @@ class Database {
   Status CompactInto(const std::string& destination_path,
                      const CompactOptions& options = CompactOptions());
 
-  /// Disables the automatic Checkpoint in the destructor. Engines call
-  /// this when their Open fails after the database handle was created:
-  /// closing must not rewrite the catalog of a store that was never
-  /// successfully opened (e.g. one whose ingest blob is corrupt).
-  void set_checkpoint_on_close(bool checkpoint) {
-    checkpoint_on_close_ = checkpoint;
-  }
-
   BufferPool* buffer_pool() { return pool_.get(); }
   Pager* pager() { return pager_.get(); }
+  /// The write-ahead log, or nullptr (WAL off). Engines append their
+  /// observation records through it.
+  Wal* wal() { return wal_.get(); }
+
+  WalInfo GetWalInfo() const;
 
   /// Flushes dirty pages, then walks every page of the file verifying
   /// its checksum (segdiff_cli verify --scrub). Collects corrupt pages
@@ -127,11 +217,22 @@ class Database {
  private:
   Database() = default;
 
+  /// Applies the WAL tail to the in-memory state (pages, tables, meta
+  /// blobs); kObservation/kFlush records are set aside for the engine.
+  Status ReplayWal(std::vector<WalRecord> records);
+
   std::unique_ptr<Pager> pager_;
+  std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::map<std::string, std::string> meta_;  ///< named catalog blobs
-  bool checkpoint_on_close_ = true;
+  std::vector<WalRecord> recovered_ops_;  ///< engine records to drain
+  uint64_t recovered_count_ = 0;          ///< records replayed at Open
+  /// MaybeAutoCheckpoint threshold (DatabaseOptions value).
+  uint64_t wal_auto_checkpoint_bytes_ = 16ull << 20;
+  bool opened_ = false;     ///< Open() completed successfully
+  bool closed_ = false;     ///< Close() already ran
+  bool abandoned_ = false;  ///< Abandon() called
 };
 
 }  // namespace segdiff

@@ -50,6 +50,16 @@ Result<HeapFile> HeapFile::Attach(BufferPool* pool, size_t record_bytes,
   return HeapFile(pool, record_bytes, meta);
 }
 
+uint16_t HeapFile::PageRecordCount(uint64_t page_index) const {
+  const uint64_t before = page_index * records_per_page_;
+  if (before >= meta_.record_count) {
+    return 0;
+  }
+  const uint64_t rest = meta_.record_count - before;
+  return static_cast<uint16_t>(
+      rest < records_per_page_ ? rest : records_per_page_);
+}
+
 Result<RecordId> HeapFile::Append(const char* record) {
   if (meta_.last_page == kInvalidPageId) {
     SEGDIFF_ASSIGN_OR_RETURN(PageId first, allocator_.Allocate());
@@ -61,8 +71,12 @@ Result<RecordId> HeapFile::Append(const char* record) {
     meta_.last_page = first;
     meta_.page_count = 1;
   }
-  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(meta_.last_page));
-  uint16_t count = PageCount(page.data());
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchMut(meta_.last_page));
+  // The tail slot comes from the meta, not the page header: a stolen
+  // tail page can persist post-checkpoint rows across a crash, and WAL
+  // replay must overwrite those slots in place, not append after them.
+  uint64_t count =
+      meta_.record_count - (meta_.page_count - 1) * records_per_page_;
   if (count >= records_per_page_) {
     // Tail page full: chain a new page from this heap's extents.
     SEGDIFF_ASSIGN_OR_RETURN(PageId fresh_id, allocator_.Allocate());
@@ -83,15 +97,16 @@ Result<RecordId> HeapFile::Append(const char* record) {
   SetPageCount(page.data(), static_cast<uint16_t>(count + 1));
   page.MarkDirty();
   ++meta_.record_count;
-  return RecordId{page.page_id(), count};
+  return RecordId{page.page_id(), static_cast<uint32_t>(count)};
 }
 
-Status HeapFile::Scan(const ScanFn& fn) const {
+Status HeapFile::Scan(const ScanFn& fn, const PoolSnapshot* snap) const {
   PageId current = meta_.first_page;
+  uint64_t index = 0;
   bool keep_going = true;
-  while (current != kInvalidPageId && keep_going) {
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
-    const uint16_t count = PageCount(page.data());
+  while (current != kInvalidPageId && index < meta_.page_count && keep_going) {
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current, snap));
+    const uint16_t count = PageRecordCount(index);
     const char* base = page.data() + kHeaderBytes;
     for (uint16_t slot = 0; slot < count && keep_going; ++slot) {
       SEGDIFF_RETURN_IF_ERROR(
@@ -99,70 +114,78 @@ Status HeapFile::Scan(const ScanFn& fn) const {
              RecordId{current, slot}, &keep_going));
     }
     current = PageNext(page.data());
+    ++index;
   }
   return Status::OK();
 }
 
-Status HeapFile::ScanPageData(const PageDataFn& fn) const {
+Status HeapFile::ScanPageData(const PageDataFn& fn,
+                              const PoolSnapshot* snap) const {
   PageId current = meta_.first_page;
+  uint64_t index = 0;
   bool keep_going = true;
-  while (current != kInvalidPageId && keep_going) {
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+  while (current != kInvalidPageId && index < meta_.page_count && keep_going) {
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current, snap));
     SEGDIFF_RETURN_IF_ERROR(fn(current, page.data() + kHeaderBytes,
-                               PageCount(page.data()), &keep_going));
+                               PageRecordCount(index), &keep_going));
     current = PageNext(page.data());
+    ++index;
   }
   return Status::OK();
 }
 
 Status HeapFile::ScanPagesData(const std::vector<PageId>& pages,
-                               const PageDataFn& fn) const {
+                               uint64_t first_page_index, const PageDataFn& fn,
+                               const PoolSnapshot* snap) const {
   bool keep_going = true;
-  for (const PageId id : pages) {
-    if (!keep_going) {
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (!keep_going || first_page_index + i >= meta_.page_count) {
       break;
     }
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id));
-    SEGDIFF_RETURN_IF_ERROR(
-        fn(id, page.data() + kHeaderBytes, PageCount(page.data()),
-           &keep_going));
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(pages[i], snap));
+    SEGDIFF_RETURN_IF_ERROR(fn(pages[i], page.data() + kHeaderBytes,
+                               PageRecordCount(first_page_index + i),
+                               &keep_going));
   }
   return Status::OK();
 }
 
-Result<std::vector<PageId>> HeapFile::CollectPageIds() const {
+Result<std::vector<PageId>> HeapFile::CollectPageIds(
+    const PoolSnapshot* snap) const {
   std::vector<PageId> pages;
   pages.reserve(meta_.page_count);
   PageId current = meta_.first_page;
-  while (current != kInvalidPageId) {
+  while (current != kInvalidPageId && pages.size() < meta_.page_count) {
     pages.push_back(current);
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current));
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current, snap));
     current = PageNext(page.data());
   }
   return pages;
 }
 
 Status HeapFile::ScanPages(const std::vector<PageId>& pages,
-                           const ScanFn& fn) const {
+                           uint64_t first_page_index, const ScanFn& fn,
+                           const PoolSnapshot* snap) const {
   bool keep_going = true;
-  for (const PageId id : pages) {
-    if (!keep_going) {
+  for (size_t i = 0; i < pages.size(); ++i) {
+    if (!keep_going || first_page_index + i >= meta_.page_count) {
       break;
     }
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id));
-    const uint16_t count = PageCount(page.data());
+    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(pages[i], snap));
+    const uint16_t count = PageRecordCount(first_page_index + i);
     const char* base = page.data() + kHeaderBytes;
     for (uint16_t slot = 0; slot < count && keep_going; ++slot) {
       SEGDIFF_RETURN_IF_ERROR(
           fn(base + static_cast<size_t>(slot) * record_bytes_,
-             RecordId{id, slot}, &keep_going));
+             RecordId{pages[i], slot}, &keep_going));
     }
   }
   return Status::OK();
 }
 
-Status HeapFile::ReadRecord(RecordId id, char* buf) const {
-  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id.page));
+Status HeapFile::ReadRecord(RecordId id, char* buf,
+                            const PoolSnapshot* snap) const {
+  SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(id.page, snap));
   const uint16_t count = PageCount(page.data());
   if (id.slot >= count) {
     return Status::NotFound("record slot out of range");

@@ -8,6 +8,21 @@
 //             trailing kPageTrailerBytes belong to the pager's checksum)
 //
 // Scans stream pages in chain order; point reads resolve a RecordId.
+//
+// The HeapFileMeta is authoritative over the page headers. Pages fill
+// strictly in order, so the i-th page of the chain holds
+// min(records_per_page, record_count - i * records_per_page) records;
+// scans derive counts from that and bound the chain walk by
+// meta.page_count rather than trusting on-page state. Two situations
+// make the distinction matter:
+//   - snapshot reads: a scan over a frozen HeapFileMeta (plus a pool
+//     snapshot for page contents) sees exactly the snapshot's rows even
+//     while a writer keeps appending to the live tail;
+//   - crash recovery: a dirty tail page stolen to disk between
+//     checkpoints can persist more rows (and a further chain) than the
+//     checkpointed catalog records; deriving from the meta masks those
+//     phantom rows, and Append overwrites them slot by slot during WAL
+//     replay, reproducing the pre-crash bytes exactly.
 
 #ifndef SEGDIFF_STORAGE_HEAP_FILE_H_
 #define SEGDIFF_STORAGE_HEAP_FILE_H_
@@ -32,7 +47,10 @@ struct HeapFileMeta {
 };
 
 /// Access object over one heap file. Cheap to construct; all state that
-/// must survive restarts lives in HeapFileMeta (persisted by the catalog).
+/// must survive restarts lives in HeapFileMeta (persisted by the
+/// catalog). Snapshot scans exploit the cheapness: they attach a
+/// throwaway HeapFile over the frozen meta and read through the pool
+/// snapshot passed to the scan methods.
 class HeapFile {
  public:
   static constexpr size_t kHeaderBytes = 16;
@@ -46,26 +64,34 @@ class HeapFile {
   static Result<HeapFile> Attach(BufferPool* pool, size_t record_bytes,
                                  const HeapFileMeta& meta);
 
-  /// Appends one record (record_bytes bytes); returns its id.
+  /// Appends one record (record_bytes bytes); returns its id. The
+  /// append slot comes from the meta, not the tail page header, so
+  /// replay after a crash overwrites any phantom rows in place.
   Result<RecordId> Append(const char* record);
 
   /// Visits records in storage order. The callback sets `*keep_going` to
-  /// false to stop early.
+  /// false to stop early. `snap` (nullable) reads page contents as of a
+  /// pool snapshot — pair it with a frozen meta.
   using ScanFn =
       std::function<Status(const char* record, RecordId id, bool* keep_going)>;
-  Status Scan(const ScanFn& fn) const;
+  Status Scan(const ScanFn& fn, const PoolSnapshot* snap = nullptr) const;
 
   /// Copies the record at `id` into `buf` (record_bytes bytes).
-  Status ReadRecord(RecordId id, char* buf) const;
+  Status ReadRecord(RecordId id, char* buf,
+                    const PoolSnapshot* snap = nullptr) const;
 
   /// Page ids of the chain in storage order, by walking the next
-  /// pointers. The walk touches every page header (one pool fetch per
-  /// page), so callers partitioning a scan should reuse the result.
-  Result<std::vector<PageId>> CollectPageIds() const;
+  /// pointers (bounded by meta.page_count). The walk touches every page
+  /// header (one pool fetch per page), so callers partitioning a scan
+  /// should reuse the result.
+  Result<std::vector<PageId>> CollectPageIds(
+      const PoolSnapshot* snap = nullptr) const;
 
-  /// Scans only `pages` (typically one partition of CollectPageIds()),
-  /// in the given order. `keep_going = false` stops this partition.
-  Status ScanPages(const std::vector<PageId>& pages, const ScanFn& fn) const;
+  /// Scans only `pages` (a contiguous slice of CollectPageIds() whose
+  /// first element sits at chain position `first_page_index`), in the
+  /// given order. `keep_going = false` stops this partition.
+  Status ScanPages(const std::vector<PageId>& pages, uint64_t first_page_index,
+                   const ScanFn& fn, const PoolSnapshot* snap = nullptr) const;
 
   /// Page-at-a-time scan: the callback sees each page's record area
   /// (`records` = first record, `count` records of record_bytes each)
@@ -76,9 +102,11 @@ class HeapFile {
   /// not mask corruption).
   using PageDataFn = std::function<Status(PageId page, const char* records,
                                           uint16_t count, bool* keep_going)>;
-  Status ScanPageData(const PageDataFn& fn) const;
+  Status ScanPageData(const PageDataFn& fn,
+                      const PoolSnapshot* snap = nullptr) const;
   Status ScanPagesData(const std::vector<PageId>& pages,
-                       const PageDataFn& fn) const;
+                       uint64_t first_page_index, const PageDataFn& fn,
+                       const PoolSnapshot* snap = nullptr) const;
 
   const HeapFileMeta& meta() const { return meta_; }
   size_t record_bytes() const { return record_bytes_; }
@@ -87,6 +115,10 @@ class HeapFile {
 
  private:
   HeapFile(BufferPool* pool, size_t record_bytes, const HeapFileMeta& meta);
+
+  /// Records held by the page at chain position `page_index`, derived
+  /// from the meta (pages fill strictly in order).
+  uint16_t PageRecordCount(uint64_t page_index) const;
 
   BufferPool* pool_;
   ExtentAllocator allocator_;

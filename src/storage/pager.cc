@@ -49,9 +49,13 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
     }
     return pager;
   }
-  if (size % kPageSize != 0) {
-    return Status::Corruption("file size not page-aligned: " + path);
+  if (size < kPageSize) {
+    return Status::Corruption("file smaller than the header page: " + path);
   }
+  // A non-page-aligned tail is tolerated: a crash mid-WritePage can leave
+  // a torn partial page at the end of the file, but only past the header's
+  // page count (checked below) — recovery never reads it and the next
+  // extension overwrites it.
   char header[kPageSize];
   SEGDIFF_RETURN_IF_ERROR(file->Read(0, kPageSize, header));
   if (DecodeFixed32(header) != kFileMagic) {
@@ -72,6 +76,9 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
   if (version == kFormatChecksummed) {
     SEGDIFF_RETURN_IF_ERROR(pager->VerifyPageBuffer(0, header));
   }
+  // Pre-WAL v2 files carry zeros here, which reads back as "nothing
+  // applied" — exactly right.
+  pager->applied_lsn_.store(DecodeFixed64(header + 16));
   return pager;
 }
 
@@ -136,6 +143,14 @@ Status Pager::ReadPage(PageId id, char* buf) {
   return Status::OK();
 }
 
+Status Pager::ReadPageRaw(PageId id, char* buf) {
+  if (id >= page_count_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("read past end of file: page " +
+                                   std::to_string(id));
+  }
+  return file_->Read(id * kPageSize, kPageSize, buf);
+}
+
 Status Pager::WritePage(PageId id, const char* buf) {
   if (read_only()) {
     return ReadOnlyError(path_);
@@ -187,6 +202,7 @@ Status Pager::WriteHeader() {
   EncodeFixed32(header, kFileMagic);
   EncodeFixed32(header + 4, format_version_);
   EncodeFixed64(header + 8, page_count_.load());
+  EncodeFixed64(header + 16, applied_lsn_.load());
   StampTrailer(header);
   return file_->Write(0, header, kPageSize);
 }

@@ -75,6 +75,11 @@ class Pager {
   /// checksum (v2 files; see set_verify_checksums).
   Status ReadPage(PageId id, char* buf);
 
+  /// Reads page `id` without checksum verification or simulated latency:
+  /// the buffer pool's undo-image capture must snapshot the on-disk
+  /// bytes as they are, even when a crash left the page torn.
+  Status ReadPageRaw(PageId id, char* buf);
+
   /// Simulated storage latency, added to every ReadPage: `seq_ns` when
   /// the read continues the previous one (id == last id + 1), else
   /// `random_ns`. Models rotating-disk behaviour (the paper's testbed
@@ -98,6 +103,14 @@ class Pager {
 
   /// Pages in the file, including header.
   uint64_t page_count() const { return page_count_.load(); }
+
+  /// WAL LSN through which this file's contents are known complete:
+  /// every redo record with lsn <= applied_lsn() is reflected in the
+  /// pages, so recovery replays only what lies beyond it. Stored in
+  /// the header page; updated by fuzzy checkpoints (set, then Sync).
+  /// 0 on legacy/pre-WAL files — their whole WAL (if any) replays.
+  uint64_t applied_lsn() const { return applied_lsn_.load(); }
+  void set_applied_lsn(uint64_t lsn) { applied_lsn_.store(lsn); }
 
   /// Bytes on disk (page_count * kPageSize).
   uint64_t FileSizeBytes() const { return page_count_.load() * kPageSize; }
@@ -147,6 +160,7 @@ class Pager {
   std::unique_ptr<RandomAccessFile> file_;
   Vfs* vfs_;  ///< non-owning; outlives the pager
   std::atomic<uint64_t> page_count_{0};
+  std::atomic<uint64_t> applied_lsn_{0};
   uint32_t format_version_ = kFormatChecksummed;
   bool verify_checksums_ = true;
   /// The file was created by this pager and its directory entry has not

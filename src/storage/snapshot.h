@@ -1,0 +1,76 @@
+// Database snapshots: a consistent point-in-time view for readers that
+// run concurrently with streaming ingest.
+//
+// A DatabaseSnapshot pairs a buffer-pool snapshot epoch (page-level
+// copy-on-write pre-images; see storage/buffer_pool.h) with a frozen
+// copy of every table's logical position: its heap meta (first/last
+// page, record and page counts) and its zone map. Together they pin the
+// exact set of rows visible when the snapshot was taken:
+//
+//   - the frozen heap meta bounds the page-chain walk and derives the
+//     tail page's record count, so rows appended later are invisible
+//     even before their pages diverge;
+//   - the pool snapshot serves pre-images of any page the writer has
+//     touched since, so rows the walk does visit read back exactly as
+//     they were;
+//   - the frozen zone map prunes against snapshot-time statistics, so
+//     pruning decisions stay consistent with the rows being scanned.
+//
+// Snapshots are cheap (one pool epoch + per-table metadata copies, no
+// page copying up front) and must be taken at an operation boundary
+// with no concurrent writer — the engines take theirs under the ingest
+// mutex. They hold no pinned pages, so holding one across a long query
+// never starves the pool; its only cost is deferring version GC.
+
+#ifndef SEGDIFF_STORAGE_SNAPSHOT_H_
+#define SEGDIFF_STORAGE_SNAPSHOT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/zone_map.h"
+
+namespace segdiff {
+
+/// Frozen per-table state. The columnar portion needs no freezing: its
+/// segments are immutable once written and only compaction (which never
+/// runs concurrently with ingest) creates new ones.
+struct TableSnapshotView {
+  HeapFileMeta heap_meta;
+  /// Zone map as of the snapshot, or null (unsupported schema / not yet
+  /// built). Shared so copying views stays cheap.
+  std::shared_ptr<const ZoneMap> zone_map;
+};
+
+/// The whole-database snapshot handed to scan operators. Movable and
+/// copyable (copies share the same pool epoch); must not outlive the
+/// Database that created it.
+class DatabaseSnapshot {
+ public:
+  DatabaseSnapshot() = default;
+
+  /// The view of `table_name`, or nullptr when the table did not exist
+  /// at snapshot time.
+  const TableSnapshotView* TableView(const std::string& table_name) const {
+    auto it = tables_.find(table_name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+
+  /// The buffer-pool epoch backing page reads; null only for a
+  /// default-constructed (empty) snapshot.
+  const PoolSnapshot* pool_snapshot() const { return pool_snap_.get(); }
+
+ private:
+  friend class Database;
+
+  std::shared_ptr<const PoolSnapshot> pool_snap_;
+  std::map<std::string, TableSnapshotView> tables_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_SNAPSHOT_H_

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/coding.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace segdiff {
 
@@ -59,16 +61,7 @@ Result<IndexKey> Table::MakeKey(const TableIndex& index, const char* record,
 
 Result<RecordId> Table::Insert(const Row& row) {
   SEGDIFF_RETURN_IF_ERROR(EncodeRow(schema_, row, encode_buf_.data()));
-  SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(encode_buf_.data()));
-  if (zone_map_ != nullptr) {
-    zone_map_->OnAppend(rid, encode_buf_.data());
-  }
-  for (TableIndex& index : indexes_) {
-    SEGDIFF_ASSIGN_OR_RETURN(IndexKey key,
-                             MakeKey(index, encode_buf_.data(), rid));
-    SEGDIFF_RETURN_IF_ERROR(index.tree->Insert(key));
-  }
-  return rid;
+  return InsertEncoded(encode_buf_.data());
 }
 
 Result<RecordId> Table::InsertDoubles(const std::vector<double>& values) {
@@ -78,27 +71,54 @@ Result<RecordId> Table::InsertDoubles(const std::vector<double>& values) {
   for (size_t i = 0; i < values.size(); ++i) {
     EncodeDouble(encode_buf_.data() + 8 * i, values[i]);
   }
-  SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(encode_buf_.data()));
+  return InsertEncoded(encode_buf_.data());
+}
+
+Result<RecordId> Table::InsertEncoded(const char* record) {
+  // WAL-before-data: the redo record (keyed by the row's ordinal, which
+  // makes replay idempotent) is logged before any page is touched, so a
+  // stolen page can never outrun the log.
+  Wal* wal = pool_->wal();
+  if (wal != nullptr && wal->logs_rows()) {
+    SEGDIFF_RETURN_IF_ERROR(
+        wal->AppendRowAppend(name_, row_count(), record, schema_.RowBytes())
+            .status());
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(RecordId rid, heap_->Append(record));
   if (zone_map_ != nullptr) {
-    zone_map_->OnAppend(rid, encode_buf_.data());
+    zone_map_->OnAppend(rid, record);
   }
   for (TableIndex& index : indexes_) {
-    SEGDIFF_ASSIGN_OR_RETURN(IndexKey key,
-                             MakeKey(index, encode_buf_.data(), rid));
+    SEGDIFF_ASSIGN_OR_RETURN(IndexKey key, MakeKey(index, record, rid));
     SEGDIFF_RETURN_IF_ERROR(index.tree->Insert(key));
   }
   return rid;
 }
 
-Status Table::Scan(const HeapFile::ScanFn& fn) const {
+Result<HeapFile> Table::FrozenHeap(const DatabaseSnapshot& snapshot) const {
+  const TableSnapshotView* view = snapshot.TableView(name_);
+  if (view == nullptr) {
+    return Status::InvalidArgument("table not covered by snapshot: " + name_);
+  }
+  return HeapFile::Attach(pool_, schema_.RowBytes(), view->heap_meta);
+}
+
+Status Table::Scan(const HeapFile::ScanFn& fn,
+                   const DatabaseSnapshot* snapshot) const {
   if (columnar_ != nullptr) {
+    // Columnar segments are immutable once written, so snapshot scans
+    // read them directly.
     bool keep_going = true;
     SEGDIFF_RETURN_IF_ERROR(ScanColumnar(fn, &keep_going));
     if (!keep_going) {
       return Status::OK();
     }
   }
-  return heap_->Scan(fn);
+  if (snapshot == nullptr) {
+    return heap_->Scan(fn);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
+  return frozen.Scan(fn, snapshot->pool_snapshot());
 }
 
 Status Table::ScanColumnar(const HeapFile::ScanFn& fn,
@@ -164,22 +184,45 @@ Table::FormatBreakdown Table::GetFormatBreakdown() const {
   return breakdown;
 }
 
-Result<std::vector<PageId>> Table::HeapPageIds() const {
-  return heap_->CollectPageIds();
+Result<std::vector<PageId>> Table::HeapPageIds(
+    const DatabaseSnapshot* snapshot) const {
+  if (snapshot == nullptr) {
+    return heap_->CollectPageIds();
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
+  return frozen.CollectPageIds(snapshot->pool_snapshot());
 }
 
 Status Table::ScanPages(const std::vector<PageId>& pages,
-                        const HeapFile::ScanFn& fn) const {
-  return heap_->ScanPages(pages, fn);
+                        uint64_t first_page_index, const HeapFile::ScanFn& fn,
+                        const DatabaseSnapshot* snapshot) const {
+  if (snapshot == nullptr) {
+    return heap_->ScanPages(pages, first_page_index, fn);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
+  return frozen.ScanPages(pages, first_page_index, fn,
+                          snapshot->pool_snapshot());
 }
 
-Status Table::ScanPageData(const HeapFile::PageDataFn& fn) const {
-  return heap_->ScanPageData(fn);
+Status Table::ScanPageData(const HeapFile::PageDataFn& fn,
+                           const DatabaseSnapshot* snapshot) const {
+  if (snapshot == nullptr) {
+    return heap_->ScanPageData(fn);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
+  return frozen.ScanPageData(fn, snapshot->pool_snapshot());
 }
 
 Status Table::ScanPagesData(const std::vector<PageId>& pages,
-                            const HeapFile::PageDataFn& fn) const {
-  return heap_->ScanPagesData(pages, fn);
+                            uint64_t first_page_index,
+                            const HeapFile::PageDataFn& fn,
+                            const DatabaseSnapshot* snapshot) const {
+  if (snapshot == nullptr) {
+    return heap_->ScanPagesData(pages, first_page_index, fn);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
+  return frozen.ScanPagesData(pages, first_page_index, fn,
+                              snapshot->pool_snapshot());
 }
 
 bool Table::AttachZoneMap(ZoneMap map) {
@@ -213,12 +256,14 @@ Result<Row> Table::ReadRow(RecordId id) const {
   return DecodeRow(schema_, buf.data());
 }
 
-Status Table::ReadRecord(RecordId id, char* buf) const {
+Status Table::ReadRecord(RecordId id, char* buf,
+                         const DatabaseSnapshot* snapshot) const {
   if (columnar_ != nullptr && columnar_->FindSegment(id.page) !=
                                   ColumnStore::npos) {
     return columnar_->ReadRow(id, buf);
   }
-  return heap_->ReadRecord(id, buf);
+  return heap_->ReadRecord(
+      id, buf, snapshot == nullptr ? nullptr : snapshot->pool_snapshot());
 }
 
 Result<BPlusTree*> Table::CreateIndex(
@@ -283,6 +328,12 @@ Result<BPlusTree*> Table::GetIndex(const std::string& index_name) const {
 }
 
 Result<uint64_t> Table::DeleteWhere(const Predicate& predicate) {
+  // The rewrite's internal appends are not independently redoable (the
+  // survivors land in a heap the catalog does not reference yet), so
+  // they are not logged; the caller must checkpoint right after, which
+  // makes the new heap durable atomically with the catalog that points
+  // at it. A crash before that checkpoint recovers the pre-delete state.
+  Wal::Suspend suspend_wal(pool_->wal());
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile fresh,
                            HeapFile::Create(pool_, schema_.RowBytes()));
   uint64_t removed = 0;

@@ -17,6 +17,8 @@
 
 namespace segdiff {
 
+class DatabaseSnapshot;
+
 /// One secondary index: key = the listed double columns, in order,
 /// with the record id appended as tiebreaker.
 struct TableIndex {
@@ -49,28 +51,46 @@ class Table {
   const std::string& name() const { return name_; }
   const TableSchema& schema() const { return schema_; }
 
-  /// Inserts a typed row; updates all indexes.
+  /// Inserts a typed row; updates all indexes. When the buffer pool
+  /// carries a WAL that logs rows, the encoded row is logged (with its
+  /// ordinal) before any page is touched — WAL-before-data.
   Result<RecordId> Insert(const Row& row);
 
   /// Hot path for all-double tables: skips Value boxing.
   Result<RecordId> InsertDoubles(const std::vector<double>& values);
 
+  /// Inserts an already-encoded record (schema().RowBytes() bytes):
+  /// the common tail of Insert/InsertDoubles, and the WAL replay path
+  /// (replay runs it with logging suspended, reproducing the original
+  /// append byte for byte).
+  Result<RecordId> InsertEncoded(const char* record);
+
   /// Raw scan over encoded records in insertion order: columnar
-  /// segments (materialized row by row), then the heap.
-  Status Scan(const HeapFile::ScanFn& fn) const;
+  /// segments (materialized row by row), then the heap. A non-null
+  /// `snapshot` (see storage/snapshot.h) reads the frozen point-in-time
+  /// state instead of the live table — same for every scan/read below.
+  Status Scan(const HeapFile::ScanFn& fn,
+              const DatabaseSnapshot* snapshot = nullptr) const;
 
   /// Heap page ids in storage order (for partitioned parallel scans).
-  Result<std::vector<PageId>> HeapPageIds() const;
+  Result<std::vector<PageId>> HeapPageIds(
+      const DatabaseSnapshot* snapshot = nullptr) const;
 
-  /// Raw scan restricted to the given heap pages.
+  /// Raw scan restricted to the given heap pages — a contiguous slice
+  /// of HeapPageIds() starting at chain position `first_page_index`
+  /// (which per-page record counts are derived from).
   Status ScanPages(const std::vector<PageId>& pages,
-                   const HeapFile::ScanFn& fn) const;
+                   uint64_t first_page_index, const HeapFile::ScanFn& fn,
+                   const DatabaseSnapshot* snapshot = nullptr) const;
 
   /// Page-at-a-time scans over the whole chain / the given pages; the
   /// batched executors decode each page's records in one shot.
-  Status ScanPageData(const HeapFile::PageDataFn& fn) const;
+  Status ScanPageData(const HeapFile::PageDataFn& fn,
+                      const DatabaseSnapshot* snapshot = nullptr) const;
   Status ScanPagesData(const std::vector<PageId>& pages,
-                       const HeapFile::PageDataFn& fn) const;
+                       uint64_t first_page_index,
+                       const HeapFile::PageDataFn& fn,
+                       const DatabaseSnapshot* snapshot = nullptr) const;
 
   /// Materializes the row at `id`.
   Result<Row> ReadRow(RecordId id) const;
@@ -78,7 +98,8 @@ class Table {
   /// Copies the encoded record at `id` into `buf` (schema().RowBytes()).
   /// Resolves both heap record ids and columnar ids ({segment first
   /// page, row index}), so index scans work across both formats.
-  Status ReadRecord(RecordId id, char* buf) const;
+  Status ReadRecord(RecordId id, char* buf,
+                    const DatabaseSnapshot* snapshot = nullptr) const;
 
   /// The table's columnar portion, or nullptr (pure row format).
   const ColumnStore* columnar() const { return columnar_.get(); }
@@ -167,6 +188,10 @@ class Table {
   /// Visits the columnar rows in segment order (clears *keep_going on
   /// early stop, like HeapFile::Scan's callback contract).
   Status ScanColumnar(const HeapFile::ScanFn& fn, bool* keep_going) const;
+
+  /// A throwaway HeapFile over this table's frozen meta in `snapshot`
+  /// (InvalidArgument when the snapshot predates the table).
+  Result<HeapFile> FrozenHeap(const DatabaseSnapshot& snapshot) const;
 
   BufferPool* pool_;
   std::string name_;

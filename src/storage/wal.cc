@@ -1,0 +1,506 @@
+#include "storage/wal.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace segdiff {
+
+namespace {
+
+void EncodeWalHeader(char* buf, uint64_t start_lsn) {
+  std::memset(buf, 0, kWalHeaderSize);
+  EncodeFixed32(buf, kWalMagic);
+  EncodeFixed32(buf + 4, kWalVersion);
+  EncodeFixed64(buf + 8, start_lsn);
+  EncodeFixed64(buf + 16, 0);  // reserved
+  EncodeFixed32(buf + 24, Crc32c(buf, 24));
+}
+
+/// Everything a forward scan of a WAL file learns.
+struct WalScanResult {
+  bool exists = false;
+  bool header_ok = false;
+  /// File too short to hold a header: a crash tore the creation; safe
+  /// to treat as empty (nothing was ever acknowledged from it).
+  bool short_header = false;
+  uint64_t start_lsn = 0;
+  uint64_t file_size = 0;
+  uint64_t valid_end = 0;  ///< offset just past the last valid frame
+  uint64_t last_lsn = 0;   ///< 0 when no valid frames
+  std::vector<WalRecord> records;
+  std::string error;  ///< header diagnosis when !header_ok
+};
+
+Status ScanWalFile(Vfs* vfs, const std::string& path, WalScanResult* out) {
+  *out = WalScanResult();
+  if (!vfs->FileExists(path)) return Status::OK();
+  out->exists = true;
+  SEGDIFF_ASSIGN_OR_RETURN(auto file, vfs->OpenFile(path, /*create=*/false));
+  SEGDIFF_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  out->file_size = size;
+  if (size < kWalHeaderSize) {
+    out->short_header = true;
+    out->error = "WAL shorter than its header (torn creation)";
+    return Status::OK();
+  }
+  std::string data(size, '\0');
+  SEGDIFF_RETURN_IF_ERROR(file->Read(0, size, data.data()));
+
+  if (DecodeFixed32(data.data()) != kWalMagic) {
+    out->error = "bad WAL magic";
+    return Status::OK();
+  }
+  uint32_t version = DecodeFixed32(data.data() + 4);
+  if (version != kWalVersion) {
+    out->error = "unsupported WAL version " + std::to_string(version);
+    return Status::OK();
+  }
+  if (DecodeFixed32(data.data() + 24) != Crc32c(data.data(), 24)) {
+    out->error = "WAL header checksum mismatch";
+    return Status::OK();
+  }
+  out->header_ok = true;
+  out->start_lsn = DecodeFixed64(data.data() + 8);
+  out->valid_end = kWalHeaderSize;
+
+  // Frames are consecutive from start_lsn within a generation; any
+  // break (short frame, gap, oversized length, bad CRC) is the torn
+  // tail — stop there.
+  uint64_t expected_lsn = out->start_lsn;
+  uint64_t off = kWalHeaderSize;
+  while (off + kWalFrameOverhead <= size) {
+    const char* frame = data.data() + off;
+    uint64_t lsn = DecodeFixed64(frame);
+    uint32_t len = DecodeFixed32(frame + 8);
+    if (lsn != expected_lsn || len > kWalMaxPayload) break;
+    uint64_t frame_size = kWalFrameOverhead + len;
+    if (off + frame_size > size) break;
+    uint32_t crc = DecodeFixed32(frame + kWalFrameHeaderSize + len);
+    if (crc != Crc32c(frame, kWalFrameHeaderSize + len)) break;
+    uint8_t raw_type = static_cast<uint8_t>(frame[12]);
+    if (raw_type < static_cast<uint8_t>(WalRecordType::kObservation) ||
+        raw_type > static_cast<uint8_t>(WalRecordType::kEraseMeta)) {
+      break;
+    }
+    WalRecord rec;
+    rec.lsn = lsn;
+    rec.type = static_cast<WalRecordType>(raw_type);
+    rec.payload.assign(frame + kWalFrameHeaderSize, len);
+    out->records.push_back(std::move(rec));
+    out->last_lsn = lsn;
+    off += frame_size;
+    out->valid_end = off;
+    ++expected_lsn;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalObservation> DecodeWalObservation(const std::string& payload) {
+  if (payload.size() != 16) {
+    return Status::Corruption("WAL observation record has bad size");
+  }
+  WalObservation obs;
+  obs.t = DecodeDouble(payload.data());
+  obs.v = DecodeDouble(payload.data() + 8);
+  return obs;
+}
+
+Result<WalRowAppend> DecodeWalRowAppend(const std::string& payload) {
+  if (payload.size() < 10) {
+    return Status::Corruption("WAL row-append record truncated");
+  }
+  uint16_t name_len = DecodeFixed16(payload.data());
+  if (payload.size() < 10u + name_len) {
+    return Status::Corruption("WAL row-append record truncated");
+  }
+  WalRowAppend row;
+  row.table.assign(payload.data() + 2, name_len);
+  row.ordinal = DecodeFixed64(payload.data() + 2 + name_len);
+  row.row.assign(payload.data() + 10 + name_len,
+                 payload.size() - 10 - name_len);
+  return row;
+}
+
+Result<WalUndoImage> DecodeWalUndoImage(const std::string& payload) {
+  if (payload.size() < 8) {
+    return Status::Corruption("WAL undo-image record truncated");
+  }
+  WalUndoImage image;
+  image.page_id = DecodeFixed64(payload.data());
+  image.image.assign(payload.data() + 8, payload.size() - 8);
+  return image;
+}
+
+Result<WalMetaUpdate> DecodeWalPutMeta(const std::string& payload) {
+  if (payload.size() < 2) {
+    return Status::Corruption("WAL put-meta record truncated");
+  }
+  uint16_t name_len = DecodeFixed16(payload.data());
+  if (payload.size() < 2u + name_len) {
+    return Status::Corruption("WAL put-meta record truncated");
+  }
+  WalMetaUpdate update;
+  update.name.assign(payload.data() + 2, name_len);
+  update.blob.assign(payload.data() + 2 + name_len,
+                     payload.size() - 2 - name_len);
+  return update;
+}
+
+Result<std::string> DecodeWalEraseMeta(const std::string& payload) {
+  if (payload.size() < 2) {
+    return Status::Corruption("WAL erase-meta record truncated");
+  }
+  uint16_t name_len = DecodeFixed16(payload.data());
+  if (payload.size() != 2u + name_len) {
+    return Status::Corruption("WAL erase-meta record truncated");
+  }
+  return std::string(payload.data() + 2, name_len);
+}
+
+Wal::Wal(Vfs* vfs, std::string path, const WalOptions& options)
+    : vfs_(vfs), path_(std::move(path)), window_ms_(options.group_commit_ms) {}
+
+Result<std::unique_ptr<Wal>> Wal::Open(Vfs* vfs, const std::string& db_path,
+                                       const WalOptions& options,
+                                       uint64_t min_next_lsn) {
+  if (vfs == nullptr) vfs = Vfs::Default();
+  auto wal = std::unique_ptr<Wal>(new Wal(vfs, PathFor(db_path), options));
+
+  WalScanResult scan;
+  SEGDIFF_RETURN_IF_ERROR(ScanWalFile(vfs, wal->path_, &scan));
+  if (scan.exists && !scan.header_ok && !scan.short_header) {
+    // The log may hold acknowledged records we cannot read back;
+    // silently dropping it would be silent data loss.
+    return Status::Corruption(
+        "WAL " + wal->path_ + " is unreadable (" + scan.error +
+        "); if the log is known stale, remove the file and reopen");
+  }
+
+  uint64_t next = min_next_lsn > 0 ? min_next_lsn : 1;
+  if (scan.exists && scan.header_ok) {
+    // Keep the handle; the torn tail (if any) is trimmed before the
+    // first flush write — Open itself must not modify the file.
+    SEGDIFF_ASSIGN_OR_RETURN(wal->file_,
+                             vfs->OpenFile(wal->path_, /*create=*/false));
+    wal->file_fresh_ = false;
+    wal->tail_offset_ = scan.valid_end;
+    if (scan.valid_end < scan.file_size) {
+      wal->need_truncate_ = true;
+      wal->truncate_to_ = scan.valid_end;
+    }
+    wal->start_lsn_.store(scan.start_lsn);
+    if (scan.last_lsn + 1 > next) next = scan.last_lsn + 1;
+    if (scan.start_lsn > next) next = scan.start_lsn;
+    for (auto& rec : scan.records) {
+      if (rec.lsn >= min_next_lsn) wal->recovered_.push_back(std::move(rec));
+    }
+  } else {
+    // Missing (or torn-creation) file: created lazily on first flush.
+    wal->start_lsn_.store(next);
+    if (scan.exists) {
+      wal->file_fresh_ = true;
+      wal->need_truncate_ = true;
+      wal->truncate_to_ = 0;
+    }
+  }
+  wal->next_lsn_ = next;
+  wal->buffered_lsn_.store(next - 1);
+  wal->durable_lsn_.store(next - 1);
+
+  if (wal->window_ms_ > 0) {
+    wal->flusher_ = std::thread([w = wal.get()] { w->FlusherLoop(); });
+  }
+  return wal;
+}
+
+Wal::~Wal() { Close(); }
+
+Status Wal::Close() {
+  if (flusher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_flusher_ = true;
+    }
+    cv_.notify_all();
+    flusher_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return flush_error_;
+  return FlushLocked();
+}
+
+void Wal::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_flusher_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(window_ms_));
+    if (stop_flusher_) break;
+    if (!pending_.empty() && flush_error_.ok()) {
+      FlushLocked();  // sticky error is surfaced to the next append
+    }
+  }
+}
+
+Status Wal::EnsureFileLocked() {
+  if (file_ == nullptr) {
+    SEGDIFF_ASSIGN_OR_RETURN(file_, vfs_->OpenFile(path_, /*create=*/true));
+    need_dir_sync_ = true;
+  }
+  if (need_truncate_) {
+    SEGDIFF_RETURN_IF_ERROR(file_->Truncate(truncate_to_));
+    need_truncate_ = false;
+    if (truncate_to_ < kWalHeaderSize) file_fresh_ = true;
+  }
+  if (file_fresh_) {
+    char header[kWalHeaderSize];
+    EncodeWalHeader(header, start_lsn_.load());
+    SEGDIFF_RETURN_IF_ERROR(file_->Write(0, header, kWalHeaderSize));
+    tail_offset_ = kWalHeaderSize;
+    file_fresh_ = false;
+  }
+  return Status::OK();
+}
+
+Status Wal::FlushLocked() {
+  if (flush_error_.ok() && pending_.empty() &&
+      durable_lsn_.load() == buffered_lsn_.load()) {
+    return Status::OK();
+  }
+  // A prior failure does not bar a foreground retry: the unflushed
+  // frames are still in pending_ and tail_offset_ was not advanced, so
+  // re-writing and re-syncing the same bytes (overwriting any partial
+  // tail the failure left) restores durability without ever having
+  // falsely acknowledged anything — every failed flush was reported.
+  Status st = EnsureFileLocked();
+  if (st.ok() && !pending_.empty()) {
+    st = file_->Write(tail_offset_, pending_.data(), pending_.size());
+  }
+  if (st.ok()) st = file_->Sync();
+  if (st.ok() && need_dir_sync_) {
+    st = vfs_->SyncDir(path_);
+    if (st.ok()) need_dir_sync_ = false;
+  }
+  if (!st.ok()) {
+    // Sticky until a flush succeeds: while durability is broken no new
+    // append may be buffered as if it could still become durable (the
+    // background flusher never retries; only explicit Sync/EnsureDurable
+    // calls do, and they surface every failure to the caller).
+    flush_error_ = Status::IOError("WAL flush failed (" + path_ +
+                                   "): " + st.ToString());
+    return flush_error_;
+  }
+  flush_error_ = Status::OK();
+  ++stats_.fsyncs;
+  if (pending_records_ >= 2) ++stats_.group_commits;
+  stats_.bytes_written += pending_.size();
+  tail_offset_ += pending_.size();
+  pending_.clear();
+  pending_records_ = 0;
+  durable_lsn_.store(buffered_lsn_.load());
+  return Status::OK();
+}
+
+Status Wal::AppendRecord(WalRecordType type, const char* payload, size_t n,
+                         uint64_t* lsn, bool even_suspended) {
+  *lsn = 0;
+  if (!even_suspended && suspend_count_.load() > 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!flush_error_.ok()) return flush_error_;
+  uint64_t assigned = next_lsn_++;
+  size_t base = pending_.size();
+  pending_.resize(base + kWalFrameOverhead + n);
+  char* frame = pending_.data() + base;
+  EncodeFixed64(frame, assigned);
+  EncodeFixed32(frame + 8, static_cast<uint32_t>(n));
+  frame[12] = static_cast<char>(type);
+  if (n > 0) std::memcpy(frame + kWalFrameHeaderSize, payload, n);
+  EncodeFixed32(frame + kWalFrameHeaderSize + n,
+                Crc32c(frame, kWalFrameHeaderSize + n));
+  buffered_lsn_.store(assigned);
+  ++stats_.appends;
+  ++pending_records_;
+  if (window_ms_ <= 0) {
+    Status st = FlushLocked();
+    if (!st.ok()) return st;
+  }
+  *lsn = assigned;
+  return Status::OK();
+}
+
+Result<uint64_t> Wal::AppendObservation(double t, double v) {
+  char payload[16];
+  EncodeDouble(payload, t);
+  EncodeDouble(payload + 8, v);
+  uint64_t lsn = 0;
+  SEGDIFF_RETURN_IF_ERROR(AppendRecord(WalRecordType::kObservation, payload,
+                                       sizeof(payload), &lsn));
+  return lsn;
+}
+
+Result<uint64_t> Wal::AppendFlushMarker() {
+  uint64_t lsn = 0;
+  SEGDIFF_RETURN_IF_ERROR(
+      AppendRecord(WalRecordType::kFlush, nullptr, 0, &lsn));
+  return lsn;
+}
+
+Result<uint64_t> Wal::AppendRowAppend(const std::string& table,
+                                      uint64_t ordinal, const char* row,
+                                      size_t row_len) {
+  if (table.size() > UINT16_MAX) {
+    return Status::InvalidArgument("table name too long for WAL record");
+  }
+  std::string payload(10 + table.size() + row_len, '\0');
+  EncodeFixed16(payload.data(), static_cast<uint16_t>(table.size()));
+  std::memcpy(payload.data() + 2, table.data(), table.size());
+  EncodeFixed64(payload.data() + 2 + table.size(), ordinal);
+  if (row_len > 0) {
+    std::memcpy(payload.data() + 10 + table.size(), row, row_len);
+  }
+  uint64_t lsn = 0;
+  SEGDIFF_RETURN_IF_ERROR(AppendRecord(WalRecordType::kRowAppend,
+                                       payload.data(), payload.size(), &lsn));
+  return lsn;
+}
+
+Result<uint64_t> Wal::AppendUndoImage(uint64_t page_id, const char* data,
+                                      size_t n) {
+  std::string payload(8 + n, '\0');
+  EncodeFixed64(payload.data(), page_id);
+  std::memcpy(payload.data() + 8, data, n);
+  uint64_t lsn = 0;
+  // Physical undo must be logged even while replay suspends logical
+  // logging: a steal during the recovery drain overwrites on-disk bytes
+  // exactly like any other steal.
+  SEGDIFF_RETURN_IF_ERROR(AppendRecord(WalRecordType::kUndoImage,
+                                       payload.data(), payload.size(), &lsn,
+                                       /*even_suspended=*/true));
+  return lsn;
+}
+
+Result<uint64_t> Wal::AppendPutMeta(const std::string& name,
+                                    const std::string& blob) {
+  if (name.size() > UINT16_MAX) {
+    return Status::InvalidArgument("meta name too long for WAL record");
+  }
+  std::string payload(2 + name.size() + blob.size(), '\0');
+  EncodeFixed16(payload.data(), static_cast<uint16_t>(name.size()));
+  std::memcpy(payload.data() + 2, name.data(), name.size());
+  std::memcpy(payload.data() + 2 + name.size(), blob.data(), blob.size());
+  uint64_t lsn = 0;
+  SEGDIFF_RETURN_IF_ERROR(AppendRecord(WalRecordType::kPutMeta,
+                                       payload.data(), payload.size(), &lsn));
+  return lsn;
+}
+
+Result<uint64_t> Wal::AppendEraseMeta(const std::string& name) {
+  if (name.size() > UINT16_MAX) {
+    return Status::InvalidArgument("meta name too long for WAL record");
+  }
+  std::string payload(2 + name.size(), '\0');
+  EncodeFixed16(payload.data(), static_cast<uint16_t>(name.size()));
+  std::memcpy(payload.data() + 2, name.data(), name.size());
+  uint64_t lsn = 0;
+  SEGDIFF_RETURN_IF_ERROR(AppendRecord(WalRecordType::kEraseMeta,
+                                       payload.data(), payload.size(), &lsn));
+  return lsn;
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status Wal::EnsureDurable(uint64_t lsn) {
+  if (lsn == 0 || lsn <= durable_lsn_.load()) return Status::OK();
+  return Sync();
+}
+
+Status Wal::Reset(uint64_t new_start_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!flush_error_.ok()) return flush_error_;
+  if (!pending_.empty()) {
+    return Status::Internal("WAL reset with unflushed records");
+  }
+  start_lsn_.store(new_start_lsn);
+  if (new_start_lsn > next_lsn_) next_lsn_ = new_start_lsn;
+  if (file_ == nullptr) {
+    // Never materialized: nothing on disk to truncate.
+    file_fresh_ = true;
+    return Status::OK();
+  }
+  Status st = file_->Truncate(0);
+  if (st.ok()) {
+    char header[kWalHeaderSize];
+    EncodeWalHeader(header, new_start_lsn);
+    st = file_->Write(0, header, kWalHeaderSize);
+  }
+  if (st.ok()) st = file_->Sync();
+  if (!st.ok()) {
+    flush_error_ = Status::IOError("WAL reset failed (" + path_ +
+                                   "): " + st.ToString());
+    return flush_error_;
+  }
+  ++stats_.fsyncs;
+  need_truncate_ = false;
+  file_fresh_ = false;
+  tail_offset_ = kWalHeaderSize;
+  return Status::OK();
+}
+
+uint64_t Wal::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr && pending_.empty()) return 0;
+  uint64_t base = file_ == nullptr ? kWalHeaderSize : tail_offset_;
+  return base + pending_.size();
+}
+
+WalStats Wal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+WalScrubReport Wal::Scrub(Vfs* vfs, const std::string& db_path) {
+  if (vfs == nullptr) vfs = Vfs::Default();
+  WalScrubReport report;
+  WalScanResult scan;
+  Status st = ScanWalFile(vfs, PathFor(db_path), &scan);
+  if (!st.ok()) {
+    report.exists = true;
+    report.corrupt = true;
+    report.message = st.ToString();
+    return report;
+  }
+  report.exists = scan.exists;
+  if (!scan.exists) return report;
+  report.bytes = scan.file_size;
+  if (scan.short_header) {
+    // Nothing acknowledged can live in a header-less file; recovery
+    // treats it as empty.
+    report.torn_tail = true;
+    report.message = scan.error;
+    return report;
+  }
+  if (!scan.header_ok) {
+    report.corrupt = true;
+    report.message = scan.error;
+    return report;
+  }
+  report.frames = scan.records.size();
+  report.start_lsn = scan.start_lsn;
+  report.last_lsn = scan.last_lsn;
+  if (scan.valid_end < scan.file_size) {
+    report.torn_tail = true;
+    report.message =
+        "torn tail: " + std::to_string(scan.file_size - scan.valid_end) +
+        " trailing bytes past the last valid frame (trimmed on next open)";
+  }
+  return report;
+}
+
+}  // namespace segdiff

@@ -1,0 +1,288 @@
+// Write-ahead log: redo records framed with CRC32C, fsynced in group-
+// commit batches, replayed by Database::Open after a crash.
+//
+// One WAL file sits beside each database file (`<path>.wal`), written
+// through the same Vfs so fault injection covers it. Layout:
+//
+//   header (32 B): magic "SDWL" | version u32 | start_lsn u64 |
+//                  reserved u64 | crc32c(header[0,24)) | pad
+//   frame:         lsn u64 | payload_len u32 | type u8 | payload |
+//                  crc32c(frame[0, 13+payload_len))
+//
+// LSNs are assigned by a monotone counter that never runs backwards
+// over the life of a store; within one WAL generation (between Resets)
+// frame LSNs are consecutive from start_lsn, which the scanner uses as
+// a validity check. The scan stops at the first short, gapped, or
+// CRC-failed frame: a torn tail is the normal shape of a crash, never
+// an error (frames past the tear were never acknowledged).
+//
+// Record kinds:
+//   kObservation  one FeatureSink::AppendObservation(t, v) — the
+//                 logical redo unit for engine stores (SegDiff/Exh),
+//                 replayed by re-running the ingest pipeline.
+//   kFlush        a FlushPending boundary, so replay reproduces the
+//                 segment-flush state byte-identically.
+//   kRowAppend    one Table::Insert for raw (non-engine) databases:
+//                 table name, the row's ordinal, encoded row bytes.
+//                 The ordinal makes replay idempotent — a row already
+//                 present (ordinal < row_count) is skipped.
+//   kUndoImage    the page's PRIOR on-disk content, logged before the
+//                 buffer pool steals (writes back) a dirty page between
+//                 checkpoints. Recovery applies the OLDEST image of
+//                 each page first, rolling stolen pages back to their
+//                 checkpoint-era content so logical replay starts from
+//                 an exact checkpoint state — required when a crash
+//                 preserves unsynced writes (OS kill, power loss after
+//                 the page cache drained).
+//   kPutMeta /    catalog meta-blob updates (engine ingest state), so
+//   kEraseMeta    recovery restores blobs written after the checkpoint.
+//
+// Durability contract: Append* buffers the record; it becomes durable
+// at the next group-commit flush (every `group_commit_ms`, or
+// immediately when the window is 0), or when Sync()/EnsureDurable()
+// forces one. A failed flush is sticky: once the log cannot be made
+// durable, every later append is refused rather than falsely
+// acknowledged.
+//
+// Checkpoints call Reset(applied_lsn + 1): truncate to an empty
+// generation whose start_lsn records that everything below it is in
+// the data file.
+
+#ifndef SEGDIFF_STORAGE_WAL_H_
+#define SEGDIFF_STORAGE_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/vfs.h"
+
+namespace segdiff {
+
+inline constexpr size_t kWalHeaderSize = 32;
+inline constexpr size_t kWalFrameHeaderSize = 13;  ///< lsn + len + type
+inline constexpr size_t kWalFrameOverhead = kWalFrameHeaderSize + 4;
+inline constexpr uint32_t kWalMagic = 0x4C574453u;  ///< "SDWL"
+inline constexpr uint32_t kWalVersion = 1;
+/// Upper bound on a single frame payload (sanity check while scanning;
+/// the largest real payload is a page image plus a small header).
+inline constexpr uint32_t kWalMaxPayload = 1u << 24;
+
+enum class WalRecordType : uint8_t {
+  kObservation = 1,
+  kFlush = 2,
+  kRowAppend = 3,
+  kUndoImage = 4,
+  kPutMeta = 5,
+  kEraseMeta = 6,
+};
+
+/// One recovered redo record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kObservation;
+  std::string payload;
+};
+
+/// Decoded payload forms (see the Append* builders in wal.cc).
+struct WalObservation {
+  double t = 0.0;
+  double v = 0.0;
+};
+struct WalRowAppend {
+  std::string table;
+  uint64_t ordinal = 0;  ///< row_count at append time
+  std::string row;       ///< encoded row bytes
+};
+struct WalUndoImage {
+  uint64_t page_id = 0;
+  std::string image;  ///< kPageCapacity bytes (trailer is the pager's)
+};
+struct WalMetaUpdate {
+  std::string name;
+  std::string blob;
+};
+
+Result<WalObservation> DecodeWalObservation(const std::string& payload);
+Result<WalRowAppend> DecodeWalRowAppend(const std::string& payload);
+Result<WalUndoImage> DecodeWalUndoImage(const std::string& payload);
+Result<WalMetaUpdate> DecodeWalPutMeta(const std::string& payload);
+Result<std::string> DecodeWalEraseMeta(const std::string& payload);
+
+struct WalOptions {
+  /// Group-commit window in milliseconds. 0 flushes (write + fsync)
+  /// synchronously inside every append; > 0 batches appends and a
+  /// background flusher makes them durable at most this much later.
+  int64_t group_commit_ms = 1;
+};
+
+/// Durability-side counters (bench_ingest's fsyncs-per-append metric).
+struct WalStats {
+  uint64_t appends = 0;        ///< records appended
+  uint64_t fsyncs = 0;         ///< file Sync() calls issued
+  uint64_t bytes_written = 0;  ///< frame bytes written to the file
+  uint64_t group_commits = 0;  ///< flushes that covered >= 2 records
+};
+
+/// Read-only health report for one WAL file (verify --scrub).
+struct WalScrubReport {
+  bool exists = false;
+  bool corrupt = false;  ///< unusable header — recovery would refuse it
+  bool torn_tail = false;  ///< trailing bytes past the last valid frame
+  uint64_t bytes = 0;
+  uint64_t frames = 0;     ///< valid frames
+  uint64_t start_lsn = 0;  ///< header start LSN
+  uint64_t last_lsn = 0;   ///< last valid frame LSN (0 if none)
+  std::string message;     ///< diagnosis when corrupt or torn
+
+  bool clean() const { return !corrupt; }
+};
+
+class Wal {
+ public:
+  /// The WAL file that belongs to the database at `db_path`.
+  static std::string PathFor(const std::string& db_path) {
+    return db_path + ".wal";
+  }
+
+  /// Opens the log beside `db_path` without creating it: a failed
+  /// Database::Open must stay side-effect-free, so the file is created
+  /// lazily on the first flush. An existing file is scanned; frames
+  /// with lsn >= `min_next_lsn` (the pager's applied LSN + 1) become
+  /// the recovered tail, frames below it are already in the data file
+  /// and are skipped. A torn tail is trimmed silently; a corrupt
+  /// header is a loud Corruption (the log may hold acknowledged data
+  /// that cannot be read back).
+  static Result<std::unique_ptr<Wal>> Open(Vfs* vfs,
+                                           const std::string& db_path,
+                                           const WalOptions& options,
+                                           uint64_t min_next_lsn);
+
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// The records recovered at Open that still need replay, in LSN
+  /// order. Consumed by Database::Open's recovery pass.
+  std::vector<WalRecord> TakeRecoveredRecords() {
+    return std::move(recovered_);
+  }
+
+  // Append one record; returns its LSN (0 when suspended — nothing was
+  // logged). Buffered until the next group commit unless the window is
+  // 0 (synchronous flush before returning).
+  Result<uint64_t> AppendObservation(double t, double v);
+  Result<uint64_t> AppendFlushMarker();
+  Result<uint64_t> AppendRowAppend(const std::string& table,
+                                   uint64_t ordinal, const char* row,
+                                   size_t row_len);
+  Result<uint64_t> AppendUndoImage(uint64_t page_id, const char* data,
+                                   size_t n);
+  Result<uint64_t> AppendPutMeta(const std::string& name,
+                                 const std::string& blob);
+  Result<uint64_t> AppendEraseMeta(const std::string& name);
+
+  /// Forces buffered records to disk (write + fsync). No-op when
+  /// everything appended is already durable.
+  Status Sync();
+
+  /// Sync(), but skipped when `lsn` is already durable (or 0).
+  Status EnsureDurable(uint64_t lsn);
+
+  /// Starts a fresh empty generation after a checkpoint: truncates the
+  /// file, stamps a header with `new_start_lsn`, fsyncs. The LSN
+  /// counter itself never rewinds.
+  Status Reset(uint64_t new_start_lsn);
+
+  /// Final flush + flusher shutdown. Idempotent; the destructor calls
+  /// it best-effort.
+  Status Close();
+
+  uint64_t last_lsn() const { return buffered_lsn_.load(); }
+  uint64_t durable_lsn() const { return durable_lsn_.load(); }
+  uint64_t start_lsn() const { return start_lsn_.load(); }
+  /// Bytes the log occupies (durable tail + buffered records).
+  uint64_t SizeBytes() const;
+  WalStats stats() const;
+  int64_t group_commit_ms() const { return window_ms_; }
+
+  /// Whether Table::Insert should log kRowAppend records. Engine
+  /// stores log kObservation instead (the observation is the redo
+  /// unit; the rows it fans out into are deterministic), so they turn
+  /// row logging off.
+  bool logs_rows() const { return logs_rows_; }
+  void set_logs_rows(bool v) { logs_rows_ = v; }
+
+  /// RAII append suppressor: while alive, every Append* is a no-op
+  /// returning LSN 0. Recovery drains recovered observations through
+  /// the normal ingest path under one of these, so replay does not
+  /// re-log what the WAL already holds.
+  class Suspend {
+   public:
+    explicit Suspend(Wal* wal) : wal_(wal) {
+      if (wal_) wal_->suspend_count_.fetch_add(1);
+    }
+    ~Suspend() {
+      if (wal_) wal_->suspend_count_.fetch_sub(1);
+    }
+    Suspend(const Suspend&) = delete;
+    Suspend& operator=(const Suspend&) = delete;
+
+   private:
+    Wal* wal_;
+  };
+
+  /// Read-only scan of the WAL beside `db_path` (verify --scrub).
+  static WalScrubReport Scrub(Vfs* vfs, const std::string& db_path);
+
+ private:
+  Wal(Vfs* vfs, std::string path, const WalOptions& options);
+
+  /// `even_suspended` bypasses Suspend: physical undo images must be
+  /// logged even while replay suppresses logical re-logging.
+  Status AppendRecord(WalRecordType type, const char* payload, size_t n,
+                      uint64_t* lsn, bool even_suspended = false);
+  /// Writes pending bytes + fsyncs; sticky on failure. Requires mu_.
+  Status FlushLocked();
+  /// Opens/creates the file and settles header/truncation. Requires mu_.
+  Status EnsureFileLocked();
+  void FlusherLoop();
+
+  Vfs* vfs_;
+  const std::string path_;
+  const int64_t window_ms_;
+  bool logs_rows_ = true;
+  std::atomic<int> suspend_count_{0};
+
+  mutable std::mutex mu_;
+  std::unique_ptr<RandomAccessFile> file_;  ///< null until first flush
+  bool file_fresh_ = true;   ///< header must be (re)written on flush
+  bool need_dir_sync_ = false;
+  uint64_t truncate_to_ = 0;  ///< trim torn tail before first write
+  bool need_truncate_ = false;
+  uint64_t tail_offset_ = 0;  ///< file offset past the last flushed frame
+  std::string pending_;       ///< encoded frames awaiting flush
+  uint64_t pending_records_ = 0;
+  uint64_t next_lsn_ = 1;
+  std::atomic<uint64_t> start_lsn_{1};
+  std::atomic<uint64_t> buffered_lsn_{0};  ///< last assigned LSN
+  std::atomic<uint64_t> durable_lsn_{0};   ///< last fsynced LSN
+  Status flush_error_;  ///< sticky: set by the first failed flush
+  WalStats stats_;
+
+  std::vector<WalRecord> recovered_;
+
+  std::condition_variable cv_;
+  bool stop_flusher_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_STORAGE_WAL_H_

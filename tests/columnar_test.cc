@@ -542,7 +542,7 @@ TEST_F(ColumnarDifferentialTest, PrunedCorruptColumnarPageStillDetected) {
   options.create_if_missing = false;
   auto db = Database::Open(col_path_, options);
   ASSERT_TRUE(db.ok()) << db.status().ToString();
-  (*db)->set_checkpoint_on_close(false);  // keep the evidence on disk
+  (*db)->Abandon();  // keep the evidence on disk
   auto table = (*db)->GetTable("f");
   ASSERT_TRUE(table.ok());
 

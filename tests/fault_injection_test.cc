@@ -12,10 +12,15 @@
 // set SEGDIFF_FAULT_SEED to explore a different schedule (the default
 // keeps CI deterministic).
 
+#include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <random>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -26,11 +31,13 @@
 #include "common/env.h"
 #include "common/vfs.h"
 #include "query/executor.h"
+#include "segdiff/exh_index.h"
 #include "segdiff/segdiff_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/db.h"
 #include "storage/fault_vfs.h"
 #include "storage/pager.h"
+#include "storage/wal.h"
 #include "ts/generator.h"
 
 namespace segdiff {
@@ -266,12 +273,16 @@ class CrashRecoveryTest : public ::testing::Test {
     path_ = UniqueTestPath("crash");
     golden_path_ = UniqueTestPath("crash", "_golden.db");
     std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
     std::remove(golden_path_.c_str());
+    std::remove((golden_path_ + ".wal").c_str());
     series_ = MakeSeries(1);
   }
   void TearDown() override {
     std::remove(path_.c_str());
+    std::remove((path_ + ".wal").c_str());
     std::remove(golden_path_.c_str());
+    std::remove((golden_path_ + ".wal").c_str());
   }
 
   SegDiffOptions Options(Vfs* vfs) const {
@@ -344,8 +355,14 @@ TEST_F(CrashRecoveryTest, UnsyncedWritesRollBackToLastCheckpoint) {
   FaultInjectionVfs vfs;
   auto golden = BuildGolden();
   const size_t half = series_.size() / 2;
+  // Checkpoint-granular durability is the contract under test, so the
+  // WAL is off: with it on, the group-commit flusher races the crash
+  // and some prefix of the second half would (correctly!) survive —
+  // WalCrashTest owns that contract.
+  SegDiffOptions options = Options(&vfs);
+  options.wal = false;
   {
-    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    auto store = SegDiffIndex::Open(path_, options);
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     for (size_t i = 0; i < half; ++i) {
       ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
@@ -397,10 +414,15 @@ TEST_F(CrashRecoveryTest, FailedFsyncSurfacesAndStoreRecovers) {
 
 TEST_F(CrashRecoveryTest, CreatedFileSurvivesCrashOnlyAfterDirSync) {
   FaultInjectionVfs vfs;
+  // Checkpoint-only durability isolates the directory-entry behavior
+  // under test: with the WAL on, the very first group commit fsyncs the
+  // directory and the file always survives (see the WAL crash tests).
+  SegDiffOptions wal_off = Options(&vfs);
+  wal_off.wal = false;
   {
     // Created, written, never checkpointed: the directory entry itself
     // is not durable, so a crash makes the whole file vanish.
-    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    auto store = SegDiffIndex::Open(path_, wal_off);
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     for (size_t i = 0; i < 10; ++i) {
       ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
@@ -413,7 +435,7 @@ TEST_F(CrashRecoveryTest, CreatedFileSurvivesCrashOnlyAfterDirSync) {
   {
     // Same sequence with a checkpoint: Pager::Sync fsyncs the parent
     // directory after creation, so the file now survives the crash.
-    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    auto store = SegDiffIndex::Open(path_, wal_off);
     ASSERT_TRUE(store.ok()) << store.status().ToString();
     for (size_t i = 0; i < 10; ++i) {
       ASSERT_TRUE((*store)->AppendObservation(series_[i].t, series_[i].v).ok());
@@ -424,7 +446,7 @@ TEST_F(CrashRecoveryTest, CreatedFileSurvivesCrashOnlyAfterDirSync) {
   }
   vfs.Reset();
   ASSERT_TRUE(vfs.FileExists(path_));
-  auto reopened = SegDiffIndex::Open(path_, Options(&vfs));
+  auto reopened = SegDiffIndex::Open(path_, wal_off);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
   EXPECT_EQ((*reopened)->num_observations(), 10u);
 }
@@ -590,7 +612,7 @@ TEST_F(CrashRecoveryTest, CrashMatrixCompactConversionSweep) {
     db_options.create_if_missing = false;
     auto db = Database::Open(path_, db_options);
     ASSERT_TRUE(db.ok());
-    (*db)->set_checkpoint_on_close(false);
+    (*db)->Abandon();
     const uint64_t before = vfs.counters().writes;
     ASSERT_TRUE((*db)->CompactInto(dest).ok());
     total_writes = vfs.counters().writes - before;
@@ -645,7 +667,7 @@ TEST_F(CrashRecoveryTest, CrashMatrixCompactConversionSweep) {
     EXPECT_EQ((*table)->columnar(), nullptr)
         << "source must stay row-format";
     EXPECT_EQ(TableRecords(source->get(), "f"), golden_records);
-    (*source)->set_checkpoint_on_close(false);
+    (*source)->Abandon();
 
     if (compact.ok()) {
       // The fault point landed past the conversion's last write (write
@@ -772,7 +794,7 @@ TEST_F(FaultInjectionTest, PrunedCorruptPageStillDetected) {
   options.create_if_missing = false;
   auto db = Database::Open(path_, options);
   ASSERT_TRUE(db.ok()) << db.status().ToString();
-  (*db)->set_checkpoint_on_close(false);  // keep the evidence on disk
+  (*db)->Abandon();  // keep the evidence on disk
   auto table = (*db)->GetTable("f");
   ASSERT_TRUE(table.ok());
   ASSERT_NE((*table)->zone_map(), nullptr) << "zone map not restored";
@@ -859,6 +881,489 @@ TEST_F(FaultInjectionTest, LegacyV1OpensReadOnlyAndCompactUpgrades) {
     EXPECT_EQ(report->pages_unverifiable, 0u);
   }
   std::remove(dest.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// WAL crash recovery (DESIGN.md §13): acknowledged group commits survive
+// any crash, torn log tails are detected and trimmed, replay is
+// idempotent, and searches read consistent snapshots during ingest.
+
+class WalCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = UniqueTestPath("walcrash");
+    golden_path_ = UniqueTestPath("walcrash", "_golden.db");
+    RemoveStores();
+    series_ = MakeSeries(1);
+  }
+  void TearDown() override { RemoveStores(); }
+
+  void RemoveStores() {
+    std::remove(path_.c_str());
+    std::remove(Wal::PathFor(path_).c_str());
+    std::remove(golden_path_.c_str());
+    std::remove(Wal::PathFor(golden_path_).c_str());
+  }
+
+  /// WAL on with a zero group-commit window: once FlushPending() returns
+  /// OK, everything appended so far must be on stable storage.
+  SegDiffOptions Options(Vfs* vfs) const {
+    SegDiffOptions options;
+    options.build_indexes = false;
+    options.vfs = vfs;
+    options.wal_group_commit_ms = 0;
+    return options;
+  }
+
+  /// Ingests `series` with a group commit every kFlushEvery observations
+  /// and NO checkpoints — recovery must come from WAL replay alone.
+  /// Stops at the first injected fault. Returns the number of
+  /// observations covered by the last acknowledged FlushPending().
+  ///
+  /// FlushPending() finalizes the segmenter's trailing segment, so the
+  /// flush schedule is part of the store's logical content; the golden
+  /// oracle and every recovery tail must follow the same cadence
+  /// (recovery replays logged flush markers to reproduce it).
+  static uint64_t IngestWithGroupCommits(SegDiffIndex* store,
+                                         const Series& series,
+                                         size_t start = 0,
+                                         size_t end = static_cast<size_t>(-1)) {
+    if (end > series.size()) end = series.size();
+    uint64_t acked = start;
+    for (size_t i = start; i < end; ++i) {
+      if (!store->AppendObservation(series[i].t, series[i].v).ok()) {
+        return acked;
+      }
+      if ((i + 1) % kFlushEvery == 0) {
+        if (!store->FlushPending().ok()) {
+          return acked;
+        }
+        acked = i + 1;
+      }
+    }
+    if (store->FlushPending().ok()) {
+      acked = end;
+    }
+    return acked;
+  }
+
+  /// The oracle: the full series ingested faultlessly under the same
+  /// group-commit cadence as the crash runs.
+  std::unique_ptr<SegDiffIndex> BuildGolden() {
+    auto store = SegDiffIndex::Open(golden_path_, Options(nullptr));
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_EQ(IngestWithGroupCommits(store->get(), series_), series_.size());
+    return std::move(store).value();
+  }
+
+  /// The acknowledged-means-durable contract after a crash: nothing past
+  /// the last OK FlushPending() may be missing, and appending the
+  /// remaining tail (same flush cadence) reproduces the golden tables
+  /// byte for byte.
+  void CheckNothingAckedWasLost(FaultInjectionVfs* vfs, uint64_t acked,
+                                SegDiffIndex* golden) {
+    if (!vfs->FileExists(path_)) {
+      // The store may vanish in a crash only if no group commit ever
+      // acknowledged it (the first commit fsyncs the directory).
+      EXPECT_EQ(acked, 0u) << "acknowledged store vanished in the crash";
+      return;
+    }
+    auto reopened = SegDiffIndex::Open(path_, Options(vfs));
+    if (!reopened.ok()) {
+      EXPECT_EQ(acked, 0u)
+          << "store with acknowledged commits failed to reopen: "
+          << reopened.status().ToString();
+      EXPECT_TRUE(reopened.status().IsCorruption())
+          << reopened.status().ToString();
+      return;
+    }
+    SegDiffIndex* store = reopened->get();
+    EXPECT_GE(store->num_observations(), acked)
+        << "observations acknowledged by FlushPending were lost";
+    const uint64_t resumed_at = store->num_observations();
+    ASSERT_LE(resumed_at, series_.size());
+    ASSERT_EQ(IngestWithGroupCommits(store, series_, resumed_at),
+              series_.size());
+    ExpectSameTables(store, golden);
+  }
+
+  /// Byte-for-byte file copy (the "kill -9 disk state" capture below).
+  static void CopyFileBytes(const std::string& from, const std::string& to) {
+    std::ifstream in(from, std::ios::binary);
+    std::ofstream out(to, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(in.good() && out.good()) << "copy " << from << " -> " << to;
+    out << in.rdbuf();
+    ASSERT_TRUE(out.good()) << "copy " << from << " -> " << to;
+  }
+
+  static constexpr uint64_t kFlushEvery = 20;
+
+  std::string path_;
+  std::string golden_path_;
+  Series series_;
+};
+
+// Crash after the Nth write, for a seeded sample of N: everything the
+// store acknowledged before the fault must survive recovery.
+TEST_F(WalCrashTest, AckedGroupCommitsSurviveWriteCrashes) {
+  auto golden = BuildGolden();
+  FaultInjectionVfs vfs;
+
+  // Dry run: count the writes a faultless WAL-backed ingest performs.
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_EQ(IngestWithGroupCommits(store->get(), series_), series_.size());
+  }
+  const uint64_t total_writes = vfs.counters().writes;
+  ASSERT_GT(total_writes, 0u);
+
+  const uint64_t seed =
+      static_cast<uint64_t>(GetEnvInt64("SEGDIFF_FAULT_SEED", 20080325));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> pick(0, total_writes - 1);
+  std::vector<uint64_t> fault_points = {0, 1, total_writes - 1};
+  for (int i = 0; i < 9; ++i) {
+    fault_points.push_back(pick(rng));
+  }
+
+  for (const uint64_t n : fault_points) {
+    SCOPED_TRACE("device dies after write " + std::to_string(n) + " (seed " +
+                 std::to_string(seed) + ")");
+    std::remove(path_.c_str());
+    std::remove(Wal::PathFor(path_).c_str());
+    vfs.Reset();
+    vfs.FailAfterWrites(static_cast<int64_t>(n));
+    uint64_t acked = 0;
+    {
+      auto store = SegDiffIndex::Open(path_, Options(&vfs));
+      if (store.ok()) {
+        acked = IngestWithGroupCommits(store->get(), series_);
+      }
+      ASSERT_TRUE(vfs.Crash().ok());
+    }
+    vfs.Reset();
+    CheckNothingAckedWasLost(&vfs, acked, golden.get());
+  }
+}
+
+// Same sweep over fsync fault points: a group commit whose fsync failed
+// is not acknowledged, so the contract is identical.
+TEST_F(WalCrashTest, AckedGroupCommitsSurviveSyncCrashes) {
+  auto golden = BuildGolden();
+  FaultInjectionVfs vfs;
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_EQ(IngestWithGroupCommits(store->get(), series_), series_.size());
+  }
+  const uint64_t total_syncs = vfs.counters().syncs;
+  ASSERT_GT(total_syncs, 0u);
+
+  const uint64_t seed =
+      static_cast<uint64_t>(GetEnvInt64("SEGDIFF_FAULT_SEED", 20080325));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> pick(0, total_syncs - 1);
+  std::vector<uint64_t> fault_points = {0, 1, total_syncs - 1};
+  for (int i = 0; i < 9; ++i) {
+    fault_points.push_back(pick(rng));
+  }
+
+  for (const uint64_t n : fault_points) {
+    SCOPED_TRACE("device dies after fsync " + std::to_string(n) + " (seed " +
+                 std::to_string(seed) + ")");
+    std::remove(path_.c_str());
+    std::remove(Wal::PathFor(path_).c_str());
+    vfs.Reset();
+    vfs.FailAfterSyncs(static_cast<int64_t>(n));
+    uint64_t acked = 0;
+    {
+      auto store = SegDiffIndex::Open(path_, Options(&vfs));
+      if (store.ok()) {
+        acked = IngestWithGroupCommits(store->get(), series_);
+      }
+      ASSERT_TRUE(vfs.Crash().ok());
+    }
+    vfs.Reset();
+    CheckNothingAckedWasLost(&vfs, acked, golden.get());
+  }
+}
+
+// A torn tail — a frame half-written when the power died — is trimmed:
+// the scrubber reports it (without calling the log corrupt) and recovery
+// replays every complete frame before it.
+TEST_F(WalCrashTest, TornWalTailIsDetectedAndTrimmed) {
+  auto golden = BuildGolden();
+  FaultInjectionVfs vfs;
+  uint64_t acked = 0;
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    // Group-commit half the series (cut at a flush boundary so the
+    // cadence matches the golden run), then crash: the log holds the
+    // prefix, the data file only the Open-time catalog checkpoint.
+    const size_t prefix = (series_.size() / 2 / kFlushEvery) * kFlushEvery;
+    ASSERT_GE(prefix, kFlushEvery);
+    acked = IngestWithGroupCommits(store->get(), series_, 0, prefix);
+    ASSERT_EQ(acked, prefix);
+    ASSERT_TRUE(vfs.Crash().ok());
+  }
+  vfs.Reset();
+
+  // Tear the tail: append a partial frame's worth of garbage.
+  const std::string wal_path = Wal::PathFor(path_);
+  {
+    auto file = Vfs::Default()->OpenFile(wal_path, /*create=*/false);
+    ASSERT_TRUE(file.ok()) << file.status().ToString();
+    auto size = (*file)->Size();
+    ASSERT_TRUE(size.ok());
+    const char junk[7] = {'\x13', '\x37', '\x00', '\xff', '\x42', '\x42',
+                          '\x42'};
+    ASSERT_TRUE((*file)->Write(*size, junk, sizeof(junk)).ok());
+  }
+
+  const WalScrubReport torn = Wal::Scrub(Vfs::Default(), path_);
+  EXPECT_TRUE(torn.exists);
+  EXPECT_FALSE(torn.corrupt) << torn.message;
+  EXPECT_TRUE(torn.torn_tail);
+  EXPECT_GT(torn.frames, 0u);
+
+  CheckNothingAckedWasLost(&vfs, acked, golden.get());
+
+  // Recovery overwrote the torn bytes; the log is whole again.
+  const WalScrubReport healed = Wal::Scrub(Vfs::Default(), path_);
+  EXPECT_TRUE(healed.clean()) << healed.message;
+  EXPECT_FALSE(healed.torn_tail) << healed.message;
+}
+
+// Replaying the same log twice yields byte-identical tables: recovery
+// must be idempotent, and a read-only open (Abandon) must not advance
+// the store's on-disk state.
+// The opposite crash model from FaultInjectionVfs::Crash(): the process
+// dies but every write it issued SURVIVES (kill -9 — the OS page cache
+// drains to disk after the process is gone). Simulated by copying the
+// db + wal files of a live store mid-ingest: a tiny buffer pool forces
+// dirty-page steals, so the copy holds post-checkpoint page writes the
+// header and catalog do not describe yet. Recovery must roll those
+// pages back to their undo images before logical replay — without
+// them, replay double-applies onto the stolen state.
+TEST_F(WalCrashTest, PreservedWritesKillCrashModelRecovers) {
+  auto golden = BuildGolden();
+  SegDiffOptions options = Options(nullptr);
+  options.buffer_pool_pages = 8;
+  const std::string copy = UniqueTestPath("walcrash", "_copy.db");
+  std::remove(copy.c_str());
+  std::remove(Wal::PathFor(copy).c_str());
+  const size_t kill_at = series_.size() / 2 + 7;  // mid group commit
+  uint64_t acked = 0;
+  {
+    auto store = SegDiffIndex::Open(path_, options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    // The group-commit cadence without the helper's trailing flush: a
+    // flush at kill_at would be a segment boundary golden doesn't have.
+    for (size_t i = 0; i < kill_at; ++i) {
+      ASSERT_TRUE(
+          (*store)->AppendObservation(series_[i].t, series_[i].v).ok());
+      if ((i + 1) % kFlushEvery == 0) {
+        ASSERT_TRUE((*store)->FlushPending().ok());
+        acked = i + 1;
+      }
+    }
+    ASSERT_GT(acked, 0u);
+    CopyFileBytes(path_, copy);
+    CopyFileBytes(Wal::PathFor(path_), Wal::PathFor(copy));
+    // Only the copy "crashed"; the original closes normally below.
+  }
+  auto reopened = SegDiffIndex::Open(copy, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  SegDiffIndex* store = reopened->get();
+  EXPECT_GE(store->num_observations(), acked)
+      << "observations acknowledged by FlushPending were lost";
+  const uint64_t resumed_at = store->num_observations();
+  ASSERT_LE(resumed_at, series_.size());
+  ASSERT_EQ(IngestWithGroupCommits(store, series_, resumed_at),
+            series_.size());
+  ExpectSameTables(store, golden.get());
+  std::remove(copy.c_str());
+  std::remove(Wal::PathFor(copy).c_str());
+}
+
+TEST_F(WalCrashTest, ReplayIsIdempotentByteForByte) {
+  FaultInjectionVfs vfs;
+  {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_GT(IngestWithGroupCommits(store->get(), series_), 0u);
+    ASSERT_TRUE(vfs.Crash().ok());
+  }
+  vfs.Reset();
+
+  std::vector<std::vector<std::string>> first, second;
+  uint64_t first_count = 0, second_count = 0;
+  for (int round = 0; round < 2; ++round) {
+    auto store = SegDiffIndex::Open(path_, Options(&vfs));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    std::vector<std::vector<std::string>>& out = round == 0 ? first : second;
+    for (const char* name : kSegDiffTables) {
+      out.push_back(TableRecords((*store)->db(), name));
+    }
+    (round == 0 ? first_count : second_count) =
+        (*store)->num_observations();
+    // Walk away without flushing: replay stays in memory, the disk
+    // state (data file AND log) is untouched for the next round.
+    (*store)->db()->Abandon();
+  }
+  EXPECT_EQ(first_count, second_count);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i])
+        << "replay #2 diverged in table " << kSegDiffTables[i];
+  }
+}
+
+// Searches racing a live writer must read consistent snapshots: every
+// concurrent result is a subset of the final serial answer, and once
+// ingest finishes the answers match exactly. Run under TSan to verify
+// the locking protocol, not just the results.
+TEST_F(WalCrashTest, SnapshotSearchesMatchSerialUnderConcurrentIngest) {
+  static constexpr double kT = 3600.0;
+  static constexpr double kV = -1.0;
+
+  // Serial oracle: same flush cadence, searched with nothing running.
+  auto golden = BuildGolden();
+  auto expected = golden->SearchDrops(kT, kV);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  std::set<std::array<double, 4>> allowed;
+  for (const PairId& id : *expected) {
+    allowed.insert({id.t_d, id.t_c, id.t_b, id.t_a});
+  }
+
+  SegDiffOptions options = Options(nullptr);
+  options.build_indexes = true;  // exercise the IndexScan snapshot path
+  auto opened = SegDiffIndex::Open(path_, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  SegDiffIndex* store = opened->get();
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> searches{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      const QueryMode kModes[] = {QueryMode::kSeqScan, QueryMode::kIndexScan,
+                                  QueryMode::kAuto};
+      uint64_t iter = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        SearchOptions search;
+        search.mode = kModes[iter++ % 3];
+        search.num_threads = r == 0 ? 2 : 0;  // parallel + serial readers
+        SearchStats stats;
+        auto result = store->SearchDrops(kT, kV, search, &stats);
+        if (!result.ok()) {
+          ++violations;
+          break;
+        }
+        ++searches;
+        if (stats.snapshot_observations > series_.size()) {
+          ++violations;
+        }
+        for (const PairId& id : *result) {
+          if (allowed.find({id.t_d, id.t_c, id.t_b, id.t_a}) ==
+              allowed.end()) {
+            ++violations;  // a pair the serial oracle never produces
+          }
+        }
+      }
+    });
+  }
+
+  ASSERT_EQ(IngestWithGroupCommits(store, series_), series_.size());
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(violations.load(), 0)
+      << "a concurrent search returned an error or a phantom pair";
+  EXPECT_GT(searches.load(), 0u);
+
+  // Quiesced, the concurrent store answers exactly like the oracle.
+  auto final_result = store->SearchDrops(kT, kV);
+  ASSERT_TRUE(final_result.ok()) << final_result.status().ToString();
+  ASSERT_EQ(final_result->size(), expected->size());
+  for (size_t i = 0; i < final_result->size(); ++i) {
+    EXPECT_TRUE((*final_result)[i] == (*expected)[i]) << "pair " << i;
+  }
+}
+
+// The Exh store's variant of the same race: appends materialize pairs
+// eagerly, searches walk the (dt, dv) B+-tree, and every concurrent
+// IndexScan answer must still be a subset of the final one.
+TEST_F(WalCrashTest, ExhSnapshotSearchesAreConsistentUnderIngest) {
+  static constexpr double kT = 3600.0;
+  static constexpr double kV = -1.0;
+
+  ExhOptions options;
+  options.vfs = nullptr;
+  options.wal_group_commit_ms = 0;
+  auto opened = ExhIndex::Open(path_, options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ExhIndex* store = opened->get();
+
+  // Exh needs no flush cadence for content: rows appear per append.
+  // Golden answer first, computed serially on a throwaway store.
+  std::set<std::array<double, 3>> allowed;
+  {
+    ExhOptions golden_options = options;
+    auto golden = ExhIndex::Open(golden_path_, golden_options);
+    ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+    for (const Sample& s : series_) {
+      ASSERT_TRUE((*golden)->AppendObservation(s.t, s.v).ok());
+    }
+    ASSERT_TRUE((*golden)->FlushPending().ok());
+    auto expected = (*golden)->SearchDrops(kT, kV);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    for (const ExhEvent& e : *expected) {
+      allowed.insert({e.t_start, e.t_end, e.dv});
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> searches{0};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    SearchOptions search;
+    search.mode = QueryMode::kIndexScan;
+    while (!done.load(std::memory_order_acquire)) {
+      auto result = store->SearchDrops(kT, kV, search);
+      if (!result.ok()) {
+        ++violations;
+        break;
+      }
+      ++searches;
+      for (const ExhEvent& e : *result) {
+        if (allowed.find({e.t_start, e.t_end, e.dv}) == allowed.end()) {
+          ++violations;
+        }
+      }
+    }
+  });
+
+  for (size_t i = 0; i < series_.size(); ++i) {
+    ASSERT_TRUE(store->AppendObservation(series_[i].t, series_[i].v).ok());
+    if ((i + 1) % kFlushEvery == 0) {
+      ASSERT_TRUE(store->FlushPending().ok());
+    }
+  }
+  ASSERT_TRUE(store->FlushPending().ok());
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0)
+      << "a concurrent Exh search returned an error or a phantom event";
+  EXPECT_GT(searches.load(), 0u);
+
+  auto final_result = store->SearchDrops(kT, kV);
+  ASSERT_TRUE(final_result.ok()) << final_result.status().ToString();
+  EXPECT_EQ(final_result->size(), allowed.size());
 }
 
 }  // namespace

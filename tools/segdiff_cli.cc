@@ -8,7 +8,13 @@
 //                        [--seed 20080325] [--start-day 0] [--smooth]
 //   segdiff_cli build    --csv data.csv --db store.db [--eps 0.2]
 //                        [--window-hours 8] [--no-index] [--smooth]
+//                        [--no-wal] [--wal-window-ms N]
+//                        (--no-wal reverts to checkpoint-only
+//                         durability; --wal-window-ms sets the
+//                         group-commit window — 0 fsyncs every append,
+//                         default 1 ms or SEGDIFF_WAL_GROUP_COMMIT_MS)
 //   segdiff_cli append   --csv more.csv --db store.db [--smooth]
+//                        [--no-wal] [--wal-window-ms N]
 //                        (resume ingest into an existing store; picks up
 //                         the persisted open segment and build options)
 //   segdiff_cli search   --db store.db [--t-hours 1] [--v -3] [--jump]
@@ -23,6 +29,9 @@
 //                         maps, rows scanned/pruned, the active scan
 //                         kernel — and the store's governance counters)
 //   segdiff_cli stats    --db store.db
+//                        (includes the write-ahead log: size, last and
+//                         durable LSNs, the applied (checkpoint) LSN,
+//                         and how many records the last open replayed)
 //   segdiff_cli sql      --db store.db --query "SELECT ..."
 //                        [--timeout-ms N]  (statement timeout; the REPL
 //                         also accepts SET statement_timeout_ms = N)
@@ -34,8 +43,11 @@
 //                        (logical check: every table's scanned row count
 //                         matches its heap metadata; --scrub additionally
 //                         verifies the checksum of every page in the
-//                         file, mapping any damage to exact page numbers;
-//                         exits nonzero if the store is unhealthy)
+//                         file, mapping any damage to exact page numbers,
+//                         and walks the write-ahead log frame by frame —
+//                         a torn tail is reported but healthy (recovery
+//                         trims it); exits nonzero if the store is
+//                         unhealthy)
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +61,7 @@
 #include "segment/sliding_window.h"
 #include "sql/engine.h"
 #include "storage/db.h"
+#include "storage/wal.h"
 #include "ts/generator.h"
 #include "ts/io.h"
 #include "ts/smoothing.h"
@@ -75,7 +88,7 @@ int Fail(const Status& status) {
 class Flags {
  public:
   static constexpr const char* kBooleanFlags[] = {
-      "--jump", "--no-index", "--smooth", "--scrub", "--stats"};
+      "--jump", "--no-index", "--no-wal", "--smooth", "--scrub", "--stats"};
 
   Flags(int argc, char** argv, int start) {
     for (int i = start; i < argc; ++i) {
@@ -177,6 +190,9 @@ int CmdBuild(const Flags& flags) {
   options.eps = flags.GetDouble("--eps", 0.2);
   options.window_s = flags.GetDouble("--window-hours", 8.0) * 3600.0;
   options.build_indexes = !flags.Has("--no-index");
+  options.wal = !flags.Has("--no-wal");
+  options.wal_group_commit_ms =
+      static_cast<int64_t>(flags.GetInt("--wal-window-ms", -1));
   auto store = SegDiffIndex::Open(db, options);
   if (!store.ok()) return Fail(store.status());
   if (Status status = (*store)->IngestSeries(input); !status.ok()) {
@@ -214,6 +230,9 @@ int CmdAppend(const Flags& flags) {
   }
   SegDiffOptions options;  // eps/window/index are adopted from the store
   options.create_if_missing = false;
+  options.wal = !flags.Has("--no-wal");
+  options.wal_group_commit_ms =
+      static_cast<int64_t>(flags.GetInt("--wal-window-ms", -1));
   auto store = SegDiffIndex::Open(db, options);
   if (!store.ok()) return Fail(store.status());
   const uint64_t before = (*store)->num_observations();
@@ -341,6 +360,24 @@ int CmdStats(const Flags& flags) {
               static_cast<unsigned long long>(sizes.segment_dir_bytes));
   std::printf("  file bytes:    %llu\n",
               static_cast<unsigned long long>(sizes.file_bytes));
+  const WalInfo wal = (*store)->db()->GetWalInfo();
+  if (wal.enabled) {
+    std::printf("  wal:           %llu bytes, last lsn %llu, durable lsn "
+                "%llu, group-commit window %lld ms\n",
+                static_cast<unsigned long long>(wal.size_bytes),
+                static_cast<unsigned long long>(wal.last_lsn),
+                static_cast<unsigned long long>(wal.durable_lsn),
+                static_cast<long long>(wal.group_commit_ms));
+    std::printf("  checkpoint:    applied lsn %llu; last open replayed "
+                "%llu record%s\n",
+                static_cast<unsigned long long>(wal.applied_lsn),
+                static_cast<unsigned long long>(wal.recovered_records),
+                wal.recovered_records == 1 ? "" : "s");
+  } else {
+    std::printf("  wal:           disabled (checkpoint-only durability); "
+                "applied lsn %llu\n",
+                static_cast<unsigned long long>(wal.applied_lsn));
+  }
   // Per-table page-format breakdown: compacted stores keep their
   // feature rows in compressed columnar segments; uncompacted (or
   // still-ingesting) tables are pure row format.
@@ -486,8 +523,9 @@ int CmdVerify(const Flags& flags) {
   auto database = Database::Open(db, options);
   if (!database.ok()) return Fail(database.status());
   // Verification is strictly read-only: closing must not rewrite even
-  // the header of a store we just diagnosed as damaged.
-  (*database)->set_checkpoint_on_close(false);
+  // the header of a store we just diagnosed as damaged (WAL replay at
+  // open touched only in-memory state; Abandon discards it).
+  (*database)->Abandon();
   const Pager* pager = (*database)->pager();
   std::printf("store: %s (format v%u%s)\n", db.c_str(),
               pager->format_version(),
@@ -538,6 +576,25 @@ int CmdVerify(const Flags& flags) {
     if (report->pages_unverifiable > 0) {
       std::printf("  note: legacy v1 pages have no checksums; compact the "
                   "store to upgrade\n");
+    }
+    // The write-ahead log is part of the store: walk every frame. A torn
+    // tail is healthy (an interrupted group commit; recovery trims it),
+    // but a bad header or a mid-log CRC mismatch is damage.
+    const WalScrubReport wal =
+        Wal::Scrub((*database)->pager()->vfs(), db);
+    if (!wal.exists) {
+      std::printf("wal scrub: no log (checkpoint-only store)\n");
+    } else {
+      std::printf("wal scrub: %llu bytes, %llu frames (lsn %llu..%llu)%s\n",
+                  static_cast<unsigned long long>(wal.bytes),
+                  static_cast<unsigned long long>(wal.frames),
+                  static_cast<unsigned long long>(wal.start_lsn),
+                  static_cast<unsigned long long>(wal.last_lsn),
+                  wal.torn_tail ? ", torn tail (trimmed on next open)" : "");
+      if (wal.corrupt) {
+        std::printf("  wal CORRUPT: %s\n", wal.message.c_str());
+        ++failures;
+      }
     }
   }
 
