@@ -167,7 +167,8 @@ void ExhIndex::SaveIngestState() {
   // SegDiffIndex::SaveIngestState — a WAL-logged blob would make
   // recovery skip re-deriving rows that reverted with the data file).
   Wal::Suspend suspend(db_->wal());
-  db_->PutMeta(kIngestStateKey, w.Take());
+  // Suspended appends are no-ops, so this PutMeta cannot fail.
+  (void)db_->PutMeta(kIngestStateKey, w.Take());
 }
 
 Status ExhIndex::RestoreIngestState() {

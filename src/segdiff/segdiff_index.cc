@@ -401,7 +401,8 @@ void SegDiffIndex::SaveIngestState() {
   // file. The state is redundant with the observation log, so losing
   // the un-checkpointed blob costs nothing.
   Wal::Suspend suspend(db_->wal());
-  db_->PutMeta(kIngestStateKey, w.Take());
+  // Suspended appends are no-ops, so this PutMeta cannot fail.
+  (void)db_->PutMeta(kIngestStateKey, w.Take());
 }
 
 Status SegDiffIndex::RestoreIngestState() {

@@ -117,6 +117,15 @@ Status BufferPool::FlushFrame(Frame& frame, Shard& shard, bool log_image) {
           wal_->AppendUndoImage(frame.page_id, prior.get(), kPageCapacity));
       SEGDIFF_RETURN_IF_ERROR(wal_->EnsureDurable(image_lsn));
     }
+    if (wal_ != nullptr) {
+      // WAL-before-data: the log must be durable through the last
+      // record covering this frame before its bytes overwrite the
+      // file. Usually a no-op — the undo image appended above (or by
+      // FlushAll's batched pass) postdates rec_lsn, so its sync
+      // already covered it — but enforced here directly rather than
+      // relied on transitively.
+      SEGDIFF_RETURN_IF_ERROR(wal_->EnsureDurable(frame.rec_lsn));
+    }
     SEGDIFF_RETURN_IF_ERROR(pager_->WritePage(frame.page_id, frame.data.get()));
     frame.dirty = false;
     frame.rec_lsn = 0;
@@ -160,9 +169,7 @@ Result<size_t> BufferPool::GrabFrame(Shard& shard) {
   return victim;
 }
 
-Result<PageHandle> BufferPool::Fetch(PageId id) {
-  Shard& shard = ShardOf(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+Result<size_t> BufferPool::PinFrameLocked(PageId id, Shard& shard) {
   auto it = shard.page_table.find(id);
   if (it != shard.page_table.end()) {
     ++shard.stats.hits;
@@ -173,7 +180,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
       frame.in_lru = false;
     }
     ++frame.pin_count;
-    return PageHandle(this, idx, id, frame.data);
+    return idx;
   }
   ++shard.stats.misses;
   SEGDIFF_ASSIGN_OR_RETURN(size_t idx, GrabFrame(shard));
@@ -191,62 +198,53 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   frame.dirty = false;
   frame.rec_lsn = 0;
   shard.page_table[id] = idx;
-  return PageHandle(this, idx, id, frame.data);
+  return idx;
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, PinFrameLocked(id, shard));
+  return PageHandle(this, idx, id, frames_[idx].data);
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id, const PoolSnapshot* snapshot) {
   if (snapshot == nullptr) return Fetch(id);
-  {
-    Shard& shard = ShardOf(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto it = shard.versions.find(id);
-    if (it != shard.versions.end()) {
-      // First version at-or-after the snapshot's epoch is the page's
-      // content as of snapshot time.
-      for (const PageVersion& version : it->second) {
-        if (version.hi >= snapshot->epoch()) {
-          return PageHandle(this, PageHandle::kNoFrame, id, version.image);
-        }
+  Shard& shard = ShardOf(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.versions.find(id);
+  if (it != shard.versions.end()) {
+    // First version at-or-after the snapshot's epoch is the page's
+    // content as of snapshot time.
+    for (const PageVersion& version : it->second) {
+      if (version.hi >= snapshot->epoch()) {
+        return PageHandle(this, PageHandle::kNoFrame, id, version.image);
       }
     }
   }
   // No covering version: the page is unchanged since the snapshot (any
   // later write would have preserved a version first), so the live
-  // frame — or disk — holds exactly the snapshot's bytes.
-  return Fetch(id);
+  // frame — or disk — holds exactly the snapshot's bytes. Pinning must
+  // happen under the SAME mutex hold as the version lookup: dropping
+  // the lock in between would let a concurrent FetchMut preserve the
+  // pre-image, swap the frame's buffer, and start mutating it before
+  // the reader pins — the reader would then share the in-flight
+  // mutable buffer and see torn or post-snapshot bytes. Pinned here,
+  // the handle shares the frame's current (still pre-image) buffer,
+  // and a later FetchMut COW-swaps the frame away from it, leaving the
+  // reader on the immutable copy.
+  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, PinFrameLocked(id, shard));
+  return PageHandle(this, idx, id, frames_[idx].data);
 }
 
 Result<PageHandle> BufferPool::FetchMut(PageId id) {
   Shard& shard = ShardOf(id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.page_table.find(id);
-  size_t idx;
-  if (it != shard.page_table.end()) {
-    ++shard.stats.hits;
-    idx = it->second;
-    Frame& frame = frames_[idx];
-    if (frame.pin_count == 0 && frame.in_lru) {
-      shard.lru.erase(frame.lru_pos);
-      frame.in_lru = false;
-    }
-    ++frame.pin_count;
-  } else {
-    ++shard.stats.misses;
-    SEGDIFF_ASSIGN_OR_RETURN(idx, GrabFrame(shard));
-    Frame& frame = frames_[idx];
-    Status read = pager_->ReadPage(id, frame.data.get());
-    if (!read.ok()) {
-      shard.free_frames.push_back(idx);
-      return read;
-    }
-    frame.page_id = id;
-    frame.pin_count = 1;
-    frame.dirty = false;
-    frame.rec_lsn = 0;
-    shard.page_table[id] = idx;
-  }
+  SEGDIFF_ASSIGN_OR_RETURN(size_t idx, PinFrameLocked(id, shard));
   Frame& frame = frames_[idx];
   PreserveVersionLocked(shard, frame);
+  // The handle is built after the redirect, so it shares the frame's
+  // fresh writable buffer, never the frozen version.
   return PageHandle(this, idx, id, frame.data);
 }
 

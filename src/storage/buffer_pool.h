@@ -232,8 +232,10 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     /// WAL LSN of the last record covering a change to this frame;
-    /// the log must be durable through it before the page may be
-    /// stolen to disk (WAL-before-data).
+    /// FlushFrame forces the log durable through it before writing the
+    /// page back (WAL-before-data). In practice the sync is a no-op:
+    /// the undo image logged by the same flush postdates rec_lsn, so
+    /// its EnsureDurable already covered it.
     uint64_t rec_lsn = 0;
     std::shared_ptr<char[]> data;
     std::list<size_t>::iterator lru_pos;  // valid iff in_lru
@@ -267,6 +269,10 @@ class BufferPool {
 
   void Unpin(size_t frame);
   Status FlushFrame(Frame& frame, Shard& shard, bool log_image);
+  /// Pins page `id` in `shard` (cache hit or miss+read) and returns the
+  /// frame index. Caller holds shard.mu; the snapshot read path relies
+  /// on version lookup and this pin happening under one mutex hold.
+  Result<size_t> PinFrameLocked(PageId id, Shard& shard);
   /// Finds a frame for a new page in `shard`: free frame or LRU victim.
   /// Caller holds shard.mu.
   Result<size_t> GrabFrame(Shard& shard);

@@ -280,13 +280,15 @@ Result<Table*> Database::GetTable(const std::string& name) const {
   return Status::NotFound("no such table: " + name);
 }
 
-void Database::PutMeta(const std::string& name, std::string blob) {
+Status Database::PutMeta(const std::string& name, std::string blob) {
   if (wal_ != nullptr) {
-    // Failure here is sticky inside the WAL; the next Checkpoint (the
-    // operation that makes blobs durable anyway) will surface it.
-    (void)wal_->AppendPutMeta(name, blob);
+    // Log-before-apply: if the record cannot be logged (sticky flush
+    // failure), refuse the update instead of applying state that could
+    // be acknowledged but lost.
+    SEGDIFF_RETURN_IF_ERROR(wal_->AppendPutMeta(name, blob).status());
   }
   meta_[name] = std::move(blob);
+  return Status::OK();
 }
 
 Result<std::string> Database::GetMeta(const std::string& name) const {
@@ -297,9 +299,9 @@ Result<std::string> Database::GetMeta(const std::string& name) const {
   return it->second;
 }
 
-bool Database::EraseMeta(const std::string& name) {
+Result<bool> Database::EraseMeta(const std::string& name) {
   if (wal_ != nullptr) {
-    (void)wal_->AppendEraseMeta(name);
+    SEGDIFF_RETURN_IF_ERROR(wal_->AppendEraseMeta(name).status());
   }
   return meta_.erase(name) != 0;
 }

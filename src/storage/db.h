@@ -146,14 +146,18 @@ class Database {
   /// Stores a named opaque blob in the catalog (persisted at the next
   /// Checkpoint; in WAL mode also logged, so it survives a crash that
   /// precedes the checkpoint). Engines use this for state that must
-  /// ride along with the tables — e.g. resumable ingest state.
-  void PutMeta(const std::string& name, std::string blob);
+  /// ride along with the tables — e.g. resumable ingest state. When
+  /// the WAL append fails (sticky flush failure), the update is NOT
+  /// applied and the error is returned — durability being broken
+  /// surfaces here, not at the next Checkpoint.
+  Status PutMeta(const std::string& name, std::string blob);
 
   /// The named blob, or NotFound.
   Result<std::string> GetMeta(const std::string& name) const;
 
-  /// Removes the named blob; returns whether it existed.
-  bool EraseMeta(const std::string& name);
+  /// Removes the named blob; returns whether it existed, or the WAL
+  /// append error (in which case nothing was erased).
+  Result<bool> EraseMeta(const std::string& name);
 
   /// Persists catalog + all dirty pages + file header. In WAL mode this
   /// is the fuzzy checkpoint described in the file comment; the log is

@@ -183,6 +183,22 @@ Result<std::unique_ptr<Wal>> Wal::Open(Vfs* vfs, const std::string& db_path,
   }
 
   uint64_t next = min_next_lsn > 0 ? min_next_lsn : 1;
+  if (scan.exists && scan.header_ok && min_next_lsn > 1 &&
+      scan.start_lsn > min_next_lsn) {
+    // A non-fresh data file (it has applied LSNs) paired with a log
+    // whose generation starts beyond applied + 1: earlier generations
+    // covered LSNs this data file never applied — a mismatched or
+    // foreign sidecar. Adopting it would silently assume the records
+    // in (applied, start_lsn) reached the data file; refuse loudly,
+    // like the unreadable-header case.
+    return Status::Corruption(
+        "WAL " + wal->path_ + " starts at LSN " +
+        std::to_string(scan.start_lsn) +
+        " but the data file has only applied through LSN " +
+        std::to_string(min_next_lsn - 1) +
+        " (mismatched or foreign log); if the log is known stale, remove "
+        "the file and reopen");
+  }
   if (scan.exists && scan.header_ok) {
     // Keep the handle; the torn tail (if any) is trimmed before the
     // first flush write — Open itself must not modify the file.
@@ -230,9 +246,10 @@ Status Wal::Close() {
     cv_.notify_all();
     flusher_.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (flushing_) cv_.wait(lock);
   if (pending_.empty()) return flush_error_;
-  return FlushLocked();
+  return FlushLocked(lock);
 }
 
 void Wal::FlusherLoop() {
@@ -241,7 +258,7 @@ void Wal::FlusherLoop() {
     cv_.wait_for(lock, std::chrono::milliseconds(window_ms_));
     if (stop_flusher_) break;
     if (!pending_.empty() && flush_error_.ok()) {
-      FlushLocked();  // sticky error is surfaced to the next append
+      FlushLocked(lock);  // sticky error is surfaced to the next append
     }
   }
 }
@@ -266,7 +283,11 @@ Status Wal::EnsureFileLocked() {
   return Status::OK();
 }
 
-Status Wal::FlushLocked() {
+Status Wal::FlushLocked(std::unique_lock<std::mutex>& lock) {
+  // One flusher owns the file tail at a time. Waiting also covers the
+  // common Sync/EnsureDurable case where the in-flight batch holds the
+  // caller's LSN: once it publishes, the early return below fires.
+  while (flushing_) cv_.wait(lock);
   if (flush_error_.ok() && pending_.empty() &&
       durable_lsn_.load() == buffered_lsn_.load()) {
     return Status::OK();
@@ -277,31 +298,55 @@ Status Wal::FlushLocked() {
   // tail the failure left) restores durability without ever having
   // falsely acknowledged anything — every failed flush was reported.
   Status st = EnsureFileLocked();
-  if (st.ok() && !pending_.empty()) {
-    st = file_->Write(tail_offset_, pending_.data(), pending_.size());
-  }
-  if (st.ok()) st = file_->Sync();
-  if (st.ok() && need_dir_sync_) {
-    st = vfs_->SyncDir(path_);
-    if (st.ok()) need_dir_sync_ = false;
+  std::string batch;
+  uint64_t batch_records = 0;
+  uint64_t batch_last_lsn = 0;
+  if (st.ok()) {
+    // Swap the batch out and do the write + fsync without the mutex:
+    // concurrent appends buffer into the (now empty) pending_ and are
+    // picked up by the next group commit instead of blocking for the
+    // full sync.
+    batch.swap(pending_);
+    batch_records = pending_records_;
+    pending_records_ = 0;
+    batch_last_lsn = buffered_lsn_.load();
+    const uint64_t write_off = tail_offset_;
+    const bool dir_sync = need_dir_sync_;
+    flushing_ = true;
+    inflight_bytes_ = batch.size();
+    lock.unlock();
+    if (!batch.empty()) {
+      st = file_->Write(write_off, batch.data(), batch.size());
+    }
+    if (st.ok()) st = file_->Sync();
+    if (st.ok() && dir_sync) st = vfs_->SyncDir(path_);
+    lock.lock();
+    flushing_ = false;
+    inflight_bytes_ = 0;
+    if (st.ok() && dir_sync) need_dir_sync_ = false;
   }
   if (!st.ok()) {
+    // Put the unflushed batch back in front of whatever was appended
+    // while the mutex was dropped, so a foreground retry re-writes
+    // exactly the same bytes at the same offset.
+    if (!batch.empty()) pending_.insert(0, batch);
+    pending_records_ += batch_records;
     // Sticky until a flush succeeds: while durability is broken no new
     // append may be buffered as if it could still become durable (the
     // background flusher never retries; only explicit Sync/EnsureDurable
     // calls do, and they surface every failure to the caller).
     flush_error_ = Status::IOError("WAL flush failed (" + path_ +
                                    "): " + st.ToString());
+    cv_.notify_all();
     return flush_error_;
   }
   flush_error_ = Status::OK();
   ++stats_.fsyncs;
-  if (pending_records_ >= 2) ++stats_.group_commits;
-  stats_.bytes_written += pending_.size();
-  tail_offset_ += pending_.size();
-  pending_.clear();
-  pending_records_ = 0;
-  durable_lsn_.store(buffered_lsn_.load());
+  if (batch_records >= 2) ++stats_.group_commits;
+  stats_.bytes_written += batch.size();
+  tail_offset_ += batch.size();
+  durable_lsn_.store(batch_last_lsn);
+  cv_.notify_all();
   return Status::OK();
 }
 
@@ -309,7 +354,7 @@ Status Wal::AppendRecord(WalRecordType type, const char* payload, size_t n,
                          uint64_t* lsn, bool even_suspended) {
   *lsn = 0;
   if (!even_suspended && suspend_count_.load() > 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   if (!flush_error_.ok()) return flush_error_;
   uint64_t assigned = next_lsn_++;
   size_t base = pending_.size();
@@ -325,7 +370,7 @@ Status Wal::AppendRecord(WalRecordType type, const char* payload, size_t n,
   ++stats_.appends;
   ++pending_records_;
   if (window_ms_ <= 0) {
-    Status st = FlushLocked();
+    Status st = FlushLocked(lock);
     if (!st.ok()) return st;
   }
   *lsn = assigned;
@@ -412,8 +457,8 @@ Result<uint64_t> Wal::AppendEraseMeta(const std::string& name) {
 }
 
 Status Wal::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  return FlushLocked(lock);
 }
 
 Status Wal::EnsureDurable(uint64_t lsn) {
@@ -422,7 +467,10 @@ Status Wal::EnsureDurable(uint64_t lsn) {
 }
 
 Status Wal::Reset(uint64_t new_start_lsn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // An in-flight group commit owns the file tail; truncating under it
+  // would corrupt the log.
+  while (flushing_) cv_.wait(lock);
   if (!flush_error_.ok()) return flush_error_;
   if (!pending_.empty()) {
     return Status::Internal("WAL reset with unflushed records");
@@ -455,9 +503,10 @@ Status Wal::Reset(uint64_t new_start_lsn) {
 
 uint64_t Wal::SizeBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr && pending_.empty()) return 0;
+  if (file_ == nullptr && pending_.empty() && inflight_bytes_ == 0) return 0;
   uint64_t base = file_ == nullptr ? kWalHeaderSize : tail_offset_;
-  return base + pending_.size();
+  // An in-flight batch sits in neither tail_offset_ nor pending_.
+  return base + inflight_bytes_ + pending_.size();
 }
 
 WalStats Wal::stats() const {

@@ -248,8 +248,12 @@ class Wal {
   /// logged even while replay suppresses logical re-logging.
   Status AppendRecord(WalRecordType type, const char* payload, size_t n,
                       uint64_t* lsn, bool even_suspended = false);
-  /// Writes pending bytes + fsyncs; sticky on failure. Requires mu_.
-  Status FlushLocked();
+  /// Writes pending bytes + fsyncs; sticky on failure. Requires mu_
+  /// (held by `lock`), but releases it for the duration of the file
+  /// write and fsync so concurrent Append* calls buffer into the next
+  /// batch instead of stalling behind the sync; `flushing_` serializes
+  /// overlapping flushers and keeps the tail single-writer.
+  Status FlushLocked(std::unique_lock<std::mutex>& lock);
   /// Opens/creates the file and settles header/truncation. Requires mu_.
   Status EnsureFileLocked();
   void FlusherLoop();
@@ -269,6 +273,8 @@ class Wal {
   uint64_t tail_offset_ = 0;  ///< file offset past the last flushed frame
   std::string pending_;       ///< encoded frames awaiting flush
   uint64_t pending_records_ = 0;
+  bool flushing_ = false;      ///< a flusher holds the file tail (mu_ dropped)
+  uint64_t inflight_bytes_ = 0;  ///< batch bytes being flushed right now
   uint64_t next_lsn_ = 1;
   std::atomic<uint64_t> start_lsn_{1};
   std::atomic<uint64_t> buffered_lsn_{0};  ///< last assigned LSN

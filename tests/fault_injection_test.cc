@@ -27,6 +27,7 @@
 
 #include "test_paths.h"
 
+#include "common/coding.h"
 #include "common/crc32c.h"
 #include "common/env.h"
 #include "common/vfs.h"
@@ -1134,6 +1135,45 @@ TEST_F(WalCrashTest, TornWalTailIsDetectedAndTrimmed) {
   const WalScrubReport healed = Wal::Scrub(Vfs::Default(), path_);
   EXPECT_TRUE(healed.clean()) << healed.message;
   EXPECT_FALSE(healed.torn_tail) << healed.message;
+}
+
+// A non-fresh store paired with a log whose generation starts beyond
+// the store's applied LSN + 1 — a mismatched or foreign sidecar whose
+// earlier generations covered LSNs this data file never applied — is
+// refused loudly. Silently adopting it would assume the records in
+// (applied, start_lsn) reached the data file.
+TEST_F(WalCrashTest, MismatchedWalGenerationIsRefused) {
+  {
+    auto store = SegDiffIndex::Open(path_, Options(nullptr));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_EQ(IngestWithGroupCommits(store->get(), series_), series_.size());
+  }  // close checkpoints: the store now has a non-zero applied LSN
+
+  // Forge a structurally valid, empty WAL generation starting far past
+  // anything this data file applied.
+  char header[kWalHeaderSize];
+  std::memset(header, 0, sizeof(header));
+  EncodeFixed32(header, kWalMagic);
+  EncodeFixed32(header + 4, kWalVersion);
+  EncodeFixed64(header + 8, uint64_t{1} << 40);  // start_lsn
+  EncodeFixed32(header + 24, Crc32c(header, 24));
+  {
+    std::ofstream out(Wal::PathFor(path_),
+                      std::ios::binary | std::ios::trunc);
+    out.write(header, sizeof(header));
+    ASSERT_TRUE(out.good());
+  }
+
+  auto reopened = SegDiffIndex::Open(path_, Options(nullptr));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption())
+      << reopened.status().ToString();
+
+  // The remedy the diagnostic names: remove the stale sidecar.
+  std::remove(Wal::PathFor(path_).c_str());
+  auto recovered = SegDiffIndex::Open(path_, Options(nullptr));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->num_observations(), series_.size());
 }
 
 // Replaying the same log twice yields byte-identical tables: recovery

@@ -289,7 +289,7 @@ TEST_F(StreamingIngestTest, LegacyStoreResumesFromSegmentDirectory) {
     raw_options.create_if_missing = false;
     auto raw = Database::Open(stream_path_, raw_options);
     ASSERT_TRUE(raw.ok()) << raw.status().ToString();
-    EXPECT_TRUE((*raw)->EraseMeta("segdiff.ingest"));
+    EXPECT_TRUE((*raw)->EraseMeta("segdiff.ingest").value_or(false));
     ASSERT_TRUE((*raw)->Checkpoint().ok());
   }
   SegDiffOptions reopen;
@@ -407,7 +407,7 @@ TEST_F(StreamingIngestTest, OutOfOrderSegmentDirectoryRejected) {
     raw_options.create_if_missing = false;
     auto raw = Database::Open(stream_path_, raw_options);
     ASSERT_TRUE(raw.ok()) << raw.status().ToString();
-    EXPECT_TRUE((*raw)->EraseMeta("segdiff.ingest"));
+    EXPECT_TRUE((*raw)->EraseMeta("segdiff.ingest").value_or(false));
     auto segments = (*raw)->GetTable("segments");
     ASSERT_TRUE(segments.ok());
     ASSERT_TRUE((*segments)->InsertDoubles({1.0, 0.0, 2.0, 0.0}).ok());
