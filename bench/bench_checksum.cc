@@ -11,7 +11,11 @@
 //                 machinery a knob can remove
 //
 // Results additionally land in BENCH_checksum.json.
+//
+//   bench_checksum [--quick]   (--quick: days-scale store + 1 scan rep,
+//                               smoke only — proves the binary runs)
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -27,7 +31,7 @@
 namespace segdiff {
 namespace {
 
-constexpr int kScanRepetitions = 5;
+int g_scan_repetitions = 5;
 
 SegDiffOptions StoreOptions() {
   SegDiffOptions options;
@@ -65,7 +69,7 @@ double MeasureCrcThroughput() {
 double MeasureColdScan(SegDiffIndex* store, bool verify, uint64_t* pairs) {
   store->db()->pager()->set_verify_checksums(verify);
   double total = 0.0;
-  for (int r = 0; r < kScanRepetitions; ++r) {
+  for (int r = 0; r < g_scan_repetitions; ++r) {
     SEGDIFF_CHECK_OK(store->DropCaches());
     Stopwatch watch;
     SearchStats stats;
@@ -75,11 +79,17 @@ double MeasureColdScan(SegDiffIndex* store, bool verify, uint64_t* pairs) {
     *pairs = stats.pairs_returned;
   }
   store->db()->pager()->set_verify_checksums(true);
-  return total / kScanRepetitions;
+  return total / g_scan_repetitions;
 }
 
-int RunBench() {
+int RunBench(bool quick) {
   WorkloadConfig config = WorkloadConfig::FromEnv();
+  if (quick) {
+    // The tier-1 bench smoke: a days-scale store and a single scan rep,
+    // just to prove the binary executes end to end.
+    config.num_days = std::min(config.num_days, 4);
+    g_scan_repetitions = 1;
+  }
   auto series_or = MakeSmoothedBenchSeries(config);
   SEGDIFF_CHECK(series_or.ok()) << series_or.status().ToString();
   const Series& series = *series_or;
@@ -154,7 +164,7 @@ int RunBench() {
   root.Set("observations", static_cast<int64_t>(series.size()));
   root.Set("hardware_accelerated",
            static_cast<int64_t>(Crc32cHardwareAccelerated()));
-  root.Set("scan_repetitions", static_cast<int64_t>(kScanRepetitions));
+  root.Set("scan_repetitions", static_cast<int64_t>(g_scan_repetitions));
   root.Set("verify_overhead_pct", overhead);
   root.Set("results", std::move(results));
   const std::string json_path = BenchReportPath("BENCH_checksum.json");
@@ -171,4 +181,10 @@ int RunBench() {
 }  // namespace
 }  // namespace segdiff
 
-int main() { return segdiff::RunBench(); }
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    quick |= std::string(argv[i]) == "--quick";
+  }
+  return segdiff::RunBench(quick);
+}

@@ -9,7 +9,10 @@
 #      query cannot wedge the store
 #   3. a WAL recovery smoke: kill -9 a CLI ingest mid-append, then prove
 #      the store reopens with everything it had acknowledged before the
-#      crash and passes a full checksum + log scrub
+#      crash and passes a full checksum + log scrub; plus a fixed-seed
+#      chaos smoke (25 fault cycles, SEGDIFF_FAULT_SEED=20080325) and an
+#      ENOSPC smoke (full disk => read-only degraded mode, searches
+#      still served)
 #   4. an AddressSanitizer build running the streaming-ingest and storage
 #      suites (the subsystems that serialize/restore raw state blobs)
 #      plus the `faults` and `governance` ctest groups (crash-recovery,
@@ -22,8 +25,10 @@
 # Usage: scripts/check_tier1.sh [--no-asan]   (skips both sanitizer runs)
 # Exits non-zero on the first failing step.
 #
-# SEGDIFF_FAULT_SEED varies the crash-matrix fault schedule (see
-# tests/fault_injection_test.cc); unset keeps the deterministic default.
+# SEGDIFF_FAULT_SEED varies the crash-matrix and chaos fault schedules
+# (see tests/fault_injection_test.cc, tests/chaos_test.cc);
+# SEGDIFF_CHAOS_CYCLES scales the chaos sweep. Unset keeps the
+# deterministic defaults.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,8 +51,21 @@ echo "== tier-1: bench smoke (--quick) =="
 (cd build && ./bench/bench_scan --quick && \
  ./bench/bench_parallel --quick && \
  ./bench/bench_governance --quick && \
+ ./bench/bench_checksum --quick && \
  ./bench/bench_micro --quick \
    --benchmark_filter='BM_ScanKernelBatch|BM_PredicateMatch|BM_DecodeFOR|BM_DecodeXor')
+
+echo "== tier-1: chaos smoke (fixed-seed fault cycles + ENOSPC) =="
+# A reduced fixed-seed slice of the chaos sweep (the full 200-cycle run
+# rides in ctest above): every injected fault must end in resume, loud
+# refusal, or repair — never silent data loss. Then the ENOSPC smoke:
+# a full disk must flip the store into read-only degraded mode that
+# still serves searches.
+(cd build && \
+ SEGDIFF_FAULT_SEED=20080325 SEGDIFF_CHAOS_CYCLES=25 ./tests/chaos_test \
+   --gtest_filter='ChaosTest.SeededFaultCycleSweep' && \
+ ./tests/chaos_test \
+   --gtest_filter='ChaosTest.DiskFullFlipsDegradedReadOnlyMode')
 
 echo "== tier-1: compression smoke (compact to columnar, ratio + scrub) =="
 CMP_WORK="build/compression_smoke"
@@ -151,7 +169,7 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   cmake -B build-asan -S . -DSEGDIFF_SANITIZE=address >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
     streaming_ingest_test storage_test segdiff_index_test \
-    fault_injection_test governance_test
+    fault_injection_test chaos_test governance_test
   echo "== asan: run =="
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
     -R 'StreamingIngestTest|ExhStreamingTest|StorageTest|SegDiffIndexTest')
@@ -163,7 +181,7 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   cmake -B build-tsan -S . -DSEGDIFF_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target \
     thread_pool_test buffer_pool_concurrency_test parallel_query_test \
-    fault_injection_test governance_test
+    fault_injection_test chaos_test governance_test
   echo "== tsan: run =="
   # -L takes a regex: one pass over the threading suites plus the
   # fault-injection and governance groups (snapshot reads racing

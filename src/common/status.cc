@@ -39,6 +39,11 @@ std::string Status::ToString() const {
   std::string out(StatusCodeName(code()));
   out += ": ";
   out += rep_->message;
+  if (rep_->error_class == ErrorClass::kTransient) {
+    out += " [transient]";
+  } else if (rep_->error_class == ErrorClass::kNoSpace) {
+    out += " [no-space]";
+  }
   return out;
 }
 

@@ -33,6 +33,16 @@ enum class StatusCode : unsigned char {
 /// Returns a stable human-readable name for a status code.
 std::string_view StatusCodeName(StatusCode code);
 
+/// Orthogonal failure class: how a caller should react to the error,
+/// independent of what went wrong (the StatusCode). Retry loops key off
+/// kTransient; allocation paths key off kNoSpace to flip the store into
+/// read-only degraded mode instead of erroring every future write.
+enum class ErrorClass : unsigned char {
+  kPermanent = 0,  ///< retrying cannot help (the default)
+  kTransient,      ///< the same operation may succeed if retried
+  kNoSpace,        ///< the device is full (ENOSPC/EDQUOT); writes must stop
+};
+
 /// Result of an operation that can fail. Cheap to move; OK status does not
 /// allocate. Non-OK status carries a code and a message.
 class Status {
@@ -86,6 +96,17 @@ class Status {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
+  /// An IO failure worth retrying (EAGAIN-style errno, injected
+  /// transient fault): same code as IOError, ErrorClass::kTransient.
+  static Status TransientIOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg), ErrorClass::kTransient);
+  }
+  /// The device is out of space (ENOSPC/EDQUOT or an injected disk-full
+  /// fault): same code as IOError, ErrorClass::kNoSpace.
+  static Status NoSpace(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg), ErrorClass::kNoSpace);
+  }
+
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
   bool IsInvalidArgument() const {
@@ -108,22 +129,45 @@ class Status {
     return code() == StatusCode::kResourceExhausted;
   }
 
+  ErrorClass error_class() const {
+    return rep_ ? rep_->error_class : ErrorClass::kPermanent;
+  }
+  /// Retrying the failed operation may succeed.
+  bool IsTransient() const {
+    return error_class() == ErrorClass::kTransient;
+  }
+  /// The device is full; further writes are pointless until space frees.
+  bool IsNoSpace() const { return error_class() == ErrorClass::kNoSpace; }
+
   /// Message carried by a non-OK status; empty for OK.
   std::string_view message() const {
     return rep_ ? std::string_view(rep_->message) : std::string_view();
   }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// A status with the same code and error class but a new message —
+  /// for wrapping layers that add context without laundering a
+  /// transient/no-space failure into a permanent one.
+  Status WithMessage(std::string msg) const {
+    if (ok()) {
+      return Status();
+    }
+    return Status(rep_->code, std::move(msg), rep_->error_class);
+  }
+
+  /// "OK" or "<CodeName>: <message>" (" [transient]" / " [no-space]"
+  /// appended for classified errors).
   std::string ToString() const;
 
  private:
   struct Rep {
     StatusCode code;
     std::string message;
+    ErrorClass error_class = ErrorClass::kPermanent;
   };
 
-  Status(StatusCode code, std::string msg)
-      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg)})) {}
+  Status(StatusCode code, std::string msg,
+         ErrorClass error_class = ErrorClass::kPermanent)
+      : rep_(std::make_unique<Rep>(Rep{code, std::move(msg), error_class})) {}
 
   std::unique_ptr<Rep> rep_;  // nullptr == OK
 };

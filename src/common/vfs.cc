@@ -6,13 +6,33 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <utility>
 
 namespace segdiff {
 namespace {
 
 Status Errno(const std::string& what, const std::string& path) {
-  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+  std::string msg = what + " " + path + ": " + std::strerror(errno);
+  // Classify the errno so upper layers can react: no-space flips the
+  // store into degraded mode, transient failures go through the bounded
+  // retry policy below. Everything else stays permanent.
+  switch (errno) {
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::NoSpace(std::move(msg));
+    case EAGAIN:
+    case EBUSY:
+    case ETIMEDOUT:
+    case ENOMEM:
+      return Status::TransientIOError(std::move(msg));
+    default:
+      return Status::IOError(std::move(msg));
+  }
 }
 
 /// Directory part of `path` ("." when there is none).
@@ -172,7 +192,62 @@ class PosixVfs : public Vfs {
   }
 };
 
+/// RandomAccessFile decorator retrying transient failures with bounded
+/// exponential backoff. Only Read/Write/Sync retry: those are the
+/// operations whose transient failure modes (EAGAIN-style errnos, a
+/// device momentarily resetting) heal on their own.
+class RetryingFile : public RandomAccessFile {
+ public:
+  RetryingFile(std::unique_ptr<RandomAccessFile> base, RetryPolicy policy)
+      : base_(std::move(base)), policy_(policy) {}
+
+  Status Read(uint64_t offset, size_t n, char* buf) override {
+    return Retry([&] { return base_->Read(offset, n, buf); });
+  }
+  Status Write(uint64_t offset, const char* buf, size_t n) override {
+    return Retry([&] { return base_->Write(offset, buf, n); });
+  }
+  Status Sync() override {
+    return Retry([&] { return base_->Sync(); });
+  }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Result<uint64_t> Size() override { return base_->Size(); }
+
+ private:
+  template <typename Op>
+  Status Retry(const Op& op) {
+    Status status = op();
+    for (int attempt = 0; !status.ok() && status.IsTransient() &&
+                          attempt + 1 < policy_.max_attempts;
+         ++attempt) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(policy_.BackoffUs(attempt)));
+      status = op();
+    }
+    return status;
+  }
+
+  std::unique_ptr<RandomAccessFile> base_;
+  const RetryPolicy policy_;
+};
+
 }  // namespace
+
+uint64_t RetryPolicy::BackoffUs(int attempt) const {
+  uint64_t backoff = initial_backoff_us;
+  for (int i = 0; i < attempt && backoff < max_backoff_us; ++i) {
+    backoff *= 2;
+  }
+  return backoff < max_backoff_us ? backoff : max_backoff_us;
+}
+
+std::unique_ptr<RandomAccessFile> WithRetry(
+    std::unique_ptr<RandomAccessFile> file, const RetryPolicy& policy) {
+  if (file == nullptr || policy.max_attempts <= 1) {
+    return file;
+  }
+  return std::make_unique<RetryingFile>(std::move(file), policy);
+}
 
 Vfs* Vfs::Default() {
   static PosixVfs* posix = new PosixVfs();  // leaked: process lifetime

@@ -75,6 +75,28 @@ class Vfs {
   static Vfs* Default();
 };
 
+/// Bounded-exponential-backoff schedule for transient IO failures
+/// (Status::IsTransient()): attempt, sleep, double, capped. Permanent
+/// and no-space failures are never retried — retrying a full disk or a
+/// checksum mismatch only hides the problem from the caller.
+struct RetryPolicy {
+  int max_attempts = 4;             ///< total tries, including the first
+  uint64_t initial_backoff_us = 100;
+  uint64_t max_backoff_us = 5000;   ///< cap for the doubling backoff
+
+  /// The backoff to sleep after attempt `attempt` (0-based) failed.
+  uint64_t BackoffUs(int attempt) const;
+};
+
+/// Wraps `file` so Read/Write/Sync retry transient failures under
+/// `policy`. All other operations (Truncate, Size) pass straight
+/// through, as do permanent, no-space, and exhausted-retry errors. The
+/// storage layer wraps its data and log files with this; tests drive it
+/// via FaultInjectionVfs's transient-fault modes.
+std::unique_ptr<RandomAccessFile> WithRetry(
+    std::unique_ptr<RandomAccessFile> file,
+    const RetryPolicy& policy = RetryPolicy());
+
 }  // namespace segdiff
 
 #endif  // SEGDIFF_COMMON_VFS_H_

@@ -38,6 +38,7 @@ class PageEvaluator {
         callback_(callback),
         record_bytes_(table.schema().RowBytes()),
         batch_(options.batch),
+        skip_quarantined_(options.skip_quarantined),
         prune_(options.prune && !predicate.conditions().empty()),
         kernel_(ActiveScanKernel()),
         column_compare_(ActiveColumnCompare()),
@@ -103,8 +104,17 @@ class PageEvaluator {
         }
       }
     }
-    SEGDIFF_ASSIGN_OR_RETURN(ColumnSegmentHandle handle,
-                             store.OpenSegment(seg_idx));
+    Result<ColumnSegmentHandle> opened = store.OpenSegment(seg_idx);
+    if (!opened.ok()) {
+      if (skip_quarantined_ && opened.status().IsCorruption()) {
+        // Opening verified (and quarantined) the segment's pages; the
+        // whole segment is routed around and the result flagged partial.
+        NoteQuarantined(info.pages, info.rows);
+        return Status::OK();
+      }
+      return opened.status();
+    }
+    ColumnSegmentHandle handle = std::move(opened).value();
     if (prune_ && !SegmentCanMatch(info, predicate_.conditions())) {
       stats_.pages_pruned += info.pages;
       stats_.rows_pruned += info.rows;
@@ -147,6 +157,28 @@ class PageEvaluator {
   }
 
   const ScanStats& stats() const { return stats_; }
+
+  /// Records a routed-around corrupt range (the heap skipper and the
+  /// segment path above both funnel here, so one stats object carries
+  /// the partial-result evidence).
+  void NoteQuarantined(uint64_t pages, uint64_t rows) {
+    stats_.pages_quarantined += pages;
+    stats_.rows_quarantined += rows;
+  }
+
+  /// The heap-page skipper for this scan, or nullptr when quarantine
+  /// routing is off. Valid as long as the evaluator lives.
+  const CorruptPageSkipper* heap_skipper() {
+    if (!skip_quarantined_) {
+      return nullptr;
+    }
+    if (!skipper_.on_skip) {
+      skipper_.on_skip = [this](PageId page, uint64_t lost) {
+        NoteQuarantined(page != kInvalidPageId ? 1 : 0, lost);
+      };
+    }
+    return &skipper_;
+  }
 
  private:
   /// Rebuilds the encoded record for batch row `i` from the decoded
@@ -272,6 +304,8 @@ class PageEvaluator {
   const RowCallback& callback_;
   const size_t record_bytes_;
   const bool batch_;
+  const bool skip_quarantined_;
+  CorruptPageSkipper skipper_;  ///< lazily armed by heap_skipper()
   const bool prune_;
   const ScanKernelFn kernel_;
   const ColumnCompareFn column_compare_;
@@ -306,7 +340,7 @@ Status SeqScan(const Table& table, const Predicate& predicate,
             bool* keep_going) -> Status {
           return evaluator.Evaluate(page, records, count, keep_going);
         },
-        options.snapshot);
+        options.snapshot, evaluator.heap_skipper());
   }
   if (stats != nullptr) {
     stats->Add(evaluator.stats());
@@ -336,8 +370,19 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
     // Degenerate case: one partition is just a serial scan.
     return SeqScan(table, predicate, make_sink(0), stats, options);
   }
-  SEGDIFF_ASSIGN_OR_RETURN(std::vector<PageId> pages,
-                           table.HeapPageIds(options.snapshot));
+  // Chain resolution happens once, up front; with quarantine routing a
+  // broken chain's unreachable remainder is accounted here (no
+  // partition would ever visit those pages).
+  ScanStats collect_stats;
+  CorruptPageSkipper collect_skipper;
+  collect_skipper.on_skip = [&](PageId page, uint64_t lost) {
+    collect_stats.pages_quarantined += page != kInvalidPageId ? 1 : 0;
+    collect_stats.rows_quarantined += lost;
+  };
+  SEGDIFF_ASSIGN_OR_RETURN(
+      std::vector<PageId> pages,
+      table.HeapPageIds(options.snapshot,
+                        options.skip_quarantined ? &collect_skipper : nullptr));
   const ColumnStore* columnar = table.columnar();
   const size_t num_segments =
       columnar != nullptr ? columnar->segment_count() : 0;
@@ -401,12 +446,13 @@ Status ParallelSeqScan(const Table& table, const Predicate& predicate,
                   bool* keep_going) -> Status {
                 return evaluator.Evaluate(page, records, count, keep_going);
               },
-              options.snapshot);
+              options.snapshot, evaluator.heap_skipper());
         }
         partition_stats[p] = evaluator.stats();
         return status;
       }));
   if (stats != nullptr) {
+    stats->Add(collect_stats);
     for (const ScanStats& local : partition_stats) {
       stats->Add(local);
     }
@@ -440,8 +486,17 @@ Status IndexScan(const Table& table, const IndexScanSpec& spec,
     }
     if (!spec.key_filter || spec.key_filter(key)) {
       ++local.heap_fetches;
-      SEGDIFF_RETURN_IF_ERROR(table.ReadRecord(RecordId::Unpack(key.rid),
-                                               record.data(), spec.snapshot));
+      Status fetched = table.ReadRecord(RecordId::Unpack(key.rid),
+                                        record.data(), spec.snapshot);
+      if (!fetched.ok()) {
+        if (spec.skip_quarantined && fetched.IsCorruption()) {
+          // Candidate's page is quarantined: drop the row, flag partial.
+          ++local.rows_quarantined;
+          SEGDIFF_RETURN_IF_ERROR(it.Next());
+          continue;
+        }
+        return fetched;
+      }
       if (residual.Matches(record.data())) {
         ++local.rows_matched;
         SEGDIFF_RETURN_IF_ERROR(

@@ -30,6 +30,11 @@ struct ScanStats {
   uint64_t index_entries_scanned = 0; ///< index keys examined (index scan)
   uint64_t heap_fetches = 0;          ///< random heap reads (index scan)
   uint64_t rows_matched = 0;
+  /// Corrupt pages routed around (SeqScanOptions::skip_quarantined):
+  /// the result is PARTIAL whenever these are non-zero — callers must
+  /// surface that, never silently return the subset.
+  uint64_t pages_quarantined = 0;
+  uint64_t rows_quarantined = 0;  ///< records lost to quarantined ranges
 
   void Add(const ScanStats& other) {
     rows_scanned += other.rows_scanned;
@@ -39,6 +44,8 @@ struct ScanStats {
     index_entries_scanned += other.index_entries_scanned;
     heap_fetches += other.heap_fetches;
     rows_matched += other.rows_matched;
+    pages_quarantined += other.pages_quarantined;
+    rows_quarantined += other.rows_quarantined;
   }
 };
 
@@ -74,6 +81,12 @@ struct SeqScanOptions {
   /// Database::CreateSnapshot() — columnar segments are immutable and
   /// are read directly either way.
   const DatabaseSnapshot* snapshot = nullptr;
+  /// Degraded-store mode: route around corrupt (quarantined) heap pages
+  /// and columnar segments instead of failing the scan, counting them
+  /// in ScanStats::pages_quarantined / rows_quarantined. The caller
+  /// MUST check those counters and flag the result as partial; off (the
+  /// default), corruption fails the scan loudly.
+  bool skip_quarantined = false;
 };
 
 /// Full-table scan applying `predicate` to every record: the table's
@@ -122,6 +135,10 @@ struct IndexScanSpec {
   /// Point-in-time view (see SeqScanOptions::snapshot): the B+-tree
   /// descent and the heap fetches both read through the snapshot.
   const DatabaseSnapshot* snapshot = nullptr;
+  /// Route around candidates whose heap fetch hits a corrupt page
+  /// (counted in ScanStats::rows_quarantined) instead of failing; see
+  /// SeqScanOptions::skip_quarantined for the caller's obligations.
+  bool skip_quarantined = false;
 };
 
 Status IndexScan(const Table& table, const IndexScanSpec& spec,

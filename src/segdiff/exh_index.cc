@@ -112,44 +112,63 @@ ExhIndex::~ExhIndex() {
 
 Status ExhIndex::AppendObservation(double t, double v) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  // window_ persists across calls (and reopens): an append boundary must
-  // not lose the pairs between the retained tail and this observation.
-  if (!window_.empty() && t <= window_.back().t) {
-    return Status::InvalidArgument(
-        "chunked ingest requires strictly increasing time stamps");
+  Status status = [&]() -> Status {
+    if (db_->degraded()) {
+      // Degraded stores are read-only: fail fast with the original cause
+      // instead of burning retries against a full disk.
+      return Status::NoSpace("store is degraded (read-only): " +
+                             db_->GetHealth().degraded_reason);
+    }
+    // window_ persists across calls (and reopens): an append boundary
+    // must not lose the pairs between the retained tail and this
+    // observation.
+    if (!window_.empty() && t <= window_.back().t) {
+      return Status::InvalidArgument(
+          "chunked ingest requires strictly increasing time stamps");
+    }
+    // WAL before data: the observation is the redo record for every pair
+    // row inserted below (a sticky log failure surfaces at the sync).
+    if (db_->wal() != nullptr) {
+      (void)db_->wal()->AppendObservation(t, v);
+    }
+    while (!window_.empty() && t - window_.front().t > options_.window_s) {
+      window_.pop_front();
+    }
+    for (const Sample& earlier : window_) {
+      SEGDIFF_RETURN_IF_ERROR(
+          table_->InsertDoubles({t - earlier.t, v - earlier.v, earlier.t})
+              .status());
+    }
+    window_.push_back(Sample{t, v});
+    ++observations_;
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    db_->NoteStorageFailure(status);  // no-space flips degraded mode
   }
-  // WAL before data: the observation is the redo record for every pair
-  // row inserted below (a sticky log failure surfaces at the sync).
-  if (db_->wal() != nullptr) {
-    (void)db_->wal()->AppendObservation(t, v);
-  }
-  while (!window_.empty() && t - window_.front().t > options_.window_s) {
-    window_.pop_front();
-  }
-  for (const Sample& earlier : window_) {
-    SEGDIFF_RETURN_IF_ERROR(
-        table_->InsertDoubles({t - earlier.t, v - earlier.v, earlier.t})
-            .status());
-  }
-  window_.push_back(Sample{t, v});
-  ++observations_;
-  return Status::OK();
+  return status;
 }
 
 Status ExhIndex::FlushPending() {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  Wal* wal = db_->wal();
-  if (wal == nullptr) {
-    return Status::OK();  // every pair row is already in the table
+  Status status = [&]() -> Status {
+    Wal* wal = db_->wal();
+    if (wal == nullptr) {
+      return Status::OK();  // every pair row is already in the table
+    }
+    // Exh has no buffered pending state, so the marker only delimits the
+    // replay boundary; the sync is the durability point (acknowledged
+    // means durable). State is saved first so an auto-checkpoint (which
+    // truncates the log) leaves a consistent resume point.
+    SEGDIFF_RETURN_IF_ERROR(wal->AppendFlushMarker().status());
+    SaveIngestState();
+    SEGDIFF_RETURN_IF_ERROR(wal->Sync());
+    return db_->MaybeAutoCheckpoint();
+  }();
+  if (!status.ok()) {
+    db_->NoteStorageFailure(status);
   }
-  // Exh has no buffered pending state, so the marker only delimits the
-  // replay boundary; the sync is the durability point (acknowledged
-  // means durable). State is saved first so an auto-checkpoint (which
-  // truncates the log) leaves a consistent resume point.
-  SEGDIFF_RETURN_IF_ERROR(wal->AppendFlushMarker().status());
-  SaveIngestState();
-  SEGDIFF_RETURN_IF_ERROR(wal->Sync());
-  return db_->MaybeAutoCheckpoint();
+  return status;
 }
 
 void ExhIndex::SaveIngestState() {
@@ -281,9 +300,14 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
     local.snapshot_observations = observations_;
   }
 
+  // Callers that pass a stats out-param can observe the partial flag, so
+  // quarantined pages degrade to a flagged partial result; stats-less
+  // callers keep the hard error (see SegDiffIndex::Search).
+  const bool allow_partial = stats != nullptr;
+
   std::vector<ExhEvent> events;
   Status run = SearchScan(drop, T, V, options, num_threads, ctx, snapshot,
-                          &events, &local);
+                          allow_partial, &events, &local);
 
   bool truncated = false;
   if (!run.ok()) {
@@ -304,6 +328,8 @@ Result<std::vector<ExhEvent>> ExhIndex::Search(bool drop, double T, double V,
             });
   local.pairs_returned = events.size();
   local.truncated = truncated;
+  local.partial = local.scan.pages_quarantined > 0 ||
+                  local.scan.rows_quarantined > 0;
   local.result_bytes_peak = budget.peak();
   local.seconds = stopwatch.ElapsedSeconds();
   admission_.RecordOutcome(Status::OK(), budget.peak(), truncated);
@@ -317,6 +343,7 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
                             const SearchOptions& options, size_t num_threads,
                             const QueryContext& ctx,
                             const DatabaseSnapshot& snapshot,
+                            bool allow_partial,
                             std::vector<ExhEvent>* events,
                             SearchStats* local) {
   MemoryBudget* budget = ctx.budget;
@@ -353,6 +380,7 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
   SeqScanOptions scan_options;
   scan_options.context = &ctx;
   scan_options.snapshot = &snapshot;
+  scan_options.skip_quarantined = allow_partial;
 
   Predicate predicate;
   predicate.And(0, CmpOp::kLe, T);
@@ -477,6 +505,7 @@ Status ExhIndex::SearchScan(bool drop, double T, double V,
   IndexScanSpec spec;
   spec.context = &ctx;
   spec.snapshot = &snapshot;
+  spec.skip_quarantined = allow_partial;
   spec.index = tree;
   spec.lower = IndexKey::LowerBound({-kInf, -kInf});
   spec.key_continue = [T](const IndexKey& key) { return key.vals[0] <= T; };
@@ -498,6 +527,16 @@ Status ExhIndex::Compact(const std::string& destination_path) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   SaveIngestState();  // the copied ingest blob must reflect the table
   return db_->CompactInto(destination_path);
+}
+
+Status ExhIndex::Repair(const std::string& destination_path,
+                        RepairReport* report) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  // Best effort: on a degraded store PutMeta is gated, so the blob in
+  // the catalog stays whatever was last saved — still a valid (if
+  // stale) resume point for the repaired copy.
+  SaveIngestState();
+  return db_->Repair(destination_path, report);
 }
 
 Status ExhIndex::DropCaches() {

@@ -114,6 +114,10 @@ class ExhIndex : public FeatureSink {
   /// resume point.
   Status Compact(const std::string& destination_path);
 
+  /// Salvages everything still readable into a fresh store at
+  /// `destination_path` (see SegDiffIndex::Repair).
+  Status Repair(const std::string& destination_path, RepairReport* report);
+
   ExhSizes GetSizes() const;
   uint64_t num_observations() const override { return observations_; }
   const ExhOptions& options() const { return options_; }
@@ -139,7 +143,7 @@ class ExhIndex : public FeatureSink {
   Status SearchScan(bool drop, double T, double V,
                     const SearchOptions& options, size_t num_threads,
                     const QueryContext& ctx,
-                    const DatabaseSnapshot& snapshot,
+                    const DatabaseSnapshot& snapshot, bool allow_partial,
                     std::vector<ExhEvent>* events, SearchStats* local);
   /// Replays the WAL's recovered observation backlog through the append
   /// path (under Wal::Suspend); see SegDiffIndex::DrainRecoveredOps.

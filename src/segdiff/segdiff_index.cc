@@ -314,32 +314,53 @@ Status SegDiffIndex::OnSegment(const DataSegment& segment) {
 
 Status SegDiffIndex::AppendObservation(double t, double v) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  if (db_->wal() != nullptr) {
-    // WAL-before-data: the redo record is in the log (buffered for the
-    // next group commit) before the pipeline touches any page.
-    SEGDIFF_RETURN_IF_ERROR(db_->wal()->AppendObservation(t, v).status());
+  Status status = [&]() -> Status {
+    if (db_->degraded()) {
+      // Fail fast with the recorded reason instead of tearing further
+      // state; searches keep running off the durable prefix.
+      return Status::NoSpace("store is degraded (read-only): " +
+                             db_->GetHealth().degraded_reason);
+    }
+    if (db_->wal() != nullptr) {
+      // WAL-before-data: the redo record is in the log (buffered for the
+      // next group commit) before the pipeline touches any page.
+      SEGDIFF_RETURN_IF_ERROR(db_->wal()->AppendObservation(t, v).status());
+    }
+    SEGDIFF_RETURN_IF_ERROR(segmenter_->Add(Sample{t, v}));
+    ++observations_;
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    // A no-space failure flips the store into degraded read-only mode;
+    // the observation was not acknowledged and will not be partially
+    // visible (WAL-before-data keeps replay consistent).
+    db_->NoteStorageFailure(status);
   }
-  SEGDIFF_RETURN_IF_ERROR(segmenter_->Add(Sample{t, v}));
-  ++observations_;
-  return Status::OK();
+  return status;
 }
 
 Status SegDiffIndex::FlushPending() {
   std::lock_guard<std::mutex> lock(ingest_mu_);
-  Wal* wal = db_->wal();
-  if (wal != nullptr) {
-    SEGDIFF_RETURN_IF_ERROR(wal->AppendFlushMarker().status());
+  Status status = [&]() -> Status {
+    Wal* wal = db_->wal();
+    if (wal != nullptr) {
+      SEGDIFF_RETURN_IF_ERROR(wal->AppendFlushMarker().status());
+    }
+    SEGDIFF_RETURN_IF_ERROR(segmenter_->Flush());
+    if (wal != nullptr) {
+      // Acknowledged means durable: everything appended so far survives a
+      // crash from here on. State is saved first so an auto-checkpoint
+      // (which truncates the log) leaves a consistent resume point.
+      SaveIngestState();
+      SEGDIFF_RETURN_IF_ERROR(wal->Sync());
+      SEGDIFF_RETURN_IF_ERROR(db_->MaybeAutoCheckpoint());
+    }
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    db_->NoteStorageFailure(status);
   }
-  SEGDIFF_RETURN_IF_ERROR(segmenter_->Flush());
-  if (wal != nullptr) {
-    // Acknowledged means durable: everything appended so far survives a
-    // crash from here on. State is saved first so an auto-checkpoint
-    // (which truncates the log) leaves a consistent resume point.
-    SaveIngestState();
-    SEGDIFF_RETURN_IF_ERROR(wal->Sync());
-    SEGDIFF_RETURN_IF_ERROR(db_->MaybeAutoCheckpoint());
-  }
-  return Status::OK();
+  return status;
 }
 
 Status SegDiffIndex::IngestSeries(const Series& series) {
@@ -664,9 +685,14 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
     local.snapshot_observations = observations_;
   }
 
+  // With a stats out-param the search degrades gracefully over
+  // quarantined pages (routing around them, flagging the result
+  // partial); without one there is nowhere to surface the flag, so
+  // corruption stays a hard error.
+  const bool allow_partial = stats != nullptr;
   std::vector<PairId> results;
   Status run = SearchImpl(kind, T, V, options, num_threads, pool, ctx,
-                          snapshot, &results, &local);
+                          snapshot, allow_partial, &results, &local);
   if (pool != nullptr) {
     ReleasePool();
   }
@@ -714,6 +740,8 @@ Result<std::vector<PairId>> SegDiffIndex::Search(SearchKind kind, double T,
 
   local.pairs_returned = results.size();
   local.truncated = truncated;
+  local.partial = local.scan.pages_quarantined > 0 ||
+                  local.scan.rows_quarantined > 0;
   local.result_bytes_peak = budget.peak();
   local.seconds = stopwatch.ElapsedSeconds();
   admission_.RecordOutcome(Status::OK(), budget.peak(), truncated);
@@ -728,6 +756,7 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
                                 size_t num_threads, ThreadPool* pool,
                                 const QueryContext& ctx,
                                 const DatabaseSnapshot& snapshot,
+                                bool allow_partial,
                                 std::vector<PairId>* results,
                                 SearchStats* local) {
   const bool drop = kind == SearchKind::kDrop;
@@ -745,6 +774,7 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
   SeqScanOptions scan_options;
   scan_options.context = &ctx;
   scan_options.snapshot = &snapshot;
+  scan_options.skip_quarantined = allow_partial;
 
   // Builds the paper's predicate for one query, for sequential scans.
   auto make_predicate = [drop, T, V](const RangeQuery& query) {
@@ -987,6 +1017,7 @@ Status SegDiffIndex::SearchImpl(SearchKind kind, double T, double V,
     IndexScanSpec spec;
     spec.context = &ctx;
     spec.snapshot = &snapshot;
+    spec.skip_quarantined = allow_partial;
     const std::string index_name =
         (task.query.is_line ? "ln" : "pt") + std::to_string(task.query.corner);
     SEGDIFF_ASSIGN_OR_RETURN(BPlusTree * tree,
@@ -1064,6 +1095,16 @@ Status SegDiffIndex::Compact(const std::string& destination_path) {
   std::lock_guard<std::mutex> lock(ingest_mu_);
   SaveIngestState();  // the copied ingest blob must reflect the tables
   return db_->CompactInto(destination_path);
+}
+
+Status SegDiffIndex::Repair(const std::string& destination_path,
+                            RepairReport* report) {
+  std::lock_guard<std::mutex> lock(ingest_mu_);
+  // Best-effort: on a degraded store PutMeta is gated, so the copied
+  // blob is the last one saved — the WAL backlog (already replayed at
+  // Open) covers the difference.
+  SaveIngestState();
+  return db_->Repair(destination_path, report);
 }
 
 Status SegDiffIndex::DropCaches() {

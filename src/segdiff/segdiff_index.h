@@ -127,6 +127,15 @@ struct SearchStats {
   /// The result set was cut short by SearchOptions::max_result_bytes;
   /// pairs_returned counts only what was kept.
   bool truncated = false;
+  /// The store has quarantined (checksum-failed) pages in the searched
+  /// range: the scan routed around them, so pairs whose feature rows
+  /// lived there are missing. scan.pages_quarantined/rows_quarantined
+  /// size the hole. Only possible when the caller passed a SearchStats
+  /// out-param — without one there is nowhere to surface the flag, and
+  /// the search fails with a quarantined-range Corruption error instead.
+  /// Never set together with a clean bill: partial == false means the
+  /// result is complete over the snapshot.
+  bool partial = false;
   /// High-water mark of result-set bytes across all of the search's
   /// threads (tracked even without a budget).
   uint64_t result_bytes_peak = 0;
@@ -215,6 +224,14 @@ class SegDiffIndex : public FeatureSink {
   /// resume point.
   Status Compact(const std::string& destination_path);
 
+  /// Salvages everything still readable into a fresh store at
+  /// `destination_path` (Database::Repair): corrupt pages and segments
+  /// are skipped and accounted in `report`, surviving rows are copied
+  /// and indexes rebuilt. The source store is not modified. The copied
+  /// ingest blob reflects the current pipeline state, so the repaired
+  /// store reopens as a valid resume point.
+  Status Repair(const std::string& destination_path, RepairReport* report);
+
   SegDiffSizes GetSizes() const;
   const ExtractorStats& extractor_stats() const;
   uint64_t num_observations() const override { return observations_; }
@@ -261,11 +278,13 @@ class SegDiffIndex : public FeatureSink {
   /// Plans and runs the range-query tasks against `snapshot`, appending
   /// raw (un-deduped) matches to `results`. On a memory-budget breach,
   /// whatever the tasks collected stays in `results` for the shell's
-  /// truncation path.
+  /// truncation path. With `allow_partial` the scans route around
+  /// quarantined pages (counting them in `local->scan`) instead of
+  /// failing; the shell sets SearchStats::partial from those counters.
   Status SearchImpl(SearchKind kind, double T, double V,
                     const SearchOptions& options, size_t num_threads,
                     ThreadPool* pool, const QueryContext& ctx,
-                    const DatabaseSnapshot& snapshot,
+                    const DatabaseSnapshot& snapshot, bool allow_partial,
                     std::vector<PairId>* results, SearchStats* local);
   /// Replays the WAL's recovered observation backlog through the ingest
   /// pipeline (under Wal::Suspend): every acknowledged observation a

@@ -390,6 +390,9 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
     result.access_path = "index_scan(" + chosen->name + ")";
     IndexScanSpec spec;
     spec.context = &ctx;
+    // Quarantined pages degrade to a flagged partial result (see
+    // QueryResult::partial) rather than failing the statement.
+    spec.skip_quarantined = true;
     spec.index = chosen->tree.get();
     IndexKey lower;
     for (int i = 0; i < kMaxIndexArity; ++i) {
@@ -409,9 +412,12 @@ Result<QueryResult> Engine::ExecuteSelect(const SelectStmt& stmt,
     result.access_path = "seq_scan";
     SeqScanOptions scan_options;
     scan_options.context = &ctx;
+    scan_options.skip_quarantined = true;
     SEGDIFF_RETURN_IF_ERROR(SeqScan(*table, predicate, collect,
                                     &result.scan_stats, scan_options));
   }
+  result.partial = result.scan_stats.pages_quarantined > 0 ||
+                   result.scan_stats.rows_quarantined > 0;
 
   if (order_column.has_value()) {
     const size_t column = *order_column;
@@ -550,6 +556,12 @@ std::string FormatResult(const QueryResult& result) {
            " pruned=" + std::to_string(stats.pages_pruned) +
            ", rows scanned=" + std::to_string(stats.rows_scanned) +
            " pruned=" + std::to_string(stats.rows_pruned) + "\n";
+  }
+  if (result.partial) {
+    out += "-- WARNING: partial result (" +
+           std::to_string(stats.pages_quarantined) +
+           " quarantined pages skipped, >=" +
+           std::to_string(stats.rows_quarantined) + " rows unreadable)\n";
   }
   if (result.columns.empty()) {
     out += "ok";

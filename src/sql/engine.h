@@ -31,6 +31,10 @@ struct QueryResult {
   uint64_t rows_affected = 0;     ///< INSERT count
   std::string access_path;        ///< "seq_scan" or "index_scan(<name>)"
   ScanStats scan_stats;
+  /// True when quarantined (corrupt) pages were skipped during the scan:
+  /// the rows above are complete over every readable page but may be
+  /// missing rows from the quarantined ones.
+  bool partial = false;
 };
 
 /// Stateless executor bound to one open database.

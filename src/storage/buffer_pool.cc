@@ -191,6 +191,7 @@ Result<size_t> BufferPool::PinFrameLocked(PageId id, Shard& shard) {
   Status read = pager_->ReadPage(id, frame.data.get());
   if (!read.ok()) {
     shard.free_frames.push_back(idx);
+    ++shard.stats.read_failures;
     return read;
   }
   frame.page_id = id;
@@ -415,6 +416,7 @@ BufferPoolStats BufferPool::stats() const {
     total.evictions += shard.stats.evictions;
     total.dirty_writebacks += shard.stats.dirty_writebacks;
     total.cow_copies += shard.stats.cow_copies;
+    total.read_failures += shard.stats.read_failures;
   }
   return total;
 }

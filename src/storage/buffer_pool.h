@@ -143,6 +143,7 @@ struct BufferPoolStats {
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
   uint64_t cow_copies = 0;  ///< page versions preserved for snapshots
+  uint64_t read_failures = 0;  ///< miss-path reads that failed (IO/corrupt)
 };
 
 /// Fixed-capacity LRU page cache, sharded for concurrent readers.

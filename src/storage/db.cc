@@ -228,6 +228,18 @@ Status Database::Close() {
     return Status::OK();
   }
   closed_ = true;
+  if (degraded()) {
+    // Degraded close: nothing more can be made durable, and a failing
+    // checkpoint could tear the file further. Leave the data file at
+    // its last checkpoint plus the intact WAL — exactly the state crash
+    // recovery replays — and report success: everything acknowledged is
+    // already durable.
+    pool_->set_abandoned();
+    if (wal_ != nullptr) {
+      wal_->Close();  // best-effort; the sticky flush error is expected
+    }
+    return Status::OK();
+  }
   Status status = Status::OK();
   if (!pager_->read_only()) {
     status = Checkpoint();
@@ -250,6 +262,9 @@ void Database::Abandon() {
 
 Result<Table*> Database::CreateTable(const std::string& name,
                                      TableSchema schema) {
+  if (degraded()) {
+    return DegradedError();
+  }
   for (const auto& table : tables_) {
     if (table->name() == name) {
       return Status::AlreadyExists("table exists: " + name);
@@ -281,11 +296,18 @@ Result<Table*> Database::GetTable(const std::string& name) const {
 }
 
 Status Database::PutMeta(const std::string& name, std::string blob) {
+  if (degraded()) {
+    return DegradedError();
+  }
   if (wal_ != nullptr) {
     // Log-before-apply: if the record cannot be logged (sticky flush
     // failure), refuse the update instead of applying state that could
     // be acknowledged but lost.
-    SEGDIFF_RETURN_IF_ERROR(wal_->AppendPutMeta(name, blob).status());
+    Status status = wal_->AppendPutMeta(name, blob).status();
+    if (!status.ok()) {
+      NoteStorageFailure(status);
+      return status;
+    }
   }
   meta_[name] = std::move(blob);
   return Status::OK();
@@ -300,13 +322,31 @@ Result<std::string> Database::GetMeta(const std::string& name) const {
 }
 
 Result<bool> Database::EraseMeta(const std::string& name) {
+  if (degraded()) {
+    return DegradedError();
+  }
   if (wal_ != nullptr) {
-    SEGDIFF_RETURN_IF_ERROR(wal_->AppendEraseMeta(name).status());
+    Status status = wal_->AppendEraseMeta(name).status();
+    if (!status.ok()) {
+      NoteStorageFailure(status);
+      return status;
+    }
   }
   return meta_.erase(name) != 0;
 }
 
 Status Database::Checkpoint() {
+  if (degraded()) {
+    return DegradedError();
+  }
+  Status status = CheckpointImpl();
+  if (!status.ok()) {
+    NoteStorageFailure(status);
+  }
+  return status;
+}
+
+Status Database::CheckpointImpl() {
   // Fuzzy checkpoint: the WAL tail is forced durable first, so the
   // applied LSN recorded below can never run ahead of the log.
   if (wal_ != nullptr) {
@@ -362,10 +402,51 @@ Status Database::Checkpoint() {
 }
 
 Status Database::MaybeAutoCheckpoint() {
+  if (degraded()) {
+    // Degraded stores keep serving; the engines call this opportunistically
+    // and must not see the (already-reported) failure again here.
+    return Status::OK();
+  }
   if (wal_ == nullptr || wal_->SizeBytes() < wal_auto_checkpoint_bytes_) {
     return Status::OK();
   }
   return Checkpoint();
+}
+
+void Database::NoteStorageFailure(const Status& status) {
+  if (status.ok() || !status.IsNoSpace()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(health_mu_);
+  if (!degraded_.load(std::memory_order_relaxed)) {
+    degraded_reason_ = status.ToString();
+    degraded_.store(true, std::memory_order_release);
+  }
+}
+
+Status Database::DegradedError() const {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  return Status::NoSpace("store is degraded (read-only): " +
+                         degraded_reason_);
+}
+
+StoreHealth Database::GetHealth() const {
+  StoreHealth health;
+  health.degraded = degraded();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health.degraded_reason = degraded_reason_;
+  }
+  if (pager_ != nullptr) {
+    health.quarantined_pages = pager_->quarantined_count();
+  }
+  if (wal_ != nullptr) {
+    health.wal_trimmed_tail_bytes = wal_->trimmed_tail_bytes();
+  }
+  if (pool_ != nullptr) {
+    health.pool_read_failures = pool_->stats().read_failures;
+  }
+  return health;
 }
 
 DatabaseSnapshot Database::CreateSnapshot() {
@@ -384,6 +465,23 @@ DatabaseSnapshot Database::CreateSnapshot() {
 
 Status Database::CompactInto(const std::string& destination_path,
                              const CompactOptions& compact_options) {
+  return CopyInto(destination_path, compact_options, /*salvage=*/false,
+                  nullptr);
+}
+
+Status Database::Repair(const std::string& destination_path,
+                        RepairReport* report) {
+  if (report == nullptr) {
+    return Status::InvalidArgument("Repair requires a report");
+  }
+  *report = RepairReport{};
+  return CopyInto(destination_path, CompactOptions(), /*salvage=*/true,
+                  report);
+}
+
+Status Database::CopyInto(const std::string& destination_path,
+                          const CompactOptions& compact_options, bool salvage,
+                          RepairReport* report) {
   DatabaseOptions options;
   options.buffer_pool_pages = pool_->capacity();
   options.create_if_missing = true;
@@ -406,6 +504,14 @@ Status Database::CompactInto(const std::string& destination_path,
     SEGDIFF_ASSIGN_OR_RETURN(Table * copy,
                              fresh->CreateTable(table->name(),
                                                 table->schema()));
+    // Repair reads through the salvage scan (skips corrupt pages and
+    // segments, accounting them); compaction reads strictly (any
+    // corruption fails the copy — compacting must not silently drop).
+    Table::SalvageStats salvage_stats;
+    auto scan = [&](const HeapFile::ScanFn& fn) -> Status {
+      return salvage ? table->ScanSalvage(fn, &salvage_stats)
+                     : table->Scan(fn);
+    };
     if (compact_options.columnar &&
         ZoneMap::SupportsSchema(table->schema())) {
       // Row→columnar conversion: buffer encoded records segment by
@@ -416,7 +522,7 @@ Status Database::CompactInto(const std::string& destination_path,
       std::vector<char> chunk;
       chunk.reserve(ColumnStore::kMaxSegmentRows * row_bytes);
       size_t chunk_rows = 0;
-      SEGDIFF_RETURN_IF_ERROR(table->Scan(
+      SEGDIFF_RETURN_IF_ERROR(scan(
           [&](const char* record, RecordId, bool* keep_going) -> Status {
             *keep_going = true;
             chunk.insert(chunk.end(), record, record + row_bytes);
@@ -433,12 +539,19 @@ Status Database::CompactInto(const std::string& destination_path,
             copy->AppendColumnarSegment(chunk.data(), chunk_rows));
       }
     } else {
-      SEGDIFF_RETURN_IF_ERROR(table->Scan(
+      SEGDIFF_RETURN_IF_ERROR(scan(
           [&](const char* record, RecordId, bool* keep_going) -> Status {
             *keep_going = true;
             Row row = DecodeRow(table->schema(), record);
             return copy->Insert(row).status();
           }));
+    }
+    if (report != nullptr) {
+      ++report->tables;
+      report->rows_salvaged += copy->row_count();
+      report->pages_skipped += salvage_stats.pages_skipped;
+      report->segments_skipped += salvage_stats.segments_skipped;
+      report->rows_lost += salvage_stats.rows_lost;
     }
     for (const TableIndex& index : table->indexes()) {
       std::vector<std::string> columns;
@@ -463,6 +576,7 @@ WalInfo Database::GetWalInfo() const {
   info.size_bytes = wal_->SizeBytes();
   info.last_lsn = wal_->last_lsn();
   info.durable_lsn = wal_->durable_lsn();
+  info.trimmed_tail_bytes = wal_->trimmed_tail_bytes();
   info.group_commit_ms = wal_->group_commit_ms();
   info.stats = wal_->stats();
   return info;

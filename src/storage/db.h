@@ -26,8 +26,10 @@
 #ifndef SEGDIFF_STORAGE_DB_H_
 #define SEGDIFF_STORAGE_DB_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -102,8 +104,33 @@ struct WalInfo {
   uint64_t durable_lsn = 0;     ///< last fsynced LSN
   uint64_t applied_lsn = 0;     ///< pager header: checkpointed through
   uint64_t recovered_records = 0;  ///< records replayed at Open
+  /// Bytes of torn log tail discarded at Open — expected after a crash
+  /// mid-append (those records were never acknowledged), but non-zero
+  /// on a clean-shutdown store means the log was damaged afterwards.
+  uint64_t trimmed_tail_bytes = 0;
   int64_t group_commit_ms = 0;
   WalStats stats;
+};
+
+/// Degradation summary surfaced by `segdiff_cli stats` and the engines'
+/// health checks.
+struct StoreHealth {
+  /// The store hit an unrecoverable write failure (disk full) and is
+  /// serving reads only; every mutation returns the original error.
+  bool degraded = false;
+  std::string degraded_reason;  ///< first failure that flipped the flag
+  uint64_t quarantined_pages = 0;  ///< checksum-failed pages on record
+  uint64_t wal_trimmed_tail_bytes = 0;  ///< torn log tail cut at Open
+  uint64_t pool_read_failures = 0;  ///< failed page reads (buffer pool)
+};
+
+/// What Repair() salvaged and what it had to leave behind.
+struct RepairReport {
+  uint64_t tables = 0;
+  uint64_t rows_salvaged = 0;
+  uint64_t pages_skipped = 0;     ///< corrupt heap pages routed around
+  uint64_t segments_skipped = 0;  ///< corrupt columnar segments dropped
+  uint64_t rows_lost = 0;         ///< rows on the skipped pages/segments
 };
 
 class Database {
@@ -202,6 +229,31 @@ class Database {
   Status CompactInto(const std::string& destination_path,
                      const CompactOptions& options = CompactOptions());
 
+  /// Best-effort rebuild into a fresh store at `destination_path` (which
+  /// must not exist): every row still readable — skipping quarantined
+  /// heap pages and corrupt columnar segments — is copied and indexes
+  /// are rebuilt from the survivors; `report` (required) records what
+  /// was salvaged and what was lost. WAL recovery happened at Open, so
+  /// acknowledged rows the data file lost are already back before the
+  /// copy starts. This database is not modified; after a successful
+  /// repair the caller switches to the fresh store and discards this
+  /// one.
+  Status Repair(const std::string& destination_path, RepairReport* report);
+
+  /// True once a storage failure flipped the store read-only.
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
+  /// Reports a storage-write failure observed by a caller (engine flush,
+  /// checkpoint, WAL append). A no-space failure flips the store into
+  /// degraded read-only mode: queries keep running off the pages already
+  /// on disk and in cache, while every later mutation fails fast with
+  /// the recorded reason instead of tearing more state. Transient and
+  /// permanent I/O errors do not flip the flag (retries handle the
+  /// former; the latter fail loudly per-operation).
+  void NoteStorageFailure(const Status& status);
+
+  StoreHealth GetHealth() const;
+
   BufferPool* buffer_pool() { return pool_.get(); }
   Pager* pager() { return pager_.get(); }
   /// The write-ahead log, or nullptr (WAL off). Engines append their
@@ -225,6 +277,20 @@ class Database {
   /// blobs); kObservation/kFlush records are set aside for the engine.
   Status ReplayWal(std::vector<WalRecord> records);
 
+  /// Checkpoint body (Checkpoint() wraps it with the degraded-mode gate
+  /// and failure classification).
+  Status CheckpointImpl();
+
+  /// Shared rewrite behind CompactInto (salvage=false: any read error
+  /// fails the copy) and Repair (salvage=true: corrupt pages/segments
+  /// are skipped and accounted in `report`).
+  Status CopyInto(const std::string& destination_path,
+                  const CompactOptions& options, bool salvage,
+                  RepairReport* report);
+
+  /// The error every mutation returns while degraded.
+  Status DegradedError() const;
+
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
@@ -237,6 +303,12 @@ class Database {
   bool opened_ = false;     ///< Open() completed successfully
   bool closed_ = false;     ///< Close() already ran
   bool abandoned_ = false;  ///< Abandon() called
+  /// Degraded read-only mode (see NoteStorageFailure). The flag is
+  /// atomic so concurrent readers can consult it without the mutex,
+  /// which only guards the reason string.
+  std::atomic<bool> degraded_{false};
+  mutable std::mutex health_mu_;
+  std::string degraded_reason_;  ///< guarded by health_mu_
 };
 
 }  // namespace segdiff

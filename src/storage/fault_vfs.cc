@@ -25,6 +25,17 @@ Status Crashed() {
   return Status::IOError("simulated crash: file system unavailable");
 }
 
+/// SplitMix64: a tiny, high-quality mixer — the per-operation fault
+/// decision must depend only on (seed, operation index) so a schedule
+/// replays identically across runs and thread interleavings of the
+/// same operation sequence.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 /// Wraps one open file; all fault decisions live in the owning Vfs so a
@@ -82,6 +93,9 @@ Status FaultFile::Read(uint64_t offset, size_t n, char* buf) {
   if (vfs_->ShouldFail(&vfs_->fail_reads_after_)) {
     return Injected("read failure");
   }
+  if (vfs_->ShouldFailTransient()) {
+    return Status::TransientIOError("injected fault: transient read failure");
+  }
   vfs_->counters_.reads.fetch_add(1, std::memory_order_relaxed);
   vfs_->counters_.read_bytes.fetch_add(n, std::memory_order_relaxed);
   return base_->Read(offset, n, buf);
@@ -93,6 +107,41 @@ Status FaultFile::Write(uint64_t offset, const char* buf, size_t n) {
   }
   if (vfs_->ShouldFail(&vfs_->fail_writes_after_)) {
     return Injected("write failure");
+  }
+  if (vfs_->ShouldFailTransient()) {
+    return Status::TransientIOError("injected fault: transient write failure");
+  }
+  if (vfs_->disk_budget_.load(std::memory_order_relaxed) >= 0) {
+    // Growth-based accounting: only bytes that extend the file consume
+    // budget, so rewriting an already-allocated page stays free — a
+    // full disk still accepts in-place page writes and fsyncs, which is
+    // exactly what lets a degraded store keep its acknowledged data
+    // durable.
+    auto size = base_->Size();
+    if (!size.ok()) {
+      return size.status();
+    }
+    const int64_t growth =
+        offset + n > *size ? static_cast<int64_t>(offset + n - *size) : 0;
+    if (growth > 0) {
+      int64_t budget = vfs_->disk_budget_.load(std::memory_order_relaxed);
+      for (;;) {
+        if (budget < 0) {
+          break;  // raced with a disabling SetDiskBudgetBytes
+        }
+        if (budget < growth) {
+          vfs_->counters_.no_space_failures.fetch_add(
+              1, std::memory_order_relaxed);
+          return Status::NoSpace("injected fault: disk full (" +
+                                 std::to_string(growth) + " bytes wanted, " +
+                                 std::to_string(budget) + " left)");
+        }
+        if (vfs_->disk_budget_.compare_exchange_weak(
+                budget, budget - growth, std::memory_order_relaxed)) {
+          break;
+        }
+      }
+    }
   }
   vfs_->counters_.writes.fetch_add(1, std::memory_order_relaxed);
   vfs_->counters_.written_bytes.fetch_add(n, std::memory_order_relaxed);
@@ -126,6 +175,9 @@ Status FaultFile::Sync() {
   }
   if (vfs_->ShouldFail(&vfs_->fail_syncs_after_)) {
     return Injected("fsync failure");
+  }
+  if (vfs_->ShouldFailTransient()) {
+    return Status::TransientIOError("injected fault: transient fsync failure");
   }
   vfs_->counters_.syncs.fetch_add(1, std::memory_order_relaxed);
   SEGDIFF_RETURN_IF_ERROR(base_->Sync());
@@ -219,6 +271,48 @@ void FaultInjectionVfs::FailAfterSyncs(int64_t n) {
   fail_syncs_after_.store(n, std::memory_order_relaxed);
 }
 
+bool FaultInjectionVfs::ShouldFailTransient() {
+  int64_t remaining = transient_remaining_.load(std::memory_order_relaxed);
+  while (remaining > 0) {
+    // Claim one failure slot; exactly `n` operations fail no matter how
+    // many threads race (mirrors ShouldFail, but counts down to healthy
+    // instead of sticking at dead).
+    if (transient_remaining_.compare_exchange_weak(
+            remaining, remaining - 1, std::memory_order_relaxed)) {
+      counters_.transient_failures.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  const uint32_t per_mille =
+      transient_per_mille_.load(std::memory_order_relaxed);
+  if (per_mille > 0) {
+    const uint64_t op =
+        transient_op_seq_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t seed = transient_seed_.load(std::memory_order_relaxed);
+    if (Mix64(seed ^ (op + 1)) % 1000 < per_mille) {
+      counters_.transient_failures.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjectionVfs::InjectTransientFailures(int64_t n) {
+  transient_remaining_.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+void FaultInjectionVfs::SetTransientFaultRate(uint64_t seed,
+                                              uint32_t per_mille) {
+  transient_seed_.store(seed, std::memory_order_relaxed);
+  transient_op_seq_.store(0, std::memory_order_relaxed);
+  transient_per_mille_.store(per_mille > 1000 ? 1000 : per_mille,
+                             std::memory_order_relaxed);
+}
+
+void FaultInjectionVfs::SetDiskBudgetBytes(int64_t bytes) {
+  disk_budget_.store(bytes, std::memory_order_relaxed);
+}
+
 void FaultInjectionVfs::SetTornWrite(uint64_t offset, size_t keep_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   torn_offset_ = offset;
@@ -271,6 +365,11 @@ void FaultInjectionVfs::Reset() {
   fail_reads_after_.store(-1, std::memory_order_relaxed);
   fail_syncs_after_.store(-1, std::memory_order_relaxed);
   torn_armed_.store(false, std::memory_order_release);
+  transient_remaining_.store(0, std::memory_order_relaxed);
+  transient_per_mille_.store(0, std::memory_order_relaxed);
+  transient_seed_.store(0, std::memory_order_relaxed);
+  transient_op_seq_.store(0, std::memory_order_relaxed);
+  disk_budget_.store(-1, std::memory_order_relaxed);
   counters_.reads.store(0, std::memory_order_relaxed);
   counters_.writes.store(0, std::memory_order_relaxed);
   counters_.syncs.store(0, std::memory_order_relaxed);
@@ -279,6 +378,8 @@ void FaultInjectionVfs::Reset() {
   counters_.written_bytes.store(0, std::memory_order_relaxed);
   counters_.injected_failures.store(0, std::memory_order_relaxed);
   counters_.torn_writes.store(0, std::memory_order_relaxed);
+  counters_.transient_failures.store(0, std::memory_order_relaxed);
+  counters_.no_space_failures.store(0, std::memory_order_relaxed);
   files_.clear();
 }
 
@@ -296,6 +397,10 @@ FaultInjectionVfs::Counters FaultInjectionVfs::counters() const {
       counters_.injected_failures.load(std::memory_order_relaxed);
   snapshot.torn_writes =
       counters_.torn_writes.load(std::memory_order_relaxed);
+  snapshot.transient_failures =
+      counters_.transient_failures.load(std::memory_order_relaxed);
+  snapshot.no_space_failures =
+      counters_.no_space_failures.load(std::memory_order_relaxed);
   return snapshot;
 }
 

@@ -52,6 +52,8 @@ class FaultInjectionVfs : public Vfs {
     uint64_t written_bytes = 0;
     uint64_t injected_failures = 0;
     uint64_t torn_writes = 0;
+    uint64_t transient_failures = 0;  ///< injected transient-class errors
+    uint64_t no_space_failures = 0;   ///< injected disk-full errors
   };
 
   /// Wraps `base` (nullptr = the default POSIX Vfs); `base` must outlive
@@ -75,6 +77,26 @@ class FaultInjectionVfs : public Vfs {
   /// file) persists only its first `keep_bytes` bytes, then reports
   /// success. One-shot.
   void SetTornWrite(uint64_t offset, size_t keep_bytes);
+
+  /// The next `n` read/write/sync operations (combined, in arrival
+  /// order) each fail with a TRANSIENT-classified IOError, then the
+  /// device heals — the deterministic driver for the retry policy in
+  /// common/vfs. 0 disables.
+  void InjectTransientFailures(int64_t n);
+
+  /// Seeded probabilistic transient faults: each read/write/sync fails
+  /// with a transient IOError with probability `per_mille`/1000. The
+  /// decision for the k-th operation depends only on (seed, k), so a
+  /// given seed reproduces the same fault schedule. 0 disables.
+  void SetTransientFaultRate(uint64_t seed, uint32_t per_mille);
+
+  /// Simulated disk capacity: writes may extend files by at most
+  /// `bytes` more bytes in total; a write that would grow a file past
+  /// the remaining budget fails with a NO-SPACE-classified error and
+  /// persists nothing. In-place rewrites of existing bytes stay free,
+  /// so checkpoints of already-allocated pages still succeed — the
+  /// behaviour of a full disk. Negative disables (the default).
+  void SetDiskBudgetBytes(int64_t bytes);
 
   /// Simulated power cut: every tracked file reverts to its contents at
   /// its last successful Sync(); files created since their directory was
@@ -105,6 +127,11 @@ class FaultInjectionVfs : public Vfs {
   /// fail. At 0 the countdown is sticky — every caller fails.
   bool ShouldFail(std::atomic<int64_t>* countdown);
 
+  /// True when this operation must fail with a transient error: either
+  /// a remaining InjectTransientFailures slot (claimed by CAS, exactly
+  /// `n` operations fail) or a seeded-rate hit.
+  bool ShouldFailTransient();
+
   Vfs* base_;
   /// Guards files_ and the torn-write schedule; never taken on the
   /// read/write/sync fast path unless a torn write is armed.
@@ -116,6 +143,14 @@ class FaultInjectionVfs : public Vfs {
   std::atomic<bool> torn_armed_{false};
   uint64_t torn_offset_ = 0;      ///< guarded by mu_
   size_t torn_keep_bytes_ = 0;    ///< guarded by mu_
+  /// Transient-fault schedule: a one-shot countdown (CAS-claimed) plus
+  /// a seeded per-operation failure rate.
+  std::atomic<int64_t> transient_remaining_{0};
+  std::atomic<uint64_t> transient_seed_{0};
+  std::atomic<uint32_t> transient_per_mille_{0};
+  std::atomic<uint64_t> transient_op_seq_{0};
+  /// Remaining file-growth budget in bytes; negative = unlimited.
+  std::atomic<int64_t> disk_budget_{-1};
   struct AtomicCounters {
     std::atomic<uint64_t> reads{0};
     std::atomic<uint64_t> writes{0};
@@ -125,6 +160,8 @@ class FaultInjectionVfs : public Vfs {
     std::atomic<uint64_t> written_bytes{0};
     std::atomic<uint64_t> injected_failures{0};
     std::atomic<uint64_t> torn_writes{0};
+    std::atomic<uint64_t> transient_failures{0};
+    std::atomic<uint64_t> no_space_failures{0};
   };
   AtomicCounters counters_;
   std::map<std::string, FileState> files_;  ///< guarded by mu_

@@ -100,35 +100,81 @@ Result<RecordId> HeapFile::Append(const char* record) {
   return RecordId{page.page_id(), static_cast<uint32_t>(count)};
 }
 
-Status HeapFile::Scan(const ScanFn& fn, const PoolSnapshot* snap) const {
+Status HeapFile::SkipCorruptChainPage(const Status& error, PageId* current,
+                                      uint64_t index,
+                                      const CorruptPageSkipper* skip) const {
+  if (skip == nullptr || !error.IsCorruption()) {
+    return error;
+  }
+  if (skip->on_skip) {
+    skip->on_skip(*current, PageRecordCount(index));
+  }
+  // Best-effort chain continuation: the next pointer lives in the first
+  // 8 bytes of the corrupt page, and a flipped bit elsewhere in the
+  // payload leaves it intact — a raw (unverified) read recovers it.
+  std::vector<char> raw(kPageSize);
+  PageId next = kInvalidPageId;
+  if (pool_->pager()->ReadPageRaw(*current, raw.data()).ok()) {
+    next = PageNext(raw.data());
+  }
+  // An untrustworthy pointer (self-loop, past end of file — which also
+  // covers kInvalidPageId) ends the walk; the rest of the chain is
+  // unreachable and its records are reported as lost.
+  if (next == *current || next >= pool_->pager()->page_count()) {
+    next = kInvalidPageId;
+  }
+  if (next == kInvalidPageId && index + 1 < meta_.page_count) {
+    const uint64_t reached = (index + 1) * records_per_page_;
+    if (skip->on_skip && meta_.record_count > reached) {
+      skip->on_skip(kInvalidPageId, meta_.record_count - reached);
+    }
+  }
+  *current = next;
+  return Status::OK();
+}
+
+Status HeapFile::Scan(const ScanFn& fn, const PoolSnapshot* snap,
+                      const CorruptPageSkipper* skip) const {
   PageId current = meta_.first_page;
   uint64_t index = 0;
   bool keep_going = true;
   while (current != kInvalidPageId && index < meta_.page_count && keep_going) {
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current, snap));
+    Result<PageHandle> page = pool_->Fetch(current, snap);
+    if (!page.ok()) {
+      SEGDIFF_RETURN_IF_ERROR(
+          SkipCorruptChainPage(page.status(), &current, index, skip));
+      ++index;
+      continue;
+    }
     const uint16_t count = PageRecordCount(index);
-    const char* base = page.data() + kHeaderBytes;
+    const char* base = (*page).data() + kHeaderBytes;
     for (uint16_t slot = 0; slot < count && keep_going; ++slot) {
       SEGDIFF_RETURN_IF_ERROR(
           fn(base + static_cast<size_t>(slot) * record_bytes_,
              RecordId{current, slot}, &keep_going));
     }
-    current = PageNext(page.data());
+    current = PageNext((*page).data());
     ++index;
   }
   return Status::OK();
 }
 
-Status HeapFile::ScanPageData(const PageDataFn& fn,
-                              const PoolSnapshot* snap) const {
+Status HeapFile::ScanPageData(const PageDataFn& fn, const PoolSnapshot* snap,
+                              const CorruptPageSkipper* skip) const {
   PageId current = meta_.first_page;
   uint64_t index = 0;
   bool keep_going = true;
   while (current != kInvalidPageId && index < meta_.page_count && keep_going) {
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current, snap));
-    SEGDIFF_RETURN_IF_ERROR(fn(current, page.data() + kHeaderBytes,
+    Result<PageHandle> page = pool_->Fetch(current, snap);
+    if (!page.ok()) {
+      SEGDIFF_RETURN_IF_ERROR(
+          SkipCorruptChainPage(page.status(), &current, index, skip));
+      ++index;
+      continue;
+    }
+    SEGDIFF_RETURN_IF_ERROR(fn(current, (*page).data() + kHeaderBytes,
                                PageRecordCount(index), &keep_going));
-    current = PageNext(page.data());
+    current = PageNext((*page).data());
     ++index;
   }
   return Status::OK();
@@ -136,14 +182,26 @@ Status HeapFile::ScanPageData(const PageDataFn& fn,
 
 Status HeapFile::ScanPagesData(const std::vector<PageId>& pages,
                                uint64_t first_page_index, const PageDataFn& fn,
-                               const PoolSnapshot* snap) const {
+                               const PoolSnapshot* snap,
+                               const CorruptPageSkipper* skip) const {
   bool keep_going = true;
   for (size_t i = 0; i < pages.size(); ++i) {
     if (!keep_going || first_page_index + i >= meta_.page_count) {
       break;
     }
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(pages[i], snap));
-    SEGDIFF_RETURN_IF_ERROR(fn(pages[i], page.data() + kHeaderBytes,
+    Result<PageHandle> page = pool_->Fetch(pages[i], snap);
+    if (!page.ok()) {
+      if (skip == nullptr || !page.status().IsCorruption()) {
+        return page.status();
+      }
+      // Pre-collected ids: the chain is already resolved, so a corrupt
+      // page costs only its own records.
+      if (skip->on_skip) {
+        skip->on_skip(pages[i], PageRecordCount(first_page_index + i));
+      }
+      continue;
+    }
+    SEGDIFF_RETURN_IF_ERROR(fn(pages[i], (*page).data() + kHeaderBytes,
                                PageRecordCount(first_page_index + i),
                                &keep_going));
   }
@@ -151,29 +209,57 @@ Status HeapFile::ScanPagesData(const std::vector<PageId>& pages,
 }
 
 Result<std::vector<PageId>> HeapFile::CollectPageIds(
-    const PoolSnapshot* snap) const {
+    const PoolSnapshot* snap, const CorruptPageSkipper* skip) const {
   std::vector<PageId> pages;
   pages.reserve(meta_.page_count);
   PageId current = meta_.first_page;
   while (current != kInvalidPageId && pages.size() < meta_.page_count) {
     pages.push_back(current);
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(current, snap));
-    current = PageNext(page.data());
+    Result<PageHandle> page = pool_->Fetch(current, snap);
+    if (!page.ok()) {
+      // The corrupt page keeps its slot in the list (the consuming scan
+      // reports it when its own fetch fails); only the chain recovery —
+      // and any unreachable-remainder report — happens here. on_skip is
+      // suppressed for the page itself to avoid double counting.
+      CorruptPageSkipper remainder_only;
+      if (skip != nullptr) {
+        remainder_only.on_skip = [&](PageId p, uint64_t lost) {
+          if (p == kInvalidPageId && skip->on_skip) {
+            skip->on_skip(p, lost);
+          }
+        };
+      }
+      SEGDIFF_RETURN_IF_ERROR(SkipCorruptChainPage(
+          page.status(), &current, pages.size() - 1,
+          skip != nullptr ? &remainder_only : nullptr));
+      continue;
+    }
+    current = PageNext((*page).data());
   }
   return pages;
 }
 
 Status HeapFile::ScanPages(const std::vector<PageId>& pages,
                            uint64_t first_page_index, const ScanFn& fn,
-                           const PoolSnapshot* snap) const {
+                           const PoolSnapshot* snap,
+                           const CorruptPageSkipper* skip) const {
   bool keep_going = true;
   for (size_t i = 0; i < pages.size(); ++i) {
     if (!keep_going || first_page_index + i >= meta_.page_count) {
       break;
     }
-    SEGDIFF_ASSIGN_OR_RETURN(PageHandle page, pool_->Fetch(pages[i], snap));
+    Result<PageHandle> page = pool_->Fetch(pages[i], snap);
+    if (!page.ok()) {
+      if (skip == nullptr || !page.status().IsCorruption()) {
+        return page.status();
+      }
+      if (skip->on_skip) {
+        skip->on_skip(pages[i], PageRecordCount(first_page_index + i));
+      }
+      continue;
+    }
     const uint16_t count = PageRecordCount(first_page_index + i);
-    const char* base = page.data() + kHeaderBytes;
+    const char* base = (*page).data() + kHeaderBytes;
     for (uint16_t slot = 0; slot < count && keep_going; ++slot) {
       SEGDIFF_RETURN_IF_ERROR(
           fn(base + static_cast<size_t>(slot) * record_bytes_,

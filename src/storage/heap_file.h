@@ -46,6 +46,19 @@ struct HeapFileMeta {
   uint64_t page_count = 0;
 };
 
+/// Routing around corrupt pages, for partial-result scans and repair
+/// salvage. When passed to a scan, a page whose fetch fails its
+/// checksum is reported through `on_skip` and the scan continues —
+/// recovering the chain's next pointer from the page's raw bytes where
+/// possible — instead of failing the whole scan. Non-corruption errors
+/// still fail. `lost_records` is how many records the skipped page
+/// logically held; a call with `page == kInvalidPageId` reports an
+/// unreachable chain remainder (the corrupt page's next pointer could
+/// not be trusted) rather than a single page.
+struct CorruptPageSkipper {
+  std::function<void(PageId page, uint64_t lost_records)> on_skip;
+};
+
 /// Access object over one heap file. Cheap to construct; all state that
 /// must survive restarts lives in HeapFileMeta (persisted by the
 /// catalog). Snapshot scans exploit the cheapness: they attach a
@@ -74,7 +87,8 @@ class HeapFile {
   /// pool snapshot — pair it with a frozen meta.
   using ScanFn =
       std::function<Status(const char* record, RecordId id, bool* keep_going)>;
-  Status Scan(const ScanFn& fn, const PoolSnapshot* snap = nullptr) const;
+  Status Scan(const ScanFn& fn, const PoolSnapshot* snap = nullptr,
+              const CorruptPageSkipper* skip = nullptr) const;
 
   /// Copies the record at `id` into `buf` (record_bytes bytes).
   Status ReadRecord(RecordId id, char* buf,
@@ -84,14 +98,20 @@ class HeapFile {
   /// pointers (bounded by meta.page_count). The walk touches every page
   /// header (one pool fetch per page), so callers partitioning a scan
   /// should reuse the result.
+  /// With a skipper, a corrupt chain page's id is still included (the
+  /// consuming scan reports it when its own fetch fails); only an
+  /// unreachable remainder is reported here, since no partition would
+  /// ever see those pages.
   Result<std::vector<PageId>> CollectPageIds(
-      const PoolSnapshot* snap = nullptr) const;
+      const PoolSnapshot* snap = nullptr,
+      const CorruptPageSkipper* skip = nullptr) const;
 
   /// Scans only `pages` (a contiguous slice of CollectPageIds() whose
   /// first element sits at chain position `first_page_index`), in the
   /// given order. `keep_going = false` stops this partition.
   Status ScanPages(const std::vector<PageId>& pages, uint64_t first_page_index,
-                   const ScanFn& fn, const PoolSnapshot* snap = nullptr) const;
+                   const ScanFn& fn, const PoolSnapshot* snap = nullptr,
+                   const CorruptPageSkipper* skip = nullptr) const;
 
   /// Page-at-a-time scan: the callback sees each page's record area
   /// (`records` = first record, `count` records of record_bytes each)
@@ -102,11 +122,12 @@ class HeapFile {
   /// not mask corruption).
   using PageDataFn = std::function<Status(PageId page, const char* records,
                                           uint16_t count, bool* keep_going)>;
-  Status ScanPageData(const PageDataFn& fn,
-                      const PoolSnapshot* snap = nullptr) const;
+  Status ScanPageData(const PageDataFn& fn, const PoolSnapshot* snap = nullptr,
+                      const CorruptPageSkipper* skip = nullptr) const;
   Status ScanPagesData(const std::vector<PageId>& pages,
                        uint64_t first_page_index, const PageDataFn& fn,
-                       const PoolSnapshot* snap = nullptr) const;
+                       const PoolSnapshot* snap = nullptr,
+                       const CorruptPageSkipper* skip = nullptr) const;
 
   const HeapFileMeta& meta() const { return meta_; }
   size_t record_bytes() const { return record_bytes_; }
@@ -119,6 +140,17 @@ class HeapFile {
   /// Records held by the page at chain position `page_index`, derived
   /// from the meta (pages fill strictly in order).
   uint16_t PageRecordCount(uint64_t page_index) const;
+
+  /// Handles a failed fetch of chain page `*current` at chain position
+  /// `index`. With a skipper and a Corruption error: reports the loss,
+  /// recovers the next pointer from the page's raw on-disk bytes (page
+  /// headers often survive a payload flip), validates it, and stores it
+  /// in `*current` — kInvalidPageId, plus a report of the unreachable
+  /// remainder, when the pointer cannot be trusted. Without a skipper,
+  /// or for non-corruption errors, returns the error unchanged.
+  Status SkipCorruptChainPage(const Status& error, PageId* current,
+                              uint64_t index,
+                              const CorruptPageSkipper* skip) const;
 
   BufferPool* pool_;
   ExtentAllocator allocator_;

@@ -37,6 +37,10 @@ Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
   const bool existed = path != ":memory:" && vfs->FileExists(path);
   SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
                            vfs->OpenFile(path, create));
+  // Transient failures (device momentarily resetting) retry with bounded
+  // backoff instead of failing the page IO outright; permanent and
+  // no-space errors pass straight through.
+  file = WithRetry(std::move(file));
   SEGDIFF_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   if (size == 0) {
     // Fresh file: write the (checksummed, v2) header page.
@@ -138,9 +142,35 @@ Status Pager::ReadPage(PageId id, char* buf) {
   last_read_page_.store(id, std::memory_order_relaxed);
   SEGDIFF_RETURN_IF_ERROR(file_->Read(id * kPageSize, kPageSize, buf));
   if (format_version_ == kFormatChecksummed && verify_checksums_) {
-    SEGDIFF_RETURN_IF_ERROR(VerifyPageBuffer(id, buf));
+    Status status = VerifyPageBuffer(id, buf);
+    if (status.IsCorruption()) {
+      // Remember the bad page: scans that opt into partial results route
+      // around quarantined ranges instead of failing the whole query.
+      QuarantinePage(id);
+    }
+    return status;
   }
   return Status::OK();
+}
+
+void Pager::QuarantinePage(PageId id) {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  quarantined_.insert(id);
+}
+
+bool Pager::IsQuarantined(PageId id) const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.count(id) != 0;
+}
+
+std::vector<PageId> Pager::QuarantinedPages() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return std::vector<PageId>(quarantined_.begin(), quarantined_.end());
+}
+
+uint64_t Pager::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(quarantine_mu_);
+  return quarantined_.size();
 }
 
 Status Pager::ReadPageRaw(PageId id, char* buf) {
@@ -187,8 +217,16 @@ Result<PageId> Pager::AllocateExtent(size_t n) {
     std::memcpy(zero.data() + i * kPageSize + kPageCapacity,
                 zero.data() + kPageCapacity, kPageTrailerBytes);
   }
-  SEGDIFF_RETURN_IF_ERROR(file_->Write(id * kPageSize, zero.data(),
-                                       zero.size()));
+  Status status = file_->Write(id * kPageSize, zero.data(), zero.size());
+  if (!status.ok()) {
+    // No-space (or any failed) extension must not leave a half-grown
+    // file: page_count_ never advanced, so readers cannot see the new
+    // pages, and truncating back discards whatever partial extent the
+    // failed write may have persisted. The store stays exactly as it
+    // was — acked data remains durable and readable.
+    file_->Truncate(id * kPageSize);  // best-effort; count is authoritative
+    return status;
+  }
   page_count_.store(id + n, std::memory_order_release);
   return id;
 }
@@ -234,6 +272,7 @@ Result<ScrubReport> Pager::Scrub() {
     }
     if (!status.ok()) {
       report.corrupt.push_back(ScrubIssue{id, status.ToString()});
+      QuarantinePage(id);
     }
   }
   return report;

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -121,8 +122,20 @@ class Pager {
 
   /// Walks every page and verifies its checksum, collecting (not
   /// failing on) unreadable pages. Reads bypass simulated latency and
-  /// always verify, regardless of set_verify_checksums.
+  /// always verify, regardless of set_verify_checksums. Corrupt pages
+  /// are quarantined as a side effect.
   Result<ScrubReport> Scrub();
+
+  /// Marks page `id` unreadable. Quarantined pages stay quarantined for
+  /// the life of this pager (repair rewrites into a fresh file);
+  /// ReadPage quarantines corrupt pages automatically, so a scan that
+  /// trips over a bad page can ask afterwards which ranges to route
+  /// around.
+  void QuarantinePage(PageId id);
+  bool IsQuarantined(PageId id) const;
+  /// Snapshot of the quarantined page ids, sorted.
+  std::vector<PageId> QuarantinedPages() const;
+  uint64_t quarantined_count() const;
 
   const std::string& path() const { return path_; }
 
@@ -170,6 +183,8 @@ class Pager {
   uint64_t sim_random_read_ns_ = 0;
   std::atomic<PageId> last_read_page_{kInvalidPageId};
   std::mutex alloc_mu_;  ///< guards file extension + header writes
+  mutable std::mutex quarantine_mu_;
+  std::set<PageId> quarantined_;  ///< guarded by quarantine_mu_
 };
 
 }  // namespace segdiff

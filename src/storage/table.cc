@@ -104,7 +104,8 @@ Result<HeapFile> Table::FrozenHeap(const DatabaseSnapshot& snapshot) const {
 }
 
 Status Table::Scan(const HeapFile::ScanFn& fn,
-                   const DatabaseSnapshot* snapshot) const {
+                   const DatabaseSnapshot* snapshot,
+                   const CorruptPageSkipper* skip) const {
   if (columnar_ != nullptr) {
     // Columnar segments are immutable once written, so snapshot scans
     // read them directly.
@@ -115,10 +116,64 @@ Status Table::Scan(const HeapFile::ScanFn& fn,
     }
   }
   if (snapshot == nullptr) {
-    return heap_->Scan(fn);
+    return heap_->Scan(fn, nullptr, skip);
   }
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
-  return frozen.Scan(fn, snapshot->pool_snapshot());
+  return frozen.Scan(fn, snapshot->pool_snapshot(), skip);
+}
+
+Status Table::ScanSalvage(const HeapFile::ScanFn& fn,
+                          SalvageStats* stats) const {
+  bool keep_going = true;
+  if (columnar_ != nullptr) {
+    // Per-segment tolerance: a corrupt segment (any of its pages fails
+    // its checksum, or its directory fails to parse) is dropped whole —
+    // segments are decoded as a unit, so there is no finer grain to
+    // salvage at.
+    const size_t ncols = schema_.num_columns();
+    std::vector<double> values;
+    std::vector<char> record(schema_.RowBytes());
+    for (size_t s = 0; s < columnar_->segment_count() && keep_going; ++s) {
+      const ColumnSegmentInfo& info = columnar_->meta().segments[s];
+      Result<ColumnSegmentHandle> opened = columnar_->OpenSegment(s);
+      Status decode_status = opened.status();
+      if (opened.ok()) {
+        ColumnSegmentHandle handle = std::move(opened).value();
+        const size_t rows = handle.rows();
+        values.resize(ncols * rows);
+        decode_status = Status::OK();
+        for (size_t c = 0; c < ncols && decode_status.ok(); ++c) {
+          decode_status = handle.DecodeColumn(c, values.data() + c * rows);
+        }
+        if (decode_status.ok()) {
+          const PageId first = handle.first_page();
+          for (size_t r = 0; r < rows && keep_going; ++r) {
+            for (size_t c = 0; c < ncols; ++c) {
+              EncodeDouble(record.data() + c * 8, values[c * rows + r]);
+            }
+            SEGDIFF_RETURN_IF_ERROR(
+                fn(record.data(), RecordId{first, static_cast<uint32_t>(r)},
+                   &keep_going));
+          }
+          continue;
+        }
+      }
+      if (!decode_status.IsCorruption()) {
+        return decode_status;
+      }
+      ++stats->segments_skipped;
+      stats->rows_lost += info.rows;
+    }
+    if (!keep_going) {
+      return Status::OK();
+    }
+  }
+  CorruptPageSkipper skipper;
+  skipper.on_skip = [&](PageId page, uint64_t lost) {
+    stats->pages_skipped += page != kInvalidPageId ? 1 : 0;
+    stats->rows_lost += lost;
+  };
+  return heap_->Scan(fn, nullptr, &skipper);
 }
 
 Status Table::ScanColumnar(const HeapFile::ScanFn& fn,
@@ -185,44 +240,47 @@ Table::FormatBreakdown Table::GetFormatBreakdown() const {
 }
 
 Result<std::vector<PageId>> Table::HeapPageIds(
-    const DatabaseSnapshot* snapshot) const {
+    const DatabaseSnapshot* snapshot, const CorruptPageSkipper* skip) const {
   if (snapshot == nullptr) {
-    return heap_->CollectPageIds();
+    return heap_->CollectPageIds(nullptr, skip);
   }
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
-  return frozen.CollectPageIds(snapshot->pool_snapshot());
+  return frozen.CollectPageIds(snapshot->pool_snapshot(), skip);
 }
 
 Status Table::ScanPages(const std::vector<PageId>& pages,
                         uint64_t first_page_index, const HeapFile::ScanFn& fn,
-                        const DatabaseSnapshot* snapshot) const {
+                        const DatabaseSnapshot* snapshot,
+                        const CorruptPageSkipper* skip) const {
   if (snapshot == nullptr) {
-    return heap_->ScanPages(pages, first_page_index, fn);
+    return heap_->ScanPages(pages, first_page_index, fn, nullptr, skip);
   }
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
   return frozen.ScanPages(pages, first_page_index, fn,
-                          snapshot->pool_snapshot());
+                          snapshot->pool_snapshot(), skip);
 }
 
 Status Table::ScanPageData(const HeapFile::PageDataFn& fn,
-                           const DatabaseSnapshot* snapshot) const {
+                           const DatabaseSnapshot* snapshot,
+                           const CorruptPageSkipper* skip) const {
   if (snapshot == nullptr) {
-    return heap_->ScanPageData(fn);
+    return heap_->ScanPageData(fn, nullptr, skip);
   }
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
-  return frozen.ScanPageData(fn, snapshot->pool_snapshot());
+  return frozen.ScanPageData(fn, snapshot->pool_snapshot(), skip);
 }
 
 Status Table::ScanPagesData(const std::vector<PageId>& pages,
                             uint64_t first_page_index,
                             const HeapFile::PageDataFn& fn,
-                            const DatabaseSnapshot* snapshot) const {
+                            const DatabaseSnapshot* snapshot,
+                            const CorruptPageSkipper* skip) const {
   if (snapshot == nullptr) {
-    return heap_->ScanPagesData(pages, first_page_index, fn);
+    return heap_->ScanPagesData(pages, first_page_index, fn, nullptr, skip);
   }
   SEGDIFF_ASSIGN_OR_RETURN(HeapFile frozen, FrozenHeap(*snapshot));
   return frozen.ScanPagesData(pages, first_page_index, fn,
-                              snapshot->pool_snapshot());
+                              snapshot->pool_snapshot(), skip);
 }
 
 bool Table::AttachZoneMap(ZoneMap map) {

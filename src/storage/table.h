@@ -69,28 +69,50 @@ class Table {
   /// segments (materialized row by row), then the heap. A non-null
   /// `snapshot` (see storage/snapshot.h) reads the frozen point-in-time
   /// state instead of the live table — same for every scan/read below.
+  /// A non-null `skip` (heap_file.h) routes around corrupt heap pages
+  /// instead of failing (columnar corruption still fails this scan;
+  /// ScanSalvage covers both formats).
   Status Scan(const HeapFile::ScanFn& fn,
-              const DatabaseSnapshot* snapshot = nullptr) const;
+              const DatabaseSnapshot* snapshot = nullptr,
+              const CorruptPageSkipper* skip = nullptr) const;
 
   /// Heap page ids in storage order (for partitioned parallel scans).
   Result<std::vector<PageId>> HeapPageIds(
-      const DatabaseSnapshot* snapshot = nullptr) const;
+      const DatabaseSnapshot* snapshot = nullptr,
+      const CorruptPageSkipper* skip = nullptr) const;
 
   /// Raw scan restricted to the given heap pages — a contiguous slice
   /// of HeapPageIds() starting at chain position `first_page_index`
   /// (which per-page record counts are derived from).
   Status ScanPages(const std::vector<PageId>& pages,
                    uint64_t first_page_index, const HeapFile::ScanFn& fn,
-                   const DatabaseSnapshot* snapshot = nullptr) const;
+                   const DatabaseSnapshot* snapshot = nullptr,
+                   const CorruptPageSkipper* skip = nullptr) const;
 
   /// Page-at-a-time scans over the whole chain / the given pages; the
   /// batched executors decode each page's records in one shot.
   Status ScanPageData(const HeapFile::PageDataFn& fn,
-                      const DatabaseSnapshot* snapshot = nullptr) const;
+                      const DatabaseSnapshot* snapshot = nullptr,
+                      const CorruptPageSkipper* skip = nullptr) const;
   Status ScanPagesData(const std::vector<PageId>& pages,
                        uint64_t first_page_index,
                        const HeapFile::PageDataFn& fn,
-                       const DatabaseSnapshot* snapshot = nullptr) const;
+                       const DatabaseSnapshot* snapshot = nullptr,
+                       const CorruptPageSkipper* skip = nullptr) const;
+
+  /// Accounting for ScanSalvage: what could not be read.
+  struct SalvageStats {
+    uint64_t pages_skipped = 0;    ///< corrupt heap pages routed around
+    uint64_t rows_lost = 0;        ///< records on skipped pages/segments
+    uint64_t segments_skipped = 0; ///< corrupt columnar segments dropped
+  };
+
+  /// Best-effort full scan for repair: visits every record that can
+  /// still be read — corrupt columnar segments are dropped whole (their
+  /// rows counted in `stats`), corrupt heap pages are skipped with
+  /// chain recovery — and never fails on corruption. Non-corruption
+  /// errors (I/O) still fail the scan.
+  Status ScanSalvage(const HeapFile::ScanFn& fn, SalvageStats* stats) const;
 
   /// Materializes the row at `id`.
   Result<Row> ReadRow(RecordId id) const;

@@ -204,11 +204,15 @@ Result<std::unique_ptr<Wal>> Wal::Open(Vfs* vfs, const std::string& db_path,
     // first flush write — Open itself must not modify the file.
     SEGDIFF_ASSIGN_OR_RETURN(wal->file_,
                              vfs->OpenFile(wal->path_, /*create=*/false));
+    wal->file_ = WithRetry(std::move(wal->file_));
     wal->file_fresh_ = false;
     wal->tail_offset_ = scan.valid_end;
     if (scan.valid_end < scan.file_size) {
       wal->need_truncate_ = true;
       wal->truncate_to_ = scan.valid_end;
+      // Never trimmed silently: the count surfaces in WalInfo/stats so
+      // an operator can see that a crash tore off unacknowledged frames.
+      wal->trimmed_tail_bytes_ = scan.file_size - scan.valid_end;
     }
     wal->start_lsn_.store(scan.start_lsn);
     if (scan.last_lsn + 1 > next) next = scan.last_lsn + 1;
@@ -223,6 +227,7 @@ Result<std::unique_ptr<Wal>> Wal::Open(Vfs* vfs, const std::string& db_path,
       wal->file_fresh_ = true;
       wal->need_truncate_ = true;
       wal->truncate_to_ = 0;
+      wal->trimmed_tail_bytes_ = scan.file_size;  // torn creation
     }
   }
   wal->next_lsn_ = next;
@@ -266,6 +271,7 @@ void Wal::FlusherLoop() {
 Status Wal::EnsureFileLocked() {
   if (file_ == nullptr) {
     SEGDIFF_ASSIGN_OR_RETURN(file_, vfs_->OpenFile(path_, /*create=*/true));
+    file_ = WithRetry(std::move(file_));
     need_dir_sync_ = true;
   }
   if (need_truncate_) {
@@ -335,8 +341,11 @@ Status Wal::FlushLocked(std::unique_lock<std::mutex>& lock) {
     // append may be buffered as if it could still become durable (the
     // background flusher never retries; only explicit Sync/EnsureDurable
     // calls do, and they surface every failure to the caller).
-    flush_error_ = Status::IOError("WAL flush failed (" + path_ +
-                                   "): " + st.ToString());
+    // WithMessage keeps the error class: a no-space flush failure must
+    // reach Database as no-space so it can flip into degraded mode
+    // instead of treating a full disk as a permanently broken device.
+    flush_error_ = st.WithMessage("WAL flush failed (" + path_ +
+                                  "): " + st.ToString());
     cv_.notify_all();
     return flush_error_;
   }
@@ -490,8 +499,8 @@ Status Wal::Reset(uint64_t new_start_lsn) {
   }
   if (st.ok()) st = file_->Sync();
   if (!st.ok()) {
-    flush_error_ = Status::IOError("WAL reset failed (" + path_ +
-                                   "): " + st.ToString());
+    flush_error_ = st.WithMessage("WAL reset failed (" + path_ +
+                                  "): " + st.ToString());
     return flush_error_;
   }
   ++stats_.fsyncs;
@@ -532,6 +541,7 @@ WalScrubReport Wal::Scrub(Vfs* vfs, const std::string& db_path) {
     // Nothing acknowledged can live in a header-less file; recovery
     // treats it as empty.
     report.torn_tail = true;
+    report.torn_tail_bytes = scan.file_size;
     report.message = scan.error;
     return report;
   }
@@ -545,8 +555,9 @@ WalScrubReport Wal::Scrub(Vfs* vfs, const std::string& db_path) {
   report.last_lsn = scan.last_lsn;
   if (scan.valid_end < scan.file_size) {
     report.torn_tail = true;
+    report.torn_tail_bytes = scan.file_size - scan.valid_end;
     report.message =
-        "torn tail: " + std::to_string(scan.file_size - scan.valid_end) +
+        "torn tail: " + std::to_string(report.torn_tail_bytes) +
         " trailing bytes past the last valid frame (trimmed on next open)";
   }
   return report;

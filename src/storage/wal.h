@@ -135,6 +135,7 @@ struct WalScrubReport {
   bool exists = false;
   bool corrupt = false;  ///< unusable header — recovery would refuse it
   bool torn_tail = false;  ///< trailing bytes past the last valid frame
+  uint64_t torn_tail_bytes = 0;  ///< how many trailing bytes are torn
   uint64_t bytes = 0;
   uint64_t frames = 0;     ///< valid frames
   uint64_t start_lsn = 0;  ///< header start LSN
@@ -156,9 +157,10 @@ class Wal {
   /// lazily on the first flush. An existing file is scanned; frames
   /// with lsn >= `min_next_lsn` (the pager's applied LSN + 1) become
   /// the recovered tail, frames below it are already in the data file
-  /// and are skipped. A torn tail is trimmed silently; a corrupt
-  /// header is a loud Corruption (the log may hold acknowledged data
-  /// that cannot be read back).
+  /// and are skipped. A torn tail is trimmed (the byte count is
+  /// surfaced via trimmed_tail_bytes(), never silently discarded); a
+  /// corrupt header is a loud Corruption (the log may hold
+  /// acknowledged data that cannot be read back).
   static Result<std::unique_ptr<Wal>> Open(Vfs* vfs,
                                            const std::string& db_path,
                                            const WalOptions& options,
@@ -207,6 +209,11 @@ class Wal {
   uint64_t last_lsn() const { return buffered_lsn_.load(); }
   uint64_t durable_lsn() const { return durable_lsn_.load(); }
   uint64_t start_lsn() const { return start_lsn_.load(); }
+  /// Torn-tail bytes found (and scheduled for trimming) at Open: bytes
+  /// past the last valid frame. Those frames were never acknowledged —
+  /// trimming them is correct — but the count is reported (stats, scrub)
+  /// so a crash's footprint is visible instead of silently vanishing.
+  uint64_t trimmed_tail_bytes() const { return trimmed_tail_bytes_; }
   /// Bytes the log occupies (durable tail + buffered records).
   uint64_t SizeBytes() const;
   WalStats stats() const;
@@ -270,6 +277,7 @@ class Wal {
   bool need_dir_sync_ = false;
   uint64_t truncate_to_ = 0;  ///< trim torn tail before first write
   bool need_truncate_ = false;
+  uint64_t trimmed_tail_bytes_ = 0;  ///< torn bytes found at Open
   uint64_t tail_offset_ = 0;  ///< file offset past the last flushed frame
   std::string pending_;       ///< encoded frames awaiting flush
   uint64_t pending_records_ = 0;

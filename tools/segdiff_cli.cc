@@ -31,7 +31,10 @@
 //   segdiff_cli stats    --db store.db
 //                        (includes the write-ahead log: size, last and
 //                         durable LSNs, the applied (checkpoint) LSN,
-//                         and how many records the last open replayed)
+//                         how many records the last open replayed, and
+//                         how many torn-tail bytes it trimmed; plus a
+//                         health block — degraded mode, quarantined
+//                         pages, buffer-pool read failures)
 //   segdiff_cli sql      --db store.db --query "SELECT ..."
 //                        [--timeout-ms N]  (statement timeout; the REPL
 //                         also accepts SET statement_timeout_ms = N)
@@ -39,6 +42,12 @@
 //                        (export the piecewise linear approximation,
 //                         e.g. for plotting the paper's Figure 1 (b))
 //   segdiff_cli compact  --db store.db --out compacted.db
+//   segdiff_cli repair   --db store.db --out repaired.db
+//                        (salvages everything still readable into a
+//                         fresh store: corrupt pages and columnar
+//                         segments are skipped and counted, every
+//                         surviving row is copied. The damaged source
+//                         is never written to)
 //   segdiff_cli verify   --db store.db [--scrub]
 //                        (logical check: every table's scanned row count
 //                         matches its heap metadata; --scrub additionally
@@ -46,8 +55,9 @@
 //                         file, mapping any damage to exact page numbers,
 //                         and walks the write-ahead log frame by frame —
 //                         a torn tail is reported but healthy (recovery
-//                         trims it); exits nonzero if the store is
-//                         unhealthy)
+//                         trims it). Exit code: 0 healthy, 2 corruption
+//                         found, 3 transient I/O errors kept the check
+//                         from finishing — retry rather than repair)
 
 #include <cstdio>
 #include <cstdlib>
@@ -72,7 +82,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: segdiff_cli "
-               "<generate|build|append|search|stats|sql|verify> "
+               "<generate|build|append|search|stats|sql|segment|compact|"
+               "repair|verify> "
                "[--flag value ...]\n"
                "run with a command and no flags to see its options in the "
                "header of tools/segdiff_cli.cc\n");
@@ -296,6 +307,14 @@ int CmdSearch(const Flags& flags) {
               V, T / 3600.0, stats.seconds * 1e3,
               static_cast<unsigned long long>(stats.queries_issued),
               mode.c_str(), stats.truncated ? " TRUNCATED" : "");
+  if (stats.partial) {
+    std::printf("  WARNING: partial result — %llu quarantined page%s "
+                "skipped (>= %llu rows unreadable); run `verify --scrub` "
+                "and `repair`\n",
+                static_cast<unsigned long long>(stats.scan.pages_quarantined),
+                stats.scan.pages_quarantined == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.scan.rows_quarantined));
+  }
   if (flags.Has("--stats")) {
     const ScanStats& scan = stats.scan;
     std::printf("  pages: %llu scanned, %llu pruned (zone maps)\n",
@@ -369,14 +388,32 @@ int CmdStats(const Flags& flags) {
                 static_cast<unsigned long long>(wal.durable_lsn),
                 static_cast<long long>(wal.group_commit_ms));
     std::printf("  checkpoint:    applied lsn %llu; last open replayed "
-                "%llu record%s\n",
+                "%llu record%s, trimmed %llu torn-tail byte%s\n",
                 static_cast<unsigned long long>(wal.applied_lsn),
                 static_cast<unsigned long long>(wal.recovered_records),
-                wal.recovered_records == 1 ? "" : "s");
+                wal.recovered_records == 1 ? "" : "s",
+                static_cast<unsigned long long>(wal.trimmed_tail_bytes),
+                wal.trimmed_tail_bytes == 1 ? "" : "s");
   } else {
     std::printf("  wal:           disabled (checkpoint-only durability); "
                 "applied lsn %llu\n",
                 static_cast<unsigned long long>(wal.applied_lsn));
+  }
+  const StoreHealth health = (*store)->db()->GetHealth();
+  if (health.degraded) {
+    std::printf("  health:        DEGRADED (read-only): %s\n",
+                health.degraded_reason.c_str());
+  } else {
+    std::printf("  health:        ok\n");
+  }
+  if (health.quarantined_pages > 0 || health.pool_read_failures > 0) {
+    std::printf("  quarantine:    %llu page%s unreadable (%llu pool read "
+                "failure%s); searches skip them and flag results partial — "
+                "run `repair` to salvage into a fresh store\n",
+                static_cast<unsigned long long>(health.quarantined_pages),
+                health.quarantined_pages == 1 ? "" : "s",
+                static_cast<unsigned long long>(health.pool_read_failures),
+                health.pool_read_failures == 1 ? "" : "s");
   }
   // Per-table page-format breakdown: compacted stores keep their
   // feature rows in compressed columnar segments; uncompacted (or
@@ -512,6 +549,74 @@ int CmdCompact(const Flags& flags) {
   return 0;
 }
 
+int CmdRepair(const Flags& flags) {
+  const std::string db = flags.Get("--db", "");
+  const std::string out = flags.Get("--out", "");
+  if (db.empty() || out.empty()) {
+    std::fprintf(stderr, "repair: --db and --out are required\n");
+    return 2;
+  }
+  std::remove(out.c_str());
+  std::remove((out + ".wal").c_str());
+
+  RepairReport report;
+  Status repaired;
+  // Prefer the engine open: it replays the WAL tail and drains the
+  // recovered observation backlog, so acknowledged-but-unapplied writes
+  // survive into the repaired copy. Abandon the source afterwards —
+  // repair must never write to the damaged store.
+  SegDiffOptions engine_options;
+  engine_options.create_if_missing = false;
+  if (auto store = SegDiffIndex::Open(db, engine_options); store.ok()) {
+    repaired = (*store)->Repair(out, &report);
+    (*store)->db()->Abandon();
+  } else {
+    // The engine state is unreadable; salvage at the database layer.
+    // If even WAL replay fails, retry without it — the data file alone
+    // may still hold most of the rows.
+    DatabaseOptions raw;
+    raw.create_if_missing = false;
+    auto database = Database::Open(db, raw);
+    if (!database.ok()) {
+      raw.replay_wal = false;
+      database = Database::Open(db, raw);
+    }
+    if (!database.ok()) return Fail(database.status());
+    (*database)->Abandon();
+    repaired = (*database)->Repair(out, &report);
+  }
+  if (!repaired.ok()) return Fail(repaired);
+  std::printf("repaired %s -> %s\n", db.c_str(), out.c_str());
+  std::printf("  %llu table%s, %llu row%s salvaged\n",
+              static_cast<unsigned long long>(report.tables),
+              report.tables == 1 ? "" : "s",
+              static_cast<unsigned long long>(report.rows_salvaged),
+              report.rows_salvaged == 1 ? "" : "s");
+  if (report.pages_skipped > 0 || report.segments_skipped > 0 ||
+      report.rows_lost > 0) {
+    std::printf("  skipped %llu corrupt page%s and %llu corrupt columnar "
+                "segment%s (>= %llu row%s lost)\n",
+                static_cast<unsigned long long>(report.pages_skipped),
+                report.pages_skipped == 1 ? "" : "s",
+                static_cast<unsigned long long>(report.segments_skipped),
+                report.segments_skipped == 1 ? "" : "s",
+                static_cast<unsigned long long>(report.rows_lost),
+                report.rows_lost == 1 ? "" : "s");
+  } else {
+    std::printf("  nothing was lost\n");
+  }
+  return 0;
+}
+
+/// Verify's exit contract: 2 = the store is damaged (corruption), 3 =
+/// transient I/O kept the check from finishing (retry, don't repair),
+/// 1 = any other failure.
+int VerifyExitCode(const Status& status) {
+  if (status.IsTransient()) return 3;
+  if (status.IsCorruption()) return 2;
+  return 1;
+}
+
 int CmdVerify(const Flags& flags) {
   const std::string db = flags.Get("--db", "");
   if (db.empty()) {
@@ -521,7 +626,10 @@ int CmdVerify(const Flags& flags) {
   DatabaseOptions options;
   options.create_if_missing = false;
   auto database = Database::Open(db, options);
-  if (!database.ok()) return Fail(database.status());
+  if (!database.ok()) {
+    Fail(database.status());
+    return VerifyExitCode(database.status());
+  }
   // Verification is strictly read-only: closing must not rewrite even
   // the header of a store we just diagnosed as damaged (WAL replay at
   // open touched only in-memory state; Abandon discards it).
@@ -534,6 +642,7 @@ int CmdVerify(const Flags& flags) {
   // Logical check: each table's heap metadata agrees with what a full
   // scan actually returns (a torn append would break this).
   int failures = 0;
+  int transient_failures = 0;
   for (const auto& table : (*database)->tables()) {
     uint64_t scanned = 0;
     Status scan = table->Scan(
@@ -545,7 +654,11 @@ int CmdVerify(const Flags& flags) {
     if (!scan.ok()) {
       std::printf("  table %-10s UNREADABLE: %s\n", table->name().c_str(),
                   scan.ToString().c_str());
-      ++failures;
+      if (scan.IsTransient()) {
+        ++transient_failures;
+      } else {
+        ++failures;
+      }
     } else if (scanned != table->row_count()) {
       std::printf("  table %-10s BAD: scanned %llu rows, metadata says "
                   "%llu\n",
@@ -561,7 +674,10 @@ int CmdVerify(const Flags& flags) {
 
   if (flags.Has("--scrub")) {
     auto report = (*database)->Scrub();
-    if (!report.ok()) return Fail(report.status());
+    if (!report.ok()) {
+      Fail(report.status());
+      return VerifyExitCode(report.status());
+    }
     std::printf("scrub: %llu pages checked, %llu unverifiable (legacy), "
                 "%zu corrupt\n",
                 static_cast<unsigned long long>(report->pages_checked),
@@ -585,12 +701,17 @@ int CmdVerify(const Flags& flags) {
     if (!wal.exists) {
       std::printf("wal scrub: no log (checkpoint-only store)\n");
     } else {
-      std::printf("wal scrub: %llu bytes, %llu frames (lsn %llu..%llu)%s\n",
+      std::printf("wal scrub: %llu bytes, %llu frames (lsn %llu..%llu)\n",
                   static_cast<unsigned long long>(wal.bytes),
                   static_cast<unsigned long long>(wal.frames),
                   static_cast<unsigned long long>(wal.start_lsn),
-                  static_cast<unsigned long long>(wal.last_lsn),
-                  wal.torn_tail ? ", torn tail (trimmed on next open)" : "");
+                  static_cast<unsigned long long>(wal.last_lsn));
+      if (wal.torn_tail) {
+        std::printf("  torn tail: %llu byte%s past the last valid frame "
+                    "(healthy — trimmed on next open)\n",
+                    static_cast<unsigned long long>(wal.torn_tail_bytes),
+                    wal.torn_tail_bytes == 1 ? "" : "s");
+      }
       if (wal.corrupt) {
         std::printf("  wal CORRUPT: %s\n", wal.message.c_str());
         ++failures;
@@ -601,7 +722,12 @@ int CmdVerify(const Flags& flags) {
   if (failures > 0) {
     std::printf("verify: FAILED (%d problem%s)\n", failures,
                 failures == 1 ? "" : "s");
-    return 1;
+    return 2;
+  }
+  if (transient_failures > 0) {
+    std::printf("verify: INCOMPLETE (%d transient I/O failure%s — retry)\n",
+                transient_failures, transient_failures == 1 ? "" : "s");
+    return 3;
   }
   std::printf("verify: ok\n");
   return 0;
@@ -621,6 +747,7 @@ int Run(int argc, char** argv) {
   if (command == "sql") return CmdSql(flags);
   if (command == "segment") return CmdSegment(flags);
   if (command == "compact") return CmdCompact(flags);
+  if (command == "repair") return CmdRepair(flags);
   if (command == "verify") return CmdVerify(flags);
   return Usage();
 }
