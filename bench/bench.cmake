@@ -24,6 +24,7 @@ segdiff_add_bench(bench_ingest)
 segdiff_add_bench(bench_checksum)
 segdiff_add_bench(bench_scan)
 segdiff_add_bench(bench_governance)
+segdiff_add_bench(bench_shard)
 
 segdiff_add_bench(bench_micro)
 target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

@@ -10,6 +10,7 @@
 //
 // Results additionally land in BENCH_ingest.json.
 
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -122,17 +123,17 @@ int RunBench() {
     Stopwatch watch;
     SEGDIFF_CHECK_OK((*transect)->IngestAllSensors(all_series, threads));
     const double seconds = watch.ElapsedSeconds();
-    const TransectSizes sizes = (*transect)->GetSizes();
+    auto sizes = (*transect)->GetSizes();
+    SEGDIFF_CHECK(sizes.ok()) << sizes.status().ToString();
     uint64_t segments = 0;
     for (int s = 0; s < kTransectSensors; ++s) {
       segments += (*(*transect)->sensor(s))->num_segments();
     }
     add_row("transect", threads, seconds, transect_observations, segments,
-            sizes.feature_rows);
+            sizes->feature_rows);
     transect->reset();
-    for (int s = 0; s < kTransectSensors; ++s) {
-      RemoveBenchDb(dir + "/sensor" + std::to_string(s) + ".db");
-    }
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
   }
   table.Print(std::cout);
   std::cout << "expected shape: streaming within ~10% of batch (same "

@@ -20,7 +20,8 @@
 #      partially-initialized and partially-released state)
 #   5. a ThreadSanitizer build running the `concurrency` ctest group
 #      (snapshot reads racing WAL-backed ingest, admission control,
-#      cooperative cancellation)
+#      cooperative cancellation, sharded scatter-gather fan-out racing
+#      LRU store eviction)
 #
 # Usage: scripts/check_tier1.sh [--no-asan]   (skips both sanitizer runs)
 # Exits non-zero on the first failing step.
@@ -52,6 +53,7 @@ echo "== tier-1: bench smoke (--quick) =="
  ./bench/bench_parallel --quick && \
  ./bench/bench_governance --quick && \
  ./bench/bench_checksum --quick && \
+ ./bench/bench_shard --quick && \
  ./bench/bench_micro --quick \
    --benchmark_filter='BM_ScanKernelBatch|BM_PredicateMatch|BM_DecodeFOR|BM_DecodeXor')
 
@@ -181,7 +183,7 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   cmake -B build-tsan -S . -DSEGDIFF_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target \
     thread_pool_test buffer_pool_concurrency_test parallel_query_test \
-    fault_injection_test chaos_test governance_test
+    transect_shard_test fault_injection_test chaos_test governance_test
   echo "== tsan: run =="
   # -L takes a regex: one pass over the threading suites plus the
   # fault-injection and governance groups (snapshot reads racing

@@ -103,6 +103,40 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Fan-out with ordered result collection: invokes `fn(i, &(*out)[i])`
+/// for every i in [0, n), each iteration writing only its own
+/// pre-allocated slot — so no aggregation lock is needed and the
+/// collected results are in index order no matter which worker finished
+/// first (deterministic merges fold `*out` front to back afterwards).
+/// With a null `pool` the iterations run serially on the calling thread
+/// (same slots, same order); `ctx` may be null for ungoverned fan-outs.
+/// On error the first failure (by completion order) is returned and
+/// `*out` slots of unfinished iterations keep their default-constructed
+/// value — callers must not use `*out` after a failure.
+template <typename T, typename Fn>
+Status ParallelMap(ThreadPool* pool, size_t n, const QueryContext* ctx,
+                   std::vector<T>* out, const Fn& fn) {
+  out->clear();
+  out->resize(n);
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      if (ctx != nullptr) {
+        Status status = ctx->Check();
+        if (!status.ok()) {
+          return status;
+        }
+      }
+      Status status = fn(i, &(*out)[i]);
+      if (!status.ok()) {
+        return status;
+      }
+    }
+    return Status::OK();
+  }
+  return pool->ParallelFor(
+      n, ctx, [&](size_t i) -> Status { return fn(i, &(*out)[i]); });
+}
+
 }  // namespace segdiff
 
 #endif  // SEGDIFF_COMMON_THREAD_POOL_H_

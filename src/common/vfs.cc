@@ -177,6 +177,13 @@ class PosixVfs : public Vfs {
     return status;
   }
 
+  Status MakeDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", path);
+    }
+    return Status::OK();
+  }
+
   bool FileExists(const std::string& path) override {
     return ::access(path.c_str(), F_OK) == 0;
   }

@@ -66,6 +66,12 @@ class Vfs {
   /// freshly created file on crash unless its parent is synced).
   virtual Status SyncDir(const std::string& path) = 0;
 
+  /// Creates directory `path` (one level; parents must exist).
+  /// Idempotent: an already-existing directory is OK, so callers need no
+  /// exists-then-create dance. Routed through the Vfs so fault-injection
+  /// tests cover directory creation like every other IO path.
+  virtual Status MakeDir(const std::string& path) = 0;
+
   virtual bool FileExists(const std::string& path) = 0;
 
   /// Deletes `path`; NotFound if it does not exist.

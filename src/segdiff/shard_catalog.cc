@@ -1,0 +1,174 @@
+#include "segdiff/shard_catalog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace segdiff {
+namespace {
+
+// Manifest layout (little-endian, CRC32C-framed):
+//   [0,8)   magic "SDSHRD01" (version in the last two bytes)
+//   [8,12)  u32 sensor_count
+//   [12,16) u32 sensors_per_shard
+//   [16,20) u32 shard_count
+//   then per shard: u32 first_sensor, u32 sensor_count,
+//                   u16 dir_len, dir bytes
+//   trailing u32: CRC32C of every preceding byte
+constexpr char kMagic[8] = {'S', 'D', 'S', 'H', 'R', 'D', '0', '1'};
+constexpr size_t kHeaderSize = 20;
+
+std::string ManifestPath(const std::string& root) {
+  return root + "/" + ShardCatalog::kManifestName;
+}
+
+Status CorruptManifest(const std::string& path, const std::string& why) {
+  return Status::Corruption("shard catalog " + path + ": " + why);
+}
+
+}  // namespace
+
+constexpr const char* ShardCatalog::kManifestName;
+
+ShardCatalog ShardCatalog::Place(int sensor_count, int sensors_per_shard,
+                                 bool flat) {
+  ShardCatalog catalog;
+  catalog.sensor_count_ = sensor_count;
+  catalog.sensors_per_shard_ =
+      sensors_per_shard > 0 ? sensors_per_shard : sensor_count;
+  if (catalog.sensors_per_shard_ <= 0) {
+    catalog.sensors_per_shard_ = 1;
+  }
+  for (int first = 0; first < sensor_count;
+       first += catalog.sensors_per_shard_) {
+    ShardInfo info;
+    info.first_sensor = first;
+    info.sensor_count =
+        std::min(catalog.sensors_per_shard_, sensor_count - first);
+    if (!flat) {
+      char name[16];
+      std::snprintf(name, sizeof(name), "shard%05zu", catalog.shards_.size());
+      info.dir = name;
+    }
+    catalog.shards_.push_back(std::move(info));
+  }
+  return catalog;
+}
+
+Result<ShardCatalog> ShardCatalog::Load(Vfs* vfs, const std::string& root) {
+  const std::string path = ManifestPath(root);
+  if (!vfs->FileExists(path)) {
+    return Status::NotFound("no shard catalog: " + path);
+  }
+  SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                           vfs->OpenFile(path, /*create=*/false));
+  SEGDIFF_ASSIGN_OR_RETURN(const uint64_t size, file->Size());
+  if (size < kHeaderSize + 4) {
+    return CorruptManifest(path, "truncated (" + std::to_string(size) +
+                                     " bytes)");
+  }
+  std::string raw(size, '\0');
+  SEGDIFF_RETURN_IF_ERROR(file->Read(0, raw.size(), raw.data()));
+
+  const uint32_t stored_crc = DecodeFixed32(raw.data() + raw.size() - 4);
+  const uint32_t actual_crc = Crc32c(raw.data(), raw.size() - 4);
+  if (stored_crc != actual_crc) {
+    return CorruptManifest(path, "checksum mismatch");
+  }
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    return CorruptManifest(path, "bad magic or unsupported version");
+  }
+
+  ShardCatalog catalog;
+  catalog.sensor_count_ = static_cast<int>(DecodeFixed32(raw.data() + 8));
+  catalog.sensors_per_shard_ =
+      static_cast<int>(DecodeFixed32(raw.data() + 12));
+  const uint32_t shard_count = DecodeFixed32(raw.data() + 16);
+  if (catalog.sensor_count_ < 0 || catalog.sensors_per_shard_ <= 0) {
+    return CorruptManifest(path, "invalid header counts");
+  }
+
+  size_t pos = kHeaderSize;
+  const size_t end = raw.size() - 4;
+  int next_sensor = 0;
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    if (pos + 10 > end) {
+      return CorruptManifest(path, "shard entry overruns file");
+    }
+    ShardInfo info;
+    info.first_sensor = static_cast<int>(DecodeFixed32(raw.data() + pos));
+    info.sensor_count = static_cast<int>(DecodeFixed32(raw.data() + pos + 4));
+    const uint16_t dir_len = DecodeFixed16(raw.data() + pos + 8);
+    pos += 10;
+    if (pos + dir_len > end) {
+      return CorruptManifest(path, "shard directory name overruns file");
+    }
+    info.dir.assign(raw.data() + pos, dir_len);
+    pos += dir_len;
+    // The shard ranges must partition [0, sensor_count) in order —
+    // anything else would silently drop or double-search sensors.
+    if (info.first_sensor != next_sensor || info.sensor_count <= 0) {
+      return CorruptManifest(
+          path, "shard ranges do not partition the sensor space");
+    }
+    next_sensor += info.sensor_count;
+    catalog.shards_.push_back(std::move(info));
+  }
+  if (pos != end) {
+    return CorruptManifest(path, "trailing bytes after shard entries");
+  }
+  if (next_sensor != catalog.sensor_count_) {
+    return CorruptManifest(path,
+                           "shard ranges do not cover all sensors");
+  }
+  return catalog;
+}
+
+Status ShardCatalog::Save(Vfs* vfs, const std::string& root) const {
+  std::string raw(kHeaderSize, '\0');
+  std::memcpy(raw.data(), kMagic, sizeof(kMagic));
+  EncodeFixed32(raw.data() + 8, static_cast<uint32_t>(sensor_count_));
+  EncodeFixed32(raw.data() + 12, static_cast<uint32_t>(sensors_per_shard_));
+  EncodeFixed32(raw.data() + 16, static_cast<uint32_t>(shards_.size()));
+  for (const ShardInfo& info : shards_) {
+    char entry[10];
+    EncodeFixed32(entry, static_cast<uint32_t>(info.first_sensor));
+    EncodeFixed32(entry + 4, static_cast<uint32_t>(info.sensor_count));
+    EncodeFixed16(entry + 8, static_cast<uint16_t>(info.dir.size()));
+    raw.append(entry, sizeof(entry));
+    raw.append(info.dir);
+  }
+  char crc[4];
+  EncodeFixed32(crc, Crc32c(raw.data(), raw.size()));
+  raw.append(crc, sizeof(crc));
+
+  const std::string path = ManifestPath(root);
+  SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                           vfs->OpenFile(path, /*create=*/true));
+  SEGDIFF_RETURN_IF_ERROR(file->Write(0, raw.data(), raw.size()));
+  SEGDIFF_RETURN_IF_ERROR(file->Truncate(raw.size()));
+  SEGDIFF_RETURN_IF_ERROR(file->Sync());
+  return vfs->SyncDir(path);
+}
+
+std::string ShardCatalog::ShardDirPath(const std::string& root,
+                                       size_t index) const {
+  const ShardInfo& info = shards_[index];
+  if (info.dir.empty()) {
+    return root;
+  }
+  return root + "/" + info.dir;
+}
+
+std::string ShardCatalog::StorePath(const std::string& root,
+                                    int sensor) const {
+  return ShardDirPath(root, ShardOf(sensor)) + "/sensor" +
+         std::to_string(sensor) + ".db";
+}
+
+}  // namespace segdiff

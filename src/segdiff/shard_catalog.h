@@ -1,0 +1,88 @@
+// ShardCatalog: the persistent manifest mapping sensor-id ranges to
+// shard directories of a sharded TransectIndex deployment.
+//
+// A transect root directory holds one CATALOG file plus one
+// subdirectory per shard; each shard directory holds the per-sensor
+// SegDiff stores of a contiguous sensor-id range. Placement is
+// consistent: sensor k always lives in shard k / sensors_per_shard, so
+// routing a query needs no lookup table beyond the manifest. The
+// manifest is versioned and CRC32C-framed — a torn or bit-rotted
+// catalog surfaces as a loud Corruption naming the file, never as a
+// silently mis-routed search.
+//
+// Legacy flat layouts (pre-sharding: sensor<k>.db directly under the
+// root) are adopted on first open by writing a manifest whose shard
+// directories are all "" — the ranges still partition the sensor space
+// for scatter-gather fan-out, but every store path resolves into the
+// root, so existing data keeps working unchanged.
+
+#ifndef SEGDIFF_SEGDIFF_SHARD_CATALOG_H_
+#define SEGDIFF_SEGDIFF_SHARD_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/vfs.h"
+
+namespace segdiff {
+
+/// One contiguous sensor-id range and the directory (relative to the
+/// transect root; "" = the root itself) holding its stores.
+struct ShardInfo {
+  int first_sensor = 0;
+  int sensor_count = 0;
+  std::string dir;
+};
+
+class ShardCatalog {
+ public:
+  /// Name of the manifest file under the transect root.
+  static constexpr const char* kManifestName = "CATALOG";
+
+  /// An empty catalog (no sensors); placeholder until Place/Load.
+  ShardCatalog() = default;
+
+  /// Consistent placement: `sensor_count` sensors split into
+  /// ceil(n / sensors_per_shard) contiguous ranges named shard00000,
+  /// shard00001, ... With `flat` every range's dir is "" (legacy
+  /// adoption of a pre-sharding directory).
+  static ShardCatalog Place(int sensor_count, int sensors_per_shard,
+                            bool flat = false);
+
+  /// Reads and verifies the manifest at `<root>/CATALOG`. NotFound when
+  /// no manifest exists; Corruption (loud, naming the file) on a bad
+  /// magic, version, CRC, or an inconsistent range partition.
+  static Result<ShardCatalog> Load(Vfs* vfs, const std::string& root);
+
+  /// Writes the manifest to `<root>/CATALOG` (fsynced, parent dir
+  /// synced) so the layout survives a crash.
+  Status Save(Vfs* vfs, const std::string& root) const;
+
+  int sensor_count() const { return sensor_count_; }
+  int sensors_per_shard() const { return sensors_per_shard_; }
+  size_t shard_count() const { return shards_.size(); }
+  const ShardInfo& shard(size_t index) const { return shards_[index]; }
+
+  /// The shard holding `sensor` (consistent placement; sensor must be
+  /// in [0, sensor_count)).
+  size_t ShardOf(int sensor) const {
+    return static_cast<size_t>(sensor / sensors_per_shard_);
+  }
+
+  /// Absolute directory of one shard ("" entries resolve to the root).
+  std::string ShardDirPath(const std::string& root, size_t index) const;
+
+  /// Absolute path of one sensor's store file.
+  std::string StorePath(const std::string& root, int sensor) const;
+
+ private:
+  int sensor_count_ = 0;
+  int sensors_per_shard_ = 0;
+  std::vector<ShardInfo> shards_;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGDIFF_SHARD_CATALOG_H_

@@ -1,0 +1,161 @@
+#include "segdiff/store_lru.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "segdiff/segdiff_index.h"
+
+namespace segdiff {
+
+StoreLru::Handle& StoreLru::Handle::operator=(Handle&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    cache_ = other.cache_;
+    sensor_ = other.sensor_;
+    store_ = other.store_;
+    other.cache_ = nullptr;
+    other.sensor_ = -1;
+    other.store_ = nullptr;
+  }
+  return *this;
+}
+
+void StoreLru::Handle::Reset() {
+  if (cache_ != nullptr) {
+    cache_->Release(sensor_);
+    cache_ = nullptr;
+    sensor_ = -1;
+    store_ = nullptr;
+  }
+}
+
+StoreLru::StoreLru(size_t max_open, Factory factory)
+    : max_open_(max_open), factory_(std::move(factory)) {}
+
+StoreLru::~StoreLru() {
+  // No Handles may be outstanding here; store destructors persist their
+  // own state on close.
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+Result<StoreLru::Handle> StoreLru::Acquire(int sensor) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(sensor);
+    if (it != entries_.end()) {
+      Entry& entry = it->second;
+      if (entry.busy) {
+        // Another thread is opening (or evict-closing) this sensor:
+        // wait for it to settle rather than racing a second open of
+        // the same store file.
+        settled_.wait(lock);
+        continue;
+      }
+      if (entry.in_lru) {
+        lru_.erase(entry.lru_pos);
+        entry.in_lru = false;
+      }
+      ++entry.pins;
+      ++hits_;
+      return Handle(this, sensor, entry.store.get());
+    }
+
+    if (max_open_ == 0 || open_count_ < max_open_) {
+      break;  // capacity free: reserve below and open outside the lock
+    }
+
+    if (!lru_.empty()) {
+      // Evict the coldest unpinned store: checkpoint + close outside
+      // the lock, with the entry left busy so a concurrent Acquire of
+      // the victim waits instead of opening the file a second time.
+      const int victim = lru_.front();
+      lru_.pop_front();
+      Entry& ventry = entries_.at(victim);
+      ventry.in_lru = false;
+      ventry.busy = true;
+      std::unique_ptr<SegDiffIndex> store = std::move(ventry.store);
+      lock.unlock();
+      Status checkpoint_status = store->Checkpoint();
+      store.reset();
+      lock.lock();
+      entries_.erase(victim);
+      --open_count_;
+      ++evictions_;
+      settled_.notify_all();
+      if (!checkpoint_status.ok()) {
+        return checkpoint_status;
+      }
+      continue;  // a racer may take the freed slot; the loop re-checks
+    }
+
+    // Full and everything is pinned or mid-open: wait for a pin to
+    // drop. Callers hold at most one Handle each, so some pin always
+    // drops eventually.
+    settled_.wait(lock);
+  }
+
+  // Reserve the slot, then open outside the lock so a slow cold open
+  // does not serialize hits on other sensors.
+  Entry& entry = entries_[sensor];
+  entry.busy = true;
+  ++open_count_;
+  peak_open_ = std::max(peak_open_, open_count_);
+  lock.unlock();
+
+  Result<std::unique_ptr<SegDiffIndex>> opened = factory_(sensor);
+
+  lock.lock();
+  if (!opened.ok()) {
+    entries_.erase(sensor);
+    --open_count_;
+    settled_.notify_all();
+    return opened.status();
+  }
+  Entry& settled = entries_.at(sensor);
+  settled.store = std::move(opened).value();
+  settled.busy = false;
+  settled.pins = 1;
+  ++opens_;
+  settled_.notify_all();
+  return Handle(this, sensor, settled.store.get());
+}
+
+void StoreLru::Release(int sensor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_.at(sensor);
+  --entry.pins;
+  if (entry.pins == 0) {
+    entry.lru_pos = lru_.insert(lru_.end(), sensor);
+    entry.in_lru = true;
+  }
+  settled_.notify_all();
+}
+
+std::vector<int> StoreLru::OpenSensors() const {
+  std::vector<int> sensors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sensors.reserve(entries_.size());
+    for (const auto& kv : entries_) {
+      if (!kv.second.busy) {
+        sensors.push_back(kv.first);
+      }
+    }
+  }
+  std::sort(sensors.begin(), sensors.end());
+  return sensors;
+}
+
+StoreLruStats StoreLru::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreLruStats stats;
+  stats.open = open_count_;
+  stats.peak_open = peak_open_;
+  stats.opens = opens_;
+  stats.evictions = evictions_;
+  stats.hits = hits_;
+  return stats;
+}
+
+}  // namespace segdiff

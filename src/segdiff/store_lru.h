@@ -1,0 +1,145 @@
+// StoreLru: bounded cache of open per-sensor SegDiff stores.
+//
+// A 100k-sensor transect cannot keep 100k stores open at once — each
+// open store owns a buffer pool, a WAL handle, and file descriptors. The
+// LRU opens stores lazily through a caller-supplied factory and keeps at
+// most `max_open` of them resident; acquiring a store when the cache is
+// full first evicts the coldest *unpinned* store (checkpointing it so no
+// durable state is lost, then closing it). Closing and reopening a store
+// is transparent to ingest and search: SegDiffIndex persists its
+// segmenter and extractor state, so a store resumes byte-identically.
+//
+// Pinning: Acquire returns an RAII Handle that pins the store for its
+// lifetime. A pinned store is never evicted, so an in-flight search can
+// not lose its store mid-scan. When every resident store is pinned and
+// the cache is full, Acquire blocks until a pin drops — therefore each
+// worker thread must hold at most one Handle at a time, and `max_open`
+// must be at least the number of concurrently pinning threads, or the
+// fan-out can deadlock (TransectIndex enforces both).
+//
+// Thread-safe. Factory opens and eviction checkpoints run outside the
+// cache lock, so slow store IO never blocks hits on other sensors; a
+// concurrent Acquire of a store that is mid-open waits for that open
+// instead of opening the file twice.
+
+#ifndef SEGDIFF_SEGDIFF_STORE_LRU_H_
+#define SEGDIFF_SEGDIFF_STORE_LRU_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace segdiff {
+
+class SegDiffIndex;
+
+/// Point-in-time view of the cache's behaviour, for benchmarks and the
+/// CLI `transect stats` command.
+struct StoreLruStats {
+  size_t open = 0;        ///< stores currently resident
+  size_t peak_open = 0;   ///< high-water mark of resident stores
+  uint64_t opens = 0;     ///< factory invocations (cold misses)
+  uint64_t evictions = 0; ///< checkpoint-and-close cycles
+  uint64_t hits = 0;      ///< Acquires served by a resident store
+};
+
+class StoreLru {
+ public:
+  using Factory =
+      std::function<Result<std::unique_ptr<SegDiffIndex>>(int sensor)>;
+
+  /// Pinned reference to an open store. The store stays resident until
+  /// the last Handle to it is destroyed (or moved-from).
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept { *this = std::move(other); }
+    Handle& operator=(Handle&& other) noexcept;
+    ~Handle() { Reset(); }
+
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    SegDiffIndex* get() const { return store_; }
+    SegDiffIndex* operator->() const { return store_; }
+    SegDiffIndex& operator*() const { return *store_; }
+    explicit operator bool() const { return store_ != nullptr; }
+
+    /// Drops the pin early.
+    void Reset();
+
+   private:
+    friend class StoreLru;
+    Handle(StoreLru* cache, int sensor, SegDiffIndex* store)
+        : cache_(cache), sensor_(sensor), store_(store) {}
+
+    StoreLru* cache_ = nullptr;
+    int sensor_ = -1;
+    SegDiffIndex* store_ = nullptr;
+  };
+
+  /// `max_open` = 0 means unbounded (every store stays open once
+  /// touched). `factory` opens the store for one sensor; it is invoked
+  /// without the cache lock held.
+  StoreLru(size_t max_open, Factory factory);
+
+  /// Destroys every resident store (SegDiffIndex close persists its own
+  /// state). All Handles must have been released.
+  ~StoreLru();
+
+  StoreLru(const StoreLru&) = delete;
+  StoreLru& operator=(const StoreLru&) = delete;
+
+  /// Pins sensor's store, opening it (and evicting the coldest unpinned
+  /// store when full) as needed. Blocks while the cache is full of
+  /// pinned stores. Fails with the factory's error, or with an eviction
+  /// checkpoint error — losing a cold store's durability silently is
+  /// worse than failing the acquire loudly.
+  Result<Handle> Acquire(int sensor);
+
+  /// Sensors with a resident store right now (sorted ascending, so
+  /// maintenance sweeps visit stores in deterministic order).
+  std::vector<int> OpenSensors() const;
+
+  size_t max_open() const { return max_open_; }
+  StoreLruStats stats() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<SegDiffIndex> store;
+    int pins = 0;
+    /// Reserved: the store is being opened (or evict-closed) outside
+    /// the lock; waiters block until it settles.
+    bool busy = false;
+    std::list<int>::iterator lru_pos;  ///< valid only when pins == 0
+    bool in_lru = false;
+  };
+
+  void Release(int sensor);
+
+  const size_t max_open_;
+  const Factory factory_;
+
+  mutable std::mutex mu_;
+  std::condition_variable settled_;  ///< pins dropped / opens finished
+  std::unordered_map<int, Entry> entries_;
+  /// Unpinned resident stores, coldest first. Entries hold their own
+  /// position so a hit unlinks in O(1).
+  std::list<int> lru_;
+  size_t open_count_ = 0;  ///< resident + reserved (mid-open) stores
+  size_t peak_open_ = 0;
+  uint64_t opens_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace segdiff
+
+#endif  // SEGDIFF_SEGDIFF_STORE_LRU_H_

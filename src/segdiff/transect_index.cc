@@ -1,56 +1,160 @@
 #include "segdiff/transect_index.h"
 
-#include <sys/stat.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstring>
+#include <thread>
+#include <utility>
 
+#include "common/env.h"
 #include "common/thread_pool.h"
 
 namespace segdiff {
+namespace {
+
+/// Folds one search's stats into a running total. Only deterministic
+/// fields matter for the serial/parallel differential: the integer and
+/// bool fields are associative sums/ORs, so folding per-shard partials
+/// in shard order gives the same totals as the flat serial loop. The
+/// wall-clock doubles (seconds, admission_wait_ms) are additive too but
+/// naturally vary run to run.
+void FoldStats(const SearchStats& one, SearchStats* total) {
+  total->scan.Add(one.scan);
+  total->queries_issued += one.queries_issued;
+  total->seconds += one.seconds;
+  total->snapshot_observations += one.snapshot_observations;
+  total->truncated = total->truncated || one.truncated;
+  total->partial = total->partial || one.partial;
+  total->result_bytes_peak =
+      std::max(total->result_bytes_peak, one.result_bytes_peak);
+  total->admission_wait_ms += one.admission_wait_ms;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<TransectIndex>> TransectIndex::Open(
     const std::string& directory, int sensor_count,
     const SegDiffOptions& options) {
-  if (sensor_count <= 0) {
-    return Status::InvalidArgument("sensor_count must be positive");
-  }
-  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::IOError("mkdir " + directory + ": " +
-                           std::strerror(errno));
-  }
+  TransectOptions transect_options;
+  transect_options.store = options;
+  return Open(directory, sensor_count, transect_options);
+}
+
+Result<std::unique_ptr<TransectIndex>> TransectIndex::Open(
+    const std::string& directory, int sensor_count,
+    const TransectOptions& options) {
+  Vfs* vfs = options.store.vfs != nullptr ? options.store.vfs : Vfs::Default();
+  SEGDIFF_RETURN_IF_ERROR(vfs->MakeDir(directory));
+
   std::unique_ptr<TransectIndex> transect(new TransectIndex());
-  transect->sensors_.reserve(static_cast<size_t>(sensor_count));
-  for (int s = 0; s < sensor_count; ++s) {
-    const std::string path =
-        directory + "/sensor" + std::to_string(s) + ".db";
-    SEGDIFF_ASSIGN_OR_RETURN(std::unique_ptr<SegDiffIndex> store,
-                             SegDiffIndex::Open(path, options));
-    transect->sensors_.push_back(std::move(store));
+  transect->directory_ = directory;
+  transect->store_options_ = options.store;
+
+  Result<ShardCatalog> loaded = ShardCatalog::Load(vfs, directory);
+  if (loaded.ok()) {
+    if (sensor_count > 0 && sensor_count != loaded->sensor_count()) {
+      return Status::InvalidArgument(
+          "transect " + directory + " holds " +
+          std::to_string(loaded->sensor_count()) + " sensors, not " +
+          std::to_string(sensor_count));
+    }
+    transect->catalog_ = std::move(loaded).value();
+  } else if (loaded.status().IsNotFound()) {
+    if (sensor_count <= 0) {
+      return Status::InvalidArgument("sensor_count must be positive");
+    }
+    int sensors_per_shard = options.sensors_per_shard;
+    if (sensors_per_shard <= 0) {
+      sensors_per_shard = static_cast<int>(
+          GetEnvInt64("SEGDIFF_SENSORS_PER_SHARD", 256));
+    }
+    if (sensors_per_shard <= 0) {
+      sensors_per_shard = 256;
+    }
+    // A pre-sharding flat directory is adopted in place: same ranges
+    // for fan-out, but every store path stays in the root.
+    const bool flat = vfs->FileExists(directory + "/sensor0.db");
+    transect->catalog_ =
+        ShardCatalog::Place(sensor_count, sensors_per_shard, flat);
+    for (size_t i = 0; i < transect->catalog_.shard_count(); ++i) {
+      if (!transect->catalog_.shard(i).dir.empty()) {
+        SEGDIFF_RETURN_IF_ERROR(
+            vfs->MakeDir(transect->catalog_.ShardDirPath(directory, i)));
+      }
+    }
+    SEGDIFF_RETURN_IF_ERROR(transect->catalog_.Save(vfs, directory));
+  } else {
+    return loaded.status();  // Corruption stays loud
   }
+
+  size_t max_open = options.max_open_stores;
+  if (max_open == 0) {
+    const int64_t from_env = GetEnvInt64("SEGDIFF_MAX_OPEN_STORES", 0);
+    max_open = from_env > 0 ? static_cast<size_t>(from_env) : 0;
+  }
+  TransectIndex* raw = transect.get();
+  transect->stores_ = std::make_unique<StoreLru>(
+      max_open, [raw](int s) -> Result<std::unique_ptr<SegDiffIndex>> {
+        return SegDiffIndex::Open(
+            raw->catalog_.StorePath(raw->directory_, s), raw->store_options_);
+      });
   return transect;
 }
+
+TransectIndex::~TransectIndex() = default;
 
 Status TransectIndex::IngestSensorSeries(int sensor, const Series& series) {
   if (sensor < 0 || sensor >= sensor_count()) {
     return Status::InvalidArgument("sensor index out of range");
   }
-  return sensors_[static_cast<size_t>(sensor)]->IngestSeries(series);
+  SEGDIFF_ASSIGN_OR_RETURN(StoreLru::Handle store, stores_->Acquire(sensor));
+  SEGDIFF_RETURN_IF_ERROR(store->IngestSeries(series));
+  // IngestSeries finalizes its own trailing segment, so the sensor has
+  // nothing pending anymore.
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  dirty_.erase(sensor);
+  return Status::OK();
 }
 
-Status TransectIndex::AppendSensorObservation(int sensor, double t, double v) {
+Status TransectIndex::AppendSensorObservation(int sensor, double t,
+                                              double v) {
   if (sensor < 0 || sensor >= sensor_count()) {
     return Status::InvalidArgument("sensor index out of range");
   }
-  return sensors_[static_cast<size_t>(sensor)]->AppendObservation(t, v);
+  SEGDIFF_ASSIGN_OR_RETURN(StoreLru::Handle store, stores_->Acquire(sensor));
+  SEGDIFF_RETURN_IF_ERROR(store->AppendObservation(t, v));
+  std::lock_guard<std::mutex> lock(dirty_mu_);
+  dirty_.insert(sensor);
+  return Status::OK();
 }
 
 Status TransectIndex::FlushAllPending() {
-  for (auto& store : sensors_) {
-    SEGDIFF_RETURN_IF_ERROR(store->FlushPending());
+  std::vector<int> dirty;
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty.assign(dirty_.begin(), dirty_.end());
   }
-  return Status::OK();
+  std::sort(dirty.begin(), dirty.end());
+  auto flush_one = [&](size_t i) -> Status {
+    const int sensor = dirty[i];
+    SEGDIFF_ASSIGN_OR_RETURN(StoreLru::Handle store,
+                             stores_->Acquire(sensor));
+    SEGDIFF_RETURN_IF_ERROR(store->FlushPending());
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.erase(sensor);
+    return Status::OK();
+  };
+  const size_t threads = MaintenanceThreads(dirty.size());
+  if (threads < 2) {
+    for (size_t i = 0; i < dirty.size(); ++i) {
+      SEGDIFF_RETURN_IF_ERROR(flush_one(i));
+    }
+    return Status::OK();
+  }
+  ThreadPool* pool = EnsurePool(threads);
+  // ParallelFor keeps the first error (FirstErrorCollector) and skips
+  // remaining sensors; still-dirty sensors stay tracked for the retry.
+  Status status = pool->ParallelFor(dirty.size(), flush_one);
+  ReleasePool();
+  return status;
 }
 
 Status TransectIndex::IngestAllSensors(const std::vector<Series>& all_series,
@@ -67,14 +171,15 @@ Status TransectIndex::IngestAllSensors(const std::vector<Series>& all_series,
   }
   // Each task touches exactly one store, so per-sensor pipelines never
   // share mutable state; the pool only parallelizes across sensors.
-  const size_t workers = num_threads - 1;  // the caller participates
-  if (ingest_pool_ == nullptr || ingest_pool_->size() != workers) {
-    ingest_pool_ = std::make_unique<ThreadPool>(workers);
-  }
-  return ingest_pool_->ParallelFor(
-      all_series.size(), [&](size_t s) -> Status {
-        return sensors_[s]->IngestSeries(all_series[s]);
+  // Each worker pins one store at a time, so even a tiny LRU throttles
+  // rather than deadlocks.
+  ThreadPool* pool = EnsurePool(num_threads);
+  Status status =
+      pool->ParallelFor(all_series.size(), [&](size_t s) -> Status {
+        return IngestSensorSeries(static_cast<int>(s), all_series[s]);
       });
+  ReleasePool();
+  return status;
 }
 
 template <typename SearchFn>
@@ -90,32 +195,68 @@ Result<std::vector<TransectHit>> TransectIndex::SearchAll(
         options.deadline, Deadline::AfterMillis(options.deadline_ms));
     per_sensor.deadline_ms = 0;
   }
+  // At transect level num_threads is the scatter-gather width; the
+  // per-store searches run single-threaded so the fan-out, not nested
+  // pools, uses the machine.
+  per_sensor.num_threads = 0;
   QueryContext ctx;
   ctx.cancel = per_sensor.cancel;
   ctx.deadline = per_sensor.deadline;
 
+  const size_t shard_count = catalog_.shard_count();
+  size_t fan_out = std::min(options.num_threads, shard_count);
+  if (stores_->max_open() != 0) {
+    // Each worker (including the caller) pins at most one store, so a
+    // fan-out wider than the cache would only make workers queue on
+    // Acquire.
+    fan_out = std::min(fan_out, stores_->max_open());
+  }
+
+  // Scatter: each shard builds an independent partial — its hits
+  // already in (sensor, pair) order because sensors are scanned
+  // ascending and each store returns sorted pairs.
+  struct ShardPartial {
+    std::vector<TransectHit> hits;
+    SearchStats stats;
+  };
+  ThreadPool* pool = fan_out >= 2 ? EnsurePool(fan_out) : nullptr;
+  std::vector<ShardPartial> partials;
+  Status status = ParallelMap(
+      pool, shard_count, &ctx, &partials,
+      [&](size_t shard, ShardPartial* out) -> Status {
+        const ShardInfo& info = catalog_.shard(shard);
+        const int last = info.first_sensor + info.sensor_count;
+        for (int s = info.first_sensor; s < last; ++s) {
+          // Sensor-boundary check point, in addition to the
+          // page-granular checks inside each store's search.
+          SEGDIFF_RETURN_IF_ERROR(ctx.Check());
+          SEGDIFF_ASSIGN_OR_RETURN(StoreLru::Handle store,
+                                   stores_->Acquire(s));
+          SearchStats one;
+          SEGDIFF_ASSIGN_OR_RETURN(std::vector<PairId> pairs,
+                                   search(store.get(), per_sensor, &one));
+          for (const PairId& pair : pairs) {
+            out->hits.push_back(TransectHit{s, pair});
+          }
+          FoldStats(one, &out->stats);
+        }
+        return Status::OK();
+      });
+  if (pool != nullptr) {
+    ReleasePool();
+  }
+  if (!status.ok()) {
+    return status;
+  }
+
+  // Gather: fold partials in shard index order — the merge is
+  // deterministic no matter which worker finished first, and equals the
+  // serial loop's output byte for byte.
   std::vector<TransectHit> hits;
   SearchStats total;
-  for (int s = 0; s < sensor_count(); ++s) {
-    // Sensor-boundary check point, in addition to the page-granular
-    // checks inside each store's search.
-    SEGDIFF_RETURN_IF_ERROR(ctx.Check());
-    SearchStats one;
-    SEGDIFF_ASSIGN_OR_RETURN(
-        std::vector<PairId> pairs,
-        search(sensors_[static_cast<size_t>(s)].get(), per_sensor, &one));
-    for (const PairId& pair : pairs) {
-      hits.push_back(TransectHit{s, pair});
-    }
-    total.scan.Add(one.scan);
-    total.queries_issued += one.queries_issued;
-    total.seconds += one.seconds;
-    // max_result_bytes governs each sensor's search independently; the
-    // aggregate just reports that some sensor was cut.
-    total.truncated = total.truncated || one.truncated;
-    total.result_bytes_peak =
-        std::max(total.result_bytes_peak, one.result_bytes_peak);
-    total.admission_wait_ms += one.admission_wait_ms;
+  for (ShardPartial& partial : partials) {
+    hits.insert(hits.end(), partial.hits.begin(), partial.hits.end());
+    FoldStats(partial.stats, &total);
   }
   total.pairs_returned = hits.size();
   if (stats != nullptr) {
@@ -146,37 +287,115 @@ Result<std::vector<TransectHit>> TransectIndex::SearchJumps(
       stats);
 }
 
-Result<SegDiffIndex*> TransectIndex::sensor(int index) const {
+Result<StoreLru::Handle> TransectIndex::sensor(int index) {
   if (index < 0 || index >= sensor_count()) {
     return Status::InvalidArgument("sensor index out of range");
   }
-  return sensors_[static_cast<size_t>(index)].get();
+  return stores_->Acquire(index);
 }
 
 Status TransectIndex::Checkpoint() {
-  for (auto& store : sensors_) {
-    SEGDIFF_RETURN_IF_ERROR(store->Checkpoint());
+  // Only resident stores can have unpersisted state: eviction
+  // checkpoints a store before closing it, and untouched stores were
+  // never opened.
+  const std::vector<int> open = stores_->OpenSensors();
+  auto checkpoint_one = [&](size_t i) -> Status {
+    SEGDIFF_ASSIGN_OR_RETURN(StoreLru::Handle store,
+                             stores_->Acquire(open[i]));
+    return store->Checkpoint();
+  };
+  const size_t threads = MaintenanceThreads(open.size());
+  if (threads < 2) {
+    for (size_t i = 0; i < open.size(); ++i) {
+      SEGDIFF_RETURN_IF_ERROR(checkpoint_one(i));
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  ThreadPool* pool = EnsurePool(threads);
+  Status status = pool->ParallelFor(open.size(), checkpoint_one);
+  ReleasePool();
+  return status;
 }
 
 Status TransectIndex::DropCaches() {
-  for (auto& store : sensors_) {
+  const std::vector<int> open = stores_->OpenSensors();
+  for (int s : open) {
+    SEGDIFF_ASSIGN_OR_RETURN(StoreLru::Handle store, stores_->Acquire(s));
     SEGDIFF_RETURN_IF_ERROR(store->DropCaches());
   }
   return Status::OK();
 }
 
-TransectSizes TransectIndex::GetSizes() const {
+Result<TransectSizes> TransectIndex::GetSizes() {
+  // Per-shard partial sums merged in shard order: integer sums, so the
+  // parallel sweep equals the serial one exactly.
+  const size_t shard_count = catalog_.shard_count();
+  const size_t threads = MaintenanceThreads(shard_count);
+  ThreadPool* pool = threads >= 2 ? EnsurePool(threads) : nullptr;
+  std::vector<TransectSizes> partials;
+  Status status = ParallelMap(
+      pool, shard_count, nullptr, &partials,
+      [&](size_t shard, TransectSizes* out) -> Status {
+        const ShardInfo& info = catalog_.shard(shard);
+        const int last = info.first_sensor + info.sensor_count;
+        for (int s = info.first_sensor; s < last; ++s) {
+          SEGDIFF_ASSIGN_OR_RETURN(StoreLru::Handle store,
+                                   stores_->Acquire(s));
+          const SegDiffSizes one = store->GetSizes();
+          out->feature_bytes += one.feature_bytes;
+          out->feature_rows += one.feature_rows;
+          out->index_bytes += one.index_bytes;
+          out->file_bytes += one.file_bytes;
+        }
+        return Status::OK();
+      });
+  if (pool != nullptr) {
+    ReleasePool();
+  }
+  if (!status.ok()) {
+    return status;
+  }
   TransectSizes sizes;
-  for (const auto& store : sensors_) {
-    const SegDiffSizes one = store->GetSizes();
+  for (const TransectSizes& one : partials) {
     sizes.feature_bytes += one.feature_bytes;
     sizes.feature_rows += one.feature_rows;
     sizes.index_bytes += one.index_bytes;
     sizes.file_bytes += one.file_bytes;
   }
   return sizes;
+}
+
+ThreadPool* TransectIndex::EnsurePool(size_t num_threads) {
+  const size_t workers = num_threads - 1;
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  // Resizing destroys the pool (joining its workers), so it is only safe
+  // when no other fan-out holds it; concurrent users with a different
+  // width simply share the existing pool — ParallelFor spreads over
+  // whatever workers exist plus the calling thread, so only the
+  // parallelism degree differs, never the results.
+  if (pool_ == nullptr || (pool_->size() != workers && pool_users_ == 0)) {
+    pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  ++pool_users_;
+  return pool_.get();
+}
+
+void TransectIndex::ReleasePool() {
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  --pool_users_;
+}
+
+size_t TransectIndex::MaintenanceThreads(size_t items) const {
+  size_t threads = std::thread::hardware_concurrency();
+  if (threads < 2) {
+    threads = 2;  // stores sleep on IO; overlap helps even on one core
+  }
+  threads = std::min<size_t>(threads, 8);
+  threads = std::min(threads, items);
+  if (stores_->max_open() != 0) {
+    threads = std::min(threads, stores_->max_open());
+  }
+  return threads;
 }
 
 }  // namespace segdiff

@@ -2,18 +2,29 @@
 //
 // The paper's system indexes 25 sensors along a canyon transect and
 // reports that "SegDiff can return results for all sensors within 10
-// seconds" (Section 6.3). This facade manages one SegDiff store per
-// sensor under a common directory and fans searches out across them.
+// seconds" (Section 6.3). This facade scales that idea from 25 sensors
+// to 100k+: one SegDiff store per sensor, grouped into shard
+// directories by a persistent ShardCatalog, opened lazily through a
+// bounded StoreLru, and searched by parallel scatter-gather — each
+// shard scans its sensors independently and the per-shard partial
+// results merge deterministically into (sensor, pair) order, so the
+// parallel fan-out returns byte-identical hits and (wall-clock fields
+// aside) byte-identical SearchStats to the serial loop. See DESIGN.md
+// §15.
 
 #ifndef SEGDIFF_SEGDIFF_TRANSECT_INDEX_H_
 #define SEGDIFF_SEGDIFF_TRANSECT_INDEX_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "segdiff/segdiff_index.h"
+#include "segdiff/shard_catalog.h"
+#include "segdiff/store_lru.h"
 
 namespace segdiff {
 
@@ -35,13 +46,43 @@ struct TransectSizes {
   uint64_t file_bytes = 0;
 };
 
+/// Deployment-level configuration on top of the per-store options.
+struct TransectOptions {
+  /// Options applied to every per-sensor store. For large transects,
+  /// size store.buffer_pool_pages down (each open store owns its own
+  /// pool) — the 4096-page per-store default is tuned for a handful of
+  /// stores, not 100k.
+  SegDiffOptions store;
+  /// Sensors per shard directory (consistent placement). <= 0 reads
+  /// SEGDIFF_SENSORS_PER_SHARD, default 256. Fixed at catalog creation;
+  /// reopens adopt the persisted value.
+  int sensors_per_shard = 0;
+  /// Max per-sensor stores open at once; the StoreLru evicts
+  /// (checkpoint + close) the coldest unpinned store beyond this. 0
+  /// reads SEGDIFF_MAX_OPEN_STORES, default unbounded.
+  size_t max_open_stores = 0;
+};
+
 class TransectIndex {
  public:
-  /// Opens (creating as needed) `sensor_count` per-sensor stores named
-  /// sensor<k>.db under `directory` (created if missing).
+  /// Opens a transect rooted at `directory` (created if missing).
+  /// First open writes the shard catalog and creates the shard
+  /// directories; reopens load the catalog (Corruption if it fails
+  /// verification) and require `sensor_count` to match it (<= 0 adopts
+  /// the persisted count). A pre-sharding flat directory (sensor<k>.db
+  /// directly under the root) is adopted in place. Stores themselves
+  /// open lazily, on first touch.
+  static Result<std::unique_ptr<TransectIndex>> Open(
+      const std::string& directory, int sensor_count,
+      const TransectOptions& options);
+
+  /// Back-compat convenience: per-store options only, deployment knobs
+  /// from the environment / defaults.
   static Result<std::unique_ptr<TransectIndex>> Open(
       const std::string& directory, int sensor_count,
       const SegDiffOptions& options);
+
+  ~TransectIndex();
 
   /// Ingests a series for one sensor (0-based).
   Status IngestSensorSeries(int sensor, const Series& series);
@@ -50,7 +91,10 @@ class TransectIndex {
   /// (0-based); see SegDiffIndex::AppendObservation.
   Status AppendSensorObservation(int sensor, double t, double v);
 
-  /// Flushes every sensor's open trailing segment.
+  /// Flushes the open trailing segment of every sensor appended to
+  /// since its last flush (tracked across LRU evictions — an evicted
+  /// store reopens and resumes exactly where it left off). Flushes run
+  /// in parallel on the shared pool; the first error wins.
   Status FlushAllPending();
 
   /// Ingests one series per sensor (`all_series.size()` must equal
@@ -61,6 +105,17 @@ class TransectIndex {
                           size_t num_threads = 0);
 
   /// Searches every sensor; hits are ordered by (sensor, pair).
+  ///
+  /// SearchOptions::num_threads here is the scatter-gather fan-out
+  /// width: shards are searched concurrently on the shared pool (each
+  /// store's own search runs single-threaded), clamped to the shard
+  /// count and to max_open_stores so a worker never blocks on a pin it
+  /// cannot get. A relative deadline_ms converts to one absolute
+  /// deadline shared by the whole fan-out, and cancel/deadline are
+  /// checked at every sensor boundary in every shard, so a governed
+  /// search stops promptly everywhere. Hits and the deterministic
+  /// SearchStats fields are byte-identical to the serial (num_threads
+  /// <= 1) path; only seconds/admission_wait_ms vary.
   Result<std::vector<TransectHit>> SearchDrops(
       double T, double V, const SearchOptions& options = {},
       SearchStats* stats = nullptr);
@@ -69,28 +124,66 @@ class TransectIndex {
       SearchStats* stats = nullptr);
 
   /// Per-sensor access (e.g. for drill-down after a transect-wide hit).
-  Result<SegDiffIndex*> sensor(int index) const;
-  int sensor_count() const { return static_cast<int>(sensors_.size()); }
+  /// The returned handle pins the store open; hold it only as long as
+  /// needed so the LRU can recycle the slot.
+  Result<StoreLru::Handle> sensor(int index);
 
+  int sensor_count() const { return catalog_.sensor_count(); }
+  const ShardCatalog& catalog() const { return catalog_; }
+
+  /// Store-cache behaviour (resident/peak counts, opens, evictions).
+  StoreLruStats store_stats() const { return stores_->stats(); }
+
+  /// Checkpoints every currently-open store, in parallel on the shared
+  /// pool (evicted stores were checkpointed on close; untouched stores
+  /// have nothing to persist).
   Status Checkpoint();
   Status DropCaches();
-  TransectSizes GetSizes() const;
+
+  /// Aggregate sizes over all sensors. Opens every store (through the
+  /// LRU, so peak residency stays bounded) — O(sensor_count) IO.
+  Result<TransectSizes> GetSizes();
 
  private:
   TransectIndex() = default;
 
-  /// Fans one search out across every sensor. A relative deadline
-  /// (deadline_ms) is converted to a single absolute deadline up front —
-  /// the whole transect shares one budget instead of every sensor
-  /// getting a fresh one — and cancel/deadline are also checked between
-  /// sensors so a governed search stops promptly at sensor boundaries.
+  /// Scatter-gather core shared by SearchDrops/SearchJumps. Each shard
+  /// produces an independent partial (hits in (sensor, pair) order plus
+  /// folded stats); partials merge in shard index order, so the fold is
+  /// identical no matter which worker finished first.
   template <typename SearchFn>
   Result<std::vector<TransectHit>> SearchAll(const SearchOptions& options,
                                              const SearchFn& search,
                                              SearchStats* stats);
 
-  std::vector<std::unique_ptr<SegDiffIndex>> sensors_;
-  std::unique_ptr<ThreadPool> ingest_pool_;  ///< parallel-ingest workers
+  /// Lazily creates (or resizes) the shared fan-out pool; same
+  /// discipline as SegDiffIndex::EnsurePool (`num_threads - 1` workers,
+  /// the caller participates; concurrent users share whatever exists).
+  ThreadPool* EnsurePool(size_t num_threads);
+  void ReleasePool();
+
+  /// Fan-out width for maintenance sweeps (flush, checkpoint, sizes):
+  /// enough workers to overlap store IO, bounded by the cache capacity
+  /// and the number of items.
+  size_t MaintenanceThreads(size_t items) const;
+
+  std::string directory_;
+  SegDiffOptions store_options_;
+  ShardCatalog catalog_;
+  /// Declared after the fields the open-factory captures, before the
+  /// pool: destroyed first, while directory_/options_/catalog_ are
+  /// still alive.
+  std::unique_ptr<StoreLru> stores_;
+
+  std::unique_ptr<ThreadPool> pool_;  ///< shared fan-out workers
+  std::mutex pool_mu_;                ///< guards pool_ + pool_users_
+  size_t pool_users_ = 0;
+
+  /// Sensors with appends since their last flush; survives LRU
+  /// eviction of the store (close persists segmenter state, not the
+  /// FlushPending contract).
+  std::mutex dirty_mu_;
+  std::unordered_set<int> dirty_;
 };
 
 }  // namespace segdiff

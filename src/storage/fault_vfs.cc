@@ -244,6 +244,17 @@ Status FaultInjectionVfs::SyncDir(const std::string& path) {
   return Status::OK();
 }
 
+Status FaultInjectionVfs::MakeDir(const std::string& path) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
+  }
+  counters_.mkdirs.fetch_add(1, std::memory_order_relaxed);
+  if (ShouldFail(&fail_mkdirs_after_)) {
+    return Status::IOError("injected mkdir failure: " + path);
+  }
+  return base_->MakeDir(path);
+}
+
 bool FaultInjectionVfs::FileExists(const std::string& path) {
   return base_->FileExists(path);
 }
@@ -269,6 +280,10 @@ void FaultInjectionVfs::FailAfterReads(int64_t n) {
 
 void FaultInjectionVfs::FailAfterSyncs(int64_t n) {
   fail_syncs_after_.store(n, std::memory_order_relaxed);
+}
+
+void FaultInjectionVfs::FailAfterMkdirs(int64_t n) {
+  fail_mkdirs_after_.store(n, std::memory_order_relaxed);
 }
 
 bool FaultInjectionVfs::ShouldFailTransient() {
@@ -364,6 +379,7 @@ void FaultInjectionVfs::Reset() {
   fail_writes_after_.store(-1, std::memory_order_relaxed);
   fail_reads_after_.store(-1, std::memory_order_relaxed);
   fail_syncs_after_.store(-1, std::memory_order_relaxed);
+  fail_mkdirs_after_.store(-1, std::memory_order_relaxed);
   torn_armed_.store(false, std::memory_order_release);
   transient_remaining_.store(0, std::memory_order_relaxed);
   transient_per_mille_.store(0, std::memory_order_relaxed);
@@ -374,6 +390,7 @@ void FaultInjectionVfs::Reset() {
   counters_.writes.store(0, std::memory_order_relaxed);
   counters_.syncs.store(0, std::memory_order_relaxed);
   counters_.dir_syncs.store(0, std::memory_order_relaxed);
+  counters_.mkdirs.store(0, std::memory_order_relaxed);
   counters_.read_bytes.store(0, std::memory_order_relaxed);
   counters_.written_bytes.store(0, std::memory_order_relaxed);
   counters_.injected_failures.store(0, std::memory_order_relaxed);
@@ -389,6 +406,7 @@ FaultInjectionVfs::Counters FaultInjectionVfs::counters() const {
   snapshot.writes = counters_.writes.load(std::memory_order_relaxed);
   snapshot.syncs = counters_.syncs.load(std::memory_order_relaxed);
   snapshot.dir_syncs = counters_.dir_syncs.load(std::memory_order_relaxed);
+  snapshot.mkdirs = counters_.mkdirs.load(std::memory_order_relaxed);
   snapshot.read_bytes =
       counters_.read_bytes.load(std::memory_order_relaxed);
   snapshot.written_bytes =

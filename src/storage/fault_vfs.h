@@ -48,6 +48,7 @@ class FaultInjectionVfs : public Vfs {
     uint64_t writes = 0;
     uint64_t syncs = 0;
     uint64_t dir_syncs = 0;
+    uint64_t mkdirs = 0;
     uint64_t read_bytes = 0;
     uint64_t written_bytes = 0;
     uint64_t injected_failures = 0;
@@ -64,6 +65,7 @@ class FaultInjectionVfs : public Vfs {
   Result<std::unique_ptr<RandomAccessFile>> OpenFile(const std::string& path,
                                                      bool create) override;
   Status SyncDir(const std::string& path) override;
+  Status MakeDir(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status RemoveFile(const std::string& path) override;
 
@@ -72,6 +74,7 @@ class FaultInjectionVfs : public Vfs {
   void FailAfterWrites(int64_t n);
   void FailAfterReads(int64_t n);
   void FailAfterSyncs(int64_t n);
+  void FailAfterMkdirs(int64_t n);
 
   /// The next write covering absolute file offset `offset` (in any
   /// file) persists only its first `keep_bytes` bytes, then reports
@@ -140,6 +143,7 @@ class FaultInjectionVfs : public Vfs {
   std::atomic<int64_t> fail_writes_after_{-1};
   std::atomic<int64_t> fail_reads_after_{-1};
   std::atomic<int64_t> fail_syncs_after_{-1};
+  std::atomic<int64_t> fail_mkdirs_after_{-1};
   std::atomic<bool> torn_armed_{false};
   uint64_t torn_offset_ = 0;      ///< guarded by mu_
   size_t torn_keep_bytes_ = 0;    ///< guarded by mu_
@@ -156,6 +160,7 @@ class FaultInjectionVfs : public Vfs {
     std::atomic<uint64_t> writes{0};
     std::atomic<uint64_t> syncs{0};
     std::atomic<uint64_t> dir_syncs{0};
+    std::atomic<uint64_t> mkdirs{0};
     std::atomic<uint64_t> read_bytes{0};
     std::atomic<uint64_t> written_bytes{0};
     std::atomic<uint64_t> injected_failures{0};

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include <unistd.h>
@@ -636,10 +637,8 @@ TEST_F(SegDiffGovernanceTest, TransectSharesOneDeadlineAcrossSensors) {
   const std::string dir = UniqueTestPath("segdiff_transect_governance");
   // A transect store is a directory; scrub any leftovers from a previous
   // (possibly crashed) run so ingest starts from an empty store.
-  for (int s = 0; s < 3; ++s) {
-    std::remove((dir + "/sensor" + std::to_string(s) + ".db").c_str());
-  }
-  ::rmdir(dir.c_str());
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
   SegDiffOptions options;
   options.window_s = 4 * 3600.0;
   auto transect = TransectIndex::Open(dir, 3, options);

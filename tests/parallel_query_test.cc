@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -201,12 +202,9 @@ TEST(TransectConcurrentIngestTest, MatchesSerialIngest) {
 
   serial->reset();
   parallel->reset();
-  for (int s = 0; s < kSensors; ++s) {
-    std::remove(
-        (serial_dir + "/sensor" + std::to_string(s) + ".db").c_str());
-    std::remove(
-        (parallel_dir + "/sensor" + std::to_string(s) + ".db").c_str());
-  }
+  std::error_code ec;
+  std::filesystem::remove_all(serial_dir, ec);
+  std::filesystem::remove_all(parallel_dir, ec);
 }
 
 TEST(ParallelSeqScanTest, MatchesSerialSeqScan) {

@@ -2,6 +2,7 @@
 // and simulated-latency behaviour of the storage layer.
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -25,10 +26,8 @@ class TransectTest : public ::testing::Test {
   }
   void TearDown() override { Cleanup(); }
   void Cleanup() {
-    for (int s = 0; s < 8; ++s) {
-      std::remove((dir_ + "/sensor" + std::to_string(s) + ".db").c_str());
-    }
-    ::rmdir(dir_.c_str());
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // catalog + shard dirs + stores
   }
   std::string dir_;
 };
@@ -80,9 +79,10 @@ TEST_F(TransectTest, BuildsAndSearchesAllSensors) {
   }
   EXPECT_EQ(from_transect, direct->size());
 
-  const TransectSizes sizes = (*transect)->GetSizes();
-  EXPECT_GT(sizes.feature_rows, 0u);
-  EXPECT_GT(sizes.feature_bytes, 0u);
+  auto sizes = (*transect)->GetSizes();
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_GT(sizes->feature_rows, 0u);
+  EXPECT_GT(sizes->feature_bytes, 0u);
   ASSERT_TRUE((*transect)->Checkpoint().ok());
   ASSERT_TRUE((*transect)->DropCaches().ok());
   auto again = (*transect)->SearchDrops(3600.0, -3.0);

@@ -48,6 +48,26 @@
 //                         segments are skipped and counted, every
 //                         surviving row is copied. The damaged source
 //                         is never written to)
+//   segdiff_cli transect build  --dir transect/ --sensors N [--days 7]
+//                        [--seed 20080325] [--eps 0.2] [--window-hours 8]
+//                        [--shard-sensors K] [--max-open M] [--threads T]
+//                        (generates one CAD series per sensor and ingests
+//                         them concurrently into a sharded transect:
+//                         sensor-id ranges of K sensors per shard
+//                         directory (default 256 or
+//                         SEGDIFF_SENSORS_PER_SHARD), at most M stores
+//                         open at once (default unbounded or
+//                         SEGDIFF_MAX_OPEN_STORES))
+//   segdiff_cli transect search --dir transect/ [--t-hours 1] [--v -3]
+//                        [--jump] [--threads N] [--timeout-ms N]
+//                        [--max-open M] [--limit 20] [--stats]
+//                        (scatter-gather across all sensors: --threads is
+//                         the fan-out width over shards; one shared
+//                         deadline governs the whole sweep; --stats adds
+//                         executor counters and store-cache behaviour)
+//   segdiff_cli transect stats  --dir transect/ [--max-open M]
+//                        (shard catalog layout, aggregate sizes, and the
+//                         open-store cache's counters)
 //   segdiff_cli verify   --db store.db [--scrub]
 //                        (logical check: every table's scanned row count
 //                         matches its heap metadata; --scrub additionally
@@ -68,6 +88,7 @@
 
 #include "query/scan_kernel.h"
 #include "segdiff/segdiff_index.h"
+#include "segdiff/transect_index.h"
 #include "segment/sliding_window.h"
 #include "sql/engine.h"
 #include "storage/db.h"
@@ -83,7 +104,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: segdiff_cli "
                "<generate|build|append|search|stats|sql|segment|compact|"
-               "repair|verify> "
+               "repair|verify|transect> "
                "[--flag value ...]\n"
                "run with a command and no flags to see its options in the "
                "header of tools/segdiff_cli.cc\n");
@@ -608,6 +629,192 @@ int CmdRepair(const Flags& flags) {
   return 0;
 }
 
+/// Deployment-level knobs shared by the transect subcommands.
+TransectOptions TransectFlags(const Flags& flags) {
+  TransectOptions options;
+  options.store.eps = flags.GetDouble("--eps", 0.2);
+  options.store.window_s = flags.GetDouble("--window-hours", 8.0) * 3600.0;
+  options.store.build_indexes = !flags.Has("--no-index");
+  options.store.wal = !flags.Has("--no-wal");
+  // Every open store owns its own buffer pool; transects keep them
+  // small so a wide-open cache stays in memory budget.
+  options.store.buffer_pool_pages = 128;
+  options.sensors_per_shard = flags.GetInt("--shard-sensors", 0);
+  options.max_open_stores =
+      static_cast<size_t>(flags.GetInt("--max-open", 0));
+  return options;
+}
+
+void PrintCacheStats(const TransectIndex& transect) {
+  const StoreLruStats cache = transect.store_stats();
+  std::printf("  store cache: %zu open (peak %zu), %llu opens, "
+              "%llu evictions, %llu hits\n",
+              cache.open, cache.peak_open,
+              static_cast<unsigned long long>(cache.opens),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.hits));
+}
+
+int CmdTransectBuild(const Flags& flags) {
+  const std::string dir = flags.Get("--dir", "");
+  const int sensors = flags.GetInt("--sensors", 0);
+  if (dir.empty() || sensors <= 0) {
+    std::fprintf(stderr,
+                 "transect build: --dir and --sensors are required\n");
+    return 2;
+  }
+  auto transect = TransectIndex::Open(dir, sensors, TransectFlags(flags));
+  if (!transect.ok()) return Fail(transect.status());
+
+  CadGeneratorOptions gen;
+  gen.num_days = flags.GetInt("--days", 7);
+  gen.seed = static_cast<uint64_t>(flags.GetInt("--seed", 20080325));
+  auto data = GenerateCadTransect(gen, sensors);
+  if (!data.ok()) return Fail(data.status());
+  std::vector<Series> all_series;
+  uint64_t observations = 0;
+  for (auto& sensor : *data) {
+    observations += sensor.series.size();
+    all_series.push_back(std::move(sensor.series));
+  }
+  const size_t threads =
+      static_cast<size_t>(flags.GetInt("--threads", 4));
+  if (Status status = (*transect)->IngestAllSensors(all_series, threads);
+      !status.ok()) {
+    return Fail(status);
+  }
+  if (Status status = (*transect)->Checkpoint(); !status.ok()) {
+    return Fail(status);
+  }
+  auto sizes = (*transect)->GetSizes();
+  if (!sizes.ok()) return Fail(sizes.status());
+  std::printf("built transect %s: %d sensors in %zu shards, %llu "
+              "observations, %llu feature rows, %.1f MiB on disk\n",
+              dir.c_str(), sensors, (*transect)->catalog().shard_count(),
+              static_cast<unsigned long long>(observations),
+              static_cast<unsigned long long>(sizes->feature_rows),
+              sizes->file_bytes / (1024.0 * 1024.0));
+  PrintCacheStats(**transect);
+  return 0;
+}
+
+int CmdTransectSearch(const Flags& flags) {
+  const std::string dir = flags.Get("--dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "transect search: --dir is required\n");
+    return 2;
+  }
+  TransectOptions options = TransectFlags(flags);
+  options.store.create_if_missing = false;
+  // 0 sensors: adopt the catalog's persisted count.
+  auto transect = TransectIndex::Open(dir, flags.GetInt("--sensors", 0),
+                                      options);
+  if (!transect.ok()) return Fail(transect.status());
+
+  const double T = flags.GetDouble("--t-hours", 1.0) * 3600.0;
+  const bool jump = flags.Has("--jump");
+  const double V = flags.GetDouble("--v", jump ? 3.0 : -3.0);
+  SearchOptions search;
+  search.deadline_ms = flags.GetUint64("--timeout-ms", 0);
+  search.num_threads = static_cast<size_t>(flags.GetInt("--threads", 4));
+  SearchStats stats;
+  auto hits = jump ? (*transect)->SearchJumps(T, V, search, &stats)
+                   : (*transect)->SearchDrops(T, V, search, &stats);
+  if (!hits.ok()) return Fail(hits.status());
+
+  int sensors_hit = 0;
+  int last_sensor = -1;
+  for (const TransectHit& hit : *hits) {
+    if (hit.sensor != last_sensor) {
+      ++sensors_hit;
+      last_sensor = hit.sensor;
+    }
+  }
+  std::printf("%zu periods on %d of %d sensors with a %s of %s%.2f within "
+              "%.2f h (%.2f ms wall, fan-out %zu)%s\n",
+              hits->size(), sensors_hit, (*transect)->sensor_count(),
+              jump ? "jump" : "drop", jump ? ">= " : "<= ", V, T / 3600.0,
+              stats.seconds * 1e3, search.num_threads,
+              stats.truncated ? " TRUNCATED" : "");
+  if (stats.partial) {
+    std::printf("  WARNING: partial result — %llu quarantined page%s "
+                "skipped (>= %llu rows unreadable); run `verify --scrub` "
+                "and `repair` on the affected stores\n",
+                static_cast<unsigned long long>(stats.scan.pages_quarantined),
+                stats.scan.pages_quarantined == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.scan.rows_quarantined));
+  }
+  if (flags.Has("--stats")) {
+    std::printf("  pages: %llu scanned, %llu pruned; rows: %llu scanned, "
+                "%llu matched; %llu range queries\n",
+                static_cast<unsigned long long>(stats.scan.pages_scanned),
+                static_cast<unsigned long long>(stats.scan.pages_pruned),
+                static_cast<unsigned long long>(stats.scan.rows_scanned),
+                static_cast<unsigned long long>(stats.scan.rows_matched),
+                static_cast<unsigned long long>(stats.queries_issued));
+    PrintCacheStats(**transect);
+  }
+  const int limit = flags.GetInt("--limit", 20);
+  int shown = 0;
+  for (const TransectHit& hit : *hits) {
+    if (++shown > limit) {
+      std::printf("  ... (%zu more; raise --limit)\n",
+                  hits->size() - static_cast<size_t>(limit));
+      break;
+    }
+    std::printf("  sensor %-5d starts in [%.0f, %.0f]  ends in [%.0f, "
+                "%.0f]\n",
+                hit.sensor, hit.pair.t_d, hit.pair.t_c, hit.pair.t_b,
+                hit.pair.t_a);
+  }
+  return 0;
+}
+
+int CmdTransectStats(const Flags& flags) {
+  const std::string dir = flags.Get("--dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "transect stats: --dir is required\n");
+    return 2;
+  }
+  TransectOptions options = TransectFlags(flags);
+  options.store.create_if_missing = false;
+  auto transect = TransectIndex::Open(dir, 0, options);
+  if (!transect.ok()) return Fail(transect.status());
+  const ShardCatalog& catalog = (*transect)->catalog();
+  std::printf("transect: %s\n", dir.c_str());
+  std::printf("  sensors:       %d in %zu shards (%d per shard)\n",
+              catalog.sensor_count(), catalog.shard_count(),
+              catalog.sensors_per_shard());
+  auto sizes = (*transect)->GetSizes();
+  if (!sizes.ok()) return Fail(sizes.status());
+  std::printf("  feature rows:  %llu\n",
+              static_cast<unsigned long long>(sizes->feature_rows));
+  std::printf("  feature bytes: %llu\n",
+              static_cast<unsigned long long>(sizes->feature_bytes));
+  std::printf("  index bytes:   %llu\n",
+              static_cast<unsigned long long>(sizes->index_bytes));
+  std::printf("  file bytes:    %llu\n",
+              static_cast<unsigned long long>(sizes->file_bytes));
+  PrintCacheStats(**transect);
+  return 0;
+}
+
+int CmdTransect(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: segdiff_cli transect <build|search|stats> "
+                 "--dir DIR [--flag value ...]\n");
+    return 2;
+  }
+  const std::string action = argv[2];
+  const Flags flags(argc, argv, 3);
+  if (action == "build") return CmdTransectBuild(flags);
+  if (action == "search") return CmdTransectSearch(flags);
+  if (action == "stats") return CmdTransectStats(flags);
+  std::fprintf(stderr, "transect: unknown action '%s'\n", action.c_str());
+  return 2;
+}
+
 /// Verify's exit contract: 2 = the store is damaged (corruption), 3 =
 /// transient I/O kept the check from finishing (retry, don't repair),
 /// 1 = any other failure.
@@ -749,6 +956,7 @@ int Run(int argc, char** argv) {
   if (command == "compact") return CmdCompact(flags);
   if (command == "repair") return CmdRepair(flags);
   if (command == "verify") return CmdVerify(flags);
+  if (command == "transect") return CmdTransect(argc, argv);
   return Usage();
 }
 
