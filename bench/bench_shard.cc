@@ -99,6 +99,15 @@ class NoSyncVfs : public Vfs {
   Status RemoveFile(const std::string& path) override {
     return base_->RemoveFile(path);
   }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+  Status RemoveDir(const std::string& path) override {
+    return base_->RemoveDir(path);
+  }
 
  private:
   Vfs* base_;
@@ -171,7 +180,7 @@ JsonValue RunSpeedupPhase(bool quick) {
     SEGDIFF_CHECK_OK((*transect)->DropCaches());
     SearchOptions options;
     options.num_threads = threads;
-    SearchStats stats;
+    TransectSearchStats stats;
     Stopwatch watch;
     auto hits = (*transect)->SearchDrops(T, V, options, &stats);
     SEGDIFF_CHECK(hits.ok()) << hits.status().ToString();
@@ -256,7 +265,7 @@ JsonValue RunScalePhase(bool quick) {
 
   SearchOptions search;
   search.num_threads = 8;
-  SearchStats stats;
+  TransectSearchStats stats;
   Stopwatch search_watch;
   auto hits = (*transect)->SearchDrops(3600.0, -3.0, search, &stats);
   SEGDIFF_CHECK(hits.ok()) << hits.status().ToString();

@@ -10,9 +10,11 @@
 #   3. a WAL recovery smoke: kill -9 a CLI ingest mid-append, then prove
 #      the store reopens with everything it had acknowledged before the
 #      crash and passes a full checksum + log scrub; plus a fixed-seed
-#      chaos smoke (25 fault cycles, SEGDIFF_FAULT_SEED=20080325) and an
+#      chaos smoke (25 fault cycles, SEGDIFF_FAULT_SEED=20080325), an
 #      ENOSPC smoke (full disk => read-only degraded mode, searches
-#      still served)
+#      still served), and a fixed-seed transect chaos smoke (crash
+#      mid-rebalance, bitrot isolation + repair, eviction-error
+#      surfacing)
 #   4. an AddressSanitizer build running the streaming-ingest and storage
 #      suites (the subsystems that serialize/restore raw state blobs)
 #      plus the `faults` and `governance` ctest groups (crash-recovery,
@@ -68,6 +70,15 @@ echo "== tier-1: chaos smoke (fixed-seed fault cycles + ENOSPC) =="
    --gtest_filter='ChaosTest.SeededFaultCycleSweep' && \
  ./tests/chaos_test \
    --gtest_filter='ChaosTest.DiskFullFlipsDegradedReadOnlyMode')
+
+echo "== tier-1: transect chaos smoke (crash-mid-rebalance + bitrot) =="
+# A reduced fixed-seed slice of the transect-level sweeps (the full run
+# rides in ctest above): every crashed rebalance must recover to exactly
+# one authoritative layout with all acknowledged data searchable, and
+# bit-flipped sensor stores must be isolated, reported, and repaired.
+(cd build && \
+ SEGDIFF_FAULT_SEED=20080325 SEGDIFF_CHAOS_CYCLES=10 \
+   ./tests/transect_chaos_test)
 
 echo "== tier-1: compression smoke (compact to columnar, ratio + scrub) =="
 CMP_WORK="build/compression_smoke"
@@ -171,7 +182,7 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   cmake -B build-asan -S . -DSEGDIFF_SANITIZE=address >/dev/null
   cmake --build build-asan -j "${JOBS}" --target \
     streaming_ingest_test storage_test segdiff_index_test \
-    fault_injection_test chaos_test governance_test
+    fault_injection_test chaos_test transect_chaos_test governance_test
   echo "== asan: run =="
   (cd build-asan && ctest --output-on-failure -j "${JOBS}" \
     -R 'StreamingIngestTest|ExhStreamingTest|StorageTest|SegDiffIndexTest')
@@ -183,7 +194,8 @@ if [[ "${RUN_ASAN}" == "1" ]]; then
   cmake -B build-tsan -S . -DSEGDIFF_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target \
     thread_pool_test buffer_pool_concurrency_test parallel_query_test \
-    transect_shard_test fault_injection_test chaos_test governance_test
+    transect_shard_test fault_injection_test chaos_test \
+    transect_chaos_test governance_test
   echo "== tsan: run =="
   # -L takes a regex: one pass over the threading suites plus the
   # fault-injection and governance groups (snapshot reads racing

@@ -1,5 +1,6 @@
 #include "common/vfs.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/syscall.h>
@@ -194,6 +195,54 @@ class PosixVfs : public Vfs {
         return Status::NotFound("no such file: " + path);
       }
       return Errno("unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("rename source missing: " + from);
+      }
+      return Errno("rename", from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such directory: " + path);
+      }
+      return Errno("opendir", path);
+    }
+    std::vector<std::string> names;
+    for (;;) {
+      errno = 0;
+      struct dirent* entry = ::readdir(dir);
+      if (entry == nullptr) {
+        const int saved = errno;
+        ::closedir(dir);
+        if (saved != 0) {
+          errno = saved;
+          return Errno("readdir", path);
+        }
+        return names;
+      }
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        names.push_back(name);
+      }
+    }
+  }
+
+  Status RemoveDir(const std::string& path) override {
+    if (::rmdir(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such directory: " + path);
+      }
+      return Errno("rmdir", path);
     }
     return Status::OK();
   }

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 
@@ -76,6 +77,23 @@ class Vfs {
 
   /// Deletes `path`; NotFound if it does not exist.
   virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics: `to`
+  /// is overwritten if it exists, and observers see either the old or
+  /// the new file, never a mix). The write-then-rename idiom behind
+  /// every manifest swap: durability of the rename itself still needs a
+  /// SyncDir on the parent.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Names (not paths) of the entries in directory `path`, excluding
+  /// "." and "..", in unspecified order. NotFound when the directory
+  /// does not exist.
+  virtual Result<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+
+  /// Removes the (empty) directory `path`; NotFound if it does not
+  /// exist. Used by orphan-layout garbage collection after a rebalance.
+  virtual Status RemoveDir(const std::string& path) = 0;
 
   /// The process-wide POSIX-backed instance.
   static Vfs* Default();

@@ -41,6 +41,19 @@ StoreLru::~StoreLru() {
 
 Result<StoreLru::Handle> StoreLru::Acquire(int sensor) {
   std::unique_lock<std::mutex> lock(mu_);
+  {
+    // Deliver the sensor's sticky eviction error before anything else:
+    // its last checkpoint-and-close failed, so the caller must learn
+    // that durability is behind before touching the store again. The
+    // record clears on delivery — the retry Acquire proceeds normally
+    // (reopen replays the WAL, so no acknowledged data is missing).
+    auto sticky = eviction_errors_.find(sensor);
+    if (sticky != eviction_errors_.end()) {
+      Status status = std::move(sticky->second);
+      eviction_errors_.erase(sticky);
+      return status;
+    }
+  }
   for (;;) {
     auto it = entries_.find(sensor);
     if (it != entries_.end()) {
@@ -84,7 +97,16 @@ Result<StoreLru::Handle> StoreLru::Acquire(int sensor) {
       ++evictions_;
       settled_.notify_all();
       if (!checkpoint_status.ok()) {
-        return checkpoint_status;
+        // Not this caller's error: the victim is an unrelated sensor.
+        // Record it sticky so the next Acquire of the *victim* (or a
+        // TakeEvictionErrors sweep) surfaces it, and keep going — the
+        // WAL still holds the victim's acknowledged data, so the only
+        // thing lost is the checkpoint, which the reopen redoes.
+        ++eviction_failures_;
+        eviction_errors_[victim] = checkpoint_status.WithMessage(
+            "eviction checkpoint failed for sensor " +
+            std::to_string(victim) + ": " +
+            std::string(checkpoint_status.message()));
       }
       continue;  // a racer may take the freed slot; the loop re-checks
     }
@@ -121,6 +143,63 @@ Result<StoreLru::Handle> StoreLru::Acquire(int sensor) {
   return Handle(this, sensor, settled.store.get());
 }
 
+Status StoreLru::Evict(int sensor) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = entries_.find(sensor);
+    if (it == entries_.end()) {
+      // Not resident: deliver a pending sticky error (the caller asked
+      // about exactly this sensor) or succeed trivially.
+      auto sticky = eviction_errors_.find(sensor);
+      if (sticky != eviction_errors_.end()) {
+        Status status = std::move(sticky->second);
+        eviction_errors_.erase(sticky);
+        return status;
+      }
+      return Status::OK();
+    }
+    Entry& entry = it->second;
+    if (entry.busy || entry.pins > 0) {
+      // Mid-open, mid-evict, or pinned elsewhere: wait. The caller must
+      // not hold its own Handle on this sensor, or this never settles.
+      settled_.wait(lock);
+      continue;
+    }
+    if (entry.in_lru) {
+      lru_.erase(entry.lru_pos);
+      entry.in_lru = false;
+    }
+    entry.busy = true;
+    std::unique_ptr<SegDiffIndex> store = std::move(entry.store);
+    lock.unlock();
+    Status checkpoint_status = store->Checkpoint();
+    store.reset();
+    lock.lock();
+    entries_.erase(sensor);
+    --open_count_;
+    ++evictions_;
+    if (!checkpoint_status.ok()) {
+      ++eviction_failures_;
+    }
+    settled_.notify_all();
+    // Direct caller gets the error directly — no sticky detour.
+    return checkpoint_status;
+  }
+}
+
+std::vector<std::pair<int, Status>> StoreLru::TakeEvictionErrors() {
+  std::vector<std::pair<int, Status>> errors;
+  std::lock_guard<std::mutex> lock(mu_);
+  errors.reserve(eviction_errors_.size());
+  for (auto& [sensor, status] : eviction_errors_) {
+    errors.emplace_back(sensor, std::move(status));
+  }
+  eviction_errors_.clear();
+  std::sort(errors.begin(), errors.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return errors;
+}
+
 void StoreLru::Release(int sensor) {
   std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = entries_.at(sensor);
@@ -155,6 +234,7 @@ StoreLruStats StoreLru::stats() const {
   stats.opens = opens_;
   stats.evictions = evictions_;
   stats.hits = hits_;
+  stats.eviction_failures = eviction_failures_;
   return stats;
 }
 

@@ -32,6 +32,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -48,6 +49,10 @@ struct StoreLruStats {
   uint64_t opens = 0;     ///< factory invocations (cold misses)
   uint64_t evictions = 0; ///< checkpoint-and-close cycles
   uint64_t hits = 0;      ///< Acquires served by a resident store
+  /// Eviction-time Checkpoint failures (e.g. ENOSPC). Each is also
+  /// recorded as a sticky per-sensor error surfaced by the next
+  /// Acquire of that sensor or by TakeEvictionErrors().
+  uint64_t eviction_failures = 0;
 };
 
 class StoreLru {
@@ -99,10 +104,30 @@ class StoreLru {
 
   /// Pins sensor's store, opening it (and evicting the coldest unpinned
   /// store when full) as needed. Blocks while the cache is full of
-  /// pinned stores. Fails with the factory's error, or with an eviction
-  /// checkpoint error — losing a cold store's durability silently is
-  /// worse than failing the acquire loudly.
+  /// pinned stores. Fails with the factory's error, or with the
+  /// sensor's own sticky eviction error (below) — losing a store's
+  /// durability silently is worse than failing the acquire loudly.
+  ///
+  /// An eviction-time Checkpoint failure does NOT fail the Acquire that
+  /// triggered the eviction (the victim is an unrelated sensor); it is
+  /// recorded against the *victim* and returned — once — by the next
+  /// Acquire of that victim, whose caller is the one that can retry the
+  /// flush. TakeEvictionErrors() drains the same records in bulk for
+  /// maintenance sweeps.
   Result<Handle> Acquire(int sensor);
+
+  /// Closes `sensor`'s store (checkpointing it first) and returns the
+  /// checkpoint status, waiting for outstanding pins to drop. A store
+  /// that is not resident is OK. Used by repair — the store file is
+  /// about to be replaced — and by rebalance teardown. The caller must
+  /// not hold a Handle on `sensor` (self-deadlock).
+  Status Evict(int sensor);
+
+  /// Drains the sticky eviction-failure records: every (sensor, status)
+  /// whose eviction-time Checkpoint failed and has not yet been
+  /// surfaced through Acquire. The records are cleared — each failure
+  /// is reported exactly once.
+  std::vector<std::pair<int, Status>> TakeEvictionErrors();
 
   /// Sensors with a resident store right now (sorted ascending, so
   /// maintenance sweeps visit stores in deterministic order).
@@ -138,6 +163,9 @@ class StoreLru {
   uint64_t opens_ = 0;
   uint64_t evictions_ = 0;
   uint64_t hits_ = 0;
+  uint64_t eviction_failures_ = 0;
+  /// Sticky per-sensor eviction-checkpoint errors, pending delivery.
+  std::unordered_map<int, Status> eviction_errors_;
 };
 
 }  // namespace segdiff

@@ -11,12 +11,21 @@
 // parallel fan-out returns byte-identical hits and (wall-clock fields
 // aside) byte-identical SearchStats to the serial loop. See DESIGN.md
 // §15.
+//
+// The transect is also self-healing (DESIGN.md §16): searches with a
+// TransectSearchStats out-param isolate per-sensor failures instead of
+// aborting the fan-out, Rebalance() migrates the deployment onto a new
+// sensors_per_shard crash-safely behind a MIGRATION intent manifest,
+// and Verify()/RepairAll() sweep every sensor for an aggregate health
+// report and in-place salvage.
 
 #ifndef SEGDIFF_SEGDIFF_TRANSECT_INDEX_H_
 #define SEGDIFF_SEGDIFF_TRANSECT_INDEX_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -44,6 +53,90 @@ struct TransectSizes {
   uint64_t feature_rows = 0;
   uint64_t index_bytes = 0;
   uint64_t file_bytes = 0;
+};
+
+/// One sensor's failure inside a fault-isolated fan-out or sweep.
+struct TransectSensorFailure {
+  int sensor = 0;
+  Status status;
+};
+
+/// Transect-level search stats: the folded per-store SearchStats plus
+/// the fault-isolation ledger. Passing one of these to
+/// SearchDrops/SearchJumps *opts into* per-sensor fault isolation: a
+/// sensor whose store cannot open or whose search fails with an IO or
+/// corruption error is skipped, counted here, and the result is flagged
+/// `partial` — the other 99.99% of the transect still answers
+/// (mirroring the per-store quarantine semantics). Without a stats
+/// out-param there is nowhere to surface the hole, so the search keeps
+/// the strict contract and fails loudly on the first damaged sensor.
+/// Governance errors (deadline, cancellation, budget) are never
+/// isolated — they abort the whole fan-out either way.
+struct TransectSearchStats : SearchStats {
+  /// Cap on `failures` records; the counters keep exact totals.
+  static constexpr size_t kMaxFailureRecords = 16;
+
+  uint64_t sensors_searched = 0;  ///< stores that answered
+  uint64_t sensors_failed = 0;    ///< opened, but the search errored
+  uint64_t sensors_skipped = 0;   ///< store could not open at all
+  /// Stores that answered while in degraded (read-only) mode; their
+  /// results are included — degraded stores still serve reads.
+  uint64_t sensors_degraded = 0;
+  /// First kMaxFailureRecords failures in sensor order (skips and
+  /// search errors alike), for diagnostics without unbounded memory.
+  std::vector<TransectSensorFailure> failures;
+};
+
+/// Knobs for the Verify/RepairAll sweeps.
+struct TransectVerifyOptions {
+  /// Walk every page checksum (and count quarantined/corrupt pages).
+  /// Off: only open each store and collect its health flags.
+  bool scrub = true;
+  /// Soft ceiling on sweep read throughput, so a background scrub does
+  /// not starve serving searches. 0 reads SEGDIFF_SCRUB_RATE_BYTES_PER_SEC
+  /// from the environment; 0 there too means unlimited.
+  uint64_t rate_limit_bytes_per_sec = 0;
+};
+
+/// One unhealthy sensor found by a sweep.
+struct TransectSensorIssue {
+  int sensor = 0;
+  bool corrupt = false;    ///< damage (checksum/corruption class)
+  bool transient = false;  ///< IO kept the check from finishing
+  std::string message;
+};
+
+/// Aggregate health of a whole transect (Verify).
+struct TransectHealthReport {
+  /// Cap on `issues` records; the counters keep exact totals.
+  static constexpr size_t kMaxIssueRecords = 32;
+
+  int sensors_total = 0;
+  int sensors_scanned = 0;      ///< opened and checked end to end
+  int sensors_corrupt = 0;      ///< damaged (open failure or bad pages)
+  int sensors_degraded = 0;     ///< serving read-only after a write error
+  int sensors_unavailable = 0;  ///< transient IO; retry the sweep
+  uint64_t pages_checked = 0;
+  uint64_t pages_corrupt = 0;
+  uint64_t pages_unverifiable = 0;  ///< legacy v1 pages, no checksums
+  uint64_t quarantined_pages = 0;   ///< poisoned by earlier reads
+  uint64_t bytes_scanned = 0;
+  std::vector<TransectSensorIssue> issues;
+
+  /// Healthy enough to trust search results end to end.
+  bool clean() const {
+    return sensors_corrupt == 0 && sensors_unavailable == 0;
+  }
+};
+
+/// Aggregate result of a RepairAll sweep.
+struct TransectRepairReport {
+  int sensors_checked = 0;
+  int sensors_repaired = 0;  ///< salvaged and swapped in place
+  int sensors_failed = 0;    ///< repair itself failed; store left as-is
+  uint64_t bytes_scanned = 0;
+  RepairReport totals;       ///< summed over all repaired sensors
+  std::vector<TransectSensorIssue> issues;  ///< capped like Verify's
 };
 
 /// Deployment-level configuration on top of the per-store options.
@@ -114,14 +207,42 @@ class TransectIndex {
   /// deadline shared by the whole fan-out, and cancel/deadline are
   /// checked at every sensor boundary in every shard, so a governed
   /// search stops promptly everywhere. Hits and the deterministic
-  /// SearchStats fields are byte-identical to the serial (num_threads
+  /// stats fields are byte-identical to the serial (num_threads
   /// <= 1) path; only seconds/admission_wait_ms vary.
+  ///
+  /// With `stats`, per-sensor failures are isolated instead of fatal —
+  /// see TransectSearchStats. Without, the first failure aborts.
   Result<std::vector<TransectHit>> SearchDrops(
       double T, double V, const SearchOptions& options = {},
-      SearchStats* stats = nullptr);
+      TransectSearchStats* stats = nullptr);
   Result<std::vector<TransectHit>> SearchJumps(
       double T, double V, const SearchOptions& options = {},
-      SearchStats* stats = nullptr);
+      TransectSearchStats* stats = nullptr);
+
+  /// Migrates the deployment onto `new_sensors_per_shard` crash-safely,
+  /// while searches keep serving (ingest pauses with ResourceExhausted
+  /// for the duration). The sequence — intent MIGRATION manifest, new
+  /// generation-tagged shard dirs, per-sensor CompactInto copies, fsync,
+  /// atomic CATALOG swap, old-layout garbage collection, manifest
+  /// removal — is resumable: a crash at any write/mkdir/fsync point is
+  /// rolled forward or back by the next Open, leaving exactly one
+  /// authoritative layout. Same value as the current layout is a no-op.
+  Status Rebalance(int new_sensors_per_shard);
+
+  /// Walks every sensor (under the LRU cap, optionally rate-limited)
+  /// and aggregates store health: scrub results, degraded flags,
+  /// quarantined pages. Never modifies anything. Per-sensor problems
+  /// land in the report, not in the return status — only infrastructure
+  /// failures (e.g. the catalog itself) fail the sweep.
+  Result<TransectHealthReport> Verify(
+      const TransectVerifyOptions& options = {});
+
+  /// Verify + in-place salvage: every damaged sensor store is repaired
+  /// into a fresh file (Database::Repair salvage semantics: corrupt
+  /// pages/segments skipped and accounted) which atomically replaces
+  /// the original. Healthy sensors are untouched.
+  Result<TransectRepairReport> RepairAll(
+      const TransectVerifyOptions& options = {});
 
   /// Per-sensor access (e.g. for drill-down after a transect-wide hit).
   /// The returned handle pins the store open; hold it only as long as
@@ -154,7 +275,41 @@ class TransectIndex {
   template <typename SearchFn>
   Result<std::vector<TransectHit>> SearchAll(const SearchOptions& options,
                                              const SearchFn& search,
-                                             SearchStats* stats);
+                                             TransectSearchStats* stats);
+
+  /// Open-time crash recovery: if a MIGRATION manifest exists, finish
+  /// (catalog already swapped: garbage-collect the source layout) or
+  /// undo (catalog still the source: delete the half-built target) the
+  /// interrupted rebalance, then remove the manifest. A corrupt
+  /// manifest falls back to pattern-based orphan-directory GC — the
+  /// CATALOG stays the single source of truth throughout.
+  static Status RecoverMigration(Vfs* vfs, const std::string& directory,
+                                 const ShardCatalog& live);
+
+  /// Deletes every store file (and WAL sidecar) of `doomed`'s layout
+  /// and removes its now-empty shard directories. Paths shared with
+  /// `keep` are left alone; missing files are fine (idempotent across
+  /// repeated recovery passes).
+  static Status GcLayout(Vfs* vfs, const std::string& directory,
+                         const ShardCatalog& doomed,
+                         const ShardCatalog& keep);
+
+  /// Backstop GC: removes shard-shaped directories under the root that
+  /// the live catalog does not reference, plus stale manifest temp
+  /// files. Used when the migration manifest itself is unreadable.
+  static Status GcOrphanDirs(Vfs* vfs, const std::string& directory,
+                             const ShardCatalog& live);
+
+  /// One sensor's slice of a RepairAll sweep: scrub, and if damaged,
+  /// salvage into a fresh store file that atomically replaces the
+  /// original (the store is evicted from the LRU around the swap).
+  Status RepairSensor(int sensor, TransectRepairReport* report);
+
+  /// The Vfs all transect-level IO goes through.
+  Vfs* vfs() const {
+    return store_options_.vfs != nullptr ? store_options_.vfs
+                                         : Vfs::Default();
+  }
 
   /// Lazily creates (or resizes) the shared fan-out pool; same
   /// discipline as SegDiffIndex::EnsurePool (`num_threads - 1` workers,
@@ -174,6 +329,18 @@ class TransectIndex {
   /// pool: destroyed first, while directory_/options_/catalog_ are
   /// still alive.
   std::unique_ptr<StoreLru> stores_;
+
+  /// Guards the (catalog_, stores_) pair as a unit. Shared: everything
+  /// that routes through the layout (search, ingest, sweeps). Exclusive:
+  /// the brief windows that replace it — the rebalance commit+GC and a
+  /// repair's store-file swap. Holders of a shared lock may hold
+  /// StoreLru Handles; nothing may hold a Handle across an exclusive
+  /// acquisition (the swap destroys the cache).
+  mutable std::shared_mutex layout_mu_;
+  /// One rebalance at a time; ingest fails fast while it runs.
+  std::atomic<bool> rebalancing_{false};
+  /// Serializes Verify/RepairAll/Rebalance against each other.
+  std::mutex maintenance_mu_;
 
   std::unique_ptr<ThreadPool> pool_;  ///< shared fan-out workers
   std::mutex pool_mu_;                ///< guards pool_ + pool_users_

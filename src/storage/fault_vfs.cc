@@ -263,11 +263,56 @@ Status FaultInjectionVfs::RemoveFile(const std::string& path) {
   if (crashed_.load(std::memory_order_acquire)) {
     return Crashed();
   }
+  counters_.removes.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     files_.erase(path);
   }
   return base_->RemoveFile(path);
+}
+
+Status FaultInjectionVfs::Rename(const std::string& from,
+                                 const std::string& to) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
+  }
+  counters_.renames.fetch_add(1, std::memory_order_relaxed);
+  if (ShouldFail(&fail_renames_after_)) {
+    // Atomic contract: a failed rename leaves both names untouched.
+    return Status::IOError("injected rename failure: " + from + " -> " + to);
+  }
+  SEGDIFF_RETURN_IF_ERROR(base_->Rename(from, to));
+  std::lock_guard<std::mutex> lock(mu_);
+  // The snapshot travels with the file; whatever occupied `to` is gone
+  // for good (rename replaced it on the real file system too).
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    FileState state = std::move(it->second);
+    files_.erase(it);
+    // Renames are modelled as immediately durable (ordered-metadata
+    // journaling): a crash rolls back contents, not the name change.
+    state.creation_pending_dir_sync = false;
+    files_[to] = std::move(state);
+  } else {
+    files_.erase(to);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> FaultInjectionVfs::ListDir(
+    const std::string& path) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
+  }
+  return base_->ListDir(path);
+}
+
+Status FaultInjectionVfs::RemoveDir(const std::string& path) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Crashed();
+  }
+  counters_.removes.fetch_add(1, std::memory_order_relaxed);
+  return base_->RemoveDir(path);
 }
 
 void FaultInjectionVfs::FailAfterWrites(int64_t n) {
@@ -284,6 +329,10 @@ void FaultInjectionVfs::FailAfterSyncs(int64_t n) {
 
 void FaultInjectionVfs::FailAfterMkdirs(int64_t n) {
   fail_mkdirs_after_.store(n, std::memory_order_relaxed);
+}
+
+void FaultInjectionVfs::FailAfterRenames(int64_t n) {
+  fail_renames_after_.store(n, std::memory_order_relaxed);
 }
 
 bool FaultInjectionVfs::ShouldFailTransient() {
@@ -380,6 +429,7 @@ void FaultInjectionVfs::Reset() {
   fail_reads_after_.store(-1, std::memory_order_relaxed);
   fail_syncs_after_.store(-1, std::memory_order_relaxed);
   fail_mkdirs_after_.store(-1, std::memory_order_relaxed);
+  fail_renames_after_.store(-1, std::memory_order_relaxed);
   torn_armed_.store(false, std::memory_order_release);
   transient_remaining_.store(0, std::memory_order_relaxed);
   transient_per_mille_.store(0, std::memory_order_relaxed);
@@ -391,6 +441,8 @@ void FaultInjectionVfs::Reset() {
   counters_.syncs.store(0, std::memory_order_relaxed);
   counters_.dir_syncs.store(0, std::memory_order_relaxed);
   counters_.mkdirs.store(0, std::memory_order_relaxed);
+  counters_.renames.store(0, std::memory_order_relaxed);
+  counters_.removes.store(0, std::memory_order_relaxed);
   counters_.read_bytes.store(0, std::memory_order_relaxed);
   counters_.written_bytes.store(0, std::memory_order_relaxed);
   counters_.injected_failures.store(0, std::memory_order_relaxed);
@@ -407,6 +459,8 @@ FaultInjectionVfs::Counters FaultInjectionVfs::counters() const {
   snapshot.syncs = counters_.syncs.load(std::memory_order_relaxed);
   snapshot.dir_syncs = counters_.dir_syncs.load(std::memory_order_relaxed);
   snapshot.mkdirs = counters_.mkdirs.load(std::memory_order_relaxed);
+  snapshot.renames = counters_.renames.load(std::memory_order_relaxed);
+  snapshot.removes = counters_.removes.load(std::memory_order_relaxed);
   snapshot.read_bytes =
       counters_.read_bytes.load(std::memory_order_relaxed);
   snapshot.written_bytes =

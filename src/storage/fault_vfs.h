@@ -49,6 +49,8 @@ class FaultInjectionVfs : public Vfs {
     uint64_t syncs = 0;
     uint64_t dir_syncs = 0;
     uint64_t mkdirs = 0;
+    uint64_t renames = 0;
+    uint64_t removes = 0;
     uint64_t read_bytes = 0;
     uint64_t written_bytes = 0;
     uint64_t injected_failures = 0;
@@ -68,6 +70,15 @@ class FaultInjectionVfs : public Vfs {
   Status MakeDir(const std::string& path) override;
   bool FileExists(const std::string& path) override;
   Status RemoveFile(const std::string& path) override;
+  /// Atomic like the base rename. Crash model: the rename is treated as
+  /// durable once performed (ordered metadata, journaling-FS style) —
+  /// the moved file's synced snapshot travels to the new name, so a
+  /// later Crash() rolls its *contents* back but never splits one file
+  /// into two. FailAfterRenames schedules injected failures, which
+  /// leave both names exactly as they were (the atomicity contract).
+  Status Rename(const std::string& from, const std::string& to) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status RemoveDir(const std::string& path) override;
 
   /// The next `n` writes succeed; every write after them fails with an
   /// injected IOError. Negative disables.
@@ -75,6 +86,7 @@ class FaultInjectionVfs : public Vfs {
   void FailAfterReads(int64_t n);
   void FailAfterSyncs(int64_t n);
   void FailAfterMkdirs(int64_t n);
+  void FailAfterRenames(int64_t n);
 
   /// The next write covering absolute file offset `offset` (in any
   /// file) persists only its first `keep_bytes` bytes, then reports
@@ -144,6 +156,7 @@ class FaultInjectionVfs : public Vfs {
   std::atomic<int64_t> fail_reads_after_{-1};
   std::atomic<int64_t> fail_syncs_after_{-1};
   std::atomic<int64_t> fail_mkdirs_after_{-1};
+  std::atomic<int64_t> fail_renames_after_{-1};
   std::atomic<bool> torn_armed_{false};
   uint64_t torn_offset_ = 0;      ///< guarded by mu_
   size_t torn_keep_bytes_ = 0;    ///< guarded by mu_
@@ -161,6 +174,8 @@ class FaultInjectionVfs : public Vfs {
     std::atomic<uint64_t> syncs{0};
     std::atomic<uint64_t> dir_syncs{0};
     std::atomic<uint64_t> mkdirs{0};
+    std::atomic<uint64_t> renames{0};
+    std::atomic<uint64_t> removes{0};
     std::atomic<uint64_t> read_bytes{0};
     std::atomic<uint64_t> written_bytes{0};
     std::atomic<uint64_t> injected_failures{0};

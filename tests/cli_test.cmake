@@ -2,7 +2,11 @@
 #   cmake -DCLI=<path-to-segdiff_cli> -DWORK=<scratch-dir> -P cli_test.cmake
 # Exercises generate -> segment -> build -> append -> search -> stats ->
 # sql -> compact -> verify and checks both exit codes and key output
-# markers.
+# markers; then the transect workflow (build -> search -> stats ->
+# verify -> rebalance) including the damaged-transect contract: a
+# corrupt sensor store must flip stats/verify to exit 2 with the sensor
+# counted in the health block, searches must isolate it with a loud
+# warning, and repair must report the unsalvageable store honestly.
 
 if(NOT DEFINED CLI OR NOT DEFINED WORK)
   message(FATAL_ERROR "pass -DCLI=<binary> -DWORK=<dir>")
@@ -56,6 +60,69 @@ run_cli("compacted" compact --db ${DB} --out ${COMPACT})
 run_cli("periods with a drop" search --db ${COMPACT} --t-hours 1 --v -3)
 run_cli("verify: ok" verify --db ${DB} --scrub)
 run_cli("0 corrupt" verify --db ${COMPACT} --scrub)
+
+# Like run_cli, but for commands whose exit code is part of the
+# contract (verify/stats report damage as 2, transient trouble as 3).
+function(run_cli_status expect_code expect_substring)
+  execute_process(COMMAND ${CLI} ${ARGN}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL ${expect_code})
+    message(FATAL_ERROR
+            "segdiff_cli ${ARGN}: exit ${code}, expected ${expect_code}:"
+            "\n${out}${err}")
+  endif()
+  if(NOT "${expect_substring}" STREQUAL "" AND
+     NOT "${out}${err}" MATCHES "${expect_substring}")
+    message(FATAL_ERROR
+            "segdiff_cli ${ARGN}: expected '${expect_substring}' in:"
+            "\n${out}${err}")
+  endif()
+endfunction()
+
+# Transect workflow: build a small deployment, search it, rebalance it
+# onto a new shard width, then damage one sensor store and walk the
+# health commands' exit contract (0 healthy / 2 corrupt / 3 transient).
+set(TRANSECT ${WORK}/cli_transect)
+file(REMOVE_RECURSE ${TRANSECT})
+run_cli("built transect .*6 sensors in 3 shards"
+        transect build --dir ${TRANSECT} --sensors 6 --days 2
+        --shard-sensors 2)
+run_cli("periods on [0-9]+ of 6 sensors with a drop"
+        transect search --dir ${TRANSECT} --t-hours 1 --v -1)
+run_cli("health: *6/6 sensors scanned, 0 corrupt"
+        transect stats --dir ${TRANSECT})
+run_cli("transect verify: ok" transect verify --dir ${TRANSECT})
+run_cli("rebalanced .*: 2 -> 3 sensors per shard \\(2 shards\\)"
+        transect rebalance --dir ${TRANSECT} --shard-sensors 3)
+run_cli("transect verify: ok" transect verify --dir ${TRANSECT})
+
+# Clobber one sensor store (the rebalanced layout keeps sensor 0 in the
+# first generation-3 shard). Header gone => the store cannot open: the
+# health commands must say "corrupt" and exit 2, the search must isolate
+# the sensor and warn, and repair must admit there is nothing to
+# salvage.
+set(VICTIM ${TRANSECT}/g3-shard00000/sensor0.db)
+if(NOT EXISTS ${VICTIM})
+  message(FATAL_ERROR "expected rebalanced store at ${VICTIM}")
+endif()
+file(COPY_FILE ${VICTIM} ${WORK}/cli_victim_backup.db)
+file(WRITE ${VICTIM} "this is not a segdiff store")
+run_cli_status(2 "1 corrupt" transect stats --dir ${TRANSECT})
+run_cli_status(2 "transect verify: FAILED"
+               transect verify --dir ${TRANSECT})
+run_cli("WARNING: 1 sensor skipped \\(store would not open\\)"
+        transect search --dir ${TRANSECT} --t-hours 1 --v -1)
+run_cli_status(2 "6 sensors checked, 0 repaired, 1 failed"
+               transect repair --dir ${TRANSECT})
+
+# Restore the store from backup: the transect must scrub clean again.
+file(COPY_FILE ${WORK}/cli_victim_backup.db ${VICTIM})
+run_cli("transect verify: ok" transect verify --dir ${TRANSECT})
+run_cli_status(0 "0 corrupt" transect stats --dir ${TRANSECT})
+file(REMOVE ${WORK}/cli_victim_backup.db)
+file(REMOVE_RECURSE ${TRANSECT})
 
 # Failure paths exit non-zero.
 execute_process(COMMAND ${CLI} search --db ${WORK}/missing.db

@@ -102,7 +102,7 @@ TEST_F(TransectShardTest, ParallelSearchMatchesSerialByteForByte) {
 
   SearchOptions serial;
   serial.num_threads = 0;
-  SearchStats serial_stats;
+  TransectSearchStats serial_stats;
   auto serial_hits =
       (*transect)->SearchDrops(3600.0, -3.0, serial, &serial_stats);
   ASSERT_TRUE(serial_hits.ok()) << serial_hits.status().ToString();
@@ -111,7 +111,7 @@ TEST_F(TransectShardTest, ParallelSearchMatchesSerialByteForByte) {
   for (const size_t threads : {2u, 4u, 8u}) {
     SearchOptions parallel;
     parallel.num_threads = threads;
-    SearchStats parallel_stats;
+    TransectSearchStats parallel_stats;
     auto parallel_hits =
         (*transect)->SearchDrops(3600.0, -3.0, parallel, &parallel_stats);
     ASSERT_TRUE(parallel_hits.ok()) << parallel_hits.status().ToString();
@@ -119,13 +119,13 @@ TEST_F(TransectShardTest, ParallelSearchMatchesSerialByteForByte) {
     ExpectSameStats(serial_stats, parallel_stats);
   }
 
-  SearchStats serial_jump_stats;
+  TransectSearchStats serial_jump_stats;
   auto serial_jumps =
       (*transect)->SearchJumps(2 * 3600.0, 2.0, serial, &serial_jump_stats);
   ASSERT_TRUE(serial_jumps.ok());
   SearchOptions parallel;
   parallel.num_threads = 4;
-  SearchStats parallel_jump_stats;
+  TransectSearchStats parallel_jump_stats;
   auto parallel_jumps = (*transect)->SearchJumps(2 * 3600.0, 2.0, parallel,
                                                  &parallel_jump_stats);
   ASSERT_TRUE(parallel_jumps.ok());
@@ -148,7 +148,7 @@ TEST_F(TransectShardTest, LruBoundsOpenStoresAndReopensTransparently) {
   // one sees.
   SearchOptions fan_out;
   fan_out.num_threads = 4;  // clamped to max_open_stores internally
-  SearchStats bounded_stats;
+  TransectSearchStats bounded_stats;
   auto bounded =
       (*transect)->SearchDrops(3600.0, -3.0, fan_out, &bounded_stats);
   ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
@@ -159,7 +159,7 @@ TEST_F(TransectShardTest, LruBoundsOpenStoresAndReopensTransparently) {
   TransectOptions unbounded = SmallStores();
   auto reopened = TransectIndex::Open(dir_, kSensors, unbounded);
   ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
-  SearchStats unbounded_stats;
+  TransectSearchStats unbounded_stats;
   auto all_open =
       (*reopened)->SearchDrops(3600.0, -3.0, {}, &unbounded_stats);
   ASSERT_TRUE(all_open.ok());

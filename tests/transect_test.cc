@@ -50,7 +50,7 @@ TEST_F(TransectTest, BuildsAndSearchesAllSensors) {
                     .ok());
   }
 
-  SearchStats stats;
+  TransectSearchStats stats;
   auto hits = (*transect)->SearchDrops(3600.0, -3.0, {}, &stats);
   ASSERT_TRUE(hits.ok());
   ASSERT_FALSE(hits->empty());

@@ -66,8 +66,34 @@
 //                         deadline governs the whole sweep; --stats adds
 //                         executor counters and store-cache behaviour)
 //   segdiff_cli transect stats  --dir transect/ [--max-open M]
-//                        (shard catalog layout, aggregate sizes, and the
-//                         open-store cache's counters)
+//                        (shard catalog layout, aggregate sizes, the
+//                         open-store cache's counters, and a health
+//                         block from a scrub sweep. Exit code follows
+//                         verify's contract: 0 healthy, 2 corrupt
+//                         sensors, 3 transient I/O)
+//   segdiff_cli transect verify --dir transect/ [--max-open M]
+//                        [--rate-mbps N]
+//                        (walks every sensor store under the LRU cap —
+//                         open, health flags, full page scrub — and
+//                         prints the aggregate report; --rate-mbps (or
+//                         SEGDIFF_SCRUB_RATE_BYTES_PER_SEC) throttles
+//                         the sweep so it does not starve serving
+//                         searches. Exit: 0 clean, 2 corrupt sensors,
+//                         3 sensors unavailable on transient I/O)
+//   segdiff_cli transect repair --dir transect/ [--max-open M]
+//                        [--rate-mbps N]
+//                        (verify + in-place salvage: each damaged store
+//                         is repaired into a fresh file that atomically
+//                         replaces the original; healthy sensors are
+//                         untouched. Exit: 0 all repaired or healthy,
+//                         2 some repairs failed)
+//   segdiff_cli transect rebalance --dir transect/ --shard-sensors K
+//                        (migrates the transect onto K sensors per
+//                         shard, crash-safely: a MIGRATION intent
+//                         manifest plus per-sensor compacting copies,
+//                         committed by an atomic CATALOG swap — a crash
+//                         at any point is rolled forward or back on the
+//                         next open)
 //   segdiff_cli verify   --db store.db [--scrub]
 //                        (logical check: every table's scanned row count
 //                         matches its heap metadata; --scrub additionally
@@ -629,6 +655,15 @@ int CmdRepair(const Flags& flags) {
   return 0;
 }
 
+/// Verify's exit contract: 2 = the store is damaged (corruption), 3 =
+/// transient I/O kept the check from finishing (retry, don't repair),
+/// 1 = any other failure.
+int VerifyExitCode(const Status& status) {
+  if (status.IsTransient()) return 3;
+  if (status.IsCorruption()) return 2;
+  return 1;
+}
+
 /// Deployment-level knobs shared by the transect subcommands.
 TransectOptions TransectFlags(const Flags& flags) {
   TransectOptions options;
@@ -653,6 +688,23 @@ void PrintCacheStats(const TransectIndex& transect) {
               static_cast<unsigned long long>(cache.opens),
               static_cast<unsigned long long>(cache.evictions),
               static_cast<unsigned long long>(cache.hits));
+  if (cache.eviction_failures > 0) {
+    std::printf("  WARNING: %llu eviction checkpoint failure%s (surfaced "
+                "on the affected sensors' next use)\n",
+                static_cast<unsigned long long>(cache.eviction_failures),
+                cache.eviction_failures == 1 ? "" : "s");
+  }
+}
+
+/// One line per recorded sweep issue (both sweeps cap their lists; the
+/// counters above them stay exact).
+void PrintSweepIssues(const std::vector<TransectSensorIssue>& issues) {
+  for (const TransectSensorIssue& issue : issues) {
+    std::printf("  sensor %-5d %s%s\n", issue.sensor,
+                issue.corrupt ? "CORRUPT: "
+                              : (issue.transient ? "UNAVAILABLE: " : ""),
+                issue.message.c_str());
+  }
 }
 
 int CmdTransectBuild(const Flags& flags) {
@@ -717,7 +769,7 @@ int CmdTransectSearch(const Flags& flags) {
   SearchOptions search;
   search.deadline_ms = flags.GetUint64("--timeout-ms", 0);
   search.num_threads = static_cast<size_t>(flags.GetInt("--threads", 4));
-  SearchStats stats;
+  TransectSearchStats stats;
   auto hits = jump ? (*transect)->SearchJumps(T, V, search, &stats)
                    : (*transect)->SearchDrops(T, V, search, &stats);
   if (!hits.ok()) return Fail(hits.status());
@@ -738,11 +790,29 @@ int CmdTransectSearch(const Flags& flags) {
               stats.truncated ? " TRUNCATED" : "");
   if (stats.partial) {
     std::printf("  WARNING: partial result — %llu quarantined page%s "
-                "skipped (>= %llu rows unreadable); run `verify --scrub` "
-                "and `repair` on the affected stores\n",
+                "skipped (>= %llu rows unreadable); run `transect verify` "
+                "and `transect repair` to diagnose and salvage\n",
                 static_cast<unsigned long long>(stats.scan.pages_quarantined),
                 stats.scan.pages_quarantined == 1 ? "" : "s",
                 static_cast<unsigned long long>(stats.scan.rows_quarantined));
+  }
+  if (stats.sensors_failed > 0 || stats.sensors_skipped > 0) {
+    std::printf("  WARNING: %llu sensor%s skipped (store would not open) "
+                "and %llu failed mid-search — their periods are missing "
+                "from the result\n",
+                static_cast<unsigned long long>(stats.sensors_skipped),
+                stats.sensors_skipped == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.sensors_failed));
+    for (const TransectSensorFailure& failure : stats.failures) {
+      std::printf("    sensor %-5d %s\n", failure.sensor,
+                  failure.status.ToString().c_str());
+    }
+  }
+  if (stats.sensors_degraded > 0) {
+    std::printf("  note: %llu sensor%s answered in degraded (read-only) "
+                "mode\n",
+                static_cast<unsigned long long>(stats.sensors_degraded),
+                stats.sensors_degraded == 1 ? "" : "s");
   }
   if (flags.Has("--stats")) {
     std::printf("  pages: %llu scanned, %llu pruned; rows: %llu scanned, "
@@ -785,24 +855,167 @@ int CmdTransectStats(const Flags& flags) {
   std::printf("  sensors:       %d in %zu shards (%d per shard)\n",
               catalog.sensor_count(), catalog.shard_count(),
               catalog.sensors_per_shard());
+  // Sizes open every store, so a damaged sensor fails them — keep going
+  // and let the health sweep below name the culprit and set the exit
+  // code.
   auto sizes = (*transect)->GetSizes();
-  if (!sizes.ok()) return Fail(sizes.status());
-  std::printf("  feature rows:  %llu\n",
-              static_cast<unsigned long long>(sizes->feature_rows));
-  std::printf("  feature bytes: %llu\n",
-              static_cast<unsigned long long>(sizes->feature_bytes));
-  std::printf("  index bytes:   %llu\n",
-              static_cast<unsigned long long>(sizes->index_bytes));
-  std::printf("  file bytes:    %llu\n",
-              static_cast<unsigned long long>(sizes->file_bytes));
+  if (sizes.ok()) {
+    std::printf("  feature rows:  %llu\n",
+                static_cast<unsigned long long>(sizes->feature_rows));
+    std::printf("  feature bytes: %llu\n",
+                static_cast<unsigned long long>(sizes->feature_bytes));
+    std::printf("  index bytes:   %llu\n",
+                static_cast<unsigned long long>(sizes->index_bytes));
+    std::printf("  file bytes:    %llu\n",
+                static_cast<unsigned long long>(sizes->file_bytes));
+  } else {
+    std::printf("  sizes:         unavailable (%s)\n",
+                sizes.status().ToString().c_str());
+  }
   PrintCacheStats(**transect);
+
+  // Health block: a full scrub sweep, reported with verify's exit
+  // contract so scripts can branch on damaged vs. flaky transects.
+  auto health = (*transect)->Verify();
+  if (!health.ok()) {
+    Fail(health.status());
+    return VerifyExitCode(health.status());
+  }
+  std::printf("  health:        %d/%d sensors scanned, %d corrupt, "
+              "%d degraded, %d unavailable, %llu quarantined page%s\n",
+              health->sensors_scanned, health->sensors_total,
+              health->sensors_corrupt, health->sensors_degraded,
+              health->sensors_unavailable,
+              static_cast<unsigned long long>(health->quarantined_pages),
+              health->quarantined_pages == 1 ? "" : "s");
+  PrintSweepIssues(health->issues);
+  if (health->sensors_corrupt > 0) return 2;
+  if (health->sensors_unavailable > 0) return 3;
+  return 0;
+}
+
+/// Bytes/sec sweep throttle from --rate-mbps (0 = the
+/// SEGDIFF_SCRUB_RATE_BYTES_PER_SEC environment knob, then unlimited).
+TransectVerifyOptions SweepFlags(const Flags& flags) {
+  TransectVerifyOptions options;
+  options.rate_limit_bytes_per_sec = static_cast<uint64_t>(
+      flags.GetDouble("--rate-mbps", 0.0) * 1024.0 * 1024.0);
+  return options;
+}
+
+int CmdTransectVerify(const Flags& flags) {
+  const std::string dir = flags.Get("--dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "transect verify: --dir is required\n");
+    return 2;
+  }
+  TransectOptions options = TransectFlags(flags);
+  options.store.create_if_missing = false;
+  auto transect = TransectIndex::Open(dir, 0, options);
+  if (!transect.ok()) {
+    Fail(transect.status());
+    return VerifyExitCode(transect.status());
+  }
+  auto report = (*transect)->Verify(SweepFlags(flags));
+  if (!report.ok()) {
+    Fail(report.status());
+    return VerifyExitCode(report.status());
+  }
+  std::printf("transect verify: %d/%d sensors scanned, %llu pages checked "
+              "(%.1f MiB)\n",
+              report->sensors_scanned, report->sensors_total,
+              static_cast<unsigned long long>(report->pages_checked),
+              report->bytes_scanned / (1024.0 * 1024.0));
+  std::printf("  %d corrupt, %d degraded, %d unavailable; %llu corrupt "
+              "page%s, %llu quarantined\n",
+              report->sensors_corrupt, report->sensors_degraded,
+              report->sensors_unavailable,
+              static_cast<unsigned long long>(report->pages_corrupt),
+              report->pages_corrupt == 1 ? "" : "s",
+              static_cast<unsigned long long>(report->quarantined_pages));
+  PrintSweepIssues(report->issues);
+  if (report->sensors_corrupt > 0) {
+    std::printf("transect verify: FAILED — run `transect repair`\n");
+    return 2;
+  }
+  if (report->sensors_unavailable > 0) {
+    std::printf("transect verify: INCOMPLETE (transient I/O — retry)\n");
+    return 3;
+  }
+  std::printf("transect verify: ok\n");
+  return 0;
+}
+
+int CmdTransectRepair(const Flags& flags) {
+  const std::string dir = flags.Get("--dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "transect repair: --dir is required\n");
+    return 2;
+  }
+  TransectOptions options = TransectFlags(flags);
+  options.store.create_if_missing = false;
+  auto transect = TransectIndex::Open(dir, 0, options);
+  if (!transect.ok()) {
+    Fail(transect.status());
+    return VerifyExitCode(transect.status());
+  }
+  auto report = (*transect)->RepairAll(SweepFlags(flags));
+  if (!report.ok()) {
+    Fail(report.status());
+    return VerifyExitCode(report.status());
+  }
+  std::printf("transect repair: %d sensors checked, %d repaired, %d "
+              "failed\n",
+              report->sensors_checked, report->sensors_repaired,
+              report->sensors_failed);
+  if (report->sensors_repaired > 0) {
+    std::printf("  salvaged %llu row%s; skipped %llu corrupt page%s and "
+                "%llu corrupt segment%s (>= %llu row%s lost)\n",
+                static_cast<unsigned long long>(report->totals.rows_salvaged),
+                report->totals.rows_salvaged == 1 ? "" : "s",
+                static_cast<unsigned long long>(report->totals.pages_skipped),
+                report->totals.pages_skipped == 1 ? "" : "s",
+                static_cast<unsigned long long>(
+                    report->totals.segments_skipped),
+                report->totals.segments_skipped == 1 ? "" : "s",
+                static_cast<unsigned long long>(report->totals.rows_lost),
+                report->totals.rows_lost == 1 ? "" : "s");
+  }
+  PrintSweepIssues(report->issues);
+  return report->sensors_failed > 0 ? 2 : 0;
+}
+
+int CmdTransectRebalance(const Flags& flags) {
+  const std::string dir = flags.Get("--dir", "");
+  const int sensors_per_shard = flags.GetInt("--shard-sensors", 0);
+  if (dir.empty() || sensors_per_shard <= 0) {
+    std::fprintf(stderr,
+                 "transect rebalance: --dir and --shard-sensors are "
+                 "required\n");
+    return 2;
+  }
+  TransectOptions options = TransectFlags(flags);
+  options.store.create_if_missing = false;
+  options.sensors_per_shard = 0;  // adopt the persisted layout on open
+  auto transect = TransectIndex::Open(dir, 0, options);
+  if (!transect.ok()) return Fail(transect.status());
+  const int before = (*transect)->catalog().sensors_per_shard();
+  if (Status status = (*transect)->Rebalance(sensors_per_shard);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::printf("rebalanced %s: %d -> %d sensors per shard (%zu shards)\n",
+              dir.c_str(), before,
+              (*transect)->catalog().sensors_per_shard(),
+              (*transect)->catalog().shard_count());
   return 0;
 }
 
 int CmdTransect(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: segdiff_cli transect <build|search|stats> "
+                 "usage: segdiff_cli transect "
+                 "<build|search|stats|verify|repair|rebalance> "
                  "--dir DIR [--flag value ...]\n");
     return 2;
   }
@@ -811,17 +1024,11 @@ int CmdTransect(int argc, char** argv) {
   if (action == "build") return CmdTransectBuild(flags);
   if (action == "search") return CmdTransectSearch(flags);
   if (action == "stats") return CmdTransectStats(flags);
+  if (action == "verify") return CmdTransectVerify(flags);
+  if (action == "repair") return CmdTransectRepair(flags);
+  if (action == "rebalance") return CmdTransectRebalance(flags);
   std::fprintf(stderr, "transect: unknown action '%s'\n", action.c_str());
   return 2;
-}
-
-/// Verify's exit contract: 2 = the store is damaged (corruption), 3 =
-/// transient I/O kept the check from finishing (retry, don't repair),
-/// 1 = any other failure.
-int VerifyExitCode(const Status& status) {
-  if (status.IsTransient()) return 3;
-  if (status.IsCorruption()) return 2;
-  return 1;
 }
 
 int CmdVerify(const Flags& flags) {
